@@ -1,0 +1,715 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section VI). Run all experiments with
+
+     dune exec bench/main.exe
+
+   or a subset:
+
+     dune exec bench/main.exe -- fig4 tab1 micro
+
+   The multi-core scalability experiments run on the deterministic
+   discrete-event simulator (see DESIGN.md for the substitution argument
+   and calibration); `live` exercises the real threading architecture on
+   this machine; `micro` runs bechamel micro-benchmarks of the
+   substrate. *)
+
+module Params = Msmr_sim.Params
+module Jp = Msmr_sim.Jpaxos_model
+module Zk = Msmr_baseline.Zk_model
+module Sstats = Msmr_sim.Sstats
+
+let core_points profile =
+  if profile.Params.max_cores <= 8 then [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  else [ 1; 2; 4; 6; 8; 12; 16; 20; 24 ]
+
+(* ------------------------------------------------------------------ *)
+(* Cached model runs (several figures share the same sweeps). *)
+
+let jp_cache : (string, Jp.result) Hashtbl.t = Hashtbl.create 64
+let zk_cache : (int, Zk.result) Hashtbl.t = Hashtbl.create 16
+
+let jp ?(profile = Params.parapluie) ?(n = 3) ~cores ?wnd ?bsz ?cio () =
+  let p = Params.default ~profile ~n ~cores () in
+  let p = { p with warmup = 0.3; duration = 1.0 } in
+  let p = match wnd with Some w -> { p with wnd = w } | None -> p in
+  let p = match bsz with Some b -> { p with bsz = b } | None -> p in
+  let p =
+    match cio with Some c -> { p with client_io_threads = c } | None -> p
+  in
+  let key =
+    Printf.sprintf "%s/n%d/c%d/w%d/b%d/io%d" profile.profile_name n cores
+      p.wnd p.bsz p.client_io_threads
+  in
+  match Hashtbl.find_opt jp_cache key with
+  | Some r -> r
+  | None ->
+    let r = Jp.run p in
+    Hashtbl.replace jp_cache key r;
+    r
+
+let zk ~cores =
+  match Hashtbl.find_opt zk_cache cores with
+  | Some r -> r
+  | None ->
+    let p = Params.default ~n:3 ~cores () in
+    let p = { p with warmup = 0.3; duration = 1.0 } in
+    let r = Zk.run p in
+    Hashtbl.replace zk_cache cores r;
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers. *)
+
+let heading id title =
+  Printf.printf "\n==== %s: %s ====\n%!" id title
+
+let profile_table rows =
+  Format.printf "%a%!" Sstats.pp_profile rows
+
+let k x = x /. 1e3
+
+(* ------------------------------------------------------------------ *)
+(* Experiments. *)
+
+let fig1 () =
+  heading "fig1" "ZooKeeper throughput vs cores; leader thread profile";
+  Printf.printf "(paper: peak ~50K req/s at 4 cores, <30K at 24; heavy blocked time)\n";
+  Printf.printf "%6s %14s %10s %12s\n" "cores" "req/s (x1000)" "cpu%" "blocked%";
+  List.iter
+    (fun cores ->
+       let r = zk ~cores in
+       Printf.printf "%6d %14.1f %10.0f %12.1f\n%!" cores (k r.throughput)
+         r.replicas.(0).cpu_util_pct r.replicas.(0).blocked_pct)
+    (core_points Params.parapluie);
+  Printf.printf "\nFig 1b - per-thread profile of the ZooKeeper leader, 24 cores:\n";
+  profile_table (zk ~cores:24).replicas.(0).threads
+
+let fig4 () =
+  heading "fig4" "JPaxos throughput and speedup vs cores (parapluie)";
+  Printf.printf "(paper: n=3 linear to ~6 cores, ~100K req/s and speedup ~6.5 at 12+;\n";
+  Printf.printf " n=5 lower, speedup ~5.5)\n";
+  Printf.printf "%6s | %13s %8s | %13s %8s\n" "cores" "n=3 (x1000)" "speedup"
+    "n=5 (x1000)" "speedup";
+  let base3 = (jp ~n:3 ~cores:1 ()).throughput in
+  let base5 = (jp ~n:5 ~cores:1 ()).throughput in
+  List.iter
+    (fun cores ->
+       let r3 = jp ~n:3 ~cores () and r5 = jp ~n:5 ~cores () in
+       Printf.printf "%6d | %13.1f %8.2f | %13.1f %8.2f\n%!" cores
+         (k r3.throughput) (r3.throughput /. base3)
+         (k r5.throughput) (r5.throughput /. base5))
+    (core_points Params.parapluie);
+  let curve n =
+    List.map
+      (fun cores -> (float_of_int cores, k (jp ~n ~cores ()).throughput))
+      (core_points Params.parapluie)
+  in
+  Format.printf "@.%a"
+    (fun ppf () ->
+       Msmr_platform.Ascii_plot.render ppf ~y_label:"req/s (x1000)"
+         ~x_label:"cores"
+         [ { Msmr_platform.Ascii_plot.label = "n=3"; points = curve 3 };
+           { label = "n=5"; points = curve 5 } ])
+    ()
+
+let fig5 () =
+  heading "fig5" "JPaxos CPU utilization and total blocked time (parapluie)";
+  Printf.printf "(paper: leader highest; blocked stays under ~20%% of the run)\n";
+  List.iter
+    (fun n ->
+       Printf.printf "n=%d:\n%6s" n "cores";
+       for i = 0 to n - 1 do
+         Printf.printf "  cpu%%[r%d] blk%%[r%d]" i i
+       done;
+       print_newline ();
+       List.iter
+         (fun cores ->
+            let r = jp ~n ~cores () in
+            Printf.printf "%6d" cores;
+            Array.iter
+              (fun (rep : Jp.replica_report) ->
+                 Printf.printf "  %8.0f %8.1f" rep.cpu_util_pct rep.blocked_pct)
+              r.replicas;
+            print_newline ())
+         (core_points Params.parapluie))
+    [ 3; 5 ]
+
+let fig6 () =
+  heading "fig6" "JPaxos throughput and speedup vs cores (edel, 8 cores)";
+  Printf.printf "(paper: near-linear to speedup ~7 at 8 cores, ~80K req/s, network not saturated)\n";
+  Printf.printf "%6s | %13s %8s | %13s %8s\n" "cores" "n=3 (x1000)" "speedup"
+    "n=5 (x1000)" "speedup";
+  let profile = Params.edel in
+  let base3 = (jp ~profile ~n:3 ~cores:1 ()).throughput in
+  let base5 = (jp ~profile ~n:5 ~cores:1 ()).throughput in
+  List.iter
+    (fun cores ->
+       let r3 = jp ~profile ~n:3 ~cores () and r5 = jp ~profile ~n:5 ~cores () in
+       Printf.printf "%6d | %13.1f %8.2f | %13.1f %8.2f\n%!" cores
+         (k r3.throughput) (r3.throughput /. base3)
+         (k r5.throughput) (r5.throughput /. base5))
+    (core_points profile)
+
+let fig7 () =
+  heading "fig7" "JPaxos CPU utilization and blocked time (edel)";
+  List.iter
+    (fun n ->
+       Printf.printf "n=%d:\n%6s" n "cores";
+       for i = 0 to n - 1 do
+         Printf.printf "  cpu%%[r%d] blk%%[r%d]" i i
+       done;
+       print_newline ();
+       List.iter
+         (fun cores ->
+            let r = jp ~profile:Params.edel ~n ~cores () in
+            Printf.printf "%6d" cores;
+            Array.iter
+              (fun (rep : Jp.replica_report) ->
+                 Printf.printf "  %8.0f %8.1f" rep.cpu_util_pct rep.blocked_pct)
+              r.replicas;
+            print_newline ())
+         (core_points Params.edel))
+    [ 3; 5 ]
+
+let fig8 () =
+  heading "fig8" "JPaxos per-thread profile of the leader (n=3)";
+  Printf.printf "(paper: at 1 core ClientIO+Batcher dominate; at full cores all\n";
+  Printf.printf " threads 30-60%% busy with minimal blocked time)\n";
+  let show label (r : Jp.result) =
+    Printf.printf "\n%s:\n" label;
+    profile_table r.replicas.(0).threads
+  in
+  show "parapluie, 1 core" (jp ~n:3 ~cores:1 ());
+  show "parapluie, 24 cores" (jp ~n:3 ~cores:24 ());
+  show "edel, 1 core" (jp ~profile:Params.edel ~n:3 ~cores:1 ());
+  show "edel, 8 cores" (jp ~profile:Params.edel ~n:3 ~cores:8 ())
+
+let fig9 () =
+  heading "fig9" "Throughput and CPU vs number of ClientIO threads (24 cores)";
+  Printf.printf "(paper: ~40K with 1 thread, >100K with 4, degrades beyond ~8)\n";
+  Printf.printf "%12s %14s %10s\n" "IO threads" "req/s (x1000)" "cpu%";
+  List.iter
+    (fun cio ->
+       let r = jp ~n:3 ~cores:24 ~cio () in
+       Printf.printf "%12d %14.1f %10.0f\n%!" cio (k r.throughput)
+         r.replicas.(0).cpu_util_pct)
+    [ 1; 2; 3; 4; 6; 8; 12; 16; 20; 24 ]
+
+let wnd_points = [ 1; 4; 6; 10; 15; 20; 35; 50 ]
+
+let tab1 () =
+  heading "tab1" "Average queue sizes and parallel ballots vs WND (Table I)";
+  Printf.printf "(paper: RequestQueue >1/4 full, ProposalQueue >1/2 full,\n";
+  Printf.printf " DispatcherQueue ~empty, window ~= WND)\n";
+  Printf.printf "%5s %13s %14s %16s %15s\n" "WND" "RequestQueue"
+    "ProposalQueue" "DispatcherQueue" "parallel ballots";
+  List.iter
+    (fun wnd ->
+       let r = jp ~n:3 ~cores:24 ~wnd () in
+       Printf.printf "%5d %13.1f %14.2f %16.2f %15.2f\n%!" wnd
+         r.avg_request_queue r.avg_proposal_queue r.avg_dispatcher_queue
+         r.avg_window)
+    wnd_points
+
+let fig10 () =
+  heading "fig10" "Performance as a function of window size (24 cores, n=3)";
+  Printf.printf "(paper: throughput rises until the NIC packet budget binds, then\n";
+  Printf.printf " flattens while instance latency keeps growing with WND; our\n";
+  Printf.printf " simulated kernel queues less than the real pre-2.6.35 stack, so\n";
+  Printf.printf " the crossover lands at a smaller WND - see EXPERIMENTS.md)\n";
+  Printf.printf "%5s %14s %13s %17s %12s\n" "WND" "req/s (x1000)"
+    "latency (ms)" "batch (reqs)" "window";
+  List.iter
+    (fun wnd ->
+       let r = jp ~n:3 ~cores:24 ~wnd () in
+       Printf.printf "%5d %14.1f %13.2f %17.1f %12.1f\n%!" wnd (k r.throughput)
+         (r.instance_latency *. 1e3) r.avg_batch_reqs r.avg_window)
+    wnd_points
+
+let tab2 () =
+  heading "tab2" "Ping RTT between nodes, idle vs during a run (Table II)";
+  Printf.printf "(paper: idle ~0.06ms everywhere; leader<->any ~2.5ms under load)\n";
+  let r = jp ~n:3 ~cores:24 ~wnd:35 () in
+  Printf.printf "%-28s %10.3f ms\n" "idle any <-> any" (r.rtt_idle *. 1e3);
+  Printf.printf "%-28s %10.3f ms\n" "follower <-> follower"
+    (r.rtt_followers *. 1e3);
+  Printf.printf "%-28s %10.3f ms\n%!" "leader <-> any" (r.rtt_leader *. 1e3)
+
+let bsz_points = [ 650; 1300; 2600; 5200; 10400 ]
+
+let fig11 () =
+  heading "fig11" "Performance as a function of batch size (24 cores, WND=35)";
+  Printf.printf "(paper: 650B noticeably slower; >=1300B all roughly equal)\n";
+  Printf.printf "%6s %14s %13s %13s %12s\n" "BSZ" "req/s (x1000)"
+    "latency (ms)" "batch (B)" "window";
+  List.iter
+    (fun bsz ->
+       let r = jp ~n:3 ~cores:24 ~wnd:35 ~bsz () in
+       Printf.printf "%6d %14.1f %13.2f %13.0f %12.1f\n%!" bsz (k r.throughput)
+         (r.instance_latency *. 1e3) r.avg_batch_bytes r.avg_window)
+    bsz_points
+
+let tab3 () =
+  heading "tab3" "Throughput and network utilization vs BSZ (Table III)";
+  Printf.printf "(paper: packets/s out pinned at ~150K for every BSZ)\n";
+  Printf.printf "%6s %12s %10s %10s %9s %9s\n" "BSZ" "throughput"
+    "pkts/s out" "pkts/s in" "MB/s out" "MB/s in";
+  List.iter
+    (fun bsz ->
+       let r = jp ~n:3 ~cores:24 ~wnd:35 ~bsz () in
+       Printf.printf "%6d %11.0fK %9.0fK %9.0fK %9.1f %9.1f\n%!" bsz
+         (k r.throughput) (k r.leader_tx_pps) (k r.leader_rx_pps)
+         r.leader_tx_mbps r.leader_rx_mbps)
+    bsz_points
+
+let fig12 () =
+  heading "fig12" "JPaxos vs ZooKeeper throughput and speedup vs cores";
+  Printf.printf "(paper: JPaxos scales to ~100K; ZooKeeper peaks at 4 cores then degrades)\n";
+  Printf.printf "%6s | %15s %8s | %17s %8s\n" "cores" "JPaxos (x1000)"
+    "speedup" "ZooKeeper (x1000)" "speedup";
+  let jbase = (jp ~n:3 ~cores:1 ()).throughput in
+  let zbase = (zk ~cores:1).throughput in
+  List.iter
+    (fun cores ->
+       let j = jp ~n:3 ~cores () and z = zk ~cores in
+       Printf.printf "%6d | %15.1f %8.2f | %17.1f %8.2f\n%!" cores
+         (k j.throughput) (j.throughput /. jbase)
+         (k z.throughput) (z.throughput /. zbase))
+    (core_points Params.parapluie);
+  let points f =
+    List.map
+      (fun cores -> (float_of_int cores, k (f cores)))
+      (core_points Params.parapluie)
+  in
+  Format.printf "@.%a"
+    (fun ppf () ->
+       Msmr_platform.Ascii_plot.render ppf ~y_label:"req/s (x1000)"
+         ~x_label:"cores"
+         [ { Msmr_platform.Ascii_plot.label = "JPaxos (staged)";
+             points = points (fun c -> (jp ~n:3 ~cores:c ()).throughput) };
+           { label = "ZooKeeper-like";
+             points = points (fun c -> (zk ~cores:c).throughput) } ])
+    ()
+
+let fig13 () =
+  heading "fig13" "ZooKeeper CPU usage and contention vs cores";
+  Printf.printf "(paper: leader blocked time exceeds 100%% of the run; CPU rises\n";
+  Printf.printf " while throughput falls - cycles burned on contention)\n";
+  Printf.printf "%6s" "cores";
+  for i = 0 to 2 do
+    Printf.printf "  cpu%%[r%d] blk%%[r%d]" i i
+  done;
+  print_newline ();
+  List.iter
+    (fun cores ->
+       let r = zk ~cores in
+       Printf.printf "%6d" cores;
+       Array.iter
+         (fun (rep : Zk.replica_report) ->
+            Printf.printf "  %8.0f %8.1f" rep.cpu_util_pct rep.blocked_pct)
+         r.replicas;
+       print_newline ())
+    (core_points Params.parapluie)
+
+let fig14 () =
+  heading "fig14" "ZooKeeper per-thread profile of the leader";
+  Printf.printf "(paper: at 24 cores three threads are busy-or-blocked 100%% of the time)\n";
+  Printf.printf "\n1 core:\n";
+  profile_table (zk ~cores:1).replicas.(0).threads;
+  Printf.printf "\n24 cores:\n";
+  profile_table (zk ~cores:24).replicas.(0).threads
+
+let ext () =
+  heading "ext"
+    "Extensions the paper proposes (Section VI-B and footnote 5)";
+  Printf.printf
+    "(RSS/RPS spreads NIC interrupts over cores - the paper reports the\n\
+    \ throughput roughly doubled; multiple Batcher threads are the paper's\n\
+    \ proposed parallelisation; it predicts the Replica thread becomes the\n\
+    \ next, hard-to-parallelise bottleneck)\n";
+  let run ~label ?(rss = false) ?(batchers = 1) ?cio ?(exec_speedup = 1.0) () =
+    let p = Params.default ~n:3 ~cores:24 () in
+    let p =
+      { p with warmup = 0.3; duration = 1.0; rss; n_batchers = batchers;
+        costs =
+          { p.costs with
+            exec_per_req = p.costs.exec_per_req /. exec_speedup };
+        client_io_threads =
+          (match cio with Some c -> c | None -> p.client_io_threads) }
+    in
+    let r = Jp.run p in
+    let busy name =
+      match List.assoc_opt name r.replicas.(0).threads with
+      | Some (t : Sstats.totals) -> 100. *. t.busy
+      | None -> nan
+    in
+    let batcher_busy =
+      if batchers = 1 then busy "Batcher" else busy "Batcher-0"
+    in
+    Printf.printf "%-30s %10.1fK %12.0f%% %11.0f%% %11.0f%%\n%!" label
+      (k r.throughput)
+      (r.replicas.(0).cpu_util_pct)
+      batcher_busy (busy "Replica")
+  in
+  Printf.printf "%-30s %11s %13s %12s %12s\n" "configuration" "req/s"
+    "leader cpu" "Batcher busy" "Replica busy";
+  run ~label:"paper setup (WND=10)" ();
+  run ~label:"+ RSS" ~rss:true ();
+  run ~label:"+ RSS, 2 Batchers" ~rss:true ~batchers:2 ();
+  run ~label:"+ RSS, 4 Batchers, 8 IO" ~rss:true ~batchers:4 ~cio:8 ();
+  (* The paper's last lever: "the only obvious way to improve this stage
+     [the Replica thread] is by optimizing its single-thread
+     performance". *)
+  run ~label:"+ RSS, 2 Batchers, 2x Replica" ~rss:true ~batchers:2
+    ~exec_speedup:2.0 ();
+  Printf.printf
+    "-> with the kernel limit lifted, the single-threaded Replica stage\n\
+    \   saturates (~100%% busy); extra Batcher/ClientIO threads no longer\n\
+    \   help, and only making the Replica stage itself faster does - the\n\
+    \   scalability limit and the remedy the paper names in Section VI-B.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Live experiments: the real runtime on this machine. *)
+
+(* Run [n_clients] closed-loop clients against a live cluster for
+   [duration_s]; returns (throughput, latency histogram). *)
+let live_load ?(payload_size = 112) ~first_id cluster ~n_clients ~duration_s () =
+  let module R = Msmr_runtime in
+  let stop_at =
+    Int64.add (Msmr_platform.Mclock.now_ns ())
+      (Msmr_platform.Mclock.ns_of_s duration_s)
+  in
+  let completed = Atomic.make 0 in
+  let hist = Msmr_platform.Histogram.create () in
+  let workers =
+    List.init n_clients (fun i ->
+        Thread.create
+          (fun () ->
+             let client =
+               R.Client.create ~cluster ~client_id:(first_id + i) ()
+             in
+             let payload = Bytes.make payload_size 'x' in
+             while Int64.compare (Msmr_platform.Mclock.now_ns ()) stop_at < 0 do
+               let t0 = Msmr_platform.Mclock.now_ns () in
+               ignore (R.Client.call client payload);
+               Msmr_platform.Histogram.record hist
+                 (Msmr_platform.Mclock.s_of_ns
+                    (Int64.sub (Msmr_platform.Mclock.now_ns ()) t0));
+               ignore (Atomic.fetch_and_add completed 1)
+             done)
+          ())
+  in
+  List.iter Thread.join workers;
+  (float_of_int (Atomic.get completed) /. duration_s, hist)
+
+let ablation () =
+  heading "ablation"
+    "Stable storage ablation (live runtime, this host)";
+  Printf.printf
+    "(the paper disables stable storage because it \"would introduce an\n\
+    \ additional bottleneck\"; this measures that cost on the real runtime:\n\
+    \ WAL disabled / unsynced / fsync'd periodically / fsync per write)\n";
+  let module R = Msmr_runtime in
+  let cfg =
+    { (Msmr_consensus.Config.default ~n:3) with
+      max_batch_delay_s = 0.002;
+      snapshot_every = 0 }
+  in
+  let tmp_root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "msmr-ablation-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  Printf.printf "%-24s %12s %12s %12s\n" "durability" "req/s" "p50 (ms)"
+    "p99 (ms)";
+  List.iter
+    (fun (label, durability) ->
+       rm_rf tmp_root;
+       Unix.mkdir tmp_root 0o755;
+       let cluster =
+         R.Replica.Cluster.create ~durability ~cfg
+           ~service:(fun () -> R.Service.null ())
+           ()
+       in
+       Fun.protect ~finally:(fun () -> R.Replica.Cluster.stop cluster)
+       @@ fun () ->
+       ignore (R.Replica.Cluster.await_leader cluster);
+       let tput, hist =
+         live_load ~first_id:1 cluster ~n_clients:8 ~duration_s:2.0 ()
+       in
+       Printf.printf "%-24s %12.0f %12.2f %12.2f\n%!" label tput
+         (1e3 *. Msmr_platform.Histogram.percentile hist 0.5)
+         (1e3 *. Msmr_platform.Histogram.percentile hist 0.99))
+    [ ("ephemeral (paper setup)", fun _ -> R.Replica.Ephemeral);
+      ( "wal, no sync",
+        fun me ->
+          R.Replica.Durable
+            { dir = Filename.concat tmp_root (Printf.sprintf "ns%d" me);
+              sync = Msmr_storage.Wal.No_sync } );
+      ( "wal, periodic sync",
+        fun me ->
+          R.Replica.Durable
+            { dir = Filename.concat tmp_root (Printf.sprintf "ps%d" me);
+              sync = Msmr_storage.Wal.Sync_periodic } );
+      ( "wal, fsync every write",
+        fun me ->
+          R.Replica.Durable
+            { dir = Filename.concat tmp_root (Printf.sprintf "es%d" me);
+              sync = Msmr_storage.Wal.Sync_every_write } ) ];
+  rm_rf tmp_root
+
+let live () =
+  heading "live" "Live threading architecture on this host (sanity check)";
+  let module R = Msmr_runtime in
+  let cfg =
+    { (Msmr_consensus.Config.default ~n:3) with
+      max_batch_delay_s = 0.002;
+      fd_interval_s = 0.05;
+      fd_timeout_s = 0.3 }
+  in
+  let cluster =
+    R.Replica.Cluster.create ~cfg ~service:(fun () -> R.Service.null ()) ()
+  in
+  Fun.protect ~finally:(fun () -> R.Replica.Cluster.stop cluster)
+  @@ fun () ->
+  let leader = R.Replica.Cluster.await_leader cluster in
+  let n_clients = 16 and duration_s = 3.0 in
+  let tput, hist = live_load ~first_id:1 cluster ~n_clients ~duration_s () in
+  let stats = R.Replica.queue_stats leader in
+  Printf.printf
+    "3 replicas in-process, %d closed-loop clients, %.0fs: %.0f req/s\n"
+    n_clients duration_s tput;
+  Format.printf "latency: %a@." Msmr_platform.Histogram.pp_summary hist;
+  Printf.printf
+    "leader queues at end: request=%d proposal=%d dispatcher=%d window=%d\n"
+    stats.request_queue stats.proposal_queue stats.dispatcher_queue
+    stats.window_in_use;
+  Printf.printf "decided instances: %d, executed requests: %d\n%!"
+    (R.Replica.decided_count leader)
+    (R.Replica.executed_count leader);
+  Printf.printf "\nper-thread states (Thread_state accounting):\n";
+  Format.printf "%a%!" Msmr_platform.Thread_state.pp_report
+    (Msmr_platform.Thread_state.snapshot_all ())
+
+let live_mono () =
+  heading "live-mono"
+    "Staged architecture vs traditional monolithic event loop (live, this host)";
+  Printf.printf
+    "(the paper's premise: the traditional single-event-loop design is\n\
+    \ fine on few cores and caps at one thread. This host has %d core(s),\n\
+    \ so expect parity here; the multi-core separation is what fig4/fig12\n\
+    \ show on the simulator.)\n"
+    (try
+       let ic = Unix.open_process_in "nproc" in
+       let n = int_of_string (String.trim (input_line ic)) in
+       ignore (Unix.close_process_in ic);
+       n
+     with _ -> 1);
+  let module R = Msmr_runtime in
+  let cfg =
+    { (Msmr_consensus.Config.default ~n:3) with max_batch_delay_s = 0.002 }
+  in
+  let n_clients = 8 and duration_s = 2.0 in
+  (* Staged. *)
+  let staged_tput, staged_hist =
+    let cluster =
+      R.Replica.Cluster.create ~cfg ~service:(fun () -> R.Service.null ()) ()
+    in
+    Fun.protect ~finally:(fun () -> R.Replica.Cluster.stop cluster)
+    @@ fun () ->
+    ignore (R.Replica.Cluster.await_leader cluster);
+    live_load ~first_id:1 cluster ~n_clients ~duration_s ()
+  in
+  (* Monolithic: closed-loop clients via submit + reply box. *)
+  let mono_tput, mono_hist =
+    let module Mono = Msmr_baseline.Mono_replica in
+    let cluster =
+      Mono.Cluster.create ~cfg ~service:(fun () -> R.Service.null ()) ()
+    in
+    Fun.protect ~finally:(fun () -> Mono.Cluster.stop cluster) @@ fun () ->
+    let leader = Mono.Cluster.await_leader cluster in
+    let stop_at = Unix.gettimeofday () +. duration_s in
+    let completed = Atomic.make 0 in
+    let hist = Msmr_platform.Histogram.create () in
+    let workers =
+      List.init n_clients (fun i ->
+          Thread.create
+            (fun () ->
+               let payload = Bytes.make 112 'x' in
+               let reply_box = Msmr_platform.Bounded_queue.create ~capacity:1 in
+               let seq = ref 0 in
+               while Unix.gettimeofday () < stop_at do
+                 incr seq;
+                 let raw =
+                   Msmr_wire.Client_msg.request_to_bytes
+                     { id = { client_id = i + 1; seq = !seq }; payload }
+                 in
+                 let t0 = Unix.gettimeofday () in
+                 Mono.submit leader ~raw ~reply_to:(fun b ->
+                     ignore (Msmr_platform.Bounded_queue.try_put reply_box b));
+                 match
+                   Msmr_platform.Bounded_queue.take_timeout reply_box
+                     ~timeout_s:2.0
+                 with
+                 | Some _ ->
+                   Msmr_platform.Histogram.record hist
+                     (Unix.gettimeofday () -. t0);
+                   ignore (Atomic.fetch_and_add completed 1)
+                 | None -> ()
+               done)
+            ())
+    in
+    List.iter Thread.join workers;
+    (float_of_int (Atomic.get completed) /. duration_s, hist)
+  in
+  Printf.printf "%-28s %10s %10s %10s\n" "architecture" "req/s" "p50 (ms)"
+    "p99 (ms)";
+  let row label tput hist =
+    Printf.printf "%-28s %10.0f %10.2f %10.2f\n%!" label tput
+      (1e3 *. Msmr_platform.Histogram.percentile hist 0.5)
+      (1e3 *. Msmr_platform.Histogram.percentile hist 0.99)
+  in
+  row "staged (paper)" staged_tput staged_hist;
+  row "monolithic event loop" mono_tput mono_hist
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the substrate. *)
+
+let micro () =
+  heading "micro" "Substrate micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let bq = Msmr_platform.Bounded_queue.create ~capacity:1024 in
+  let bench_bq =
+    Test.make ~name:"bounded_queue put+take"
+      (Staged.stage (fun () ->
+           Msmr_platform.Bounded_queue.put bq 42;
+           ignore (Msmr_platform.Bounded_queue.take bq)))
+  in
+  let mpsc = Msmr_platform.Mpsc_queue.create () in
+  let bench_mpsc =
+    Test.make ~name:"mpsc push+pop"
+      (Staged.stage (fun () ->
+           Msmr_platform.Mpsc_queue.push mpsc 42;
+           ignore (Msmr_platform.Mpsc_queue.pop mpsc)))
+  in
+  let cmap = Msmr_platform.Concurrent_map.create () in
+  let key = ref 0 in
+  let bench_cmap =
+    Test.make ~name:"concurrent_map set+find"
+      (Staged.stage (fun () ->
+           incr key;
+           let kk = !key land 1023 in
+           Msmr_platform.Concurrent_map.set cmap kk kk;
+           ignore (Msmr_platform.Concurrent_map.find_opt cmap kk)))
+  in
+  let rc = Msmr_runtime.Reply_cache.create () in
+  let seq = ref 0 in
+  let bench_cache =
+    Test.make ~name:"reply_cache store+lookup"
+      (Staged.stage (fun () ->
+           incr seq;
+           let id =
+             { Msmr_wire.Client_msg.client_id = !seq land 255; seq = !seq }
+           in
+           Msmr_runtime.Reply_cache.store rc id Bytes.empty;
+           ignore (Msmr_runtime.Reply_cache.lookup rc id)))
+  in
+  let req =
+    { Msmr_wire.Client_msg.id = { client_id = 7; seq = 1234 };
+      payload = Bytes.make 112 'x' }
+  in
+  let bench_req_codec =
+    Test.make ~name:"request encode+decode"
+      (Staged.stage (fun () ->
+           ignore
+             (Msmr_wire.Client_msg.request_of_bytes
+                (Msmr_wire.Client_msg.request_to_bytes req))))
+  in
+  let accept =
+    Msmr_consensus.Msg.Accept
+      { view = 3; iid = 42;
+        value =
+          Msmr_consensus.Value.Batch
+            { bid = { src = 0; num = 7 };
+              requests = List.init 9 (fun _ -> req) } }
+  in
+  let bench_msg_codec =
+    Test.make ~name:"accept(9 reqs) encode+decode"
+      (Staged.stage (fun () ->
+           ignore (Msmr_consensus.Msg.decode (Msmr_consensus.Msg.encode accept))))
+  in
+  let cfg_b = Msmr_consensus.Config.default ~n:3 in
+  let bench_batcher =
+    let b = Msmr_consensus.Batcher.create cfg_b ~src:0 in
+    Test.make ~name:"batcher add (128B reqs)"
+      (Staged.stage (fun () ->
+           ignore (Msmr_consensus.Batcher.add b req ~now_ns:0L)))
+  in
+  let dq = Msmr_platform.Delay_queue.create () in
+  let bench_delayq =
+    Test.make ~name:"delay_queue schedule+cancel"
+      (Staged.stage (fun () ->
+           let h =
+             Msmr_platform.Delay_queue.schedule dq ~at_ns:Int64.max_int 0
+           in
+           Msmr_platform.Delay_queue.cancel h))
+  in
+  let test =
+    Test.make_grouped ~name:"substrate"
+      [ bench_bq; bench_mpsc; bench_cmap; bench_cache; bench_req_codec;
+        bench_msg_codec; bench_batcher; bench_delayq ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+       match Analyze.OLS.estimates ols with
+       | Some [ est ] -> Printf.printf "%-40s %10.0f ns/op\n" name est
+       | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("fig1", fig1); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
+    ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("tab1", tab1);
+    ("fig10", fig10); ("tab2", tab2); ("fig11", fig11); ("tab3", tab3);
+    ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("ext", ext);
+    ("live", live); ("live-mono", live_mono); ("ablation", ablation);
+    ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+       match List.assoc_opt id experiments with
+       | Some f -> f ()
+       | None ->
+         Printf.eprintf "unknown experiment %S; known: %s\n" id
+           (String.concat " " (List.map fst experiments));
+         exit 1)
+    requested;
+  Printf.printf "\n(total bench wall time: %.0fs)\n%!"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+bin/msmr_client.ml: Arg Array Atomic Bytes Cmd Cmdliner Format Fun List Msmr_platform Msmr_runtime Printf String Term Thread Unix

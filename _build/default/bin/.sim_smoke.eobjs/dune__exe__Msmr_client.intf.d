@@ -1,0 +1,1 @@
+bin/msmr_client.mli:

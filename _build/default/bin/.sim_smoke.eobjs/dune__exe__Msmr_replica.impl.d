@@ -1,0 +1,1 @@
+bin/msmr_replica.ml: Arg Array Cmd Cmdliner List Logs Msmr_consensus Msmr_kv Msmr_runtime Printf String Term Unix

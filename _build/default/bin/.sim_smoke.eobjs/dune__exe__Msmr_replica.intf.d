@@ -1,0 +1,1 @@
+bin/msmr_replica.mli:

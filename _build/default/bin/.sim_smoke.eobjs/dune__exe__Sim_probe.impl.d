@@ -1,0 +1,1 @@
+bin/sim_probe.ml: Array Jpaxos_model Msmr_sim Params Printf

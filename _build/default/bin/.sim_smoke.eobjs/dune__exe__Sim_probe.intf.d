@@ -1,0 +1,1 @@
+bin/sim_probe.mli:

@@ -1,0 +1,1 @@
+bin/sim_smoke.ml: Array List Msmr_sim Printf Sys Unix

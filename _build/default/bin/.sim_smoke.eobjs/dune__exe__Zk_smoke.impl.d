@@ -1,0 +1,1 @@
+bin/zk_smoke.ml: Array List Msmr_baseline Msmr_sim Printf Sys Unix

@@ -1,0 +1,1 @@
+bin/zk_smoke.mli:

@@ -1,0 +1,125 @@
+(* Standalone replica over TCP.
+
+   Example 3-replica cluster on one machine:
+
+     dune exec bin/msmr_replica.exe -- --id 0 \
+       --node 127.0.0.1:4100 --node 127.0.0.1:4101 --node 127.0.0.1:4102 \
+       --client-port 5100 &
+     dune exec bin/msmr_replica.exe -- --id 1 ... --client-port 5101 &
+     dune exec bin/msmr_replica.exe -- --id 2 ... --client-port 5102 &
+
+   then drive it with bin/msmr_client. *)
+
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> Error (`Msg (Printf.sprintf "bad address %S (want host:port)" s))
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+     | None -> Error (`Msg (Printf.sprintf "bad port in %S" s))
+     | Some port -> (
+         match Unix.gethostbyname host with
+         | { Unix.h_addr_list = [||]; _ } ->
+           Error (`Msg (Printf.sprintf "cannot resolve %S" host))
+         | h -> Ok (Unix.ADDR_INET (h.Unix.h_addr_list.(0), port))
+         | exception Not_found ->
+           Error (`Msg (Printf.sprintf "cannot resolve %S" host))))
+
+let run id nodes client_port service_name window batch_bytes batch_delay_ms
+    verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let addrs =
+    List.mapi
+      (fun i s ->
+         match parse_addr s with
+         | Ok a -> (i, a)
+         | Error (`Msg m) -> failwith m)
+      nodes
+  in
+  let n = List.length addrs in
+  if id < 0 || id >= n then failwith "--id out of range";
+  let cfg =
+    { (Msmr_consensus.Config.default ~n) with
+      window;
+      max_batch_bytes = batch_bytes;
+      max_batch_delay_s = batch_delay_ms /. 1e3 }
+  in
+  let service =
+    match service_name with
+    | "null" -> Msmr_runtime.Service.null ()
+    | "acc" -> Msmr_runtime.Service.accumulator ()
+    | "kv" -> Msmr_kv.Kv_service.make ()
+    | "lock" -> Msmr_kv.Lock_service.make ()
+    | s -> failwith (Printf.sprintf "unknown service %S" s)
+  in
+  Printf.printf "replica %d/%d: establishing mesh...\n%!" id n;
+  let links = Msmr_runtime.Tcp_mesh.establish ~me:id ~addrs () in
+  let replica =
+    Msmr_runtime.Replica.create ~cfg ~me:id ~links ~service ()
+  in
+  let server = Msmr_runtime.Client_server.start replica ~port:client_port in
+  Printf.printf "replica %d up; clients on port %d; service %s\n%!" id
+    (Msmr_runtime.Client_server.port server)
+    service_name;
+  (* Periodic status line until killed. *)
+  let rec status last_exec =
+    Unix.sleepf 5.0;
+    let stats = Msmr_runtime.Replica.queue_stats replica in
+    let exec = Msmr_runtime.Replica.executed_count replica in
+    Printf.printf
+      "[r%d] view=%d leader=%b executed=%d (+%d) reqq=%d propq=%d window=%d conns=%d\n%!"
+      id
+      (Msmr_runtime.Replica.current_view replica)
+      (Msmr_runtime.Replica.is_leader replica)
+      exec (exec - last_exec) stats.request_queue stats.proposal_queue
+      stats.window_in_use
+      (Msmr_runtime.Client_server.connections server);
+    status exec
+  in
+  status 0
+
+open Cmdliner
+
+let id =
+  Arg.(required & opt (some int) None & info [ "id" ] ~doc:"Replica id (0-based).")
+
+let nodes =
+  Arg.(
+    non_empty & opt_all string []
+    & info [ "node" ]
+        ~doc:"Replica address host:port, one per replica, in id order.")
+
+let client_port =
+  Arg.(
+    required & opt (some int) None
+    & info [ "client-port" ] ~doc:"TCP port for client connections.")
+
+let service_name =
+  Arg.(
+    value & opt string "kv"
+    & info [ "service" ] ~doc:"Service: null, acc, kv or lock.")
+
+let window =
+  Arg.(value & opt int 10 & info [ "window" ] ~doc:"Max parallel ballots (WND).")
+
+let batch_bytes =
+  Arg.(value & opt int 1300 & info [ "batch-bytes" ] ~doc:"Max batch bytes (BSZ).")
+
+let batch_delay_ms =
+  Arg.(
+    value & opt float 5.0
+    & info [ "batch-delay" ] ~doc:"Max batch delay in milliseconds.")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log to stderr.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "msmr_replica" ~doc:"Run one replica of the replicated state machine")
+    Term.(const run $ id $ nodes $ client_port $ service_name $ window
+          $ batch_bytes $ batch_delay_ms $ verbose)
+
+let () = exit (Cmd.eval cmd)

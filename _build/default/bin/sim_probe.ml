@@ -1,0 +1,16 @@
+let () =
+  let open Msmr_sim in
+  let test ~label ?(rss=false) ?(batchers=1) ?(cio=0) () =
+    let p = Params.default ~n:3 ~cores:24 () in
+    let p = { p with warmup = 0.3; duration = 1.0; rss; n_batchers = batchers;
+              client_io_threads = (if cio > 0 then cio else p.Params.client_io_threads) } in
+    let r = Jpaxos_model.run p in
+    Printf.printf "%-30s tput=%7.0f lat=%6.2fms inst=%5.2fms cpu=%4.0f%% tx=%7.0fpps\n%!"
+      label r.throughput (r.client_latency*.1e3) (r.instance_latency*.1e3)
+      r.replicas.(0).cpu_util_pct r.leader_tx_pps
+  in
+  test ~label:"baseline (wnd10)" ();
+  test ~label:"rss on" ~rss:true ();
+  test ~label:"rss + 2 batchers" ~rss:true ~batchers:2 ();
+  test ~label:"rss + 4 batchers + 8 cio" ~rss:true ~batchers:4 ~cio:8 ();
+  ()

@@ -1,0 +1,29 @@
+let () =
+  let cores = try int_of_string Sys.argv.(1) with _ -> 1 in
+  let n = try int_of_string Sys.argv.(2) with _ -> 3 in
+  let wnd = try int_of_string Sys.argv.(3) with _ -> 10 in
+  let bsz = try int_of_string Sys.argv.(4) with _ -> 1300 in
+  let cio = try int_of_string Sys.argv.(5) with _ -> -1 in
+  let p = Msmr_sim.Params.default ~n ~cores () in
+  let p = { p with warmup = 0.3; duration = 1.0; wnd; bsz;
+            client_io_threads =
+              (if cio > 0 then cio else p.Msmr_sim.Params.client_io_threads) } in
+  let t0 = Unix.gettimeofday () in
+  let r = Msmr_sim.Jpaxos_model.run p in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "cores=%d n=%d -> tput=%.0f req/s  lat=%.2fms inst=%.2fms win=%.1f\n"
+    cores n r.throughput (r.client_latency *. 1e3) (r.instance_latency *. 1e3) r.avg_window;
+  Printf.printf "  queues: req=%.1f prop=%.1f disp=%.2f  batch=%.1f reqs/%.0fB\n"
+    r.avg_request_queue r.avg_proposal_queue r.avg_dispatcher_queue r.avg_batch_reqs r.avg_batch_bytes;
+  Printf.printf "  leader: cpu=%.0f%% blocked=%.1f%% tx=%.0fpps rx=%.0fpps tx=%.1fMB/s\n"
+    r.replicas.(0).cpu_util_pct r.replicas.(0).blocked_pct r.leader_tx_pps r.leader_rx_pps r.leader_tx_mbps;
+  Printf.printf "  rtt: leader=%.3fms followers=%.3fms idle=%.3fms\n"
+    (r.rtt_leader *. 1e3) (r.rtt_followers *. 1e3) (r.rtt_idle *. 1e3);
+  Array.iteri (fun i (rep : Msmr_sim.Jpaxos_model.replica_report) ->
+      Printf.printf "  replica %d: cpu=%.0f%% blocked=%.1f%%\n" i rep.cpu_util_pct rep.blocked_pct;
+      List.iter (fun (name, (t : Msmr_sim.Sstats.totals)) ->
+          Printf.printf "    %-16s busy=%4.1f%% blocked=%4.1f%% waiting=%4.1f%% other=%4.1f%%\n"
+            name (100.*.t.busy) (100.*.t.blocked) (100.*.t.waiting) (100.*.t.other))
+        rep.threads)
+    r.replicas;
+  Printf.printf "  events=%d wall=%.1fs\n" r.events wall

@@ -1,0 +1,14 @@
+let () =
+  let cores = try int_of_string Sys.argv.(1) with _ -> 1 in
+  let p = Msmr_sim.Params.default ~n:3 ~cores () in
+  let p = { p with warmup = 0.3; duration = 1.0 } in
+  let t0 = Unix.gettimeofday () in
+  let r = Msmr_baseline.Zk_model.run p in
+  Printf.printf "zk cores=%d -> tput=%.0f lat=%.2fms leader cpu=%.0f%% blocked=%.1f%% tx=%.0f rx=%.0f (wall %.1fs)\n"
+    cores r.throughput (r.client_latency *. 1e3)
+    r.replicas.(0).cpu_util_pct r.replicas.(0).blocked_pct
+    r.leader_tx_pps r.leader_rx_pps (Unix.gettimeofday () -. t0);
+  List.iter (fun (name, (t : Msmr_sim.Sstats.totals)) ->
+      Printf.printf "    %-18s busy=%4.1f%% blocked=%5.1f%% waiting=%4.1f%% other=%4.1f%%\n"
+        name (100.*.t.busy) (100.*.t.blocked) (100.*.t.waiting) (100.*.t.other))
+    r.replicas.(0).threads

@@ -1,0 +1,1 @@
+examples/durable_cluster.ml: Array Filename Fun List Msmr_consensus Msmr_kv Msmr_platform Msmr_runtime Msmr_storage Printf Sys Unix

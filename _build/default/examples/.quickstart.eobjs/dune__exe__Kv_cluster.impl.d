@@ -1,0 +1,1 @@
+examples/kv_cluster.ml: Array Fun List Msmr_consensus Msmr_kv Msmr_runtime Printf String Thread Unix

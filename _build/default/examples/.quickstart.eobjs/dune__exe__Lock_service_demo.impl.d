@@ -1,0 +1,1 @@
+examples/lock_service_demo.ml: Atomic Fun List Msmr_consensus Msmr_kv Msmr_platform Msmr_runtime Printf Thread

@@ -1,0 +1,1 @@
+examples/lock_service_demo.mli:

@@ -1,0 +1,1 @@
+examples/profile_threads.ml: Bytes Format Fun Int64 List Msmr_consensus Msmr_platform Msmr_runtime Thread

@@ -1,0 +1,1 @@
+examples/profile_threads.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Fun List Msmr_consensus Msmr_runtime Printf

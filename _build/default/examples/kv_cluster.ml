@@ -1,0 +1,96 @@
+(* Replicated key-value store: the coordination-service workload the
+   paper's introduction motivates (ZooKeeper-style ephemeral nodes).
+
+   Several concurrent "sessions" register ephemeral presence keys and
+   bump shared counters; we then expire one session and check that its
+   ephemeral keys vanish on every replica while the counters survive.
+
+     dune exec examples/kv_cluster.exe *)
+
+module R = Msmr_runtime
+module Kv = Msmr_kv.Kv_service
+
+let call client cmd =
+  Kv.decode_reply (R.Client.call client (Kv.encode_command cmd))
+
+let () =
+  let cfg =
+    { (Msmr_consensus.Config.default ~n:3) with max_batch_delay_s = 0.002 }
+  in
+  let cluster = R.Replica.Cluster.create ~cfg ~service:Kv.make () in
+  Fun.protect ~finally:(fun () -> R.Replica.Cluster.stop cluster)
+  @@ fun () ->
+  ignore (R.Replica.Cluster.await_leader cluster);
+
+  (* Three sessions (client ids double as session ids). *)
+  let sessions =
+    List.init 3 (fun i ->
+        (i + 1, R.Client.create ~cluster ~client_id:(i + 1) ()))
+  in
+
+  (* Each session: publish an ephemeral presence node and bump a shared
+     counter a few times, concurrently. *)
+  let workers =
+    List.map
+      (fun (sid, client) ->
+         Thread.create
+           (fun () ->
+              (match
+                 call client
+                   (Kv.Put
+                      { key = Printf.sprintf "/members/s%d" sid;
+                        value = Printf.sprintf "session-%d" sid;
+                        ephemeral = true })
+               with
+               | Kv.Ok_unit -> ()
+               | _ -> failwith "put failed");
+              for _ = 1 to 10 do
+                match call client (Kv.Incr { key = "/counter"; by = 1 }) with
+                | Kv.Ok_int _ -> ()
+                | _ -> failwith "incr failed"
+              done)
+           ())
+      sessions
+  in
+  List.iter Thread.join workers;
+
+  let _, c1 = List.hd sessions in
+  (match call c1 (Kv.List_keys "/members/") with
+   | Kv.Ok_keys keys ->
+     Printf.printf "members: %s\n%!" (String.concat ", " keys);
+     assert (List.length keys = 3)
+   | _ -> failwith "list failed");
+  (match call c1 (Kv.Get "/counter") with
+   | Kv.Ok_value (Some v) ->
+     Printf.printf "counter after 3x10 increments: %s\n%!" v;
+     assert (v = "30")
+   | _ -> failwith "get failed");
+
+  (* Session 2 "crashes": an administrator (or lease keeper) expires it;
+     its ephemeral nodes disappear, everything else stays. *)
+  (match call c1 (Kv.Expire_session 2) with
+   | Kv.Ok_int n -> Printf.printf "expired session 2: %d key(s) removed\n%!" n
+   | _ -> failwith "expire failed");
+  (match call c1 (Kv.List_keys "/members/") with
+   | Kv.Ok_keys keys ->
+     Printf.printf "members now: %s\n%!" (String.concat ", " keys);
+     assert (keys = [ "/members/s1"; "/members/s3" ])
+   | _ -> failwith "list failed");
+
+  (* All replicas converge to the same executed prefix. *)
+  let replicas = R.Replica.Cluster.replicas cluster in
+  let target = R.Replica.executed_count replicas.(0) in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    (not
+       (Array.for_all (fun r -> R.Replica.executed_count r = target) replicas))
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.yield ()
+  done;
+  Array.iter
+    (fun r ->
+       Printf.printf "replica %d executed %d requests\n%!" (R.Replica.me r)
+         (R.Replica.executed_count r))
+    replicas;
+  print_endline "kv_cluster OK"

@@ -1,0 +1,1 @@
+lib/baseline/mono_replica.ml: Array Atomic Batch Batcher Config Failure_detector Float Fun Hashtbl Int64 List Msg Msmr_consensus Msmr_platform Msmr_runtime Msmr_wire Paxos Printf Types Value

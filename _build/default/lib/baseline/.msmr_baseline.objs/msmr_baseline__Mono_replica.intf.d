@@ -1,0 +1,1 @@
+lib/baseline/mono_replica.mli: Msmr_consensus Msmr_runtime

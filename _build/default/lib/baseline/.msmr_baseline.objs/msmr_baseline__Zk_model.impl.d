@@ -1,0 +1,1 @@
+lib/baseline/zk_model.ml: Array Cpu Engine Hashtbl List Mailbox Msmr_sim Nic Params Printf Slock Sstats

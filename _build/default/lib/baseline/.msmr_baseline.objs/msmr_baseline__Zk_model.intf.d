@@ -1,0 +1,1 @@
+lib/baseline/zk_model.mli: Msmr_sim

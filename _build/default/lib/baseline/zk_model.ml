@@ -1,0 +1,438 @@
+open Msmr_sim
+
+(* Cost model (seconds of CPU at parapluie speed). Calibrated to the
+   paper's Figure 1a / 12: ~8 K requests/s on one core, peak ~50 K at 4
+   cores, collapsing towards ~30 K at 24 cores. *)
+type zk_costs = {
+  cnxn_read : float;        (* follower: read request from client *)
+  cnxn_write : float;       (* follower: write reply *)
+  fwd : float;              (* follower: forward request to leader *)
+  lh_request : float;       (* leader LearnerHandler: forwarded request *)
+  lh_ack : float;           (* leader LearnerHandler: ack *)
+  process : float;          (* ProcessThread: create proposal, zxid *)
+  commit : float;           (* CommitProcessor per committed request *)
+  sync : float;             (* SyncThread: log write (ramdisk) *)
+  sender_per_msg : float;
+  follower_proposal : float;(* follower: handle proposal, send ack *)
+  follower_commit : float;  (* follower: apply commit *)
+  (* Global-lock critical sections. *)
+  lock_lh : float;
+  lock_process : float;
+  lock_commit : float;
+  lock_sync : float;
+  switch_cost : float;      (* heavier than JPaxos: more threads, JVM *)
+  coherence_beta : float;   (* per-parallel-core penalty on lock holds *)
+  coherence_cores_cap : int;
+}
+
+let default_zk_costs =
+  { cnxn_read = 15e-6;
+    cnxn_write = 10e-6;
+    fwd = 5e-6;
+    lh_request = 5e-6;
+    lh_ack = 4e-6;
+    process = 13e-6;
+    commit = 16e-6;
+    sync = 5e-6;
+    sender_per_msg = 2e-6;
+    follower_proposal = 6e-6;
+    follower_commit = 5e-6;
+    lock_lh = 1.2e-6;
+    lock_process = 1.5e-6;
+    lock_commit = 2e-6;
+    lock_sync = 1e-6;
+    switch_cost = 5e-6;
+    coherence_beta = 0.12;
+    coherence_cores_cap = 24 }
+
+type replica_report = {
+  cpu_util_pct : float;
+  blocked_pct : float;
+  threads : (string * Sstats.totals) list;
+}
+
+type result = {
+  throughput : float;
+  client_latency : float;
+  replicas : replica_report array;
+  leader_tx_pps : float;
+  leader_rx_pps : float;
+  events : int;
+}
+
+(* Wire sizes. *)
+let proposal_size req_size = req_size + 40
+let ack_size = 48
+let commit_size = 48
+let fwd_size req_size = req_size + 24
+
+type xn = {
+  zxid : int;
+  cid : int;
+  origin : int;            (* follower index 1 or 2 *)
+  mutable committed : bool;
+}
+
+let run (p : Params.t) =
+  let eng = Engine.create () in
+  let zc = default_zk_costs in
+  let speed = p.profile.cpu_speed in
+  let cost x = x /. speed in
+  let n_followers = 2 in
+  let cpus =
+    Array.init 3 (fun _ ->
+        Cpu.create eng ~cores:p.cores ~switch_cost:(cost zc.switch_cost) ())
+  in
+  let nics =
+    Array.init 3 (fun i ->
+        Nic.create eng ~pkt_rate:p.profile.pkt_rate
+          ~bandwidth:p.profile.bandwidth ~name:(Printf.sprintf "zknic-%d" i) ())
+  in
+  let threads : Sstats.thread list ref array = Array.make 3 (ref []) in
+  Array.iteri (fun i _ -> threads.(i) <- ref []) threads;
+  let mk_thread node name =
+    let st = Sstats.make_thread eng ~name in
+    threads.(node) := !(threads.(node)) @ [ st ];
+    st
+  in
+  (* The coarse leader lock with its coherence penalty. *)
+  let zk_lock = Slock.create eng ~name:"zk-global" () in
+  let coherence () =
+    1.0
+    +. (zc.coherence_beta
+        *. float_of_int (min p.cores zc.coherence_cores_cap - 1))
+  in
+  let lock_work st c =
+    Slock.acquire zk_lock st;
+    Cpu.work cpus.(0) st (cost (c *. coherence ()));
+    Slock.release zk_lock
+  in
+  (* ------------- measurement ------------- *)
+  let measuring = ref false in
+  let completed = ref 0 in
+  let lat_sum = ref 0. and lat_n = ref 0 in
+  (* ------------- clients ------------- *)
+  let client_resume : (unit -> unit) option array = Array.make p.n_clients None in
+  let client_sent = Array.make p.n_clients 0. in
+  let follower_of_client cid = 1 + (cid mod n_followers) in
+  (* ------------- mailboxes ------------- *)
+  (* Followers: client connection threads (2 per follower). *)
+  let cnxn_mbs = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Mailbox.create eng ())) in
+  (* Follower: proposal/commit handling thread. *)
+  let follower_mbs = Array.init 3 (fun _ -> Mailbox.create eng ()) in
+  (* Leader: LearnerHandler per follower, ProcessThread, CommitProcessor,
+     SyncThread, Sender per follower. *)
+  let lh_mbs = Array.init 3 (fun _ -> Mailbox.create eng ()) in
+  let pt_mb = Mailbox.create eng () in
+  let cp_mb = Mailbox.create eng () in
+  let sync_mb = Mailbox.create eng () in
+  let sender_mbs = Array.init 3 (fun _ -> Mailbox.create eng ()) in
+  (* Follower reply senders (to clients). *)
+  let freply_mbs = Array.init 3 (fun _ -> Mailbox.create eng ()) in
+  (* Follower -> leader uplink (forwards + acks on one connection). *)
+  let uplink_mbs = Array.init 3 (fun _ -> Mailbox.create eng ()) in
+  let xns : (int, xn) Hashtbl.t = Hashtbl.create 4096 in
+  let next_zxid = ref 0 in
+  (* ------------- leader threads ------------- *)
+  let lh_proc f () =
+    let st = mk_thread 0 (Printf.sprintf "LearnerHandler:%d" f) in
+    let rec loop () =
+      (match Mailbox.take lh_mbs.(f) st with
+       | `Fwd (cid, origin) ->
+         Cpu.work cpus.(0) st (cost zc.lh_request);
+         lock_work st zc.lock_lh;
+         Mailbox.push pt_mb (cid, origin)
+       | `Ack zxid ->
+         Cpu.work cpus.(0) st (cost zc.lh_ack);
+         lock_work st zc.lock_lh;
+         (match Hashtbl.find_opt xns zxid with
+          | Some xn when not xn.committed ->
+            (* Leader's own "ack" plus this one: majority of 3. *)
+            xn.committed <- true;
+            Mailbox.push cp_mb zxid
+          | Some _ | None -> ()));
+      loop ()
+    in
+    loop ()
+  in
+  let pt_proc () =
+    let st = mk_thread 0 "ProcessThread" in
+    let rec loop () =
+      let cid, origin = Mailbox.take pt_mb st in
+      Cpu.work cpus.(0) st (cost zc.process);
+      lock_work st zc.lock_process;
+      let zxid = !next_zxid in
+      incr next_zxid;
+      Hashtbl.replace xns zxid { zxid; cid; origin; committed = false };
+      for f = 1 to n_followers do
+        Mailbox.push sender_mbs.(f) (`Proposal (zxid, cid, origin))
+      done;
+      Mailbox.push sync_mb zxid;
+      loop ()
+    in
+    loop ()
+  in
+  let cp_proc () =
+    let st = mk_thread 0 "CommitProcessor" in
+    let rec loop () =
+      let zxid = Mailbox.take cp_mb st in
+      Cpu.work cpus.(0) st (cost zc.commit);
+      lock_work st zc.lock_commit;
+      for f = 1 to n_followers do
+        Mailbox.push sender_mbs.(f) (`Commit zxid)
+      done;
+      loop ()
+    in
+    loop ()
+  in
+  let sync_proc () =
+    let st = mk_thread 0 "SyncThread" in
+    let rec loop () =
+      let _zxid = Mailbox.take sync_mb st in
+      Cpu.work cpus.(0) st (cost zc.sync);
+      lock_work st zc.lock_sync;
+      loop ()
+    in
+    loop ()
+  in
+  let sender_proc f () =
+    let st = mk_thread 0 (Printf.sprintf "Sender:%d" f) in
+    let rec drain acc k =
+      if k = 0 then List.rev acc
+      else
+        match Mailbox.try_pop sender_mbs.(f) with
+        | Some m -> drain (m :: acc) (k - 1)
+        | None -> List.rev acc
+    in
+    (* Commits are tiny; the TCP stack piggybacks them on the next
+       proposal to the same follower. *)
+    let deferred = ref [] in
+    let is_commit = function `Commit _ -> true | `Proposal _ -> false in
+    let rec next_burst () =
+      match
+        if !deferred = [] then Some (Mailbox.take sender_mbs.(f) st)
+        else Mailbox.take_timeout sender_mbs.(f) st ~timeout:0.0005
+      with
+      | Some first ->
+        let burst = !deferred @ (first :: drain [] 31) in
+        deferred := [];
+        if List.for_all is_commit burst then begin
+          deferred := burst;
+          next_burst ()
+        end
+        else burst
+      | None ->
+        let b = !deferred in
+        deferred := [];
+        b
+    in
+    let rec loop () =
+      let burst = next_burst () in
+      let size_of = function
+        | `Proposal _ -> proposal_size p.request_size
+        | `Commit _ -> commit_size
+      in
+      List.iter
+        (fun _ -> Cpu.work cpus.(0) st (cost zc.sender_per_msg))
+        burst;
+      (* Segment coalescing as in the JPaxos model. *)
+      let flush msgs size =
+        if msgs <> [] then begin
+          let msgs = List.rev msgs in
+          Nic.send nics.(0) ~dst:nics.(f) ~size (fun () ->
+              List.iter (fun m -> Mailbox.push follower_mbs.(f) m) msgs)
+        end
+      in
+      let seg, size =
+        List.fold_left
+          (fun (seg, size) m ->
+             let s = size_of m in
+             if size > 0 && size + s > 1448 then begin
+               flush seg size;
+               ([ m ], s)
+             end
+             else (m :: seg, size + s))
+          ([], 0) burst
+      in
+      flush seg size;
+      loop ()
+    in
+    loop ()
+  in
+  (* ------------- follower threads ------------- *)
+  let cnxn_proc node idx () =
+    let st = mk_thread node (Printf.sprintf "CnxnThread:%d" idx) in
+    let rec loop () =
+      let cid = Mailbox.take cnxn_mbs.(node).(idx) st in
+      Cpu.work cpus.(node) st (cost zc.cnxn_read);
+      Cpu.work cpus.(node) st (cost zc.fwd);
+      Mailbox.push uplink_mbs.(node) (`UpFwd (cid, node));
+      loop ()
+    in
+    loop ()
+  in
+  (* One uplink sender per follower: coalesces forwards and acks into
+     shared segments; ack-only bursts wait briefly to ride with the next
+     forward. *)
+  let uplink_proc node () =
+    let st = mk_thread node "ForwardSender" in
+    let mb = uplink_mbs.(node) in
+    let rec drain acc k =
+      if k = 0 then List.rev acc
+      else
+        match Mailbox.try_pop mb with
+        | Some m -> drain (m :: acc) (k - 1)
+        | None -> List.rev acc
+    in
+    let deferred = ref [] in
+    let is_ack = function `UpAck _ -> true | `UpFwd _ -> false in
+    let rec next_burst () =
+      match
+        if !deferred = [] then Some (Mailbox.take mb st)
+        else Mailbox.take_timeout mb st ~timeout:0.0005
+      with
+      | Some first ->
+        let burst = !deferred @ (first :: drain [] 31) in
+        deferred := [];
+        if List.for_all is_ack burst then begin
+          deferred := burst;
+          next_burst ()
+        end
+        else burst
+      | None ->
+        let b = !deferred in
+        deferred := [];
+        b
+    in
+    let rec loop () =
+      let burst = next_burst () in
+      let size_of = function
+        | `UpFwd _ -> fwd_size p.request_size
+        | `UpAck _ -> ack_size
+      in
+      List.iter (fun _ -> Cpu.work cpus.(node) st (cost zc.sender_per_msg)) burst;
+      let deliver = function
+        | `UpFwd (cid, origin) -> Mailbox.push lh_mbs.(node) (`Fwd (cid, origin))
+        | `UpAck zxid -> Mailbox.push lh_mbs.(node) (`Ack zxid)
+      in
+      let flush msgs size =
+        if msgs <> [] then begin
+          let msgs = List.rev msgs in
+          Nic.send nics.(node) ~dst:nics.(0) ~size (fun () ->
+              List.iter deliver msgs)
+        end
+      in
+      let seg, size =
+        List.fold_left
+          (fun (seg, size) m ->
+             let sz = size_of m in
+             if size > 0 && size + sz > 1448 then begin
+               flush seg size;
+               ([ m ], sz)
+             end
+             else (m :: seg, size + sz))
+          ([], 0) burst
+      in
+      flush seg size;
+      loop ()
+    in
+    loop ()
+  in
+  let follower_proc node () =
+    let st = mk_thread node "FollowerThread" in
+    let rec loop () =
+      (match Mailbox.take follower_mbs.(node) st with
+       | `Proposal (zxid, cid, origin) ->
+         Cpu.work cpus.(node) st (cost zc.follower_proposal);
+         if origin = node then
+           Hashtbl.replace xns (zxid * 8 + node) { zxid; cid; origin; committed = false };
+         Mailbox.push uplink_mbs.(node) (`UpAck zxid)
+       | `Commit zxid ->
+         Cpu.work cpus.(node) st (cost zc.follower_commit);
+         (match Hashtbl.find_opt xns (zxid * 8 + node) with
+          | Some xn ->
+            Hashtbl.remove xns (zxid * 8 + node);
+            Mailbox.push freply_mbs.(node) xn.cid
+          | None -> ()));
+      loop ()
+    in
+    loop ()
+  in
+  let freply_proc node () =
+    let st = mk_thread node "ReplySender" in
+    let rec loop () =
+      let cid = Mailbox.take freply_mbs.(node) st in
+      Cpu.work cpus.(node) st (cost zc.cnxn_write);
+      Nic.send_to_wire nics.(node) ~size:p.reply_size (fun () ->
+          match client_resume.(cid) with
+          | Some resume ->
+            client_resume.(cid) <- None;
+            resume ()
+          | None -> ());
+      loop ()
+    in
+    loop ()
+  in
+  (* ------------- clients ------------- *)
+  let client_proc cid () =
+    Engine.delay eng (1e-6 *. float_of_int cid);
+    let f = follower_of_client cid in
+    let rec loop () =
+      client_sent.(cid) <- Engine.now eng;
+      Engine.suspend eng (fun resume ->
+          client_resume.(cid) <- Some resume;
+          Engine.schedule_at eng (Engine.now eng +. 15e-6) (fun () ->
+              Nic.rx_inject nics.(f) ~size:p.request_size (fun () ->
+                  Mailbox.push cnxn_mbs.(f).(cid mod 2) cid)));
+      if !measuring then begin
+        incr completed;
+        lat_sum := !lat_sum +. (Engine.now eng -. client_sent.(cid));
+        incr lat_n
+      end;
+      loop ()
+    in
+    loop ()
+  in
+  (* ------------- spawn ------------- *)
+  for f = 1 to n_followers do
+    Engine.spawn eng (lh_proc f);
+    Engine.spawn eng (sender_proc f);
+    Engine.spawn eng (cnxn_proc f 0);
+    Engine.spawn eng (cnxn_proc f 1);
+    Engine.spawn eng (uplink_proc f);
+    Engine.spawn eng (follower_proc f);
+    Engine.spawn eng (freply_proc f)
+  done;
+  Engine.spawn eng pt_proc;
+  Engine.spawn eng cp_proc;
+  Engine.spawn eng sync_proc;
+  for cid = 0 to p.n_clients - 1 do
+    Engine.spawn eng (client_proc cid)
+  done;
+  (* ------------- run ------------- *)
+  Engine.run eng ~until:p.warmup;
+  measuring := true;
+  completed := 0;
+  lat_sum := 0.; lat_n := 0;
+  Array.iter (fun ts -> List.iter Sstats.reset !ts) threads;
+  Array.iter Cpu.reset_consumed cpus;
+  Array.iter Nic.reset_counters nics;
+  Engine.run eng ~until:(p.warmup +. p.duration);
+  let dur = p.duration in
+  let report node =
+    let rows =
+      List.map (fun st -> (Sstats.name st, Sstats.totals st)) !(threads.(node))
+    in
+    let blocked =
+      List.fold_left (fun acc (_, (x : Sstats.totals)) -> acc +. x.blocked) 0. rows
+    in
+    { cpu_util_pct = 100. *. Cpu.consumed cpus.(node) /. dur;
+      blocked_pct = 100. *. blocked /. dur;
+      threads = rows }
+  in
+  { throughput = float_of_int !completed /. dur;
+    client_latency = (if !lat_n = 0 then 0. else !lat_sum /. float_of_int !lat_n);
+    replicas = Array.init 3 report;
+    leader_tx_pps = float_of_int (Nic.tx_packets nics.(0)) /. dur;
+    leader_rx_pps = float_of_int (Nic.rx_packets nics.(0)) /. dur;
+    events = Engine.events_processed eng }

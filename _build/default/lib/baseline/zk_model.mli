@@ -1,0 +1,41 @@
+(** Simulated ZooKeeper-like baseline (the paper's comparison system).
+
+    Models Zab's thread structure at the leader — LearnerHandler per
+    follower, a single ProcessThread assigning zxids, a CommitProcessor,
+    a SyncThread and per-follower Senders — with the two architectural
+    defects the paper's profiling exposes (Figures 1b, 13, 14):
+
+    - a coarse global lock taken on the request path by the
+      LearnerHandlers, the ProcessThread, the SyncThread and the
+      CommitProcessor, whose critical sections suffer a coherence penalty
+      that grows with the number of cores actually running in parallel
+      (cache-line ping-pong), producing the convoy collapse beyond ~4
+      cores;
+    - no batching: one proposal, one ack, one commit per client request.
+
+    Clients connect to the followers (the paper configures the leader to
+    refuse clients); each follower forwards writes to the leader and
+    answers its own clients after commit.
+
+    The same closed-loop workload and measurement conventions as
+    {!Msmr_sim.Jpaxos_model} apply. *)
+
+type replica_report = {
+  cpu_util_pct : float;
+  blocked_pct : float;
+  threads : (string * Msmr_sim.Sstats.totals) list;
+}
+
+type result = {
+  throughput : float;
+  client_latency : float;
+  replicas : replica_report array;   (** index 0 = leader *)
+  leader_tx_pps : float;
+  leader_rx_pps : float;
+  events : int;
+}
+
+val run : Msmr_sim.Params.t -> result
+(** Uses [cores], [n_clients], [request_size], [reply_size], [warmup],
+    [duration] and the profile's packet rate / bandwidth / cpu speed;
+    [n] is fixed at 3 (the paper's ZooKeeper ensemble). *)

@@ -1,0 +1,1 @@
+lib/consensus/batch.ml: Format List Msmr_wire Types

@@ -1,0 +1,1 @@
+lib/consensus/batch.mli: Format Msmr_wire Types

@@ -1,0 +1,1 @@
+lib/consensus/batcher.ml: Batch Config Int64 List Msmr_platform Msmr_wire Types

@@ -1,0 +1,1 @@
+lib/consensus/batcher.mli: Batch Config Msmr_wire Types

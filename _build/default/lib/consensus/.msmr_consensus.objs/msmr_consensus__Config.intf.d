@@ -1,0 +1,1 @@
+lib/consensus/config.mli:

@@ -1,0 +1,1 @@
+lib/consensus/failure_detector.ml: Array Config Int64 Msmr_platform Types

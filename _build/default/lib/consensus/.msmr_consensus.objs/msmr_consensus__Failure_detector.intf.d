@@ -1,0 +1,1 @@
+lib/consensus/failure_detector.mli: Config Types

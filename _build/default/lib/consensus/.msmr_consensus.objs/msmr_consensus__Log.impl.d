@@ -1,0 +1,1 @@
+lib/consensus/log.ml: Format Hashtbl List Msg Printf Types Value

@@ -1,0 +1,1 @@
+lib/consensus/log.mli: Format Msg Types Value

@@ -1,0 +1,1 @@
+lib/consensus/msg.ml: Bytes Format List Msmr_wire Printf Types Value

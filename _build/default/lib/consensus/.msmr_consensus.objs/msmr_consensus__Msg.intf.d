@@ -1,0 +1,1 @@
+lib/consensus/msg.mli: Format Types Value

@@ -1,0 +1,1 @@
+lib/consensus/paxos.ml: Batch Config Format Fun Hashtbl List Log Msg Option String Types Value

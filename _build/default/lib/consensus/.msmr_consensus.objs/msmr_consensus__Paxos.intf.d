@@ -1,0 +1,1 @@
+lib/consensus/paxos.mli: Batch Config Format Log Msg Types Value

@@ -1,0 +1,1 @@
+lib/consensus/value.ml: Batch Format Msmr_wire Printf

@@ -1,0 +1,45 @@
+module Client_msg = Msmr_wire.Client_msg
+module Codec = Msmr_wire.Codec
+
+type id = {
+  src : Types.node_id;
+  num : int;
+}
+
+let compare_id a b =
+  match compare a.src b.src with 0 -> compare a.num b.num | c -> c
+
+let pp_id ppf id = Format.fprintf ppf "b%d:%d" id.src id.num
+
+type t = {
+  bid : id;
+  requests : Client_msg.request list;
+}
+
+let size_bytes t =
+  List.fold_left (fun acc r -> acc + Client_msg.request_wire_size r) 0 t.requests
+
+let request_count t = List.length t.requests
+
+let encode w t =
+  Codec.W.i32 w t.bid.src;
+  Codec.W.int_as_i64 w t.bid.num;
+  Codec.W.i32 w (List.length t.requests);
+  List.iter (Client_msg.encode_request w) t.requests
+
+let decode r =
+  let src = Codec.R.i32 r in
+  let num = Codec.R.int_from_i64 r in
+  let count = Codec.R.i32 r in
+  if count < 0 then raise (Codec.Malformed "negative request count");
+  let requests = List.init count (fun _ -> Client_msg.decode_request r) in
+  { bid = { src; num }; requests }
+
+let equal a b =
+  compare_id a.bid b.bid = 0
+  && List.length a.requests = List.length b.requests
+  && List.for_all2 Client_msg.equal_request a.requests b.requests
+
+let pp ppf t =
+  Format.fprintf ppf "%a(%d reqs, %dB)" pp_id t.bid (request_count t)
+    (size_bytes t)

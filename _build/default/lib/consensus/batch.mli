@@ -1,0 +1,30 @@
+(** Batches of client requests.
+
+    The Batcher groups client requests into batches (Section III-A,
+    "batching"); one consensus instance orders one batch. A batch is
+    identified by the node that created it and a per-node sequence
+    number. *)
+
+type id = {
+  src : Types.node_id;
+  num : int;
+}
+
+val compare_id : id -> id -> int
+val pp_id : Format.formatter -> id -> unit
+
+type t = {
+  bid : id;
+  requests : Msmr_wire.Client_msg.request list;
+}
+
+val size_bytes : t -> int
+(** Wire size of the payload carried by this batch; the batching policy
+    limit BSZ applies to this quantity. *)
+
+val request_count : t -> int
+
+val encode : Msmr_wire.Codec.W.t -> t -> unit
+val decode : Msmr_wire.Codec.R.t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+module Client_msg = Msmr_wire.Client_msg
+module Mclock = Msmr_platform.Mclock
+
+type t = {
+  cfg : Config.t;
+  src : Types.node_id;
+  mutable next_num : int;
+  mutable open_reqs : Client_msg.request list;  (* newest first *)
+  mutable open_bytes : int;
+  mutable oldest_ns : int64;                    (* arrival of oldest request *)
+}
+
+let create cfg ~src =
+  { cfg; src; next_num = 0; open_reqs = []; open_bytes = 0; oldest_ns = 0L }
+
+let pending_requests t = List.length t.open_reqs
+let pending_bytes t = t.open_bytes
+
+let seal t =
+  let batch =
+    { Batch.bid = { src = t.src; num = t.next_num };
+      requests = List.rev t.open_reqs }
+  in
+  t.next_num <- t.next_num + 1;
+  t.open_reqs <- [];
+  t.open_bytes <- 0;
+  batch
+
+let add t req ~now_ns =
+  let sz = Client_msg.request_wire_size req in
+  if t.open_reqs = [] then begin
+    t.oldest_ns <- now_ns;
+    t.open_reqs <- [ req ];
+    t.open_bytes <- sz;
+    if sz >= t.cfg.max_batch_bytes then Some (seal t) else None
+  end
+  else if t.open_bytes + sz > t.cfg.max_batch_bytes then begin
+    (* The new request does not fit: seal what we have, start afresh. *)
+    let sealed = seal t in
+    t.oldest_ns <- now_ns;
+    t.open_reqs <- [ req ];
+    t.open_bytes <- sz;
+    Some sealed
+  end
+  else begin
+    t.open_reqs <- req :: t.open_reqs;
+    t.open_bytes <- t.open_bytes + sz;
+    if t.open_bytes >= t.cfg.max_batch_bytes then Some (seal t) else None
+  end
+
+let deadline_ns t =
+  if t.open_reqs = [] then None
+  else Some (Int64.add t.oldest_ns (Mclock.ns_of_s t.cfg.max_batch_delay_s))
+
+let flush_due t ~now_ns =
+  match deadline_ns t with
+  | Some d when Int64.compare now_ns d >= 0 -> Some (seal t)
+  | Some _ | None -> None
+
+let force_flush t = if t.open_reqs = [] then None else Some (seal t)

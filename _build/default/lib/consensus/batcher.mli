@@ -1,0 +1,34 @@
+(** Batching policy (pure).
+
+    The Batcher thread (Section V-C1) turns the stream of client requests
+    into batches bounded by BSZ bytes ([max_batch_bytes]) or by a delay
+    cap: an underfull batch is flushed once its oldest request has waited
+    [max_batch_delay_s]. This module is the policy only; the thread around
+    it lives in the runtime ([Msmr_runtime.Replication_core]) and the
+    simulator models its cost separately. *)
+
+type t
+
+val create : Config.t -> src:Types.node_id -> t
+
+val pending_requests : t -> int
+val pending_bytes : t -> int
+
+val add :
+  t -> Msmr_wire.Client_msg.request -> now_ns:int64 -> Batch.t option
+(** Append a request to the open batch. Returns a completed batch when the
+    size limit is reached: either the open batch (with the new request
+    folded in when it fits exactly) or the previously open batch when the
+    new request would overflow it (the request then starts the next
+    batch). A single request larger than BSZ forms its own batch. *)
+
+val flush_due : t -> now_ns:int64 -> Batch.t option
+(** Flush the open batch if its oldest request has waited at least
+    [max_batch_delay_s]. *)
+
+val force_flush : t -> Batch.t option
+(** Flush whatever is pending (used on shutdown and by tests). *)
+
+val deadline_ns : t -> int64 option
+(** When {!flush_due} will next have something to do, if anything is
+    pending. *)

@@ -1,0 +1,43 @@
+type t = {
+  n : int;
+  window : int;
+  max_batch_bytes : int;
+  max_batch_delay_s : float;
+  retransmit_interval_s : float;
+  fd_interval_s : float;
+  fd_timeout_s : float;
+  catchup_interval_s : float;
+  snapshot_every : int;
+  log_retain : int;
+}
+
+let default ~n =
+  {
+    n;
+    window = 10;
+    max_batch_bytes = 1300;
+    max_batch_delay_s = 0.05;
+    retransmit_interval_s = 0.1;
+    fd_interval_s = 0.1;
+    fd_timeout_s = 0.5;
+    catchup_interval_s = 0.05;
+    snapshot_every = 10_000;
+    log_retain = 1_000;
+  }
+
+let validate t =
+  if t.n < 1 then Error "n must be >= 1"
+  else if t.window < 1 then Error "window must be >= 1"
+  else if t.max_batch_bytes < 1 then Error "max_batch_bytes must be >= 1"
+  else if t.max_batch_delay_s <= 0. then Error "max_batch_delay_s must be > 0"
+  else if t.retransmit_interval_s <= 0. then
+    Error "retransmit_interval_s must be > 0"
+  else if t.fd_interval_s <= 0. then Error "fd_interval_s must be > 0"
+  else if t.fd_timeout_s <= t.fd_interval_s then
+    Error "fd_timeout_s must exceed fd_interval_s"
+  else if t.catchup_interval_s <= 0. then Error "catchup_interval_s must be > 0"
+  else if t.snapshot_every < 0 then Error "snapshot_every must be >= 0"
+  else if t.log_retain < 0 then Error "log_retain must be >= 0"
+  else Ok ()
+
+let f t = (t.n - 1) / 2

@@ -1,0 +1,33 @@
+(** Static replica-group configuration.
+
+    The two headline tuning knobs of the paper are here: [window] (WND,
+    the maximum number of concurrently executing ballots — pipelining)
+    and [max_batch_bytes] (BSZ — batching). The paper's baseline settings
+    are WND = 10, BSZ = 1300 bytes (Section VI). *)
+
+type t = {
+  n : int;                        (** number of replicas (2f + 1) *)
+  window : int;                   (** WND: max concurrent instances *)
+  max_batch_bytes : int;          (** BSZ: max payload bytes per batch *)
+  max_batch_delay_s : float;      (** flush an underfull batch after this *)
+  retransmit_interval_s : float;  (** protocol message retransmission *)
+  fd_interval_s : float;          (** heartbeat period of the leader *)
+  fd_timeout_s : float;           (** silence before suspecting the leader *)
+  catchup_interval_s : float;     (** gap-detection / catch-up period *)
+  snapshot_every : int;           (** take a service snapshot every this
+                                      many executed instances; 0 = never *)
+  log_retain : int;               (** decided entries kept below the last
+                                      snapshot point (for cheap catch-up) *)
+}
+
+val default : n:int -> t
+(** Paper settings: WND = 10, BSZ = 1300, 50 ms batch delay cap,
+    retransmission 100 ms, heartbeats 100 ms / timeout 500 ms, catch-up
+    50 ms, snapshot every 10_000 instances, retain 1_000 entries. *)
+
+val validate : t -> (unit, string) result
+(** Check invariants (n >= 1 and odd for the usual f derivation,
+    window >= 1, batch size positive, positive periods). *)
+
+val f : t -> int
+(** Crash faults tolerated: [(n - 1) / 2]. *)

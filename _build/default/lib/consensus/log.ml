@@ -1,0 +1,160 @@
+type entry = {
+  mutable accepted_view : Types.view;
+  mutable value : Value.t option;
+  mutable decided : bool;
+  mutable decided_view : Types.view;
+  mutable acks : int;
+}
+
+type t = {
+  table : (Types.iid, entry) Hashtbl.t;
+  mutable first_undecided : Types.iid;
+  mutable first_unexecuted : Types.iid;
+  mutable next_unused : Types.iid;
+  mutable low_mark : Types.iid;
+}
+
+let create () =
+  { table = Hashtbl.create 1024; first_undecided = 0; first_unexecuted = 0;
+    next_unused = 0; low_mark = 0 }
+
+let first_undecided t = t.first_undecided
+let first_unexecuted t = t.first_unexecuted
+let next_unused t = t.next_unused
+let low_mark t = t.low_mark
+
+let get t iid = Hashtbl.find_opt t.table iid
+
+let get_or_create t iid =
+  match Hashtbl.find_opt t.table iid with
+  | Some e -> e
+  | None ->
+    let e =
+      { accepted_view = -1; value = None; decided = false; decided_view = -1;
+        acks = 0 }
+    in
+    Hashtbl.replace t.table iid e;
+    if iid >= t.next_unused then t.next_unused <- iid + 1;
+    e
+
+let is_decided t iid =
+  iid < t.low_mark
+  ||
+  match get t iid with Some e -> e.decided | None -> false
+
+let decided_value t iid =
+  match get t iid with
+  | Some e when e.decided -> e.value
+  | Some _ | None -> None
+
+let accept t iid view value =
+  let e = get_or_create t iid in
+  if not e.decided && view >= e.accepted_view then begin
+    (* A new view restarts vote counting: acks are only valid within the
+       view the current value was accepted in. *)
+    if view > e.accepted_view then e.acks <- 0;
+    e.accepted_view <- view;
+    e.value <- Some value
+  end
+
+let advance_first_undecided t =
+  while is_decided t t.first_undecided do
+    t.first_undecided <- t.first_undecided + 1
+  done
+
+let decide t iid view value =
+  let e = get_or_create t iid in
+  if e.decided then false
+  else begin
+    e.decided <- true;
+    e.decided_view <- view;
+    e.value <- Some value;
+    if e.accepted_view < view then e.accepted_view <- view;
+    advance_first_undecided t;
+    true
+  end
+
+let next_to_execute t =
+  if t.first_unexecuted >= t.first_undecided then None
+  else
+    match get t t.first_unexecuted with
+    | Some ({ decided = true; value = Some v; _ }) -> Some (t.first_unexecuted, v)
+    | Some _ | None -> None
+
+let mark_executed t iid =
+  if iid <> t.first_unexecuted then
+    invalid_arg
+      (Printf.sprintf "Log.mark_executed: %d, expected %d" iid
+         t.first_unexecuted);
+  t.first_unexecuted <- iid + 1
+
+let undecided_below t bound =
+  let rec go i acc =
+    if i >= bound then List.rev acc
+    else go (i + 1) (if is_decided t i then acc else i :: acc)
+  in
+  go (max t.low_mark t.first_undecided) []
+
+let entry_to_msg iid (e : entry) : Msg.log_entry =
+  { e_iid = iid; e_view = e.accepted_view;
+    e_value = (match e.value with Some v -> v | None -> Value.Noop);
+    e_decided = e.decided }
+
+let decided_range t ~from_iid ~to_iid =
+  let rec go i acc =
+    if i >= to_iid then List.rev acc
+    else
+      let acc =
+        match get t i with
+        | Some ({ decided = true; value = Some _; _ } as e) ->
+          { (entry_to_msg i e) with e_view = e.decided_view } :: acc
+        | Some _ | None -> acc
+      in
+      go (i + 1) acc
+  in
+  go (max from_iid t.low_mark) []
+
+let entries_from t from_iid =
+  let lo = max from_iid t.low_mark in
+  let rec go i acc =
+    if i >= t.next_unused then List.rev acc
+    else
+      let acc =
+        match get t i with
+        | Some e when e.value <> None -> entry_to_msg i e :: acc
+        | Some _ | None -> acc
+      in
+      go (i + 1) acc
+  in
+  go lo []
+
+let truncate_below t bound =
+  if bound > t.low_mark then begin
+    for i = t.low_mark to bound - 1 do
+      Hashtbl.remove t.table i
+    done;
+    t.low_mark <- bound
+  end
+
+let fast_forward t next_iid =
+  if next_iid > t.first_unexecuted then begin
+    truncate_below t next_iid;
+    t.first_unexecuted <- next_iid;
+    if t.first_undecided < next_iid then t.first_undecided <- next_iid;
+    if t.next_unused < next_iid then t.next_unused <- next_iid;
+    advance_first_undecided t
+  end
+
+let in_flight t =
+  let count = ref 0 in
+  for i = t.first_undecided to t.next_unused - 1 do
+    match get t i with
+    | Some e when not e.decided && e.value <> None -> incr count
+    | Some _ | None -> ()
+  done;
+  !count
+
+let pp_stats ppf t =
+  Format.fprintf ppf
+    "log: low=%d first_unexec=%d first_undec=%d next=%d in_flight=%d"
+    t.low_mark t.first_unexecuted t.first_undecided t.next_unused (in_flight t)

@@ -1,0 +1,76 @@
+(** Replicated log: per-instance consensus state.
+
+    The log records, for every instance, the highest-view value this
+    replica has accepted and whether the instance is decided. It also
+    tracks the two cursors that drive the protocol: [first_undecided]
+    (lowest instance not yet decided) and [first_unexecuted] (lowest
+    decided instance not yet passed to the service), and supports
+    truncation below a snapshot point (log management, Section III-C). *)
+
+type entry = {
+  mutable accepted_view : Types.view;   (** -1 when nothing accepted *)
+  mutable value : Value.t option;
+  mutable decided : bool;
+  mutable decided_view : Types.view;    (** view the value was chosen in *)
+  mutable acks : int;                   (** leader bookkeeping: Accepted
+                                            votes received in [accepted_view],
+                                            bitmask over node ids *)
+}
+
+type t
+
+val create : unit -> t
+
+val first_undecided : t -> Types.iid
+val first_unexecuted : t -> Types.iid
+val next_unused : t -> Types.iid
+(** One past the highest instance this replica has touched. *)
+
+val low_mark : t -> Types.iid
+(** Lowest retained instance; entries below are truncated. *)
+
+val get : t -> Types.iid -> entry option
+val get_or_create : t -> Types.iid -> entry
+
+val is_decided : t -> Types.iid -> bool
+val decided_value : t -> Types.iid -> Value.t option
+
+val accept : t -> Types.iid -> Types.view -> Value.t -> unit
+(** Record acceptance of [value] in [view] (overwrites lower-view
+    acceptance; never overwrites a decided entry). *)
+
+val decide : t -> Types.iid -> Types.view -> Value.t -> bool
+(** Mark decided; returns [false] if it already was (idempotent).
+    Advances [first_undecided] past contiguous decided instances. *)
+
+val next_to_execute : t -> (Types.iid * Value.t) option
+(** The next contiguous decided-but-unexecuted instance, if any. *)
+
+val mark_executed : t -> Types.iid -> unit
+(** Must be called in order, i.e. with exactly [first_unexecuted]. *)
+
+val undecided_below : t -> Types.iid -> Types.iid list
+(** Retained instances in [[low_mark, bound)] not yet decided — the gaps a
+    catch-up query should fill. *)
+
+val decided_range : t -> from_iid:Types.iid -> to_iid:Types.iid -> Msg.log_entry list
+(** Decided entries with [from_iid <= iid < to_iid] that are still
+    retained (for catch-up replies). *)
+
+val entries_from : t -> Types.iid -> Msg.log_entry list
+(** Accepted or decided retained entries with [iid >= from]; used to build
+    [Prepare_ok]. *)
+
+val truncate_below : t -> Types.iid -> unit
+(** Drop entries with [iid < bound]. Does not move the execution cursors;
+    callers truncate only below a snapshot point, see {!fast_forward}. *)
+
+val fast_forward : t -> Types.iid -> unit
+(** Snapshot installation: jump both cursors to [next_iid], dropping
+    everything below. Only moves forward. *)
+
+val in_flight : t -> int
+(** Instances proposed/accepted but not decided in the retained suffix —
+    compared against WND by the pipelining gate. *)
+
+val pp_stats : Format.formatter -> t -> unit

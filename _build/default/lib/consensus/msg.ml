@@ -1,0 +1,206 @@
+module Codec = Msmr_wire.Codec
+
+type log_entry = {
+  e_iid : Types.iid;
+  e_view : Types.view;
+  e_value : Value.t;
+  e_decided : bool;
+}
+
+type t =
+  | Prepare of { view : Types.view; from_iid : Types.iid }
+  | Prepare_ok of {
+      view : Types.view;
+      first_undecided : Types.iid;
+      entries : log_entry list;
+    }
+  | Accept of { view : Types.view; iid : Types.iid; value : Value.t }
+  | Accepted of { view : Types.view; iid : Types.iid }
+  | Decide of { view : Types.view; iid : Types.iid }
+  | Catchup_query of { from_iid : Types.iid; to_iid : Types.iid }
+  | Catchup_reply of {
+      entries : log_entry list;
+      snapshot : (Types.iid * bytes) option;
+    }
+  | Heartbeat of { view : Types.view; first_undecided : Types.iid }
+
+let tag = function
+  | Prepare _ -> "prepare"
+  | Prepare_ok _ -> "prepare_ok"
+  | Accept _ -> "accept"
+  | Accepted _ -> "accepted"
+  | Decide _ -> "decide"
+  | Catchup_query _ -> "catchup_query"
+  | Catchup_reply _ -> "catchup_reply"
+  | Heartbeat _ -> "heartbeat"
+
+let encode_entry w e =
+  Codec.W.int_as_i64 w e.e_iid;
+  Codec.W.int_as_i64 w e.e_view;
+  Codec.W.bool w e.e_decided;
+  Value.encode w e.e_value
+
+let decode_entry r =
+  let e_iid = Codec.R.int_from_i64 r in
+  let e_view = Codec.R.int_from_i64 r in
+  let e_decided = Codec.R.bool r in
+  let e_value = Value.decode r in
+  { e_iid; e_view; e_value; e_decided }
+
+let encode_entries w entries =
+  Codec.W.i32 w (List.length entries);
+  List.iter (encode_entry w) entries
+
+let decode_entries r =
+  let count = Codec.R.i32 r in
+  if count < 0 then raise (Codec.Malformed "negative entry count");
+  List.init count (fun _ -> decode_entry r)
+
+let encode_to w = function
+  | Prepare { view; from_iid } ->
+    Codec.W.u8 w 1;
+    Codec.W.int_as_i64 w view;
+    Codec.W.int_as_i64 w from_iid
+  | Prepare_ok { view; first_undecided; entries } ->
+    Codec.W.u8 w 2;
+    Codec.W.int_as_i64 w view;
+    Codec.W.int_as_i64 w first_undecided;
+    encode_entries w entries
+  | Accept { view; iid; value } ->
+    Codec.W.u8 w 3;
+    Codec.W.int_as_i64 w view;
+    Codec.W.int_as_i64 w iid;
+    Value.encode w value
+  | Accepted { view; iid } ->
+    Codec.W.u8 w 4;
+    Codec.W.int_as_i64 w view;
+    Codec.W.int_as_i64 w iid
+  | Decide { view; iid } ->
+    Codec.W.u8 w 5;
+    Codec.W.int_as_i64 w view;
+    Codec.W.int_as_i64 w iid
+  | Catchup_query { from_iid; to_iid } ->
+    Codec.W.u8 w 6;
+    Codec.W.int_as_i64 w from_iid;
+    Codec.W.int_as_i64 w to_iid
+  | Catchup_reply { entries; snapshot } ->
+    Codec.W.u8 w 7;
+    encode_entries w entries;
+    (match snapshot with
+     | None -> Codec.W.bool w false
+     | Some (next_iid, state) ->
+       Codec.W.bool w true;
+       Codec.W.int_as_i64 w next_iid;
+       Codec.W.bytes w state)
+  | Heartbeat { view; first_undecided } ->
+    Codec.W.u8 w 8;
+    Codec.W.int_as_i64 w view;
+    Codec.W.int_as_i64 w first_undecided
+
+let encode t =
+  let w = Codec.W.create () in
+  encode_to w t;
+  Codec.W.contents w
+
+let decode b =
+  let r = Codec.R.of_bytes b in
+  let msg =
+    match Codec.R.u8 r with
+    | 1 ->
+      let view = Codec.R.int_from_i64 r in
+      let from_iid = Codec.R.int_from_i64 r in
+      Prepare { view; from_iid }
+    | 2 ->
+      let view = Codec.R.int_from_i64 r in
+      let first_undecided = Codec.R.int_from_i64 r in
+      let entries = decode_entries r in
+      Prepare_ok { view; first_undecided; entries }
+    | 3 ->
+      let view = Codec.R.int_from_i64 r in
+      let iid = Codec.R.int_from_i64 r in
+      let value = Value.decode r in
+      Accept { view; iid; value }
+    | 4 ->
+      let view = Codec.R.int_from_i64 r in
+      let iid = Codec.R.int_from_i64 r in
+      Accepted { view; iid }
+    | 5 ->
+      let view = Codec.R.int_from_i64 r in
+      let iid = Codec.R.int_from_i64 r in
+      Decide { view; iid }
+    | 6 ->
+      let from_iid = Codec.R.int_from_i64 r in
+      let to_iid = Codec.R.int_from_i64 r in
+      Catchup_query { from_iid; to_iid }
+    | 7 ->
+      let entries = decode_entries r in
+      let snapshot =
+        if Codec.R.bool r then begin
+          let next_iid = Codec.R.int_from_i64 r in
+          let state = Codec.R.bytes r in
+          Some (next_iid, state)
+        end
+        else None
+      in
+      Catchup_reply { entries; snapshot }
+    | 8 ->
+      let view = Codec.R.int_from_i64 r in
+      let first_undecided = Codec.R.int_from_i64 r in
+      Heartbeat { view; first_undecided }
+    | n -> raise (Codec.Malformed (Printf.sprintf "message tag %d" n))
+  in
+  Codec.R.expect_end r;
+  msg
+
+let equal_entry a b =
+  a.e_iid = b.e_iid && a.e_view = b.e_view && a.e_decided = b.e_decided
+  && Value.equal a.e_value b.e_value
+
+let equal a b =
+  match (a, b) with
+  | Prepare x, Prepare y -> x.view = y.view && x.from_iid = y.from_iid
+  | Prepare_ok x, Prepare_ok y ->
+    x.view = y.view
+    && x.first_undecided = y.first_undecided
+    && List.length x.entries = List.length y.entries
+    && List.for_all2 equal_entry x.entries y.entries
+  | Accept x, Accept y ->
+    x.view = y.view && x.iid = y.iid && Value.equal x.value y.value
+  | Accepted x, Accepted y -> x.view = y.view && x.iid = y.iid
+  | Decide x, Decide y -> x.view = y.view && x.iid = y.iid
+  | Catchup_query x, Catchup_query y ->
+    x.from_iid = y.from_iid && x.to_iid = y.to_iid
+  | Catchup_reply x, Catchup_reply y ->
+    List.length x.entries = List.length y.entries
+    && List.for_all2 equal_entry x.entries y.entries
+    && (match (x.snapshot, y.snapshot) with
+        | None, None -> true
+        | Some (i, s), Some (j, t) -> i = j && Bytes.equal s t
+        | None, Some _ | Some _, None -> false)
+  | Heartbeat x, Heartbeat y ->
+    x.view = y.view && x.first_undecided = y.first_undecided
+  | ( ( Prepare _ | Prepare_ok _ | Accept _ | Accepted _ | Decide _
+      | Catchup_query _ | Catchup_reply _ | Heartbeat _ ),
+      _ ) ->
+    false
+
+let pp ppf t =
+  match t with
+  | Prepare { view; from_iid } ->
+    Format.fprintf ppf "Prepare(v=%d, from=%d)" view from_iid
+  | Prepare_ok { view; first_undecided; entries } ->
+    Format.fprintf ppf "PrepareOk(v=%d, fu=%d, %d entries)" view
+      first_undecided (List.length entries)
+  | Accept { view; iid; value } ->
+    Format.fprintf ppf "Accept(v=%d, i=%d, %a)" view iid Value.pp value
+  | Accepted { view; iid } -> Format.fprintf ppf "Accepted(v=%d, i=%d)" view iid
+  | Decide { view; iid } -> Format.fprintf ppf "Decide(v=%d, i=%d)" view iid
+  | Catchup_query { from_iid; to_iid } ->
+    Format.fprintf ppf "CatchupQuery(%d..%d)" from_iid to_iid
+  | Catchup_reply { entries; snapshot } ->
+    Format.fprintf ppf "CatchupReply(%d entries%s)" (List.length entries)
+      (match snapshot with None -> "" | Some _ -> ", snapshot")
+  | Heartbeat { view; first_undecided } ->
+    Format.fprintf ppf "Heartbeat(v=%d, fu=%d)" view first_undecided
+
+let wire_size t = Bytes.length (encode t)

@@ -1,0 +1,53 @@
+(** Replica-to-replica protocol messages.
+
+    Wire format: one tag byte followed by the fields, encoded with
+    {!Msmr_wire.Codec}. The message set follows MultiPaxos as implemented
+    by JPaxos: Phase 1 ([Prepare]/[Prepare_ok]) runs once per view change,
+    Phase 2 ([Accept]/[Accepted]) once per instance, with [Accepted] sent
+    to the leader only (Section VI-D3) and the leader broadcasting a small
+    [Decide]. [Catchup_query]/[Catchup_reply] implement state transfer,
+    and [Heartbeat] feeds the failure detector. *)
+
+type log_entry = {
+  e_iid : Types.iid;
+  e_view : Types.view;        (** view in which the value was accepted *)
+  e_value : Value.t;
+  e_decided : bool;
+}
+
+type t =
+  | Prepare of { view : Types.view; from_iid : Types.iid }
+  | Prepare_ok of {
+      view : Types.view;
+      first_undecided : Types.iid;
+      entries : log_entry list;  (** accepted/decided entries >= [from_iid] *)
+    }
+  | Accept of { view : Types.view; iid : Types.iid; value : Value.t }
+  | Accepted of { view : Types.view; iid : Types.iid }
+  | Decide of { view : Types.view; iid : Types.iid }
+      (** [view] is the view in which the value was chosen; a follower
+          holding a value accepted in a different view must catch up
+          instead of deciding its local value. *)
+  | Catchup_query of { from_iid : Types.iid; to_iid : Types.iid }
+  | Catchup_reply of {
+      entries : log_entry list;           (** decided entries *)
+      snapshot : (Types.iid * bytes) option;
+          (** [(next_iid, state)] when the requested range was truncated *)
+    }
+  | Heartbeat of { view : Types.view; first_undecided : Types.iid }
+      (** The sender's decided prefix; lets silent followers detect that
+          they missed a [Decide] and trigger catch-up. *)
+
+val tag : t -> string
+(** Short constructor name, for logging and statistics. *)
+
+val encode : t -> bytes
+val decode : bytes -> t
+(** @raise Msmr_wire.Codec.Underflow or [Malformed] on bad input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val wire_size : t -> int
+(** Encoded size in bytes (computed without materialising the encoding
+    twice; used by the simulator's packet model and by statistics). *)

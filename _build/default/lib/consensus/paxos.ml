@@ -1,0 +1,477 @@
+type rtx_key =
+  | Rtx_prepare of Types.view
+  | Rtx_accept of Types.view * Types.iid
+
+let pp_rtx_key ppf = function
+  | Rtx_prepare v -> Format.fprintf ppf "rtx-prepare(v=%d)" v
+  | Rtx_accept (v, i) -> Format.fprintf ppf "rtx-accept(v=%d,i=%d)" v i
+
+type action =
+  | Send of { dest : Types.node_id list; msg : Msg.t }
+  | Execute of { iid : Types.iid; value : Value.t }
+  | Schedule_rtx of { key : rtx_key; dest : Types.node_id list; msg : Msg.t }
+  | Cancel_rtx of rtx_key
+  | View_changed of {
+      view : Types.view;
+      leader : Types.node_id;
+      i_am_leader : bool;
+    }
+  | Install_snapshot of { next_iid : Types.iid; state : bytes }
+
+let pp_action ppf = function
+  | Send { dest; msg } ->
+    Format.fprintf ppf "send[%s] %a"
+      (String.concat "," (List.map string_of_int dest))
+      Msg.pp msg
+  | Execute { iid; value } ->
+    Format.fprintf ppf "execute(%d, %a)" iid Value.pp value
+  | Schedule_rtx { key; _ } -> Format.fprintf ppf "schedule %a" pp_rtx_key key
+  | Cancel_rtx key -> Format.fprintf ppf "cancel %a" pp_rtx_key key
+  | View_changed { view; leader; i_am_leader } ->
+    Format.fprintf ppf "view_changed(v=%d, leader=%d%s)" view leader
+      (if i_am_leader then ", me" else "")
+  | Install_snapshot { next_iid; _ } ->
+    Format.fprintf ppf "install_snapshot(next=%d)" next_iid
+
+type stats = {
+  mutable decided : int;
+  mutable noops_decided : int;
+  mutable view_changes : int;
+  mutable catchup_queries_sent : int;
+  mutable msgs_in : int;
+  mutable msgs_out : int;
+}
+
+type preparing = {
+  p_view : Types.view;
+  oks : (Types.node_id, Msg.log_entry list * Types.iid) Hashtbl.t;
+}
+
+type t = {
+  cfg : Config.t;
+  me : Types.node_id;
+  log : Log.t;
+  mutable view : Types.view;
+  mutable active : bool;             (* I lead [view] and Phase 1 is done *)
+  mutable preparing : preparing option;
+  mutable pending : Batch.t list;    (* proposals deferred by a full window,
+                                        newest first *)
+  mutable decided_hint : Types.iid;  (* 1 + highest instance known decided
+                                        somewhere in the group *)
+  mutable catchup_outstanding : int; (* ticks to wait before re-querying *)
+  mutable snapshot : (Types.iid * bytes) option;
+  live_rtx : (rtx_key, unit) Hashtbl.t;
+      (* retransmissions scheduled and not yet cancelled; all are
+         view-specific, so they are flushed when the view changes *)
+  stats : stats;
+}
+
+let create cfg ~me =
+  (match Config.validate cfg with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Paxos.create: " ^ e));
+  if me < 0 || me >= cfg.n then invalid_arg "Paxos.create: bad node id";
+  { cfg; me; log = Log.create (); view = 0; active = false; preparing = None;
+    pending = []; decided_hint = 0; catchup_outstanding = 0; snapshot = None;
+    live_rtx = Hashtbl.create 64;
+    stats =
+      { decided = 0; noops_decided = 0; view_changes = 0;
+        catchup_queries_sent = 0; msgs_in = 0; msgs_out = 0 } }
+
+let me t = t.me
+let view t = t.view
+let leader t = Types.leader_of_view ~n:t.cfg.n t.view
+let is_leader t = t.active && leader t = t.me
+let log t = t.log
+let stats t = t.stats
+let window_in_use t = Log.in_flight t.log
+
+let others t =
+  List.filter (fun p -> p <> t.me) (List.init t.cfg.n Fun.id)
+
+let send t dest msg =
+  t.stats.msgs_out <- t.stats.msgs_out + List.length dest;
+  Send { dest; msg }
+
+let schedule_rtx t key dest msg =
+  Hashtbl.replace t.live_rtx key ();
+  Schedule_rtx { key; dest; msg }
+
+let cancel_rtx t key =
+  Hashtbl.remove t.live_rtx key;
+  Cancel_rtx key
+
+(* View-specific retransmissions become junk when the view changes:
+   receivers would ignore them, but the retransmitter would replay them
+   forever. Cancel them all. *)
+let cancel_all_rtx t =
+  let keys = Hashtbl.fold (fun k () acc -> k :: acc) t.live_rtx [] in
+  List.map (cancel_rtx t) keys
+
+(* Drain contiguous decided instances into Execute actions. *)
+let drain_executions t =
+  let rec go acc =
+    match Log.next_to_execute t.log with
+    | None -> List.rev acc
+    | Some (iid, value) ->
+      Log.mark_executed t.log iid;
+      go (Execute { iid; value } :: acc)
+  in
+  go []
+
+let self_ack_bit t = 1 lsl t.me
+
+let popcount bits =
+  let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+  go bits 0
+
+let decide_locally t iid view value =
+  if Log.decide t.log iid view value then begin
+    t.stats.decided <- t.stats.decided + 1;
+    (match value with
+     | Value.Noop -> t.stats.noops_decided <- t.stats.noops_decided + 1
+     | Value.Batch _ -> ());
+    if iid + 1 > t.decided_hint then t.decided_hint <- iid + 1;
+    true
+  end
+  else false
+
+(* Propose [value] for [iid] in the current view: accept locally, count
+   our own vote, broadcast Accept and schedule its retransmission. *)
+let open_instance t iid value =
+  Log.accept t.log iid t.view value;
+  let e = Log.get_or_create t.log iid in
+  e.acks <- self_ack_bit t;
+  let msg = Msg.Accept { view = t.view; iid; value } in
+  if t.cfg.n = 1 then begin
+    (* Single-replica group: our own vote is a majority. *)
+    ignore (decide_locally t iid t.view value);
+    drain_executions t
+  end
+  else
+    [ send t (others t) msg;
+      schedule_rtx t (Rtx_accept (t.view, iid)) (others t) msg ]
+
+let can_propose t =
+  t.active && t.preparing = None && Log.in_flight t.log < t.cfg.window
+  && t.pending = []
+
+(* Propose deferred batches while the window allows. *)
+let flush_pending t =
+  let rec go acc =
+    if t.active && Log.in_flight t.log < t.cfg.window && t.pending <> [] then begin
+      match List.rev t.pending with
+      | [] -> acc
+      | oldest :: rest_rev ->
+        t.pending <- List.rev rest_rev;
+        go (acc @ open_instance t (Log.next_unused t.log) (Value.Batch oldest))
+    end
+    else acc
+  in
+  go []
+
+let propose t batch =
+  if t.active && t.preparing = None && Log.in_flight t.log < t.cfg.window
+     && t.pending = []
+  then open_instance t (Log.next_unused t.log) (Value.Batch batch)
+  else begin
+    t.pending <- batch :: t.pending;
+    flush_pending t
+  end
+
+(* Adopt view [v] as a follower, cancelling everything specific to the
+   previous view. Returns the actions to emit. *)
+let enter_view t v =
+  t.view <- v;
+  t.active <- false;
+  t.preparing <- None;
+  t.stats.view_changes <- t.stats.view_changes + 1;
+  cancel_all_rtx t
+  @ [ View_changed
+        { view = v;
+          leader = Types.leader_of_view ~n:t.cfg.n v;
+          i_am_leader = false } ]
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1                                                             *)
+
+let rec start_prepare t v =
+  let cancels = cancel_all_rtx t in
+  t.view <- v;
+  t.active <- false;
+  t.stats.view_changes <- t.stats.view_changes + 1;
+  t.preparing <- Some { p_view = v; oks = Hashtbl.create 8 };
+  let from_iid = Log.first_undecided t.log in
+  let msg = Msg.Prepare { view = v; from_iid } in
+  let view_changed =
+    View_changed { view = v; leader = t.me; i_am_leader = false }
+  in
+  if t.cfg.n = 1 then cancels @ (view_changed :: finish_prepare t)
+  else
+    cancels
+    @ [ view_changed;
+        send t (others t) msg;
+        schedule_rtx t (Rtx_prepare v) (others t) msg ]
+
+and finish_prepare t =
+  let prep = Option.get t.preparing in
+  let v = prep.p_view in
+  t.preparing <- None;
+  t.active <- true;
+  (* Merge: first adopt every decision reported by the quorum, then
+     re-propose, in view [v], the highest-view accepted value for every
+     retained undecided instance (Noop where nothing was accepted). *)
+  let decided_entries = ref [] in
+  let best : (Types.iid, Types.view * Value.t) Hashtbl.t = Hashtbl.create 64 in
+  let hi = ref (Log.next_unused t.log) in
+  Hashtbl.iter
+    (fun _node (entries, _fu) ->
+       List.iter
+         (fun (e : Msg.log_entry) ->
+            if e.e_iid + 1 > !hi then hi := e.e_iid + 1;
+            if e.e_decided then decided_entries := e :: !decided_entries
+            else
+              match Hashtbl.find_opt best e.e_iid with
+              | Some (bv, _) when bv >= e.e_view -> ()
+              | Some _ | None ->
+                Hashtbl.replace best e.e_iid (e.e_view, e.e_value))
+         entries)
+    prep.oks;
+  List.iter
+    (fun (e : Msg.log_entry) ->
+       ignore (decide_locally t e.e_iid e.e_view e.e_value))
+    !decided_entries;
+  let exec0 = drain_executions t in
+  (* Re-propose everything undecided in [first_undecided, hi). *)
+  let reproposals = ref [] in
+  for iid = Log.first_undecided t.log to !hi - 1 do
+    if not (Log.is_decided t.log iid) then begin
+      let own =
+        match Log.get t.log iid with
+        | Some { accepted_view; value = Some value; _ } when accepted_view >= 0 ->
+          Some (accepted_view, value)
+        | Some _ | None -> None
+      in
+      let merged =
+        match (own, Hashtbl.find_opt best iid) with
+        | Some (ov, oval), Some (bv, bval) ->
+          if ov >= bv then Some (ov, oval) else Some (bv, bval)
+        | Some x, None -> Some x
+        | None, Some x -> Some x
+        | None, None -> None
+      in
+      let value = match merged with Some (_, v) -> v | None -> Value.Noop in
+      reproposals := List.rev_append (open_instance t iid value) !reproposals
+    end
+  done;
+  let became =
+    View_changed { view = v; leader = t.me; i_am_leader = true }
+  in
+  (cancel_rtx t (Rtx_prepare v) :: became :: exec0)
+  @ List.rev !reproposals
+  @ flush_pending t
+
+let suspect_leader t =
+  if is_leader t then []
+  else if
+    (* Already racing for leadership of a view we proposed. *)
+    match t.preparing with Some p -> p.p_view >= t.view | None -> false
+  then []
+  else begin
+    let v = Types.next_view_led_by ~n:t.cfg.n ~after:t.view t.me in
+    start_prepare t v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Catch-up                                                            *)
+
+let catchup_reply_max_entries = 200
+
+let make_catchup_reply t ~from_iid ~to_iid =
+  let lo = max from_iid (Log.low_mark t.log) in
+  let to_iid = min to_iid (lo + catchup_reply_max_entries) in
+  let entries = Log.decided_range t.log ~from_iid:lo ~to_iid in
+  let snapshot =
+    match t.snapshot with
+    | Some (next_iid, _state) when from_iid < Log.low_mark t.log
+                                   && next_iid > from_iid ->
+      t.snapshot
+    | Some _ | None -> None
+  in
+  Msg.Catchup_reply { entries; snapshot }
+
+let tick_catchup t =
+  if t.catchup_outstanding > 0 then begin
+    t.catchup_outstanding <- t.catchup_outstanding - 1;
+    []
+  end
+  else begin
+    let fu = Log.first_undecided t.log in
+    if t.decided_hint > fu && not (is_leader t) then begin
+      t.stats.catchup_queries_sent <- t.stats.catchup_queries_sent + 1;
+      (* Allow a few ticks for the reply before asking again. *)
+      t.catchup_outstanding <- 3;
+      let target = leader t in
+      let target = if target = t.me then (t.me + 1) mod t.cfg.n else target in
+      [ send t [ target ]
+          (Msg.Catchup_query { from_iid = fu; to_iid = t.decided_hint }) ]
+    end
+    else []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Message handling                                                    *)
+
+let handle_prepare t ~from ~view:v ~from_iid =
+  if v < t.view then []
+  else begin
+    let pre = if v > t.view || t.active then enter_view t v else [] in
+    t.view <- v;
+    let reply =
+      Msg.Prepare_ok
+        { view = v;
+          first_undecided = Log.first_undecided t.log;
+          entries = Log.entries_from t.log from_iid }
+    in
+    pre @ [ send t [ from ] reply ]
+  end
+
+let handle_prepare_ok t ~from ~view:v ~first_undecided ~entries =
+  match t.preparing with
+  | Some prep when prep.p_view = v ->
+    if not (Hashtbl.mem prep.oks from) then
+      Hashtbl.replace prep.oks from (entries, first_undecided);
+    (* +1 counts our own log. *)
+    if Hashtbl.length prep.oks + 1 >= Types.majority ~n:t.cfg.n then
+      finish_prepare t
+    else []
+  | Some _ | None -> []
+
+let handle_accept t ~from ~view:v ~iid ~value =
+  if v < t.view then []
+  else begin
+    let pre = if v > t.view then enter_view t v else [] in
+    if iid > t.decided_hint then t.decided_hint <- iid;
+    if iid < Log.low_mark t.log then pre
+    else begin
+      if not (Log.is_decided t.log iid) then Log.accept t.log iid v value;
+      pre @ [ send t [ from ] (Msg.Accepted { view = v; iid }) ]
+    end
+  end
+
+let handle_accepted t ~from ~view:v ~iid =
+  if not (t.active && v = t.view) then []
+  else
+    match Log.get t.log iid with
+    | Some e when (not e.decided) && e.accepted_view = v ->
+      e.acks <- e.acks lor (1 lsl from);
+      if popcount e.acks >= Types.majority ~n:t.cfg.n then begin
+        let value = Option.get e.value in
+        ignore (decide_locally t iid v value);
+        let decide_msg = Msg.Decide { view = v; iid } in
+        cancel_rtx t (Rtx_accept (v, iid))
+        :: send t (others t) decide_msg
+        :: (drain_executions t @ flush_pending t)
+      end
+      else []
+    | Some _ | None -> []
+
+let handle_decide t ~from ~view:v_chosen ~iid =
+  if iid + 1 > t.decided_hint then t.decided_hint <- iid + 1;
+  if Log.is_decided t.log iid then []
+  else
+    match Log.get t.log iid with
+    | Some { accepted_view; value = Some value; _ }
+      when accepted_view = v_chosen ->
+      ignore (decide_locally t iid v_chosen value);
+      drain_executions t @ flush_pending t
+    | Some _ | None ->
+      (* We never accepted the chosen value: fetch it. *)
+      if t.catchup_outstanding > 0 then []
+      else begin
+        t.catchup_outstanding <- 3;
+        t.stats.catchup_queries_sent <- t.stats.catchup_queries_sent + 1;
+        [ send t [ from ]
+            (Msg.Catchup_query
+               { from_iid = Log.first_undecided t.log; to_iid = iid + 1 }) ]
+      end
+
+let handle_catchup_reply t ~entries ~snapshot =
+  t.catchup_outstanding <- 0;
+  let snap_actions =
+    match snapshot with
+    | Some (next_iid, state) when next_iid > Log.first_unexecuted t.log ->
+      Log.fast_forward t.log next_iid;
+      [ Install_snapshot { next_iid; state } ]
+    | Some _ | None -> []
+  in
+  List.iter
+    (fun (e : Msg.log_entry) ->
+       if e.e_decided then
+         ignore (decide_locally t e.e_iid e.e_view e.e_value))
+    entries;
+  snap_actions @ drain_executions t @ flush_pending t
+
+let receive t ~from msg =
+  t.stats.msgs_in <- t.stats.msgs_in + 1;
+  match msg with
+  | Msg.Prepare { view; from_iid } -> handle_prepare t ~from ~view ~from_iid
+  | Msg.Prepare_ok { view; first_undecided; entries } ->
+    handle_prepare_ok t ~from ~view ~first_undecided ~entries
+  | Msg.Accept { view; iid; value } -> handle_accept t ~from ~view ~iid ~value
+  | Msg.Accepted { view; iid } -> handle_accepted t ~from ~view ~iid
+  | Msg.Decide { view; iid } -> handle_decide t ~from ~view ~iid
+  | Msg.Catchup_query { from_iid; to_iid } ->
+    [ send t [ from ] (make_catchup_reply t ~from_iid ~to_iid) ]
+  | Msg.Catchup_reply { entries; snapshot } ->
+    handle_catchup_reply t ~entries ~snapshot
+  | Msg.Heartbeat { view; first_undecided } ->
+    if first_undecided > t.decided_hint then t.decided_hint <- first_undecided;
+    if view > t.view then enter_view t view else []
+
+let bootstrap t =
+  if t.me = 0 then begin
+    t.active <- true;
+    [ View_changed { view = 0; leader = 0; i_am_leader = true } ]
+  end
+  else [ View_changed { view = 0; leader = 0; i_am_leader = false } ]
+
+let recover cfg ~me ~view ~accepted ~decided ~snapshot =
+  let t = create cfg ~me in
+  t.view <- view;
+  t.active <- false;
+  (match snapshot with
+   | Some (next_iid, state) ->
+     t.snapshot <- Some (next_iid, state);
+     Log.fast_forward t.log next_iid
+   | None -> ());
+  List.iter (fun (iid, v, value) -> Log.accept t.log iid v value) accepted;
+  List.iter (fun (iid, v, value) -> ignore (decide_locally t iid v value)) decided;
+  let replays =
+    (match snapshot with
+     | Some (next_iid, state) -> [ Install_snapshot { next_iid; state } ]
+     | None -> [])
+    @ drain_executions t
+  in
+  let view_changed =
+    View_changed
+      { view; leader = Types.leader_of_view ~n:cfg.Config.n view;
+        i_am_leader = false }
+  in
+  (* If this node used to lead, it must re-run Phase 1 before proposing;
+     start immediately rather than waiting for someone to suspect the
+     silent old view. *)
+  let restart =
+    if Types.leader_of_view ~n:cfg.Config.n view = me then
+      start_prepare t (Types.next_view_led_by ~n:cfg.Config.n ~after:view me)
+    else []
+  in
+  (t, (view_changed :: replays) @ restart)
+
+let note_snapshot t ~next_iid ~state =
+  (match t.snapshot with
+   | Some (existing, _) when existing >= next_iid -> ()
+   | Some _ | None ->
+     t.snapshot <- Some (next_iid, state);
+     Log.truncate_below t.log (max 0 (next_iid - t.cfg.log_retain)));
+  []

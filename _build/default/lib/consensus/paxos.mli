@@ -1,0 +1,118 @@
+(** MultiPaxos protocol engine (pure, deterministic).
+
+    This is the logic executed by the Protocol thread (Section V-C2). It
+    is written as a Moore-style state machine: every entry point feeds one
+    event in and returns the list of {!action}s the caller must carry out
+    (send messages, schedule/cancel retransmissions, hand decided batches
+    to the service, ...). The engine performs no I/O, spawns no threads
+    and never reads the clock, which makes it:
+
+    - directly testable (the property tests drive whole clusters of
+      engines through random message schedules and check agreement), and
+    - shared verbatim between the live runtime and the discrete-event
+      simulator.
+
+    Protocol shape (matching JPaxos): Phase 1 ([Prepare]/[Prepare_ok])
+    once per view change; Phase 2 ([Accept]/[Accepted]) per instance with
+    [Accepted] sent only to the leader, which then broadcasts a small
+    [Decide] carrying the deciding view. Batching and pipelining (WND) are
+    built in; catch-up transfers decided entries or a service snapshot. *)
+
+type rtx_key =
+  | Rtx_prepare of Types.view
+  | Rtx_accept of Types.view * Types.iid
+
+val pp_rtx_key : Format.formatter -> rtx_key -> unit
+
+type action =
+  | Send of { dest : Types.node_id list; msg : Msg.t }
+  | Execute of { iid : Types.iid; value : Value.t }
+      (** Emitted in strict instance order, exactly once per instance. *)
+  | Schedule_rtx of { key : rtx_key; dest : Types.node_id list; msg : Msg.t }
+  | Cancel_rtx of rtx_key
+  | View_changed of {
+      view : Types.view;
+      leader : Types.node_id;
+      i_am_leader : bool;
+    }
+  | Install_snapshot of { next_iid : Types.iid; state : bytes }
+      (** Received through catch-up; the service must restore this state,
+          which covers every instance below [next_iid]. *)
+
+val pp_action : Format.formatter -> action -> unit
+
+type stats = {
+  mutable decided : int;          (** instances decided locally *)
+  mutable noops_decided : int;
+  mutable view_changes : int;
+  mutable catchup_queries_sent : int;
+  mutable msgs_in : int;
+  mutable msgs_out : int;
+}
+
+type t
+
+val create : Config.t -> me:Types.node_id -> t
+
+val bootstrap : t -> action list
+(** Start the engine. Node 0 is the initial leader of view 0 and becomes
+    active immediately (nothing can have been accepted in an earlier
+    view); every node reports the initial [View_changed]. *)
+
+val recover :
+  Config.t ->
+  me:Types.node_id ->
+  view:Types.view ->
+  accepted:(Types.iid * Types.view * Value.t) list ->
+  decided:(Types.iid * Types.view * Value.t) list ->
+  snapshot:(Types.iid * bytes) option ->
+  t * action list
+(** Rebuild an engine from durable state (see
+    [Msmr_storage.Replica_store]). The node re-enters [view] as a
+    follower — even if it used to lead it, it must run Phase 1 again
+    before proposing. The returned actions replay the executed prefix:
+    [Install_snapshot] (if any) followed by [Execute] for contiguous
+    decided instances; the caller feeds them to the service before
+    processing new traffic. Use instead of {!bootstrap}. *)
+
+(** {1 Introspection} *)
+
+val me : t -> Types.node_id
+val view : t -> Types.view
+val leader : t -> Types.node_id
+val is_leader : t -> bool
+(** True when this node leads the current view {e and} has finished
+    Phase 1. *)
+
+val can_propose : t -> bool
+(** Leader, Phase 1 complete, and fewer than WND instances in flight. *)
+
+val log : t -> Log.t
+val stats : t -> stats
+val window_in_use : t -> int
+
+(** {1 Events} *)
+
+val propose : t -> Batch.t -> action list
+(** Open a new instance for [batch]. Call only when {!can_propose}; if
+    the window is full the batch is silently queued internally and
+    proposed as instances complete. *)
+
+val receive : t -> from:Types.node_id -> Msg.t -> action list
+(** Handle a protocol message from a peer. Malformed or stale messages
+    are dropped (returning any catch-up actions they trigger). *)
+
+val suspect_leader : t -> action list
+(** Failure-detector verdict: the current leader is unresponsive. The
+    node advances to the next view it leads and starts Phase 1. No-op if
+    this node already leads the current view. *)
+
+val tick_catchup : t -> action list
+(** Periodic housekeeping: if this replica knows of decided instances it
+    has not decided locally, ask the leader for them (rate-limited to one
+    outstanding query). *)
+
+val note_snapshot : t -> next_iid:Types.iid -> state:bytes -> action list
+(** The service took a snapshot covering every instance below [next_iid].
+    The engine retains it for catch-up replies and truncates the log,
+    keeping [log_retain] decided entries below the snapshot point. *)

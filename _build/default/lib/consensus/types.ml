@@ -1,0 +1,12 @@
+type node_id = int
+type view = int
+type iid = int
+
+let leader_of_view ~n v = v mod n
+
+let next_view_led_by ~n ~after node =
+  let v = after + 1 in
+  let offset = (node - (v mod n) + n) mod n in
+  v + offset
+
+let majority ~n = (n / 2) + 1

@@ -1,0 +1,22 @@
+(** Basic protocol identifiers. *)
+
+type node_id = int
+(** Replica identifier in [0, n). *)
+
+type view = int
+(** View (ballot) number. The leader of view [v] in an [n]-replica group
+    is [v mod n], so distinct prospective leaders always pick distinct
+    views. *)
+
+type iid = int
+(** Consensus instance identifier; instance [i] decides the [i]-th batch
+    in the total order. *)
+
+val leader_of_view : n:int -> view -> node_id
+
+val next_view_led_by : n:int -> after:view -> node_id -> view
+(** Smallest view strictly greater than [after] whose leader is the given
+    node. *)
+
+val majority : n:int -> int
+(** Quorum size: [n/2 + 1]. *)

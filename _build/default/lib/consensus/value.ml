@@ -1,0 +1,29 @@
+module Codec = Msmr_wire.Codec
+
+type t =
+  | Noop
+  | Batch of Batch.t
+
+let encode w = function
+  | Noop -> Codec.W.u8 w 0
+  | Batch b ->
+    Codec.W.u8 w 1;
+    Batch.encode w b
+
+let decode r =
+  match Codec.R.u8 r with
+  | 0 -> Noop
+  | 1 -> Batch (Batch.decode r)
+  | n -> raise (Codec.Malformed (Printf.sprintf "value tag %d" n))
+
+let equal a b =
+  match (a, b) with
+  | Noop, Noop -> true
+  | Batch x, Batch y -> Batch.equal x y
+  | Noop, Batch _ | Batch _, Noop -> false
+
+let pp ppf = function
+  | Noop -> Format.pp_print_string ppf "noop"
+  | Batch b -> Batch.pp ppf b
+
+let size_bytes = function Noop -> 0 | Batch b -> Batch.size_bytes b

@@ -1,0 +1,15 @@
+(** Values decided by consensus instances: either a batch of client
+    requests or a no-op (used by a new leader to fill gaps left by its
+    predecessor). *)
+
+type t =
+  | Noop
+  | Batch of Batch.t
+
+val encode : Msmr_wire.Codec.W.t -> t -> unit
+val decode : Msmr_wire.Codec.R.t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val size_bytes : t -> int
+(** Payload bytes carried ([0] for [Noop]). *)

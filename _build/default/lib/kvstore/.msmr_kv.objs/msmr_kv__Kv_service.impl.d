@@ -1,0 +1,1 @@
+lib/kvstore/kv_service.ml: Hashtbl List Msmr_runtime Msmr_wire Option Printf String

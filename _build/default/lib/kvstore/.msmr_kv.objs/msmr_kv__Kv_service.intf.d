@@ -1,0 +1,1 @@
+lib/kvstore/kv_service.mli: Msmr_runtime

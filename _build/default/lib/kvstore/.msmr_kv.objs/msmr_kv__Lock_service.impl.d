@@ -1,0 +1,1 @@
+lib/kvstore/lock_service.ml: Hashtbl List Msmr_runtime Msmr_wire Printf

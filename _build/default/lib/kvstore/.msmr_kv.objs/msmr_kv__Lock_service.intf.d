@@ -1,0 +1,1 @@
+lib/kvstore/lock_service.mli: Msmr_runtime

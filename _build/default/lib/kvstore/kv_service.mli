@@ -1,0 +1,48 @@
+(** Replicated key-value store with ephemeral-node semantics.
+
+    A deterministic service in the style of the paper's motivating
+    examples (ZooKeeper-like coordination): string keys and values,
+    optional ephemeral ownership (a key bound to the client session that
+    created it, deleted when that session expires), and counters. Used by
+    the examples and as a realistic (non-null) workload for the live
+    runtime.
+
+    Commands and replies are encoded with {!Msmr_wire.Codec}; use
+    {!encode_command}/[decode_reply] on the client side and wrap
+    {!make} as the replica's service. *)
+
+type command =
+  | Put of { key : string; value : string; ephemeral : bool }
+  | Get of string
+  | Delete of string
+  | Incr of { key : string; by : int }    (** counter; creates at 0 *)
+  | Expire_session of int
+      (** administrative: drop every ephemeral key owned by the session *)
+  | List_keys of string                   (** keys with the given prefix *)
+
+type reply =
+  | Ok_unit
+  | Ok_value of string option
+  | Ok_int of int
+  | Ok_keys of string list
+  | Error of string
+
+val encode_command : command -> bytes
+val decode_command : bytes -> command
+val encode_reply : reply -> bytes
+val decode_reply : bytes -> reply
+
+val make : unit -> Msmr_runtime.Service.t
+(** Fresh store. The executing client's id is the session id for
+    ephemeral ownership. Snapshot/restore round-trip the full store. *)
+
+(** Direct (non-replicated) access used by tests. *)
+module Store : sig
+  type t
+
+  val create : unit -> t
+  val apply : t -> session:int -> command -> reply
+  val snapshot : t -> bytes
+  val restore : t -> bytes -> unit
+  val size : t -> int
+end

@@ -1,0 +1,29 @@
+(** Replicated lock service (Chubby-style, try-lock semantics).
+
+    Locks are named; the holder is the requesting client's session
+    (client id). [Acquire] is a try-lock — contenders poll, which keeps
+    the service deterministic and every request answerable immediately
+    (an RSM reply is 1:1 with its request). [Release] by a non-holder
+    fails. [Expire_session] frees everything a crashed client held. *)
+
+type command =
+  | Acquire of string
+  | Release of string
+  | Holder of string
+  | Expire_session of int
+
+type reply =
+  | Granted
+  | Busy of int          (** current holder's session *)
+  | Released
+  | Not_holder
+  | Holder_is of int option
+  | Expired of int       (** locks freed *)
+  | Error of string
+
+val encode_command : command -> bytes
+val decode_command : bytes -> command
+val encode_reply : reply -> bytes
+val decode_reply : bytes -> reply
+
+val make : unit -> Msmr_runtime.Service.t

@@ -1,0 +1,1 @@
+lib/platform/ascii_plot.ml: Array Float Format List Printf String

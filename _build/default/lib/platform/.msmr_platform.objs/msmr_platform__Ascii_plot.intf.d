@@ -1,0 +1,1 @@
+lib/platform/ascii_plot.mli: Format

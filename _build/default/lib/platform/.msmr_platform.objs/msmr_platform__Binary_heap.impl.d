@@ -1,0 +1,1 @@
+lib/platform/binary_heap.ml: Array

@@ -1,0 +1,1 @@
+lib/platform/bounded_queue.ml: Condition Fun Int64 List Mclock Mutex Queue Thread Thread_state

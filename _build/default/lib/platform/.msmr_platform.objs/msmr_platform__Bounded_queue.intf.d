@@ -1,0 +1,1 @@
+lib/platform/bounded_queue.mli: Thread_state

@@ -1,0 +1,1 @@
+lib/platform/concurrent_map.ml: Array Fun Hashtbl Mutex

@@ -1,0 +1,1 @@
+lib/platform/delay_queue.ml: Atomic Binary_heap Condition Float Fun Int64 Mclock Mutex Option Thread_state

@@ -1,0 +1,1 @@
+lib/platform/delay_queue.mli: Thread_state

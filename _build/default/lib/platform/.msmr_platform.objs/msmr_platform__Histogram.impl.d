@@ -1,0 +1,1 @@
+lib/platform/histogram.ml: Array Atomic Float Format

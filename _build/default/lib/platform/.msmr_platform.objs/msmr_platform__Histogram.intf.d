@@ -1,0 +1,1 @@
+lib/platform/histogram.mli: Format

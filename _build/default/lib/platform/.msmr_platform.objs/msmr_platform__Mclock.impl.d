@@ -1,0 +1,1 @@
+lib/platform/mclock.ml: Int64 Unix

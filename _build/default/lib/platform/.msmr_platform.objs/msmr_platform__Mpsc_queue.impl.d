@@ -1,0 +1,1 @@
+lib/platform/mpsc_queue.ml: Atomic List

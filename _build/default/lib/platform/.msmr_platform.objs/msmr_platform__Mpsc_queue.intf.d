@@ -1,0 +1,1 @@
+lib/platform/mpsc_queue.mli:

@@ -1,0 +1,1 @@
+lib/platform/rate_meter.ml: Atomic Int64 Mclock Mutex

@@ -1,0 +1,1 @@
+lib/platform/thread_state.ml: Format Fun Int64 List Mclock Mutex

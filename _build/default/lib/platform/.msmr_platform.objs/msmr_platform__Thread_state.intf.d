@@ -1,0 +1,1 @@
+lib/platform/thread_state.mli: Format

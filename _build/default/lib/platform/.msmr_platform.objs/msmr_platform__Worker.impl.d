@@ -1,0 +1,1 @@
+lib/platform/worker.ml: Atomic Bounded_queue Delay_queue List Logs Printexc Thread Thread_state

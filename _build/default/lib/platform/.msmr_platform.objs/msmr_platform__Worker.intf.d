@@ -1,0 +1,1 @@
+lib/platform/worker.mli: Thread_state

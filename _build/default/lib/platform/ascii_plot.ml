@@ -1,0 +1,58 @@
+type series = {
+  label : string;
+  points : (float * float) list;
+}
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@' |]
+
+let render ?(width = 60) ?(height = 16) ?(y_label = "") ?(x_label = "")
+    ppf series_list =
+  let series_list = List.filter (fun s -> s.points <> []) series_list in
+  if series_list <> [] then begin
+    let all = List.concat_map (fun s -> s.points) series_list in
+    let xs = List.map fst all and ys = List.map snd all in
+    let x_min = List.fold_left Float.min Float.infinity xs in
+    let x_max = List.fold_left Float.max Float.neg_infinity xs in
+    let y_max = Float.max 1e-9 (List.fold_left Float.max 0. ys) in
+    let x_span = Float.max 1e-9 (x_max -. x_min) in
+    let canvas = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+         let glyph = glyphs.(si mod Array.length glyphs) in
+         List.iter
+           (fun (x, y) ->
+              let col =
+                int_of_float
+                  (Float.round
+                     ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+              in
+              let row =
+                (height - 1)
+                - int_of_float
+                    (Float.round (y /. y_max *. float_of_int (height - 1)))
+              in
+              let col = max 0 (min (width - 1) col) in
+              let row = max 0 (min (height - 1) row) in
+              canvas.(row).(col) <- glyph)
+           s.points)
+      series_list;
+    if y_label <> "" then Format.fprintf ppf "%s@." y_label;
+    Array.iteri
+      (fun i row ->
+         let y_tick =
+           y_max *. float_of_int (height - 1 - i) /. float_of_int (height - 1)
+         in
+         Format.fprintf ppf "%8.0f |%s@." y_tick
+           (String.init width (Array.get row)))
+      canvas;
+    Format.fprintf ppf "%8s +%s@." "" (String.make width '-');
+    Format.fprintf ppf "%8s  %-*.0f%*.0f  %s@." "" (width - 6) x_min 6 x_max
+      x_label;
+    Format.fprintf ppf "%8s  %s@." ""
+      (String.concat "   "
+         (List.mapi
+            (fun si s ->
+               Printf.sprintf "%c %s" glyphs.(si mod Array.length glyphs)
+                 s.label)
+            series_list))
+  end

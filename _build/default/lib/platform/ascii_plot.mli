@@ -1,0 +1,23 @@
+(** Minimal ASCII line charts for benchmark output.
+
+    Renders one or more (x, y) series on a shared scale so the shape of
+    a result — knees, peaks, collapses — is visible directly in the
+    terminal output of the benchmark harness. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;   (** (x, y), any order *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?y_label:string ->
+  ?x_label:string ->
+  Format.formatter ->
+  series list ->
+  unit
+(** Plot all series on one canvas (default 60×16). Each series uses its
+    own glyph ([*], [o], [+], [x], ...); a legend line follows the
+    chart. The y axis starts at 0. Empty series are skipped; an empty
+    list renders nothing. *)

@@ -1,0 +1,26 @@
+(** Array-based binary min-heap.
+
+    Used by the {!Delay_queue} (retransmission timers) and by the
+    simulator's event loop, both of which need fast [add]/[pop_min] on
+    large heaps. Not thread-safe; callers synchronise externally. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** Min-heap ordered by [cmp] (smallest element first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val min_elt : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop_min : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (for inspection in tests). *)

@@ -1,0 +1,135 @@
+exception Closed
+
+type 'a t = {
+  capacity : int;
+  items : 'a Queue.t;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Bounded_queue.create: capacity <= 0";
+  { capacity; items = Queue.create (); lock = Mutex.create ();
+    not_empty = Condition.create (); not_full = Condition.create ();
+    closed = false }
+
+let capacity t = t.capacity
+
+(* Lock acquisition is accounted as [Blocked], waits on condition
+   variables as [Waiting], per the paper's profiling methodology. *)
+let lock_acct ?st t =
+  match st with
+  | None -> Mutex.lock t.lock
+  | Some st ->
+    if Mutex.try_lock t.lock then ()
+    else Thread_state.enter st Thread_state.Blocked (fun () -> Mutex.lock t.lock)
+
+let wait_acct ?st cond lock =
+  match st with
+  | None -> Condition.wait cond lock
+  | Some st ->
+    Thread_state.enter st Thread_state.Waiting (fun () -> Condition.wait cond lock)
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = with_lock t (fun () -> Queue.length t.items)
+let is_empty t = length t = 0
+let is_full t = length t >= t.capacity
+let is_closed t = with_lock t (fun () -> t.closed)
+
+let put ?st t v =
+  lock_acct ?st t;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  if t.closed then raise Closed;
+  while Queue.length t.items >= t.capacity && not t.closed do
+    wait_acct ?st t.not_full t.lock
+  done;
+  if t.closed then raise Closed;
+  Queue.push v t.items;
+  Condition.signal t.not_empty
+
+let try_put t v =
+  with_lock t @@ fun () ->
+  if t.closed then raise Closed;
+  if Queue.length t.items >= t.capacity then false
+  else begin
+    Queue.push v t.items;
+    Condition.signal t.not_empty;
+    true
+  end
+
+let take ?st t =
+  lock_acct ?st t;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  while Queue.is_empty t.items && not t.closed do
+    wait_acct ?st t.not_empty t.lock
+  done;
+  if Queue.is_empty t.items then raise Closed;
+  let v = Queue.pop t.items in
+  Condition.signal t.not_full;
+  v
+
+let try_take t =
+  with_lock t @@ fun () ->
+  if Queue.is_empty t.items then None
+  else begin
+    let v = Queue.pop t.items in
+    Condition.signal t.not_full;
+    Some v
+  end
+
+let take_timeout ?st t ~timeout_s =
+  let deadline = Int64.add (Mclock.now_ns ()) (Mclock.ns_of_s timeout_s) in
+  lock_acct ?st t;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  let rec loop () =
+    if not (Queue.is_empty t.items) then begin
+      let v = Queue.pop t.items in
+      Condition.signal t.not_full;
+      Some v
+    end
+    else if t.closed then raise Closed
+    else if Int64.compare (Mclock.now_ns ()) deadline >= 0 then None
+    else begin
+      (* [Condition] has no timed wait; poll with a short sleep while the
+         lock is released. This path is only used by housekeeping threads
+         (failure detector, retransmitter), never on the hot path. *)
+      Mutex.unlock t.lock;
+      (match st with
+       | None -> Thread.yield (); Mclock.sleep_s 0.0002
+       | Some st ->
+         Thread_state.enter st Thread_state.Waiting (fun () ->
+             Thread.yield (); Mclock.sleep_s 0.0002));
+      Mutex.lock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let take_batch ?st t ~max =
+  if max <= 0 then invalid_arg "Bounded_queue.take_batch: max <= 0";
+  lock_acct ?st t;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  while Queue.is_empty t.items && not t.closed do
+    wait_acct ?st t.not_empty t.lock
+  done;
+  if Queue.is_empty t.items then raise Closed;
+  let rec drain k acc =
+    if k = 0 || Queue.is_empty t.items then List.rev acc
+    else drain (k - 1) (Queue.pop t.items :: acc)
+  in
+  let batch = drain max [] in
+  Condition.broadcast t.not_full;
+  batch
+
+let close t =
+  with_lock t @@ fun () ->
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full
+  end

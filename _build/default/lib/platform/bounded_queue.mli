@@ -1,0 +1,64 @@
+(** Bounded blocking FIFO queue.
+
+    This is the message-queue primitive of the threading architecture
+    (Section V of the paper): the RequestQueue, ProposalQueue,
+    DispatcherQueue, DecisionQueue and per-sender SendQueues are all
+    instances. The bound is what makes back-pressure flow control work
+    (Section V-E): a stage that cannot keep up fills its input queue, and
+    producers block (or observe fullness with {!try_put}) and stop pulling
+    work from upstream.
+
+    All operations are thread-safe. Blocking operations optionally take a
+    {!Thread_state.t} handle; while blocked on the internal lock the thread
+    is accounted as [Blocked], while waiting for items/space it is
+    accounted as [Waiting] — matching the paper's profiling methodology. *)
+
+type 'a t
+
+exception Closed
+(** Raised by [put]/[take] on a closed queue (see {!close}). *)
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty queue holding at most [capacity]
+    elements. @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Current number of queued elements (racy snapshot). *)
+
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val put : ?st:Thread_state.t -> 'a t -> 'a -> unit
+(** [put q v] appends [v], blocking while the queue is full.
+    @raise Closed if the queue is closed. *)
+
+val try_put : 'a t -> 'a -> bool
+(** Non-blocking [put]; returns [false] if the queue is full.
+    @raise Closed if the queue is closed. *)
+
+val take : ?st:Thread_state.t -> 'a t -> 'a
+(** [take q] removes the oldest element, blocking while the queue is
+    empty. @raise Closed if the queue is closed and drained. *)
+
+val try_take : 'a t -> 'a option
+(** Non-blocking [take]; [None] if empty. Never raises, even on a closed
+    queue. *)
+
+val take_timeout : ?st:Thread_state.t -> 'a t -> timeout_s:float -> 'a option
+(** Like {!take} but gives up after [timeout_s] seconds, returning [None].
+    @raise Closed if the queue is closed and drained. *)
+
+val take_batch : ?st:Thread_state.t -> 'a t -> max:int -> 'a list
+(** [take_batch q ~max] blocks until at least one element is available,
+    then drains up to [max] elements in FIFO order. Used by the Batcher
+    thread to amortise locking.
+    @raise Closed if the queue is closed and drained. *)
+
+val close : 'a t -> unit
+(** Close the queue: subsequent [put]s raise {!Closed}; [take]s keep
+    draining the remaining elements and raise {!Closed} once empty. All
+    blocked threads are woken. Idempotent. *)
+
+val is_closed : 'a t -> bool

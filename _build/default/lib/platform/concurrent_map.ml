@@ -1,0 +1,65 @@
+type ('k, 'v) shard = {
+  lock : Mutex.t;
+  table : ('k, 'v) Hashtbl.t;
+}
+
+type ('k, 'v) t = {
+  mask : int;                      (* shard count - 1; count is a power of 2 *)
+  shards_arr : ('k, 'v) shard array;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(shards = 16) ?(initial_size = 64) () =
+  if shards <= 0 then invalid_arg "Concurrent_map.create: shards <= 0";
+  let count = next_pow2 shards in
+  let mk _ = { lock = Mutex.create (); table = Hashtbl.create initial_size } in
+  { mask = count - 1; shards_arr = Array.init count mk }
+
+let shards t = Array.length t.shards_arr
+
+let shard_of t k = t.shards_arr.(Hashtbl.hash k land t.mask)
+
+let with_shard t k f =
+  let s = shard_of t k in
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s.table)
+
+let find_opt t k = with_shard t k (fun tbl -> Hashtbl.find_opt tbl k)
+let mem t k = with_shard t k (fun tbl -> Hashtbl.mem tbl k)
+let set t k v = with_shard t k (fun tbl -> Hashtbl.replace tbl k v)
+let remove t k = with_shard t k (fun tbl -> Hashtbl.remove tbl k)
+
+let update t k f =
+  with_shard t k @@ fun tbl ->
+  match f (Hashtbl.find_opt tbl k) with
+  | None -> Hashtbl.remove tbl k
+  | Some v -> Hashtbl.replace tbl k v
+
+let length t =
+  Array.fold_left
+    (fun acc s ->
+       Mutex.lock s.lock;
+       let n = Hashtbl.length s.table in
+       Mutex.unlock s.lock;
+       acc + n)
+    0 t.shards_arr
+
+let fold f t init =
+  Array.fold_left
+    (fun acc s ->
+       Mutex.lock s.lock;
+       Fun.protect
+         ~finally:(fun () -> Mutex.unlock s.lock)
+         (fun () -> Hashtbl.fold f s.table acc))
+    init t.shards_arr
+
+let clear t =
+  Array.iter
+    (fun s ->
+       Mutex.lock s.lock;
+       Hashtbl.reset s.table;
+       Mutex.unlock s.lock)
+    t.shards_arr

@@ -1,0 +1,111 @@
+exception Closed
+
+type handle = bool Atomic.t
+
+type 'a entry = {
+  at_ns : int64;
+  value : 'a;
+  cancelled : handle;
+}
+
+type 'a t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  heap : 'a entry Binary_heap.t;
+  mutable closed : bool;
+}
+
+let cmp_entry a b = Int64.compare a.at_ns b.at_ns
+
+let create () =
+  { lock = Mutex.create (); not_empty = Condition.create ();
+    heap = Binary_heap.create ~cmp:cmp_entry (); closed = false }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let schedule t ~at_ns value =
+  let cancelled = Atomic.make false in
+  with_lock t (fun () ->
+      if t.closed then raise Closed;
+      Binary_heap.add t.heap { at_ns; value; cancelled };
+      Condition.signal t.not_empty);
+  cancelled
+
+let cancel h = Atomic.set h true
+let is_cancelled h = Atomic.get h
+
+let pending t = with_lock t (fun () -> Binary_heap.length t.heap)
+
+(* Drop cancelled entries sitting at the top of the heap. Called with the
+   lock held. *)
+let rec drop_cancelled t =
+  match Binary_heap.min_elt t.heap with
+  | Some e when Atomic.get e.cancelled ->
+    ignore (Binary_heap.pop_min t.heap);
+    drop_cancelled t
+  | _ -> ()
+
+let pop_due t ~now_ns =
+  with_lock t @@ fun () ->
+  drop_cancelled t;
+  match Binary_heap.min_elt t.heap with
+  | Some e when Int64.compare e.at_ns now_ns <= 0 ->
+    ignore (Binary_heap.pop_min t.heap);
+    Some e.value
+  | _ -> None
+
+let next_due_ns t =
+  with_lock t @@ fun () ->
+  drop_cancelled t;
+  Option.map (fun e -> e.at_ns) (Binary_heap.min_elt t.heap)
+
+let take ?st t =
+  let rec loop () =
+    let action =
+      with_lock t @@ fun () ->
+      if t.closed then raise Closed;
+      drop_cancelled t;
+      match Binary_heap.min_elt t.heap with
+      | None -> `Wait
+      | Some e ->
+        let now = Mclock.now_ns () in
+        if Int64.compare e.at_ns now <= 0 then begin
+          ignore (Binary_heap.pop_min t.heap);
+          `Ready e.value
+        end
+        else `Sleep (Mclock.s_of_ns (Int64.sub e.at_ns now))
+    in
+    match action with
+    | `Ready v -> v
+    | `Wait ->
+      Mutex.lock t.lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () ->
+          if Binary_heap.is_empty t.heap && not t.closed then begin
+            match st with
+            | None -> Condition.wait t.not_empty t.lock
+            | Some st ->
+              Thread_state.enter st Thread_state.Waiting (fun () ->
+                  Condition.wait t.not_empty t.lock)
+          end);
+      loop ()
+    | `Sleep s ->
+      (* An earlier entry may be scheduled while we sleep; cap the nap so
+         we notice within a bounded delay. Retransmission timeouts are
+         tens of milliseconds, so a 2 ms cap costs nothing. *)
+      let nap = Float.min s 0.002 in
+      (match st with
+       | None -> Mclock.sleep_s nap
+       | Some st ->
+         Thread_state.enter st Thread_state.Other (fun () -> Mclock.sleep_s nap));
+      loop ()
+  in
+  loop ()
+
+let close t =
+  with_lock t @@ fun () ->
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.not_empty
+  end

@@ -1,0 +1,28 @@
+(** Thread-safe log-bucketed latency histogram.
+
+    Fixed memory, constant-time recording: values are binned into
+    logarithmic buckets (~5% relative resolution), suitable for
+    micro-to-second latencies. Used by the benchmark harness and load
+    generators for percentile reporting. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> float -> unit
+(** Record a (non-negative, seconds) sample. Thread-safe and lock-free. *)
+
+val count : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 0.99] returns the approximate p99 in seconds (upper
+    bucket bound); 0. when empty. [p] is clamped to [0, 1]. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Add [src]'s counts into [dst]. *)
+
+val reset : t -> unit
+
+val pp_summary : Format.formatter -> t -> unit
+(** "n=… mean=…ms p50=… p95=… p99=…". *)

@@ -1,0 +1,6 @@
+(* [Unix.gettimeofday] is the best portable clock available without extra
+   dependencies; it is good enough for the coarse accounting done here. *)
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+let ns_of_s s = Int64.of_float ((s *. 1e9) +. 0.5)
+let s_of_ns ns = Int64.to_float ns /. 1e9
+let sleep_s s = if s > 0. then Unix.sleepf s

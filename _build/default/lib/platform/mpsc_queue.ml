@@ -1,0 +1,46 @@
+(* Vyukov's MPSC queue. [head] is the producer side (last appended node),
+   [tail] the consumer side (a stub whose [next] chain holds the queue).
+   Producers atomically exchange [head] then link the previous head to the
+   new node; there is a short window where the link is not yet visible, so
+   the consumer treats [next = None] after a non-empty exchange as "queue
+   momentarily empty", which preserves FIFO order and lock-freedom. *)
+
+type 'a node = {
+  mutable value : 'a option;         (* None only for the stub *)
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  head : 'a node Atomic.t;           (* producers *)
+  mutable tail : 'a node;            (* consumer-owned *)
+}
+
+let make_node v = { value = v; next = Atomic.make None }
+
+let create () =
+  let stub = make_node None in
+  { head = Atomic.make stub; tail = stub }
+
+let push t v =
+  let n = make_node (Some v) in
+  let prev = Atomic.exchange t.head n in
+  Atomic.set prev.next (Some n)
+
+let pop t =
+  match Atomic.get t.tail.next with
+  | Some n ->
+    t.tail <- n;
+    let v = n.value in
+    n.value <- None;
+    v
+  | None -> None
+
+let is_empty t = Atomic.get t.tail.next = None && Atomic.get t.head == t.tail
+
+let drain t =
+  let rec go acc =
+    match pop t with
+    | None -> List.rev acc
+    | Some v -> go (v :: acc)
+  in
+  go []

@@ -1,0 +1,28 @@
+(** Unbounded lock-free multi-producer single-consumer queue
+    (Vyukov's algorithm, built on [Atomic]).
+
+    Used where the paper's architecture relies on non-blocking data
+    structures: reply hand-off from the ServiceManager to the owning
+    ClientIO thread, and timestamp-free notification paths. Producers
+    never block and never take a lock; the single consumer pops in FIFO
+    order.
+
+    The single-consumer restriction is not checked; calling {!pop} from
+    two threads concurrently is a programming error. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Lock-free append; safe from any number of threads. *)
+
+val pop : 'a t -> 'a option
+(** Remove the oldest element. Only from the consumer thread. *)
+
+val is_empty : 'a t -> bool
+(** Racy snapshot (exact when called from the consumer thread). *)
+
+val drain : 'a t -> 'a list
+(** Pop everything currently visible, in FIFO order. Consumer thread
+    only. *)

@@ -1,0 +1,59 @@
+module Counter = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let incr t = ignore (Atomic.fetch_and_add t 1)
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+  let reset t = Atomic.set t 0
+end
+
+module Mean = struct
+  (* Welford's online algorithm under a mutex: callers are statistics
+     paths, never hot paths. *)
+  type t = {
+    lock : Mutex.t;
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+  }
+
+  let create () = { lock = Mutex.create (); n = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    Mutex.lock t.lock;
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    Mutex.unlock t.lock
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+
+  let stddev t =
+    if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+  let reset t =
+    Mutex.lock t.lock;
+    t.n <- 0; t.mean <- 0.; t.m2 <- 0.;
+    Mutex.unlock t.lock
+end
+
+type t = {
+  counter : Counter.t;
+  mutable started_ns : int64;
+}
+
+let create () = { counter = Counter.create (); started_ns = Mclock.now_ns () }
+let tick t = Counter.incr t.counter
+let tick_n t n = Counter.add t.counter n
+let count t = Counter.get t.counter
+
+let rate t =
+  let elapsed = Mclock.s_of_ns (Int64.sub (Mclock.now_ns ()) t.started_ns) in
+  if elapsed <= 0. then 0. else float_of_int (count t) /. elapsed
+
+let reset t =
+  Counter.reset t.counter;
+  t.started_ns <- Mclock.now_ns ()

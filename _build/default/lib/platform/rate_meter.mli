@@ -1,0 +1,46 @@
+(** Thread-safe event counters and rate measurement.
+
+    Used by the benchmark harness and by the replica's statistics endpoint
+    (requests/s, packets/s, queue-length averages — the quantities of the
+    paper's Tables I and III). *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+module Mean : sig
+  (** Streaming mean and standard deviation (Welford). Thread-safe. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0. when empty. *)
+
+  val stddev : t -> float
+  (** Sample standard deviation; 0. with fewer than two samples. *)
+
+  val reset : t -> unit
+end
+
+type t
+(** Rate meter: counts events and reports events/second between
+    snapshots. *)
+
+val create : unit -> t
+val tick : t -> unit
+val tick_n : t -> int -> unit
+
+val rate : t -> float
+(** Events per second since the last [reset] (or creation). *)
+
+val count : t -> int
+val reset : t -> unit

@@ -1,0 +1,108 @@
+type state = Busy | Blocked | Waiting | Other
+
+let state_to_string = function
+  | Busy -> "busy"
+  | Blocked -> "blocked"
+  | Waiting -> "waiting"
+  | Other -> "other"
+
+type totals = {
+  busy_ns : int64;
+  blocked_ns : int64;
+  waiting_ns : int64;
+  other_ns : int64;
+}
+
+type t = {
+  name : string;
+  mutable current : state;
+  mutable since : int64;           (* start of the current interval *)
+  mutable acc_busy : int64;
+  mutable acc_blocked : int64;
+  mutable acc_waiting : int64;
+  mutable acc_other : int64;
+}
+
+let registry : t list ref = ref []
+let registry_lock = Mutex.create ()
+
+let create ~name =
+  let t =
+    { name; current = Busy; since = Mclock.now_ns ();
+      acc_busy = 0L; acc_blocked = 0L; acc_waiting = 0L; acc_other = 0L }
+  in
+  Mutex.lock registry_lock;
+  registry := t :: !registry;
+  Mutex.unlock registry_lock;
+  t
+
+let name t = t.name
+
+let account t now =
+  let dt = Int64.sub now t.since in
+  (match t.current with
+   | Busy -> t.acc_busy <- Int64.add t.acc_busy dt
+   | Blocked -> t.acc_blocked <- Int64.add t.acc_blocked dt
+   | Waiting -> t.acc_waiting <- Int64.add t.acc_waiting dt
+   | Other -> t.acc_other <- Int64.add t.acc_other dt);
+  t.since <- now
+
+let set t s =
+  let now = Mclock.now_ns () in
+  account t now;
+  t.current <- s
+
+let enter t s f =
+  let prev = t.current in
+  set t s;
+  Fun.protect ~finally:(fun () -> set t prev) f
+
+let totals t =
+  (* Include the open interval so snapshots always sum to the lifetime. *)
+  let dt = Int64.sub (Mclock.now_ns ()) t.since in
+  let add c x = if t.current = c then Int64.add x dt else x in
+  { busy_ns = add Busy t.acc_busy;
+    blocked_ns = add Blocked t.acc_blocked;
+    waiting_ns = add Waiting t.acc_waiting;
+    other_ns = add Other t.acc_other }
+
+let unregister t =
+  Mutex.lock registry_lock;
+  registry := List.filter (fun x -> x != t) !registry;
+  Mutex.unlock registry_lock
+
+let snapshot_all () =
+  Mutex.lock registry_lock;
+  let all = List.rev !registry in
+  Mutex.unlock registry_lock;
+  List.map (fun t -> (t.name, totals t)) all
+
+let reset_all () =
+  Mutex.lock registry_lock;
+  let all = !registry in
+  Mutex.unlock registry_lock;
+  let now = Mclock.now_ns () in
+  List.iter
+    (fun t ->
+       t.acc_busy <- 0L; t.acc_blocked <- 0L;
+       t.acc_waiting <- 0L; t.acc_other <- 0L;
+       t.since <- now)
+    all
+
+let lifetime (tot : totals) =
+  Int64.(add (add tot.busy_ns tot.blocked_ns)
+           (add tot.waiting_ns tot.other_ns))
+
+let pp_report ppf snap =
+  let max_life =
+    List.fold_left (fun m (_, tot) -> max m (lifetime tot)) 1L snap
+  in
+  let pct x = 100. *. Int64.to_float x /. Int64.to_float max_life in
+  Format.fprintf ppf "%-22s %7s %8s %8s %7s@."
+    "thread" "busy%" "blocked%" "waiting%" "other%";
+  List.iter
+    (fun (name, tot) ->
+       Format.fprintf ppf "%-22s %7.1f %8.1f %8.1f %7.1f@."
+         name (pct tot.busy_ns) (pct tot.blocked_ns)
+         (pct tot.waiting_ns) (pct tot.other_ns))
+    snap

@@ -1,0 +1,64 @@
+(** Per-thread state accounting.
+
+    The paper profiles every thread of the replica into four states
+    (Section VI-B): [busy] (executing), [blocked] (acquiring a lock),
+    [waiting] (on a condition variable, i.e. idle waiting for work) and
+    [other] (sleeping, in a system call, or runnable but not scheduled).
+
+    This module provides the same accounting for the live runtime: each
+    instrumented thread registers a handle and the synchronisation
+    primitives ({!Bounded_queue}, {!Delay_queue}, ...) mark state
+    transitions through it. Accounting is cheap: one clock read and a few
+    stores per transition, all on the owning thread (reads from other
+    threads are racy-but-monotone snapshots, which is fine for profiling). *)
+
+type state =
+  | Busy      (** executing application work *)
+  | Blocked   (** blocked acquiring a lock *)
+  | Waiting   (** waiting on a condition variable for work *)
+  | Other     (** sleeping, in a system call, or not scheduled *)
+
+val state_to_string : state -> string
+
+type t
+(** Accounting handle for one thread. *)
+
+val create : name:string -> t
+(** [create ~name] makes a handle starting in {!Busy}. The handle is
+    registered in the global registry until {!unregister}. *)
+
+val name : t -> string
+
+val set : t -> state -> unit
+(** [set t s] switches the thread to state [s], attributing the elapsed
+    time since the last transition to the previous state. Must be called
+    from the owning thread. *)
+
+val enter : t -> state -> (unit -> 'a) -> 'a
+(** [enter t s f] runs [f ()] in state [s] and restores the previous state
+    afterwards (also on exception). *)
+
+type totals = {
+  busy_ns : int64;
+  blocked_ns : int64;
+  waiting_ns : int64;
+  other_ns : int64;
+}
+
+val totals : t -> totals
+(** Snapshot of accumulated time per state, including the still-open
+    current interval. *)
+
+val unregister : t -> unit
+(** Remove the handle from the global registry (totals remain readable). *)
+
+val snapshot_all : unit -> (string * totals) list
+(** Name and totals of every registered thread, in registration order. *)
+
+val reset_all : unit -> unit
+(** Zero the accounting of every registered thread (used to discard the
+    warm-up period of a measurement, as the paper does). *)
+
+val pp_report : Format.formatter -> (string * totals) list -> unit
+(** Render a percentage breakdown per thread, normalised to the longest
+    thread lifetime in the snapshot (mirrors the paper's Figure 8). *)

@@ -1,0 +1,22 @@
+(** Named worker threads.
+
+    Each threading-architecture module (Section V) owns one or more worker
+    threads. A worker gets a {!Thread_state.t} handle for profiling and a
+    top-level exception barrier: an escaping exception is logged and
+    recorded, never silently dropped. *)
+
+type t
+
+val spawn : name:string -> (Thread_state.t -> unit) -> t
+(** [spawn ~name body] starts a thread running [body st] where [st] is the
+    thread's freshly registered accounting handle. *)
+
+val name : t -> string
+
+val join : t -> unit
+(** Wait for the worker to finish. Idempotent. *)
+
+val failure : t -> exn option
+(** The exception that terminated the worker, if any (after {!join}). *)
+
+val join_all : t list -> unit

@@ -1,0 +1,1 @@
+lib/runtime/client.ml: Array Condition Int64 Msmr_platform Msmr_wire Mutex Replica

@@ -1,0 +1,1 @@
+lib/runtime/client_io.ml: Array Bytes Int32 List Msmr_platform Msmr_wire Printf Reply_cache

@@ -1,0 +1,1 @@
+lib/runtime/client_io.mli: Msmr_platform Msmr_wire Reply_cache

@@ -1,0 +1,1 @@
+lib/runtime/client_server.ml: Atomic Fun Hashtbl List Logs Msmr_platform Msmr_wire Mutex Printf Replica Unix

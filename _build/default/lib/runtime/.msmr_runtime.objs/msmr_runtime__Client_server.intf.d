@@ -1,0 +1,1 @@
+lib/runtime/client_server.mli: Replica

@@ -1,0 +1,1 @@
+lib/runtime/replica.mli: Client_io Msmr_consensus Msmr_storage Service Transport

@@ -1,0 +1,1 @@
+lib/runtime/reply_cache.ml: Msmr_platform Msmr_wire

@@ -1,0 +1,1 @@
+lib/runtime/reply_cache.mli: Msmr_wire

@@ -1,0 +1,1 @@
+lib/runtime/service.ml: Bytes Msmr_wire

@@ -1,0 +1,1 @@
+lib/runtime/service.mli: Msmr_wire

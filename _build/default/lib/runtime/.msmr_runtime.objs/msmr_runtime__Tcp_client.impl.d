@@ -1,0 +1,1 @@
+lib/runtime/tcp_client.ml: Array Msmr_platform Msmr_wire Unix

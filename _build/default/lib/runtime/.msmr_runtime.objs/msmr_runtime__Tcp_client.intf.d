@@ -1,0 +1,1 @@
+lib/runtime/tcp_client.mli: Unix

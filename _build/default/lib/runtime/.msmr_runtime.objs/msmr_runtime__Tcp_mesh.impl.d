@@ -1,0 +1,1 @@
+lib/runtime/tcp_mesh.ml: Int64 List Msmr_platform Msmr_wire Mutex Printf Thread Transport Unix

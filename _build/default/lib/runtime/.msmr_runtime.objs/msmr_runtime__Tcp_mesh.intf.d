@@ -1,0 +1,1 @@
+lib/runtime/tcp_mesh.mli: Msmr_consensus Transport Unix

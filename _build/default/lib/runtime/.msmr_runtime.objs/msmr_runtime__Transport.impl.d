@@ -1,0 +1,1 @@
+lib/runtime/transport.ml: Array Atomic Lazy Msmr_platform Msmr_wire Random Sys Unix

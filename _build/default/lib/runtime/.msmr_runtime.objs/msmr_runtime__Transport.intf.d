@@ -1,0 +1,1 @@
+lib/runtime/transport.mli: Unix

@@ -1,0 +1,100 @@
+module Mclock = Msmr_platform.Mclock
+module Client_msg = Msmr_wire.Client_msg
+
+type t = {
+  cluster : Replica.Cluster.t;
+  client_id : int;
+  timeout_s : float;
+  mutable seq : int;
+  mutable target : int;          (* replica index we currently talk to *)
+  mutable calls : int;
+  mutable retry_count : int;
+  lock : Mutex.t;
+  cond : Condition.t;
+  (* Reply slot for the in-flight request. *)
+  mutable waiting_for : int;     (* seq, or -1 *)
+  mutable reply : bytes option;
+}
+
+let create ?(timeout_s = 1.0) ~cluster ~client_id () =
+  let replicas = Replica.Cluster.replicas cluster in
+  let target =
+    (* Start at the current leader if known. *)
+    let rec find i =
+      if i >= Array.length replicas then 0
+      else if Replica.is_leader replicas.(i) then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  { cluster; client_id; timeout_s; seq = 0; target; calls = 0; retry_count = 0;
+    lock = Mutex.create (); cond = Condition.create (); waiting_for = -1;
+    reply = None }
+
+let calls_made t = t.calls
+let retries t = t.retry_count
+
+let deliver t raw =
+  match Client_msg.reply_of_bytes raw with
+  | reply ->
+    Mutex.lock t.lock;
+    if reply.id.seq = t.waiting_for then begin
+      t.reply <- Some reply.result;
+      Condition.signal t.cond
+    end;
+    Mutex.unlock t.lock
+  | exception (Msmr_wire.Codec.Underflow | Msmr_wire.Codec.Malformed _) -> ()
+
+let rotate_target t =
+  let replicas = Replica.Cluster.replicas t.cluster in
+  (* The current target did not answer: never pick it again this round,
+     even if it still believes it is the leader (it may be partitioned).
+     Prefer another replica claiming leadership; else round-robin. *)
+  let n = Array.length replicas in
+  let rec find i =
+    if i >= n then (t.target + 1) mod n
+    else if i <> t.target && Replica.is_leader replicas.(i) then i
+    else find (i + 1)
+  in
+  t.target <- find 0
+
+let call t payload =
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let req = { Client_msg.id = { client_id = t.client_id; seq }; payload } in
+  let raw = Client_msg.request_to_bytes req in
+  Mutex.lock t.lock;
+  t.waiting_for <- seq;
+  t.reply <- None;
+  Mutex.unlock t.lock;
+  let replicas = Replica.Cluster.replicas t.cluster in
+  let rec attempt () =
+    Replica.submit replicas.(t.target) ~raw ~reply_to:(deliver t);
+    let deadline = Int64.add (Mclock.now_ns ()) (Mclock.ns_of_s t.timeout_s) in
+    let rec wait () =
+      Mutex.lock t.lock;
+      let r = t.reply in
+      Mutex.unlock t.lock;
+      match r with
+      | Some result -> result
+      | None ->
+        if Int64.compare (Mclock.now_ns ()) deadline >= 0 then begin
+          t.retry_count <- t.retry_count + 1;
+          rotate_target t;
+          attempt ()
+        end
+        else begin
+          (* Polling wait keeps the client simple; clients are test/bench
+             drivers, not a hot path of the replica itself. *)
+          Mclock.sleep_s 0.0002;
+          wait ()
+        end
+    in
+    wait ()
+  in
+  let result = attempt () in
+  Mutex.lock t.lock;
+  t.waiting_for <- -1;
+  Mutex.unlock t.lock;
+  t.calls <- t.calls + 1;
+  result

@@ -1,0 +1,24 @@
+(** Closed-loop client, as used in the paper's evaluation: each client
+    sends one request, waits for the reply, then sends the next.
+
+    Requests are numbered sequentially; on timeout the same request is
+    retransmitted (possibly to another replica after a leader change) and
+    the reply cache guarantees at-most-once execution. *)
+
+type t
+
+val create :
+  ?timeout_s:float ->
+  cluster:Replica.Cluster.t ->
+  client_id:int ->
+  unit ->
+  t
+(** [timeout_s] (default 1.0) is the per-attempt reply timeout before the
+    request is resent, rotating to the next replica. *)
+
+val call : t -> bytes -> bytes
+(** Execute one request on the replicated service and return its reply.
+    Blocks; retries internally until the cluster answers. *)
+
+val calls_made : t -> int
+val retries : t -> int

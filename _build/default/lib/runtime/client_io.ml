@@ -1,0 +1,125 @@
+module Bq = Msmr_platform.Bounded_queue
+module Mpsc = Msmr_platform.Mpsc_queue
+module Cmap = Msmr_platform.Concurrent_map
+module Worker = Msmr_platform.Worker
+module Thread_state = Msmr_platform.Thread_state
+module Mclock = Msmr_platform.Mclock
+module Client_msg = Msmr_wire.Client_msg
+module Codec = Msmr_wire.Codec
+
+type sink = bytes -> unit
+
+type worker_ctx = {
+  ingress : (bytes * sink) Bq.t;
+  replies : (Client_msg.reply * sink) Mpsc.t;
+}
+
+type t = {
+  workers : worker_ctx array;
+  threads : Worker.t list;
+  (* client_id -> (worker index, reply sink); written by ClientIO threads,
+     read by the ServiceManager. *)
+  routes : (int, int * sink) Cmap.t;
+  request_queue : Client_msg.request Bq.t;
+  reply_cache : Reply_cache.t;
+}
+
+let worker_of_client t client_id =
+  client_id mod Array.length t.workers
+
+(* One ClientIO thread: drain replies eagerly (they are cheap and the
+   ServiceManager must never wait), push at most one decoded request at a
+   time into the RequestQueue, and only then accept new ingress. *)
+let worker_loop t idx st =
+  let ctx = t.workers.(idx) in
+  let pending : Client_msg.request option ref = ref None in
+  let running = ref true in
+  while !running do
+    (* 1. Replies out. *)
+    let rec drain () =
+      match Mpsc.pop ctx.replies with
+      | Some (reply, sink) ->
+        sink (Client_msg.reply_to_bytes reply);
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    (* 2. Back-pressured hand-off to the Batcher. *)
+    (match !pending with
+     | Some req ->
+       if Bq.try_put t.request_queue req then pending := None
+       else
+         (* RequestQueue full: the pipeline is saturated; stop pulling
+            new requests (back-pressure) but keep replies flowing. *)
+         Thread_state.enter st Thread_state.Waiting (fun () ->
+             Mclock.sleep_s 0.0003)
+     | None -> (
+         (* 3. New requests in. The short timeout batches reply drains:
+            on loaded single-core hosts, waking per reply costs more in
+            context switches than it saves in latency. *)
+         match Bq.take_timeout ~st ctx.ingress ~timeout_s:0.001 with
+         | None -> ()
+         | Some (raw, sink) -> (
+             match Client_msg.request_of_bytes raw with
+             | req -> (
+                 match Reply_cache.lookup t.reply_cache req.id with
+                 | Reply_cache.Cached result ->
+                   sink (Client_msg.reply_to_bytes { id = req.id; result })
+                 | Reply_cache.Stale -> ()
+                 | Reply_cache.Fresh ->
+                   Cmap.set t.routes req.id.client_id (idx, sink);
+                   pending := Some req)
+             | exception (Codec.Underflow | Codec.Malformed _) ->
+               (* Malformed request: drop it, as a server would drop a
+                  corrupt frame. *)
+               ())
+         | exception Bq.Closed -> running := false))
+  done;
+  (* Shutdown: flush any replies already routed to us. *)
+  let rec flush () =
+    match Mpsc.pop ctx.replies with
+    | Some (reply, sink) ->
+      sink (Client_msg.reply_to_bytes reply);
+      flush ()
+    | None -> ()
+  in
+  flush ()
+
+let create ?(name_prefix = "") ~pool_size ~request_queue ~reply_cache () =
+  if pool_size <= 0 then invalid_arg "Client_io.create: pool_size <= 0";
+  let workers =
+    Array.init pool_size (fun _ ->
+        { ingress = Bq.create ~capacity:256; replies = Mpsc.create () })
+  in
+  let t =
+    { workers; threads = []; routes = Cmap.create ~shards:16 ();
+      request_queue; reply_cache }
+  in
+  let threads =
+    List.init pool_size (fun i ->
+        Worker.spawn ~name:(Printf.sprintf "%sClientIO-%d" name_prefix i) (fun st ->
+            worker_loop t i st))
+  in
+  { t with threads }
+
+let submit t ~raw ~reply_to =
+  (* Cheap peek at the client id (first i32) to pick the owning worker,
+     without a full decode — the worker does that. *)
+  let client_id =
+    if Bytes.length raw >= 4 then Int32.to_int (Bytes.get_int32_be raw 0)
+    else 0
+  in
+  let idx = worker_of_client t (abs client_id) in
+  Bq.put t.workers.(idx).ingress (raw, reply_to)
+
+let deliver_reply t (reply : Client_msg.reply) =
+  match Cmap.find_opt t.routes reply.id.client_id with
+  | Some (idx, sink) -> Mpsc.push t.workers.(idx).replies (reply, sink)
+  | None -> ()
+
+let ingress_length t =
+  Array.fold_left (fun acc w -> acc + Bq.length w.ingress) 0 t.workers
+
+let stop t =
+  Array.iter (fun w -> Bq.close w.ingress) t.workers;
+  Worker.join_all t.threads

@@ -1,0 +1,47 @@
+(** ClientIO module: pool of client-facing I/O threads.
+
+    Section V-A: a static pool of threads, each owning a subset of client
+    connections. A ClientIO thread deserialises incoming requests, checks
+    the reply cache (answering duplicates immediately), and feeds fresh
+    requests to the RequestQueue; replies produced by the ServiceManager
+    are handed back to the owning thread, which serialises them and
+    invokes the connection's send function.
+
+    Two details keep the pipeline deadlock-free, mirroring the paper's
+    design: the ServiceManager never blocks handing a reply over (each
+    worker has an unbounded lock-free MPSC reply queue), and a worker
+    whose [try_put] into the bounded RequestQueue fails stops accepting
+    new requests while still draining replies — this is the back-pressure
+    that ultimately pushes back on clients (Section V-E). *)
+
+type t
+
+type sink = bytes -> unit
+(** Where a serialised reply is delivered (in-process callback or socket
+    write). *)
+
+val create :
+  ?name_prefix:string ->
+  pool_size:int ->
+  request_queue:Msmr_wire.Client_msg.request Msmr_platform.Bounded_queue.t ->
+  reply_cache:Reply_cache.t ->
+  unit ->
+  t
+(** Starts [pool_size] threads named [<prefix>ClientIO-<i>]. *)
+
+val submit : t -> raw:bytes -> reply_to:sink -> unit
+(** Hand one serialised request to the pool (round-robin per client id,
+    so one client always lands on the same thread, like a persistent
+    connection). Blocks when that thread's ingress queue is full —
+    equivalent to TCP back-pressure on a real connection. *)
+
+val deliver_reply : t -> Msmr_wire.Client_msg.reply -> unit
+(** Called by the ServiceManager: route the reply to the thread owning
+    the client and return immediately. Replies for unknown clients are
+    dropped (the client reconnected elsewhere). *)
+
+val ingress_length : t -> int
+(** Total queued ingress frames across workers (for statistics). *)
+
+val stop : t -> unit
+(** Close ingress queues and join the worker threads. *)

@@ -1,0 +1,599 @@
+module Bq = Msmr_platform.Bounded_queue
+module Dq = Msmr_platform.Delay_queue
+module Worker = Msmr_platform.Worker
+module Thread_state = Msmr_platform.Thread_state
+module Mclock = Msmr_platform.Mclock
+module Counter = Msmr_platform.Rate_meter.Counter
+module Client_msg = Msmr_wire.Client_msg
+open Msmr_consensus
+
+let log_src = Logs.Src.create "msmr.replica" ~doc:"Replica runtime"
+
+module Log_ = (val Logs.src_log log_src : Logs.LOG)
+
+type event =
+  | Peer_msg of { from : Types.node_id; msg : Msg.t }
+  | Suspect
+  | Snapshot_taken of { next_iid : Types.iid; state : bytes }
+  | Proposal_ready
+      (** Batcher signal: the ProposalQueue has something for the
+          Protocol thread (keeps the event loop fully blocking). *)
+  | Housekeeping_tick  (** periodic catch-up check, from the FD thread *)
+
+type decision =
+  | Exec of { iid : Types.iid; value : Value.t }
+  | Install of { state : bytes }
+
+type durability =
+  | Ephemeral
+  | Durable of { dir : string; sync : Msmr_storage.Wal.sync_policy }
+
+type rtx_entry = {
+  r_dest : Types.node_id list;
+  r_msg : Msg.t;
+  r_cancelled : bool Atomic.t;
+}
+
+type t = {
+  cfg : Config.t;
+  me : Types.node_id;
+  service : Service.t;
+  (* Queues (Figure 3). *)
+  dispatcher_q : event Bq.t;
+  proposal_q : Batch.t Bq.t;
+  request_q : Client_msg.request Bq.t;
+  decision_q : decision Bq.t;
+  send_qs : Msg.t Bq.t array;           (* one per node id; own slot unused *)
+  rtx_dq : rtx_entry Dq.t;
+  (* Modules. *)
+  links : (Types.node_id * Transport.link) list;
+  store : Msmr_storage.Replica_store.t option;
+  recovered : Msmr_storage.Replica_store.recovered option;
+  reply_cache : Reply_cache.t;
+  mutable client_io : Client_io.t option;
+  fd : Failure_detector.t;
+  (* Shared introspection state (single-word, lock-free). *)
+  leader_now : int Atomic.t;
+  view_now : int Atomic.t;
+  am_leader : bool Atomic.t;
+  executed : Counter.t;
+  decided : Counter.t;
+  send_q_drops : Counter.t;
+  running : bool Atomic.t;
+  mutable threads : Worker.t list;
+  mutable window_now : int Atomic.t;
+  first_undecided_now : int Atomic.t;
+}
+
+let me t = t.me
+let is_leader t = Atomic.get t.am_leader
+let current_view t = Atomic.get t.view_now
+let executed_count t = Counter.get t.executed
+let decided_count t = Counter.get t.decided
+
+type queue_stats = {
+  request_queue : int;
+  proposal_queue : int;
+  dispatcher_queue : int;
+  decision_queue : int;
+  window_in_use : int;
+}
+
+let queue_stats t =
+  { request_queue = Bq.length t.request_q;
+    proposal_queue = Bq.length t.proposal_q;
+    dispatcher_queue = Bq.length t.dispatcher_q;
+    decision_queue = Bq.length t.decision_q;
+    window_in_use = Atomic.get t.window_now }
+
+let submit t ~raw ~reply_to =
+  match t.client_io with
+  | Some cio -> Client_io.submit cio ~raw ~reply_to
+  | None -> invalid_arg "Replica.submit: stopped"
+
+let inject_suspect t = Bq.put t.dispatcher_q Suspect
+
+(* ------------------------------------------------------------------ *)
+(* Protocol thread: executes engine actions. *)
+
+let enqueue_send t dest msg =
+  List.iter
+    (fun d ->
+       if d <> t.me then begin
+         (* Never block the Protocol thread on a send queue (Section V-B):
+            if a peer's sender is saturated, drop — retransmission and
+            catch-up recover. *)
+         match Bq.try_put t.send_qs.(d) msg with
+         | true -> ()
+         | false -> Counter.incr t.send_q_drops
+         | exception Bq.Closed -> ()
+       end)
+    dest
+
+let protocol_apply t (rtx_map : (Paxos.rtx_key, rtx_entry) Hashtbl.t) actions =
+  let now = Mclock.now_ns () in
+  List.iter
+    (fun action ->
+       match action with
+       | Paxos.Send { dest; msg } -> enqueue_send t dest msg
+       | Paxos.Execute { iid; value } ->
+         Counter.incr t.decided;
+         (try Bq.put t.decision_q (Exec { iid; value })
+          with Bq.Closed -> ())
+       | Paxos.Schedule_rtx { key; dest; msg } ->
+         let entry =
+           { r_dest = dest; r_msg = msg; r_cancelled = Atomic.make false }
+         in
+         Hashtbl.replace rtx_map key entry;
+         let at_ns =
+           Int64.add now (Mclock.ns_of_s t.cfg.retransmit_interval_s)
+         in
+         (try ignore (Dq.schedule t.rtx_dq ~at_ns entry)
+          with Dq.Closed -> ())
+       | Paxos.Cancel_rtx key -> (
+           match Hashtbl.find_opt rtx_map key with
+           | Some entry ->
+             (* Lock-free cancellation: flag only; the Retransmitter drops
+                the entry when its timer fires (Section V-C4). *)
+             Atomic.set entry.r_cancelled true;
+             Hashtbl.remove rtx_map key
+           | None -> ())
+       | Paxos.View_changed { view; leader; i_am_leader } ->
+         Atomic.set t.view_now view;
+         Atomic.set t.leader_now leader;
+         Atomic.set t.am_leader i_am_leader;
+         Failure_detector.set_view t.fd ~view ~now_ns:now;
+         Log_.info (fun m ->
+             m "replica %d: view %d, leader %d%s" t.me view leader
+               (if i_am_leader then " (me)" else ""))
+       | Paxos.Install_snapshot { next_iid = _; state } ->
+         (try Bq.put t.decision_q (Install { state }) with Bq.Closed -> ()))
+    actions
+
+let protocol_loop t st =
+  let rtx_map : (Paxos.rtx_key, rtx_entry) Hashtbl.t = Hashtbl.create 256 in
+  (* Durable mode: every promise is logged before the Prepare_ok leaves,
+     every acceptance before the Accepted leaves (with Sync_every_write
+     this is the full acceptor durability contract; the weaker policies
+     trade a suffix for speed, as the paper's evaluation setup does). *)
+  let persist ev =
+    match t.store with
+    | Some store -> Msmr_storage.Replica_store.log_event store ev
+    | None -> ()
+  in
+  let persist_actions actions =
+    if t.store <> None then
+      List.iter
+        (fun action ->
+           match action with
+           | Paxos.View_changed { view; _ } ->
+             persist (Msmr_storage.Replica_store.View view)
+           | Paxos.Schedule_rtx
+               { key = Paxos.Rtx_accept (view, iid);
+                 msg = Msg.Accept { value; _ }; _ } ->
+             (* The leader accepts its own proposal. *)
+             persist (Msmr_storage.Replica_store.Accepted { iid; view; value })
+           | Paxos.Execute { iid; _ } ->
+             persist
+               (Msmr_storage.Replica_store.Decided
+                  { iid; view = Atomic.get t.view_now })
+           | Paxos.Send _ | Paxos.Schedule_rtx _ | Paxos.Cancel_rtx _
+           | Paxos.Install_snapshot _ -> ())
+        actions
+  in
+  let apply actions =
+    persist_actions actions;
+    protocol_apply t rtx_map actions
+  in
+  let engine =
+    match t.recovered with
+    | None ->
+      let engine = Paxos.create t.cfg ~me:t.me in
+      apply (Paxos.bootstrap engine);
+      engine
+    | Some r ->
+      let engine, replays =
+        Paxos.recover t.cfg ~me:t.me
+          ~view:r.Msmr_storage.Replica_store.r_view ~accepted:r.r_accepted
+          ~decided:r.r_decided ~snapshot:r.r_snapshot
+      in
+      (* Replays rebuild the service state; do not re-log them. *)
+      protocol_apply t rtx_map replays;
+      engine
+  in
+  let handle = function
+    | Proposal_ready -> ()
+    | Housekeeping_tick -> apply (Paxos.tick_catchup engine)
+    | Peer_msg { from; msg } ->
+      (* Acceptor durability: the promise/acceptance must hit the log
+         before the corresponding Prepare_ok/Accepted can leave. Logging
+         before the engine even looks at the message is pessimistic
+         (stale messages get logged too) but recovery keeps only the
+         highest view per instance, so it is safe. *)
+      (match msg with
+       | Msg.Accept { view; iid; value } ->
+         persist (Msmr_storage.Replica_store.Accepted { iid; view; value })
+       | Msg.Prepare { view; _ } ->
+         persist (Msmr_storage.Replica_store.View view)
+       | Msg.Catchup_reply { entries; _ } ->
+         (* Values learnt through catch-up never came in an Accept;
+            persist them so recovery does not lose the executed prefix. *)
+         List.iter
+           (fun (e : Msg.log_entry) ->
+              if e.e_decided then begin
+                persist
+                  (Msmr_storage.Replica_store.Accepted
+                     { iid = e.e_iid; view = e.e_view; value = e.e_value });
+                persist
+                  (Msmr_storage.Replica_store.Decided
+                     { iid = e.e_iid; view = e.e_view })
+              end)
+           entries
+       | Msg.Prepare_ok _ | Msg.Accepted _ | Msg.Decide _
+       | Msg.Catchup_query _ | Msg.Heartbeat _ -> ());
+      apply (Paxos.receive engine ~from msg)
+    | Suspect -> apply (Paxos.suspect_leader engine)
+    | Snapshot_taken { next_iid; state } ->
+      apply (Paxos.note_snapshot engine ~next_iid ~state)
+  in
+  while Atomic.get t.running do
+    (match Bq.take ~st t.dispatcher_q with
+     | ev ->
+       handle ev;
+       (* Drain a bounded burst to amortise queue locking. *)
+       let rec burst k =
+         if k > 0 then
+           match Bq.try_take t.dispatcher_q with
+           | Some ev -> handle ev; burst (k - 1)
+           | None -> ()
+       in
+       burst 64
+     | exception Bq.Closed -> Atomic.set t.running false);
+    (* Start new ballots while the window allows (pipelining). *)
+    let rec feed () =
+      if Paxos.can_propose engine then
+        match Bq.try_take t.proposal_q with
+        | Some batch ->
+          apply (Paxos.propose engine batch);
+          feed ()
+        | None -> ()
+    in
+    feed ();
+    Atomic.set t.window_now (Paxos.window_in_use engine);
+    Atomic.set t.first_undecided_now
+      (Msmr_consensus.Log.first_undecided (Paxos.log engine))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Batcher thread. Several may run (the paper's Section VI-B extension);
+   they share the RequestQueue and build disjoint batches, with disjoint
+   [src] spaces keeping batch ids unique. *)
+
+let batcher_loop idx t st =
+  let policy = Batcher.create t.cfg ~src:(t.me + (t.cfg.Config.n * idx)) in
+  let running = ref true in
+  while !running && Atomic.get t.running do
+    let now = Mclock.now_ns () in
+    let timeout_s =
+      match Batcher.deadline_ns policy with
+      | None -> 0.002
+      | Some d -> Float.max 0.0001 (Float.min 0.002 (Mclock.s_of_ns (Int64.sub d now)))
+    in
+    let publish batch =
+      try
+        Bq.put ~st t.proposal_q batch;
+        ignore (Bq.try_put t.dispatcher_q Proposal_ready)
+      with Bq.Closed -> running := false
+    in
+    match Bq.take_timeout ~st t.request_q ~timeout_s with
+    | Some req -> (
+        match Batcher.add policy req ~now_ns:(Mclock.now_ns ()) with
+        | Some batch -> publish batch
+        | None -> ())
+    | None -> (
+        match Batcher.flush_due policy ~now_ns:(Mclock.now_ns ()) with
+        | Some batch -> publish batch
+        | None -> ())
+    | exception Bq.Closed ->
+      (* Flush the open batch on shutdown. *)
+      (match Batcher.force_flush policy with
+       | Some batch -> (try Bq.put t.proposal_q batch with Bq.Closed -> ())
+       | None -> ());
+      running := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* ReplicaIO threads. *)
+
+let sender_loop t peer (link : Transport.link) st =
+  let q = t.send_qs.(peer) in
+  let continue = ref true in
+  while !continue do
+    match Bq.take ~st q with
+    | msg ->
+      let bytes = Msg.encode msg in
+      Thread_state.enter st Thread_state.Other (fun () -> link.send_bytes bytes);
+      Failure_detector.note_send t.fd ~dest:peer ~now_ns:(Mclock.now_ns ())
+    | exception Bq.Closed -> continue := false
+  done
+
+let receiver_loop t peer (link : Transport.link) st =
+  let continue = ref true in
+  while !continue do
+    match
+      Thread_state.enter st Thread_state.Other (fun () -> link.recv_bytes ())
+    with
+    | None -> continue := false
+    | Some raw -> (
+        match Msg.decode raw with
+        | msg ->
+          Failure_detector.note_recv t.fd ~from:peer ~now_ns:(Mclock.now_ns ());
+          (try Bq.put ~st t.dispatcher_q (Peer_msg { from = peer; msg })
+           with Bq.Closed -> continue := false)
+        | exception (Msmr_wire.Codec.Underflow | Msmr_wire.Codec.Malformed _) ->
+          Log_.warn (fun m -> m "replica %d: bad frame from %d" t.me peer))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* FailureDetector thread. *)
+
+let fd_loop t st =
+  while Atomic.get t.running do
+    let now = Mclock.now_ns () in
+    List.iter
+      (fun verdict ->
+         match verdict with
+         | Failure_detector.Heartbeat_to peers ->
+           (* Only an ACTIVE leader advertises liveness: a recovered or
+              deposed node that still sits in a view it nominally leads
+              must not suppress the other replicas' suspicion. *)
+           if Atomic.get t.am_leader then begin
+             let msg =
+               Msg.Heartbeat
+                 { view = Atomic.get t.view_now;
+                   first_undecided = Atomic.get t.first_undecided_now }
+             in
+             List.iter (fun p -> ignore (Bq.try_put t.send_qs.(p) msg)) peers
+           end
+         | Failure_detector.Suspect _leader -> (
+             try Bq.put t.dispatcher_q Suspect with Bq.Closed -> ()))
+      (Failure_detector.poll t.fd ~now_ns:now);
+    (* Drive the Protocol thread's periodic catch-up check too, so its
+       event loop can block indefinitely between events. *)
+    (try ignore (Bq.try_put t.dispatcher_q Housekeeping_tick)
+     with Bq.Closed -> ());
+    let wake = Failure_detector.next_wake_ns t.fd ~now_ns:now in
+    let nap =
+      Float.min t.cfg.catchup_interval_s
+        (Float.max 0.001 (Mclock.s_of_ns (Int64.sub wake now)))
+    in
+    Thread_state.enter st Thread_state.Other (fun () -> Mclock.sleep_s nap)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Retransmitter thread. *)
+
+let retransmitter_loop t st =
+  let continue = ref true in
+  while !continue do
+    match Dq.take ~st t.rtx_dq with
+    | entry ->
+      if not (Atomic.get entry.r_cancelled) then begin
+        enqueue_send t entry.r_dest entry.r_msg;
+        let at_ns =
+          Int64.add (Mclock.now_ns ())
+            (Mclock.ns_of_s t.cfg.retransmit_interval_s)
+        in
+        try ignore (Dq.schedule t.rtx_dq ~at_ns entry)
+        with Dq.Closed -> continue := false
+      end
+    | exception Dq.Closed -> continue := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* ServiceManager (Replica) thread. *)
+
+let service_manager_loop t st =
+  let instances_executed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Bq.take ~st t.decision_q with
+    | exception Bq.Closed -> continue := false
+    | Install { state } -> t.service.restore state
+    | Exec { iid; value } ->
+      (match value with
+       | Value.Noop -> ()
+       | Value.Batch batch ->
+         List.iter
+           (fun (req : Client_msg.request) ->
+              (* At-most-once: a duplicate that slipped into a batch is
+                 not re-executed. *)
+              if not (Reply_cache.already_executed t.reply_cache req.id)
+              then begin
+                let result = t.service.execute req in
+                Reply_cache.store t.reply_cache req.id result;
+                Counter.incr t.executed;
+                match t.client_io with
+                | Some cio ->
+                  Client_io.deliver_reply cio { id = req.id; result }
+                | None -> ()
+              end)
+           batch.requests);
+      incr instances_executed;
+      if t.cfg.snapshot_every > 0
+         && !instances_executed mod t.cfg.snapshot_every = 0
+      then begin
+        let state = t.service.snapshot () in
+        (match t.store with
+         | Some store ->
+           Msmr_storage.Replica_store.checkpoint store ~next_iid:(iid + 1)
+             ~state
+         | None -> ());
+        try Bq.put t.dispatcher_q (Snapshot_taken { next_iid = iid + 1; state })
+        with Bq.Closed -> ()
+      end
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let create ?(client_io_threads = 3) ?(batcher_threads = 1)
+    ?(request_queue_capacity = 1000) ?(proposal_queue_capacity = 20)
+    ?(durability = Ephemeral) ~cfg ~me ~links ~service () =
+  (match Config.validate cfg with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Replica.create: " ^ e));
+  let expected = List.sort compare (List.filter (fun p -> p <> me)
+                                      (List.init cfg.Config.n Fun.id)) in
+  let got = List.sort compare (List.map fst links) in
+  if expected <> got then invalid_arg "Replica.create: bad link set";
+  let recovered, store =
+    match durability with
+    | Ephemeral -> (None, None)
+    | Durable { dir; sync } ->
+      (* Replay first, then open the WAL for appending. *)
+      let r = Msmr_storage.Replica_store.recover ~dir in
+      (Some r, Some (Msmr_storage.Replica_store.openw ~sync ~dir ()))
+  in
+  let t =
+    { cfg; me; service;
+      dispatcher_q = Bq.create ~capacity:4096;
+      proposal_q = Bq.create ~capacity:proposal_queue_capacity;
+      request_q = Bq.create ~capacity:request_queue_capacity;
+      decision_q = Bq.create ~capacity:1024;
+      send_qs = Array.init cfg.Config.n (fun _ -> Bq.create ~capacity:4096);
+      rtx_dq = Dq.create ();
+      links;
+      store;
+      recovered;
+      reply_cache = Reply_cache.create ();
+      client_io = None;
+      fd = Failure_detector.create cfg ~me ~now_ns:(Mclock.now_ns ());
+      leader_now = Atomic.make 0;
+      view_now = Atomic.make 0;
+      am_leader = Atomic.make false;
+      executed = Counter.create ();
+      decided = Counter.create ();
+      send_q_drops = Counter.create ();
+      running = Atomic.make true;
+      threads = [];
+      window_now = Atomic.make 0;
+      first_undecided_now = Atomic.make 0 }
+  in
+  let cio =
+    Client_io.create
+      ~name_prefix:(Printf.sprintf "r%d/" me)
+      ~pool_size:client_io_threads ~request_queue:t.request_q
+      ~reply_cache:t.reply_cache ()
+  in
+  t.client_io <- Some cio;
+  let spawn name f =
+    Worker.spawn ~name:(Printf.sprintf "r%d/%s" me name) (fun st -> f t st)
+  in
+  let io_threads =
+    List.concat_map
+      (fun (peer, link) ->
+         [ Worker.spawn ~name:(Printf.sprintf "r%d/ReplicaIOSnd-%d" me peer)
+             (fun st -> sender_loop t peer link st);
+           Worker.spawn ~name:(Printf.sprintf "r%d/ReplicaIORcv-%d" me peer)
+             (fun st -> receiver_loop t peer link st) ])
+      links
+  in
+  let syncer =
+    match durability with
+    | Durable { sync = Msmr_storage.Wal.Sync_periodic; _ } ->
+      [ spawn "Syncer" (fun t st ->
+            let store = Option.get t.store in
+            while Atomic.get t.running do
+              Thread_state.enter st Thread_state.Other (fun () ->
+                  Mclock.sleep_s 0.005);
+              Msmr_storage.Replica_store.sync store
+            done) ]
+    | Durable _ | Ephemeral -> []
+  in
+  let batchers =
+    List.init (max 1 batcher_threads) (fun i ->
+        spawn
+          (if batcher_threads <= 1 then "Batcher"
+           else Printf.sprintf "Batcher-%d" i)
+          (batcher_loop i))
+  in
+  t.threads <-
+    [ spawn "Protocol" protocol_loop;
+      spawn "FailureDetector" fd_loop;
+      spawn "Retransmitter" retransmitter_loop;
+      spawn "Replica" service_manager_loop ]
+    @ batchers @ io_threads @ syncer;
+  t
+
+let stop t =
+  if Atomic.exchange t.running false then begin
+    (match t.client_io with Some cio -> Client_io.stop cio | None -> ());
+    Bq.close t.request_q;
+    Bq.close t.proposal_q;
+    Bq.close t.dispatcher_q;
+    Bq.close t.decision_q;
+    Array.iter Bq.close t.send_qs;
+    Dq.close t.rtx_dq;
+    List.iter (fun (_, (link : Transport.link)) -> link.close ()) t.links;
+    Worker.join_all t.threads;
+    (match t.store with
+     | Some store -> Msmr_storage.Replica_store.close store
+     | None -> ());
+    t.client_io <- None
+  end
+
+module Cluster = struct
+  type replica = t
+
+  type t = {
+    hub : Transport.Hub.t;
+    replicas : replica array;
+  }
+
+  let create ?client_io_threads ?durability ~cfg ~service () =
+    let n = cfg.Config.n in
+    let hub = Transport.Hub.create ~n () in
+    let replicas =
+      Array.init n (fun me ->
+          let links =
+            List.filter_map
+              (fun peer ->
+                 if peer = me then None
+                 else Some (peer, Transport.Hub.link hub ~me ~peer))
+              (List.init n Fun.id)
+          in
+          let durability =
+            match durability with Some f -> f me | None -> Ephemeral
+          in
+          create ?client_io_threads ~durability ~cfg ~me ~links
+            ~service:(service ()) ())
+    in
+    { hub; replicas }
+
+  let replicas t = t.replicas
+  let hub t = t.hub
+
+  let leader t =
+    match Array.find_opt is_leader t.replicas with
+    | Some r -> r
+    | None -> t.replicas.(0)
+
+  let await_leader ?(timeout_s = 5.0) t =
+    let deadline = Int64.add (Mclock.now_ns ()) (Mclock.ns_of_s timeout_s) in
+    let rec go () =
+      match Array.find_opt is_leader t.replicas with
+      | Some r -> r
+      | None ->
+        if Int64.compare (Mclock.now_ns ()) deadline > 0 then
+          failwith "Cluster.await_leader: timeout"
+        else begin
+          Mclock.sleep_s 0.005;
+          go ()
+        end
+    in
+    go ()
+
+  let stop t =
+    Array.iter stop t.replicas;
+    Transport.Hub.close t.hub
+end

@@ -1,0 +1,112 @@
+(** A full replica: the paper's threading architecture, assembled.
+
+    Threads and queues (Figure 3):
+
+    {v
+      clients -> [ClientIO-0..k]  --RequestQueue-->  [Batcher]
+                    ^                                   |
+                    | replies                     ProposalQueue
+                    |                                   v
+      [Replica] <--DecisionQueue-- [Protocol] <--DispatcherQueue-- [ReplicaIORcv-p]
+                                      |  \--SendQueue-p--> [ReplicaIOSnd-p] --> peer p
+                                      |
+                     [FailureDetector]  [Retransmitter]
+    v}
+
+    The Protocol thread owns the {!Msmr_consensus.Paxos} engine
+    exclusively; every other thread communicates with it through queues
+    (or, for the failure-detector timestamps, through single-word shared
+    state), enforcing the paper's no-lock rule inside the
+    ReplicationCore. *)
+
+type t
+
+type durability =
+  | Ephemeral
+      (** no stable storage — the paper's evaluation configuration *)
+  | Durable of { dir : string; sync : Msmr_storage.Wal.sync_policy }
+      (** WAL + snapshot checkpoints in [dir]; on [create] the replica
+          recovers its view, accepted entries and executed prefix from
+          there *)
+
+val create :
+  ?client_io_threads:int ->
+  ?batcher_threads:int ->
+  ?request_queue_capacity:int ->
+  ?proposal_queue_capacity:int ->
+  ?durability:durability ->
+  cfg:Msmr_consensus.Config.t ->
+  me:Msmr_consensus.Types.node_id ->
+  links:(Msmr_consensus.Types.node_id * Transport.link) list ->
+  service:Service.t ->
+  unit ->
+  t
+(** Build and start a replica. [links] must contain one link per peer
+    (every node in [0, cfg.n) except [me]). Defaults: 3 ClientIO threads,
+    1 Batcher thread (more is the paper's Section VI-B extension),
+    RequestQueue capacity 1000 (the paper's setting), ProposalQueue
+    capacity 20. *)
+
+val me : t -> Msmr_consensus.Types.node_id
+
+val submit : t -> raw:bytes -> reply_to:Client_io.sink -> unit
+(** Inject one serialised client request ({!Msmr_wire.Client_msg}); the
+    reply is delivered, serialised, to [reply_to]. Blocks under overload
+    (back-pressure). *)
+
+val is_leader : t -> bool
+val current_view : t -> Msmr_consensus.Types.view
+
+val executed_count : t -> int
+(** Client requests executed so far (excludes duplicates and noops). *)
+
+val decided_count : t -> int
+
+type queue_stats = {
+  request_queue : int;
+  proposal_queue : int;
+  dispatcher_queue : int;
+  decision_queue : int;
+  window_in_use : int;
+}
+
+val queue_stats : t -> queue_stats
+(** Instantaneous sizes of the internal queues (Table I's quantities). *)
+
+val inject_suspect : t -> unit
+(** Test hook: make this replica suspect the current leader now, as if
+    its failure detector had timed out. *)
+
+val stop : t -> unit
+(** Stop all threads and close the peer links. Idempotent. *)
+
+module Cluster : sig
+  (** Convenience: an n-replica in-process cluster over a {!Transport.Hub}. *)
+
+  type replica := t
+
+  type t
+
+  val create :
+    ?client_io_threads:int ->
+    ?durability:(int -> durability) ->
+    cfg:Msmr_consensus.Config.t ->
+    service:(unit -> Service.t) ->
+    unit ->
+    t
+  (** Fresh service instance per replica; [durability] maps a node id to
+      its storage mode (default: all ephemeral). *)
+
+  val replicas : t -> replica array
+  val hub : t -> Transport.Hub.t
+
+  val leader : t -> replica
+  (** The replica currently believing it leads (falls back to replica 0
+      if none does). *)
+
+  val await_leader : ?timeout_s:float -> t -> replica
+  (** Wait until some replica reports leadership. @raise Failure on
+      timeout. *)
+
+  val stop : t -> unit
+end

@@ -1,0 +1,25 @@
+(** Replicated service interface.
+
+    The state machine being replicated. [execute] must be deterministic:
+    given the same state and the same request sequence, every replica must
+    produce the same results. [snapshot]/[restore] support log truncation
+    and state transfer to lagging replicas.
+
+    All three functions are called only from the ServiceManager (Replica)
+    thread, so implementations need no internal synchronisation. *)
+
+type t = {
+  execute : Msmr_wire.Client_msg.request -> bytes;
+  snapshot : unit -> bytes;
+  restore : bytes -> unit;
+}
+
+val null : ?reply_size:int -> unit -> t
+(** The paper's benchmark service (Section VI): discards the request
+    payload and answers with [reply_size] bytes (default 8). Snapshot is
+    empty. *)
+
+val accumulator : unit -> t
+(** A tiny deterministic service used by tests: interprets the payload as
+    a decimal integer, adds it to a running sum and replies with the new
+    sum (as a decimal string). Snapshots carry the sum. *)

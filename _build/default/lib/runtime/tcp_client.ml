@@ -1,0 +1,99 @@
+module Client_msg = Msmr_wire.Client_msg
+module Mclock = Msmr_platform.Mclock
+
+type t = {
+  addrs : Unix.sockaddr array;
+  client_id : int;
+  timeout_s : float;
+  mutable fd : Unix.file_descr option;
+  mutable target : int;              (* index into [addrs] *)
+  mutable seq : int;
+  mutable retry_count : int;
+}
+
+let create ?(timeout_s = 1.0) ~addrs ~client_id () =
+  if addrs = [] then invalid_arg "Tcp_client.create: no addresses";
+  { addrs = Array.of_list addrs; client_id; timeout_s; fd = None; target = 0;
+    seq = 0; retry_count = 0 }
+
+let disconnect t =
+  match t.fd with
+  | Some fd ->
+    t.fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let close = disconnect
+let retries t = t.retry_count
+
+let rec connected t ~attempts_left =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    if attempts_left = 0 then failwith "Tcp_client: no replica reachable";
+    let addr = t.addrs.(t.target) in
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd addr with
+     | () ->
+       Unix.setsockopt fd Unix.TCP_NODELAY true;
+       t.fd <- Some fd;
+       fd
+     | exception Unix.Unix_error _ ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       t.target <- (t.target + 1) mod Array.length t.addrs;
+       Mclock.sleep_s 0.05;
+       connected t ~attempts_left:(attempts_left - 1))
+
+(* Wait for a reply frame with [deadline]; [None] on timeout, raises on a
+   broken connection. *)
+let read_reply fd ~deadline =
+  let rec go () =
+    let now = Unix.gettimeofday () in
+    let budget = deadline -. now in
+    if budget <= 0. then None
+    else begin
+      match Unix.select [ fd ] [] [] budget with
+      | [], _, _ -> None
+      | _ -> (
+          match Msmr_wire.Frame.read fd with
+          | Some raw -> Some (Client_msg.reply_of_bytes raw)
+          | None -> raise End_of_file
+          | exception Msmr_wire.Codec.Malformed _ -> go ())
+    end
+  in
+  go ()
+
+let call t payload =
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let raw =
+    Client_msg.request_to_bytes
+      { id = { client_id = t.client_id; seq }; payload }
+  in
+  let rec attempt () =
+    let rotate_and_retry () =
+      t.retry_count <- t.retry_count + 1;
+      disconnect t;
+      t.target <- (t.target + 1) mod Array.length t.addrs;
+      attempt ()
+    in
+    match connected t ~attempts_left:(3 * Array.length t.addrs) with
+    | fd -> (
+        match Msmr_wire.Frame.write fd raw with
+        | exception (Unix.Unix_error _ | Sys_error _) -> rotate_and_retry ()
+        | () -> (
+            let deadline = Unix.gettimeofday () +. t.timeout_s in
+            let rec await () =
+              match read_reply fd ~deadline with
+              | Some reply when reply.id.seq = seq -> reply.result
+              | Some _ ->
+                (* A late reply to an earlier retried request. *)
+                await ()
+              | None -> rotate_and_retry ()
+            in
+            match await () with
+            | result -> result
+            | exception (End_of_file | Unix.Unix_error _) ->
+              rotate_and_retry ()))
+  in
+  attempt ()

@@ -1,0 +1,30 @@
+(** TCP client library for a replicated service.
+
+    The deployment-side counterpart of {!Client}: a closed-loop caller
+    that talks to a cluster's {!Client_server} ports over framed TCP,
+    retransmits on timeout and rotates through the replica addresses
+    when the current one stops answering (leader change, crash). The
+    cluster's reply cache makes retried requests at-most-once.
+
+    Not thread-safe: one [t] per caller thread (clients are sequential
+    by construction — one outstanding request each). *)
+
+type t
+
+val create :
+  ?timeout_s:float ->
+  addrs:Unix.sockaddr list ->
+  client_id:int ->
+  unit ->
+  t
+(** [addrs] are the client-facing addresses of the replicas, tried in
+    order. No connection is made until the first {!call}. [timeout_s]
+    (default 1.0) is the per-attempt reply timeout. *)
+
+val call : t -> bytes -> bytes
+(** Execute one request; blocks until a reply arrives, reconnecting and
+    retrying as needed. @raise Failure when every address refuses
+    connections. *)
+
+val retries : t -> int
+val close : t -> unit

@@ -1,0 +1,71 @@
+module Mclock = Msmr_platform.Mclock
+
+let hello_frame me =
+  let w = Msmr_wire.Codec.W.create ~initial:8 () in
+  Msmr_wire.Codec.W.i32 w me;
+  Msmr_wire.Codec.W.contents w
+
+let id_of_hello b =
+  let r = Msmr_wire.Codec.R.of_bytes b in
+  let id = Msmr_wire.Codec.R.i32 r in
+  Msmr_wire.Codec.R.expect_end r;
+  id
+
+let establish ?(connect_timeout_s = 30.) ~me ~addrs () =
+  let my_addr = List.assoc me addrs in
+  let higher = List.filter (fun (id, _) -> id > me) addrs in
+  let lower = List.filter (fun (id, _) -> id < me) addrs in
+  let listener = Unix.socket (Unix.domain_of_sockaddr my_addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener my_addr;
+  Unix.listen listener 8;
+  let deadline = Int64.add (Mclock.now_ns ()) (Mclock.ns_of_s connect_timeout_s) in
+  let links = ref [] in
+  let links_lock = Mutex.create () in
+  let add id link =
+    Mutex.lock links_lock;
+    links := (id, link) :: !links;
+    Mutex.unlock links_lock
+  in
+  (* Accept connections from higher-id peers. *)
+  let acceptor =
+    Thread.create
+      (fun () ->
+         let expected = List.length higher in
+         let got = ref 0 in
+         while !got < expected do
+           let fd, _ = Unix.accept listener in
+           Unix.setsockopt fd Unix.TCP_NODELAY true;
+           match Msmr_wire.Frame.read fd with
+           | Some hello ->
+             let id = id_of_hello hello in
+             add id (Transport.Tcp.link_of_fd fd);
+             incr got
+           | None | (exception _) -> (try Unix.close fd with _ -> ())
+         done)
+      ()
+  in
+  (* Connect to lower-id peers, retrying until they are up. *)
+  List.iter
+    (fun (id, addr) ->
+       let rec attempt () =
+         if Int64.compare (Mclock.now_ns ()) deadline > 0 then
+           failwith (Printf.sprintf "Tcp_mesh: cannot reach node %d" id);
+         match Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 with
+         | fd -> (
+             match Unix.connect fd addr with
+             | () ->
+               Unix.setsockopt fd Unix.TCP_NODELAY true;
+               Msmr_wire.Frame.write fd (hello_frame me);
+               add id (Transport.Tcp.link_of_fd fd)
+             | exception Unix.Unix_error _ ->
+               Unix.close fd;
+               Mclock.sleep_s 0.1;
+               attempt ())
+         | exception e -> raise e
+       in
+       attempt ())
+    lower;
+  Thread.join acceptor;
+  Unix.close listener;
+  !links

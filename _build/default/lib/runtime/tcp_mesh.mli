@@ -1,0 +1,17 @@
+(** Replica-to-replica TCP mesh establishment.
+
+    Every replica listens on its own address; the replica with the lower
+    id initiates the connection for each pair and identifies itself with
+    a one-frame hello carrying its node id. [establish] retries
+    connections until the whole mesh is up (peers may start in any
+    order), so it blocks until all [n - 1] links exist. *)
+
+val establish :
+  ?connect_timeout_s:float ->
+  me:Msmr_consensus.Types.node_id ->
+  addrs:(Msmr_consensus.Types.node_id * Unix.sockaddr) list ->
+  unit ->
+  (Msmr_consensus.Types.node_id * Transport.link) list
+(** [addrs] must contain every node including [me] (whose address is the
+    one listened on). @raise Failure when the mesh cannot be completed
+    within [connect_timeout_s] (default 30 s). *)

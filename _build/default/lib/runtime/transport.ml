@@ -1,0 +1,111 @@
+module Bq = Msmr_platform.Bounded_queue
+
+type link = {
+  send_bytes : bytes -> unit;
+  recv_bytes : unit -> bytes option;
+  close : unit -> unit;
+}
+
+module Hub = struct
+  type pipe = {
+    queue : bytes Bq.t;
+    mutable drop_rate : float;
+    rng : Random.State.t;
+  }
+
+  type t = {
+    n : int;
+    pipes : pipe array array;      (* pipes.(src).(dst) *)
+    cut_nodes : bool array;
+    sent : Msmr_platform.Rate_meter.Counter.t;
+  }
+
+  let create ?(capacity = 4096) ~n () =
+    { n;
+      pipes =
+        Array.init n (fun src ->
+            Array.init n (fun dst ->
+                { queue = Bq.create ~capacity;
+                  drop_rate = 0.;
+                  rng = Random.State.make [| (src * 131) + dst |] }));
+      cut_nodes = Array.make n false;
+      sent = Msmr_platform.Rate_meter.Counter.create () }
+
+  let link t ~me ~peer =
+    if me = peer then invalid_arg "Hub.link: self link";
+    let out = t.pipes.(me).(peer) and inc = t.pipes.(peer).(me) in
+    { send_bytes =
+        (fun b ->
+           Msmr_platform.Rate_meter.Counter.incr t.sent;
+           if t.cut_nodes.(me) || t.cut_nodes.(peer) then ()
+           else if out.drop_rate > 0.
+                   && Random.State.float out.rng 1.0 < out.drop_rate then ()
+           else
+             (* A closed queue means shutdown: drop silently like a broken
+                TCP connection would. *)
+             try Bq.put out.queue b with Bq.Closed -> ());
+      recv_bytes =
+        (fun () ->
+           (* A cut only blocks new sends; frames already queued were "in
+              flight" and still arrive. *)
+           match Bq.take inc.queue with
+           | b -> Some b
+           | exception Bq.Closed -> None);
+      close = (fun () -> Bq.close inc.queue) }
+
+  let set_drop_rate t ~src ~dst rate = t.pipes.(src).(dst).drop_rate <- rate
+  let cut t node = t.cut_nodes.(node) <- true
+  let heal t node = t.cut_nodes.(node) <- false
+
+  let close t =
+    Array.iter (fun row -> Array.iter (fun p -> Bq.close p.queue) row) t.pipes
+
+  let frames_sent t = Msmr_platform.Rate_meter.Counter.get t.sent
+end
+
+module Tcp = struct
+  (* A write to a peer-closed or shut-down socket must surface as EPIPE,
+     not kill the process. Done once, on first TCP use. *)
+  let ignore_sigpipe =
+    lazy
+      (if not Sys.win32 then
+         try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+         with Invalid_argument _ | Sys_error _ -> ())
+
+  let link_of_fd fd =
+    Lazy.force ignore_sigpipe;
+    let closed = Atomic.make false in
+    { send_bytes =
+        (fun b ->
+           if not (Atomic.get closed) then
+             try Msmr_wire.Frame.write fd b
+             with Unix.Unix_error _ -> Atomic.set closed true);
+      recv_bytes =
+        (fun () ->
+           if Atomic.get closed then None
+           else
+             try Msmr_wire.Frame.read fd with
+             | End_of_file | Unix.Unix_error _ ->
+               Atomic.set closed true;
+               None);
+      close =
+        (fun () ->
+           if not (Atomic.exchange closed true) then begin
+             (* [shutdown] first: unlike [close], it wakes a thread
+                blocked in [read]/[write] on this fd (Linux semantics),
+                which is what lets Replica.stop join its ReplicaIO
+                threads. *)
+             (try Unix.shutdown fd Unix.SHUTDOWN_ALL
+              with Unix.Unix_error _ -> ());
+             try Unix.close fd with Unix.Unix_error _ -> ()
+           end) }
+
+  let connect_link addr =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd addr
+     with e ->
+       Unix.close fd;
+       raise e);
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    link_of_fd fd
+end

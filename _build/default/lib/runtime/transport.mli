@@ -1,0 +1,56 @@
+(** Replica-to-replica byte transport.
+
+    A {!link} is one direction-agnostic connection to a peer, carrying
+    framed byte blobs. The ReplicaIO threads (one reader + one sender per
+    peer, Section V-B) are written against this interface, so the same
+    runtime runs over an in-process {!Hub} (tests, examples, fault
+    injection) or real TCP sockets ({!Tcp}). *)
+
+type link = {
+  send_bytes : bytes -> unit;
+      (** Blocking write of one frame. May block when the peer is slow —
+          this is why only the dedicated sender thread calls it. Silently
+          drops the frame when the connection is down (the retransmitter
+          recovers). *)
+  recv_bytes : unit -> bytes option;
+      (** Blocking read of one frame; [None] when the link is closed. *)
+  close : unit -> unit;
+}
+
+module Hub : sig
+  (** In-process network between [n] replicas with fault injection. *)
+
+  type t
+
+  val create : ?capacity:int -> n:int -> unit -> t
+  (** [capacity] bounds each directed byte queue (default 4096 frames). *)
+
+  val link : t -> me:int -> peer:int -> link
+  (** The link endpoint at [me] towards [peer]. Each ordered pair has one
+      queue; calling [link] twice returns endpoints backed by the same
+      queues. *)
+
+  val set_drop_rate : t -> src:int -> dst:int -> float -> unit
+  (** Probability of silently dropping each frame from [src] to [dst]
+      (deterministic PRNG seeded per pair). *)
+
+  val cut : t -> int -> unit
+  (** Disconnect a node: all its incoming and outgoing frames are dropped
+      until {!heal}. Models a crashed or partitioned replica. *)
+
+  val heal : t -> int -> unit
+
+  val close : t -> unit
+
+  val frames_sent : t -> int
+  (** Total frames accepted into the hub (dropped ones included). *)
+end
+
+module Tcp : sig
+  val connect_link : Unix.sockaddr -> link
+  (** Client side of a replica connection; raises [Unix.Unix_error] on
+      failure. *)
+
+  val link_of_fd : Unix.file_descr -> link
+  (** Wrap an accepted socket. *)
+end

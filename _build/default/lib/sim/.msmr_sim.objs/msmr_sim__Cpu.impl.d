@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Engine Float Queue Sstats

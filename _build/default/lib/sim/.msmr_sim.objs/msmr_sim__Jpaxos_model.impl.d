@@ -1,0 +1,1 @@
+lib/sim/jpaxos_model.ml: Array Batch Batcher Bytes Config Cpu Engine Float Hashtbl Int64 List Mailbox Msg Msmr_consensus Msmr_wire Nic Params Paxos Printf Squeue Sstats Types Value

@@ -1,0 +1,1 @@
+lib/sim/jpaxos_model.mli: Params Sstats

@@ -1,0 +1,1 @@
+lib/sim/nic.ml: Engine Queue

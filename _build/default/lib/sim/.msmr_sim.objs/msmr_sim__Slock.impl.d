@@ -1,0 +1,1 @@
+lib/sim/slock.ml: Engine Fun Queue Sstats

@@ -1,0 +1,1 @@
+lib/sim/slock.mli: Engine Sstats

@@ -1,0 +1,1 @@
+lib/sim/squeue.ml: Cpu Engine Queue Slock Sstats

@@ -1,0 +1,1 @@
+lib/sim/squeue.mli: Cpu Engine Sstats

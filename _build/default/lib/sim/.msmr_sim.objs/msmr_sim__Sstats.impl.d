@@ -1,0 +1,1 @@
+lib/sim/sstats.ml: Engine Float Format List

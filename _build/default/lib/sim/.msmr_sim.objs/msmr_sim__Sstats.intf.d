@@ -1,0 +1,1 @@
+lib/sim/sstats.mli: Engine Format

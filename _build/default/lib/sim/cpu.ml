@@ -1,0 +1,67 @@
+type t = {
+  eng : Engine.t;
+  n_cores : int;
+  quantum : float;
+  switch_cost : float;
+  mutable free : int;
+  waiters : (unit -> unit) Queue.t;
+  mutable overhead : unit -> float;
+  mutable used : float;
+}
+
+let create eng ~cores ?(quantum = 0.001) ?(switch_cost = 3e-6) () =
+  if cores <= 0 then invalid_arg "Cpu.create: cores <= 0";
+  { eng; n_cores = cores; quantum; switch_cost; free = cores;
+    waiters = Queue.create (); overhead = (fun () -> 1.0); used = 0. }
+
+let cores t = t.n_cores
+let set_overhead t f = t.overhead <- f
+let consumed t = t.used
+let runnable_waiting t = Queue.length t.waiters
+let reset_consumed t = t.used <- 0.
+
+(* Returns true when the caller had to wait (i.e. was context-switched
+   in). *)
+let acquire t st =
+  if t.free > 0 then begin
+    t.free <- t.free - 1;
+    false
+  end
+  else begin
+    Sstats.set st Sstats.Other;
+    Engine.suspend t.eng (fun resume -> Queue.push resume t.waiters);
+    true
+  end
+
+let release t =
+  match Queue.pop t.waiters with
+  | resume -> resume () (* hand the core over directly *)
+  | exception Queue.Empty -> t.free <- t.free + 1
+
+let work t st seconds =
+  if seconds > 0. then begin
+    let switched = acquire t st in
+    Sstats.set st Sstats.Busy;
+    let remaining =
+      ref ((seconds *. t.overhead ())
+           +. (if switched then t.switch_cost else 0.))
+    in
+    let continue = ref true in
+    while !continue do
+      let slice = Float.min t.quantum !remaining in
+      Engine.delay t.eng slice;
+      t.used <- t.used +. slice;
+      remaining := !remaining -. slice;
+      if !remaining <= 0. then continue := false
+      else if not (Queue.is_empty t.waiters) then begin
+        (* Quantum expired with others runnable: preempt, requeue, and
+           pay for the switch when we run again. *)
+        release t;
+        Sstats.set st Sstats.Other;
+        Engine.suspend t.eng (fun resume -> Queue.push resume t.waiters);
+        Sstats.set st Sstats.Busy;
+        remaining := !remaining +. t.switch_cost
+      end
+    done;
+    release t
+  end

@@ -1,0 +1,46 @@
+(** Simulated multi-core CPU with processor sharing.
+
+    Each node has one {!t} with [cores] cores. Simulated threads call
+    {!work} to consume CPU time; when more threads are runnable than
+    cores, the surplus queues FIFO (accounted as [Other] — runnable but
+    not scheduled, exactly the paper's definition).
+
+    Two second-order effects the paper observes are modelled:
+    - a context-switch cost charged each time a thread gets a core after
+      having had to wait, and on quantum preemption — with more cores
+      there are fewer switches, so CPU utilisation grows slower than
+      throughput (Section VI-A);
+    - optional per-acquisition coherence overhead via {!set_overhead}
+      (used by the ZooKeeper baseline model). *)
+
+type t
+
+val create :
+  Engine.t ->
+  cores:int ->
+  ?quantum:float ->
+  ?switch_cost:float ->
+  unit ->
+  t
+(** Defaults: quantum 1 ms, switch cost 3 µs. *)
+
+val cores : t -> int
+
+val work : t -> Sstats.thread -> float -> unit
+(** Consume [seconds] of CPU on some core, competing with every other
+    thread of this node. Re-entrant calls from the same simulated thread
+    are forbidden (a thread runs on one core at a time). *)
+
+val set_overhead : t -> (unit -> float) -> unit
+(** Extra busy-time multiplier applied to every [work] call: the function
+    returns a factor [>= 1.0], evaluated at acquisition time. Used to
+    model coherence/cache penalties that grow with parallelism. *)
+
+val consumed : t -> float
+(** Total CPU-seconds burned across cores (the paper's "CPU utilisation"
+    numerator: 100% = one core fully busy for the whole run). *)
+
+val runnable_waiting : t -> int
+(** Threads currently queued for a core. *)
+
+val reset_consumed : t -> unit

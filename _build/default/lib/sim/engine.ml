@@ -1,0 +1,102 @@
+module Heap = Msmr_platform.Binary_heap
+
+type event = {
+  at : float;
+  seq : int;
+  fn : unit -> unit;
+}
+
+type t = {
+  heap : event Heap.t;
+  mutable time : float;
+  mutable next_seq : int;
+  mutable processed : int;
+  mutable current_name : string;
+}
+
+exception Process_failure of string * exn
+
+let cmp_event a b =
+  match Float.compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  { heap = Heap.create ~cmp:cmp_event (); time = 0.; next_seq = 0;
+    processed = 0; current_name = "?" }
+
+let now t = t.time
+
+let schedule_at t at fn =
+  let at = if at < t.time then t.time else at in
+  Heap.add t.heap { at; seq = t.next_seq; fn };
+  t.next_seq <- t.next_seq + 1
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Heap.min_elt t.heap with
+    | None -> continue := false
+    | Some ev when ev.at > until ->
+      t.time <- until;
+      continue := false
+    | Some _ ->
+      let ev = Option.get (Heap.pop_min t.heap) in
+      t.time <- ev.at;
+      t.processed <- t.processed + 1;
+      ev.fn ()
+  done
+
+let events_processed t = t.processed
+
+(* ------------------------------------------------------------------ *)
+(* Effects *)
+
+type 'a resumer = 'a -> unit
+
+type _ Effect.t += Suspend : ('a resumer -> unit) -> 'a Effect.t
+
+let suspend _t register = Effect.perform (Suspend register)
+
+let spawn t ?(name = "proc") f =
+  let open Effect.Deep in
+  let body () =
+    match_with f ()
+      { retc = (fun () -> ());
+        exnc = (fun e -> raise (Process_failure (name, e)));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+             match eff with
+             | Suspend register ->
+               Some
+                 (fun (k : (a, _) continuation) ->
+                    let fired = ref false in
+                    register (fun v ->
+                        if !fired then
+                          invalid_arg "Engine: resumer called twice";
+                        fired := true;
+                        (* Resume as a fresh event so a resumer invoked
+                           from another process cannot nest execution. *)
+                        schedule_at t t.time (fun () -> continue k v)))
+             | _ -> None) }
+  in
+  schedule_at t t.time body
+
+let delay t d =
+  if d <= 0. then ()
+  else
+    suspend t (fun resume -> schedule_at t (t.time +. d) (fun () -> resume ()))
+
+type 'a timed_result =
+  | Value of 'a
+  | Timed_out
+
+let suspend_timeout t ~timeout register =
+  suspend t (fun resume ->
+      let settled = ref false in
+      let once r =
+        if not !settled then begin
+          settled := true;
+          resume r
+        end
+      in
+      register (fun v -> once (Value v));
+      schedule_at t (t.time +. timeout) (fun () -> once Timed_out))

@@ -1,0 +1,54 @@
+(** Deterministic discrete-event simulation engine.
+
+    Processes are written in direct style as ordinary OCaml functions and
+    suspended/resumed with effect handlers (OCaml 5), so the simulated
+    replica code reads like the threaded runtime it models. The engine is
+    single-threaded and fully deterministic: same program, same results.
+
+    Time is a [float] in seconds. Events scheduled for the same instant
+    fire in schedule order (a monotone sequence number breaks ties). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time (seconds). *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Start a process at the current time. Exceptions escaping a process
+    abort the simulation with {!Process_failure}. *)
+
+exception Process_failure of string * exn
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** Run a callback at an absolute time (>= now). *)
+
+val run : t -> until:float -> unit
+(** Execute events until the queue is empty or simulated time exceeds
+    [until]. Can be called repeatedly with increasing horizons. *)
+
+val events_processed : t -> int
+
+(** {1 Operations available inside processes} *)
+
+val delay : t -> float -> unit
+(** Suspend the calling process for a simulated duration. *)
+
+type 'a resumer = 'a -> unit
+
+val suspend : t -> ('a resumer -> unit) -> 'a
+(** [suspend t register] suspends the calling process and hands a resumer
+    to [register]. The resumer must be called exactly once, from any
+    process or callback; the suspended process continues at the
+    simulated time of that call (as a fresh event, never re-entrantly).
+    Calling it twice is an error; never calling it leaks the process. *)
+
+type 'a timed_result =
+  | Value of 'a
+  | Timed_out
+
+val suspend_timeout : t -> timeout:float -> ('a resumer -> unit) -> 'a timed_result
+(** Like {!suspend} but resumes with [Timed_out] after [timeout] seconds
+    if the resumer has not been invoked by then. A late resumer call is
+    ignored (exactly-once is enforced internally). *)

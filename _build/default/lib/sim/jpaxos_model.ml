@@ -1,0 +1,515 @@
+open Msmr_consensus
+module Client_msg = Msmr_wire.Client_msg
+
+(* Approximate wire sizes without running the codec on every message —
+   header bytes per constructor, payload bytes from the value. *)
+let approx_size (m : Msg.t) =
+  match m with
+  | Msg.Accept { value; _ } -> 34 + Value.size_bytes value
+  | Msg.Prepare _ | Msg.Accepted _ | Msg.Decide _ | Msg.Heartbeat _ -> 20
+  | Msg.Prepare_ok { entries; _ } | Msg.Catchup_reply { entries; _ } ->
+    List.fold_left (fun acc (e : Msg.log_entry) ->
+        acc + 18 + Value.size_bytes e.e_value) 24 entries
+  | Msg.Catchup_query _ -> 24
+
+(* TCP-like segment coalescing at the sender: consecutive queued messages
+   share Ethernet frames (this is what lets a Decide piggyback on the next
+   Accept and keeps the leader within its packet budget — Section VI-D3). *)
+let segment_payload = 1448
+
+type cio_ev =
+  | Req of Client_msg.request
+  | Rep of Client_msg.request_id
+
+type disp_ev =
+  | PMsg of Types.node_id * Msg.t
+  | Poke
+
+type decision_ev = { d_iid : Types.iid; d_value : Value.t }
+
+type replica_report = {
+  cpu_util_pct : float;
+  blocked_pct : float;
+  threads : (string * Sstats.totals) list;
+}
+
+type result = {
+  throughput : float;
+  client_latency : float;
+  instance_latency : float;
+  avg_batch_reqs : float;
+  avg_batch_bytes : float;
+  avg_window : float;
+  avg_request_queue : float;
+  avg_proposal_queue : float;
+  avg_dispatcher_queue : float;
+  replicas : replica_report array;
+  leader_tx_pps : float;
+  leader_rx_pps : float;
+  leader_tx_mbps : float;
+  leader_rx_mbps : float;
+  rtt_leader : float;
+  rtt_followers : float;
+  rtt_idle : float;
+  events : int;
+}
+
+type node = {
+  id : int;
+  cpu : Cpu.t;
+  nic : Nic.t;
+  engine : Paxos.t;
+  dispatcher_q : disp_ev Squeue.t;
+  proposal_q : Batch.t Squeue.t;
+  request_qs : Client_msg.request Squeue.t array;   (* one per Batcher *)
+  decision_q : decision_ev Squeue.t;
+  send_qs : Msg.t Squeue.t array;
+  rcv_mbs : (Types.node_id * Msg.t) Mailbox.t array;  (* per peer *)
+  cio_mbs : cio_ev Mailbox.t array;                   (* per ClientIO thread *)
+  mutable threads : Sstats.thread list;               (* registration order *)
+}
+
+type client = {
+  cid : int;
+  mutable next_seq : int;
+  mutable sent_at : float;
+}
+
+let run (p : Params.t) =
+  let eng = Engine.create () in
+  let c = p.costs in
+  let speed = p.profile.cpu_speed in
+  let cost x = x /. speed in
+  (* Kernel network-stack contention grows with ClientIO threads beyond
+     8 (Figure 9 / Section VI-C). *)
+  let net_slowdown =
+    1.0
+    +. (p.net_contention_per_io_thread
+        *. float_of_int (max 0 (p.client_io_threads - 8)))
+  in
+  let pkt_rate =
+    p.profile.pkt_rate /. net_slowdown *. (if p.rss then 2.0 else 1.0)
+  in
+  let cfg =
+    { (Config.default ~n:p.n) with
+      window = p.wnd;
+      max_batch_bytes = p.bsz;
+      max_batch_delay_s = 0.005;
+      snapshot_every = 0 }
+  in
+  (* ---------------- nodes ---------------- *)
+  let mk_node id =
+    let cpu =
+      Cpu.create eng ~cores:p.cores ~switch_cost:(cost c.switch_cost) ()
+    in
+    let nic =
+      Nic.create eng ~pkt_rate ~bandwidth:p.profile.bandwidth
+        ~name:(Printf.sprintf "nic-%d" id) ()
+    in
+    { id; cpu; nic;
+      engine = Paxos.create cfg ~me:id;
+      dispatcher_q = Squeue.create eng ~cpu ~capacity:100_000 ~name:"DispatcherQueue" ();
+      proposal_q = Squeue.create eng ~cpu ~capacity:20 ~name:"ProposalQueue" ();
+      request_qs =
+        Array.init p.n_batchers (fun _ ->
+            Squeue.create eng ~cpu ~capacity:1000 ~name:"RequestQueue" ());
+      decision_q = Squeue.create eng ~cpu ~capacity:4096 ~name:"DecisionQueue" ();
+      send_qs = Array.init p.n (fun _ -> Squeue.create eng ~cpu ~capacity:100_000 ~name:"SendQueue" ());
+      rcv_mbs = Array.init p.n (fun _ -> Mailbox.create eng ());
+      cio_mbs = Array.init p.client_io_threads (fun _ -> Mailbox.create eng ());
+      threads = [] }
+  in
+  let nodes = Array.init p.n mk_node in
+  let leader = nodes.(0) in
+  (* Two idle nodes for the Table II "other <-> other" probe. *)
+  let idle_a = Nic.create eng ~pkt_rate:p.profile.pkt_rate
+      ~bandwidth:p.profile.bandwidth ~name:"idle-a" () in
+  let idle_b = Nic.create eng ~pkt_rate:p.profile.pkt_rate
+      ~bandwidth:p.profile.bandwidth ~name:"idle-b" () in
+  let register node st = node.threads <- node.threads @ [ st ] in
+  (* ---------------- measurement state ---------------- *)
+  let measuring = ref false in
+  let completed = ref 0 in
+  let lat_sum = ref 0. and lat_n = ref 0 in
+  let inst_sum = ref 0. and inst_n = ref 0 in
+  let batch_reqs = ref 0 and batch_bytes = ref 0 and batches = ref 0 in
+  let window_gauge = Sstats.Gauge.create eng in
+  let rtt_leader = ref [] and rtt_follow = ref [] and rtt_idle = ref [] in
+  (* ---------------- clients ---------------- *)
+  let payload = Bytes.make (max 0 (p.request_size - 16)) 'x' in
+  let clients =
+    Array.init p.n_clients (fun i ->
+        { cid = i; next_seq = 0; sent_at = 0. })
+  in
+  let client_resume : (unit -> unit) option array =
+    Array.make p.n_clients None
+  in
+  (* Reply delivery: ServiceManager -> owning ClientIO thread. *)
+  let cio_of_client cid = cid mod p.client_io_threads in
+  (* Client process: closed loop; the request is one packet into the
+     leader's RX (client machines themselves are never the bottleneck:
+     1800 clients spread over 6 machines). *)
+  let client_proc cl () =
+    (* Stagger start so the initial burst is not one giant event spike. *)
+    Engine.delay eng (1e-6 *. float_of_int cl.cid);
+    let rec loop () =
+      cl.next_seq <- cl.next_seq + 1;
+      let req =
+        { Client_msg.id = { client_id = cl.cid; seq = cl.next_seq }; payload }
+      in
+      cl.sent_at <- Engine.now eng;
+      Engine.suspend eng (fun resume ->
+          client_resume.(cl.cid) <- Some resume;
+          Engine.schedule_at eng (Engine.now eng +. 30e-6) (fun () ->
+              Nic.rx_inject leader.nic ~size:p.request_size (fun () ->
+                  Mailbox.push leader.cio_mbs.(cio_of_client cl.cid) (Req req))));
+      if !measuring then begin
+        incr completed;
+        lat_sum := !lat_sum +. (Engine.now eng -. cl.sent_at);
+        incr lat_n
+      end;
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- ClientIO threads (leader only) ---------------- *)
+  let cio_proc node idx () =
+    let st =
+      Sstats.make_thread eng ~name:(Printf.sprintf "ClientIO-%d" idx)
+    in
+    register node st;
+    let mb = node.cio_mbs.(idx) in
+    (* On overload the blocking put stalls this thread on the full
+       RequestQueue - the paper's back-pressure: the ClientIO thread
+       stops reading new requests. Replies queue up behind it in the
+       (unbounded, push-only) mailbox, so no cycle can deadlock, and the
+       queue's FIFO waiters keep the threads fair. *)
+    let handle = function
+      | Rep id ->
+        Cpu.work node.cpu st (cost c.client_write);
+        (* One packet per reply: distinct client connections do not
+           share segments. *)
+        Nic.send_to_wire node.nic ~size:p.reply_size (fun () ->
+            match client_resume.(id.client_id) with
+            | Some resume ->
+              client_resume.(id.client_id) <- None;
+              resume ()
+            | None -> ())
+      | Req req ->
+        Cpu.work node.cpu st (cost c.client_read);
+        Squeue.put node.request_qs.(req.id.client_id mod p.n_batchers) st req
+    in
+    let rec loop () =
+      handle (Mailbox.take mb st);
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- Batcher ---------------- *)
+  let batcher_proc node bidx () =
+    let st =
+      Sstats.make_thread eng
+        ~name:
+          (if p.n_batchers = 1 then "Batcher"
+           else Printf.sprintf "Batcher-%d" bidx)
+    in
+    register node st;
+    (* Distinct [src] spaces keep batch ids unique across batchers. *)
+    let policy = Batcher.create cfg ~src:(node.id + (bidx * 64)) in
+    let now_ns () = Int64.of_float (Engine.now eng *. 1e9) in
+    let seal batch =
+      Cpu.work node.cpu st (cost c.batcher_per_batch);
+      if !measuring then begin
+        incr batches;
+        batch_reqs := !batch_reqs + Batch.request_count batch;
+        batch_bytes := !batch_bytes + Batch.size_bytes batch
+      end;
+      Squeue.put node.proposal_q st batch;
+      Squeue.put node.dispatcher_q st Poke
+    in
+    let rec loop () =
+      let timeout =
+        match Batcher.deadline_ns policy with
+        | None -> 1.0
+        | Some d ->
+          Float.max 1e-5 ((Int64.to_float d /. 1e9) -. Engine.now eng)
+      in
+      (match Squeue.take_timeout node.request_qs.(bidx) st ~timeout with
+       | Some req ->
+         Cpu.work node.cpu st (cost c.batcher_per_req);
+         (match Batcher.add policy req ~now_ns:(now_ns ()) with
+          | Some batch -> seal batch
+          | None -> ())
+       | None -> (
+           match Batcher.flush_due policy ~now_ns:(now_ns ()) with
+           | Some batch -> seal batch
+           | None -> ()));
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- Protocol ---------------- *)
+  let inst_t0 : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let protocol_proc node () =
+    let st = Sstats.make_thread eng ~name:"Protocol" in
+    register node st;
+    let apply actions =
+      List.iter
+        (fun action ->
+           match action with
+           | Paxos.Send { dest; msg } ->
+             List.iter
+               (fun d -> if d <> node.id then Squeue.put node.send_qs.(d) st msg)
+               dest
+           | Paxos.Execute { iid; value } ->
+             Squeue.put node.decision_q st { d_iid = iid; d_value = value }
+           | Paxos.Schedule_rtx { key = Paxos.Rtx_accept (_, iid); _ } ->
+             if node == leader then
+               Hashtbl.replace inst_t0 iid (Engine.now eng)
+           | Paxos.Cancel_rtx (Paxos.Rtx_accept (_, iid)) ->
+             if node == leader then begin
+               (match Hashtbl.find_opt inst_t0 iid with
+                | Some t0 when !measuring ->
+                  inst_sum := !inst_sum +. (Engine.now eng -. t0);
+                  incr inst_n
+                | Some _ | None -> ());
+               Hashtbl.remove inst_t0 iid
+             end
+           | Paxos.Schedule_rtx _ | Paxos.Cancel_rtx _
+           | Paxos.View_changed _ | Paxos.Install_snapshot _ -> ())
+        actions
+    in
+    apply (Paxos.bootstrap node.engine);
+    let rec loop () =
+      (match Squeue.take node.dispatcher_q st with
+       | PMsg (from, msg) ->
+         Cpu.work node.cpu st (cost c.protocol_per_event);
+         apply (Paxos.receive node.engine ~from msg)
+       | Poke -> ());
+      let rec feed () =
+        if Paxos.can_propose node.engine then
+          match Squeue.try_take node.proposal_q st with
+          | Some batch ->
+            Cpu.work node.cpu st (cost c.protocol_per_event);
+            apply (Paxos.propose node.engine batch);
+            feed ()
+          | None -> ()
+      in
+      feed ();
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- ReplicaIO ---------------- *)
+  let sender_proc node peer () =
+    let st =
+      Sstats.make_thread eng ~name:(Printf.sprintf "ReplicaIOSnd-%d" peer)
+    in
+    register node st;
+    let q = node.send_qs.(peer) in
+    let rec drain_burst acc k =
+      if k = 0 then List.rev acc
+      else
+        match Squeue.try_take q st with
+        | Some m -> drain_burst (m :: acc) (k - 1)
+        | None -> List.rev acc
+    in
+    (* Decide messages are tiny and latency-insensitive; the TCP stack
+       coalesces them with the next Accept on the same connection instead
+       of spending a packet each (Section VI-D3's packet accounting).
+       Model: hold a Decide-only burst briefly; it rides with the next
+       message, or is flushed alone after 0.5 ms of silence. *)
+    let deferred = ref [] in
+    let is_decide = function Msg.Decide _ -> true | _ -> false in
+    let rec next_burst () =
+      match
+        if !deferred = [] then Some (Squeue.take q st)
+        else Squeue.take_timeout q st ~timeout:0.0005
+      with
+      | Some first ->
+        let burst = !deferred @ (first :: drain_burst [] 31) in
+        deferred := [];
+        if List.for_all is_decide burst then begin
+          deferred := burst;
+          next_burst ()
+        end
+        else burst
+      | None ->
+        let burst = !deferred in
+        deferred := [];
+        burst
+    in
+    let rec loop () =
+      let burst = next_burst () in
+      (* Serialise each message. *)
+      let sized =
+        List.map
+          (fun m ->
+             let size = approx_size m in
+             Cpu.work node.cpu st
+               (cost (c.io_ser_per_msg +. (c.io_ser_per_byte *. float_of_int size)));
+             (m, size))
+          burst
+      in
+      (* Pack into TCP segments. *)
+      let flush seg_msgs seg_size =
+        if seg_msgs <> [] then begin
+          let msgs = List.rev seg_msgs in
+          Nic.send node.nic ~dst:nodes.(peer).nic ~size:seg_size (fun () ->
+              List.iter
+                (fun (m, _) -> Mailbox.push nodes.(peer).rcv_mbs.(node.id) (node.id, m))
+                msgs)
+        end
+      in
+      let seg, size =
+        List.fold_left
+          (fun (seg, size) (m, s) ->
+             if size > 0 && size + s > segment_payload then begin
+               flush seg size;
+               ([ (m, s) ], s)
+             end
+             else ((m, s) :: seg, size + s))
+          ([], 0) sized
+      in
+      flush seg size;
+      loop ()
+    in
+    loop ()
+  in
+  let receiver_proc node peer () =
+    let st =
+      Sstats.make_thread eng ~name:(Printf.sprintf "ReplicaIORcv-%d" peer)
+    in
+    register node st;
+    let mb = node.rcv_mbs.(peer) in
+    let rec loop () =
+      let from, msg = Mailbox.take mb st in
+      Cpu.work node.cpu st
+        (cost
+           (c.io_deser_per_msg
+            +. (c.io_deser_per_byte *. float_of_int (approx_size msg))));
+      Squeue.put node.dispatcher_q st (PMsg (from, msg));
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- ServiceManager (Replica thread) ---------------- *)
+  let sm_proc node () =
+    let st = Sstats.make_thread eng ~name:"Replica" in
+    register node st;
+    let rec loop () =
+      let d = Squeue.take node.decision_q st in
+      (match d.d_value with
+       | Value.Noop -> ()
+       | Value.Batch batch ->
+         List.iter
+           (fun (req : Client_msg.request) ->
+              Cpu.work node.cpu st (cost c.exec_per_req);
+              if node == leader then
+                Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+                  (Rep req.id))
+           batch.requests);
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- spawn everything ---------------- *)
+  Array.iter
+    (fun node ->
+       if node == leader then begin
+         for i = 0 to p.client_io_threads - 1 do
+           Engine.spawn eng ~name:(Printf.sprintf "cio-%d" i) (cio_proc node i)
+         done
+       end;
+       for b = 0 to p.n_batchers - 1 do
+         Engine.spawn eng ~name:"batcher" (batcher_proc node b)
+       done;
+       Engine.spawn eng ~name:"protocol" (protocol_proc node);
+       Engine.spawn eng ~name:"sm" (sm_proc node);
+       for peer = 0 to p.n - 1 do
+         if peer <> node.id then begin
+           Engine.spawn eng ~name:"snd" (sender_proc node peer);
+           Engine.spawn eng ~name:"rcv" (receiver_proc node peer)
+         end
+       done)
+    nodes;
+  Array.iter (fun cl -> Engine.spawn eng ~name:"client" (client_proc cl)) clients;
+  (* Sampler: window occupancy each millisecond; RTT probes each 20 ms. *)
+  Engine.spawn eng ~name:"sampler" (fun () ->
+      let rec loop () =
+        Engine.delay eng 0.001;
+        Sstats.Gauge.update window_gauge
+          (float_of_int (Paxos.window_in_use leader.engine));
+        loop ()
+      in
+      loop ());
+  Engine.spawn eng ~name:"prober" (fun () ->
+      let rec loop () =
+        Engine.delay eng 0.02;
+        if !measuring && p.n >= 2 then begin
+          Nic.rtt_probe leader.nic ~dst:nodes.(1).nic (fun rtt ->
+              rtt_leader := rtt :: !rtt_leader);
+          if p.n >= 3 then
+            Nic.rtt_probe nodes.(1).nic ~dst:nodes.(2).nic (fun rtt ->
+                rtt_follow := rtt :: !rtt_follow);
+          Nic.rtt_probe idle_a ~dst:idle_b (fun rtt ->
+              rtt_idle := rtt :: !rtt_idle)
+        end;
+        loop ()
+      in
+      loop ());
+  (* ---------------- run: warm-up, reset, measure ---------------- *)
+  Engine.run eng ~until:p.warmup;
+  measuring := true;
+  completed := 0;
+  lat_sum := 0.; lat_n := 0;
+  inst_sum := 0.; inst_n := 0;
+  batch_reqs := 0; batch_bytes := 0; batches := 0;
+  Sstats.Gauge.reset window_gauge;
+  Array.iter
+    (fun node ->
+       List.iter Sstats.reset node.threads;
+       Cpu.reset_consumed node.cpu;
+       Nic.reset_counters node.nic;
+       Array.iter Squeue.reset_stats node.request_qs;
+       Squeue.reset_stats node.proposal_q;
+       Squeue.reset_stats node.dispatcher_q;
+       Squeue.reset_stats node.decision_q)
+    nodes;
+  Engine.run eng ~until:(p.warmup +. p.duration);
+  (* ---------------- collect ---------------- *)
+  let dur = p.duration in
+  let mean = function [] -> 0. | l ->
+    List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  let report node =
+    let threads = List.map (fun st -> (Sstats.name st, Sstats.totals st)) node.threads in
+    let blocked =
+      List.fold_left (fun acc (_, (x : Sstats.totals)) -> acc +. x.blocked) 0. threads
+    in
+    { cpu_util_pct = 100. *. Cpu.consumed node.cpu /. dur;
+      blocked_pct = 100. *. blocked /. dur;
+      threads }
+  in
+  { throughput = float_of_int !completed /. dur;
+    client_latency = (if !lat_n = 0 then 0. else !lat_sum /. float_of_int !lat_n);
+    instance_latency = (if !inst_n = 0 then 0. else !inst_sum /. float_of_int !inst_n);
+    avg_batch_reqs =
+      (if !batches = 0 then 0. else float_of_int !batch_reqs /. float_of_int !batches);
+    avg_batch_bytes =
+      (if !batches = 0 then 0. else float_of_int !batch_bytes /. float_of_int !batches);
+    avg_window = Sstats.Gauge.avg window_gauge;
+    avg_request_queue =
+      Array.fold_left (fun acc q -> acc +. Squeue.avg_length q) 0.
+        leader.request_qs;
+    avg_proposal_queue = Squeue.avg_length leader.proposal_q;
+    avg_dispatcher_queue = Squeue.avg_length leader.dispatcher_q;
+    replicas = Array.map report nodes;
+    leader_tx_pps = float_of_int (Nic.tx_packets leader.nic) /. dur;
+    leader_rx_pps = float_of_int (Nic.rx_packets leader.nic) /. dur;
+    leader_tx_mbps = float_of_int (Nic.tx_bytes leader.nic) /. dur /. 1e6;
+    leader_rx_mbps = float_of_int (Nic.rx_bytes leader.nic) /. dur /. 1e6;
+    rtt_leader = mean !rtt_leader;
+    rtt_followers = mean !rtt_follow;
+    rtt_idle = mean !rtt_idle;
+    events = Engine.events_processed eng }

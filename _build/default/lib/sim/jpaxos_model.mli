@@ -1,0 +1,44 @@
+(** Simulated JPaxos replica group: the paper's threading architecture
+    (Figure 3) running the {e real} {!Msmr_consensus.Paxos} engine on the
+    simulated substrate (cores, locks, queues, NICs).
+
+    Per replica the model spawns the same threads as the live runtime —
+    [ClientIO-0..k], [Batcher], [Protocol], [Replica] (ServiceManager)
+    and one [ReplicaIOSnd-p]/[ReplicaIORcv-p] pair per peer — and drives
+    them with a closed-loop client population attached to the leader
+    (node 0), as in the paper's evaluation setup.
+
+    One call to {!run} is one experiment run; it returns every quantity
+    the paper's figures and tables report. *)
+
+type replica_report = {
+  cpu_util_pct : float;
+      (** total CPU consumed, % of one core (100% = 1 core busy) *)
+  blocked_pct : float;
+      (** sum of thread blocked time, % of the run duration *)
+  threads : (string * Sstats.totals) list;   (** per-thread profile *)
+}
+
+type result = {
+  throughput : float;            (** client requests completed / second *)
+  client_latency : float;        (** mean client round-trip (s) *)
+  instance_latency : float;      (** mean leader propose→decide (s) *)
+  avg_batch_reqs : float;
+  avg_batch_bytes : float;
+  avg_window : float;            (** mean parallel ballots in execution *)
+  avg_request_queue : float;
+  avg_proposal_queue : float;
+  avg_dispatcher_queue : float;
+  replicas : replica_report array;   (** index 0 = leader *)
+  leader_tx_pps : float;
+  leader_rx_pps : float;
+  leader_tx_mbps : float;        (** MB/s out *)
+  leader_rx_mbps : float;
+  rtt_leader : float;            (** probe RTT leader <-> follower (s) *)
+  rtt_followers : float;         (** probe RTT follower <-> follower (s) *)
+  rtt_idle : float;              (** probe RTT between two idle nodes (s) *)
+  events : int;                  (** simulation events processed *)
+}
+
+val run : Params.t -> result
+(** Deterministic: same parameters, same result. *)

@@ -1,0 +1,53 @@
+type 'a t = {
+  eng : Engine.t;
+  items : 'a Queue.t;
+  mutable waiter : (unit -> unit) option;
+}
+
+let create eng () = { eng; items = Queue.create (); waiter = None }
+
+let push t v =
+  Queue.push v t.items;
+  match t.waiter with
+  | Some wake ->
+    t.waiter <- None;
+    wake ()
+  | None -> ()
+
+let length t = Queue.length t.items
+
+let rec take t st =
+  match Queue.pop t.items with
+  | v -> v
+  | exception Queue.Empty ->
+    Sstats.set st Sstats.Waiting;
+    Engine.suspend t.eng (fun resume ->
+        assert (t.waiter = None);
+        t.waiter <- Some (fun () -> resume ()));
+    Sstats.set st Sstats.Busy;
+    take t st
+
+let take_timeout t st ~timeout =
+  match Queue.pop t.items with
+  | v -> Some v
+  | exception Queue.Empty ->
+    Sstats.set st Sstats.Waiting;
+    let r =
+      Engine.suspend_timeout t.eng ~timeout (fun resume ->
+          t.waiter <- Some (fun () -> resume ()))
+    in
+    Sstats.set st Sstats.Busy;
+    (match r with
+     | Engine.Timed_out ->
+       (* Drop our stale waiter so a later push does not wake a ghost. *)
+       t.waiter <- None;
+       (match Queue.pop t.items with v -> Some v | exception Queue.Empty -> None)
+     | Engine.Value () -> (
+         match Queue.pop t.items with
+         | v -> Some v
+         | exception Queue.Empty -> None))
+
+let try_pop t =
+  match Queue.pop t.items with
+  | v -> Some v
+  | exception Queue.Empty -> None

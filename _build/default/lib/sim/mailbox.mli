@@ -1,0 +1,21 @@
+(** Unbounded single-consumer mailbox, safe to push from plain callbacks.
+
+    {!Squeue} operations burn CPU and may suspend, so they can only be
+    used from simulated processes. NIC delivery continuations and other
+    raw callbacks instead push into a mailbox: [push] never suspends, it
+    just enqueues and wakes the (single) waiting consumer. Models a
+    kernel socket buffer feeding an application thread. *)
+
+type 'a t
+
+val create : Engine.t -> unit -> 'a t
+val push : 'a t -> 'a -> unit
+val length : 'a t -> int
+
+val take : 'a t -> Sstats.thread -> 'a
+(** Process-only; [Waiting] while empty. *)
+
+val take_timeout : 'a t -> Sstats.thread -> timeout:float -> 'a option
+
+val try_pop : 'a t -> 'a option
+(** Non-suspending pop; safe anywhere. *)

@@ -1,0 +1,111 @@
+(* Two cascaded single-server stages per direction:
+   - the *kernel* stage models per-packet softirq/TCP processing, capped
+     at [pkt_rate] packets/s — the pre-2.6.35 single-queue bottleneck the
+     paper identifies (Section VI-D);
+   - the *wire* stage models 1 GbE serialisation at [bandwidth] bytes/s
+     (with per-packet framing overhead), which in the paper's experiments
+     never exceeds ~40% utilisation.
+   TX passes kernel -> wire -> propagation; RX passes kernel only (the
+   sender's wire already serialised the frames). *)
+
+type job = {
+  j_size : int;        (* payload bytes *)
+  j_pkts : int;
+  j_k : unit -> unit;  (* continuation after this stage *)
+}
+
+type server = {
+  eng : Engine.t;
+  service : job -> float;
+  q : job Queue.t;
+  mutable busy : bool;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+let frame_overhead = 58  (* Ethernet + IP + TCP headers per packet *)
+
+let rec serve s =
+  match Queue.pop s.q with
+  | exception Queue.Empty -> s.busy <- false
+  | job ->
+    s.packets <- s.packets + job.j_pkts;
+    s.bytes <- s.bytes + job.j_size;
+    Engine.schedule_at s.eng
+      (Engine.now s.eng +. s.service job)
+      (fun () ->
+         job.j_k ();
+         serve s)
+
+let enqueue s job =
+  Queue.push job s.q;
+  if not s.busy then begin
+    s.busy <- true;
+    serve s
+  end
+
+let make_server eng service =
+  { eng; service; q = Queue.create (); busy = false; packets = 0; bytes = 0 }
+
+type t = {
+  nname : string;
+  tx_kernel : server;
+  tx_wire : server;
+  rx_kernel : server;
+  propagation : float;
+  mtu : int;
+}
+
+let create eng ?(pkt_rate = 150e3) ?(bandwidth = 114e6) ?(mtu = 1500)
+    ?(propagation = 15e-6) ~name () =
+  let per_pkt = 1.0 /. pkt_rate in
+  let kernel_service job = float_of_int job.j_pkts *. per_pkt in
+  let wire_service job =
+    float_of_int (job.j_size + (job.j_pkts * frame_overhead)) /. bandwidth
+  in
+  { nname = name;
+    tx_kernel = make_server eng kernel_service;
+    tx_wire = make_server eng wire_service;
+    rx_kernel = make_server eng kernel_service;
+    propagation;
+    mtu }
+
+let packets_of t size = max 1 ((size + t.mtu - 1) / t.mtu)
+
+(* TX: kernel -> wire -> propagation -> [on_wire_out]. *)
+let tx t ~size on_wire_out =
+  let pkts = packets_of t size in
+  enqueue t.tx_kernel
+    { j_size = size; j_pkts = pkts;
+      j_k =
+        (fun () ->
+           enqueue t.tx_wire
+             { j_size = size; j_pkts = pkts;
+               j_k =
+                 (fun () ->
+                    Engine.schedule_at t.tx_wire.eng
+                      (Engine.now t.tx_wire.eng +. t.propagation)
+                      on_wire_out) }) }
+
+let rx_inject t ~size k =
+  enqueue t.rx_kernel { j_size = size; j_pkts = packets_of t size; j_k = k }
+
+let send t ~dst ~size k = tx t ~size (fun () -> rx_inject dst ~size k)
+let send_to_wire t ~size k = tx t ~size k
+
+let rtt_probe t ~dst k =
+  let t0 = Engine.now t.tx_kernel.eng in
+  send t ~dst ~size:64 (fun () ->
+      send dst ~dst:t ~size:64 (fun () -> k (Engine.now t.tx_kernel.eng -. t0)))
+
+let tx_packets t = t.tx_kernel.packets
+let rx_packets t = t.rx_kernel.packets
+let tx_bytes t = t.tx_kernel.bytes
+let rx_bytes t = t.rx_kernel.bytes
+let tx_queue_len t = Queue.length t.tx_kernel.q + Queue.length t.tx_wire.q
+let rx_queue_len t = Queue.length t.rx_kernel.q
+
+let reset_counters t =
+  t.tx_kernel.packets <- 0; t.tx_kernel.bytes <- 0;
+  t.tx_wire.packets <- 0; t.tx_wire.bytes <- 0;
+  t.rx_kernel.packets <- 0; t.rx_kernel.bytes <- 0

@@ -1,0 +1,57 @@
+(** Simulated network interface / kernel network subsystem.
+
+    Each node has one NIC with a TX path and an RX path, each modelled as
+    a single-server FIFO queue with a fixed per-packet service time —
+    reproducing the pre-2.6.35 Linux bottleneck the paper identifies
+    (all NIC interrupts steered to a single core), which caps each
+    direction at roughly [pkt_rate] packets/second regardless of how many
+    application cores the node has. Bandwidth is capped separately
+    ([bandwidth] bytes/s), and messages larger than the MTU are split
+    into multiple packets.
+
+    Message delivery: [send src ~dst ~size k] queues the message on
+    [src]'s TX; after TX service and the propagation delay it queues on
+    [dst]'s RX; after RX service the continuation [k] runs at [dst]. The
+    round-trip inflation seen by the paper's Table II falls out of the
+    queueing: probes through a loaded NIC wait behind data packets. *)
+
+type t
+
+val create :
+  Engine.t ->
+  ?pkt_rate:float ->
+  ?bandwidth:float ->
+  ?mtu:int ->
+  ?propagation:float ->
+  name:string ->
+  unit ->
+  t
+(** Defaults from the paper's testbed: 150e3 pkts/s per direction,
+    114 MB/s, MTU 1500 B, propagation 15 µs one-way (≈0.06 ms idle
+    RTT including four packet service times). *)
+
+val send : t -> dst:t -> size:int -> (unit -> unit) -> unit
+(** Non-blocking enqueue (the sender thread has already paid its CPU
+    serialisation cost; kernel buffering decouples it). *)
+
+val rtt_probe : t -> dst:t -> (float -> unit) -> unit
+(** Send a 64-byte probe and echo it back immediately from [dst]'s RX
+    (like ICMP, bypassing application queues); the callback receives the
+    measured round-trip time in seconds. *)
+
+val tx_packets : t -> int
+val rx_packets : t -> int
+val tx_bytes : t -> int
+val rx_bytes : t -> int
+val tx_queue_len : t -> int
+val rx_queue_len : t -> int
+val reset_counters : t -> unit
+
+val rx_inject : t -> size:int -> (unit -> unit) -> unit
+(** Deliver a message into this NIC's RX path directly — used for traffic
+    from senders whose own NIC is not modelled (the client machines). *)
+
+val send_to_wire : t -> size:int -> (unit -> unit) -> unit
+(** Send through this NIC's TX path to a receiver whose NIC is not
+    modelled (replies back to client machines); the callback fires after
+    TX service plus propagation. *)

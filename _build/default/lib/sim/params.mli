@@ -1,0 +1,69 @@
+(** Simulation parameters: cluster profiles, CPU cost model, workload.
+
+    The cost model is calibrated (see DESIGN.md §5) so the simulated
+    JPaxos leader matches the paper's anchor points: ≈15 K requests/s on
+    one `parapluie` core, NIC-bound ≈100-120 K requests/s at 8+ cores,
+    with the per-thread busy shares of Figure 8. *)
+
+type profile = {
+  profile_name : string;
+  max_cores : int;
+  cpu_speed : float;
+      (** single-thread speed relative to parapluie (costs divide by it) *)
+  pkt_rate : float;      (** NIC packets/s per direction (kernel limit) *)
+  bandwidth : float;     (** bytes/s *)
+}
+
+val parapluie : profile
+(** 24-core AMD Opteron 6164 HE cluster, 1 GbE. *)
+
+val edel : profile
+(** 8-core Intel Xeon E5520 cluster, 1 GbE. *)
+
+type costs = {
+  client_read : float;   (** ClientIO: read + deserialise + cache check *)
+  client_write : float;  (** ClientIO: serialise + write reply *)
+  batcher_per_req : float;
+  batcher_per_batch : float;
+  protocol_per_event : float;
+  exec_per_req : float;  (** ServiceManager: execute + reply cache update *)
+  io_ser_per_msg : float;
+  io_ser_per_byte : float;
+  io_deser_per_msg : float;
+  io_deser_per_byte : float;
+  switch_cost : float;   (** context switch *)
+}
+
+val default_costs : costs
+
+type t = {
+  profile : profile;
+  costs : costs;
+  n : int;                  (** replicas *)
+  cores : int;              (** cores per node *)
+  client_io_threads : int;
+  wnd : int;                (** max parallel ballots (WND) *)
+  bsz : int;                (** max batch bytes (BSZ) *)
+  n_clients : int;
+  request_size : int;       (** wire size of one request (paper: 128 B) *)
+  reply_size : int;
+  warmup : float;           (** simulated seconds discarded *)
+  duration : float;         (** simulated seconds measured *)
+  net_contention_per_io_thread : float;
+      (** kernel network-stack slowdown per ClientIO thread beyond 8 —
+          the effect behind Figure 9's degradation *)
+  n_batchers : int;
+      (** extension (paper §VI-B): parallel Batcher threads, each with
+          its own request queue *)
+  rss : bool;
+      (** extension (paper footnote 5): Receive Side Scaling spreads NIC
+          interrupts over cores, doubling the kernel packet budget *)
+}
+
+val default : ?profile:profile -> n:int -> cores:int -> unit -> t
+(** Paper defaults: WND 10, BSZ 1300, 1800 clients, 128 B requests, 8 B
+    replies, ClientIO threads auto-chosen by {!auto_io_threads}. *)
+
+val auto_io_threads : cores:int -> int
+(** The paper tunes ClientIO threads per core count (3-6 optimal); this
+    picks a sensible value: [max 1 (min 5 (cores - 1))]. *)

@@ -1,0 +1,36 @@
+type t = {
+  eng : Engine.t;
+  name : string;
+  mutable held : bool;
+  waiters : (unit -> unit) Queue.t;
+  mutable acqs : int;
+  mutable contended : int;
+}
+
+let create eng ?(name = "lock") () =
+  { eng; name; held = false; waiters = Queue.create (); acqs = 0;
+    contended = 0 }
+
+let acquire t st =
+  t.acqs <- t.acqs + 1;
+  if not t.held then t.held <- true
+  else begin
+    t.contended <- t.contended + 1;
+    Sstats.set st Sstats.Blocked;
+    Engine.suspend t.eng (fun resume -> Queue.push resume t.waiters);
+    (* The releaser handed us the lock: [held] stays true. *)
+    Sstats.set st Sstats.Busy
+  end
+
+let release t =
+  match Queue.pop t.waiters with
+  | resume -> resume ()
+  | exception Queue.Empty -> t.held <- false
+
+let with_lock t st f =
+  acquire t st;
+  Fun.protect ~finally:(fun () -> release t) f
+
+let contenders t = Queue.length t.waiters
+let acquisitions t = t.acqs
+let contended_acquisitions t = t.contended

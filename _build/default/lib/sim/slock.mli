@@ -1,0 +1,21 @@
+(** Simulated mutex with FIFO hand-off and blocked-time accounting.
+
+    Waiting for the lock puts the simulated thread in the [Blocked]
+    state — the quantity the paper plots as "total blocked time". The
+    holder typically burns CPU ({!Cpu.work}) inside the critical
+    section, which is what makes contention visible. *)
+
+type t
+
+val create : Engine.t -> ?name:string -> unit -> t
+
+val acquire : t -> Sstats.thread -> unit
+val release : t -> unit
+
+val with_lock : t -> Sstats.thread -> (unit -> 'a) -> 'a
+
+val contenders : t -> int
+(** Threads currently blocked on the lock. *)
+
+val acquisitions : t -> int
+val contended_acquisitions : t -> int

@@ -1,0 +1,120 @@
+type 'a t = {
+  eng : Engine.t;
+  cpu : Cpu.t;
+  qname : string;
+  cap : int;
+  op_cost : float;
+  items : 'a Queue.t;
+  lock : Slock.t;
+  mutable not_empty : (unit -> unit) Queue.t;
+  mutable not_full : (unit -> unit) Queue.t;
+  gauge : Sstats.Gauge.t;
+}
+
+let create eng ~cpu ~capacity ?(op_cost = 250e-9) ~name () =
+  if capacity <= 0 then invalid_arg "Squeue.create: capacity <= 0";
+  { eng; cpu; qname = name; cap = capacity; op_cost;
+    items = Queue.create ();
+    lock = Slock.create eng ~name:(name ^ ".lock") ();
+    not_empty = Queue.create ();
+    not_full = Queue.create ();
+    gauge = Sstats.Gauge.create eng }
+
+let name t = t.qname
+let length t = Queue.length t.items
+let capacity t = t.cap
+
+let signal waiters =
+  match Queue.pop waiters with
+  | resume -> resume ()
+  | exception Queue.Empty -> ()
+
+(* The critical section is a few hundred nanoseconds of memory traffic;
+   modelling it as schedulable CPU work would let the core scheduler
+   preempt a lock holder and manufacture convoys that real sub-µs
+   sections do not exhibit. A plain delay keeps the cost and the
+   contention window without the artefact. *)
+let locked t st f =
+  Slock.acquire t.lock st;
+  Engine.delay t.eng t.op_cost;
+  let r = f () in
+  Slock.release t.lock;
+  r
+
+let push_locked t v =
+  Queue.push v t.items;
+  Sstats.Gauge.update t.gauge (float_of_int (Queue.length t.items));
+  signal t.not_empty
+
+let pop_locked t =
+  let v = Queue.pop t.items in
+  Sstats.Gauge.update t.gauge (float_of_int (Queue.length t.items));
+  signal t.not_full;
+  v
+
+let rec put t st v =
+  let done_ =
+    locked t st (fun () ->
+        if Queue.length t.items < t.cap then begin
+          push_locked t v;
+          true
+        end
+        else false)
+  in
+  if not done_ then begin
+    Sstats.set st Sstats.Waiting;
+    Engine.suspend t.eng (fun resume -> Queue.push resume t.not_full);
+    Sstats.set st Sstats.Busy;
+    put t st v
+  end
+
+let try_put t st v =
+  locked t st (fun () ->
+      if Queue.length t.items < t.cap then begin
+        push_locked t v;
+        true
+      end
+      else false)
+
+let rec take t st =
+  let got =
+    locked t st (fun () ->
+        if Queue.is_empty t.items then None else Some (pop_locked t))
+  in
+  match got with
+  | Some v -> v
+  | None ->
+    Sstats.set st Sstats.Waiting;
+    Engine.suspend t.eng (fun resume -> Queue.push resume t.not_empty);
+    Sstats.set st Sstats.Busy;
+    take t st
+
+let try_take t st =
+  locked t st (fun () ->
+      if Queue.is_empty t.items then None else Some (pop_locked t))
+
+let rec take_timeout t st ~timeout =
+  if timeout <= 0. then try_take t st
+  else begin
+    let t0 = Engine.now t.eng in
+    let got =
+      locked t st (fun () ->
+          if Queue.is_empty t.items then None else Some (pop_locked t))
+    in
+    match got with
+    | Some v -> Some v
+    | None ->
+      Sstats.set st Sstats.Waiting;
+      let r =
+        Engine.suspend_timeout t.eng ~timeout (fun resume ->
+            Queue.push (fun () -> resume ()) t.not_empty)
+      in
+      Sstats.set st Sstats.Busy;
+      (match r with
+       | Engine.Timed_out -> try_take t st
+       | Engine.Value () ->
+         take_timeout t st ~timeout:(timeout -. (Engine.now t.eng -. t0)))
+  end
+
+let avg_length t = Sstats.Gauge.avg t.gauge
+let reset_stats t = Sstats.Gauge.reset t.gauge

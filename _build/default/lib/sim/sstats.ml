@@ -1,0 +1,96 @@
+type state = Busy | Blocked | Waiting | Other
+
+type thread = {
+  eng : Engine.t;
+  tname : string;
+  mutable st : state;
+  mutable since : float;
+  mutable t_busy : float;
+  mutable t_blocked : float;
+  mutable t_waiting : float;
+  mutable t_other : float;
+}
+
+let make_thread eng ~name =
+  { eng; tname = name; st = Other; since = Engine.now eng;
+    t_busy = 0.; t_blocked = 0.; t_waiting = 0.; t_other = 0. }
+
+let name t = t.tname
+let state t = t.st
+
+let account t =
+  let now = Engine.now t.eng in
+  let dt = now -. t.since in
+  (match t.st with
+   | Busy -> t.t_busy <- t.t_busy +. dt
+   | Blocked -> t.t_blocked <- t.t_blocked +. dt
+   | Waiting -> t.t_waiting <- t.t_waiting +. dt
+   | Other -> t.t_other <- t.t_other +. dt);
+  t.since <- now
+
+let set t s =
+  account t;
+  t.st <- s
+
+type totals = {
+  busy : float;
+  blocked : float;
+  waiting : float;
+  other : float;
+}
+
+let totals t =
+  let dt = Engine.now t.eng -. t.since in
+  let add c x = if t.st = c then x +. dt else x in
+  { busy = add Busy t.t_busy;
+    blocked = add Blocked t.t_blocked;
+    waiting = add Waiting t.t_waiting;
+    other = add Other t.t_other }
+
+let reset t =
+  t.t_busy <- 0.; t.t_blocked <- 0.; t.t_waiting <- 0.; t.t_other <- 0.;
+  t.since <- Engine.now t.eng
+
+let pp_profile ppf rows =
+  let life (x : totals) = x.busy +. x.blocked +. x.waiting +. x.other in
+  let max_life = List.fold_left (fun m (_, x) -> Float.max m (life x)) 1e-9 rows in
+  let pct v = 100. *. v /. max_life in
+  Format.fprintf ppf "%-18s %7s %8s %8s %7s@."
+    "thread" "busy%" "blocked%" "waiting%" "other%";
+  List.iter
+    (fun (name, x) ->
+       Format.fprintf ppf "%-18s %7.1f %8.1f %8.1f %7.1f@."
+         name (pct x.busy) (pct x.blocked) (pct x.waiting) (pct x.other))
+    rows
+
+module Gauge = struct
+  type t = {
+    eng : Engine.t;
+    mutable last : float;        (* time of last update *)
+    mutable start : float;
+    mutable integral : float;
+    mutable current : float;
+  }
+
+  let create eng =
+    let now = Engine.now eng in
+    { eng; last = now; start = now; integral = 0.; current = 0. }
+
+  let update t v =
+    let now = Engine.now t.eng in
+    t.integral <- t.integral +. (t.current *. (now -. t.last));
+    t.last <- now;
+    t.current <- v
+
+  let avg t =
+    let now = Engine.now t.eng in
+    let integral = t.integral +. (t.current *. (now -. t.last)) in
+    let span = now -. t.start in
+    if span <= 0. then t.current else integral /. span
+
+  let reset t =
+    let now = Engine.now t.eng in
+    t.last <- now;
+    t.start <- now;
+    t.integral <- 0.
+end

@@ -1,0 +1,48 @@
+(** Simulated-thread state accounting and time-weighted gauges.
+
+    The simulator's analogue of {!Msmr_platform.Thread_state}: every
+    simulated thread tracks busy / blocked / waiting / other integrals in
+    simulated time — these are *exact*, unlike the sampled figures of a
+    real profiler, but measure the same four states as the paper. *)
+
+type state = Busy | Blocked | Waiting | Other
+
+type thread
+
+val make_thread : Engine.t -> name:string -> thread
+(** Starts in [Other] (not yet scheduled). *)
+
+val name : thread -> string
+val set : thread -> state -> unit
+val state : thread -> state
+
+type totals = {
+  busy : float;
+  blocked : float;
+  waiting : float;
+  other : float;
+}
+
+val totals : thread -> totals
+(** Includes the currently open interval. *)
+
+val reset : thread -> unit
+(** Zero the integrals (discard warm-up). *)
+
+val pp_profile : Format.formatter -> (string * totals) list -> unit
+(** Percentage breakdown normalised to the longest lifetime (the paper's
+    Figure 8 / Figure 14 rendering). *)
+
+module Gauge : sig
+  (** Time-weighted average of a sampled quantity (queue lengths, window
+      occupancy — Table I). *)
+
+  type t
+
+  val create : Engine.t -> t
+  val update : t -> float -> unit
+  (** Record that the quantity has had value [v] since the last update. *)
+
+  val avg : t -> float
+  val reset : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/storage/replica_store.ml: Bytes Crc32 Filename Fun Hashtbl Int32 List Msmr_consensus Msmr_wire Mutex Printf Sys Types Unix Value Wal

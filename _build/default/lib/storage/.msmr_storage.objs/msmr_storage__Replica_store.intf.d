@@ -1,0 +1,1 @@
+lib/storage/replica_store.mli: Msmr_consensus Wal

@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Array Bytes Crc32 Filename Fun Int32 List Logs Mutex Printf String Sys Unix

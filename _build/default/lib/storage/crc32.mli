@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3 polynomial), table-driven.
+
+    Guards every WAL record against torn writes and corruption. *)
+
+val digest : ?crc:int32 -> bytes -> pos:int -> len:int -> int32
+(** Incremental: pass the previous value via [crc] to continue. *)
+
+val digest_bytes : bytes -> int32

@@ -1,0 +1,58 @@
+(** Durable consensus state for one replica.
+
+    Combines a {!Wal} of protocol events with an atomically-replaced
+    checkpoint file holding the latest service snapshot. The acceptor
+    invariants it protects across a crash:
+
+    - the promised view never regresses ([log_view] before acting in a
+      higher view);
+    - an accepted (iid, view, value) survives if the corresponding
+      [Accepted]/[Prepare_ok] message survived (with
+      [Wal.Sync_every_write]; weaker policies trade this for speed, as
+      the paper's evaluation configuration does);
+    - decided entries and snapshots let recovery rebuild the executed
+      prefix.
+
+    A snapshot checkpoint makes all earlier WAL records obsolete: the
+    WAL is reset right after the checkpoint is persisted. *)
+
+type event =
+  | View of Msmr_consensus.Types.view
+  | Accepted of {
+      iid : Msmr_consensus.Types.iid;
+      view : Msmr_consensus.Types.view;
+      value : Msmr_consensus.Value.t;
+    }
+  | Decided of { iid : Msmr_consensus.Types.iid; view : Msmr_consensus.Types.view }
+
+type t
+
+val openw : ?sync:Wal.sync_policy -> dir:string -> unit -> t
+(** Default policy: [Sync_periodic] (call {!sync} from a Syncer). *)
+
+val log_event : t -> event -> unit
+val sync : t -> unit
+val close : t -> unit
+
+val checkpoint : t -> next_iid:Msmr_consensus.Types.iid -> state:bytes -> unit
+(** Persist a service snapshot covering instances below [next_iid]
+    (atomic: write-temp + rename + fsync) and reset the WAL. *)
+
+type recovered = {
+  r_view : Msmr_consensus.Types.view;
+  r_accepted :
+    (Msmr_consensus.Types.iid
+     * Msmr_consensus.Types.view
+     * Msmr_consensus.Value.t)
+      list;  (** newest acceptance per instance, undecided ones *)
+  r_decided :
+    (Msmr_consensus.Types.iid
+     * Msmr_consensus.Types.view
+     * Msmr_consensus.Value.t)
+      list;  (** in instance order *)
+  r_snapshot : (Msmr_consensus.Types.iid * bytes) option;
+}
+
+val recover : dir:string -> recovered
+(** Read the checkpoint and replay the WAL. An empty or missing
+    directory yields a pristine state. *)

@@ -1,0 +1,46 @@
+(** Segmented write-ahead log.
+
+    Records are opaque byte blobs framed as
+    [len:4][crc32(payload):4][payload] and appended to numbered segment
+    files ([wal-000042.log]); a new segment starts once the current one
+    exceeds [segment_bytes]. Recovery replays every record in order and
+    stops at the first torn or corrupt record, truncating the log there
+    (the standard crash-consistency contract: a prefix survives).
+
+    Writers choose a {!sync_policy}:
+    - [Sync_every_write]: fsync before {!append} returns — the classic
+      acceptor durability requirement, and the bottleneck the paper
+      deliberately avoids in its experiments;
+    - [Sync_periodic]: a caller (e.g. a Syncer thread) calls {!sync} on
+      its own schedule; a crash may lose a suffix;
+    - [No_sync]: rely on the OS cache entirely.
+
+    Thread-safe: appends are serialised internally. *)
+
+type sync_policy =
+  | Sync_every_write
+  | Sync_periodic
+  | No_sync
+
+type t
+
+val openw : ?segment_bytes:int -> dir:string -> sync:sync_policy -> unit -> t
+(** Open for appending, creating [dir] if needed. New records go after
+    everything {!replay} would return. Default segment size 64 MiB. *)
+
+val append : t -> bytes -> unit
+val sync : t -> unit
+val close : t -> unit
+
+val appended : t -> int
+(** Records appended through this handle. *)
+
+val replay : dir:string -> (bytes -> unit) -> int
+(** Feed every intact record, in order, to the callback; returns the
+    count. Corrupt/torn suffixes are truncated on disk so a subsequent
+    {!openw} appends at a clean boundary. A missing directory replays
+    nothing. *)
+
+val reset : dir:string -> unit
+(** Delete all segments (used after a snapshot makes the prefix
+    obsolete — callers typically rewrite a checkpoint first). *)

@@ -1,0 +1,1 @@
+lib/wire/client_msg.ml: Bytes Codec Format

@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Bytes Char Int32 Int64 Printf

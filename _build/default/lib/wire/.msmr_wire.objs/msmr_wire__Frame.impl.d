@@ -1,0 +1,1 @@
+lib/wire/frame.ml: Bytes Int32 Unix

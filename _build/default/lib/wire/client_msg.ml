@@ -1,0 +1,74 @@
+type request_id = {
+  client_id : int;
+  seq : int;
+}
+
+let compare_request_id a b =
+  match compare a.client_id b.client_id with
+  | 0 -> compare a.seq b.seq
+  | c -> c
+
+let pp_request_id ppf id = Format.fprintf ppf "%d.%d" id.client_id id.seq
+
+type request = {
+  id : request_id;
+  payload : bytes;
+}
+
+type reply = {
+  id : request_id;
+  result : bytes;
+}
+
+(* client_id:4 + seq:8 + len:4 + payload *)
+let request_wire_size r = 16 + Bytes.length r.payload
+
+let encode_request w (r : request) =
+  Codec.W.i32 w r.id.client_id;
+  Codec.W.int_as_i64 w r.id.seq;
+  Codec.W.bytes w r.payload
+
+let decode_request rd : request =
+  let client_id = Codec.R.i32 rd in
+  let seq = Codec.R.int_from_i64 rd in
+  let payload = Codec.R.bytes rd in
+  { id = { client_id; seq }; payload }
+
+let encode_reply w (r : reply) =
+  Codec.W.i32 w r.id.client_id;
+  Codec.W.int_as_i64 w r.id.seq;
+  Codec.W.bytes w r.result
+
+let decode_reply rd : reply =
+  let client_id = Codec.R.i32 rd in
+  let seq = Codec.R.int_from_i64 rd in
+  let result = Codec.R.bytes rd in
+  { id = { client_id; seq }; result }
+
+let request_to_bytes r =
+  let w = Codec.W.create ~initial:(request_wire_size r) () in
+  encode_request w r;
+  Codec.W.contents w
+
+let request_of_bytes b =
+  let rd = Codec.R.of_bytes b in
+  let r = decode_request rd in
+  Codec.R.expect_end rd;
+  r
+
+let reply_to_bytes r =
+  let w = Codec.W.create ~initial:(16 + Bytes.length r.result) () in
+  encode_reply w r;
+  Codec.W.contents w
+
+let reply_of_bytes b =
+  let rd = Codec.R.of_bytes b in
+  let r = decode_reply rd in
+  Codec.R.expect_end rd;
+  r
+
+let equal_request (a : request) (b : request) =
+  compare_request_id a.id b.id = 0 && Bytes.equal a.payload b.payload
+
+let pp_request ppf (r : request) =
+  Format.fprintf ppf "req(%a, %dB)" pp_request_id r.id (Bytes.length r.payload)

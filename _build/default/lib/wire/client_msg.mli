@@ -1,0 +1,42 @@
+(** Client-facing request and reply messages.
+
+    A request is uniquely identified by [(client_id, seq)]; clients number
+    their requests sequentially, which the reply cache uses to guarantee
+    at-most-once execution (Section III-B). *)
+
+type request_id = {
+  client_id : int;
+  seq : int;
+}
+
+val compare_request_id : request_id -> request_id -> int
+val pp_request_id : Format.formatter -> request_id -> unit
+
+type request = {
+  id : request_id;
+  payload : bytes;
+}
+
+type reply = {
+  id : request_id;
+  result : bytes;
+}
+
+val request_wire_size : request -> int
+(** Encoded size in bytes, used by the batching policy (the paper's BSZ
+    limit is expressed in bytes of batch payload). *)
+
+val encode_request : Codec.W.t -> request -> unit
+val decode_request : Codec.R.t -> request
+val encode_reply : Codec.W.t -> reply -> unit
+val decode_reply : Codec.R.t -> reply
+
+val request_to_bytes : request -> bytes
+val request_of_bytes : bytes -> request
+(** @raise Codec.Underflow or {!Codec.Malformed} on bad input. *)
+
+val reply_to_bytes : reply -> bytes
+val reply_of_bytes : bytes -> reply
+
+val equal_request : request -> request -> bool
+val pp_request : Format.formatter -> request -> unit

@@ -1,0 +1,115 @@
+exception Underflow
+exception Malformed of string
+
+module W = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable len : int;
+  }
+
+  let create ?(initial = 256) () = { buf = Bytes.create (max 16 initial); len = 0 }
+
+  let length t = t.len
+
+  let ensure t n =
+    let need = t.len + n in
+    let cap = Bytes.length t.buf in
+    if need > cap then begin
+      let ncap = ref (cap * 2) in
+      while !ncap < need do ncap := !ncap * 2 done;
+      let nb = Bytes.create !ncap in
+      Bytes.blit t.buf 0 nb 0 t.len;
+      t.buf <- nb
+    end
+
+  let u8 t v =
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (v land 0xff));
+    t.len <- t.len + 1
+
+  let i32 t v =
+    if v > 0x7fffffff || v < -0x80000000 then
+      invalid_arg "Codec.W.i32: out of range";
+    ensure t 4;
+    Bytes.set_int32_be t.buf t.len (Int32.of_int v);
+    t.len <- t.len + 4
+
+  let i64 t v =
+    ensure t 8;
+    Bytes.set_int64_be t.buf t.len v;
+    t.len <- t.len + 8
+
+  let int_as_i64 t v = i64 t (Int64.of_int v)
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let raw t b =
+    let n = Bytes.length b in
+    ensure t n;
+    Bytes.blit b 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let bytes t b =
+    i32 t (Bytes.length b);
+    raw t b
+
+  let string t s = bytes t (Bytes.unsafe_of_string s)
+  let contents t = Bytes.sub t.buf 0 t.len
+  let reset t = t.len <- 0
+end
+
+module R = struct
+  type t = {
+    buf : Bytes.t;
+    mutable pos : int;
+  }
+
+  let of_bytes b = { buf = b; pos = 0 }
+  let of_string s = of_bytes (Bytes.unsafe_of_string s)
+  let remaining t = Bytes.length t.buf - t.pos
+
+  let need t n = if remaining t < n then raise Underflow
+
+  let u8 t =
+    need t 1;
+    let v = Char.code (Bytes.unsafe_get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let i32 t =
+    need t 4;
+    let v = Int32.to_int (Bytes.get_int32_be t.buf t.pos) in
+    t.pos <- t.pos + 4;
+    v
+
+  let i64 t =
+    need t 8;
+    let v = Bytes.get_int64_be t.buf t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let int_from_i64 t =
+    let v = i64 t in
+    let i = Int64.to_int v in
+    if Int64.of_int i <> v then raise (Malformed "i64 exceeds native int");
+    i
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Malformed (Printf.sprintf "bool byte %d" n))
+
+  let bytes t =
+    let n = i32 t in
+    if n < 0 then raise (Malformed "negative length");
+    need t n;
+    let b = Bytes.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let string t = Bytes.unsafe_to_string (bytes t)
+
+  let expect_end t =
+    if remaining t <> 0 then
+      raise (Malformed (Printf.sprintf "%d trailing bytes" (remaining t)))
+end

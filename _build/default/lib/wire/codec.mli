@@ -1,0 +1,61 @@
+(** Binary encoding primitives.
+
+    All multi-byte integers are big-endian. Strings and byte blobs are
+    length-prefixed with a 32-bit length. The replica-to-replica and
+    client-to-replica codecs ({!Client_msg}, [Msmr_consensus.Msg]) are
+    built on these primitives. *)
+
+exception Underflow
+(** Raised when decoding runs past the end of the input. *)
+
+exception Malformed of string
+(** Raised on structurally invalid input (bad tag, negative length...). *)
+
+module W : sig
+  (** Growable write buffer. *)
+
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  (** Lower 8 bits of the argument. *)
+
+  val i32 : t -> int -> unit
+  (** Two's-complement 32 bits; @raise Invalid_argument when out of
+      range. *)
+
+  val i64 : t -> int64 -> unit
+  val int_as_i64 : t -> int -> unit
+  val bool : t -> bool -> unit
+  val bytes : t -> bytes -> unit
+  (** Length-prefixed blob. *)
+
+  val string : t -> string -> unit
+  val raw : t -> bytes -> unit
+  (** Append without a length prefix. *)
+
+  val contents : t -> bytes
+  (** Copy of everything written so far. *)
+
+  val reset : t -> unit
+end
+
+module R : sig
+  (** Read cursor over a byte blob. *)
+
+  type t
+
+  val of_bytes : bytes -> t
+  val of_string : string -> t
+  val remaining : t -> int
+  val u8 : t -> int
+  val i32 : t -> int
+  val i64 : t -> int64
+  val int_from_i64 : t -> int
+  val bool : t -> bool
+  val bytes : t -> bytes
+  val string : t -> string
+  val expect_end : t -> unit
+  (** @raise Malformed if input remains. *)
+end

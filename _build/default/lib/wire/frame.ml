@@ -1,0 +1,42 @@
+exception Oversized of int
+
+let max_frame = 16 * 1024 * 1024
+
+let write_all fd buf ofs len =
+  let rec go ofs len =
+    if len > 0 then begin
+      let n = Unix.write fd buf ofs len in
+      go (ofs + n) (len - n)
+    end
+  in
+  go ofs len
+
+(* Returns false on EOF before the first byte, raises End_of_file on EOF
+   mid-buffer. *)
+let read_exactly fd buf len =
+  let rec go ofs =
+    if ofs >= len then true
+    else
+      match Unix.read fd buf ofs (len - ofs) with
+      | 0 -> if ofs = 0 then false else raise End_of_file
+      | n -> go (ofs + n)
+  in
+  go 0
+
+let write fd payload =
+  let len = Bytes.length payload in
+  let frame = Bytes.create (4 + len) in
+  Bytes.set_int32_be frame 0 (Int32.of_int len);
+  Bytes.blit payload 0 frame 4 len;
+  write_all fd frame 0 (4 + len)
+
+let read fd =
+  let hdr = Bytes.create 4 in
+  if not (read_exactly fd hdr 4) then None
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then raise (Oversized len);
+    let payload = Bytes.create len in
+    if len > 0 && not (read_exactly fd payload len) then raise End_of_file;
+    Some payload
+  end

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Bytes Fun List Msmr_baseline Msmr_consensus Msmr_platform Msmr_runtime Msmr_sim Msmr_wire Params Printf Thread Unix

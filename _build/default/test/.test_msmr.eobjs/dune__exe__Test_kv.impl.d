@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Bytes Fun List Msmr_consensus Msmr_kv Msmr_runtime Option Printf QCheck QCheck_alcotest String

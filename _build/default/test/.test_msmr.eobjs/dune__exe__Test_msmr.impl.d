@@ -1,0 +1,1 @@
+test/test_msmr.ml: Alcotest Test_baseline Test_consensus Test_kv Test_platform Test_runtime Test_sim Test_storage Test_tcp Test_wire

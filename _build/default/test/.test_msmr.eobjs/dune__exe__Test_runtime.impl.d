@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Bytes Client Fun Int64 List Msmr_consensus Msmr_platform Msmr_runtime Msmr_wire Option Printf Random Replica Reply_cache Service Thread Transport Unix

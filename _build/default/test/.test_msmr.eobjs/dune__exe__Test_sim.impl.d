@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cpu Engine Float Jpaxos_model List Mailbox Msmr_sim Nic Option Params Printf Slock Squeue Sstats

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Crc32 Filename Fun List Msmr_consensus Msmr_platform Msmr_runtime Msmr_storage Msmr_wire Printf Random Replica_store String Sys Unix Wal

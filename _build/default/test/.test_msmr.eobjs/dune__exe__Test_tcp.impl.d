@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Bytes Fun List Msmr_consensus Msmr_runtime Msmr_wire Printf Thread Unix

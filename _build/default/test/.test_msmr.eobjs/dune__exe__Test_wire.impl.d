@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes Client_msg Codec Frame Int32 List Msmr_wire QCheck QCheck_alcotest String Thread Unix

@@ -1,0 +1,248 @@
+(* Tests for msmr_kv: KV store semantics, codecs, snapshots, the lock
+   service, and both running on a live replicated cluster. *)
+
+module Kv = Msmr_kv.Kv_service
+module L = Msmr_kv.Lock_service
+module R = Msmr_runtime
+
+let test_kv_store_basics () =
+  let s = Kv.Store.create () in
+  Alcotest.(check bool) "miss" true
+    (Kv.Store.apply s ~session:1 (Kv.Get "a") = Kv.Ok_value None);
+  Alcotest.(check bool) "put" true
+    (Kv.Store.apply s ~session:1 (Kv.Put { key = "a"; value = "1"; ephemeral = false })
+     = Kv.Ok_unit);
+  Alcotest.(check bool) "get" true
+    (Kv.Store.apply s ~session:2 (Kv.Get "a") = Kv.Ok_value (Some "1"));
+  Alcotest.(check bool) "delete" true
+    (Kv.Store.apply s ~session:1 (Kv.Delete "a") = Kv.Ok_unit);
+  Alcotest.(check bool) "gone" true
+    (Kv.Store.apply s ~session:1 (Kv.Get "a") = Kv.Ok_value None)
+
+let test_kv_incr () =
+  let s = Kv.Store.create () in
+  Alcotest.(check bool) "first" true
+    (Kv.Store.apply s ~session:1 (Kv.Incr { key = "c"; by = 5 }) = Kv.Ok_int 5);
+  Alcotest.(check bool) "second" true
+    (Kv.Store.apply s ~session:1 (Kv.Incr { key = "c"; by = -2 }) = Kv.Ok_int 3);
+  (* Non-numeric value treated as 0. *)
+  ignore (Kv.Store.apply s ~session:1 (Kv.Put { key = "x"; value = "abc"; ephemeral = false }));
+  Alcotest.(check bool) "reset" true
+    (Kv.Store.apply s ~session:1 (Kv.Incr { key = "x"; by = 1 }) = Kv.Ok_int 1)
+
+let test_kv_ephemeral_expiry () =
+  let s = Kv.Store.create () in
+  ignore (Kv.Store.apply s ~session:7 (Kv.Put { key = "/m/a"; value = "x"; ephemeral = true }));
+  ignore (Kv.Store.apply s ~session:8 (Kv.Put { key = "/m/b"; value = "y"; ephemeral = true }));
+  ignore (Kv.Store.apply s ~session:7 (Kv.Put { key = "/p"; value = "z"; ephemeral = false }));
+  Alcotest.(check bool) "expire 7" true
+    (Kv.Store.apply s ~session:0 (Kv.Expire_session 7) = Kv.Ok_int 1);
+  Alcotest.(check bool) "b remains" true
+    (Kv.Store.apply s ~session:0 (Kv.Get "/m/b") = Kv.Ok_value (Some "y"));
+  Alcotest.(check bool) "persistent remains" true
+    (Kv.Store.apply s ~session:0 (Kv.Get "/p") = Kv.Ok_value (Some "z"))
+
+let test_kv_list_keys () =
+  let s = Kv.Store.create () in
+  List.iter
+    (fun key ->
+       ignore (Kv.Store.apply s ~session:1 (Kv.Put { key; value = "v"; ephemeral = false })))
+    [ "/a/1"; "/a/2"; "/b/1" ];
+  Alcotest.(check bool) "prefix" true
+    (Kv.Store.apply s ~session:1 (Kv.List_keys "/a/") = Kv.Ok_keys [ "/a/1"; "/a/2" ])
+
+let test_kv_snapshot_roundtrip () =
+  let s = Kv.Store.create () in
+  ignore (Kv.Store.apply s ~session:3 (Kv.Put { key = "k1"; value = "v1"; ephemeral = false }));
+  ignore (Kv.Store.apply s ~session:3 (Kv.Put { key = "k2"; value = "v2"; ephemeral = true }));
+  let snap = Kv.Store.snapshot s in
+  let s2 = Kv.Store.create () in
+  Kv.Store.restore s2 snap;
+  Alcotest.(check int) "size" 2 (Kv.Store.size s2);
+  Alcotest.(check bool) "value" true
+    (Kv.Store.apply s2 ~session:0 (Kv.Get "k1") = Kv.Ok_value (Some "v1"));
+  (* Ephemeral ownership survives the snapshot. *)
+  Alcotest.(check bool) "ephemeral owner" true
+    (Kv.Store.apply s2 ~session:0 (Kv.Expire_session 3) = Kv.Ok_int 1)
+
+let kv_commands =
+  [ Kv.Put { key = "k"; value = "v"; ephemeral = true };
+    Kv.Get "k"; Kv.Delete "k"; Kv.Incr { key = "c"; by = -42 };
+    Kv.Expire_session 9; Kv.List_keys "/pre" ]
+
+let kv_replies =
+  [ Kv.Ok_unit; Kv.Ok_value None; Kv.Ok_value (Some "x"); Kv.Ok_int (-3);
+    Kv.Ok_keys []; Kv.Ok_keys [ "a"; "b" ]; Kv.Error "nope" ]
+
+let test_kv_codec_roundtrip () =
+  List.iter
+    (fun c ->
+       Alcotest.(check bool) "command" true
+         (Kv.decode_command (Kv.encode_command c) = c))
+    kv_commands;
+  List.iter
+    (fun r ->
+       Alcotest.(check bool) "reply" true (Kv.decode_reply (Kv.encode_reply r) = r))
+    kv_replies
+
+let test_kv_service_malformed () =
+  let svc = Kv.make () in
+  let reply =
+    svc.R.Service.execute
+      { id = { client_id = 1; seq = 1 }; payload = Bytes.of_string "\xff\xff" }
+  in
+  match Kv.decode_reply reply with
+  | Kv.Error _ -> ()
+  | _ -> Alcotest.fail "expected Error for malformed command"
+
+let lock_commands =
+  [ L.Acquire "/l"; L.Release "/l"; L.Holder "/l"; L.Expire_session 4 ]
+
+let lock_replies =
+  [ L.Granted; L.Busy 3; L.Released; L.Not_holder; L.Holder_is None;
+    L.Holder_is (Some 5); L.Expired 2; L.Error "x" ]
+
+let test_lock_codec_roundtrip () =
+  List.iter
+    (fun c ->
+       Alcotest.(check bool) "command" true (L.decode_command (L.encode_command c) = c))
+    lock_commands;
+  List.iter
+    (fun r ->
+       Alcotest.(check bool) "reply" true (L.decode_reply (L.encode_reply r) = r))
+    lock_replies
+
+let test_lock_service_semantics () =
+  let svc = L.make () in
+  let call session cmd =
+    L.decode_reply
+      (svc.R.Service.execute
+         { id = { client_id = session; seq = 1 }; payload = L.encode_command cmd })
+  in
+  Alcotest.(check bool) "grant" true (call 1 (L.Acquire "/l") = L.Granted);
+  Alcotest.(check bool) "re-entrant" true (call 1 (L.Acquire "/l") = L.Granted);
+  Alcotest.(check bool) "busy" true (call 2 (L.Acquire "/l") = L.Busy 1);
+  Alcotest.(check bool) "not holder" true (call 2 (L.Release "/l") = L.Not_holder);
+  Alcotest.(check bool) "holder" true (call 2 (L.Holder "/l") = L.Holder_is (Some 1));
+  Alcotest.(check bool) "release" true (call 1 (L.Release "/l") = L.Released);
+  Alcotest.(check bool) "now free" true (call 2 (L.Acquire "/l") = L.Granted)
+
+let test_lock_snapshot_roundtrip () =
+  let svc = L.make () in
+  let call session cmd =
+    L.decode_reply
+      (svc.R.Service.execute
+         { id = { client_id = session; seq = 1 }; payload = L.encode_command cmd })
+  in
+  ignore (call 1 (L.Acquire "/a"));
+  ignore (call 2 (L.Acquire "/b"));
+  let snap = svc.R.Service.snapshot () in
+  let svc2 = L.make () in
+  svc2.R.Service.restore snap;
+  let call2 session cmd =
+    L.decode_reply
+      (svc2.R.Service.execute
+         { id = { client_id = session; seq = 1 }; payload = L.encode_command cmd })
+  in
+  Alcotest.(check bool) "holder restored" true
+    (call2 9 (L.Holder "/a") = L.Holder_is (Some 1));
+  Alcotest.(check bool) "busy restored" true (call2 9 (L.Acquire "/b") = L.Busy 2)
+
+(* Replicated integration: KV on a live cluster. *)
+let test_kv_on_cluster () =
+  let cfg =
+    { (Msmr_consensus.Config.default ~n:3) with max_batch_delay_s = 0.004 }
+  in
+  let cluster = R.Replica.Cluster.create ~cfg ~service:Kv.make () in
+  Fun.protect ~finally:(fun () -> R.Replica.Cluster.stop cluster)
+  @@ fun () ->
+  ignore (R.Replica.Cluster.await_leader cluster);
+  let client = R.Client.create ~cluster ~client_id:5 () in
+  let call cmd = Kv.decode_reply (R.Client.call client (Kv.encode_command cmd)) in
+  Alcotest.(check bool) "replicated put" true
+    (call (Kv.Put { key = "x"; value = "42"; ephemeral = false }) = Kv.Ok_unit);
+  Alcotest.(check bool) "replicated incr" true
+    (call (Kv.Incr { key = "x"; by = 8 }) = Kv.Ok_int 50);
+  Alcotest.(check bool) "replicated get" true
+    (call (Kv.Get "x") = Kv.Ok_value (Some "50"))
+
+let suite =
+  [
+    Alcotest.test_case "kv: store basics" `Quick test_kv_store_basics;
+    Alcotest.test_case "kv: incr" `Quick test_kv_incr;
+    Alcotest.test_case "kv: ephemeral expiry" `Quick test_kv_ephemeral_expiry;
+    Alcotest.test_case "kv: list keys" `Quick test_kv_list_keys;
+    Alcotest.test_case "kv: snapshot round-trip" `Quick test_kv_snapshot_roundtrip;
+    Alcotest.test_case "kv: codec round-trip" `Quick test_kv_codec_roundtrip;
+    Alcotest.test_case "kv: malformed command" `Quick test_kv_service_malformed;
+    Alcotest.test_case "lock: codec round-trip" `Quick test_lock_codec_roundtrip;
+    Alcotest.test_case "lock: semantics" `Quick test_lock_service_semantics;
+    Alcotest.test_case "lock: snapshot round-trip" `Quick test_lock_snapshot_roundtrip;
+    Alcotest.test_case "kv: on live cluster" `Quick test_kv_on_cluster;
+  ]
+
+(* Model-based property: the KV store agrees with a reference model over
+   random command sequences. *)
+let kv_cmd_gen =
+  let open QCheck.Gen in
+  let key = map (Printf.sprintf "/k%d") (int_bound 8) in
+  let session = int_bound 4 in
+  frequency
+    [ (4, map2 (fun key v -> Kv.Put { key; value = string_of_int v; ephemeral = false })
+         key (int_bound 100));
+      (2, map2 (fun key v -> Kv.Put { key; value = string_of_int v; ephemeral = true })
+         key (int_bound 100));
+      (3, map (fun key -> Kv.Get key) key);
+      (1, map (fun key -> Kv.Delete key) key);
+      (2, map2 (fun key by -> Kv.Incr { key; by }) key (int_range (-5) 5));
+      (1, map (fun s -> Kv.Expire_session s) session);
+    ]
+
+let prop_kv_matches_model =
+  QCheck.Test.make ~name:"kv store matches reference model" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_bound 40) (pair (int_bound 4) kv_cmd_gen)))
+    (fun ops ->
+       let store = Kv.Store.create () in
+       (* Reference: assoc list of key -> (value, ephemeral owner). *)
+       let model : (string * (string * int option)) list ref = ref [] in
+       let model_apply session cmd =
+         match cmd with
+         | Kv.Put { key; value; ephemeral } ->
+           model := (key, (value, if ephemeral then Some session else None))
+                    :: List.remove_assoc key !model;
+           Kv.Ok_unit
+         | Kv.Get key ->
+           Kv.Ok_value (Option.map fst (List.assoc_opt key !model))
+         | Kv.Delete key ->
+           model := List.remove_assoc key !model;
+           Kv.Ok_unit
+         | Kv.Incr { key; by } ->
+           let v =
+             match List.assoc_opt key !model with
+             | Some (s, _) -> (try int_of_string s with Failure _ -> 0)
+             | None -> 0
+           in
+           let v = v + by in
+           model := (key, (string_of_int v, None)) :: List.remove_assoc key !model;
+           Kv.Ok_int v
+         | Kv.Expire_session s ->
+           let doomed, kept =
+             List.partition (fun (_, (_, o)) -> o = Some s) !model
+           in
+           model := kept;
+           Kv.Ok_int (List.length doomed)
+         | Kv.List_keys prefix ->
+           Kv.Ok_keys
+             (List.sort compare
+                (List.filter_map
+                   (fun (k, _) ->
+                      if String.starts_with ~prefix k then Some k else None)
+                   !model))
+       in
+       List.for_all
+         (fun (session, cmd) ->
+            Kv.Store.apply store ~session cmd = model_apply session cmd)
+         ops
+       && Kv.Store.size store = List.length !model)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_kv_matches_model ]

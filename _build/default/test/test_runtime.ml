@@ -1,0 +1,446 @@
+(* Integration tests for msmr_runtime: whole replicas with all threads
+   running over the in-memory hub, fault injection, and the TCP link. *)
+
+open Msmr_runtime
+module Config = Msmr_consensus.Config
+module Msg = Msmr_consensus.Msg
+module Client_msg = Msmr_wire.Client_msg
+module Mclock = Msmr_platform.Mclock
+
+(* Fast-paced config so tests finish quickly. *)
+let test_cfg n =
+  { (Config.default ~n) with
+    max_batch_delay_s = 0.004;
+    fd_interval_s = 0.04;
+    fd_timeout_s = 0.2;
+    retransmit_interval_s = 0.05;
+    catchup_interval_s = 0.02 }
+
+let with_cluster ?client_io_threads ?(n = 3) ?(service = Service.accumulator)
+    f =
+  let cluster =
+    Replica.Cluster.create ?client_io_threads ~cfg:(test_cfg n) ~service ()
+  in
+  Fun.protect ~finally:(fun () -> Replica.Cluster.stop cluster) (fun () ->
+      f cluster)
+
+let await ?(timeout_s = 5.0) ~what pred =
+  let deadline = Int64.add (Mclock.now_ns ()) (Mclock.ns_of_s timeout_s) in
+  let rec go () =
+    if pred () then ()
+    else if Int64.compare (Mclock.now_ns ()) deadline > 0 then
+      Alcotest.failf "timeout waiting for %s" what
+    else begin
+      Mclock.sleep_s 0.005;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Reply cache *)
+
+let rid c s : Client_msg.request_id = { client_id = c; seq = s }
+
+let test_reply_cache_basics () =
+  let rc = Reply_cache.create () in
+  Alcotest.(check bool) "fresh" true (Reply_cache.lookup rc (rid 1 1) = Fresh);
+  Reply_cache.store rc (rid 1 1) (Bytes.of_string "r1");
+  (match Reply_cache.lookup rc (rid 1 1) with
+   | Cached b -> Alcotest.(check string) "cached" "r1" (Bytes.to_string b)
+   | _ -> Alcotest.fail "expected Cached");
+  Reply_cache.store rc (rid 1 2) (Bytes.of_string "r2");
+  Alcotest.(check bool) "older is stale" true
+    (Reply_cache.lookup rc (rid 1 1) = Stale);
+  Alcotest.(check bool) "newer is fresh" true
+    (Reply_cache.lookup rc (rid 1 3) = Fresh);
+  (* Monotone store: a late, out-of-order store of an old seq is a no-op. *)
+  Reply_cache.store rc (rid 1 1) (Bytes.of_string "late");
+  (match Reply_cache.lookup rc (rid 1 2) with
+   | Cached b -> Alcotest.(check string) "kept newest" "r2" (Bytes.to_string b)
+   | _ -> Alcotest.fail "expected Cached r2");
+  Alcotest.(check bool) "executed check" true
+    (Reply_cache.already_executed rc (rid 1 2));
+  Alcotest.(check bool) "other client untouched" false
+    (Reply_cache.already_executed rc (rid 2 1));
+  Alcotest.(check int) "one client" 1 (Reply_cache.size rc)
+
+(* ------------------------------------------------------------------ *)
+(* Service *)
+
+let test_null_service () =
+  let s = Service.null ~reply_size:4 () in
+  let reply = s.execute { id = rid 1 1; payload = Bytes.of_string "ignored" } in
+  Alcotest.(check int) "reply size" 4 (Bytes.length reply);
+  Alcotest.(check int) "empty snapshot" 0 (Bytes.length (s.snapshot ()))
+
+let test_accumulator_service () =
+  let s = Service.accumulator () in
+  let call v = Bytes.to_string (s.execute { id = rid 1 1; payload = Bytes.of_string v }) in
+  Alcotest.(check string) "3" "3" (call "3");
+  Alcotest.(check string) "10" "10" (call "7");
+  let snap = s.snapshot () in
+  Alcotest.(check string) "snapshot" "10" (Bytes.to_string snap);
+  let s2 = Service.accumulator () in
+  s2.restore snap;
+  Alcotest.(check string) "restored" "15"
+    (Bytes.to_string (s2.execute { id = rid 1 2; payload = Bytes.of_string "5" }))
+
+(* ------------------------------------------------------------------ *)
+(* Live cluster *)
+
+let test_cluster_elects_initial_leader () =
+  with_cluster @@ fun cluster ->
+  let leader = Replica.Cluster.await_leader cluster in
+  Alcotest.(check int) "node 0 leads view 0" 0 (Replica.me leader);
+  Alcotest.(check int) "view 0" 0 (Replica.current_view leader)
+
+let test_cluster_basic_calls () =
+  with_cluster @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let client = Client.create ~cluster ~client_id:1 () in
+  let r1 = Client.call client (Bytes.of_string "5") in
+  Alcotest.(check string) "first" "5" (Bytes.to_string r1);
+  let r2 = Client.call client (Bytes.of_string "7") in
+  Alcotest.(check string) "second" "12" (Bytes.to_string r2);
+  Alcotest.(check int) "calls" 2 (Client.calls_made client)
+
+let test_cluster_replicas_converge () =
+  with_cluster @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let client = Client.create ~cluster ~client_id:1 () in
+  for i = 1 to 50 do
+    ignore (Client.call client (Bytes.of_string (string_of_int i)))
+  done;
+  let replicas = Replica.Cluster.replicas cluster in
+  await ~what:"all replicas executing 50 requests" (fun () ->
+      Array.for_all (fun r -> Replica.executed_count r = 50) replicas);
+  Array.iter
+    (fun r -> Alcotest.(check int) "executed" 50 (Replica.executed_count r))
+    replicas
+
+let test_cluster_concurrent_clients () =
+  with_cluster @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let nclients = 8 and per_client = 25 in
+  let sum = Atomic.make 0 in
+  let workers =
+    List.init nclients (fun c ->
+        Thread.create
+          (fun () ->
+             let client = Client.create ~cluster ~client_id:(c + 1) () in
+             for i = 1 to per_client do
+               let v = (c * per_client) + i in
+               ignore (Client.call client (Bytes.of_string (string_of_int v)));
+               ignore (Atomic.fetch_and_add sum v)
+             done)
+          ())
+  in
+  List.iter Thread.join workers;
+  let total_reqs = nclients * per_client in
+  let replicas = Replica.Cluster.replicas cluster in
+  await ~what:"replica convergence" (fun () ->
+      Array.for_all (fun r -> Replica.executed_count r = total_reqs) replicas);
+  (* The accumulator's final value must equal the sum of all addends on
+     every replica: same requests, same order, no duplicates. *)
+  let probe = Client.create ~cluster ~client_id:999 () in
+  let final = Client.call probe (Bytes.of_string "0") in
+  Alcotest.(check string) "deterministic sum"
+    (string_of_int (Atomic.get sum))
+    (Bytes.to_string final)
+
+let test_cluster_duplicate_suppression () =
+  with_cluster @@ fun cluster ->
+  let leader = Replica.Cluster.await_leader cluster in
+  (* Send the exact same serialised request three times. *)
+  let req = { Client_msg.id = rid 7 1; payload = Bytes.of_string "5" } in
+  let raw = Client_msg.request_to_bytes req in
+  let replies = Msmr_platform.Bounded_queue.create ~capacity:8 in
+  let sink b = ignore (Msmr_platform.Bounded_queue.try_put replies b) in
+  Replica.submit leader ~raw ~reply_to:sink;
+  await ~what:"first execution" (fun () -> Replica.executed_count leader = 1);
+  Replica.submit leader ~raw ~reply_to:sink;
+  Replica.submit leader ~raw ~reply_to:sink;
+  await ~what:"duplicate replies" (fun () ->
+      Msmr_platform.Bounded_queue.length replies >= 3);
+  Mclock.sleep_s 0.05;
+  Alcotest.(check int) "executed once" 1 (Replica.executed_count leader);
+  (* All three replies carry the same result. *)
+  let results = ref [] in
+  (try
+     while true do
+       match Msmr_platform.Bounded_queue.try_take replies with
+       | Some raw ->
+         let rep = Client_msg.reply_of_bytes raw in
+         results := Bytes.to_string rep.result :: !results
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "at least 3 replies" true (List.length !results >= 3);
+  List.iter (fun r -> Alcotest.(check string) "same result" "5" r) !results
+
+let test_cluster_message_loss_recovery () =
+  with_cluster @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let hub = Replica.Cluster.hub cluster in
+  (* 20% loss in both directions between the leader and replica 1. *)
+  Transport.Hub.set_drop_rate hub ~src:0 ~dst:1 0.2;
+  Transport.Hub.set_drop_rate hub ~src:1 ~dst:0 0.2;
+  let client = Client.create ~cluster ~client_id:1 () in
+  for i = 1 to 30 do
+    ignore (Client.call client (Bytes.of_string (string_of_int i)))
+  done;
+  let replicas = Replica.Cluster.replicas cluster in
+  await ~what:"lossy convergence" (fun () ->
+      Array.for_all (fun r -> Replica.executed_count r = 30) replicas)
+
+let test_cluster_leader_failover_live () =
+  with_cluster @@ fun cluster ->
+  let leader0 = Replica.Cluster.await_leader cluster in
+  Alcotest.(check int) "initial leader" 0 (Replica.me leader0);
+  let client = Client.create ~timeout_s:0.3 ~cluster ~client_id:1 () in
+  ignore (Client.call client (Bytes.of_string "10"));
+  (* Crash the leader. *)
+  Transport.Hub.cut (Replica.Cluster.hub cluster) 0;
+  (* A new leader emerges via the failure detector (timeout 0.2s). *)
+  await ~timeout_s:5.0 ~what:"new leader" (fun () ->
+      let rs = Replica.Cluster.replicas cluster in
+      Replica.is_leader rs.(1) || Replica.is_leader rs.(2));
+  (* The service keeps working; state survived. *)
+  let r = Client.call client (Bytes.of_string "5") in
+  Alcotest.(check string) "state preserved" "15" (Bytes.to_string r);
+  Alcotest.(check bool) "client had to retry" true (Client.retries client >= 1)
+
+let test_cluster_queue_stats () =
+  with_cluster @@ fun cluster ->
+  let leader = Replica.Cluster.await_leader cluster in
+  let stats = Replica.queue_stats leader in
+  Alcotest.(check bool) "sane" true
+    (stats.request_queue >= 0 && stats.window_in_use >= 0);
+  let client = Client.create ~cluster ~client_id:1 () in
+  ignore (Client.call client (Bytes.of_string "1"));
+  Alcotest.(check bool) "decided" true (Replica.decided_count leader >= 1)
+
+let test_cluster_n5_live () =
+  with_cluster ~n:5 @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let client = Client.create ~cluster ~client_id:1 () in
+  for i = 1 to 10 do
+    ignore (Client.call client (Bytes.of_string (string_of_int i)))
+  done;
+  let replicas = Replica.Cluster.replicas cluster in
+  await ~what:"n=5 convergence" (fun () ->
+      Array.for_all (fun r -> Replica.executed_count r = 10) replicas)
+
+let test_cluster_single_node () =
+  with_cluster ~n:1 @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let client = Client.create ~cluster ~client_id:1 () in
+  Alcotest.(check string) "works alone" "4"
+    (Bytes.to_string (Client.call client (Bytes.of_string "4")))
+
+let test_cluster_null_service_throughput_smoke () =
+  (* Not a benchmark: just proves the null-service pipeline sustains a
+     burst without losing requests. *)
+  with_cluster ~service:(fun () -> Service.null ()) @@ fun cluster ->
+  let leader = Replica.Cluster.await_leader cluster in
+  let done_count = Atomic.make 0 in
+  let sink _ = ignore (Atomic.fetch_and_add done_count 1) in
+  for i = 1 to 500 do
+    let raw =
+      Client_msg.request_to_bytes
+        { id = { client_id = 1 + (i mod 4); seq = i }; payload = Bytes.make 16 'x' }
+    in
+    Replica.submit leader ~raw ~reply_to:sink
+  done;
+  await ~what:"500 replies" (fun () -> Atomic.get done_count >= 500)
+
+let test_hub_fault_injection () =
+  let hub = Transport.Hub.create ~n:2 () in
+  let l01 = Transport.Hub.link hub ~me:0 ~peer:1 in
+  let l10 = Transport.Hub.link hub ~me:1 ~peer:0 in
+  l01.send_bytes (Bytes.of_string "hello");
+  (match l10.recv_bytes () with
+   | Some b -> Alcotest.(check string) "delivered" "hello" (Bytes.to_string b)
+   | None -> Alcotest.fail "expected frame");
+  Transport.Hub.set_drop_rate hub ~src:0 ~dst:1 1.0;
+  l01.send_bytes (Bytes.of_string "lost");
+  Transport.Hub.set_drop_rate hub ~src:0 ~dst:1 0.0;
+  l01.send_bytes (Bytes.of_string "after");
+  (match l10.recv_bytes () with
+   | Some b ->
+     Alcotest.(check string) "dropped frame skipped" "after" (Bytes.to_string b)
+   | None -> Alcotest.fail "expected frame");
+  Alcotest.(check int) "all sends counted" 3 (Transport.Hub.frames_sent hub);
+  Transport.Hub.close hub;
+  Alcotest.(check bool) "closed" true (l10.recv_bytes () = None)
+
+let test_tcp_link_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let la = Transport.Tcp.link_of_fd a in
+  let lb = Transport.Tcp.link_of_fd b in
+  let msg = Msg.Accept { view = 1; iid = 2; value = Msmr_consensus.Value.Noop } in
+  la.send_bytes (Msg.encode msg);
+  (match lb.recv_bytes () with
+   | Some raw ->
+     Alcotest.(check bool) "decodes" true (Msg.equal msg (Msg.decode raw))
+   | None -> Alcotest.fail "expected frame");
+  la.close ();
+  Alcotest.(check bool) "eof after close" true (lb.recv_bytes () = None);
+  lb.close ()
+
+let test_tcp_connect_link () =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listener 1;
+  let addr = Unix.getsockname listener in
+  let accepted = ref None in
+  let acceptor =
+    Thread.create
+      (fun () ->
+         let fd, _ = Unix.accept listener in
+         accepted := Some (Transport.Tcp.link_of_fd fd))
+      ()
+  in
+  let client_link = Transport.Tcp.connect_link addr in
+  Thread.join acceptor;
+  let server_link = Option.get !accepted in
+  client_link.send_bytes (Bytes.of_string "ping");
+  (match server_link.recv_bytes () with
+   | Some b -> Alcotest.(check string) "ping" "ping" (Bytes.to_string b)
+   | None -> Alcotest.fail "no frame");
+  server_link.send_bytes (Bytes.of_string "pong");
+  (match client_link.recv_bytes () with
+   | Some b -> Alcotest.(check string) "pong" "pong" (Bytes.to_string b)
+   | None -> Alcotest.fail "no frame");
+  client_link.close ();
+  server_link.close ();
+  Unix.close listener
+
+let suite =
+  [
+    Alcotest.test_case "reply cache: basics" `Quick test_reply_cache_basics;
+    Alcotest.test_case "service: null" `Quick test_null_service;
+    Alcotest.test_case "service: accumulator" `Quick test_accumulator_service;
+    Alcotest.test_case "hub: fault injection" `Quick test_hub_fault_injection;
+    Alcotest.test_case "tcp: link round-trip" `Quick test_tcp_link_roundtrip;
+    Alcotest.test_case "tcp: connect/accept" `Quick test_tcp_connect_link;
+    Alcotest.test_case "cluster: initial leader" `Quick test_cluster_elects_initial_leader;
+    Alcotest.test_case "cluster: basic calls" `Quick test_cluster_basic_calls;
+    Alcotest.test_case "cluster: replicas converge" `Quick test_cluster_replicas_converge;
+    Alcotest.test_case "cluster: concurrent clients" `Quick test_cluster_concurrent_clients;
+    Alcotest.test_case "cluster: duplicate suppression" `Quick test_cluster_duplicate_suppression;
+    Alcotest.test_case "cluster: message loss recovery" `Quick test_cluster_message_loss_recovery;
+    Alcotest.test_case "cluster: leader failover (live)" `Quick test_cluster_leader_failover_live;
+    Alcotest.test_case "cluster: queue stats" `Quick test_cluster_queue_stats;
+    Alcotest.test_case "cluster: n=5" `Quick test_cluster_n5_live;
+    Alcotest.test_case "cluster: single node" `Quick test_cluster_single_node;
+    Alcotest.test_case "cluster: null service burst" `Quick test_cluster_null_service_throughput_smoke;
+  ]
+
+(* The paper's §VI-B extension in the live runtime: several Batcher
+   threads sharing the RequestQueue still yield a correct, converging
+   cluster with unique batch ids. *)
+let test_cluster_multi_batcher () =
+  let cfg = test_cfg 3 in
+  let hub = Transport.Hub.create ~n:3 () in
+  let replicas =
+    Array.init 3 (fun me ->
+        let links =
+          List.filter_map
+            (fun peer ->
+               if peer = me then None
+               else Some (peer, Transport.Hub.link hub ~me ~peer))
+            [ 0; 1; 2 ]
+        in
+        Replica.create ~batcher_threads:3 ~cfg ~me ~links
+          ~service:(Service.accumulator ()) ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        Array.iter Replica.stop replicas;
+        Transport.Hub.close hub)
+  @@ fun () ->
+  await ~what:"leader" (fun () -> Array.exists Replica.is_leader replicas);
+  let leader = Array.get replicas 0 in
+  (* Concurrent clients exercise all three batchers. *)
+  let replies = Msmr_platform.Bounded_queue.create ~capacity:256 in
+  for c = 1 to 6 do
+    for s = 1 to 10 do
+      let raw =
+        Client_msg.request_to_bytes
+          { id = { client_id = c; seq = s }; payload = Bytes.of_string "1" }
+      in
+      Replica.submit leader ~raw ~reply_to:(fun b ->
+          ignore (Msmr_platform.Bounded_queue.try_put replies b))
+    done
+  done;
+  await ~what:"60 executions" (fun () -> Replica.executed_count leader = 60);
+  await ~what:"replica convergence" (fun () ->
+      Array.for_all (fun r -> Replica.executed_count r = 60) replicas);
+  Array.iter
+    (fun r -> Alcotest.(check int) "executed" 60 (Replica.executed_count r))
+    replicas
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "cluster: multiple batcher threads" `Quick
+        test_cluster_multi_batcher ]
+
+(* Randomized fault-injection soak: cut and heal random replicas while
+   closed-loop clients keep running; the cluster must keep making
+   progress (a majority is always up) and converge afterwards, with the
+   accumulator reflecting every completed call exactly once. *)
+let test_cluster_fault_injection_soak () =
+  with_cluster @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let hub = Replica.Cluster.hub cluster in
+  let rng = Random.State.make [| 2027 |] in
+  let stop = Atomic.make false in
+  let sum = Atomic.make 0 in
+  let calls = Atomic.make 0 in
+  let clients =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+             let client =
+               Client.create ~timeout_s:0.3 ~cluster ~client_id:(i + 1) ()
+             in
+             let v = ref 0 in
+             while not (Atomic.get stop) do
+               incr v;
+               ignore (Client.call client (Bytes.of_string (string_of_int !v)));
+               ignore (Atomic.fetch_and_add sum !v);
+               ignore (Atomic.fetch_and_add calls 1)
+             done)
+          ())
+  in
+  (* Chaos: 6 cut/heal cycles against a random single replica (never two
+     at once, so a majority always exists). *)
+  for _ = 1 to 6 do
+    let victim = Random.State.int rng 3 in
+    Transport.Hub.cut hub victim;
+    Mclock.sleep_s (0.15 +. Random.State.float rng 0.2);
+    Transport.Hub.heal hub victim;
+    Mclock.sleep_s (0.1 +. Random.State.float rng 0.1)
+  done;
+  Atomic.set stop true;
+  List.iter Thread.join clients;
+  let total = Atomic.get calls in
+  Alcotest.(check bool)
+    (Printf.sprintf "made progress through faults (%d calls)" total)
+    true (total > 20);
+  (* Heal everything and check convergence + exactly-once execution. *)
+  let replicas = Replica.Cluster.replicas cluster in
+  await ~timeout_s:10. ~what:"post-chaos convergence" (fun () ->
+      Array.for_all (fun r -> Replica.executed_count r = total) replicas);
+  let probe = Client.create ~cluster ~client_id:99 () in
+  Alcotest.(check string) "exactly-once sum"
+    (string_of_int (Atomic.get sum))
+    (Bytes.to_string (Client.call probe (Bytes.of_string "0")))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "cluster: fault-injection soak" `Slow
+        test_cluster_fault_injection_soak ]

@@ -1,0 +1,333 @@
+(* Tests for msmr_sim: the DES engine, CPU/lock/queue/NIC substrate, and
+   the JPaxos architecture model. *)
+
+open Msmr_sim
+
+let test_engine_delay_ordering () =
+  let eng = Engine.create () in
+  let trace = ref [] in
+  Engine.spawn eng (fun () ->
+      Engine.delay eng 0.3;
+      trace := ("a", Engine.now eng) :: !trace);
+  Engine.spawn eng (fun () ->
+      Engine.delay eng 0.1;
+      trace := ("b", Engine.now eng) :: !trace;
+      Engine.delay eng 0.1;
+      trace := ("c", Engine.now eng) :: !trace);
+  Engine.run eng ~until:1.0;
+  Alcotest.(check (list string)) "order" [ "b"; "c"; "a" ]
+    (List.rev_map fst !trace);
+  Alcotest.(check bool) "times" true
+    (List.for_all2
+       (fun (_, t) t' -> abs_float (t -. t') < 1e-9)
+       (List.rev !trace) [ 0.1; 0.2; 0.3 ])
+
+let test_engine_same_time_fifo () =
+  let eng = Engine.create () in
+  let trace = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule_at eng 0.5 (fun () -> trace := i :: !trace)
+  done;
+  Engine.run eng ~until:1.0;
+  Alcotest.(check (list int)) "schedule order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !trace)
+
+let test_engine_suspend_resume () =
+  let eng = Engine.create () in
+  let resumer = ref None in
+  let got = ref 0 in
+  Engine.spawn eng (fun () ->
+      let v = Engine.suspend eng (fun r -> resumer := Some r) in
+      got := v);
+  Engine.schedule_at eng 0.2 (fun () -> (Option.get !resumer) 42);
+  Engine.run eng ~until:1.0;
+  Alcotest.(check int) "resumed with value" 42 !got
+
+let test_engine_suspend_timeout () =
+  let eng = Engine.create () in
+  let r1 = ref (Engine.Value 0) and r2 = ref (Engine.Value 0) in
+  Engine.spawn eng (fun () ->
+      (* Never resumed: times out. *)
+      r1 := Engine.suspend_timeout eng ~timeout:0.1 (fun _ -> ()));
+  Engine.spawn eng (fun () ->
+      r2 :=
+        Engine.suspend_timeout eng ~timeout:1.0 (fun resume ->
+            Engine.schedule_at eng 0.05 (fun () -> resume 7)));
+  Engine.run eng ~until:2.0;
+  Alcotest.(check bool) "timed out" true (!r1 = Engine.Timed_out);
+  Alcotest.(check bool) "value wins" true (!r2 = Engine.Value 7)
+
+let test_engine_run_until () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  Engine.schedule_at eng 5.0 (fun () -> fired := true);
+  Engine.run eng ~until:1.0;
+  Alcotest.(check bool) "future event pending" false !fired;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 1.0 (Engine.now eng);
+  Engine.run eng ~until:10.0;
+  Alcotest.(check bool) "fires later" true !fired
+
+let test_cpu_serializes_on_one_core () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~cores:1 ~switch_cost:0. () in
+  let done_at = Array.make 2 0. in
+  for i = 0 to 1 do
+    Engine.spawn eng (fun () ->
+        let st = Sstats.make_thread eng ~name:(Printf.sprintf "t%d" i) in
+        Cpu.work cpu st 0.1;
+        done_at.(i) <- Engine.now eng)
+  done;
+  Engine.run eng ~until:1.0;
+  (* 2 x 0.1s of work on one core takes 0.2s of simulated time. *)
+  Alcotest.(check (float 1e-6)) "second finishes at 0.2" 0.2
+    (Float.max done_at.(0) done_at.(1));
+  Alcotest.(check (float 1e-6)) "consumed" 0.2 (Cpu.consumed cpu)
+
+let test_cpu_parallel_on_two_cores () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~cores:2 ~switch_cost:0. () in
+  let done_at = Array.make 2 0. in
+  for i = 0 to 1 do
+    Engine.spawn eng (fun () ->
+        let st = Sstats.make_thread eng ~name:(Printf.sprintf "t%d" i) in
+        Cpu.work cpu st 0.1;
+        done_at.(i) <- Engine.now eng)
+  done;
+  Engine.run eng ~until:1.0;
+  Alcotest.(check (float 1e-6)) "parallel" 0.1
+    (Float.max done_at.(0) done_at.(1))
+
+let test_cpu_switch_cost_charged () =
+  let eng = Engine.create () in
+  (* Large quantum: no preemption, so exactly one context switch is
+     charged (to the thread that had to wait for the core). *)
+  let cpu = Cpu.create eng ~cores:1 ~quantum:1.0 ~switch_cost:0.01 () in
+  Engine.spawn eng (fun () ->
+      let st = Sstats.make_thread eng ~name:"first" in
+      Cpu.work cpu st 0.1);
+  Engine.spawn eng (fun () ->
+      let st = Sstats.make_thread eng ~name:"second" in
+      (* Queued behind the first: pays the context-switch cost. *)
+      Cpu.work cpu st 0.1);
+  Engine.run eng ~until:1.0;
+  Alcotest.(check (float 1e-6)) "0.1 + (0.1 + switch)" 0.21 (Cpu.consumed cpu)
+
+let test_slock_mutual_exclusion () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~cores:4 ~switch_cost:0. () in
+  let lock = Slock.create eng () in
+  let inside = ref 0 and max_inside = ref 0 in
+  for i = 0 to 3 do
+    Engine.spawn eng (fun () ->
+        let st = Sstats.make_thread eng ~name:(Printf.sprintf "w%d" i) in
+        Slock.acquire lock st;
+        incr inside;
+        if !inside > !max_inside then max_inside := !inside;
+        Cpu.work cpu st 0.05;
+        decr inside;
+        Slock.release lock)
+  done;
+  Engine.run eng ~until:1.0;
+  Alcotest.(check int) "one holder at a time" 1 !max_inside;
+  Alcotest.(check int) "acquisitions" 4 (Slock.acquisitions lock);
+  Alcotest.(check int) "contended" 3 (Slock.contended_acquisitions lock)
+
+let test_slock_blocked_accounting () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~cores:2 ~switch_cost:0. () in
+  let lock = Slock.create eng () in
+  let st2_ref = ref None in
+  Engine.spawn eng (fun () ->
+      let st = Sstats.make_thread eng ~name:"holder" in
+      Slock.acquire lock st;
+      Cpu.work cpu st 0.2;
+      Slock.release lock);
+  Engine.spawn eng (fun () ->
+      let st = Sstats.make_thread eng ~name:"waiter" in
+      st2_ref := Some st;
+      Slock.acquire lock st;
+      Slock.release lock);
+  Engine.run eng ~until:1.0;
+  let totals = Sstats.totals (Option.get !st2_ref) in
+  Alcotest.(check bool) "blocked ~0.2s" true
+    (abs_float (totals.Sstats.blocked -. 0.2) < 0.01)
+
+let test_squeue_fifo_and_capacity () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~cores:2 ~switch_cost:0. () in
+  let q = Squeue.create eng ~cpu ~capacity:2 ~name:"q" () in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      let st = Sstats.make_thread eng ~name:"producer" in
+      for i = 1 to 4 do
+        Squeue.put q st i
+      done);
+  Engine.spawn eng (fun () ->
+      let st = Sstats.make_thread eng ~name:"consumer" in
+      Engine.delay eng 0.1;
+      for _ = 1 to 4 do
+        got := Squeue.take q st :: !got
+      done);
+  Engine.run eng ~until:1.0;
+  Alcotest.(check (list int)) "fifo through bounded queue" [ 1; 2; 3; 4 ]
+    (List.rev !got)
+
+let test_squeue_take_timeout () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~cores:1 ~switch_cost:0. () in
+  let q : int Squeue.t = Squeue.create eng ~cpu ~capacity:4 ~name:"q" () in
+  let first = ref (Some 99) and second = ref None in
+  Engine.spawn eng (fun () ->
+      let st = Sstats.make_thread eng ~name:"taker" in
+      first := Squeue.take_timeout q st ~timeout:0.05;
+      second := Squeue.take_timeout q st ~timeout:1.0);
+  Engine.spawn eng (fun () ->
+      let st = Sstats.make_thread eng ~name:"putter" in
+      Engine.delay eng 0.2;
+      Squeue.put q st 5);
+  Engine.run eng ~until:2.0;
+  Alcotest.(check bool) "first timed out" true (!first = None);
+  Alcotest.(check bool) "second arrived" true (!second = Some 5)
+
+let test_mailbox () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng () in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      let st = Sstats.make_thread eng ~name:"consumer" in
+      for _ = 1 to 3 do
+        got := Mailbox.take mb st :: !got
+      done);
+  Engine.schedule_at eng 0.1 (fun () -> Mailbox.push mb "x");
+  Engine.schedule_at eng 0.2 (fun () ->
+      Mailbox.push mb "y";
+      Mailbox.push mb "z");
+  Engine.run eng ~until:1.0;
+  Alcotest.(check (list string)) "delivered in order" [ "x"; "y"; "z" ]
+    (List.rev !got)
+
+let test_nic_packet_rate () =
+  let eng = Engine.create () in
+  (* 1000 pkts/s, tiny packets: 100 sends take ~0.1 s of TX service. *)
+  let a = Nic.create eng ~pkt_rate:1000. ~bandwidth:1e9 ~propagation:0. ~name:"a" () in
+  let b = Nic.create eng ~pkt_rate:1e9 ~bandwidth:1e9 ~propagation:0. ~name:"b" () in
+  let last_arrival = ref 0. in
+  for _ = 1 to 100 do
+    Nic.send a ~dst:b ~size:64 (fun () -> last_arrival := Engine.now eng)
+  done;
+  Engine.run eng ~until:10.;
+  Alcotest.(check bool) "rate limited (~0.1s)" true
+    (!last_arrival >= 0.099 && !last_arrival < 0.12);
+  Alcotest.(check int) "tx packets" 100 (Nic.tx_packets a);
+  Alcotest.(check int) "rx packets" 100 (Nic.rx_packets b)
+
+let test_nic_mtu_split () =
+  let eng = Engine.create () in
+  let a = Nic.create eng ~mtu:1500 ~name:"a" () in
+  let b = Nic.create eng ~name:"b" () in
+  Nic.send a ~dst:b ~size:4000 (fun () -> ());
+  Engine.run eng ~until:1.;
+  Alcotest.(check int) "3 packets for 4000B" 3 (Nic.tx_packets a)
+
+let test_nic_idle_rtt () =
+  let eng = Engine.create () in
+  let a = Nic.create eng ~name:"a" () in
+  let b = Nic.create eng ~name:"b" () in
+  let rtt = ref 0. in
+  Nic.rtt_probe a ~dst:b (fun r -> rtt := r);
+  Engine.run eng ~until:1.;
+  (* Paper: ~0.06 ms idle. *)
+  Alcotest.(check bool) "idle rtt ~0.06ms" true (!rtt > 40e-6 && !rtt < 80e-6)
+
+(* ------------------------------------------------------------------ *)
+(* JPaxos model *)
+
+let small_params ?(cores = 2) () =
+  let p = Params.default ~n:3 ~cores () in
+  { p with n_clients = 60; warmup = 0.1; duration = 0.3 }
+
+let test_jpaxos_model_runs () =
+  let r = Jpaxos_model.run (small_params ()) in
+  Alcotest.(check bool) "some throughput" true (r.throughput > 1000.);
+  Alcotest.(check bool) "latency positive" true (r.client_latency > 0.);
+  Alcotest.(check int) "three replicas" 3 (Array.length r.replicas);
+  Alcotest.(check bool) "leader busiest" true
+    (r.replicas.(0).cpu_util_pct > r.replicas.(1).cpu_util_pct);
+  Alcotest.(check bool) "batches formed" true (r.avg_batch_reqs >= 1.);
+  let threads = List.map fst r.replicas.(0).threads in
+  Alcotest.(check bool) "paper thread names" true
+    (List.mem "Batcher" threads && List.mem "Protocol" threads
+     && List.mem "Replica" threads && List.mem "ClientIO-0" threads
+     && List.mem "ReplicaIOSnd-1" threads)
+
+let test_jpaxos_model_deterministic () =
+  let r1 = Jpaxos_model.run (small_params ()) in
+  let r2 = Jpaxos_model.run (small_params ()) in
+  Alcotest.(check (float 0.)) "same throughput" r1.throughput r2.throughput;
+  Alcotest.(check int) "same event count" r1.events r2.events
+
+let test_jpaxos_model_scales () =
+  let r1 = Jpaxos_model.run (small_params ~cores:1 ()) in
+  let r2 = Jpaxos_model.run (small_params ~cores:2 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "2 cores (%.0f) beat 1 core (%.0f)" r2.throughput
+       r1.throughput)
+    true
+    (r2.throughput > r1.throughput *. 1.3)
+
+let test_jpaxos_nic_binds_at_many_cores () =
+  let p = Params.default ~n:3 ~cores:24 () in
+  let p = { p with n_clients = 600; warmup = 0.2; duration = 0.5 } in
+  let r = Jpaxos_model.run p in
+  (* The leader's packet rate must sit at the kernel limit. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "tx %.0f pps ~ 150K" r.leader_tx_pps)
+    true
+    (r.leader_tx_pps > 140_000. && r.leader_tx_pps <= 151_000.);
+  Alcotest.(check bool) "blocked time small" true
+    (r.replicas.(0).blocked_pct < 20.)
+
+let test_jpaxos_window_respected () =
+  let p = { (small_params ~cores:24 ()) with wnd = 3; n_clients = 300 } in
+  let r = Jpaxos_model.run p in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg window %.2f <= 3" r.avg_window)
+    true (r.avg_window <= 3.01)
+
+let test_jpaxos_rtt_leader_inflated () =
+  let p = Params.default ~n:3 ~cores:24 () in
+  let p = { p with warmup = 0.2; duration = 0.5; wnd = 35 } in
+  let r = Jpaxos_model.run p in
+  Alcotest.(check bool) "idle rtt small" true (r.rtt_idle < 0.1e-3);
+  Alcotest.(check bool)
+    (Printf.sprintf "leader rtt %.3fms >> idle" (r.rtt_leader *. 1e3))
+    true
+    (r.rtt_leader > 5. *. r.rtt_idle)
+
+let suite =
+  [
+    Alcotest.test_case "engine: delay ordering" `Quick test_engine_delay_ordering;
+    Alcotest.test_case "engine: same-time FIFO" `Quick test_engine_same_time_fifo;
+    Alcotest.test_case "engine: suspend/resume" `Quick test_engine_suspend_resume;
+    Alcotest.test_case "engine: suspend timeout" `Quick test_engine_suspend_timeout;
+    Alcotest.test_case "engine: run until" `Quick test_engine_run_until;
+    Alcotest.test_case "cpu: one core serializes" `Quick test_cpu_serializes_on_one_core;
+    Alcotest.test_case "cpu: two cores parallel" `Quick test_cpu_parallel_on_two_cores;
+    Alcotest.test_case "cpu: switch cost" `Quick test_cpu_switch_cost_charged;
+    Alcotest.test_case "slock: mutual exclusion" `Quick test_slock_mutual_exclusion;
+    Alcotest.test_case "slock: blocked accounting" `Quick test_slock_blocked_accounting;
+    Alcotest.test_case "squeue: fifo/capacity" `Quick test_squeue_fifo_and_capacity;
+    Alcotest.test_case "squeue: take_timeout" `Quick test_squeue_take_timeout;
+    Alcotest.test_case "mailbox: basics" `Quick test_mailbox;
+    Alcotest.test_case "nic: packet rate" `Quick test_nic_packet_rate;
+    Alcotest.test_case "nic: mtu split" `Quick test_nic_mtu_split;
+    Alcotest.test_case "nic: idle rtt" `Quick test_nic_idle_rtt;
+    Alcotest.test_case "jpaxos model: runs" `Quick test_jpaxos_model_runs;
+    Alcotest.test_case "jpaxos model: deterministic" `Quick test_jpaxos_model_deterministic;
+    Alcotest.test_case "jpaxos model: scales with cores" `Quick test_jpaxos_model_scales;
+    Alcotest.test_case "jpaxos model: NIC binds at many cores" `Slow
+      test_jpaxos_nic_binds_at_many_cores;
+    Alcotest.test_case "jpaxos model: window respected" `Quick test_jpaxos_window_respected;
+    Alcotest.test_case "jpaxos model: leader RTT inflated" `Slow
+      test_jpaxos_rtt_leader_inflated;
+  ]

@@ -1,0 +1,324 @@
+(* Tests for msmr_storage: CRC32, the segmented WAL (including torn-write
+   recovery), the typed replica store, Paxos recovery, and full live
+   cluster restart-from-disk. *)
+
+open Msmr_storage
+module R = Msmr_runtime
+module Value = Msmr_consensus.Value
+
+let tmp_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "msmr-test-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_tmp_dir f =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 *)
+
+let test_crc32_vectors () =
+  (* Standard test vector: "123456789" -> 0xCBF43926. *)
+  Alcotest.(check int32) "123456789" 0xCBF43926l
+    (Crc32.digest_bytes (Bytes.of_string "123456789"));
+  Alcotest.(check int32) "empty" 0l (Crc32.digest_bytes Bytes.empty)
+
+let test_crc32_incremental () =
+  let whole = Bytes.of_string "hello world" in
+  let part1 = Crc32.digest whole ~pos:0 ~len:5 in
+  let inc = Crc32.digest whole ~crc:part1 ~pos:5 ~len:6 in
+  Alcotest.(check int32) "incremental = whole" (Crc32.digest_bytes whole) inc
+
+(* ------------------------------------------------------------------ *)
+(* WAL *)
+
+let test_wal_roundtrip () =
+  with_tmp_dir @@ fun dir ->
+  let wal = Wal.openw ~dir ~sync:Wal.No_sync () in
+  List.iter
+    (fun s -> Wal.append wal (Bytes.of_string s))
+    [ "alpha"; "beta"; ""; "gamma" ];
+  Alcotest.(check int) "appended" 4 (Wal.appended wal);
+  Wal.close wal;
+  let got = ref [] in
+  let n = Wal.replay ~dir (fun b -> got := Bytes.to_string b :: !got) in
+  Alcotest.(check int) "replayed" 4 n;
+  Alcotest.(check (list string)) "order" [ "alpha"; "beta"; ""; "gamma" ]
+    (List.rev !got)
+
+let test_wal_append_after_reopen () =
+  with_tmp_dir @@ fun dir ->
+  let w1 = Wal.openw ~dir ~sync:Wal.No_sync () in
+  Wal.append w1 (Bytes.of_string "one");
+  Wal.close w1;
+  let w2 = Wal.openw ~dir ~sync:Wal.No_sync () in
+  Wal.append w2 (Bytes.of_string "two");
+  Wal.close w2;
+  let got = ref [] in
+  ignore (Wal.replay ~dir (fun b -> got := Bytes.to_string b :: !got));
+  Alcotest.(check (list string)) "both runs" [ "one"; "two" ] (List.rev !got)
+
+let test_wal_truncates_torn_suffix () =
+  with_tmp_dir @@ fun dir ->
+  let wal = Wal.openw ~dir ~sync:Wal.No_sync () in
+  Wal.append wal (Bytes.of_string "good-1");
+  Wal.append wal (Bytes.of_string "good-2");
+  Wal.close wal;
+  (* Simulate a torn write: append half a record by hand. *)
+  let path = Filename.concat dir "wal-000000.log" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0 in
+  let junk = Bytes.create 6 in
+  Bytes.set_int32_be junk 0 100l;
+  ignore (Unix.write fd junk 0 6);
+  Unix.close fd;
+  let got = ref [] in
+  let n = Wal.replay ~dir (fun b -> got := Bytes.to_string b :: !got) in
+  Alcotest.(check int) "intact prefix" 2 n;
+  (* The torn suffix is gone: appending and replaying again is clean. *)
+  let w2 = Wal.openw ~dir ~sync:Wal.No_sync () in
+  Wal.append w2 (Bytes.of_string "good-3");
+  Wal.close w2;
+  let got2 = ref [] in
+  ignore (Wal.replay ~dir (fun b -> got2 := Bytes.to_string b :: !got2));
+  Alcotest.(check (list string)) "clean after truncate"
+    [ "good-1"; "good-2"; "good-3" ]
+    (List.rev !got2)
+
+let test_wal_detects_corruption () =
+  with_tmp_dir @@ fun dir ->
+  let wal = Wal.openw ~dir ~sync:Wal.No_sync () in
+  Wal.append wal (Bytes.of_string "aaaa");
+  Wal.append wal (Bytes.of_string "bbbb");
+  Wal.close wal;
+  (* Flip a payload byte of the second record. *)
+  let path = Filename.concat dir "wal-000000.log" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd (8 + 4 + 8 + 1) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "X") 0 1);
+  Unix.close fd;
+  let got = ref [] in
+  let n = Wal.replay ~dir (fun b -> got := Bytes.to_string b :: !got) in
+  Alcotest.(check int) "stops at corruption" 1 n;
+  Alcotest.(check (list string)) "first survives" [ "aaaa" ] (List.rev !got)
+
+let test_wal_segment_rotation () =
+  with_tmp_dir @@ fun dir ->
+  let wal = Wal.openw ~segment_bytes:64 ~dir ~sync:Wal.No_sync () in
+  for i = 1 to 10 do
+    Wal.append wal (Bytes.of_string (Printf.sprintf "record-%02d-xxxxxxxx" i))
+  done;
+  Wal.close wal;
+  let segments =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (String.starts_with ~prefix:"wal-")
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d segments" (List.length segments))
+    true
+    (List.length segments > 1);
+  let got = ref 0 in
+  ignore (Wal.replay ~dir (fun _ -> incr got));
+  Alcotest.(check int) "all records across segments" 10 !got
+
+(* ------------------------------------------------------------------ *)
+(* Replica store *)
+
+let batch_value num =
+  Value.Batch
+    { bid = { src = 0; num };
+      requests =
+        [ { Msmr_wire.Client_msg.id = { client_id = 9; seq = num };
+            payload = Bytes.of_string (string_of_int num) } ] }
+
+let test_store_roundtrip () =
+  with_tmp_dir @@ fun dir ->
+  let store = Replica_store.openw ~dir () in
+  Replica_store.log_event store (Replica_store.View 3);
+  Replica_store.log_event store
+    (Replica_store.Accepted { iid = 0; view = 3; value = batch_value 0 });
+  Replica_store.log_event store
+    (Replica_store.Accepted { iid = 1; view = 3; value = batch_value 1 });
+  Replica_store.log_event store (Replica_store.Decided { iid = 0; view = 3 });
+  Replica_store.sync store;
+  Replica_store.close store;
+  let r = Replica_store.recover ~dir in
+  Alcotest.(check int) "view" 3 r.r_view;
+  Alcotest.(check int) "decided count" 1 (List.length r.r_decided);
+  Alcotest.(check int) "accepted (undecided) count" 1 (List.length r.r_accepted);
+  (match r.r_decided with
+   | [ (0, 3, v) ] ->
+     Alcotest.(check bool) "value survives" true (Value.equal v (batch_value 0))
+   | _ -> Alcotest.fail "bad decided set");
+  Alcotest.(check bool) "no snapshot" true (r.r_snapshot = None)
+
+let test_store_higher_view_acceptance_wins () =
+  with_tmp_dir @@ fun dir ->
+  let store = Replica_store.openw ~dir () in
+  Replica_store.log_event store
+    (Replica_store.Accepted { iid = 5; view = 1; value = batch_value 1 });
+  Replica_store.log_event store
+    (Replica_store.Accepted { iid = 5; view = 4; value = batch_value 2 });
+  Replica_store.log_event store
+    (Replica_store.Accepted { iid = 5; view = 2; value = batch_value 3 });
+  Replica_store.close store;
+  let r = Replica_store.recover ~dir in
+  (match r.r_accepted with
+   | [ (5, 4, v) ] ->
+     Alcotest.(check bool) "view-4 value" true (Value.equal v (batch_value 2))
+   | _ -> Alcotest.fail "expected single view-4 acceptance")
+
+let test_store_checkpoint () =
+  with_tmp_dir @@ fun dir ->
+  let store = Replica_store.openw ~dir () in
+  Replica_store.log_event store
+    (Replica_store.Accepted { iid = 0; view = 0; value = batch_value 0 });
+  Replica_store.log_event store (Replica_store.Decided { iid = 0; view = 0 });
+  Replica_store.checkpoint store ~next_iid:1 ~state:(Bytes.of_string "S1");
+  (* Post-checkpoint traffic. *)
+  Replica_store.log_event store
+    (Replica_store.Accepted { iid = 1; view = 0; value = batch_value 1 });
+  Replica_store.log_event store (Replica_store.Decided { iid = 1; view = 0 });
+  Replica_store.close store;
+  let r = Replica_store.recover ~dir in
+  (match r.r_snapshot with
+   | Some (1, state) -> Alcotest.(check string) "state" "S1" (Bytes.to_string state)
+   | _ -> Alcotest.fail "missing snapshot");
+  Alcotest.(check int) "only post-checkpoint decided" 1 (List.length r.r_decided);
+  (match r.r_decided with
+   | [ (1, 0, _) ] -> ()
+   | _ -> Alcotest.fail "expected instance 1")
+
+let test_store_empty_dir () =
+  with_tmp_dir @@ fun dir ->
+  let r = Replica_store.recover ~dir in
+  Alcotest.(check int) "view 0" 0 r.r_view;
+  Alcotest.(check bool) "empty" true
+    (r.r_accepted = [] && r.r_decided = [] && r.r_snapshot = None)
+
+(* ------------------------------------------------------------------ *)
+(* Paxos recovery *)
+
+let test_paxos_recover () =
+  let cfg = Msmr_consensus.Config.default ~n:3 in
+  let engine, actions =
+    Msmr_consensus.Paxos.recover cfg ~me:1 ~view:4
+      ~accepted:[ (2, 4, batch_value 2) ]
+      ~decided:[ (0, 3, batch_value 0); (1, 4, batch_value 1) ]
+      ~snapshot:None
+  in
+  (* Node 1 led view 4, so recovery immediately starts Phase 1 for the
+     next view it leads (7 = 4 + 3). *)
+  Alcotest.(check int) "re-preparing its next view" 7
+    (Msmr_consensus.Paxos.view engine);
+  Alcotest.(check bool) "not leader without phase 1" false
+    (Msmr_consensus.Paxos.is_leader engine);
+  Alcotest.(check bool) "sends Prepare" true
+    (List.exists
+       (function
+         | Msmr_consensus.Paxos.Send { msg = Msmr_consensus.Msg.Prepare _; _ } ->
+           true
+         | _ -> false)
+       actions);
+  let executes =
+    List.filter_map
+      (function Msmr_consensus.Paxos.Execute { iid; _ } -> Some iid | _ -> None)
+      actions
+  in
+  Alcotest.(check (list int)) "replays decided prefix" [ 0; 1 ] executes
+
+let test_paxos_recover_with_snapshot () =
+  let cfg = Msmr_consensus.Config.default ~n:3 in
+  let engine, actions =
+    Msmr_consensus.Paxos.recover cfg ~me:0 ~view:0
+      ~accepted:[]
+      ~decided:[ (10, 0, batch_value 10) ]
+      ~snapshot:(Some (10, Bytes.of_string "snap"))
+  in
+  let tags =
+    List.filter_map
+      (function
+        | Msmr_consensus.Paxos.Install_snapshot { next_iid; _ } ->
+          Some (Printf.sprintf "snap@%d" next_iid)
+        | Msmr_consensus.Paxos.Execute { iid; _ } ->
+          Some (Printf.sprintf "exec@%d" iid)
+        | _ -> None)
+      actions
+  in
+  Alcotest.(check (list string)) "snapshot then tail" [ "snap@10"; "exec@10" ] tags;
+  Alcotest.(check int) "log continues after" 11
+    (Msmr_consensus.Log.first_undecided (Msmr_consensus.Paxos.log engine))
+
+(* ------------------------------------------------------------------ *)
+(* Live cluster restart from disk *)
+
+let test_cluster_restart_from_disk () =
+  with_tmp_dir @@ fun dir ->
+  let cfg =
+    { (Msmr_consensus.Config.default ~n:3) with
+      max_batch_delay_s = 0.004;
+      snapshot_every = 5;   (* exercise checkpoints too *)
+      log_retain = 2 }
+  in
+  let durability me =
+    R.Replica.Durable
+      { dir = Filename.concat dir (Printf.sprintf "r%d" me);
+        sync = Wal.Sync_periodic }
+  in
+  let run_phase expected_sum calls =
+    let cluster =
+      R.Replica.Cluster.create ~durability ~cfg
+        ~service:(fun () -> R.Service.accumulator ())
+        ()
+    in
+    Fun.protect ~finally:(fun () -> R.Replica.Cluster.stop cluster)
+    @@ fun () ->
+    ignore (R.Replica.Cluster.await_leader cluster);
+    (* Fresh client id per phase (new session). *)
+    let client =
+      R.Client.create ~cluster ~client_id:(1 + List.length calls) ()
+    in
+    let final = ref "" in
+    List.iter
+      (fun v ->
+         final := Bytes.to_string (R.Client.call client (Bytes.of_string v)))
+      calls;
+    Alcotest.(check string) "sum" expected_sum !final;
+    (* Give the syncer a moment to flush the tail. *)
+    Msmr_platform.Mclock.sleep_s 0.05
+  in
+  (* Phase 1: 12 requests summing to 78; snapshots fire along the way. *)
+  run_phase "78" (List.init 12 (fun i -> string_of_int (i + 1)));
+  (* Phase 2: a brand-new cluster recovers the state from disk. *)
+  run_phase "88" [ "4"; "6" ];
+  (* Phase 3: once more, proving repeated recovery works. *)
+  run_phase "91" [ "3" ]
+
+let suite =
+  [
+    Alcotest.test_case "crc32: vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "crc32: incremental" `Quick test_crc32_incremental;
+    Alcotest.test_case "wal: round-trip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal: reopen append" `Quick test_wal_append_after_reopen;
+    Alcotest.test_case "wal: torn suffix truncated" `Quick test_wal_truncates_torn_suffix;
+    Alcotest.test_case "wal: corruption detected" `Quick test_wal_detects_corruption;
+    Alcotest.test_case "wal: segment rotation" `Quick test_wal_segment_rotation;
+    Alcotest.test_case "store: round-trip" `Quick test_store_roundtrip;
+    Alcotest.test_case "store: higher view wins" `Quick test_store_higher_view_acceptance_wins;
+    Alcotest.test_case "store: checkpoint" `Quick test_store_checkpoint;
+    Alcotest.test_case "store: empty dir" `Quick test_store_empty_dir;
+    Alcotest.test_case "paxos: recover" `Quick test_paxos_recover;
+    Alcotest.test_case "paxos: recover with snapshot" `Quick test_paxos_recover_with_snapshot;
+    Alcotest.test_case "cluster: restart from disk" `Quick test_cluster_restart_from_disk;
+  ]

@@ -1,0 +1,183 @@
+(* TCP deployment path: Tcp_mesh + Client_server, a full 3-replica
+   cluster over real loopback sockets driven by a framed TCP client. *)
+
+module R = Msmr_runtime
+module Client_msg = Msmr_wire.Client_msg
+
+let free_ports k =
+  (* Bind ephemeral listeners to reserve distinct ports, then release. *)
+  let socks =
+    List.init k (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        fd)
+  in
+  let ports =
+    List.map
+      (fun fd ->
+         match Unix.getsockname fd with
+         | Unix.ADDR_INET (_, p) -> p
+         | Unix.ADDR_UNIX _ -> assert false)
+      socks
+  in
+  List.iter Unix.close socks;
+  ports
+
+let test_tcp_cluster_end_to_end () =
+  let n = 3 in
+  let ports = free_ports n in
+  let addrs =
+    List.mapi
+      (fun i p -> (i, Unix.ADDR_INET (Unix.inet_addr_loopback, p)))
+      ports
+  in
+  let cfg =
+    { (Msmr_consensus.Config.default ~n) with max_batch_delay_s = 0.004 }
+  in
+  (* Meshes must be established concurrently (establish blocks until the
+     full mesh is up). *)
+  let links = Array.make n [] in
+  let mesh_threads =
+    List.init n (fun me ->
+        Thread.create
+          (fun () -> links.(me) <- R.Tcp_mesh.establish ~me ~addrs ())
+          ())
+  in
+  List.iter Thread.join mesh_threads;
+  Array.iteri
+    (fun me ls ->
+       Alcotest.(check int)
+         (Printf.sprintf "node %d link count" me)
+         (n - 1) (List.length ls))
+    links;
+  let replicas =
+    Array.init n (fun me ->
+        R.Replica.create ~cfg ~me ~links:links.(me)
+          ~service:(R.Service.accumulator ()) ())
+  in
+  let servers =
+    Array.map (fun r -> R.Client_server.start r ~port:0) replicas
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        Array.iter R.Client_server.stop servers;
+        Array.iter R.Replica.stop replicas)
+  @@ fun () ->
+  (* Wait for the leader. *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    (not (Array.exists R.Replica.is_leader replicas))
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "leader elected" true
+    (Array.exists R.Replica.is_leader replicas);
+  (* Framed TCP client against the leader's client port. *)
+  let leader_idx = ref 0 in
+  Array.iteri (fun i r -> if R.Replica.is_leader r then leader_idx := i) replicas;
+  let port = R.Client_server.port servers.(!leader_idx) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let call seq payload =
+    let req =
+      { Client_msg.id = { client_id = 77; seq }; payload = Bytes.of_string payload }
+    in
+    Msmr_wire.Frame.write fd (Client_msg.request_to_bytes req);
+    match Msmr_wire.Frame.read fd with
+    | Some raw ->
+      let reply = Client_msg.reply_of_bytes raw in
+      Alcotest.(check int) "seq echo" seq reply.id.seq;
+      Bytes.to_string reply.result
+    | None -> Alcotest.fail "connection closed"
+  in
+  Alcotest.(check string) "first call" "30" (call 1 "30");
+  Alcotest.(check string) "second call" "42" (call 2 "12");
+  Unix.close fd;
+  (* Replicas converge. *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    (not (Array.for_all (fun r -> R.Replica.executed_count r = 2) replicas))
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.yield ()
+  done;
+  Array.iter
+    (fun r ->
+       Alcotest.(check int) "executed everywhere" 2 (R.Replica.executed_count r))
+    replicas
+
+let suite =
+  [ Alcotest.test_case "tcp: 3-replica cluster end-to-end" `Quick
+      test_tcp_cluster_end_to_end ]
+
+(* Tcp_client against a live cluster, including failover. *)
+let test_tcp_client_failover () =
+  let n = 3 in
+  let ports = free_ports n in
+  let addrs =
+    List.mapi
+      (fun i p -> (i, Unix.ADDR_INET (Unix.inet_addr_loopback, p)))
+      ports
+  in
+  let cfg =
+    { (Msmr_consensus.Config.default ~n) with
+      max_batch_delay_s = 0.004;
+      fd_interval_s = 0.04;
+      fd_timeout_s = 0.2 }
+  in
+  let links = Array.make n [] in
+  let mesh_threads =
+    List.init n (fun me ->
+        Thread.create
+          (fun () -> links.(me) <- R.Tcp_mesh.establish ~me ~addrs ())
+          ())
+  in
+  List.iter Thread.join mesh_threads;
+  let replicas =
+    Array.init n (fun me ->
+        R.Replica.create ~cfg ~me ~links:links.(me)
+          ~service:(R.Service.accumulator ()) ())
+  in
+  let servers =
+    Array.map (fun r -> R.Client_server.start r ~port:0) replicas
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        Array.iter R.Client_server.stop servers;
+        Array.iter R.Replica.stop replicas)
+  @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    (not (Array.exists R.Replica.is_leader replicas))
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.yield ()
+  done;
+  let client_addrs =
+    Array.to_list
+      (Array.map
+         (fun s ->
+            Unix.ADDR_INET (Unix.inet_addr_loopback, R.Client_server.port s))
+         servers)
+  in
+  let client =
+    R.Tcp_client.create ~timeout_s:0.4 ~addrs:client_addrs ~client_id:55 ()
+  in
+  Fun.protect ~finally:(fun () -> R.Tcp_client.close client) @@ fun () ->
+  Alcotest.(check string) "first" "7"
+    (Bytes.to_string (R.Tcp_client.call client (Bytes.of_string "7")));
+  (* Kill the leader's client server AND its replica: the client must
+     rotate to a follower, and the cluster must elect a new leader. *)
+  let leader_idx = ref 0 in
+  Array.iteri (fun i r -> if R.Replica.is_leader r then leader_idx := i) replicas;
+  R.Client_server.stop servers.(!leader_idx);
+  R.Replica.stop replicas.(!leader_idx);
+  Alcotest.(check string) "after failover" "12"
+    (Bytes.to_string (R.Tcp_client.call client (Bytes.of_string "5")));
+  Alcotest.(check bool) "client rotated" true (R.Tcp_client.retries client >= 1)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "tcp: client failover" `Quick test_tcp_client_failover ]

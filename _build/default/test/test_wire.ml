@@ -1,0 +1,171 @@
+(* Tests for msmr_wire: codec primitives, framing, client messages. *)
+
+open Msmr_wire
+
+let test_codec_roundtrip_ints () =
+  let w = Codec.W.create () in
+  Codec.W.u8 w 0xab;
+  Codec.W.i32 w (-123456);
+  Codec.W.i64 w 0x1122334455667788L;
+  Codec.W.int_as_i64 w max_int;
+  Codec.W.bool w true;
+  Codec.W.bool w false;
+  let r = Codec.R.of_bytes (Codec.W.contents w) in
+  Alcotest.(check int) "u8" 0xab (Codec.R.u8 r);
+  Alcotest.(check int) "i32" (-123456) (Codec.R.i32 r);
+  Alcotest.(check int64) "i64" 0x1122334455667788L (Codec.R.i64 r);
+  Alcotest.(check int) "int64->int" max_int (Codec.R.int_from_i64 r);
+  Alcotest.(check bool) "true" true (Codec.R.bool r);
+  Alcotest.(check bool) "false" false (Codec.R.bool r);
+  Codec.R.expect_end r
+
+let test_codec_strings () =
+  let w = Codec.W.create () in
+  Codec.W.string w "";
+  Codec.W.string w "hello";
+  Codec.W.bytes w (Bytes.of_string "\x00\xff\x01");
+  let r = Codec.R.of_bytes (Codec.W.contents w) in
+  Alcotest.(check string) "empty" "" (Codec.R.string r);
+  Alcotest.(check string) "hello" "hello" (Codec.R.string r);
+  Alcotest.(check string) "binary" "\x00\xff\x01"
+    (Bytes.to_string (Codec.R.bytes r));
+  Codec.R.expect_end r
+
+let test_codec_underflow () =
+  let r = Codec.R.of_string "\x01" in
+  Alcotest.check_raises "i32 underflows" Codec.Underflow (fun () ->
+      ignore (Codec.R.i32 r))
+
+let test_codec_trailing () =
+  let r = Codec.R.of_string "\x01\x02" in
+  ignore (Codec.R.u8 r);
+  Alcotest.check_raises "trailing" (Codec.Malformed "1 trailing bytes")
+    (fun () -> Codec.R.expect_end r)
+
+let test_codec_bad_bool () =
+  let r = Codec.R.of_string "\x07" in
+  Alcotest.check_raises "bad bool" (Codec.Malformed "bool byte 7") (fun () ->
+      ignore (Codec.R.bool r))
+
+let test_codec_i32_range () =
+  let w = Codec.W.create () in
+  Alcotest.check_raises "too big" (Invalid_argument "Codec.W.i32: out of range")
+    (fun () -> Codec.W.i32 w (0x7fffffff + 1));
+  Codec.W.i32 w 0x7fffffff;
+  Codec.W.i32 w (-0x80000000);
+  let r = Codec.R.of_bytes (Codec.W.contents w) in
+  Alcotest.(check int) "max" 0x7fffffff (Codec.R.i32 r);
+  Alcotest.(check int) "min" (-0x80000000) (Codec.R.i32 r)
+
+let prop_codec_string_roundtrip =
+  QCheck.Test.make ~name:"codec string round-trip" ~count:300
+    QCheck.(list string)
+    (fun ss ->
+       let w = Codec.W.create () in
+       List.iter (Codec.W.string w) ss;
+       let r = Codec.R.of_bytes (Codec.W.contents w) in
+       let back = List.map (fun _ -> Codec.R.string r) ss in
+       Codec.R.expect_end r;
+       back = ss)
+
+let mk_req client_id seq payload =
+  { Client_msg.id = { client_id; seq }; payload = Bytes.of_string payload }
+
+let test_request_roundtrip () =
+  let r = mk_req 42 1001 "some payload" in
+  let r' = Client_msg.request_of_bytes (Client_msg.request_to_bytes r) in
+  Alcotest.(check bool) "equal" true (Client_msg.equal_request r r')
+
+let test_request_wire_size () =
+  let r = mk_req 1 2 "abcd" in
+  Alcotest.(check int) "16 + payload" 20 (Client_msg.request_wire_size r);
+  Alcotest.(check int) "encoding matches"
+    (Client_msg.request_wire_size r)
+    (Bytes.length (Client_msg.request_to_bytes r))
+
+let test_reply_roundtrip () =
+  let rep =
+    { Client_msg.id = { client_id = 7; seq = 9 }; result = Bytes.of_string "ok" }
+  in
+  let rep' = Client_msg.reply_of_bytes (Client_msg.reply_to_bytes rep) in
+  Alcotest.(check int) "client" 7 rep'.Client_msg.id.client_id;
+  Alcotest.(check int) "seq" 9 rep'.Client_msg.id.seq;
+  Alcotest.(check string) "result" "ok" (Bytes.to_string rep'.Client_msg.result)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"client request codec round-trip" ~count:300
+    QCheck.(triple small_nat small_nat string)
+    (fun (cid, seq, payload) ->
+       let r = mk_req cid seq payload in
+       Client_msg.equal_request r
+         (Client_msg.request_of_bytes (Client_msg.request_to_bytes r)))
+
+let test_frame_roundtrip () =
+  let rd, wr = Unix.pipe () in
+  (* The large frame exceeds the pipe buffer, so write from a thread. *)
+  let writer =
+    Thread.create
+      (fun () ->
+         Frame.write wr (Bytes.of_string "alpha");
+         Frame.write wr (Bytes.of_string "");
+         Frame.write wr (Bytes.of_string (String.make 70_000 'x')))
+      ()
+  in
+  (match Frame.read rd with
+   | Some b -> Alcotest.(check string) "first" "alpha" (Bytes.to_string b)
+   | None -> Alcotest.fail "eof");
+  (match Frame.read rd with
+   | Some b -> Alcotest.(check int) "empty" 0 (Bytes.length b)
+   | None -> Alcotest.fail "eof");
+  (match Frame.read rd with
+   | Some b -> Alcotest.(check int) "large" 70_000 (Bytes.length b)
+   | None -> Alcotest.fail "eof");
+  Thread.join writer;
+  Unix.close wr;
+  Alcotest.(check bool) "clean eof" true (Frame.read rd = None);
+  Unix.close rd
+
+let test_frame_eof_mid_frame () =
+  let rd, wr = Unix.pipe () in
+  (* A 4-byte header announcing 10 bytes, then only 3. *)
+  let partial = Bytes.create 7 in
+  Bytes.set_int32_be partial 0 10l;
+  ignore (Unix.write wr partial 0 7);
+  Unix.close wr;
+  Alcotest.check_raises "mid-frame eof" End_of_file (fun () ->
+      ignore (Frame.read rd));
+  Unix.close rd
+
+let test_frame_oversized () =
+  let rd, wr = Unix.pipe () in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Frame.max_frame + 1));
+  ignore (Unix.write wr hdr 0 4);
+  (try
+     ignore (Frame.read rd);
+     Alcotest.fail "expected Oversized"
+   with Frame.Oversized n ->
+     Alcotest.(check int) "announced" (Frame.max_frame + 1) n);
+  Unix.close wr;
+  Unix.close rd
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_codec_string_roundtrip; prop_request_roundtrip ]
+
+let suite =
+  [
+    Alcotest.test_case "codec: int round-trip" `Quick test_codec_roundtrip_ints;
+    Alcotest.test_case "codec: strings" `Quick test_codec_strings;
+    Alcotest.test_case "codec: underflow" `Quick test_codec_underflow;
+    Alcotest.test_case "codec: trailing bytes" `Quick test_codec_trailing;
+    Alcotest.test_case "codec: bad bool" `Quick test_codec_bad_bool;
+    Alcotest.test_case "codec: i32 range" `Quick test_codec_i32_range;
+    Alcotest.test_case "client: request round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "client: request wire size" `Quick test_request_wire_size;
+    Alcotest.test_case "client: reply round-trip" `Quick test_reply_roundtrip;
+    Alcotest.test_case "frame: round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame: eof mid-frame" `Quick test_frame_eof_mid_frame;
+    Alcotest.test_case "frame: oversized" `Quick test_frame_oversized;
+  ]
+  @ qsuite
