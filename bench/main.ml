@@ -686,6 +686,64 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Observability: --trace FILE runs a short traced simulation and writes
+   a Chrome trace_event file; --metrics FILE dumps the metrics registry.
+   See docs/OBSERVABILITY.md. *)
+
+let trace_run ~trace_file () =
+  heading "trace" "Traced simulator run (Chrome trace_event export)";
+  let p = Params.default ~profile:Params.parapluie ~n:3 ~cores:24 () in
+  let p = { p with warmup = 0.3; duration = 0.3 } in
+  let r = Jp.run ~trace:true p in
+  let tr = Option.get r.trace in
+  Msmr_obs.Trace_export.write_file tr trace_file;
+  Printf.printf
+    "wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n"
+    trace_file;
+  let dropped = Msmr_obs.Trace_export.total_dropped tr in
+  if dropped > 0 then
+    Printf.printf "warning: %d events dropped to ring wrap-around\n" dropped;
+  (* Cross-check: per-thread span totals in the trace must reproduce the
+     simulator's exact Sstats integrals (the spans *are* the
+     accounting, so any divergence is a bug or ring overflow). *)
+  let span = Msmr_obs.Trace_export.span_totals tr in
+  let span_s pid tname state =
+    match List.assoc_opt (pid, tname, state) span with
+    | Some ns -> Int64.to_float ns /. 1e9
+    | None -> 0.
+  in
+  let worst = ref 0. in
+  Array.iteri
+    (fun pid (rep : Jp.replica_report) ->
+       List.iter
+         (fun (tname, (tot : Sstats.totals)) ->
+            List.iter
+              (fun (state, v) ->
+                 let dev = Float.abs (span_s pid tname state -. v) in
+                 if dev > !worst then worst := dev)
+              [ ("busy", tot.busy); ("blocked", tot.blocked);
+                ("waiting", tot.waiting); ("other", tot.other) ])
+         rep.threads)
+    r.replicas;
+  let worst_pct = 100. *. !worst /. p.duration in
+  Printf.printf
+    "span totals vs Sstats integrals: worst deviation %.3f%% of the run%s\n"
+    worst_pct
+    (if worst_pct <= 1.0 then " (ok, within 1%)" else " (MISMATCH)");
+  (* The trace must cover the module taxonomy, not just one stage. *)
+  let cats = Hashtbl.create 8 in
+  List.iter
+    (fun trk ->
+       List.iter
+         (fun (e : Msmr_obs.Trace.event) ->
+            match e.ph with
+            | Msmr_obs.Trace.Span _ -> Hashtbl.replace cats e.cat ()
+            | _ -> ())
+         (Msmr_obs.Trace.events trk))
+    (Msmr_obs.Trace.tracks tr);
+  let have = Hashtbl.fold (fun c () acc -> c :: acc) cats [] in
+  Printf.printf "span modules present: %s\n%!"
+    (String.concat ", " (List.sort compare have))
 
 let experiments =
   [ ("fig1", fig1); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
@@ -696,10 +754,23 @@ let experiments =
     ("micro", micro) ]
 
 let () =
+  let rec parse ids trace metrics = function
+    | [] -> (List.rev ids, trace, metrics)
+    | "--trace" :: file :: rest -> parse ids (Some file) metrics rest
+    | "--metrics" :: file :: rest -> parse ids trace (Some file) rest
+    | ("--trace" | "--metrics") :: [] ->
+      Printf.eprintf "usage: main [EXPERIMENT..] [--trace FILE] [--metrics FILE]\n";
+      exit 2
+    | id :: rest -> parse (id :: ids) trace metrics rest
+  in
+  let ids, trace, metrics =
+    parse [] None None (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst experiments
+    match ids with
+    | [] when trace <> None || metrics <> None -> []
+    | [] -> List.map fst experiments
+    | ids -> ids
   in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -711,5 +782,13 @@ let () =
            (String.concat " " (List.map fst experiments));
          exit 1)
     requested;
+  (match trace with
+   | Some file -> trace_run ~trace_file:file ()
+   | None -> ());
+  (match metrics with
+   | Some file ->
+     Msmr_obs.Metrics.write_file file;
+     Printf.printf "wrote metrics snapshot to %s\n%!" file
+   | None -> ());
   Printf.printf "\n(total bench wall time: %.0fs)\n%!"
     (Unix.gettimeofday () -. t0)

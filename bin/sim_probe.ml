@@ -1,5 +1,22 @@
+(* Quick probe of the simulated JPaxos model: a few 24-core
+   configurations, plus the observability flags
+
+     sim_probe [--trace FILE] [--metrics FILE]
+
+   --trace runs one short traced configuration and writes a Chrome
+   trace_event file (docs/OBSERVABILITY.md); --metrics dumps the
+   metrics registry after the runs. *)
 let () =
   let open Msmr_sim in
+  let rec parse trace metrics = function
+    | [] -> (trace, metrics)
+    | "--trace" :: file :: rest -> parse (Some file) metrics rest
+    | "--metrics" :: file :: rest -> parse trace (Some file) rest
+    | _ ->
+      prerr_endline "usage: sim_probe [--trace FILE] [--metrics FILE]";
+      exit 2
+  in
+  let trace, metrics = parse None None (List.tl (Array.to_list Sys.argv)) in
   let test ~label ?(rss=false) ?(batchers=1) ?(cio=0) () =
     let p = Params.default ~n:3 ~cores:24 () in
     let p = { p with warmup = 0.3; duration = 1.0; rss; n_batchers = batchers;
@@ -9,8 +26,21 @@ let () =
       label r.throughput (r.client_latency*.1e3) (r.instance_latency*.1e3)
       r.replicas.(0).cpu_util_pct r.leader_tx_pps
   in
-  test ~label:"baseline (wnd10)" ();
-  test ~label:"rss on" ~rss:true ();
-  test ~label:"rss + 2 batchers" ~rss:true ~batchers:2 ();
-  test ~label:"rss + 4 batchers + 8 cio" ~rss:true ~batchers:4 ~cio:8 ();
-  ()
+  (match trace with
+   | Some file ->
+     (* One short traced run is enough for a smoke-testable trace. *)
+     let p = Params.default ~n:3 ~cores:8 () in
+     let p = { p with warmup = 0.1; duration = 0.2 } in
+     let r = Jpaxos_model.run ~trace:true p in
+     Msmr_obs.Trace_export.write_file (Option.get r.trace) file;
+     Printf.printf "wrote trace to %s (tput=%.0f req/s)\n%!" file r.throughput
+   | None ->
+     test ~label:"baseline (wnd10)" ();
+     test ~label:"rss on" ~rss:true ();
+     test ~label:"rss + 2 batchers" ~rss:true ~batchers:2 ();
+     test ~label:"rss + 4 batchers + 8 cio" ~rss:true ~batchers:4 ~cio:8 ());
+  match metrics with
+  | Some file ->
+    Msmr_obs.Metrics.write_file file;
+    Printf.printf "wrote metrics snapshot to %s\n%!" file
+  | None -> ()

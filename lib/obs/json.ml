@@ -1,0 +1,236 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string f =
+  if not (Float.is_finite f) then "0"
+  else begin
+    (* Shortest representation that still round-trips typical metric
+       values; %.12g never prints "nan"/"inf" for finite inputs. *)
+    let s = Printf.sprintf "%.12g" f in
+    (* "1." is not valid JSON; "1" is. *)
+    if String.length s > 0 && s.[String.length s - 1] = '.' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  end
+
+let rec to_buffer buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | String s -> escape_to buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+         if i > 0 then Buffer.add_char buf ',';
+         to_buffer buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, x) ->
+         if i > 0 then Buffer.add_char buf ',';
+         escape_to buf k;
+         Buffer.add_char buf ':';
+         to_buffer buf x)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Parse_error of string
+
+type parser_state = { s : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && (match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let parse_literal st lit v =
+  if
+    st.pos + String.length lit <= String.length st.s
+    && String.sub st.s st.pos (String.length lit) = lit
+  then begin
+    st.pos <- st.pos + String.length lit;
+    v
+  end
+  else fail st (Printf.sprintf "expected %s" lit)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+      st.pos <- st.pos + 1;
+      (match peek st with
+       | Some '"' -> Buffer.add_char buf '"'; st.pos <- st.pos + 1
+       | Some '\\' -> Buffer.add_char buf '\\'; st.pos <- st.pos + 1
+       | Some '/' -> Buffer.add_char buf '/'; st.pos <- st.pos + 1
+       | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1
+       | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1
+       | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1
+       | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1
+       | Some 'f' -> Buffer.add_char buf '\012'; st.pos <- st.pos + 1
+       | Some 'u' ->
+         if st.pos + 5 > String.length st.s then fail st "bad \\u escape";
+         let hex = String.sub st.s (st.pos + 1) 4 in
+         let code =
+           try int_of_string ("0x" ^ hex)
+           with Failure _ -> fail st "bad \\u escape"
+         in
+         (* Only BMP code points below 0x80 are reproduced exactly; the
+            encoder never emits higher ones. *)
+         if code < 0x80 then Buffer.add_char buf (Char.chr code)
+         else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+         st.pos <- st.pos + 5
+       | _ -> fail st "bad escape");
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      st.pos <- st.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.s && is_num_char st.s.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected number";
+  let text = String.sub st.s start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail st "malformed number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' -> String (parse_string st)
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail st "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> fail st "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let member k v =
+  match v with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let equal (a : t) (b : t) = a = b

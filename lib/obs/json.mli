@@ -1,0 +1,43 @@
+(** Minimal JSON values, encoder and parser.
+
+    The observability layer emits JSON (metric snapshots, Chrome
+    [trace_event] files) and the test-suite parses it back to check
+    well-formedness; both directions live here so [msmr.obs] needs no
+    external JSON dependency.
+
+    The encoder is strict JSON (RFC 8259): strings are escaped, floats
+    are rendered without [nan]/[infinity] (both map to [0]), and
+    integers print without a decimal point. The parser accepts exactly
+    what the encoder produces plus ordinary whitespace; it is a
+    validation tool, not a general-purpose JSON reader. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+(** Append the encoding of a value to a buffer (no trailing newline). *)
+
+val to_string : t -> string
+(** Encode a value to a compact (single-line) JSON string. *)
+
+exception Parse_error of string
+(** Raised by {!of_string} with a human-readable position/report. *)
+
+val of_string : string -> t
+(** Parse a complete JSON document. Trailing garbage, unterminated
+    strings and malformed escapes raise {!Parse_error}. Numbers with a
+    fraction or exponent parse as [Float], all others as [Int]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] returns the value bound to key [k], if any;
+    [None] on non-objects. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object key order is significant (the encoder
+    is deterministic, so round-trips compare equal). *)

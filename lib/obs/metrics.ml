@@ -1,0 +1,182 @@
+module Counter_impl = Msmr_platform.Rate_meter.Counter
+module Histogram = Msmr_platform.Histogram
+
+type labels = (string * string) list
+
+type counter = Counter_impl.t
+
+type instrument =
+  | I_counter of counter
+  | I_gauge_fn of (unit -> float)
+  | I_gauge_cell of float ref
+  | I_histogram of Histogram.t
+
+type t = {
+  lock : Mutex.t;
+  series : (string * labels, instrument) Hashtbl.t;
+}
+
+let create () = { lock = Mutex.create (); series = Hashtbl.create 64 }
+
+let default = create ()
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let register reg ~name ~labels instr =
+  Mutex.lock reg.lock;
+  Hashtbl.replace reg.series (name, norm_labels labels) instr;
+  Mutex.unlock reg.lock
+
+let find reg ~name ~labels =
+  Mutex.lock reg.lock;
+  let r = Hashtbl.find_opt reg.series (name, norm_labels labels) in
+  Mutex.unlock reg.lock;
+  r
+
+let counter ?(registry = default) ?(labels = []) name =
+  match find registry ~name ~labels with
+  | Some (I_counter c) -> c
+  | Some _ | None ->
+    let c = Counter_impl.create () in
+    register registry ~name ~labels (I_counter c);
+    c
+
+let incr = Counter_impl.incr
+let add = Counter_impl.add
+let counter_value = Counter_impl.get
+
+let gauge ?(registry = default) ?(labels = []) name fn =
+  register registry ~name ~labels (I_gauge_fn fn)
+
+let set_gauge ?(registry = default) ?(labels = []) name v =
+  match find registry ~name ~labels with
+  | Some (I_gauge_cell cell) -> cell := v
+  | Some _ | None -> register registry ~name ~labels (I_gauge_cell (ref v))
+
+let histogram ?(registry = default) ?(labels = []) name =
+  match find registry ~name ~labels with
+  | Some (I_histogram h) -> h
+  | Some _ | None ->
+    let h = Histogram.create () in
+    register registry ~name ~labels (I_histogram h);
+    h
+
+let register_histogram ?(registry = default) ?(labels = []) name h =
+  register registry ~name ~labels (I_histogram h)
+
+let remove ?(registry = default) ?(labels = []) name =
+  Mutex.lock registry.lock;
+  Hashtbl.remove registry.series (name, norm_labels labels);
+  Mutex.unlock registry.lock
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      count : int;
+      mean : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
+
+type sample = {
+  name : string;
+  labels : labels;
+  value : value;
+}
+
+let read_instrument = function
+  | I_counter c -> Counter_v (Counter_impl.get c)
+  | I_gauge_fn fn -> Gauge_v (fn ())
+  | I_gauge_cell cell -> Gauge_v !cell
+  | I_histogram h ->
+    Histogram_v
+      { count = Histogram.count h;
+        mean = Histogram.mean h;
+        p50 = Histogram.percentile h 0.50;
+        p95 = Histogram.percentile h 0.95;
+        p99 = Histogram.percentile h 0.99 }
+
+let snapshot ?(registry = default) () =
+  (* Collect the series under the lock, read the instruments outside it
+     (gauge callbacks may themselves take unrelated locks). *)
+  Mutex.lock registry.lock;
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry.series []
+  in
+  Mutex.unlock registry.lock;
+  entries
+  |> List.map (fun ((name, labels), instr) ->
+      { name; labels; value = read_instrument instr })
+  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
+
+let labels_to_text labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ "}"
+
+let to_text samples =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+       let series = s.name ^ labels_to_text s.labels in
+       match s.value with
+       | Counter_v n -> Buffer.add_string buf (Printf.sprintf "%s %d\n" series n)
+       | Gauge_v v -> Buffer.add_string buf (Printf.sprintf "%s %g\n" series v)
+       | Histogram_v h ->
+         let line suffix v =
+           Buffer.add_string buf
+             (Printf.sprintf "%s_%s%s %g\n" s.name suffix
+                (labels_to_text s.labels) v)
+         in
+         line "count" (float_of_int h.count);
+         line "mean" h.mean;
+         line "p50" h.p50;
+         line "p95" h.p95;
+         line "p99" h.p99)
+    samples;
+  Buffer.contents buf
+
+let to_json samples =
+  Json.Obj
+    [ ( "metrics",
+        Json.List
+          (List.map
+             (fun s ->
+                let labels =
+                  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.labels)
+                in
+                let typ, value =
+                  match s.value with
+                  | Counter_v n -> ("counter", Json.Int n)
+                  | Gauge_v v -> ("gauge", Json.Float v)
+                  | Histogram_v h ->
+                    ( "histogram",
+                      Json.Obj
+                        [ ("count", Json.Int h.count);
+                          ("mean", Json.Float h.mean);
+                          ("p50", Json.Float h.p50);
+                          ("p95", Json.Float h.p95);
+                          ("p99", Json.Float h.p99) ] )
+                in
+                Json.Obj
+                  [ ("name", Json.String s.name);
+                    ("labels", labels);
+                    ("type", Json.String typ);
+                    ("value", value) ])
+             samples) ) ]
+
+let write_file ?registry path =
+  let json = to_json (snapshot ?registry ()) in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc (Json.to_string json);
+  output_char oc '\n'

@@ -1,0 +1,109 @@
+(** Metrics registry: named, labelled counters, gauges and histograms
+    with deterministic snapshots and text/JSON encoders.
+
+    One registry serves both the live runtime and the simulator, so the
+    same metric name means the same thing in either mode (the
+    [mode="live"|"sim"] label tells them apart). The naming scheme is
+    documented in docs/OBSERVABILITY.md: [msmr_<module>_<quantity>]
+    with [_total] for monotone counters, plus [{label="value",...}]
+    dimensions such as [replica], [queue], [mode].
+
+    {2 Concurrency}
+
+    Instruments are lock-free on the hot path: counters are a single
+    atomic add ({!Msmr_platform.Rate_meter.Counter}), histograms are
+    the lock-free {!Msmr_platform.Histogram}, gauges are either a
+    mutable cell written by one owner or a callback sampled at snapshot
+    time. The registry mutex is taken only on registration, removal and
+    snapshot — never when an instrument records. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry: the runtime's replicas, ClientIO pools
+    and the simulator all register here, and [--metrics FILE] dumps
+    it. *)
+
+type labels = (string * string) list
+(** Label dimensions, e.g. [[("replica", "0"); ("queue", "request")]].
+    Stored sorted by key; two label lists that differ only in order
+    identify the same series. *)
+
+(** {1 Instruments}
+
+    Registering a (name, labels) pair that already exists {e replaces}
+    the previous instrument — re-creating a replica re-registers its
+    series rather than erroring. *)
+
+type counter
+
+val counter : ?registry:t -> ?labels:labels -> string -> counter
+(** A monotone event counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : ?registry:t -> ?labels:labels -> string -> (unit -> float) -> unit
+(** A gauge sampled at snapshot time by calling the closure — the usual
+    form for queue lengths and window occupancy, which already live in
+    the replica's state. The closure must be safe to call from the
+    snapshotting thread. *)
+
+val set_gauge : ?registry:t -> ?labels:labels -> string -> float -> unit
+(** A gauge holding the value it was last set to (registers the series
+    on first use). Used for end-of-run results, e.g. the simulator's
+    measured throughput. *)
+
+val histogram :
+  ?registry:t -> ?labels:labels -> string -> Msmr_platform.Histogram.t
+(** A latency histogram (log-bucketed, lock-free). Record seconds with
+    {!Msmr_platform.Histogram.record}. *)
+
+val register_histogram :
+  ?registry:t -> ?labels:labels -> string -> Msmr_platform.Histogram.t -> unit
+(** Expose an existing histogram (e.g. a benchmark's) in the
+    registry. *)
+
+val remove : ?registry:t -> ?labels:labels -> string -> unit
+(** Drop a series; no-op if absent. Replicas remove their series on
+    [stop]. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      count : int;
+      mean : float;     (** seconds *)
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
+
+type sample = {
+  name : string;
+  labels : labels;
+  value : value;
+}
+
+val snapshot : ?registry:t -> unit -> sample list
+(** A point-in-time reading of every series, sorted by (name, labels) —
+    deterministic: two registries holding the same series in any
+    insertion order snapshot identically. *)
+
+val to_text : sample list -> string
+(** One ["name{k="v",...} value"] line per series (Prometheus-style
+    exposition; histograms expand to [_count]/[_mean]/[_p50]/[_p95]/
+    [_p99] lines). *)
+
+val to_json : sample list -> Json.t
+(** [{"metrics": [{"name":..., "labels":{...}, "type":...,
+    "value":...}, ...]}]. *)
+
+val write_file : ?registry:t -> string -> unit
+(** Snapshot the registry and write the JSON encoding to a file. *)

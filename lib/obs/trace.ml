@@ -1,0 +1,119 @@
+type phase =
+  | Span of int64
+  | Instant
+  | Counter of float
+
+type event = {
+  ph : phase;
+  cat : string;
+  name : string;
+  ts_ns : int64;
+  args : (string * Json.t) list;
+}
+
+let dummy_event =
+  { ph = Instant; cat = ""; name = ""; ts_ns = 0L; args = [] }
+
+type track = {
+  t_name : string;
+  pid : int;
+  pname : string;
+  tid : int;
+  ring : event array;
+  mask : int;
+  mutable pushed : int;            (* monotone; slot = pushed land mask *)
+  mutable cleared : int;           (* value of [pushed] at the last clear *)
+  mutable stack : (string * string * int64) list;  (* open spans *)
+  clock : unit -> int64;
+}
+
+type t = {
+  clock : unit -> int64;
+  ring_capacity : int;
+  lock : Mutex.t;                  (* guards track registration only *)
+  mutable all : track list;        (* reverse registration order *)
+  mutable next_tid : int;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(ring_capacity = 131072) ~clock () =
+  if ring_capacity <= 0 then invalid_arg "Trace.create: ring_capacity <= 0";
+  { clock;
+    ring_capacity = pow2_at_least ring_capacity 1;
+    lock = Mutex.create ();
+    all = [];
+    next_tid = 0 }
+
+let create_live ?ring_capacity () =
+  create ?ring_capacity ~clock:Msmr_platform.Mclock.now_ns ()
+
+let now_ns t = t.clock ()
+
+let track t ?(pid = 0) ?pname ~name () =
+  Mutex.lock t.lock;
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let tr =
+    { t_name = name;
+      pid;
+      pname = (match pname with Some p -> p | None -> Printf.sprintf "process-%d" pid);
+      tid;
+      ring = Array.make t.ring_capacity dummy_event;
+      mask = t.ring_capacity - 1;
+      pushed = 0;
+      cleared = 0;
+      stack = [];
+      clock = t.clock }
+  in
+  t.all <- tr :: t.all;
+  Mutex.unlock t.lock;
+  tr
+
+let track_name (tr : track) = tr.t_name
+let track_pid (tr : track) = tr.pid
+let track_tid (tr : track) = tr.tid
+
+let push (tr : track) ev =
+  tr.ring.(tr.pushed land tr.mask) <- ev;
+  tr.pushed <- tr.pushed + 1
+
+let complete (tr : track) ?(cat = "span") ~name ~ts_ns ~dur_ns () =
+  push tr { ph = Span dur_ns; cat; name; ts_ns; args = [] }
+
+let begin_span (tr : track) ?(cat = "span") name =
+  tr.stack <- (cat, name, tr.clock ()) :: tr.stack
+
+let end_span (tr : track) =
+  match tr.stack with
+  | [] -> ()
+  | (cat, name, t0) :: rest ->
+    tr.stack <- rest;
+    let t1 = tr.clock () in
+    complete tr ~cat ~name ~ts_ns:t0 ~dur_ns:(Int64.sub t1 t0) ()
+
+let instant (tr : track) ?(cat = "event") ?(args = []) name =
+  push tr { ph = Instant; cat; name; ts_ns = tr.clock (); args }
+
+let counter (tr : track) ~name v =
+  push tr { ph = Counter v; cat = "counter"; name; ts_ns = tr.clock (); args = [] }
+
+let events (tr : track) =
+  let cap = Array.length tr.ring in
+  let n = tr.pushed - tr.cleared in
+  let retained = min n cap in
+  let first = tr.pushed - retained in
+  List.init retained (fun i -> tr.ring.((first + i) land tr.mask))
+
+let dropped (tr : track) =
+  let cap = Array.length tr.ring in
+  max 0 (tr.pushed - tr.cleared - cap)
+
+let tracks t =
+  Mutex.lock t.lock;
+  let all = List.rev t.all in
+  Mutex.unlock t.lock;
+  all
+
+let clear t =
+  List.iter (fun tr -> tr.cleared <- tr.pushed) (tracks t)

@@ -1,0 +1,123 @@
+(** Structured tracing: spans, instant events and counter series,
+    ring-buffered per track, exportable as a Chrome [trace_event] file.
+
+    {2 Model}
+
+    A {!t} (tracer) owns a clock and a set of {!track}s. A track is one
+    timeline — in practice one thread of one replica — identified by a
+    [(pid, tid)] pair the way Chrome's trace viewer expects: [pid]
+    groups tracks into processes (we use the replica id), [tid] orders
+    tracks inside a process.
+
+    Three event kinds can be recorded on a track:
+
+    - {b spans} — named intervals ([ph:"X"] complete events): either
+      recorded directly with {!complete}, or bracketed with
+      {!begin_span}/{!end_span};
+    - {b instants} — point events ({!instant}), e.g. a consensus
+      instance deciding;
+    - {b counters} — sampled numeric series ({!counter}), e.g. queue
+      lengths, rendered by Chrome as a stacked area chart.
+
+    {2 Concurrency and cost (the no-lock rule)}
+
+    Each track is a single-writer ring buffer: only the owning thread
+    may record events on it, mirroring how the paper's architecture
+    gives every thread private state (Section V). Recording is a few
+    stores and one array write — no locks, no system calls; the only
+    lock in this module guards track {e creation}, which happens once
+    per thread at startup. When the ring wraps, the oldest events are
+    overwritten and {!dropped} counts them: a full trace of a bounded
+    window beats a partial trace of everything.
+
+    {2 Clocks}
+
+    The clock is injected at {!create}: the live runtime passes a
+    monotonic wall clock ({!create_live}), the simulator passes its
+    virtual clock — so simulated traces are stamped in {e simulated}
+    time and paper figures become inspectable timelines. Timestamps are
+    nanoseconds as [int64]; the exporter converts to the microseconds
+    Chrome expects. *)
+
+type t
+(** A tracer: clock + tracks. *)
+
+type track
+(** One timeline (thread) inside a tracer. Single-writer. *)
+
+val create : ?ring_capacity:int -> clock:(unit -> int64) -> unit -> t
+(** [create ~clock ()] makes a tracer whose timestamps come from
+    [clock] (nanoseconds). [ring_capacity] (default [131072]) bounds
+    the number of events retained {e per track}; it is rounded up to a
+    power of two. *)
+
+val create_live : ?ring_capacity:int -> unit -> t
+(** A tracer stamped from {!Msmr_platform.Mclock.now_ns} — for the live
+    runtime. *)
+
+val now_ns : t -> int64
+(** Read the tracer's clock. *)
+
+val track : t -> ?pid:int -> ?pname:string -> name:string -> unit -> track
+(** [track t ~pid ~pname ~name ()] registers a new timeline. [pid]
+    (default 0) is the process group — use the replica id; [pname]
+    names the group in the viewer (e.g. ["replica-0"]); [name] labels
+    the track (the thread name). Thread-safe; call once per thread. *)
+
+val track_name : track -> string
+val track_pid : track -> int
+
+val track_tid : track -> int
+(** Unique per tracer, assigned in registration order. *)
+
+(** {1 Recording} *)
+
+val complete :
+  track -> ?cat:string -> name:string -> ts_ns:int64 -> dur_ns:int64 ->
+  unit -> unit
+(** Record a finished span with explicit bounds. [cat] (default
+    ["span"]) is the Chrome category — use
+    {!Taxonomy.module_of_thread} for thread-state spans. *)
+
+val begin_span : track -> ?cat:string -> string -> unit
+(** Open a span now; spans nest (a per-track stack). *)
+
+val end_span : track -> unit
+(** Close the innermost open span, recording it as a complete event.
+    No-op if no span is open. *)
+
+val instant : track -> ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+(** Record a point event at the current clock reading. *)
+
+val counter : track -> name:string -> float -> unit
+(** Record a sample of a numeric series at the current clock
+    reading. *)
+
+(** {1 Reading back} *)
+
+type phase =
+  | Span of int64  (** duration, ns *)
+  | Instant
+  | Counter of float
+
+type event = {
+  ph : phase;
+  cat : string;
+  name : string;
+  ts_ns : int64;
+  args : (string * Json.t) list;
+}
+
+val events : track -> event list
+(** Retained events, oldest first. Call after the owning thread has
+    stopped recording (reads are not synchronised with writes). *)
+
+val dropped : track -> int
+(** Events lost to ring wrap-around since the last {!clear}. *)
+
+val tracks : t -> track list
+(** All registered tracks, in registration order. *)
+
+val clear : t -> unit
+(** Drop all retained events and dropped-counts (e.g. at the end of a
+    warm-up period) while keeping the tracks registered. *)

@@ -1,0 +1,107 @@
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let meta_events tracks =
+  (* One process_name record per pid, one thread_name per track. *)
+  let seen_pids = Hashtbl.create 8 in
+  List.concat_map
+    (fun tr ->
+       let pid = Trace.track_pid tr in
+       let thread_meta =
+         Json.Obj
+           [ ("name", Json.String "thread_name");
+             ("ph", Json.String "M");
+             ("pid", Json.Int pid);
+             ("tid", Json.Int (Trace.track_tid tr));
+             ("args", Json.Obj [ ("name", Json.String (Trace.track_name tr)) ]) ]
+       in
+       if Hashtbl.mem seen_pids pid then [ thread_meta ]
+       else begin
+         Hashtbl.add seen_pids pid ();
+         [ Json.Obj
+             [ ("name", Json.String "process_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int pid);
+               ("tid", Json.Int 0);
+               ("args",
+                Json.Obj
+                  [ ("name",
+                     Json.String
+                       (Printf.sprintf "replica-%d" pid)) ]) ];
+           thread_meta ]
+       end)
+    tracks
+
+let event_to_json ~pid ~tid (ev : Trace.event) =
+  let common =
+    [ ("name", Json.String ev.name);
+      ("cat", Json.String ev.cat);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Float (us_of_ns ev.ts_ns)) ]
+  in
+  match ev.ph with
+  | Trace.Span dur ->
+    Json.Obj
+      (common
+       @ [ ("ph", Json.String "X"); ("dur", Json.Float (us_of_ns dur)) ]
+       @ if ev.args = [] then [] else [ ("args", Json.Obj ev.args) ])
+  | Trace.Instant ->
+    Json.Obj
+      (common
+       @ [ ("ph", Json.String "i"); ("s", Json.String "t") ]
+       @ if ev.args = [] then [] else [ ("args", Json.Obj ev.args) ])
+  | Trace.Counter v ->
+    Json.Obj
+      (common
+       @ [ ("ph", Json.String "C");
+           ("args", Json.Obj [ ("value", Json.Float v) ]) ])
+
+let to_json t =
+  let tracks = Trace.tracks t in
+  let events =
+    List.concat_map
+      (fun tr ->
+         let pid = Trace.track_pid tr and tid = Trace.track_tid tr in
+         List.map (fun ev -> (ev.Trace.ts_ns, event_to_json ~pid ~tid ev))
+           (Trace.events tr))
+      tracks
+  in
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> Int64.compare a b) events
+  in
+  Json.Obj
+    [ ("traceEvents",
+       Json.List (meta_events tracks @ List.map snd sorted));
+      ("displayTimeUnit", Json.String "ms") ]
+
+let write_file t path =
+  let json = to_json t in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  let buf = Buffer.create (1 lsl 20) in
+  Json.to_buffer buf json;
+  Buffer.add_char buf '\n';
+  Buffer.output_buffer oc buf
+
+let span_totals t =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun tr ->
+       let key name = (Trace.track_pid tr, Trace.track_name tr, name) in
+       List.iter
+         (fun (ev : Trace.event) ->
+            match ev.ph with
+            | Trace.Span dur ->
+              let k = key ev.name in
+              let prev =
+                match Hashtbl.find_opt table k with Some d -> d | None -> 0L
+              in
+              Hashtbl.replace table k (Int64.add prev dur)
+            | Trace.Instant | Trace.Counter _ -> ())
+         (Trace.events tr))
+    (Trace.tracks t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort compare
+
+let total_dropped t =
+  List.fold_left (fun acc tr -> acc + Trace.dropped tr) 0 (Trace.tracks t)

@@ -1,0 +1,31 @@
+(** Chrome [trace_event] JSON export of a {!Trace.t}.
+
+    The output is the "JSON Object Format" of the Trace Event
+    specification: [{"traceEvents": [...], "displayTimeUnit": "ms"}].
+    Load it in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}: each replica appears as a process (from the track's
+    [pid]/[pname]), each thread as a named row, thread-state spans as
+    colored blocks, counters as area charts.
+
+    Timestamps are converted from the tracer's nanoseconds to the
+    microseconds the format requires; simulated traces therefore open
+    with the virtual-time axis starting near the warm-up boundary. *)
+
+val to_json : Trace.t -> Json.t
+(** Encode all retained events plus [process_name]/[thread_name]
+    metadata records. Events are emitted in timestamp order. *)
+
+val write_file : Trace.t -> string -> unit
+(** [write_file t path] writes {!to_json} to [path]. *)
+
+val span_totals : Trace.t -> ((int * string * string) * int64) list
+(** Total span duration (ns) grouped by [(pid, track name, span name)],
+    sorted — e.g. per-thread busy/blocked/waiting/other totals when the
+    tracks carry thread-state spans. Used to cross-check the trace
+    against the accounting in {!Msmr_sim.Sstats} /
+    {!Msmr_platform.Thread_state}. *)
+
+val total_dropped : Trace.t -> int
+(** Events lost to ring wrap-around, summed over all tracks: when
+    non-zero, {!span_totals} undercounts and the capture window should
+    shrink (or the ring grow). *)

@@ -3,7 +3,9 @@
     Fixed memory, constant-time recording: values are binned into
     logarithmic buckets (~5% relative resolution), suitable for
     micro-to-second latencies. Used by the benchmark harness and load
-    generators for percentile reporting. *)
+    generators for percentile reporting. The registry histogram in
+    [Msmr_obs.Metrics] uses the same bucketing and summarises with the
+    same percentiles, so numbers are comparable across the two. *)
 
 type t
 
@@ -13,7 +15,10 @@ val record : t -> float -> unit
 (** Record a (non-negative, seconds) sample. Thread-safe and lock-free. *)
 
 val count : t -> int
+(** Number of recorded samples. *)
+
 val mean : t -> float
+(** Mean of recorded samples (exact, not bucketed); 0. when empty. *)
 
 val percentile : t -> float -> float
 (** [percentile t 0.99] returns the approximate p99 in seconds (upper
@@ -23,6 +28,7 @@ val merge_into : src:t -> dst:t -> unit
 (** Add [src]'s counts into [dst]. *)
 
 val reset : t -> unit
+(** Zero all buckets. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** "n=… mean=…ms p50=… p95=… p99=…". *)

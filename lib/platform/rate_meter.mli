@@ -2,15 +2,26 @@
 
     Used by the benchmark harness and by the replica's statistics endpoint
     (requests/s, packets/s, queue-length averages — the quantities of the
-    paper's Tables I and III). *)
+    paper's Tables I and III). These are raw accumulators; to expose one
+    as a named, labelled series use the registry in [Msmr_obs.Metrics]
+    (e.g. register a gauge closing over {!Counter.get}). *)
 
 module Counter : sig
+  (** Monotone event counter (a single atomic word). *)
+
   type t
 
   val create : unit -> t
+
   val incr : t -> unit
+  (** Add one. Lock-free. *)
+
   val add : t -> int -> unit
+  (** Add [n]. Lock-free. *)
+
   val get : t -> int
+  (** Current total. *)
+
   val reset : t -> unit
 end
 
@@ -36,11 +47,18 @@ type t
     snapshots. *)
 
 val create : unit -> t
+
 val tick : t -> unit
+(** Count one event. Lock-free. *)
+
 val tick_n : t -> int -> unit
+(** Count [n] events at once (e.g. a batch). Lock-free. *)
 
 val rate : t -> float
 (** Events per second since the last [reset] (or creation). *)
 
 val count : t -> int
+(** Events since the last [reset] (or creation). *)
+
 val reset : t -> unit
+(** Zero the count and restart the rate window. *)

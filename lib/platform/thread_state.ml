@@ -13,6 +13,8 @@ type totals = {
   other_ns : int64;
 }
 
+type tracer = state -> int64 -> int64 -> unit
+
 type t = {
   name : string;
   mutable current : state;
@@ -21,15 +23,32 @@ type t = {
   mutable acc_blocked : int64;
   mutable acc_waiting : int64;
   mutable acc_other : int64;
+  (* Start of the current same-state run: [since] advances on every
+     accounting call, [span_start] only when the state changes. *)
+  mutable span_start : int64;
+  mutable tracer : tracer option;
 }
 
 let registry : t list ref = ref []
 let registry_lock = Mutex.create ()
 
+(* Consulted (without a lock: set it before spawning workers) by
+   [create], so tracing can be switched on for every future thread
+   without touching each call site. *)
+let auto_tracer : (name:string -> tracer option) option ref = ref None
+
+let set_auto_tracer f = auto_tracer := Some f
+let clear_auto_tracer () = auto_tracer := None
+
 let create ~name =
+  let now = Mclock.now_ns () in
+  let tracer =
+    match !auto_tracer with Some f -> f ~name | None -> None
+  in
   let t =
-    { name; current = Busy; since = Mclock.now_ns ();
-      acc_busy = 0L; acc_blocked = 0L; acc_waiting = 0L; acc_other = 0L }
+    { name; current = Busy; since = now;
+      acc_busy = 0L; acc_blocked = 0L; acc_waiting = 0L; acc_other = 0L;
+      span_start = now; tracer }
   in
   Mutex.lock registry_lock;
   registry := t :: !registry;
@@ -37,6 +56,20 @@ let create ~name =
   t
 
 let name t = t.name
+
+let attach_tracer t tracer =
+  t.span_start <- Mclock.now_ns ();
+  t.tracer <- Some tracer
+
+let detach_tracer t = t.tracer <- None
+
+let flush_tracer t =
+  match t.tracer with
+  | None -> ()
+  | Some emit ->
+    let now = Mclock.now_ns () in
+    if Int64.compare now t.span_start > 0 then emit t.current t.span_start now;
+    t.span_start <- now
 
 let account t now =
   let dt = Int64.sub now t.since in
@@ -50,7 +83,16 @@ let account t now =
 let set t s =
   let now = Mclock.now_ns () in
   account t now;
-  t.current <- s
+  if s <> t.current then begin
+    (* Consecutive same-state intervals merge into one span, so a
+       saturated thread that keeps re-asserting [Busy] emits nothing. *)
+    (match t.tracer with
+     | Some emit when Int64.compare now t.span_start > 0 ->
+       emit t.current t.span_start now
+     | Some _ | None -> ());
+    t.span_start <- now;
+    t.current <- s
+  end
 
 let enter t s f =
   let prev = t.current in
@@ -86,7 +128,8 @@ let reset_all () =
     (fun t ->
        t.acc_busy <- 0L; t.acc_blocked <- 0L;
        t.acc_waiting <- 0L; t.acc_other <- 0L;
-       t.since <- now)
+       t.since <- now;
+       t.span_start <- now)
     all
 
 let lifetime (tot : totals) =

@@ -22,6 +22,11 @@ type t = {
   routes : (int, int * sink) Cmap.t;
   request_queue : Client_msg.request Bq.t;
   reply_cache : Reply_cache.t;
+  (* Registry counters (docs/OBSERVABILITY.md): atomic adds, no locks. *)
+  m_labels : Msmr_obs.Metrics.labels;
+  m_requests : Msmr_obs.Metrics.counter;
+  m_replies : Msmr_obs.Metrics.counter;
+  m_malformed : Msmr_obs.Metrics.counter;
 }
 
 let worker_of_client t client_id =
@@ -40,6 +45,7 @@ let worker_loop t idx st =
       match Mpsc.pop ctx.replies with
       | Some (reply, sink) ->
         sink (Client_msg.reply_to_bytes reply);
+        Msmr_obs.Metrics.incr t.m_replies;
         drain ()
       | None -> ()
     in
@@ -62,6 +68,7 @@ let worker_loop t idx st =
          | Some (raw, sink) -> (
              match Client_msg.request_of_bytes raw with
              | req -> (
+                 Msmr_obs.Metrics.incr t.m_requests;
                  match Reply_cache.lookup t.reply_cache req.id with
                  | Reply_cache.Cached result ->
                    sink (Client_msg.reply_to_bytes { id = req.id; result })
@@ -72,7 +79,7 @@ let worker_loop t idx st =
              | exception (Codec.Underflow | Codec.Malformed _) ->
                (* Malformed request: drop it, as a server would drop a
                   corrupt frame. *)
-               ())
+               Msmr_obs.Metrics.incr t.m_malformed)
          | exception Bq.Closed -> running := false))
   done;
   (* Shutdown: flush any replies already routed to us. *)
@@ -91,9 +98,21 @@ let create ?(name_prefix = "") ~pool_size ~request_queue ~reply_cache () =
     Array.init pool_size (fun _ ->
         { ingress = Bq.create ~capacity:256; replies = Mpsc.create () })
   in
+  let m_labels =
+    [ ("mode", "live");
+      ("pool", if name_prefix = "" then "default" else name_prefix) ]
+  in
   let t =
     { workers; threads = []; routes = Cmap.create ~shards:16 ();
-      request_queue; reply_cache }
+      request_queue; reply_cache;
+      m_labels;
+      m_requests =
+        Msmr_obs.Metrics.counter ~labels:m_labels "msmr_client_io_requests_total";
+      m_replies =
+        Msmr_obs.Metrics.counter ~labels:m_labels "msmr_client_io_replies_total";
+      m_malformed =
+        Msmr_obs.Metrics.counter ~labels:m_labels
+          "msmr_client_io_malformed_total" }
   in
   let threads =
     List.init pool_size (fun i ->
@@ -122,4 +141,8 @@ let ingress_length t =
 
 let stop t =
   Array.iter (fun w -> Bq.close w.ingress) t.workers;
-  Worker.join_all t.threads
+  Worker.join_all t.threads;
+  List.iter
+    (fun name -> Msmr_obs.Metrics.remove ~labels:t.m_labels name)
+    [ "msmr_client_io_requests_total"; "msmr_client_io_replies_total";
+      "msmr_client_io_malformed_total" ]

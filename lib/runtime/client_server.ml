@@ -19,6 +19,8 @@ type t = {
   mutable next_conn : int;
   running : bool Atomic.t;
   mutable acceptor : Worker.t option;
+  m_labels : Msmr_obs.Metrics.labels;
+  m_accepted : Msmr_obs.Metrics.counter;
 }
 
 let sink_of conn raw =
@@ -46,6 +48,7 @@ let accept_loop t _st =
     match Unix.accept t.listener with
     | fd, _ ->
       Unix.setsockopt fd Unix.TCP_NODELAY true;
+      Msmr_obs.Metrics.incr t.m_accepted;
       let conn = { fd; write_lock = Mutex.create (); alive = true } in
       Mutex.lock t.conns_lock;
       let id = t.next_conn in
@@ -71,11 +74,24 @@ let start replica ~port =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> port
   in
+  let m_labels =
+    [ ("mode", "live"); ("replica", string_of_int (Replica.me replica)) ]
+  in
   let t =
     { replica; listener; bound_port; conns = Hashtbl.create 64;
       conns_lock = Mutex.create (); next_conn = 0;
-      running = Atomic.make true; acceptor = None }
+      running = Atomic.make true; acceptor = None;
+      m_labels;
+      m_accepted =
+        Msmr_obs.Metrics.counter ~labels:m_labels
+          "msmr_client_server_accepted_total" }
   in
+  Msmr_obs.Metrics.gauge ~labels:m_labels "msmr_client_server_connections"
+    (fun () ->
+       Mutex.lock t.conns_lock;
+       let n = Hashtbl.length t.conns in
+       Mutex.unlock t.conns_lock;
+       float_of_int n);
   t.acceptor <- Some (Worker.spawn ~name:"ClientAcceptor" (accept_loop t));
   Log.info (fun m -> m "client server listening on port %d" bound_port);
   t
@@ -90,6 +106,9 @@ let connections t =
 
 let stop t =
   if Atomic.exchange t.running false then begin
+    List.iter
+      (fun name -> Msmr_obs.Metrics.remove ~labels:t.m_labels name)
+      [ "msmr_client_server_accepted_total"; "msmr_client_server_connections" ];
     (* A thread blocked in [Unix.accept] is not reliably woken by closing
        the listener; poke it with a throw-away connection first. *)
     (try

@@ -435,6 +435,45 @@ let service_manager_loop t st =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Observability: every replica exposes its queue depths, window and
+   progress counters in the shared registry (docs/OBSERVABILITY.md).
+   Gauges are snapshot-time closures over state the replica already
+   keeps, so the hot path pays nothing. *)
+
+let metric_labels t = [ ("mode", "live"); ("replica", string_of_int t.me) ]
+
+let metric_names =
+  [ "msmr_replica_request_queue_depth";
+    "msmr_replica_proposal_queue_depth";
+    "msmr_replica_dispatcher_queue_depth";
+    "msmr_replica_decision_queue_depth";
+    "msmr_replica_window_in_use";
+    "msmr_replica_decided";
+    "msmr_replica_executed";
+    "msmr_replica_send_queue_drops";
+    "msmr_replica_client_ingress_depth" ]
+
+let register_metrics t =
+  let labels = metric_labels t in
+  let g name f = Msmr_obs.Metrics.gauge ~labels name f in
+  let fi x = float_of_int x in
+  g "msmr_replica_request_queue_depth" (fun () -> fi (Bq.length t.request_q));
+  g "msmr_replica_proposal_queue_depth" (fun () -> fi (Bq.length t.proposal_q));
+  g "msmr_replica_dispatcher_queue_depth" (fun () ->
+      fi (Bq.length t.dispatcher_q));
+  g "msmr_replica_decision_queue_depth" (fun () -> fi (Bq.length t.decision_q));
+  g "msmr_replica_window_in_use" (fun () -> fi (Atomic.get t.window_now));
+  g "msmr_replica_decided" (fun () -> fi (Counter.get t.decided));
+  g "msmr_replica_executed" (fun () -> fi (Counter.get t.executed));
+  g "msmr_replica_send_queue_drops" (fun () -> fi (Counter.get t.send_q_drops));
+  g "msmr_replica_client_ingress_depth" (fun () ->
+      match t.client_io with
+      | Some cio -> fi (Client_io.ingress_length cio)
+      | None -> 0.)
+
+let unregister_metrics t =
+  let labels = metric_labels t in
+  List.iter (fun name -> Msmr_obs.Metrics.remove ~labels name) metric_names
 
 let create ?(client_io_threads = 3) ?(batcher_threads = 1)
     ?(request_queue_capacity = 1000) ?(proposal_queue_capacity = 20)
@@ -523,10 +562,12 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       spawn "Retransmitter" retransmitter_loop;
       spawn "Replica" service_manager_loop ]
     @ batchers @ io_threads @ syncer;
+  register_metrics t;
   t
 
 let stop t =
   if Atomic.exchange t.running false then begin
+    unregister_metrics t;
     (match t.client_io with Some cio -> Client_io.stop cio | None -> ());
     Bq.close t.request_q;
     Bq.close t.proposal_q;

@@ -21,15 +21,23 @@ module Hub = struct
   }
 
   let create ?(capacity = 4096) ~n () =
-    { n;
-      pipes =
-        Array.init n (fun src ->
-            Array.init n (fun dst ->
-                { queue = Bq.create ~capacity;
-                  drop_rate = 0.;
-                  rng = Random.State.make [| (src * 131) + dst |] }));
-      cut_nodes = Array.make n false;
-      sent = Msmr_platform.Rate_meter.Counter.create () }
+    let t =
+      { n;
+        pipes =
+          Array.init n (fun src ->
+              Array.init n (fun dst ->
+                  { queue = Bq.create ~capacity;
+                    drop_rate = 0.;
+                    rng = Random.State.make [| (src * 131) + dst |] }));
+        cut_nodes = Array.make n false;
+        sent = Msmr_platform.Rate_meter.Counter.create () }
+    in
+    (* Replace semantics: a later hub (fresh cluster) takes over the
+       series. *)
+    Msmr_obs.Metrics.gauge ~labels:[ ("mode", "live") ]
+      "msmr_hub_frames_sent" (fun () ->
+          float_of_int (Msmr_platform.Rate_meter.Counter.get t.sent));
+    t
 
   let link t ~me ~peer =
     if me = peer then invalid_arg "Hub.link: self link";

@@ -52,6 +52,7 @@ type result = {
   rtt_followers : float;
   rtt_idle : float;
   events : int;
+  trace : Msmr_obs.Trace.t option;
 }
 
 type node = {
@@ -75,8 +76,29 @@ type client = {
   mutable sent_at : float;
 }
 
-let run (p : Params.t) =
+let run ?(trace = false) (p : Params.t) =
   let eng = Engine.create () in
+  (* The tracer is stamped from the engine's virtual clock, so trace
+     timelines are in *simulated* time — the paper's figures become
+     inspectable Chrome timelines. *)
+  let tracer =
+    if trace then
+      Some
+        (Msmr_obs.Trace.create
+           ~clock:(fun () -> Int64.of_float (Engine.now eng *. 1e9))
+           ())
+    else None
+  in
+  let ns_of s = Int64.of_float (s *. 1e9) in
+  let state_name : Sstats.state -> string = function
+    | Sstats.Busy -> "busy"
+    | Sstats.Blocked -> "blocked"
+    | Sstats.Waiting -> "waiting"
+    | Sstats.Other -> "other"
+  in
+  (* Thread -> track, for hooks (lock contention) that only know the
+     blocked thread. Physical equality: threads are unique records. *)
+  let track_of : (Sstats.thread * Msmr_obs.Trace.track) list ref = ref [] in
   let c = p.costs in
   let speed = p.profile.cpu_speed in
   let cost x = x /. speed in
@@ -126,7 +148,57 @@ let run (p : Params.t) =
       ~bandwidth:p.profile.bandwidth ~name:"idle-a" () in
   let idle_b = Nic.create eng ~pkt_rate:p.profile.pkt_rate
       ~bandwidth:p.profile.bandwidth ~name:"idle-b" () in
-  let register node st = node.threads <- node.threads @ [ st ] in
+  (* Register a simulated thread for profiling; under tracing, also give
+     it a track and bridge Sstats state changes to merged spans
+     (cat = the owning module, name = the state). Returns the track so
+     protocol/batcher can add instant events on their own timeline. *)
+  let register node st =
+    node.threads <- node.threads @ [ st ];
+    match tracer with
+    | None -> None
+    | Some t ->
+      let tname = Sstats.name st in
+      let trk =
+        Msmr_obs.Trace.track t ~pid:node.id
+          ~pname:(Printf.sprintf "replica-%d" node.id) ~name:tname ()
+      in
+      let cat = Msmr_obs.Taxonomy.module_of_thread tname in
+      track_of := (st, trk) :: !track_of;
+      Sstats.attach_tracer st (fun state t0 t1 ->
+          let ts = ns_of t0 in
+          Msmr_obs.Trace.complete trk ~cat ~name:(state_name state)
+            ~ts_ns:ts ~dur_ns:(Int64.sub (ns_of t1) ts) ());
+      Some trk
+  in
+  (* Lock-contention hook: an instant on the blocked thread's track. *)
+  let on_contended lock st =
+    match List.assq_opt st !track_of with
+    | Some trk -> Msmr_obs.Trace.instant trk ~cat:"lock" (Slock.name lock)
+    | None -> ()
+  in
+  if Option.is_some tracer then
+    Array.iter
+      (fun node ->
+         Squeue.set_on_contended node.dispatcher_q on_contended;
+         Squeue.set_on_contended node.proposal_q on_contended)
+      nodes;
+  (* Queue-depth counter series live on one dedicated leader track.
+     ProposalQueue is low-volume (capacity 20), so it is sampled per
+     operation; the high-volume queues are sampled by the 1 ms sampler
+     below to bound trace size. *)
+  let queues_trk =
+    Option.map
+      (fun t ->
+         let trk =
+           Msmr_obs.Trace.track t ~pid:leader.id ~pname:"replica-0"
+             ~name:"queues" ()
+         in
+         Squeue.set_on_length leader.proposal_q (fun len ->
+             Msmr_obs.Trace.counter trk ~name:"ProposalQueue"
+               (float_of_int len));
+         trk)
+      tracer
+  in
   (* ---------------- measurement state ---------------- *)
   let measuring = ref false in
   let completed = ref 0 in
@@ -177,7 +249,7 @@ let run (p : Params.t) =
     let st =
       Sstats.make_thread eng ~name:(Printf.sprintf "ClientIO-%d" idx)
     in
-    register node st;
+    let (_ : Msmr_obs.Trace.track option) = register node st in
     let mb = node.cio_mbs.(idx) in
     (* On overload the blocking put stalls this thread on the full
        RequestQueue - the paper's back-pressure: the ClientIO thread
@@ -213,12 +285,20 @@ let run (p : Params.t) =
           (if p.n_batchers = 1 then "Batcher"
            else Printf.sprintf "Batcher-%d" bidx)
     in
-    register node st;
+    let trk = register node st in
     (* Distinct [src] spaces keep batch ids unique across batchers. *)
     let policy = Batcher.create cfg ~src:(node.id + (bidx * 64)) in
     let now_ns () = Int64.of_float (Engine.now eng *. 1e9) in
     let seal batch =
       Cpu.work node.cpu st (cost c.batcher_per_batch);
+      (match trk with
+       | Some trk ->
+         Msmr_obs.Trace.instant trk ~cat:"ReplicationCore"
+           ~args:
+             [ ("reqs", Msmr_obs.Json.Int (Batch.request_count batch));
+               ("bytes", Msmr_obs.Json.Int (Batch.size_bytes batch)) ]
+           "batch-seal"
+       | None -> ());
       if !measuring then begin
         incr batches;
         batch_reqs := !batch_reqs + Batch.request_count batch;
@@ -252,7 +332,7 @@ let run (p : Params.t) =
   let inst_t0 : (int, float) Hashtbl.t = Hashtbl.create 1024 in
   let protocol_proc node () =
     let st = Sstats.make_thread eng ~name:"Protocol" in
-    register node st;
+    let trk = register node st in
     let apply actions =
       List.iter
         (fun action ->
@@ -262,6 +342,11 @@ let run (p : Params.t) =
                (fun d -> if d <> node.id then Squeue.put node.send_qs.(d) st msg)
                dest
            | Paxos.Execute { iid; value } ->
+             (match trk with
+              | Some trk ->
+                Msmr_obs.Trace.instant trk ~cat:"ReplicationCore"
+                  ~args:[ ("iid", Msmr_obs.Json.Int iid) ] "decide"
+              | None -> ());
              Squeue.put node.decision_q st { d_iid = iid; d_value = value }
            | Paxos.Schedule_rtx { key = Paxos.Rtx_accept (_, iid); _ } ->
              if node == leader then
@@ -305,7 +390,7 @@ let run (p : Params.t) =
     let st =
       Sstats.make_thread eng ~name:(Printf.sprintf "ReplicaIOSnd-%d" peer)
     in
-    register node st;
+    let (_ : Msmr_obs.Trace.track option) = register node st in
     let q = node.send_qs.(peer) in
     let rec drain_burst acc k =
       if k = 0 then List.rev acc
@@ -380,7 +465,7 @@ let run (p : Params.t) =
     let st =
       Sstats.make_thread eng ~name:(Printf.sprintf "ReplicaIORcv-%d" peer)
     in
-    register node st;
+    let (_ : Msmr_obs.Trace.track option) = register node st in
     let mb = node.rcv_mbs.(peer) in
     let rec loop () =
       let from, msg = Mailbox.take mb st in
@@ -396,7 +481,7 @@ let run (p : Params.t) =
   (* ---------------- ServiceManager (Replica thread) ---------------- *)
   let sm_proc node () =
     let st = Sstats.make_thread eng ~name:"Replica" in
-    register node st;
+    let (_ : Msmr_obs.Trace.track option) = register node st in
     let rec loop () =
       let d = Squeue.take node.decision_q st in
       (match d.d_value with
@@ -440,6 +525,20 @@ let run (p : Params.t) =
         Engine.delay eng 0.001;
         Sstats.Gauge.update window_gauge
           (float_of_int (Paxos.window_in_use leader.engine));
+        (match queues_trk with
+         | Some trk ->
+           let open Msmr_obs.Trace in
+           counter trk ~name:"window"
+             (float_of_int (Paxos.window_in_use leader.engine));
+           counter trk ~name:"DispatcherQueue"
+             (float_of_int (Squeue.length leader.dispatcher_q));
+           counter trk ~name:"DecisionQueue"
+             (float_of_int (Squeue.length leader.decision_q));
+           counter trk ~name:"RequestQueue"
+             (Array.fold_left
+                (fun acc q -> acc +. float_of_int (Squeue.length q))
+                0. leader.request_qs)
+         | None -> ());
         loop ()
       in
       loop ());
@@ -476,7 +575,15 @@ let run (p : Params.t) =
        Squeue.reset_stats node.dispatcher_q;
        Squeue.reset_stats node.decision_q)
     nodes;
+  (* Drop warm-up events: [Sstats.reset] already restarted the open
+     spans, so the retained trace covers exactly the measured window and
+     its span totals match the Sstats integrals. *)
+  (match tracer with Some t -> Msmr_obs.Trace.clear t | None -> ());
   Engine.run eng ~until:(p.warmup +. p.duration);
+  (* Close the still-open state spans so they appear in the export. *)
+  Array.iter
+    (fun node -> List.iter Sstats.flush_tracer node.threads)
+    nodes;
   (* ---------------- collect ---------------- *)
   let dur = p.duration in
   let mean = function [] -> 0. | l ->
@@ -491,8 +598,29 @@ let run (p : Params.t) =
       blocked_pct = 100. *. blocked /. dur;
       threads }
   in
-  { throughput = float_of_int !completed /. dur;
-    client_latency = (if !lat_n = 0 then 0. else !lat_sum /. float_of_int !lat_n);
+  let throughput = float_of_int !completed /. dur in
+  let client_latency =
+    if !lat_n = 0 then 0. else !lat_sum /. float_of_int !lat_n
+  in
+  (* Publish the headline results to the shared registry, so
+     [--metrics FILE] dumps the same series names in live and sim mode. *)
+  let m_labels =
+    [ ("mode", "sim");
+      ("n", string_of_int p.n);
+      ("cores", string_of_int p.cores);
+      ("wnd", string_of_int p.wnd);
+      ("bsz", string_of_int p.bsz) ]
+  in
+  Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_run_throughput_rps"
+    throughput;
+  Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_run_client_latency_s"
+    client_latency;
+  Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_run_leader_cpu_pct"
+    (100. *. Cpu.consumed leader.cpu /. dur);
+  Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_run_events"
+    (float_of_int (Engine.events_processed eng));
+  { throughput;
+    client_latency;
     instance_latency = (if !inst_n = 0 then 0. else !inst_sum /. float_of_int !inst_n);
     avg_batch_reqs =
       (if !batches = 0 then 0. else float_of_int !batch_reqs /. float_of_int !batches);
@@ -512,4 +640,5 @@ let run (p : Params.t) =
     rtt_leader = mean !rtt_leader;
     rtt_followers = mean !rtt_follow;
     rtt_idle = mean !rtt_idle;
-    events = Engine.events_processed eng }
+    events = Engine.events_processed eng;
+    trace = tracer }

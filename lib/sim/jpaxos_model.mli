@@ -38,7 +38,16 @@ type result = {
   rtt_followers : float;         (** probe RTT follower <-> follower (s) *)
   rtt_idle : float;              (** probe RTT between two idle nodes (s) *)
   events : int;                  (** simulation events processed *)
+  trace : Msmr_obs.Trace.t option;
+      (** present iff [run ~trace:true]; stamped in simulated time and
+          covering exactly the measured window — export with
+          {!Msmr_obs.Trace_export.write_file} *)
 }
 
-val run : Params.t -> result
-(** Deterministic: same parameters, same result. *)
+val run : ?trace:bool -> Params.t -> result
+(** Deterministic: same parameters, same result. [trace] (default
+    [false]) records per-thread state spans (cat = module, name = the
+    state), decide / batch-seal instants, lock-contention instants and
+    queue-depth counters for the measured window; headline results are
+    also published to {!Msmr_obs.Metrics.default} with [mode="sim"]
+    labels. *)

@@ -5,17 +5,23 @@ type t = {
   waiters : (unit -> unit) Queue.t;
   mutable acqs : int;
   mutable contended : int;
+  mutable on_contended : (t -> Sstats.thread -> unit) option;
 }
 
 let create eng ?(name = "lock") () =
   { eng; name; held = false; waiters = Queue.create (); acqs = 0;
-    contended = 0 }
+    contended = 0; on_contended = None }
+
+let name t = t.name
+
+let set_on_contended t f = t.on_contended <- Some f
 
 let acquire t st =
   t.acqs <- t.acqs + 1;
   if not t.held then t.held <- true
   else begin
     t.contended <- t.contended + 1;
+    (match t.on_contended with Some f -> f t st | None -> ());
     Sstats.set st Sstats.Blocked;
     Engine.suspend t.eng (fun resume -> Queue.push resume t.waiters);
     (* The releaser handed us the lock: [held] stays true. *)

@@ -9,8 +9,15 @@ type t
 
 val create : Engine.t -> ?name:string -> unit -> t
 
+val name : t -> string
+
 val acquire : t -> Sstats.thread -> unit
 val release : t -> unit
+
+val set_on_contended : t -> (t -> Sstats.thread -> unit) -> unit
+(** [set_on_contended t f] installs a hook called as [f t st] each time
+    an {!acquire} finds the lock held — the observability layer uses it
+    to emit contention instants on the blocked thread's trace track. *)
 
 val with_lock : t -> Sstats.thread -> (unit -> 'a) -> 'a
 

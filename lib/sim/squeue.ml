@@ -9,6 +9,7 @@ type 'a t = {
   mutable not_empty : (unit -> unit) Queue.t;
   mutable not_full : (unit -> unit) Queue.t;
   gauge : Sstats.Gauge.t;
+  mutable on_length : (int -> unit) option;
 }
 
 let create eng ~cpu ~capacity ?(op_cost = 250e-9) ~name () =
@@ -18,11 +19,15 @@ let create eng ~cpu ~capacity ?(op_cost = 250e-9) ~name () =
     lock = Slock.create eng ~name:(name ^ ".lock") ();
     not_empty = Queue.create ();
     not_full = Queue.create ();
-    gauge = Sstats.Gauge.create eng }
+    gauge = Sstats.Gauge.create eng;
+    on_length = None }
 
 let name t = t.qname
 let length t = Queue.length t.items
 let capacity t = t.cap
+
+let set_on_length t f = t.on_length <- Some f
+let set_on_contended t f = Slock.set_on_contended t.lock f
 
 let signal waiters =
   match Queue.pop waiters with
@@ -43,12 +48,16 @@ let locked t st f =
 
 let push_locked t v =
   Queue.push v t.items;
-  Sstats.Gauge.update t.gauge (float_of_int (Queue.length t.items));
+  let len = Queue.length t.items in
+  Sstats.Gauge.update t.gauge (float_of_int len);
+  (match t.on_length with Some f -> f len | None -> ());
   signal t.not_empty
 
 let pop_locked t =
   let v = Queue.pop t.items in
-  Sstats.Gauge.update t.gauge (float_of_int (Queue.length t.items));
+  let len = Queue.length t.items in
+  Sstats.Gauge.update t.gauge (float_of_int len);
+  (match t.on_length with Some f -> f len | None -> ());
   signal t.not_full;
   v
 

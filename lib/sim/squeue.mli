@@ -39,3 +39,12 @@ val take_timeout : 'a t -> Sstats.thread -> timeout:float -> 'a option
 
 val avg_length : 'a t -> float
 val reset_stats : 'a t -> unit
+
+val set_on_length : 'a t -> (int -> unit) -> unit
+(** [set_on_length t f] installs a hook called with the new queue
+    length after every push and pop — the observability layer uses it
+    to record queue-depth counter series in the trace. *)
+
+val set_on_contended : 'a t -> (Slock.t -> Sstats.thread -> unit) -> unit
+(** Forward of {!Slock.set_on_contended} for the queue's internal
+    lock. *)

@@ -1,5 +1,7 @@
 type state = Busy | Blocked | Waiting | Other
 
+type tracer = state -> float -> float -> unit
+
 type thread = {
   eng : Engine.t;
   tname : string;
@@ -9,14 +11,31 @@ type thread = {
   mutable t_blocked : float;
   mutable t_waiting : float;
   mutable t_other : float;
+  (* Start of the current same-state run (merged trace span). *)
+  mutable span_start : float;
+  mutable tracer : tracer option;
 }
 
 let make_thread eng ~name =
-  { eng; tname = name; st = Other; since = Engine.now eng;
-    t_busy = 0.; t_blocked = 0.; t_waiting = 0.; t_other = 0. }
+  let now = Engine.now eng in
+  { eng; tname = name; st = Other; since = now;
+    t_busy = 0.; t_blocked = 0.; t_waiting = 0.; t_other = 0.;
+    span_start = now; tracer = None }
 
 let name t = t.tname
 let state t = t.st
+
+let attach_tracer t tracer =
+  t.span_start <- Engine.now t.eng;
+  t.tracer <- Some tracer
+
+let flush_tracer t =
+  match t.tracer with
+  | None -> ()
+  | Some emit ->
+    let now = Engine.now t.eng in
+    if now > t.span_start then emit t.st t.span_start now;
+    t.span_start <- now
 
 let account t =
   let now = Engine.now t.eng in
@@ -30,7 +49,15 @@ let account t =
 
 let set t s =
   account t;
-  t.st <- s
+  if s <> t.st then begin
+    (match t.tracer with
+     | Some emit when t.since > t.span_start ->
+       (* [account] just advanced [since] to the current time. *)
+       emit t.st t.span_start t.since
+     | Some _ | None -> ());
+    t.span_start <- t.since;
+    t.st <- s
+  end
 
 type totals = {
   busy : float;
@@ -49,7 +76,8 @@ let totals t =
 
 let reset t =
   t.t_busy <- 0.; t.t_blocked <- 0.; t.t_waiting <- 0.; t.t_other <- 0.;
-  t.since <- Engine.now t.eng
+  t.since <- Engine.now t.eng;
+  t.span_start <- t.since
 
 let pp_profile ppf rows =
   let life (x : totals) = x.busy +. x.blocked +. x.waiting +. x.other in

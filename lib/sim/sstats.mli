@@ -13,8 +13,36 @@ val make_thread : Engine.t -> name:string -> thread
 (** Starts in [Other] (not yet scheduled). *)
 
 val name : thread -> string
+(** The name given at {!make_thread} (the paper's thread names:
+    [ClientIO-0], [Batcher], [Protocol], ...). *)
+
 val set : thread -> state -> unit
+(** Switch state, attributing the elapsed simulated time to the
+    previous state. Re-asserting the current state only advances the
+    accounting; it emits no trace span. *)
+
 val state : thread -> state
+(** The state last {!set}. *)
+
+(** {1 Tracing hook}
+
+    The observability layer ([Msmr_obs.Trace]) attaches here to turn
+    the exact simulated-time accounting into Chrome-trace spans; this
+    module stays independent of it. *)
+
+type tracer = state -> float -> float -> unit
+(** [tracer state t0 t1]: the thread spent simulated interval
+    [[t0, t1)] (seconds) in [state]. Called on state changes only —
+    consecutive same-state intervals arrive merged as one call. *)
+
+val attach_tracer : thread -> tracer -> unit
+(** Attach a tracer; the open interval restarts at the current
+    simulated time. *)
+
+val flush_tracer : thread -> unit
+(** Emit the open interval without changing state — call when the
+    measured window ends, so emitted spans sum exactly to
+    {!totals}. *)
 
 type totals = {
   busy : float;

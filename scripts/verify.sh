@@ -1,0 +1,53 @@
+#!/bin/sh
+# Repository verify script: build, tests, docs, and observability smoke.
+#
+# Tier-1 (ROADMAP.md): dune build && dune runtest.
+# On top of that this script builds the odoc documentation (when odoc is
+# installed) and smoke-tests the trace exporter so docs and the
+# observability layer can't rot silently.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v odoc >/dev/null 2>&1; then
+  echo "== dune build @doc =="
+  dune build @doc
+else
+  echo "== dune build @doc skipped (odoc not installed) =="
+fi
+
+echo "== trace export smoke =="
+trace_file="$(mktemp /tmp/msmr-verify-trace.XXXXXX.json)"
+metrics_file="$(mktemp /tmp/msmr-verify-metrics.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$metrics_file"' EXIT
+
+dune exec bin/sim_probe.exe -- --trace "$trace_file" --metrics "$metrics_file"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$trace_file"
+  jq empty "$metrics_file"
+  events=$(jq '.traceEvents | length' "$trace_file")
+  spans=$(jq '[.traceEvents[] | select(.ph == "X")] | length' "$trace_file")
+  cats=$(jq -r '[.traceEvents[] | select(.ph == "X") | .cat] | unique | length' "$trace_file")
+  echo "trace: $events events, $spans spans, $cats span categories"
+  [ "$spans" -gt 0 ] || { echo "FAIL: no spans in trace" >&2; exit 1; }
+  [ "$cats" -ge 3 ] || { echo "FAIL: fewer than 3 span categories" >&2; exit 1; }
+else
+  # No jq: at least ensure both files are non-empty and look like JSON.
+  for f in "$trace_file" "$metrics_file"; do
+    [ -s "$f" ] || { echo "FAIL: $f empty" >&2; exit 1; }
+    case "$(head -c1 "$f")" in
+      '{' | '[') ;;
+      *) echo "FAIL: $f does not look like JSON" >&2; exit 1 ;;
+    esac
+  done
+  echo "trace: jq not installed, checked files are non-empty JSON"
+fi
+
+echo "== verify OK =="

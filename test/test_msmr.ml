@@ -10,4 +10,5 @@ let () =
       ("baseline", Test_baseline.suite);
       ("kv", Test_kv.suite);
       ("storage", Test_storage.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,280 @@
+(* Tests for msmr_obs: metrics registry snapshots, histogram edge cases
+   through the registry, trace recording and Chrome trace_event export. *)
+
+open Msmr_obs
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry. *)
+
+let test_snapshot_determinism () =
+  (* Two registries filled in different orders snapshot identically. *)
+  let fill r names =
+    List.iter
+      (fun (name, labels, v) ->
+         Metrics.set_gauge ~registry:r ~labels name v)
+      names;
+    Metrics.add (Metrics.counter ~registry:r "events_total") 7
+  in
+  let series =
+    [ ("b_gauge", [ ("x", "1") ], 2.0);
+      ("a_gauge", [], 1.0);
+      ("b_gauge", [ ("x", "0") ], 3.0) ]
+  in
+  let r1 = Metrics.create () and r2 = Metrics.create () in
+  fill r1 series;
+  fill r2 (List.rev series);
+  let s1 = Metrics.snapshot ~registry:r1 ()
+  and s2 = Metrics.snapshot ~registry:r2 () in
+  Alcotest.(check int) "size" 4 (List.length s1);
+  Alcotest.(check string) "same snapshot" (Metrics.to_text s1)
+    (Metrics.to_text s2);
+  (* Sorted by (name, labels): a_gauge, b_gauge{x=0}, b_gauge{x=1}. *)
+  Alcotest.(check (list string)) "order"
+    [ "a_gauge"; "b_gauge"; "b_gauge"; "events_total" ]
+    (List.map (fun (s : Metrics.sample) -> s.name) s1)
+
+let test_label_order_same_series () =
+  let r = Metrics.create () in
+  let c1 =
+    Metrics.counter ~registry:r ~labels:[ ("a", "1"); ("b", "2") ] "c_total"
+  in
+  Metrics.incr c1;
+  (* Same labels in the other order: same series (replace semantics on
+     re-registration, so the snapshot holds exactly one sample). *)
+  let c2 =
+    Metrics.counter ~registry:r ~labels:[ ("b", "2"); ("a", "1") ] "c_total"
+  in
+  Metrics.incr c2;
+  Alcotest.(check int) "one series" 1
+    (List.length (Metrics.snapshot ~registry:r ()))
+
+let test_remove () =
+  let r = Metrics.create () in
+  Metrics.set_gauge ~registry:r "g" 1.0;
+  Metrics.remove ~registry:r "g";
+  Alcotest.(check int) "removed" 0 (List.length (Metrics.snapshot ~registry:r ()));
+  (* Removing an absent series is a no-op. *)
+  Metrics.remove ~registry:r "never_there"
+
+let test_histogram_edges () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "lat_s" in
+  (* Empty: all percentiles 0. *)
+  (match Metrics.snapshot ~registry:r () with
+   | [ { value = Metrics.Histogram_v { count; mean; p50; p99; _ }; _ } ] ->
+     Alcotest.(check int) "empty count" 0 count;
+     Alcotest.(check (float 0.)) "empty mean" 0. mean;
+     Alcotest.(check (float 0.)) "empty p50" 0. p50;
+     Alcotest.(check (float 0.)) "empty p99" 0. p99
+   | _ -> Alcotest.fail "expected one histogram sample");
+  (* Single sample: every percentile lands in its bucket (~5% wide). *)
+  Msmr_platform.Histogram.record h 0.01;
+  (match Metrics.snapshot ~registry:r () with
+   | [ { value = Metrics.Histogram_v { count; p50; p99; _ }; _ } ] ->
+     Alcotest.(check int) "count" 1 count;
+     Alcotest.(check bool) "p50 near sample" true (p50 > 0.008 && p50 < 0.013);
+     Alcotest.(check bool) "p99 = p50 for 1 sample" true (p99 = p50)
+   | _ -> Alcotest.fail "expected one histogram sample");
+  (* Out-of-range p is clamped, not an exception. *)
+  Alcotest.(check bool) "clamp high" true
+    (Msmr_platform.Histogram.percentile h 2.0 > 0.);
+  Alcotest.(check (float 0.)) "clamp low on empty" 0.
+    (Msmr_platform.Histogram.percentile (Msmr_platform.Histogram.create ()) (-1.))
+
+let test_text_and_json_encoders () =
+  let r = Metrics.create () in
+  Metrics.set_gauge ~registry:r ~labels:[ ("replica", "0") ] "depth" 3.0;
+  let s = Metrics.snapshot ~registry:r () in
+  Alcotest.(check string) "text line" "depth{replica=\"0\"} 3\n"
+    (Metrics.to_text s);
+  let j = Metrics.to_json s in
+  match Json.member "metrics" j with
+  | Some (Json.List [ m ]) ->
+    Alcotest.(check bool) "name" true
+      (Json.member "name" m = Some (Json.String "depth"))
+  | _ -> Alcotest.fail "expected one metric in JSON"
+
+(* ------------------------------------------------------------------ *)
+(* Trace recording and export. *)
+
+(* A controllable clock: sim-style injected time source. *)
+let manual_clock () =
+  let now = ref 0L in
+  ((fun () -> !now), fun t -> now := t)
+
+let test_trace_events_roundtrip () =
+  let clock, set = manual_clock () in
+  let t = Trace.create ~ring_capacity:16 ~clock () in
+  let trk = Trace.track t ~pid:1 ~pname:"replica-1" ~name:"Protocol" () in
+  set 100L;
+  Trace.begin_span trk ~cat:"ReplicationCore" "busy";
+  set 300L;
+  Trace.end_span trk;
+  Trace.instant trk ~cat:"ReplicationCore" "decide";
+  Trace.counter trk ~name:"window" 5.0;
+  match Trace.events trk with
+  | [ { ph = Trace.Span d; name = "busy"; ts_ns = 100L; _ };
+      { ph = Trace.Instant; name = "decide"; ts_ns = 300L; _ };
+      { ph = Trace.Counter 5.0; name = "window"; _ } ] ->
+    Alcotest.(check int64) "dur" 200L d
+  | evs -> Alcotest.failf "unexpected events (%d)" (List.length evs)
+
+let test_trace_ring_overflow () =
+  let clock, set = manual_clock () in
+  let t = Trace.create ~ring_capacity:8 ~clock () in
+  let trk = Trace.track t ~name:"x" () in
+  for i = 1 to 20 do
+    set (Int64.of_int i);
+    Trace.instant trk "e"
+  done;
+  Alcotest.(check int) "retained = capacity" 8
+    (List.length (Trace.events trk));
+  Alcotest.(check int) "dropped" 12 (Trace.dropped trk);
+  (* The oldest retained event is the 13th. *)
+  (match Trace.events trk with
+   | { ts_ns; _ } :: _ -> Alcotest.(check int64) "oldest" 13L ts_ns
+   | [] -> Alcotest.fail "no events");
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.events trk));
+  Alcotest.(check int) "dropped reset" 0 (Trace.dropped trk)
+
+let test_export_wellformed () =
+  let clock, set = manual_clock () in
+  let t = Trace.create ~clock () in
+  let mk pid name cat =
+    let trk = Trace.track t ~pid ~pname:(Printf.sprintf "replica-%d" pid) ~name () in
+    set 1000L;
+    Trace.begin_span trk ~cat "busy";
+    set 4000L;
+    Trace.end_span trk;
+    trk
+  in
+  let _cio = mk 0 "ClientIO-0" "ClientIO" in
+  let _proto = mk 0 "Protocol" "ReplicationCore" in
+  let _sm = mk 1 "Replica" "ServiceManager" in
+  (* Export, then parse the emitted string back: the exporter must
+     produce JSON our own parser (and hence any JSON parser) accepts. *)
+  let s = Json.to_string (Trace_export.to_json t) in
+  let j = Json.of_string s in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  (* 2 process_name (one per pid) + 3 thread_name + 3 spans. *)
+  Alcotest.(check int) "event count" 8 (List.length events);
+  let required = [ "ph"; "pid"; "tid"; "name" ] in
+  List.iter
+    (fun e ->
+       List.iter
+         (fun k ->
+            if Json.member k e = None then
+              Alcotest.failf "event missing key %s" k)
+         required)
+    events;
+  let cats =
+    List.filter_map
+      (fun e ->
+         match (Json.member "ph" e, Json.member "cat" e) with
+         | Some (Json.String "X"), Some (Json.String c) -> Some c
+         | _ -> None)
+      events
+  in
+  Alcotest.(check (list string)) "span cats"
+    [ "ClientIO"; "ReplicationCore"; "ServiceManager" ]
+    (List.sort compare cats);
+  (* Chrome timestamps are microseconds: 1000 ns -> 1 us, dur 3 us. *)
+  match
+    List.find_opt
+      (fun e -> Json.member "ph" e = Some (Json.String "X"))
+      events
+  with
+  | Some e ->
+    Alcotest.(check bool) "ts in us" true
+      (Json.member "ts" e = Some (Json.Float 1.0)
+       || Json.member "ts" e = Some (Json.Int 1))
+  | None -> Alcotest.fail "no span event"
+
+let test_span_totals () =
+  let clock, set = manual_clock () in
+  let t = Trace.create ~clock () in
+  let trk = Trace.track t ~pid:0 ~name:"Batcher" () in
+  Trace.complete trk ~cat:"ReplicationCore" ~name:"busy" ~ts_ns:0L
+    ~dur_ns:100L ();
+  Trace.complete trk ~cat:"ReplicationCore" ~name:"busy" ~ts_ns:200L
+    ~dur_ns:50L ();
+  Trace.complete trk ~cat:"ReplicationCore" ~name:"waiting" ~ts_ns:100L
+    ~dur_ns:100L ();
+  set 0L;
+  Alcotest.(check (list (pair (triple int string string) int64)))
+    "summed per (pid, track, span)"
+    [ ((0, "Batcher", "busy"), 150L); ((0, "Batcher", "waiting"), 100L) ]
+    (Trace_export.span_totals t)
+
+let test_timestamp_monotonicity () =
+  (* Per-track timestamps must be non-decreasing under both clock
+     styles: a monotone injected (simulated) clock and the live clock. *)
+  let check_monotone label t trk record =
+    for _ = 1 to 100 do
+      record ()
+    done;
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+        if Int64.compare a.Trace.ts_ns b.Trace.ts_ns > 0 then
+          Alcotest.failf "%s: timestamps decreased" label;
+        go rest
+      | _ -> ()
+    in
+    go (Trace.events trk);
+    ignore t
+  in
+  let clock, set = manual_clock () in
+  let sim = Trace.create ~clock () in
+  let sim_trk = Trace.track sim ~name:"sim" () in
+  let i = ref 0L in
+  check_monotone "sim" sim sim_trk (fun () ->
+      i := Int64.add !i 7L;
+      set !i;
+      Trace.instant sim_trk "e");
+  let live = Trace.create_live () in
+  let live_trk = Trace.track live ~name:"live" () in
+  check_monotone "live" live live_trk (fun () -> Trace.instant live_trk "e")
+
+let test_json_parser () =
+  (* of_string accepts what to_string emits, including escapes and
+     numbers; malformed input raises. *)
+  let cases =
+    [ Json.Null; Json.Bool true; Json.Int (-42); Json.Float 1.5;
+      Json.String "a\"b\\c\nd";
+      Json.List [ Json.Int 1; Json.Obj [ ("k", Json.Null) ] ];
+      Json.Obj [ ("x", Json.List []); ("y", Json.Obj []) ] ]
+  in
+  List.iter
+    (fun j ->
+       if not (Json.equal j (Json.of_string (Json.to_string j))) then
+         Alcotest.failf "roundtrip failed for %s" (Json.to_string j))
+    cases;
+  List.iter
+    (fun s ->
+       match Json.of_string s with
+       | _ -> Alcotest.failf "accepted malformed %S" s
+       | exception Json.Parse_error _ -> ())
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "1 2" ]
+
+let suite =
+  [ Alcotest.test_case "metrics: snapshot determinism" `Quick
+      test_snapshot_determinism;
+    Alcotest.test_case "metrics: label order" `Quick
+      test_label_order_same_series;
+    Alcotest.test_case "metrics: remove" `Quick test_remove;
+    Alcotest.test_case "metrics: histogram edges" `Quick test_histogram_edges;
+    Alcotest.test_case "metrics: encoders" `Quick test_text_and_json_encoders;
+    Alcotest.test_case "trace: events roundtrip" `Quick
+      test_trace_events_roundtrip;
+    Alcotest.test_case "trace: ring overflow" `Quick test_trace_ring_overflow;
+    Alcotest.test_case "trace: export well-formed" `Quick
+      test_export_wellformed;
+    Alcotest.test_case "trace: span totals" `Quick test_span_totals;
+    Alcotest.test_case "trace: timestamp monotonicity" `Quick
+      test_timestamp_monotonicity;
+    Alcotest.test_case "json: parser" `Quick test_json_parser ]
