@@ -686,6 +686,98 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* bench002: machine-readable snapshot of the headline results, written
+   as JSON so CI and the verify script can regression-check numbers
+   instead of scraping tables. Two sweeps:
+     - core scaling:     jp, n=3, cores in {1, 8, 24}  (fig4 anchor points)
+     - executor scaling: exec_threads in {1, 2, 4, 8} on an
+       execution-bound workload (the parallel-ServiceManager figure; the
+       workload keeps the leader far below the NIC ceiling so executor
+       scaling is visible rather than masked by the packet budget). *)
+
+let bench_quick = ref false
+let bench_out = ref "bench/BENCH_002.json"
+
+let bench002 () =
+  heading "bench002"
+    (Printf.sprintf "Machine-readable snapshot -> %s%s" !bench_out
+       (if !bench_quick then " (--quick)" else ""));
+  let module J = Msmr_obs.Json in
+  let warmup, duration = if !bench_quick then (0.05, 0.1) else (0.3, 1.0) in
+  let core_row cores =
+    let p = Params.default ~profile:Params.parapluie ~n:3 ~cores () in
+    let r = Jp.run { p with warmup; duration } in
+    (cores, r.Jp.throughput)
+  in
+  let exec_row exec_threads =
+    (* Execution-bound: 50 us/request (vs the calibrated ~10 us), 16
+       cores, 600 closed-loop clients. exec_threads=1 runs the exact
+       serial ServiceManager path. *)
+    let p = Params.default ~n:3 ~cores:16 () in
+    let p =
+      { p with
+        n_clients = 600;
+        warmup = (if !bench_quick then 0.05 else 0.2);
+        duration = (if !bench_quick then 0.1 else 0.5);
+        costs = { p.costs with exec_per_req = 50e-6 };
+        exec_threads }
+    in
+    let r = Jp.run p in
+    (exec_threads, r.Jp.throughput)
+  in
+  let cores_rows = List.map core_row [ 1; 8; 24 ] in
+  let exec_rows = List.map exec_row [ 1; 2; 4; 8 ] in
+  let base_cores = List.assoc 1 cores_rows in
+  let base_exec = List.assoc 1 exec_rows in
+  Printf.printf "core scaling (n=3, parapluie):\n";
+  Printf.printf "%6s %14s %8s\n" "cores" "req/s (x1000)" "speedup";
+  List.iter
+    (fun (c, t) ->
+       Printf.printf "%6d %14.1f %8.2f\n%!" c (k t) (t /. base_cores))
+    cores_rows;
+  Printf.printf "executor scaling (n=3, 16 cores, exec-bound workload):\n";
+  Printf.printf "%6s %14s %8s\n" "execs" "req/s (x1000)" "speedup";
+  List.iter
+    (fun (e, t) ->
+       Printf.printf "%6d %14.1f %8.2f\n%!" e (k t) (t /. base_exec))
+    exec_rows;
+  let row_obj key (x, tput) base =
+    J.Obj
+      [ (key, J.Int x);
+        ("throughput_rps", J.Float tput);
+        ("speedup", J.Float (tput /. base)) ]
+  in
+  let json =
+    J.Obj
+      [ ("bench", J.String "BENCH_002");
+        ("source", J.String "bench/main.exe bench002");
+        ("quick", J.Bool !bench_quick);
+        ( "core_scaling",
+          J.Obj
+            [ ("n", J.Int 3);
+              ("profile", J.String "parapluie");
+              ( "points",
+                J.List
+                  (List.map (fun r -> row_obj "cores" r base_cores) cores_rows)
+              ) ] );
+        ( "executor_scaling",
+          J.Obj
+            [ ("n", J.Int 3);
+              ("cores", J.Int 16);
+              ("exec_per_req_us", J.Float 50.0);
+              ( "points",
+                J.List
+                  (List.map
+                     (fun r -> row_obj "exec_threads" r base_exec)
+                     exec_rows) ) ] ) ]
+  in
+  let oc = open_out !bench_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !bench_out
+
+(* ------------------------------------------------------------------ *)
 (* Observability: --trace FILE runs a short traced simulation and writes
    a Chrome trace_event file; --metrics FILE dumps the metrics registry.
    See docs/OBSERVABILITY.md. *)
@@ -751,15 +843,23 @@ let experiments =
     ("fig10", fig10); ("tab2", tab2); ("fig11", fig11); ("tab3", tab3);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("ext", ext);
     ("live", live); ("live-mono", live_mono); ("ablation", ablation);
-    ("micro", micro) ]
+    ("micro", micro); ("bench002", bench002) ]
 
 let () =
   let rec parse ids trace metrics = function
     | [] -> (List.rev ids, trace, metrics)
     | "--trace" :: file :: rest -> parse ids (Some file) metrics rest
     | "--metrics" :: file :: rest -> parse ids trace (Some file) rest
-    | ("--trace" | "--metrics") :: [] ->
-      Printf.eprintf "usage: main [EXPERIMENT..] [--trace FILE] [--metrics FILE]\n";
+    | "--bench-out" :: file :: rest ->
+      bench_out := file;
+      parse ids trace metrics rest
+    | "--quick" :: rest ->
+      bench_quick := true;
+      parse ids trace metrics rest
+    | ("--trace" | "--metrics" | "--bench-out") :: [] ->
+      Printf.eprintf
+        "usage: main [EXPERIMENT..] [--trace FILE] [--metrics FILE]\n\
+        \       [--quick] [--bench-out FILE]\n";
       exit 2
     | id :: rest -> parse (id :: ids) trace metrics rest
   in

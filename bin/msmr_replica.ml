@@ -27,7 +27,7 @@ let parse_addr s =
            Error (`Msg (Printf.sprintf "cannot resolve %S" host))))
 
 let run id nodes client_port service_name window batch_bytes batch_delay_ms
-    verbose =
+    executors verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -59,7 +59,8 @@ let run id nodes client_port service_name window batch_bytes batch_delay_ms
   Printf.printf "replica %d/%d: establishing mesh...\n%!" id n;
   let links = Msmr_runtime.Tcp_mesh.establish ~me:id ~addrs () in
   let replica =
-    Msmr_runtime.Replica.create ~cfg ~me:id ~links ~service ()
+    Msmr_runtime.Replica.create ~cfg ~me:id ~links ~service
+      ~executor_threads:executors ()
   in
   let server = Msmr_runtime.Client_server.start replica ~port:client_port in
   Printf.printf "replica %d up; clients on port %d; service %s\n%!" id
@@ -114,12 +115,20 @@ let batch_delay_ms =
     value & opt float 5.0
     & info [ "batch-delay" ] ~doc:"Max batch delay in milliseconds.")
 
+let executors =
+  Arg.(
+    value & opt int 1
+    & info [ "executors" ]
+        ~doc:
+          "Executor threads for the parallel ServiceManager; 1 (default) \
+           keeps the paper's serial execution.")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log to stderr.")
 
 let cmd =
   Cmd.v
     (Cmd.info "msmr_replica" ~doc:"Run one replica of the replicated state machine")
     Term.(const run $ id $ nodes $ client_port $ service_name $ window
-          $ batch_bytes $ batch_delay_ms $ verbose)
+          $ batch_bytes $ batch_delay_ms $ executors $ verbose)
 
 let () = exit (Cmd.eval cmd)

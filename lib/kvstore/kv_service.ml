@@ -1,4 +1,5 @@
 module Codec = Msmr_wire.Codec
+module Cmap = Msmr_platform.Concurrent_map
 
 type command =
   | Put of { key : string; value : string; ephemeral : bool }
@@ -16,7 +17,7 @@ type reply =
   | Error of string
 
 let encode_command cmd =
-  let w = Codec.W.create () in
+  Codec.W.with_pool @@ fun w ->
   (match cmd with
    | Put { key; value; ephemeral } ->
      Codec.W.u8 w 1;
@@ -39,7 +40,7 @@ let encode_command cmd =
    | List_keys prefix ->
      Codec.W.u8 w 6;
      Codec.W.string w prefix);
-  Codec.W.contents w
+  Codec.W.to_bytes w
 
 let decode_command b =
   let r = Codec.R.of_bytes b in
@@ -64,7 +65,7 @@ let decode_command b =
   cmd
 
 let encode_reply rep =
-  let w = Codec.W.create () in
+  Codec.W.with_pool @@ fun w ->
   (match rep with
    | Ok_unit -> Codec.W.u8 w 1
    | Ok_value None -> Codec.W.u8 w 2
@@ -81,7 +82,7 @@ let encode_reply rep =
    | Error msg ->
      Codec.W.u8 w 6;
      Codec.W.string w msg);
-  Codec.W.contents w
+  Codec.W.to_bytes w
 
 let decode_reply b =
   let r = Codec.R.of_bytes b in
@@ -101,50 +102,63 @@ let decode_reply b =
   Codec.R.expect_end r;
   rep
 
+(* The conflict class of a command: per-key commands conflict only on
+   their key, whole-store commands (session expiry, prefix scans) are
+   Global and get serialised by the executor barrier. A malformed payload
+   touches nothing (it only produces an error reply). *)
+let conflict_of_command = function
+  | Put { key; _ } | Get key | Delete key | Incr { key; _ } ->
+    Msmr_runtime.Service.Keys [ key ]
+  | Expire_session _ | List_keys _ -> Msmr_runtime.Service.Global
+
 module Store = struct
   type entry = {
     value : string;
     owner : int option;   (* session id for ephemeral keys *)
   }
 
+  (* Sharded map, not a plain Hashtbl: with the parallel ServiceManager,
+     [apply] runs concurrently from several executor threads for commands
+     on different keys. Commands on the same key are serialised by the
+     executor routing, and Global commands (plus snapshot/restore) only
+     run with the executors quiescent. *)
   type t = {
-    mutable table : (string, entry) Hashtbl.t;
+    table : (string, entry) Cmap.t;
   }
 
-  let create () = { table = Hashtbl.create 256 }
+  let create () = { table = Cmap.create ~shards:16 () }
 
   let apply t ~session cmd =
     match cmd with
     | Put { key; value; ephemeral } ->
-      Hashtbl.replace t.table key
+      Cmap.set t.table key
         { value; owner = (if ephemeral then Some session else None) };
       Ok_unit
     | Get key ->
-      Ok_value
-        (Option.map (fun e -> e.value) (Hashtbl.find_opt t.table key))
+      Ok_value (Option.map (fun e -> e.value) (Cmap.find_opt t.table key))
     | Delete key ->
-      Hashtbl.remove t.table key;
+      Cmap.remove t.table key;
       Ok_unit
     | Incr { key; by } ->
       let current =
-        match Hashtbl.find_opt t.table key with
+        match Cmap.find_opt t.table key with
         | Some e -> (try int_of_string e.value with Failure _ -> 0)
         | None -> 0
       in
       let next = current + by in
-      Hashtbl.replace t.table key { value = string_of_int next; owner = None };
+      Cmap.set t.table key { value = string_of_int next; owner = None };
       Ok_int next
     | Expire_session s ->
       let doomed =
-        Hashtbl.fold
+        Cmap.fold
           (fun k e acc -> if e.owner = Some s then k :: acc else acc)
           t.table []
       in
-      List.iter (Hashtbl.remove t.table) doomed;
+      List.iter (Cmap.remove t.table) doomed;
       Ok_int (List.length doomed)
     | List_keys prefix ->
       let keys =
-        Hashtbl.fold
+        Cmap.fold
           (fun k _ acc ->
              if String.starts_with ~prefix k then k :: acc else acc)
           t.table []
@@ -153,14 +167,13 @@ module Store = struct
 
   let snapshot t =
     let w = Codec.W.create () in
-    Codec.W.i32 w (Hashtbl.length t.table);
     (* Deterministic order so snapshots are comparable across replicas. *)
     let bindings =
-      List.sort compare
-        (Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.table [])
+      List.sort compare (Cmap.fold (fun k e acc -> (k, e) :: acc) t.table [])
     in
+    Codec.W.i32 w (List.length bindings);
     List.iter
-      (fun (k, e) ->
+      (fun (k, (e : entry)) ->
          Codec.W.string w k;
          Codec.W.string w e.value;
          match e.owner with
@@ -174,16 +187,15 @@ module Store = struct
   let restore t b =
     let r = Codec.R.of_bytes b in
     let count = Codec.R.i32 r in
-    let table = Hashtbl.create (max 16 count) in
+    Cmap.clear t.table;
     for _ = 1 to count do
       let k = Codec.R.string r in
       let value = Codec.R.string r in
       let owner = if Codec.R.bool r then Some (Codec.R.int_from_i64 r) else None in
-      Hashtbl.replace table k { value; owner }
-    done;
-    t.table <- table
+      Cmap.set t.table k { value; owner }
+    done
 
-  let size t = Hashtbl.length t.table
+  let size t = Cmap.length t.table
 end
 
 let make () =
@@ -198,4 +210,11 @@ let make () =
          in
          encode_reply reply);
     snapshot = (fun () -> Store.snapshot store);
-    restore = (fun b -> Store.restore store b) }
+    restore = (fun b -> Store.restore store b);
+    conflict_keys =
+      (fun req ->
+         match decode_command req.payload with
+         | cmd -> conflict_of_command cmd
+         | exception (Codec.Underflow | Codec.Malformed _) ->
+           (* Touches no state; conflicts with nothing. *)
+           Msmr_runtime.Service.Keys []) }

@@ -1,4 +1,5 @@
 module Codec = Msmr_wire.Codec
+module Cmap = Msmr_platform.Concurrent_map
 
 type command =
   | Acquire of string
@@ -16,7 +17,7 @@ type reply =
   | Error of string
 
 let encode_command cmd =
-  let w = Codec.W.create () in
+  Codec.W.with_pool @@ fun w ->
   (match cmd with
    | Acquire name ->
      Codec.W.u8 w 1;
@@ -30,7 +31,7 @@ let encode_command cmd =
    | Expire_session s ->
      Codec.W.u8 w 4;
      Codec.W.int_as_i64 w s);
-  Codec.W.contents w
+  Codec.W.to_bytes w
 
 let decode_command b =
   let r = Codec.R.of_bytes b in
@@ -46,7 +47,7 @@ let decode_command b =
   cmd
 
 let encode_reply rep =
-  let w = Codec.W.create () in
+  Codec.W.with_pool @@ fun w ->
   (match rep with
    | Granted -> Codec.W.u8 w 1
    | Busy holder ->
@@ -64,7 +65,7 @@ let encode_reply rep =
    | Error msg ->
      Codec.W.u8 w 8;
      Codec.W.string w msg);
-  Codec.W.contents w
+  Codec.W.to_bytes w
 
 let decode_reply b =
   let r = Codec.R.of_bytes b in
@@ -83,37 +84,48 @@ let decode_reply b =
   Codec.R.expect_end r;
   rep
 
+(* Single-lock commands conflict only on the lock's name; session expiry
+   scans every lock and is Global. *)
+let conflict_of_command = function
+  | Acquire name | Release name | Holder name ->
+    Msmr_runtime.Service.Keys [ name ]
+  | Expire_session _ -> Msmr_runtime.Service.Global
+
 let make () =
-  let locks : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Sharded map so [apply] may run concurrently for different lock names
+     under the parallel ServiceManager. Commands on the same name are
+     serialised by executor routing, so the find-then-set sequences below
+     are race-free without a per-name CAS. *)
+  let locks : (string, int) Cmap.t = Cmap.create ~shards:16 () in
   let apply ~session cmd =
     match cmd with
     | Acquire name -> (
-        match Hashtbl.find_opt locks name with
+        match Cmap.find_opt locks name with
         | None ->
-          Hashtbl.replace locks name session;
+          Cmap.set locks name session;
           Granted
         | Some holder when holder = session -> Granted (* re-entrant *)
         | Some holder -> Busy holder)
     | Release name -> (
-        match Hashtbl.find_opt locks name with
+        match Cmap.find_opt locks name with
         | Some holder when holder = session ->
-          Hashtbl.remove locks name;
+          Cmap.remove locks name;
           Released
         | Some _ | None -> Not_holder)
-    | Holder name -> Holder_is (Hashtbl.find_opt locks name)
+    | Holder name -> Holder_is (Cmap.find_opt locks name)
     | Expire_session s ->
       let doomed =
-        Hashtbl.fold
+        Cmap.fold
           (fun name holder acc -> if holder = s then name :: acc else acc)
           locks []
       in
-      List.iter (Hashtbl.remove locks) doomed;
+      List.iter (Cmap.remove locks) doomed;
       Expired (List.length doomed)
   in
   let snapshot () =
     let w = Codec.W.create () in
     let bindings =
-      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) locks [])
+      List.sort compare (Cmap.fold (fun k v acc -> (k, v) :: acc) locks [])
     in
     Codec.W.i32 w (List.length bindings);
     List.iter
@@ -125,12 +137,12 @@ let make () =
   in
   let restore b =
     let r = Codec.R.of_bytes b in
-    Hashtbl.reset locks;
+    Cmap.clear locks;
     let count = Codec.R.i32 r in
     for _ = 1 to count do
       let name = Codec.R.string r in
       let holder = Codec.R.int_from_i64 r in
-      Hashtbl.replace locks name holder
+      Cmap.set locks name holder
     done
   in
   { Msmr_runtime.Service.execute =
@@ -143,4 +155,10 @@ let make () =
          in
          encode_reply reply);
     snapshot;
-    restore }
+    restore;
+    conflict_keys =
+      (fun req ->
+         match decode_command req.payload with
+         | cmd -> conflict_of_command cmd
+         | exception (Codec.Underflow | Codec.Malformed _) ->
+           Msmr_runtime.Service.Keys []) }

@@ -23,5 +23,7 @@ let module_of_thread name =
           || name = "FailureDetector"
           || name = "Retransmitter"
   then "ReplicationCore"
-  else if name = "Replica" || name = "Syncer" then "ServiceManager"
+  else if name = "Replica" || name = "Syncer"
+          || has_prefix ~prefix:"Executor" name
+  then "ServiceManager"
   else "Other"

@@ -8,18 +8,19 @@ module Client_msg = Msmr_wire.Client_msg
 module Codec = Msmr_wire.Codec
 
 type sink = bytes -> unit
+type batch_sink = bytes list -> unit
 
 type worker_ctx = {
-  ingress : (bytes * sink) Bq.t;
-  replies : (Client_msg.reply * sink) Mpsc.t;
+  ingress : (bytes * sink * batch_sink option) Bq.t;
+  replies : (Client_msg.reply * sink * batch_sink option) Mpsc.t;
 }
 
 type t = {
   workers : worker_ctx array;
   threads : Worker.t list;
-  (* client_id -> (worker index, reply sink); written by ClientIO threads,
+  (* client_id -> (worker index, reply sinks); written by ClientIO threads,
      read by the ServiceManager. *)
-  routes : (int, int * sink) Cmap.t;
+  routes : (int, int * sink * batch_sink option) Cmap.t;
   request_queue : Client_msg.request Bq.t;
   reply_cache : Reply_cache.t;
   (* Registry counters (docs/OBSERVABILITY.md): atomic adds, no locks. *)
@@ -27,10 +28,46 @@ type t = {
   m_requests : Msmr_obs.Metrics.counter;
   m_replies : Msmr_obs.Metrics.counter;
   m_malformed : Msmr_obs.Metrics.counter;
+  m_flushes : Msmr_obs.Metrics.counter;
 }
 
 let worker_of_client t client_id =
   client_id mod Array.length t.workers
+
+(* Drain every queued reply in one pass, grouping consecutive replies to
+   the same connection so a connection with a [batch_sink] gets the whole
+   run in a single write (Frame.write_many → one write(2)). Groups
+   preserve per-connection FIFO order; one registry "flush" is counted
+   per non-empty pass. *)
+let drain_replies t (ctx : worker_ctx) =
+  let rec collect acc =
+    match Mpsc.pop ctx.replies with
+    | Some item -> collect (item :: acc)
+    | None -> List.rev acc
+  in
+  match collect [] with
+  | [] -> false
+  | items ->
+    (* (sink, batch_sink, payloads in reverse), newest group first. *)
+    let groups : (sink * batch_sink option * bytes list ref) list ref =
+      ref []
+    in
+    List.iter
+      (fun (reply, sink, many) ->
+         let payload = Client_msg.reply_to_bytes reply in
+         Msmr_obs.Metrics.incr t.m_replies;
+         match List.find_opt (fun (s, _, _) -> s == sink) !groups with
+         | Some (_, _, payloads) -> payloads := payload :: !payloads
+         | None -> groups := (sink, many, ref [ payload ]) :: !groups)
+      items;
+    List.iter
+      (fun (sink, many, payloads) ->
+         match (many, List.rev !payloads) with
+         | Some write_many, (_ :: _ :: _ as ps) -> write_many ps
+         | _, ps -> List.iter sink ps)
+      (List.rev !groups);
+    Msmr_obs.Metrics.incr t.m_flushes;
+    true
 
 (* One ClientIO thread: drain replies eagerly (they are cheap and the
    ServiceManager must never wait), push at most one decoded request at a
@@ -40,16 +77,8 @@ let worker_loop t idx st =
   let pending : Client_msg.request option ref = ref None in
   let running = ref true in
   while !running do
-    (* 1. Replies out. *)
-    let rec drain () =
-      match Mpsc.pop ctx.replies with
-      | Some (reply, sink) ->
-        sink (Client_msg.reply_to_bytes reply);
-        Msmr_obs.Metrics.incr t.m_replies;
-        drain ()
-      | None -> ()
-    in
-    drain ();
+    (* 1. Replies out (coalesced per connection). *)
+    ignore (drain_replies t ctx);
     (* 2. Back-pressured hand-off to the Batcher. *)
     (match !pending with
      | Some req ->
@@ -65,7 +94,7 @@ let worker_loop t idx st =
             context switches than it saves in latency. *)
          match Bq.take_timeout ~st ctx.ingress ~timeout_s:0.001 with
          | None -> ()
-         | Some (raw, sink) -> (
+         | Some (raw, sink, many) -> (
              match Client_msg.request_of_bytes raw with
              | req -> (
                  Msmr_obs.Metrics.incr t.m_requests;
@@ -74,7 +103,7 @@ let worker_loop t idx st =
                    sink (Client_msg.reply_to_bytes { id = req.id; result })
                  | Reply_cache.Stale -> ()
                  | Reply_cache.Fresh ->
-                   Cmap.set t.routes req.id.client_id (idx, sink);
+                   Cmap.set t.routes req.id.client_id (idx, sink, many);
                    pending := Some req)
              | exception (Codec.Underflow | Codec.Malformed _) ->
                (* Malformed request: drop it, as a server would drop a
@@ -83,14 +112,11 @@ let worker_loop t idx st =
          | exception Bq.Closed -> running := false))
   done;
   (* Shutdown: flush any replies already routed to us. *)
-  let rec flush () =
-    match Mpsc.pop ctx.replies with
-    | Some (reply, sink) ->
-      sink (Client_msg.reply_to_bytes reply);
-      flush ()
-    | None -> ()
-  in
-  flush ()
+  ignore (drain_replies t ctx)
+
+let metric_names =
+  [ "msmr_client_io_requests_total"; "msmr_client_io_replies_total";
+    "msmr_client_io_malformed_total"; "msmr_client_io_flushes" ]
 
 let create ?(name_prefix = "") ~pool_size ~request_queue ~reply_cache () =
   if pool_size <= 0 then invalid_arg "Client_io.create: pool_size <= 0";
@@ -112,7 +138,9 @@ let create ?(name_prefix = "") ~pool_size ~request_queue ~reply_cache () =
         Msmr_obs.Metrics.counter ~labels:m_labels "msmr_client_io_replies_total";
       m_malformed =
         Msmr_obs.Metrics.counter ~labels:m_labels
-          "msmr_client_io_malformed_total" }
+          "msmr_client_io_malformed_total";
+      m_flushes =
+        Msmr_obs.Metrics.counter ~labels:m_labels "msmr_client_io_flushes" }
   in
   let threads =
     List.init pool_size (fun i ->
@@ -121,7 +149,7 @@ let create ?(name_prefix = "") ~pool_size ~request_queue ~reply_cache () =
   in
   { t with threads }
 
-let submit t ~raw ~reply_to =
+let submit ?reply_many t ~raw ~reply_to =
   (* Cheap peek at the client id (first i32) to pick the owning worker,
      without a full decode — the worker does that. *)
   let client_id =
@@ -129,11 +157,11 @@ let submit t ~raw ~reply_to =
     else 0
   in
   let idx = worker_of_client t (abs client_id) in
-  Bq.put t.workers.(idx).ingress (raw, reply_to)
+  Bq.put t.workers.(idx).ingress (raw, reply_to, reply_many)
 
 let deliver_reply t (reply : Client_msg.reply) =
   match Cmap.find_opt t.routes reply.id.client_id with
-  | Some (idx, sink) -> Mpsc.push t.workers.(idx).replies (reply, sink)
+  | Some (idx, sink, many) -> Mpsc.push t.workers.(idx).replies (reply, sink, many)
   | None -> ()
 
 let ingress_length t =
@@ -144,5 +172,4 @@ let stop t =
   Worker.join_all t.threads;
   List.iter
     (fun name -> Msmr_obs.Metrics.remove ~labels:t.m_labels name)
-    [ "msmr_client_io_requests_total"; "msmr_client_io_replies_total";
-      "msmr_client_io_malformed_total" ]
+    metric_names

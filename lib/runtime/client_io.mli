@@ -20,6 +20,12 @@ type sink = bytes -> unit
 (** Where a serialised reply is delivered (in-process callback or socket
     write). *)
 
+type batch_sink = bytes list -> unit
+(** Optional coalesced variant of {!sink}: delivers a whole run of replies
+    for one connection in a single call, letting socket-backed connections
+    flush them with one buffered write ({!Msmr_wire.Frame.write_many}).
+    Payloads are in delivery order. *)
+
 val create :
   ?name_prefix:string ->
   pool_size:int ->
@@ -29,11 +35,14 @@ val create :
   t
 (** Starts [pool_size] threads named [<prefix>ClientIO-<i>]. *)
 
-val submit : t -> raw:bytes -> reply_to:sink -> unit
+val submit : ?reply_many:batch_sink -> t -> raw:bytes -> reply_to:sink -> unit
 (** Hand one serialised request to the pool (round-robin per client id,
     so one client always lands on the same thread, like a persistent
     connection). Blocks when that thread's ingress queue is full —
-    equivalent to TCP back-pressure on a real connection. *)
+    equivalent to TCP back-pressure on a real connection. When
+    [reply_many] is given, runs of replies destined for this connection
+    that are drained in the same pass are delivered through it instead of
+    one [reply_to] call each. *)
 
 val deliver_reply : t -> Msmr_wire.Client_msg.reply -> unit
 (** Called by the ServiceManager: route the reply to the thread owning

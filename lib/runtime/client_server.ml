@@ -30,11 +30,24 @@ let sink_of conn raw =
     try Msmr_wire.Frame.write conn.fd raw
     with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
 
+(* Coalesced variant: a whole run of replies leaves in one write(2). *)
+let batch_sink_of conn raws =
+  Mutex.lock conn.write_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.write_lock) @@ fun () ->
+  if conn.alive then
+    try Msmr_wire.Frame.write_many conn.fd raws
+    with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+
 let conn_reader t conn =
+  (* One closure pair per connection: the ClientIO drain groups replies by
+     the sink's physical identity, so the identity must be stable across
+     this connection's requests for coalescing to engage. *)
+  let reply_to = sink_of conn in
+  let reply_many = batch_sink_of conn in
   let continue = ref true in
   while !continue && conn.alive do
     match Msmr_wire.Frame.read conn.fd with
-    | Some raw -> Replica.submit t.replica ~raw ~reply_to:(sink_of conn)
+    | Some raw -> Replica.submit t.replica ~raw ~reply_to ~reply_many
     | None -> continue := false
     | exception (End_of_file | Unix.Unix_error _ | Msmr_wire.Frame.Oversized _)
       ->

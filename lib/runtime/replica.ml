@@ -34,6 +34,33 @@ type rtx_entry = {
   r_cancelled : bool Atomic.t;
 }
 
+(* Parallel ServiceManager (executor_threads > 1): a scheduler thread
+   consumes the DecisionQueue in decide order and routes each request to
+   one of [n_exec] executor threads by hashing its conflict key, so
+   commands on the same key always land on the same executor and keep
+   their decide order, while commands on different keys run concurrently.
+   Global / multi-executor commands and snapshots first quiesce the pool:
+   [exec_pending] counts dispatched-but-unfinished requests and the
+   scheduler waits on [exec_cv] until it drops to zero. *)
+type exec_pool = {
+  n_exec : int;
+  exec_qs : Client_msg.request Bq.t array;     (* one per executor *)
+  exec_pending : int Atomic.t;
+  exec_mu : Mutex.t;
+  exec_cv : Condition.t;
+  exec_dispatched : Counter.t;                 (* routed to an executor *)
+  exec_barriers : Counter.t;                   (* quiescence barriers taken *)
+  mutable exec_rr : int;    (* round-robin cursor for conflict-free cmds;
+                               scheduler-private *)
+  exec_frontier : (int, int) Hashtbl.t;
+      (* client_id -> newest seq dispatched, maintained by the scheduler
+         in decide order. At-most-once must be decided here, not on the
+         executors: a client's commands on different keys run on
+         different executors, so an executor-side newest-seq check could
+         race with a later command of the same client finishing first
+         and wrongly suppress a fresh one. Scheduler-private. *)
+}
+
 type t = {
   cfg : Config.t;
   me : Types.node_id;
@@ -51,6 +78,7 @@ type t = {
   recovered : Msmr_storage.Replica_store.recovered option;
   reply_cache : Reply_cache.t;
   mutable client_io : Client_io.t option;
+  exec_pool : exec_pool option;   (* None => serial ServiceManager *)
   fd : Failure_detector.t;
   (* Shared introspection state (single-word, lock-free). *)
   leader_now : int Atomic.t;
@@ -86,9 +114,9 @@ let queue_stats t =
     decision_queue = Bq.length t.decision_q;
     window_in_use = Atomic.get t.window_now }
 
-let submit t ~raw ~reply_to =
+let submit ?reply_many t ~raw ~reply_to =
   match t.client_io with
-  | Some cio -> Client_io.submit cio ~raw ~reply_to
+  | Some cio -> Client_io.submit ?reply_many cio ~raw ~reply_to
   | None -> invalid_arg "Replica.submit: stopped"
 
 let inject_suspect t = Bq.put t.dispatcher_q Suspect
@@ -391,7 +419,41 @@ let retransmitter_loop t st =
   done
 
 (* ------------------------------------------------------------------ *)
-(* ServiceManager (Replica) thread. *)
+(* ServiceManager. With executor_threads = 1 (the default) a single
+   Replica thread consumes the DecisionQueue and executes inline, exactly
+   the paper's single ServiceManager. With more, the same thread becomes
+   a scheduler over an executor pool (see [exec_pool] above). *)
+
+(* Execute one decided request unconditionally: service call, reply
+   cache update, reply hand-off. The caller is responsible for
+   at-most-once (the serial path checks inline; the executor pool
+   decides it at dispatch time, in decide order). *)
+let exec_request_unchecked t (req : Client_msg.request) =
+  let result = t.service.execute req in
+  Reply_cache.store t.reply_cache req.id result;
+  Counter.incr t.executed;
+  match t.client_io with
+  | Some cio -> Client_io.deliver_reply cio { id = req.id; result }
+  | None -> ()
+
+(* Serial path: at-most-once check + execute. The check-then-act is safe
+   because one thread executes everything in decide order. *)
+let exec_request t (req : Client_msg.request) =
+  (* At-most-once: a duplicate that slipped into a batch is not
+     re-executed. *)
+  if not (Reply_cache.already_executed t.reply_cache req.id) then
+    exec_request_unchecked t req
+
+(* Snapshot bookkeeping shared by both ServiceManager variants; the
+   caller guarantees quiescence. *)
+let take_snapshot t ~iid =
+  let state = t.service.snapshot () in
+  (match t.store with
+   | Some store ->
+     Msmr_storage.Replica_store.checkpoint store ~next_iid:(iid + 1) ~state
+   | None -> ());
+  try Bq.put t.dispatcher_q (Snapshot_taken { next_iid = iid + 1; state })
+  with Bq.Closed -> ()
 
 let service_manager_loop t st =
   let instances_executed = ref 0 in
@@ -403,36 +465,138 @@ let service_manager_loop t st =
     | Exec { iid; value } ->
       (match value with
        | Value.Noop -> ()
-       | Value.Batch batch ->
-         List.iter
-           (fun (req : Client_msg.request) ->
-              (* At-most-once: a duplicate that slipped into a batch is
-                 not re-executed. *)
-              if not (Reply_cache.already_executed t.reply_cache req.id)
-              then begin
-                let result = t.service.execute req in
-                Reply_cache.store t.reply_cache req.id result;
-                Counter.incr t.executed;
-                match t.client_io with
-                | Some cio ->
-                  Client_io.deliver_reply cio { id = req.id; result }
-                | None -> ()
-              end)
-           batch.requests);
+       | Value.Batch batch -> List.iter (exec_request t) batch.requests);
+      incr instances_executed;
+      if t.cfg.snapshot_every > 0
+         && !instances_executed mod t.cfg.snapshot_every = 0
+      then take_snapshot t ~iid
+  done
+
+(* --- Executor pool -------------------------------------------------- *)
+
+let pool_create ~n_exec =
+  { n_exec;
+    exec_qs = Array.init n_exec (fun _ -> Bq.create ~capacity:1024);
+    exec_pending = Atomic.make 0;
+    exec_mu = Mutex.create ();
+    exec_cv = Condition.create ();
+    exec_dispatched = Counter.create ();
+    exec_barriers = Counter.create ();
+    exec_rr = 0;
+    exec_frontier = Hashtbl.create 256 }
+
+(* Executor-side completion: the last in-flight request wakes the
+   scheduler if it is blocked in a barrier. The broadcast takes the mutex,
+   and the scheduler re-checks the counter under it, so the wake-up cannot
+   be lost. *)
+let pool_complete pool =
+  if Atomic.fetch_and_add pool.exec_pending (-1) = 1 then begin
+    Mutex.lock pool.exec_mu;
+    Condition.broadcast pool.exec_cv;
+    Mutex.unlock pool.exec_mu
+  end
+
+let executor_loop t pool idx st =
+  let q = pool.exec_qs.(idx) in
+  let continue = ref true in
+  while !continue do
+    match Bq.take ~st q with
+    | req ->
+      (* No at-most-once check here: the scheduler already decided it
+         (exec_frontier) in decide order. *)
+      (try exec_request_unchecked t req
+       with e ->
+         (* Never leave the barrier counter stuck. *)
+         pool_complete pool;
+         raise e);
+      pool_complete pool
+    | exception Bq.Closed -> continue := false
+  done
+
+(* Quiescence barrier: wait until every dispatched request has executed.
+   Run only from the scheduler thread, which is also the only dispatcher,
+   so the counter cannot grow while we wait. *)
+let pool_quiesce pool st =
+  Counter.incr pool.exec_barriers;
+  if Atomic.get pool.exec_pending > 0 then
+    Thread_state.enter st Thread_state.Waiting (fun () ->
+        Mutex.lock pool.exec_mu;
+        while Atomic.get pool.exec_pending > 0 do
+          Condition.wait pool.exec_cv pool.exec_mu
+        done;
+        Mutex.unlock pool.exec_mu)
+
+let pool_send pool st idx req =
+  Atomic.incr pool.exec_pending;
+  Counter.incr pool.exec_dispatched;
+  match Bq.put ~st pool.exec_qs.(idx) req with
+  | () -> ()
+  | exception Bq.Closed ->
+    (* Shutdown mid-dispatch: the request is dropped (as the serial loop
+       drops queued decisions), but the counter must not leak. *)
+    ignore (Atomic.fetch_and_add pool.exec_pending (-1))
+
+let route pool key = Hashtbl.hash key mod pool.n_exec
+
+(* At-most-once, decided by the scheduler in decide order (see
+   [exec_frontier]). Returns [true] when the request is fresh and must be
+   dispatched. Duplicates are skipped silently, exactly as the serial
+   path skips them: resending cached replies is ClientIO's job at
+   ingress. *)
+let frontier_admit pool (req : Client_msg.request) =
+  match Hashtbl.find_opt pool.exec_frontier req.id.client_id with
+  | Some newest when req.id.seq <= newest -> false
+  | _ ->
+    Hashtbl.replace pool.exec_frontier req.id.client_id req.id.seq;
+    true
+
+(* Route one decided request. Same key -> same executor queue -> decide
+   order preserved among conflicting commands; disjoint keys run
+   concurrently. Commands spanning several executors, and Global ones,
+   are executed inline between two well-defined pool states. *)
+let dispatch t pool st (req : Client_msg.request) =
+  if frontier_admit pool req then
+    match t.service.conflict_keys req with
+    | Service.Keys [] ->
+      (* Conflicts with nothing: spread over the pool. *)
+      pool.exec_rr <- (pool.exec_rr + 1) mod pool.n_exec;
+      pool_send pool st pool.exec_rr req
+    | Service.Keys [ key ] -> pool_send pool st (route pool key) req
+    | Service.Keys keys -> (
+        match List.sort_uniq compare (List.map (route pool) keys) with
+        | [ idx ] -> pool_send pool st idx req
+        | _ ->
+          pool_quiesce pool st;
+          exec_request_unchecked t req)
+    | Service.Global ->
+      pool_quiesce pool st;
+      exec_request_unchecked t req
+
+let scheduler_loop t pool st =
+  let instances_executed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Bq.take ~st t.decision_q with
+    | exception Bq.Closed -> continue := false
+    | Install { state } ->
+      (* State transfer replaces the whole service state: quiesce. *)
+      pool_quiesce pool st;
+      t.service.restore state
+    | Exec { iid; value } ->
+      (match value with
+       | Value.Noop -> ()
+       | Value.Batch batch -> List.iter (dispatch t pool st) batch.requests);
       incr instances_executed;
       if t.cfg.snapshot_every > 0
          && !instances_executed mod t.cfg.snapshot_every = 0
       then begin
-        let state = t.service.snapshot () in
-        (match t.store with
-         | Some store ->
-           Msmr_storage.Replica_store.checkpoint store ~next_iid:(iid + 1)
-             ~state
-         | None -> ());
-        try Bq.put t.dispatcher_q (Snapshot_taken { next_iid = iid + 1; state })
-        with Bq.Closed -> ()
+        (* Snapshots must capture a prefix-closed state. *)
+        pool_quiesce pool st;
+        take_snapshot t ~iid
       end
-  done
+  done;
+  (* Let the executors drain and exit. *)
+  Array.iter Bq.close pool.exec_qs
 
 (* ------------------------------------------------------------------ *)
 (* Observability: every replica exposes its queue depths, window and
@@ -451,7 +615,10 @@ let metric_names =
     "msmr_replica_decided";
     "msmr_replica_executed";
     "msmr_replica_send_queue_drops";
-    "msmr_replica_client_ingress_depth" ]
+    "msmr_replica_client_ingress_depth";
+    "msmr_replica_executor_queue_depth";
+    "msmr_replica_executor_dispatched";
+    "msmr_replica_executor_barriers" ]
 
 let register_metrics t =
   let labels = metric_labels t in
@@ -469,6 +636,19 @@ let register_metrics t =
   g "msmr_replica_client_ingress_depth" (fun () ->
       match t.client_io with
       | Some cio -> fi (Client_io.ingress_length cio)
+      | None -> 0.);
+  g "msmr_replica_executor_queue_depth" (fun () ->
+      match t.exec_pool with
+      | Some p ->
+        fi (Array.fold_left (fun acc q -> acc + Bq.length q) 0 p.exec_qs)
+      | None -> 0.);
+  g "msmr_replica_executor_dispatched" (fun () ->
+      match t.exec_pool with
+      | Some p -> fi (Counter.get p.exec_dispatched)
+      | None -> 0.);
+  g "msmr_replica_executor_barriers" (fun () ->
+      match t.exec_pool with
+      | Some p -> fi (Counter.get p.exec_barriers)
       | None -> 0.)
 
 let unregister_metrics t =
@@ -476,11 +656,14 @@ let unregister_metrics t =
   List.iter (fun name -> Msmr_obs.Metrics.remove ~labels name) metric_names
 
 let create ?(client_io_threads = 3) ?(batcher_threads = 1)
-    ?(request_queue_capacity = 1000) ?(proposal_queue_capacity = 20)
-    ?(durability = Ephemeral) ~cfg ~me ~links ~service () =
+    ?(executor_threads = 1) ?(request_queue_capacity = 1000)
+    ?(proposal_queue_capacity = 20) ?(durability = Ephemeral) ~cfg ~me ~links
+    ~service () =
   (match Config.validate cfg with
    | Ok () -> ()
    | Error e -> invalid_arg ("Replica.create: " ^ e));
+  if executor_threads < 1 then
+    invalid_arg "Replica.create: executor_threads < 1";
   let expected = List.sort compare (List.filter (fun p -> p <> me)
                                       (List.init cfg.Config.n Fun.id)) in
   let got = List.sort compare (List.map fst links) in
@@ -506,6 +689,10 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       recovered;
       reply_cache = Reply_cache.create ();
       client_io = None;
+      exec_pool =
+        (if executor_threads > 1 then
+           Some (pool_create ~n_exec:executor_threads)
+         else None);
       fd = Failure_detector.create cfg ~me ~now_ns:(Mclock.now_ns ());
       leader_now = Atomic.make 0;
       view_now = Atomic.make 0;
@@ -556,12 +743,20 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
            else Printf.sprintf "Batcher-%d" i)
           (batcher_loop i))
   in
+  let service_manager =
+    match t.exec_pool with
+    | None -> [ spawn "Replica" service_manager_loop ]
+    | Some pool ->
+      spawn "Replica" (fun t st -> scheduler_loop t pool st)
+      :: List.init pool.n_exec (fun i ->
+             Worker.spawn ~name:(Printf.sprintf "r%d/Executor-%d" me i)
+               (fun st -> executor_loop t pool i st))
+  in
   t.threads <-
     [ spawn "Protocol" protocol_loop;
       spawn "FailureDetector" fd_loop;
-      spawn "Retransmitter" retransmitter_loop;
-      spawn "Replica" service_manager_loop ]
-    @ batchers @ io_threads @ syncer;
+      spawn "Retransmitter" retransmitter_loop ]
+    @ service_manager @ batchers @ io_threads @ syncer;
   register_metrics t;
   t
 
@@ -573,6 +768,11 @@ let stop t =
     Bq.close t.proposal_q;
     Bq.close t.dispatcher_q;
     Bq.close t.decision_q;
+    (* The scheduler also closes these on exit; closing here too unblocks
+       the pool even if the scheduler is wedged. Close is idempotent. *)
+    (match t.exec_pool with
+     | Some pool -> Array.iter Bq.close pool.exec_qs
+     | None -> ());
     Array.iter Bq.close t.send_qs;
     Dq.close t.rtx_dq;
     List.iter (fun (_, (link : Transport.link)) -> link.close ()) t.links;
@@ -591,7 +791,8 @@ module Cluster = struct
     replicas : replica array;
   }
 
-  let create ?client_io_threads ?durability ~cfg ~service () =
+  let create ?client_io_threads ?executor_threads ?durability ~cfg ~service ()
+      =
     let n = cfg.Config.n in
     let hub = Transport.Hub.create ~n () in
     let replicas =
@@ -606,8 +807,8 @@ module Cluster = struct
           let durability =
             match durability with Some f -> f me | None -> Ephemeral
           in
-          create ?client_io_threads ~durability ~cfg ~me ~links
-            ~service:(service ()) ())
+          create ?client_io_threads ?executor_threads ~durability ~cfg ~me
+            ~links ~service:(service ()) ())
     in
     { hub; replicas }
 

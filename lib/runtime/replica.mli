@@ -32,6 +32,7 @@ type durability =
 val create :
   ?client_io_threads:int ->
   ?batcher_threads:int ->
+  ?executor_threads:int ->
   ?request_queue_capacity:int ->
   ?proposal_queue_capacity:int ->
   ?durability:durability ->
@@ -45,14 +46,36 @@ val create :
     (every node in [0, cfg.n) except [me]). Defaults: 3 ClientIO threads,
     1 Batcher thread (more is the paper's Section VI-B extension),
     RequestQueue capacity 1000 (the paper's setting), ProposalQueue
-    capacity 20. *)
+    capacity 20.
+
+    [executor_threads] sizes the ServiceManager. The default [1] is the
+    paper's single Replica thread executing decisions inline. With [k > 1]
+    the Replica thread becomes a scheduler over [k] Executor threads:
+    decided requests are routed by hashing the conflict keys reported by
+    {!Service.t.conflict_keys}, so commands with intersecting key sets
+    (and all [Global] ones) keep their decide order while disjoint
+    commands execute concurrently. At-most-once is decided by the
+    scheduler in decide order (a per-client dispatch frontier), so
+    duplicate suppression is exact even though a client's non-conflicting
+    commands may execute out of order on different executors. Snapshots
+    and state installs always run with the pool quiescent. Parallel
+    execution only helps services
+    that classify commands with [Keys]; a service using the default
+    [Global] classifier degenerates to serial execution plus barrier
+    overhead. *)
 
 val me : t -> Msmr_consensus.Types.node_id
 
-val submit : t -> raw:bytes -> reply_to:Client_io.sink -> unit
+val submit :
+  ?reply_many:Client_io.batch_sink ->
+  t ->
+  raw:bytes ->
+  reply_to:Client_io.sink ->
+  unit
 (** Inject one serialised client request ({!Msmr_wire.Client_msg}); the
     reply is delivered, serialised, to [reply_to]. Blocks under overload
-    (back-pressure). *)
+    (back-pressure). [reply_many], when given, receives coalesced runs of
+    replies instead (see {!Client_io.submit}). *)
 
 val is_leader : t -> bool
 val current_view : t -> Msmr_consensus.Types.view
@@ -89,13 +112,15 @@ module Cluster : sig
 
   val create :
     ?client_io_threads:int ->
+    ?executor_threads:int ->
     ?durability:(int -> durability) ->
     cfg:Msmr_consensus.Config.t ->
     service:(unit -> Service.t) ->
     unit ->
     t
   (** Fresh service instance per replica; [durability] maps a node id to
-      its storage mode (default: all ephemeral). *)
+      its storage mode (default: all ephemeral); [executor_threads] is
+      passed to every replica's {!create}. *)
 
   val replicas : t -> replica array
   val hub : t -> Transport.Hub.t

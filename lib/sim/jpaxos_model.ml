@@ -479,6 +479,7 @@ let run ?(trace = false) (p : Params.t) =
     loop ()
   in
   (* ---------------- ServiceManager (Replica thread) ---------------- *)
+  (* exec_threads = 1: the paper's serial ServiceManager, unchanged. *)
   let sm_proc node () =
     let st = Sstats.make_thread eng ~name:"Replica" in
     let (_ : Msmr_obs.Trace.track option) = register node st in
@@ -498,6 +499,87 @@ let run ?(trace = false) (p : Params.t) =
     in
     loop ()
   in
+  (* exec_threads > 1: the Replica thread becomes a scheduler over a pool
+     of Executor threads (the live runtime's conflict-aware ServiceManager).
+     Requests route by client id — the stand-in for the conflict key, so
+     one client's commands keep their decide order on one executor — and
+     a deterministic fraction [conflict_ratio] of requests is classified
+     Global: each quiesces the pool and executes on the scheduler. *)
+  let sm_parallel node () =
+    let st = Sstats.make_thread eng ~name:"Replica" in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let exec_mbs : Client_msg.request Mailbox.t array =
+      Array.init p.exec_threads (fun _ -> Mailbox.create eng ())
+    in
+    let pending = ref 0 in
+    let barrier_waiter : (unit -> unit) option ref = ref None in
+    let executor_proc idx () =
+      let est =
+        Sstats.make_thread eng ~name:(Printf.sprintf "Executor-%d" idx)
+      in
+      let (_ : Msmr_obs.Trace.track option) = register node est in
+      let rec loop () =
+        let req = Mailbox.take exec_mbs.(idx) est in
+        Cpu.work node.cpu est (cost c.exec_per_req);
+        if node == leader then
+          Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+            (Rep req.id);
+        decr pending;
+        (if !pending = 0 then
+           match !barrier_waiter with
+           | Some resume ->
+             barrier_waiter := None;
+             resume ()
+           | None -> ());
+        loop ()
+      in
+      loop ()
+    in
+    for i = 0 to p.exec_threads - 1 do
+      Engine.spawn eng
+        ~name:(Printf.sprintf "exec-%d-%d" node.id i)
+        (executor_proc i)
+    done;
+    let quiesce () =
+      if !pending > 0 then begin
+        Sstats.set st Sstats.Waiting;
+        Engine.suspend eng (fun resume -> barrier_waiter := Some resume);
+        Sstats.set st Sstats.Busy
+      end
+    in
+    (* floor-crossing pattern: request k is Global iff
+       floor(k * ratio) > floor((k-1) * ratio) — deterministic, evenly
+       spread, exactly ratio * total requests in the long run. *)
+    let total = ref 0 in
+    let classify_global () =
+      incr total;
+      p.conflict_ratio > 0.
+      && int_of_float (float_of_int !total *. p.conflict_ratio)
+         > int_of_float (float_of_int (!total - 1) *. p.conflict_ratio)
+    in
+    let dispatch (req : Client_msg.request) =
+      if classify_global () then begin
+        quiesce ();
+        Cpu.work node.cpu st (cost c.exec_per_req);
+        if node == leader then
+          Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+            (Rep req.id)
+      end
+      else begin
+        Cpu.work node.cpu st (cost c.dispatch_per_req);
+        incr pending;
+        Mailbox.push exec_mbs.(req.id.client_id mod p.exec_threads) req
+      end
+    in
+    let rec loop () =
+      let d = Squeue.take node.decision_q st in
+      (match d.d_value with
+       | Value.Noop -> ()
+       | Value.Batch batch -> List.iter dispatch batch.requests);
+      loop ()
+    in
+    loop ()
+  in
   (* ---------------- spawn everything ---------------- *)
   Array.iter
     (fun node ->
@@ -510,7 +592,8 @@ let run ?(trace = false) (p : Params.t) =
          Engine.spawn eng ~name:"batcher" (batcher_proc node b)
        done;
        Engine.spawn eng ~name:"protocol" (protocol_proc node);
-       Engine.spawn eng ~name:"sm" (sm_proc node);
+       Engine.spawn eng ~name:"sm"
+         (if p.exec_threads > 1 then sm_parallel node else sm_proc node);
        for peer = 0 to p.n - 1 do
          if peer <> node.id then begin
            Engine.spawn eng ~name:"snd" (sender_proc node peer);

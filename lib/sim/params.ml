@@ -28,6 +28,7 @@ type costs = {
   io_deser_per_msg : float;
   io_deser_per_byte : float;
   switch_cost : float;
+  dispatch_per_req : float;
 }
 
 let default_costs =
@@ -41,7 +42,8 @@ let default_costs =
     io_ser_per_byte = 4e-9;
     io_deser_per_msg = 5e-6;
     io_deser_per_byte = 4e-9;
-    switch_cost = 2e-6 }
+    switch_cost = 2e-6;
+    dispatch_per_req = 1e-6 }
 
 type t = {
   profile : profile;
@@ -59,6 +61,8 @@ type t = {
   net_contention_per_io_thread : float;
   n_batchers : int;
   rss : bool;
+  exec_threads : int;
+  conflict_ratio : float;
 }
 
 let auto_io_threads ~cores = max 1 (min 5 (cores - 1))
@@ -78,4 +82,6 @@ let default ?(profile = parapluie) ~n ~cores () =
     duration = 2.0;
     net_contention_per_io_thread = 0.016;
     n_batchers = 1;
-    rss = false }
+    rss = false;
+    exec_threads = 1;
+    conflict_ratio = 0.0 }

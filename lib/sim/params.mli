@@ -32,6 +32,9 @@ type costs = {
   io_deser_per_msg : float;
   io_deser_per_byte : float;
   switch_cost : float;   (** context switch *)
+  dispatch_per_req : float;
+      (** parallel ServiceManager: scheduler cost to classify + route one
+          request to an executor (paid only when [exec_threads > 1]) *)
 }
 
 val default_costs : costs
@@ -58,6 +61,16 @@ type t = {
   rss : bool;
       (** extension (paper footnote 5): Receive Side Scaling spreads NIC
           interrupts over cores, doubling the kernel packet budget *)
+  exec_threads : int;
+      (** extension (CBASE-style parallel ServiceManager): executor
+          threads the scheduler fans decided requests out to. [1] (the
+          default) is the paper's serial ServiceManager, simulated on the
+          exact pre-executor path. *)
+  conflict_ratio : float;
+      (** fraction of decided requests classified Global (conflicting
+          with everything): each forces a quiescence barrier before
+          executing serially on the scheduler. [0.0] = fully parallel
+          workload; [1.0] = serial. Deterministic pattern, no RNG. *)
 }
 
 val default : ?profile:profile -> n:int -> cores:int -> unit -> t

@@ -46,9 +46,9 @@ let decode_reply rd : reply =
   { id = { client_id; seq }; result }
 
 let request_to_bytes r =
-  let w = Codec.W.create ~initial:(request_wire_size r) () in
-  encode_request w r;
-  Codec.W.contents w
+  Codec.W.with_pool (fun w ->
+      encode_request w r;
+      Codec.W.to_bytes w)
 
 let request_of_bytes b =
   let rd = Codec.R.of_bytes b in
@@ -57,9 +57,9 @@ let request_of_bytes b =
   r
 
 let reply_to_bytes r =
-  let w = Codec.W.create ~initial:(16 + Bytes.length r.result) () in
-  encode_reply w r;
-  Codec.W.contents w
+  Codec.W.with_pool (fun w ->
+      encode_reply w r;
+      Codec.W.to_bytes w)
 
 let reply_of_bytes b =
   let rd = Codec.R.of_bytes b in

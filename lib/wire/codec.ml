@@ -55,6 +55,52 @@ module W = struct
   let string t s = bytes t (Bytes.unsafe_of_string s)
   let contents t = Bytes.sub t.buf 0 t.len
   let reset t = t.len <- 0
+
+  let to_bytes t =
+    if t.len = Bytes.length t.buf then begin
+      (* Exactly full: hand over the internal buffer without copying and
+         detach the writer from it. *)
+      let b = t.buf in
+      t.buf <- Bytes.create 16;
+      t.len <- 0;
+      b
+    end
+    else Bytes.sub t.buf 0 t.len
+
+  let blit_into t dst pos =
+    if pos < 0 || pos + t.len > Bytes.length dst then
+      invalid_arg "Codec.W.blit_into: destination range out of bounds";
+    Bytes.blit t.buf 0 dst pos t.len
+
+  (* Writer pool: a lock-free Treiber stack of idle writers, so hot paths
+     (one encode per message) reuse buffers instead of allocating a fresh
+     writer per message. Writers that grew past [pool_max_buf] are dropped
+     on release so a single jumbo snapshot cannot pin memory forever. *)
+  let pool_max_buf = 4096
+  let pool : t list Atomic.t = Atomic.make []
+
+  let rec pool_acquire () =
+    match Atomic.get pool with
+    | [] -> create ()
+    | w :: rest as old ->
+      if Atomic.compare_and_set pool old rest then begin
+        reset w;
+        w
+      end
+      else pool_acquire ()
+
+  let rec pool_release w =
+    if Bytes.length w.buf <= pool_max_buf then begin
+      let old = Atomic.get pool in
+      if not (Atomic.compare_and_set pool old (w :: old)) then pool_release w
+    end
+
+  let with_pool f =
+    let w = pool_acquire () in
+    let r = f w in
+    (* On exception the writer is simply not returned to the pool. *)
+    pool_release w;
+    r
 end
 
 module R = struct

@@ -38,7 +38,27 @@ module W : sig
   val contents : t -> bytes
   (** Copy of everything written so far. *)
 
+  val to_bytes : t -> bytes
+  (** Contents as an exactly-sized blob. When the internal buffer is
+      exactly full it is transferred without copying (the writer detaches
+      from it and becomes empty); otherwise this is one exact-size copy —
+      never the double buffering of [create () ... contents]. *)
+
+  val blit_into : t -> bytes -> int -> unit
+  (** [blit_into t dst pos] copies the contents into [dst] at [pos]
+      without any intermediate allocation.
+      @raise Invalid_argument if the destination range is out of
+      bounds. *)
+
   val reset : t -> unit
+
+  val with_pool : (t -> 'a) -> 'a
+  (** [with_pool f] runs [f] with a writer drawn from a global lock-free
+      pool (reset, ready to use) and returns it afterwards, so per-message
+      encoders reuse buffers instead of allocating a writer each time.
+      Thread-safe. The writer must not escape [f]; take the encoded bytes
+      out with {!to_bytes}. Oversized writers (> 4 KiB buffer) are dropped
+      rather than pooled. *)
 end
 
 module R : sig

@@ -30,6 +30,27 @@ let write fd payload =
   Bytes.blit payload 0 frame 4 len;
   write_all fd frame 0 (4 + len)
 
+let write_many fd payloads =
+  match payloads with
+  | [] -> ()
+  | [ p ] -> write fd p
+  | _ ->
+    (* One buffer, one write(2): frames of a drain pass share the
+       syscall instead of paying one each. *)
+    let total =
+      List.fold_left (fun acc p -> acc + 4 + Bytes.length p) 0 payloads
+    in
+    let buf = Bytes.create total in
+    let pos = ref 0 in
+    List.iter
+      (fun p ->
+         let len = Bytes.length p in
+         Bytes.set_int32_be buf !pos (Int32.of_int len);
+         Bytes.blit p 0 buf (!pos + 4) len;
+         pos := !pos + 4 + len)
+      payloads;
+    write_all fd buf 0 total
+
 let read fd =
   let hdr = Bytes.create 4 in
   if not (read_exactly fd hdr 4) then None

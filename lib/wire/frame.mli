@@ -14,6 +14,12 @@ val max_frame : int
 val write : Unix.file_descr -> bytes -> unit
 (** Write one frame. @raise Unix.Unix_error on I/O failure. *)
 
+val write_many : Unix.file_descr -> bytes list -> unit
+(** Write several frames with a single [write(2)] (one coalesced buffer).
+    Equivalent to [List.iter (write fd)] but cheaper; the ClientIO reply
+    drain uses it to flush a whole pass at once.
+    @raise Unix.Unix_error on I/O failure. *)
+
 val read : Unix.file_descr -> bytes option
 (** Read one frame; [None] on clean EOF at a frame boundary.
     @raise End_of_file on EOF mid-frame,

@@ -25,7 +25,8 @@ fi
 echo "== trace export smoke =="
 trace_file="$(mktemp /tmp/msmr-verify-trace.XXXXXX.json)"
 metrics_file="$(mktemp /tmp/msmr-verify-metrics.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$metrics_file"' EXIT
+bench_file="$(mktemp /tmp/msmr-verify-bench.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_file"' EXIT
 
 dune exec bin/sim_probe.exe -- --trace "$trace_file" --metrics "$metrics_file"
 
@@ -48,6 +49,28 @@ else
     esac
   done
   echo "trace: jq not installed, checked files are non-empty JSON"
+fi
+
+echo "== bench002 smoke (quick) =="
+dune exec bench/main.exe -- bench002 --quick --bench-out "$bench_file"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench_file"
+  cores_pts=$(jq '.core_scaling.points | length' "$bench_file")
+  exec_pts=$(jq '.executor_scaling.points | length' "$bench_file")
+  bad=$(jq '[.core_scaling.points[], .executor_scaling.points[]
+             | select(.throughput_rps <= 0)] | length' "$bench_file")
+  echo "bench002: $cores_pts core points, $exec_pts executor points"
+  [ "$cores_pts" -eq 3 ] || { echo "FAIL: expected 3 core points" >&2; exit 1; }
+  [ "$exec_pts" -eq 4 ] || { echo "FAIL: expected 4 executor points" >&2; exit 1; }
+  [ "$bad" -eq 0 ] || { echo "FAIL: non-positive throughput in bench002" >&2; exit 1; }
+else
+  [ -s "$bench_file" ] || { echo "FAIL: $bench_file empty" >&2; exit 1; }
+  case "$(head -c1 "$bench_file")" in
+    '{') ;;
+    *) echo "FAIL: $bench_file does not look like JSON" >&2; exit 1 ;;
+  esac
+  echo "bench002: jq not installed, checked file is non-empty JSON"
 fi
 
 echo "== verify OK =="

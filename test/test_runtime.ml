@@ -16,10 +16,12 @@ let test_cfg n =
     retransmit_interval_s = 0.05;
     catchup_interval_s = 0.02 }
 
-let with_cluster ?client_io_threads ?(n = 3) ?(service = Service.accumulator)
-    f =
+let with_cluster ?client_io_threads ?executor_threads ?cfg ?(n = 3)
+    ?(service = Service.accumulator) f =
+  let cfg = Option.value cfg ~default:(test_cfg n) in
   let cluster =
-    Replica.Cluster.create ?client_io_threads ~cfg:(test_cfg n) ~service ()
+    Replica.Cluster.create ?client_io_threads ?executor_threads ~cfg ~service
+      ()
   in
   Fun.protect ~finally:(fun () -> Replica.Cluster.stop cluster) (fun () ->
       f cluster)
@@ -440,7 +442,203 @@ let test_cluster_fault_injection_soak () =
     (string_of_int (Atomic.get sum))
     (Bytes.to_string (Client.call probe (Bytes.of_string "0")))
 
+(* ------------------------------------------------------------------ *)
+(* Parallel conflict-aware ServiceManager (executor pool). *)
+
+module Kv = Msmr_kv.Kv_service
+
+let kv_call client cmd =
+  match Kv.decode_reply (Client.call client (Kv.encode_command cmd)) with
+  | rep -> rep
+  | exception _ -> Alcotest.fail "undecodable kv reply"
+
+(* Conflicting commands keep their decide order, disjoint ones may run
+   concurrently: clients 1-3 all increment one shared key while clients
+   4-6 each own a private key; every increment must land exactly once on
+   every replica, so the final counters equal the call counts. *)
+let test_cluster_executors_kv_ordering () =
+  with_cluster ~executor_threads:4 ~service:(fun () -> Kv.make ())
+  @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let per_client = 20 in
+  let workers =
+    List.init 6 (fun i ->
+        let c = i + 1 in
+        Thread.create
+          (fun () ->
+             let client = Client.create ~cluster ~client_id:c () in
+             let key =
+               if c <= 3 then "shared" else Printf.sprintf "own-%d" c
+             in
+             for _ = 1 to per_client do
+               match kv_call client (Kv.Incr { key; by = 1 }) with
+               | Kv.Ok_int _ -> ()
+               | _ -> Alcotest.fail "expected Ok_int"
+             done)
+          ())
+  in
+  List.iter Thread.join workers;
+  let total = 6 * per_client in
+  let replicas = Replica.Cluster.replicas cluster in
+  await ~what:"executor convergence" (fun () ->
+      Array.for_all (fun r -> Replica.executed_count r = total) replicas);
+  let probe = Client.create ~cluster ~client_id:99 () in
+  (match kv_call probe (Kv.Get "shared") with
+   | Kv.Ok_value (Some v) ->
+     Alcotest.(check string) "shared key sum" "60" v
+   | _ -> Alcotest.fail "missing shared key");
+  for c = 4 to 6 do
+    match kv_call probe (Kv.Get (Printf.sprintf "own-%d" c)) with
+    | Kv.Ok_value (Some v) -> Alcotest.(check string) "own key" "20" v
+    | _ -> Alcotest.fail "missing own key"
+  done;
+  (* A Global command (prefix scan) sees a consistent quiesced state. *)
+  match kv_call probe (Kv.List_keys "") with
+  | Kv.Ok_keys keys -> Alcotest.(check int) "all keys present" 4 (List.length keys)
+  | _ -> Alcotest.fail "expected Ok_keys"
+
+(* Regression: a client's commands on distinct keys land on different
+   executors, so out of decide order a later command can finish first.
+   At-most-once must therefore be decided by the scheduler in decide
+   order (the dispatch frontier) — an executor-side newest-seq check
+   would wrongly suppress the earlier, still-fresh command (observed
+   live as followers permanently under-executing). *)
+let test_cluster_executors_pipelined_client () =
+  with_cluster ~executor_threads:4 ~service:(fun () -> Kv.make ())
+  @@ fun cluster ->
+  let leader = Replica.Cluster.await_leader cluster in
+  let n = 300 in
+  let replies = Msmr_platform.Bounded_queue.create ~capacity:(n + 8) in
+  let sink b = ignore (Msmr_platform.Bounded_queue.try_put replies b) in
+  for s = 1 to n do
+    let raw =
+      Client_msg.request_to_bytes
+        { id = rid 9 s;
+          payload =
+            Kv.encode_command
+              (Kv.Incr { key = Printf.sprintf "pk-%d" s; by = 1 }) }
+    in
+    Replica.submit leader ~raw ~reply_to:sink
+  done;
+  await ~what:"all pipelined replies" (fun () ->
+      Msmr_platform.Bounded_queue.length replies >= n);
+  Array.iter
+    (fun r ->
+       await ~what:"replica executed every command" (fun () ->
+           Replica.executed_count r = n))
+    (Replica.Cluster.replicas cluster);
+  let client = Client.create ~cluster ~client_id:10 () in
+  match kv_call client (Kv.List_keys "pk-") with
+  | Kv.Ok_keys keys ->
+    Alcotest.(check int) "one key per command" n (List.length keys)
+  | _ -> Alcotest.fail "expected Ok_keys"
+
+(* At-most-once survives parallel execution: the scheduler's dispatch
+   frontier rejects duplicate sequence numbers in decide order and
+   resends the cached reply. *)
+let test_cluster_executors_duplicate_suppression () =
+  with_cluster ~executor_threads:4 ~service:(fun () -> Kv.make ())
+  @@ fun cluster ->
+  let leader = Replica.Cluster.await_leader cluster in
+  let raw =
+    Client_msg.request_to_bytes
+      { id = rid 7 1; payload = Kv.encode_command (Kv.Incr { key = "k"; by = 3 }) }
+  in
+  let replies = Msmr_platform.Bounded_queue.create ~capacity:8 in
+  let sink b = ignore (Msmr_platform.Bounded_queue.try_put replies b) in
+  Replica.submit leader ~raw ~reply_to:sink;
+  await ~what:"first execution" (fun () -> Replica.executed_count leader = 1);
+  Replica.submit leader ~raw ~reply_to:sink;
+  Replica.submit leader ~raw ~reply_to:sink;
+  await ~what:"duplicate replies" (fun () ->
+      Msmr_platform.Bounded_queue.length replies >= 3);
+  Mclock.sleep_s 0.05;
+  Alcotest.(check int) "executed once" 1 (Replica.executed_count leader);
+  let rec check_all () =
+    match Msmr_platform.Bounded_queue.try_take replies with
+    | None -> ()
+    | Some raw ->
+      let rep = Client_msg.reply_of_bytes raw in
+      (match Kv.decode_reply rep.result with
+       | Kv.Ok_int 3 -> ()
+       | _ -> Alcotest.fail "duplicate reply differs");
+      check_all ()
+  in
+  check_all ()
+
+(* Snapshots run against a quiesced pool: with snapshot_every low enough
+   to fire many times mid-workload, no increment is lost or doubled. *)
+let test_cluster_executors_snapshot_quiescence () =
+  let cfg = { (test_cfg 3) with snapshot_every = 5 } in
+  with_cluster ~executor_threads:4 ~cfg ~service:(fun () -> Kv.make ())
+  @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let workers =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+             let client = Client.create ~cluster ~client_id:(i + 1) () in
+             for k = 1 to 25 do
+               let key = Printf.sprintf "key-%d" (k mod 7) in
+               ignore (kv_call client (Kv.Incr { key; by = 1 }))
+             done)
+          ())
+  in
+  List.iter Thread.join workers;
+  let replicas = Replica.Cluster.replicas cluster in
+  await ~what:"snapshot-era convergence" (fun () ->
+      Array.for_all (fun r -> Replica.executed_count r = 100) replicas);
+  let probe = Client.create ~cluster ~client_id:42 () in
+  let sum = ref 0 in
+  for k = 0 to 6 do
+    match kv_call probe (Kv.Get (Printf.sprintf "key-%d" k)) with
+    | Kv.Ok_value (Some v) -> sum := !sum + int_of_string v
+    | Kv.Ok_value None -> ()
+    | _ -> Alcotest.fail "expected Ok_value"
+  done;
+  Alcotest.(check int) "every increment exactly once" 100 !sum
+
+(* A service that classifies everything Global (the accumulator) must
+   stay exactly-once and ordered under an executor pool: every command
+   takes the quiescence barrier and runs serially. *)
+let test_cluster_executors_global_service () =
+  with_cluster ~executor_threads:4 @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let nclients = 4 and per_client = 15 in
+  let sum = Atomic.make 0 in
+  let workers =
+    List.init nclients (fun c ->
+        Thread.create
+          (fun () ->
+             let client = Client.create ~cluster ~client_id:(c + 1) () in
+             for i = 1 to per_client do
+               let v = (c * per_client) + i in
+               ignore (Client.call client (Bytes.of_string (string_of_int v)));
+               ignore (Atomic.fetch_and_add sum v)
+             done)
+          ())
+  in
+  List.iter Thread.join workers;
+  let total_reqs = nclients * per_client in
+  let replicas = Replica.Cluster.replicas cluster in
+  await ~what:"global-service convergence" (fun () ->
+      Array.for_all (fun r -> Replica.executed_count r = total_reqs) replicas);
+  let probe = Client.create ~cluster ~client_id:999 () in
+  Alcotest.(check string) "deterministic sum"
+    (string_of_int (Atomic.get sum))
+    (Bytes.to_string (Client.call probe (Bytes.of_string "0")))
+
 let suite =
   suite
   @ [ Alcotest.test_case "cluster: fault-injection soak" `Slow
-        test_cluster_fault_injection_soak ]
+        test_cluster_fault_injection_soak;
+      Alcotest.test_case "cluster: executors keep kv ordering" `Quick
+        test_cluster_executors_kv_ordering;
+      Alcotest.test_case "cluster: executors handle pipelined client" `Quick
+        test_cluster_executors_pipelined_client;
+      Alcotest.test_case "cluster: executors suppress duplicates" `Quick
+        test_cluster_executors_duplicate_suppression;
+      Alcotest.test_case "cluster: executors quiesce for snapshots" `Quick
+        test_cluster_executors_snapshot_quiescence;
+      Alcotest.test_case "cluster: executors with Global-only service" `Quick
+        test_cluster_executors_global_service ]

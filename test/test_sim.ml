@@ -304,6 +304,60 @@ let test_jpaxos_rtt_leader_inflated () =
     true
     (r.rtt_leader > 5. *. r.rtt_idle)
 
+(* Parallel ServiceManager (executor pool) in the model. *)
+
+(* Golden pre-executor numbers for [small_params ()]: exec_threads = 1
+   must take the exact serial ServiceManager path, so throughput stays
+   within tolerance of the value measured before the executor pool was
+   introduced (33_500 req/s). *)
+let test_jpaxos_exec1_matches_serial_baseline () =
+  let p = { (small_params ()) with exec_threads = 1 } in
+  let r = Jpaxos_model.run p in
+  let lo = 33_500. *. 0.95 and hi = 33_500. *. 1.05 in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.0f within 5%% of 33500" r.throughput)
+    true
+    (r.throughput >= lo && r.throughput <= hi)
+
+let exec_heavy exec_threads =
+  (* Execution-bound workload: 50 us/request keeps the leader far below
+     the NIC packet ceiling, so executor scaling is visible. *)
+  let p = Params.default ~n:3 ~cores:16 () in
+  { p with
+    n_clients = 600; warmup = 0.2; duration = 0.5;
+    costs = { p.costs with exec_per_req = 50e-6 };
+    exec_threads }
+
+let test_jpaxos_executors_scale () =
+  let r1 = Jpaxos_model.run (exec_heavy 1) in
+  let r4 = Jpaxos_model.run (exec_heavy 4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 executors (%.0f) >= 2x serial (%.0f)" r4.throughput
+       r1.throughput)
+    true
+    (r4.throughput >= 2. *. r1.throughput);
+  let threads = List.map fst r4.replicas.(0).threads in
+  Alcotest.(check bool) "executor threads reported" true
+    (List.mem "Executor-0" threads && List.mem "Executor-3" threads)
+
+let test_jpaxos_executors_conflicts_serialise () =
+  (* conflict_ratio 1.0: every request quiesces the pool and runs on the
+     scheduler — the pool buys nothing over serial execution. *)
+  let r1 = Jpaxos_model.run (exec_heavy 1) in
+  let rc = Jpaxos_model.run { (exec_heavy 4) with conflict_ratio = 1.0 } in
+  Alcotest.(check bool)
+    (Printf.sprintf "all-conflicting (%.0f) ~ serial (%.0f)" rc.throughput
+       r1.throughput)
+    true
+    (rc.throughput <= r1.throughput *. 1.1)
+
+let test_jpaxos_executors_deterministic () =
+  let p = { (small_params ()) with exec_threads = 4; conflict_ratio = 0.05 } in
+  let r1 = Jpaxos_model.run p in
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check (float 0.)) "same throughput" r1.throughput r2.throughput;
+  Alcotest.(check int) "same event count" r1.events r2.events
+
 let suite =
   [
     Alcotest.test_case "engine: delay ordering" `Quick test_engine_delay_ordering;
@@ -330,4 +384,12 @@ let suite =
     Alcotest.test_case "jpaxos model: window respected" `Quick test_jpaxos_window_respected;
     Alcotest.test_case "jpaxos model: leader RTT inflated" `Slow
       test_jpaxos_rtt_leader_inflated;
+    Alcotest.test_case "jpaxos model: exec_threads=1 matches serial baseline"
+      `Quick test_jpaxos_exec1_matches_serial_baseline;
+    Alcotest.test_case "jpaxos model: executors scale low-conflict workload"
+      `Slow test_jpaxos_executors_scale;
+    Alcotest.test_case "jpaxos model: all-conflicting degenerates to serial"
+      `Slow test_jpaxos_executors_conflicts_serialise;
+    Alcotest.test_case "jpaxos model: deterministic with executors" `Quick
+      test_jpaxos_executors_deterministic;
   ]

@@ -149,6 +149,50 @@ let test_frame_oversized () =
   Unix.close wr;
   Unix.close rd
 
+let test_codec_to_bytes_and_blit () =
+  let w = Codec.W.create () in
+  Codec.W.string w "abc";
+  let copy = Bytes.create 16 in
+  Bytes.fill copy 0 16 '.';
+  Codec.W.blit_into w copy 2;
+  Alcotest.(check string) "blitted at offset" "..\x00\x00\x00\x03abc"
+    (Bytes.sub_string copy 0 9);
+  Alcotest.check_raises "blit range checked"
+    (Invalid_argument "Codec.W.blit_into: destination range out of bounds")
+    (fun () -> Codec.W.blit_into w copy 10);
+  let b = Codec.W.to_bytes w in
+  Alcotest.(check string) "to_bytes" "\x00\x00\x00\x03abc" (Bytes.to_string b);
+  (* The writer stays usable after [to_bytes] (buffer may be handed off). *)
+  Codec.W.reset w;
+  Codec.W.u8 w 7;
+  Alcotest.(check string) "reusable" "\x07" (Bytes.to_string (Codec.W.to_bytes w))
+
+let test_codec_writer_pool () =
+  let b1 =
+    Codec.W.with_pool (fun w ->
+        Codec.W.string w "pooled";
+        Codec.W.to_bytes w)
+  in
+  Alcotest.(check string) "first use" "\x00\x00\x00\x06pooled"
+    (Bytes.to_string b1);
+  (* A reused writer starts empty: no residue from the previous user. *)
+  let b2 = Codec.W.with_pool (fun w -> Codec.W.to_bytes w) in
+  Alcotest.(check int) "reused writer empty" 0 (Bytes.length b2)
+
+let test_frame_write_many () =
+  let rd, wr = Unix.pipe () in
+  let payloads =
+    [ Bytes.of_string "alpha"; Bytes.empty; Bytes.of_string "bb" ]
+  in
+  let writer = Thread.create (fun () -> Frame.write_many wr payloads) () in
+  let got = List.map (fun _ -> Option.get (Frame.read rd)) payloads in
+  Thread.join writer;
+  Alcotest.(check (list string)) "frames preserved"
+    (List.map Bytes.to_string payloads)
+    (List.map Bytes.to_string got);
+  Unix.close wr;
+  Unix.close rd
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_codec_string_roundtrip; prop_request_roundtrip ]
@@ -167,5 +211,9 @@ let suite =
     Alcotest.test_case "frame: round-trip" `Quick test_frame_roundtrip;
     Alcotest.test_case "frame: eof mid-frame" `Quick test_frame_eof_mid_frame;
     Alcotest.test_case "frame: oversized" `Quick test_frame_oversized;
+    Alcotest.test_case "codec: to_bytes/blit_into" `Quick
+      test_codec_to_bytes_and_blit;
+    Alcotest.test_case "codec: writer pool" `Quick test_codec_writer_pool;
+    Alcotest.test_case "frame: write_many" `Quick test_frame_write_many;
   ]
   @ qsuite
