@@ -778,6 +778,81 @@ let bench002 () =
   Printf.printf "wrote %s\n%!" !bench_out
 
 (* ------------------------------------------------------------------ *)
+(* bench003: durable-mode sweep. The paper disables stable storage
+   because a synchronous log "would introduce an additional bottleneck";
+   this experiment quantifies that bottleneck and the group-commit
+   remedy on the simulator: Sync_serial makes the Protocol thread block
+   on one device fsync (5 ms) per persisted event, Sync_group runs the
+   StableStorage pipeline — the log queue absorbs bursts, one fsync
+   covers the whole burst, and gated sends are released when their LSN
+   is durable. *)
+
+let bench003_out = ref "bench/BENCH_003.json"
+
+let bench003 () =
+  heading "bench003"
+    (Printf.sprintf "Durable-mode sweep (serial fsync vs group commit) -> %s%s"
+       !bench003_out
+       (if !bench_quick then " (--quick)" else ""));
+  let module J = Msmr_obs.Json in
+  (* Both policies are device-bound (5 ms/fsync), so client RTTs run to
+     hundreds of ms under Sync_serial; the population and windows are
+     sized so even the serial sweep reaches closed-loop steady state
+     well inside the warm-up. *)
+  let n_clients, warmup, duration =
+    if !bench_quick then (100, 0.4, 0.8) else (400, 1.0, 2.0)
+  in
+  let run_pol cores pol =
+    let p = Params.default ~profile:Params.parapluie ~n:3 ~cores () in
+    Jp.run { p with n_clients; warmup; duration; sync_policy = pol }
+  in
+  let points =
+    List.map
+      (fun cores ->
+         (cores, run_pol cores Params.Sync_serial,
+          run_pol cores Params.Sync_group))
+      [ 1; 8; 24 ]
+  in
+  Printf.printf "(n=3, parapluie, fsync latency %.0f ms)\n"
+    (1e3 *. (Params.default ~n:3 ~cores:1 ()).fsync_latency);
+  Printf.printf "%6s %15s %15s %8s %12s %12s\n" "cores" "serial (req/s)"
+    "group (req/s)" "speedup" "group syncs" "recs/sync";
+  List.iter
+    (fun (cores, (s : Jp.result), (g : Jp.result)) ->
+       Printf.printf "%6d %15.0f %15.0f %8.1f %12d %12.1f\n%!" cores
+         s.throughput g.throughput
+         (g.throughput /. s.throughput)
+         g.wal_syncs g.wal_group_avg)
+    points;
+  let json =
+    J.Obj
+      [ ("bench", J.String "BENCH_003");
+        ("source", J.String "bench/main.exe bench003");
+        ("quick", J.Bool !bench_quick);
+        ("n", J.Int 3);
+        ("profile", J.String "parapluie");
+        ( "fsync_latency_s",
+          J.Float (Params.default ~n:3 ~cores:1 ()).fsync_latency );
+        ( "points",
+          J.List
+            (List.map
+               (fun (cores, (s : Jp.result), (g : Jp.result)) ->
+                  J.Obj
+                    [ ("cores", J.Int cores);
+                      ("serial_rps", J.Float s.throughput);
+                      ("group_rps", J.Float g.throughput);
+                      ("speedup", J.Float (g.throughput /. s.throughput));
+                      ("group_wal_syncs", J.Int g.wal_syncs);
+                      ("group_records_per_sync", J.Float g.wal_group_avg) ])
+               points) ) ]
+  in
+  let oc = open_out !bench003_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !bench003_out
+
+(* ------------------------------------------------------------------ *)
 (* Observability: --trace FILE runs a short traced simulation and writes
    a Chrome trace_event file; --metrics FILE dumps the metrics registry.
    See docs/OBSERVABILITY.md. *)
@@ -843,7 +918,7 @@ let experiments =
     ("fig10", fig10); ("tab2", tab2); ("fig11", fig11); ("tab3", tab3);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("ext", ext);
     ("live", live); ("live-mono", live_mono); ("ablation", ablation);
-    ("micro", micro); ("bench002", bench002) ]
+    ("micro", micro); ("bench002", bench002); ("bench003", bench003) ]
 
 let () =
   let rec parse ids trace metrics = function
@@ -853,13 +928,16 @@ let () =
     | "--bench-out" :: file :: rest ->
       bench_out := file;
       parse ids trace metrics rest
+    | "--bench003-out" :: file :: rest ->
+      bench003_out := file;
+      parse ids trace metrics rest
     | "--quick" :: rest ->
       bench_quick := true;
       parse ids trace metrics rest
-    | ("--trace" | "--metrics" | "--bench-out") :: [] ->
+    | ("--trace" | "--metrics" | "--bench-out" | "--bench003-out") :: [] ->
       Printf.eprintf
         "usage: main [EXPERIMENT..] [--trace FILE] [--metrics FILE]\n\
-        \       [--quick] [--bench-out FILE]\n";
+        \       [--quick] [--bench-out FILE] [--bench003-out FILE]\n";
       exit 2
     | id :: rest -> parse (id :: ids) trace metrics rest
   in

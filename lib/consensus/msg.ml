@@ -98,9 +98,9 @@ let encode_to w = function
     Codec.W.int_as_i64 w first_undecided
 
 let encode t =
-  let w = Codec.W.create () in
-  encode_to w t;
-  Codec.W.contents w
+  Codec.W.with_pool (fun w ->
+      encode_to w t;
+      Codec.W.to_bytes w)
 
 let decode b =
   let r = Codec.R.of_bytes b in

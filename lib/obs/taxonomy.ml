@@ -22,6 +22,7 @@ let module_of_thread name =
           || name = "Protocol"
           || name = "FailureDetector"
           || name = "Retransmitter"
+          || name = "StableStorage"
   then "ReplicationCore"
   else if name = "Replica" || name = "Syncer"
           || has_prefix ~prefix:"Executor" name

@@ -22,7 +22,7 @@ val module_of_thread : string -> string
       → ["ClientIO"]
     - ["ReplicaIOSnd-1"], ["ReplicaIORcv-0"] → ["ReplicaIO"]
     - ["Batcher"], ["Batcher-2"], ["Protocol"], ["FailureDetector"],
-      ["Retransmitter"] → ["ReplicationCore"]
+      ["Retransmitter"], ["StableStorage"] → ["ReplicationCore"]
     - ["Replica"], ["Syncer"] → ["ServiceManager"]
     - anything else → ["Other"]
 

@@ -34,6 +34,32 @@ type rtx_entry = {
   r_cancelled : bool Atomic.t;
 }
 
+(* StableStorage pipeline (Durable mode). The Protocol thread never
+   touches the disk: it assigns each persisted event an LSN and puts it
+   on the (bounded) log queue, and tags every durability-dependent send
+   with the LSN it must wait for. The StableStorage thread drains the
+   queue in bursts, writes each burst through one
+   [Replica_store.log_batch] — under [Sync_every_write] that is one
+   fsync for the whole burst (group commit) — and only then releases
+   the gated messages whose LSN the watermark has passed. The queue is
+   FIFO and a message is always enqueued after its log event, so
+   release order equals log order. *)
+type ss_item =
+  | Ss_log of Msmr_storage.Replica_store.event
+  | Ss_release of {
+      lsn : int;  (** release once LSNs <= this are on stable storage *)
+      dest : Types.node_id list;
+      msg : Msg.t;
+      enq_ns : int64;
+    }
+
+type stable = {
+  log_q : ss_item Bq.t;
+  ss_lsn : int Atomic.t;  (* last LSN assigned by the Protocol thread *)
+  ss_stall : bool Atomic.t;  (* test hook: park the pipeline *)
+  ss_hold : Msmr_platform.Histogram.t;  (* gated-send hold time, seconds *)
+}
+
 (* Parallel ServiceManager (executor_threads > 1): a scheduler thread
    consumes the DecisionQueue in decide order and routes each request to
    one of [n_exec] executor threads by hashing its conflict key, so
@@ -75,6 +101,7 @@ type t = {
   (* Modules. *)
   links : (Types.node_id * Transport.link) list;
   store : Msmr_storage.Replica_store.t option;
+  stable : stable option;   (* Some iff [store] is Some *)
   recovered : Msmr_storage.Replica_store.recovered option;
   reply_cache : Reply_cache.t;
   mutable client_io : Client_io.t option;
@@ -87,9 +114,10 @@ type t = {
   executed : Counter.t;
   decided : Counter.t;
   send_q_drops : Counter.t;
+  sender_flushes : Counter.t;   (* coalesced sender-drain passes *)
   running : bool Atomic.t;
   mutable threads : Worker.t list;
-  mutable window_now : int Atomic.t;
+  window_now : int Atomic.t;
   first_undecided_now : int Atomic.t;
 }
 
@@ -121,6 +149,11 @@ let submit ?reply_many t ~raw ~reply_to =
 
 let inject_suspect t = Bq.put t.dispatcher_q Suspect
 
+let stall_stable_storage t stalled =
+  match t.stable with
+  | Some ss -> Atomic.set ss.ss_stall stalled
+  | None -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Protocol thread: executes engine actions. *)
 
@@ -138,12 +171,39 @@ let enqueue_send t dest msg =
        end)
     dest
 
+(* Which messages witness state that must be on stable storage before
+   they reach the wire: a [Prepare_ok] carries a promise, an [Accepted]
+   an acceptance, and the leader's own [Accept] broadcast implies its
+   self-acceptance (logged when the proposal is scheduled). Everything
+   else — [Decide], heartbeats, catch-up traffic — bypasses the gate. *)
+let durability_gated = function
+  | Msg.Prepare_ok _ | Msg.Accepted _ | Msg.Accept _ -> true
+  | Msg.Prepare _ | Msg.Decide _ | Msg.Catchup_query _ | Msg.Catchup_reply _
+  | Msg.Heartbeat _ -> false
+
+(* Route a send through the durability gate. In Durable mode a gated
+   message rides the StableStorage queue tagged with the current LSN —
+   every event logged so far, in particular the one it depends on, is
+   covered — and is forwarded to the send queues only once that LSN is
+   durable. Ephemeral mode ([stable = None]) is the direct path,
+   unchanged. *)
+let enqueue_send_gated t dest msg =
+  match t.stable with
+  | Some ss when durability_gated msg ->
+    (try
+       Bq.put ss.log_q
+         (Ss_release
+            { lsn = Atomic.get ss.ss_lsn; dest; msg;
+              enq_ns = Mclock.now_ns () })
+     with Bq.Closed -> ())
+  | Some _ | None -> enqueue_send t dest msg
+
 let protocol_apply t (rtx_map : (Paxos.rtx_key, rtx_entry) Hashtbl.t) actions =
   let now = Mclock.now_ns () in
   List.iter
     (fun action ->
        match action with
-       | Paxos.Send { dest; msg } -> enqueue_send t dest msg
+       | Paxos.Send { dest; msg } -> enqueue_send_gated t dest msg
        | Paxos.Execute { iid; value } ->
          Counter.incr t.decided;
          (try Bq.put t.decision_q (Exec { iid; value })
@@ -183,14 +243,22 @@ let protocol_loop t st =
   (* Durable mode: every promise is logged before the Prepare_ok leaves,
      every acceptance before the Accepted leaves (with Sync_every_write
      this is the full acceptor durability contract; the weaker policies
-     trade a suffix for speed, as the paper's evaluation setup does). *)
+     trade a suffix for speed, as the paper's evaluation setup does).
+     "Logged" means handed to the StableStorage pipeline: the event gets
+     the next LSN and goes on the log queue; the dependent message is
+     enqueued behind it (see [enqueue_send_gated]) and cannot overtake
+     it. The put blocks when the queue is full — that back-pressure is
+     the pipeline's flow control: a disk that cannot keep up slows the
+     Protocol thread instead of growing an unbounded buffer. *)
   let persist ev =
-    match t.store with
-    | Some store -> Msmr_storage.Replica_store.log_event store ev
+    match t.stable with
+    | Some ss ->
+      Atomic.incr ss.ss_lsn;
+      (try Bq.put ss.log_q (Ss_log ev) with Bq.Closed -> ())
     | None -> ()
   in
   let persist_actions actions =
-    if t.store <> None then
+    if Option.is_some t.stable then
       List.iter
         (fun action ->
            match action with
@@ -293,6 +361,63 @@ let protocol_loop t st =
   done
 
 (* ------------------------------------------------------------------ *)
+(* StableStorage thread (Durable mode): the other end of the pipeline
+   described at [ss_item]. Burst size bounds how many events one fsync
+   can cover, and therefore how long a gated message can wait behind
+   unrelated appends. *)
+
+let stable_storage_loop t (ss : stable) st =
+  let store = Option.get t.store in
+  let pending : (int * Types.node_id list * Msg.t * int64) Queue.t =
+    Queue.create ()
+  in
+  (* FIFO: the head has the smallest LSN, so releases happen in log
+     order. *)
+  let release watermark =
+    let rec go () =
+      match Queue.peek_opt pending with
+      | Some (lsn, dest, msg, enq_ns) when lsn <= watermark ->
+        ignore (Queue.pop pending);
+        Msmr_platform.Histogram.record ss.ss_hold
+          (Mclock.s_of_ns (Int64.sub (Mclock.now_ns ()) enq_ns));
+        enqueue_send t dest msg;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let continue = ref true in
+  while !continue do
+    match Bq.take_batch ~st ss.log_q ~max:256 with
+    | exception Bq.Closed -> continue := false
+    | burst ->
+      (* Test hook: park with the burst in hand — nothing is logged or
+         released while stalled. *)
+      while Atomic.get ss.ss_stall && Atomic.get t.running do
+        Thread_state.enter st Thread_state.Waiting (fun () ->
+            Mclock.sleep_s 0.0005)
+      done;
+      let events =
+        List.filter_map
+          (function Ss_log ev -> Some ev | Ss_release _ -> None)
+          burst
+      in
+      (* One [log_batch] per burst: under [Sync_every_write] every event
+         in it shares a single fsync (group commit), and the returned
+         LSN is durable. Under the weaker policies the pre-pipeline
+         contract was append-before-send, so the appended LSN is the
+         right release watermark there too. *)
+      let watermark = Msmr_storage.Replica_store.log_batch store events in
+      List.iter
+        (function
+          | Ss_release { lsn; dest; msg; enq_ns } ->
+            Queue.push (lsn, dest, msg, enq_ns) pending
+          | Ss_log _ -> ())
+        burst;
+      release watermark
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Batcher thread. Several may run (the paper's Section VI-B extension);
    they share the RequestQueue and build disjoint batches, with disjoint
    [src] spaces keeping batch ids unique. *)
@@ -333,14 +458,23 @@ let batcher_loop idx t st =
 (* ------------------------------------------------------------------ *)
 (* ReplicaIO threads. *)
 
+(* Sender coalescing: drain a bounded burst per pass, encode each
+   message through the Codec writer pool, and hand the whole run to the
+   link in one [send_many] (a single write(2) over TCP) — the
+   inter-replica mirror of ClientIO's reply coalescing. The bound keeps
+   one pass from monopolising the link when the queue is deep. *)
+let sender_burst = 32
+
 let sender_loop t peer (link : Transport.link) st =
   let q = t.send_qs.(peer) in
   let continue = ref true in
   while !continue do
-    match Bq.take ~st q with
-    | msg ->
-      let bytes = Msg.encode msg in
-      Thread_state.enter st Thread_state.Other (fun () -> link.send_bytes bytes);
+    match Bq.take_batch ~st q ~max:sender_burst with
+    | msgs ->
+      let frames = List.map Msg.encode msgs in
+      Thread_state.enter st Thread_state.Other (fun () ->
+          link.send_many frames);
+      Counter.incr t.sender_flushes;
       Failure_detector.note_send t.fd ~dest:peer ~now_ns:(Mclock.now_ns ())
     | exception Bq.Closed -> continue := false
   done
@@ -407,7 +541,10 @@ let retransmitter_loop t st =
     match Dq.take ~st t.rtx_dq with
     | entry ->
       if not (Atomic.get entry.r_cancelled) then begin
-        enqueue_send t entry.r_dest entry.r_msg;
+        (* Retransmitted Prepare_ok/Accepted/Accept honour the
+           durability gate too: the timer can in principle fire before
+           a slow disk has made the original durable. *)
+        enqueue_send_gated t entry.r_dest entry.r_msg;
         let at_ns =
           Int64.add (Mclock.now_ns ())
             (Mclock.ns_of_s t.cfg.retransmit_interval_s)
@@ -618,7 +755,10 @@ let metric_names =
     "msmr_replica_client_ingress_depth";
     "msmr_replica_executor_queue_depth";
     "msmr_replica_executor_dispatched";
-    "msmr_replica_executor_barriers" ]
+    "msmr_replica_executor_barriers";
+    "msmr_replica_sender_flushes";
+    "msmr_replica_log_queue_depth";
+    "msmr_replica_durable_hold_s" ]
 
 let register_metrics t =
   let labels = metric_labels t in
@@ -649,6 +789,11 @@ let register_metrics t =
   g "msmr_replica_executor_barriers" (fun () ->
       match t.exec_pool with
       | Some p -> fi (Counter.get p.exec_barriers)
+      | None -> 0.);
+  g "msmr_replica_sender_flushes" (fun () -> fi (Counter.get t.sender_flushes));
+  g "msmr_replica_log_queue_depth" (fun () ->
+      match t.stable with
+      | Some ss -> fi (Bq.length ss.log_q)
       | None -> 0.)
 
 let unregister_metrics t =
@@ -676,6 +821,17 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       let r = Msmr_storage.Replica_store.recover ~dir in
       (Some r, Some (Msmr_storage.Replica_store.openw ~sync ~dir ()))
   in
+  let stable =
+    match store with
+    | None -> None
+    | Some _ ->
+      let labels = [ ("mode", "live"); ("replica", string_of_int me) ] in
+      Some
+        { log_q = Bq.create ~capacity:8192;
+          ss_lsn = Atomic.make 0;
+          ss_stall = Atomic.make false;
+          ss_hold = Msmr_obs.Metrics.histogram ~labels "msmr_replica_durable_hold_s" }
+  in
   let t =
     { cfg; me; service;
       dispatcher_q = Bq.create ~capacity:4096;
@@ -686,6 +842,7 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       rtx_dq = Dq.create ();
       links;
       store;
+      stable;
       recovered;
       reply_cache = Reply_cache.create ();
       client_io = None;
@@ -700,6 +857,7 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       executed = Counter.create ();
       decided = Counter.create ();
       send_q_drops = Counter.create ();
+      sender_flushes = Counter.create ();
       running = Atomic.make true;
       threads = [];
       window_now = Atomic.make 0;
@@ -724,6 +882,19 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
              (fun st -> receiver_loop t peer link st) ])
       links
   in
+  let stable_storage =
+    match t.stable with
+    | Some ss -> [ spawn "StableStorage" (fun t st -> stable_storage_loop t ss st) ]
+    | None -> []
+  in
+  (* Syncer: drives [Sync_periodic] on its own fixed tick. The tick is
+     deliberately independent of every protocol interval — in particular
+     [catchup_interval_s], which only paces the FD thread's
+     Housekeeping_tick: however coarse catch-up is configured, a Durable
+     replica keeps flushing its WAL every [sync_interval_s]. [Wal.sync]
+     refreshes the msmr_wal_last_sync_ns gauge on every tick (even an
+     empty one), so an idle-but-alive Syncer is observable. *)
+  let sync_interval_s = 0.005 in
   let syncer =
     match durability with
     | Durable { sync = Msmr_storage.Wal.Sync_periodic; _ } ->
@@ -731,8 +902,8 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
             let store = Option.get t.store in
             while Atomic.get t.running do
               Thread_state.enter st Thread_state.Other (fun () ->
-                  Mclock.sleep_s 0.005);
-              Msmr_storage.Replica_store.sync store
+                  Mclock.sleep_s sync_interval_s);
+              ignore (Msmr_storage.Replica_store.sync store)
             done) ]
     | Durable _ | Ephemeral -> []
   in
@@ -756,7 +927,7 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
     [ spawn "Protocol" protocol_loop;
       spawn "FailureDetector" fd_loop;
       spawn "Retransmitter" retransmitter_loop ]
-    @ service_manager @ batchers @ io_threads @ syncer;
+    @ stable_storage @ service_manager @ batchers @ io_threads @ syncer;
   register_metrics t;
   t
 
@@ -768,6 +939,7 @@ let stop t =
     Bq.close t.proposal_q;
     Bq.close t.dispatcher_q;
     Bq.close t.decision_q;
+    (match t.stable with Some ss -> Bq.close ss.log_q | None -> ());
     (* The scheduler also closes these on exit; closing here too unblocks
        the pool even if the scheduler is wedged. Close is idempotent. *)
     (match t.exec_pool with

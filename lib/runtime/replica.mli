@@ -11,13 +11,24 @@
                                       |  \--SendQueue-p--> [ReplicaIOSnd-p] --> peer p
                                       |
                      [FailureDetector]  [Retransmitter]
+                                      |
+                            LogQueue  v  (Durable mode)
+                             [StableStorage] --(released sends)--> SendQueues
     v}
 
     The Protocol thread owns the {!Msmr_consensus.Paxos} engine
     exclusively; every other thread communicates with it through queues
     (or, for the failure-detector timestamps, through single-word shared
     state), enforcing the paper's no-lock rule inside the
-    ReplicationCore. *)
+    ReplicationCore.
+
+    In [Durable] mode the Protocol thread never touches the disk: WAL
+    events ride a bounded LogQueue to a dedicated StableStorage thread,
+    which appends them in bursts — one fsync per burst under
+    [Sync_every_write] (group commit) — and durability-dependent
+    messages ([Prepare_ok], [Accepted], the leader's own [Accept]) are
+    held back until the LSN they depend on is durable (see DESIGN.md
+    §10). *)
 
 type t
 
@@ -99,6 +110,13 @@ val queue_stats : t -> queue_stats
 val inject_suspect : t -> unit
 (** Test hook: make this replica suspect the current leader now, as if
     its failure detector had timed out. *)
+
+val stall_stable_storage : t -> bool -> unit
+(** Test hook: [stall_stable_storage t true] parks the StableStorage
+    thread — no WAL append, no fsync, and no durability-gated message
+    ([Prepare_ok]/[Accepted]/[Accept]) is released to the send queues —
+    until [stall_stable_storage t false]. No-op on an [Ephemeral]
+    replica. *)
 
 val stop : t -> unit
 (** Stop all threads and close the peer links. Idempotent. *)

@@ -2,6 +2,9 @@ module Bq = Msmr_platform.Bounded_queue
 
 type link = {
   send_bytes : bytes -> unit;
+  send_many : bytes list -> unit;
+      (* coalesced send: one syscall for the whole run where the
+         transport supports it (TCP uses Frame.write_many) *)
   recv_bytes : unit -> bytes option;
   close : unit -> unit;
 }
@@ -42,16 +45,18 @@ module Hub = struct
   let link t ~me ~peer =
     if me = peer then invalid_arg "Hub.link: self link";
     let out = t.pipes.(me).(peer) and inc = t.pipes.(peer).(me) in
-    { send_bytes =
-        (fun b ->
-           Msmr_platform.Rate_meter.Counter.incr t.sent;
-           if t.cut_nodes.(me) || t.cut_nodes.(peer) then ()
-           else if out.drop_rate > 0.
-                   && Random.State.float out.rng 1.0 < out.drop_rate then ()
-           else
-             (* A closed queue means shutdown: drop silently like a broken
-                TCP connection would. *)
-             try Bq.put out.queue b with Bq.Closed -> ());
+    let send_bytes b =
+      Msmr_platform.Rate_meter.Counter.incr t.sent;
+      if t.cut_nodes.(me) || t.cut_nodes.(peer) then ()
+      else if out.drop_rate > 0.
+              && Random.State.float out.rng 1.0 < out.drop_rate then ()
+      else
+        (* A closed queue means shutdown: drop silently like a broken
+           TCP connection would. *)
+        try Bq.put out.queue b with Bq.Closed -> ()
+    in
+    { send_bytes;
+      send_many = (fun bs -> List.iter send_bytes bs);
       recv_bytes =
         (fun () ->
            (* A cut only blocks new sends; frames already queued were "in
@@ -87,6 +92,11 @@ module Tcp = struct
         (fun b ->
            if not (Atomic.get closed) then
              try Msmr_wire.Frame.write fd b
+             with Unix.Unix_error _ -> Atomic.set closed true);
+      send_many =
+        (fun bs ->
+           if not (Atomic.get closed) then
+             try Msmr_wire.Frame.write_many fd bs
              with Unix.Unix_error _ -> Atomic.set closed true);
       recv_bytes =
         (fun () ->

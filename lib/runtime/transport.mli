@@ -12,6 +12,12 @@ type link = {
           this is why only the dedicated sender thread calls it. Silently
           drops the frame when the connection is down (the retransmitter
           recovers). *)
+  send_many : bytes list -> unit;
+      (** Blocking write of a run of frames, coalesced into one syscall
+          where the transport supports it ({!Tcp} uses
+          [Frame.write_many]); same drop semantics as {!send_bytes}.
+          The sender thread drains its queue in bounded bursts through
+          this. *)
   recv_bytes : unit -> bytes option;
       (** Blocking read of one frame; [None] when the link is closed. *)
   close : unit -> unit;

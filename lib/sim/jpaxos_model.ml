@@ -12,6 +12,31 @@ let approx_size (m : Msg.t) =
         acc + 18 + Value.size_bytes e.e_value) 24 entries
   | Msg.Catchup_query _ -> 24
 
+(* How many WAL records the live runtime would log for an incoming
+   message / an action list: mirrors [Replica.protocol_loop]'s persist
+   points (promise on Prepare, acceptance on Accept, the leader's
+   self-accept on Schedule_rtx, Decided on Execute, catch-up learns). *)
+let records_for_msg = function
+  | Msg.Accept _ | Msg.Prepare _ -> 1
+  | Msg.Catchup_reply { entries; _ } ->
+    2 * List.length (List.filter (fun (e : Msg.log_entry) -> e.e_decided) entries)
+  | _ -> 0
+
+let records_for_actions actions =
+  List.fold_left
+    (fun acc a ->
+       match a with
+       | Paxos.View_changed _ | Paxos.Execute _ -> acc + 1
+       | Paxos.Schedule_rtx { key = Paxos.Rtx_accept _; msg = Msg.Accept _; _ }
+         -> acc + 1
+       | _ -> acc)
+    0 actions
+
+(* Durability-dependent messages (same set as the live runtime's gate). *)
+let durability_gated = function
+  | Msg.Prepare_ok _ | Msg.Accepted _ | Msg.Accept _ -> true
+  | _ -> false
+
 (* TCP-like segment coalescing at the sender: consecutive queued messages
    share Ethernet frames (this is what lets a Decide piggyback on the next
    Accept and keeps the leader within its packet budget — Section VI-D3). *)
@@ -24,6 +49,16 @@ type cio_ev =
 type disp_ev =
   | PMsg of Types.node_id * Msg.t
   | Poke
+
+(* StableStorage pipeline events ([Params.Sync_group]), mirroring the
+   live runtime's log queue: the Protocol process enqueues record counts
+   and durability-gated sends; the StableStorage process drains a burst,
+   pays one device fsync for all its records (group commit), then
+   forwards the gated sends. FIFO order makes release order = log
+   order. *)
+type ss_ev =
+  | Sl_log of int                     (* records to append *)
+  | Sl_rel of Types.node_id * Msg.t   (* send awaiting durability *)
 
 type decision_ev = { d_iid : Types.iid; d_value : Value.t }
 
@@ -51,6 +86,8 @@ type result = {
   rtt_leader : float;
   rtt_followers : float;
   rtt_idle : float;
+  wal_syncs : int;
+  wal_group_avg : float;
   events : int;
   trace : Msmr_obs.Trace.t option;
 }
@@ -67,6 +104,8 @@ type node = {
   send_qs : Msg.t Squeue.t array;
   rcv_mbs : (Types.node_id * Msg.t) Mailbox.t array;  (* per peer *)
   cio_mbs : cio_ev Mailbox.t array;                   (* per ClientIO thread *)
+  disk : Sdisk.t option;              (* Some iff sync_policy <> Sync_none *)
+  ss_q : ss_ev Squeue.t option;       (* Some iff sync_policy = Sync_group *)
   mutable threads : Sstats.thread list;               (* registration order *)
 }
 
@@ -139,6 +178,13 @@ let run ?(trace = false) (p : Params.t) =
       send_qs = Array.init p.n (fun _ -> Squeue.create eng ~cpu ~capacity:100_000 ~name:"SendQueue" ());
       rcv_mbs = Array.init p.n (fun _ -> Mailbox.create eng ());
       cio_mbs = Array.init p.client_io_threads (fun _ -> Mailbox.create eng ());
+      disk =
+        (if p.sync_policy = Params.Sync_none then None
+         else Some (Sdisk.create eng ~fsync_latency:p.fsync_latency));
+      ss_q =
+        (if p.sync_policy = Params.Sync_group then
+           Some (Squeue.create eng ~cpu ~capacity:8192 ~name:"LogQueue" ())
+         else None);
       threads = [] }
   in
   let nodes = Array.init p.n mk_node in
@@ -333,13 +379,37 @@ let run ?(trace = false) (p : Params.t) =
   let protocol_proc node () =
     let st = Sstats.make_thread eng ~name:"Protocol" in
     let trk = register node st in
+    (* Durable modes. Sync_serial is the naive shape: the Protocol
+       process itself blocks on one device fsync per persist — exactly
+       what the live pipeline removes. Sync_group hands the records to
+       the StableStorage process. Persists run before the actions, as
+       the live persist_actions does. *)
+    let persist n =
+      if n > 0 then
+        match p.sync_policy, node.disk, node.ss_q with
+        | Params.Sync_serial, Some d, _ ->
+          Sdisk.append d n;
+          Sstats.set st Sstats.Blocked;
+          Engine.suspend eng (fun resume -> Sdisk.fsync d resume);
+          Sstats.set st Sstats.Busy
+        | Params.Sync_group, _, Some q -> Squeue.put q st (Sl_log n)
+        | _ -> ()
+    in
+    (* Under Sync_group, gated messages ride the log queue behind the
+       records they depend on; everything else bypasses. *)
+    let send d msg =
+      match node.ss_q with
+      | Some q when durability_gated msg -> Squeue.put q st (Sl_rel (d, msg))
+      | _ -> Squeue.put node.send_qs.(d) st msg
+    in
     let apply actions =
+      persist (records_for_actions actions);
       List.iter
         (fun action ->
            match action with
            | Paxos.Send { dest; msg } ->
              List.iter
-               (fun d -> if d <> node.id then Squeue.put node.send_qs.(d) st msg)
+               (fun d -> if d <> node.id then send d msg)
                dest
            | Paxos.Execute { iid; value } ->
              (match trk with
@@ -369,6 +439,9 @@ let run ?(trace = false) (p : Params.t) =
       (match Squeue.take node.dispatcher_q st with
        | PMsg (from, msg) ->
          Cpu.work node.cpu st (cost c.protocol_per_event);
+         (* Promise/acceptance hits the log before the engine replies
+            (mirrors the live handle's persist-before-receive). *)
+         persist (records_for_msg msg);
          apply (Paxos.receive node.engine ~from msg)
        | Poke -> ());
       let rec feed () =
@@ -474,6 +547,43 @@ let run ?(trace = false) (p : Params.t) =
            (c.io_deser_per_msg
             +. (c.io_deser_per_byte *. float_of_int (approx_size msg))));
       Squeue.put node.dispatcher_q st (PMsg (from, msg));
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- StableStorage (Sync_group) ---------------- *)
+  (* Mirror of the live StableStorage thread: drain a burst from the
+     log queue, pay one device fsync for every record in it (group
+     commit), then forward the gated sends. Burst bound 256 matches the
+     live loop. *)
+  let ss_proc node () =
+    let st = Sstats.make_thread eng ~name:"StableStorage" in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let q = Option.get node.ss_q in
+    let d = Option.get node.disk in
+    let rec drain acc k =
+      if k = 0 then List.rev acc
+      else
+        match Squeue.try_take q st with
+        | Some ev -> drain (ev :: acc) (k - 1)
+        | None -> List.rev acc
+    in
+    let rec loop () =
+      let first = Squeue.take q st in
+      let burst = first :: drain [] 255 in
+      List.iter (function Sl_log n -> Sdisk.append d n | Sl_rel _ -> ()) burst;
+      (* A release whose record was covered by an earlier burst's fsync
+         needs no new sync — only flush when something is pending. *)
+      if Sdisk.has_pending d then begin
+        Sstats.set st Sstats.Blocked;
+        Engine.suspend eng (fun resume -> Sdisk.fsync d resume);
+        Sstats.set st Sstats.Busy
+      end;
+      List.iter
+        (function
+          | Sl_rel (dest, msg) -> Squeue.put node.send_qs.(dest) st msg
+          | Sl_log _ -> ())
+        burst;
       loop ()
     in
     loop ()
@@ -592,6 +702,7 @@ let run ?(trace = false) (p : Params.t) =
          Engine.spawn eng ~name:"batcher" (batcher_proc node b)
        done;
        Engine.spawn eng ~name:"protocol" (protocol_proc node);
+       if node.ss_q <> None then Engine.spawn eng ~name:"ss" (ss_proc node);
        Engine.spawn eng ~name:"sm"
          (if p.exec_threads > 1 then sm_parallel node else sm_proc node);
        for peer = 0 to p.n - 1 do
@@ -656,7 +767,9 @@ let run ?(trace = false) (p : Params.t) =
        Array.iter Squeue.reset_stats node.request_qs;
        Squeue.reset_stats node.proposal_q;
        Squeue.reset_stats node.dispatcher_q;
-       Squeue.reset_stats node.decision_q)
+       Squeue.reset_stats node.decision_q;
+       (match node.ss_q with Some q -> Squeue.reset_stats q | None -> ());
+       (match node.disk with Some d -> Sdisk.reset_counters d | None -> ()))
     nodes;
   (* Drop warm-up events: [Sstats.reset] already restarted the open
      spans, so the retained trace covers exactly the measured window and
@@ -702,6 +815,18 @@ let run ?(trace = false) (p : Params.t) =
     (100. *. Cpu.consumed leader.cpu /. dur);
   Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_run_events"
     (float_of_int (Engine.events_processed eng));
+  let wal_syncs, wal_group_avg =
+    match leader.disk with
+    | Some d ->
+      (* Mirror the live WAL series so durable-mode sweeps dump the
+         same names from both backends. *)
+      Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_wal_sync_total"
+        (float_of_int (Sdisk.syncs d));
+      Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_wal_group_size"
+        (Sdisk.avg_group d);
+      (Sdisk.syncs d, Sdisk.avg_group d)
+    | None -> (0, 0.)
+  in
   { throughput;
     client_latency;
     instance_latency = (if !inst_n = 0 then 0. else !inst_sum /. float_of_int !inst_n);
@@ -723,5 +848,7 @@ let run ?(trace = false) (p : Params.t) =
     rtt_leader = mean !rtt_leader;
     rtt_followers = mean !rtt_follow;
     rtt_idle = mean !rtt_idle;
+    wal_syncs;
+    wal_group_avg;
     events = Engine.events_processed eng;
     trace = tracer }

@@ -37,6 +37,12 @@ type result = {
   rtt_leader : float;            (** probe RTT leader <-> follower (s) *)
   rtt_followers : float;         (** probe RTT follower <-> follower (s) *)
   rtt_idle : float;              (** probe RTT between two idle nodes (s) *)
+  wal_syncs : int;
+      (** leader device fsyncs in the measured window ([0] when
+          [sync_policy = Sync_none]) *)
+  wal_group_avg : float;
+      (** mean records made durable per leader fsync — the group-commit
+          batching factor ([1.0] under [Sync_serial] by construction) *)
   events : int;                  (** simulation events processed *)
   trace : Msmr_obs.Trace.t option;
       (** present iff [run ~trace:true]; stamped in simulated time and

@@ -45,6 +45,11 @@ let default_costs =
     switch_cost = 2e-6;
     dispatch_per_req = 1e-6 }
 
+type sync_policy =
+  | Sync_none
+  | Sync_serial
+  | Sync_group
+
 type t = {
   profile : profile;
   costs : costs;
@@ -63,6 +68,8 @@ type t = {
   rss : bool;
   exec_threads : int;
   conflict_ratio : float;
+  sync_policy : sync_policy;
+  fsync_latency : float;
 }
 
 let auto_io_threads ~cores = max 1 (min 5 (cores - 1))
@@ -84,4 +91,6 @@ let default ?(profile = parapluie) ~n ~cores () =
     n_batchers = 1;
     rss = false;
     exec_threads = 1;
-    conflict_ratio = 0.0 }
+    conflict_ratio = 0.0;
+    sync_policy = Sync_none;
+    fsync_latency = 5e-3 }

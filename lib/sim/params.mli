@@ -39,6 +39,19 @@ type costs = {
 
 val default_costs : costs
 
+type sync_policy =
+  | Sync_none
+      (** no stable storage — the paper's evaluation configuration, and
+          the exact pre-durability simulation path *)
+  | Sync_serial
+      (** [Wal.Sync_every_write] without the pipeline: the Protocol
+          thread blocks on one device fsync per persisted event — the
+          serial-bottleneck shape the durability pipeline removes *)
+  | Sync_group
+      (** the StableStorage pipeline: a per-node StableStorage process
+          drains a log queue in bursts, pays one device fsync per burst
+          (group commit), then releases the gated sends *)
+
 type t = {
   profile : profile;
   costs : costs;
@@ -71,6 +84,13 @@ type t = {
           with everything): each forces a quiescence barrier before
           executing serially on the scheduler. [0.0] = fully parallel
           workload; [1.0] = serial. Deterministic pattern, no RNG. *)
+  sync_policy : sync_policy;
+      (** durable-mode model; [Sync_none] (the default) leaves the
+          simulation byte-for-byte the pre-durability path *)
+  fsync_latency : float;
+      (** seconds one device fsync takes (default 5 ms — a commodity
+          magnetic disk of the paper's era); fsyncs on one node's device
+          serialise *)
 }
 
 val default : ?profile:profile -> n:int -> cores:int -> unit -> t

@@ -1,0 +1,36 @@
+type t = {
+  eng : Engine.t;
+  latency : float;
+  mutable busy_until : float;
+  mutable pending : int;
+  mutable syncs : int;
+  mutable records_synced : int;
+}
+
+let create eng ~fsync_latency =
+  { eng; latency = fsync_latency; busy_until = 0.;
+    pending = 0; syncs = 0; records_synced = 0 }
+
+let append t n = t.pending <- t.pending + n
+
+let has_pending t = t.pending > 0
+
+let fsync t k =
+  (* One device: concurrent fsyncs serialise behind [busy_until]. *)
+  let start = Float.max (Engine.now t.eng) t.busy_until in
+  let fin = start +. t.latency in
+  t.busy_until <- fin;
+  t.syncs <- t.syncs + 1;
+  t.records_synced <- t.records_synced + t.pending;
+  t.pending <- 0;
+  Engine.schedule_at t.eng fin k
+
+let syncs t = t.syncs
+let records_synced t = t.records_synced
+
+let avg_group t =
+  if t.syncs = 0 then 0. else float_of_int t.records_synced /. float_of_int t.syncs
+
+let reset_counters t =
+  t.syncs <- 0;
+  t.records_synced <- 0

@@ -1,0 +1,32 @@
+(** Simulated stable-storage device: buffered appends plus an fsync
+    with a fixed per-sync latency.
+
+    Appends are free (a buffered write is negligible next to the CPU
+    costs already modelled); durability is paid at {!fsync}, and fsyncs
+    on one device serialise — a second fsync issued while the first is
+    in flight starts only when the device is free again. The counters
+    give the serial-vs-group-commit sweeps their group-size numbers. *)
+
+type t
+
+val create : Engine.t -> fsync_latency:float -> t
+
+val append : t -> int -> unit
+(** Buffer [n] more records; they become durable at the next fsync. *)
+
+val has_pending : t -> bool
+
+val fsync : t -> (unit -> unit) -> unit
+(** Make everything buffered durable; the continuation runs when the
+    device completes (after queueing behind any in-flight fsync). One
+    fsync covers all records appended before it was issued — the group
+    in group commit. *)
+
+val syncs : t -> int
+val records_synced : t -> int
+
+val avg_group : t -> float
+(** Mean records per fsync ([0.] before the first). *)
+
+val reset_counters : t -> unit
+(** Zero {!syncs}/{!records_synced} (measurement-window boundary). *)

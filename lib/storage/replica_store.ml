@@ -47,6 +47,12 @@ type t = {
   sync_policy : Wal.sync_policy;
   mutable wal : Wal.t;
   lock : Mutex.t;
+  (* Store-level LSN: events logged through this handle. Unlike the
+     WAL's per-handle record count it is monotone across the WAL swap a
+     checkpoint performs, so callers can gate on it for the lifetime of
+     the store. *)
+  mutable lsn : int;
+  mutable durable_lsn : int;
 }
 
 let checkpoint_path dir = Filename.concat dir "checkpoint"
@@ -54,19 +60,44 @@ let checkpoint_path dir = Filename.concat dir "checkpoint"
 let openw ?(sync = Wal.Sync_periodic) ~dir () =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   { dir; sync_policy = sync; wal = Wal.openw ~dir ~sync ();
-    lock = Mutex.create () }
+    lock = Mutex.create (); lsn = 0; durable_lsn = 0 }
 
 (* The store lock orders appends/syncs against the WAL swap done by
    [checkpoint]. *)
 let log_event t ev =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
-  Wal.append t.wal (encode_event ev)
+  ignore (Wal.append t.wal (encode_event ev));
+  t.lsn <- t.lsn + 1;
+  (match t.sync_policy with
+   | Wal.Sync_every_write -> t.durable_lsn <- t.lsn
+   | Wal.Sync_periodic | Wal.No_sync -> ());
+  t.lsn
+
+let log_batch t evs =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  (match evs with
+   | [] -> ()
+   | evs ->
+     (* One [Wal.append_many]: under [Sync_every_write] the whole batch
+        shares a single fsync (group commit). *)
+     ignore (Wal.append_many t.wal (List.map encode_event evs));
+     t.lsn <- t.lsn + List.length evs;
+     match t.sync_policy with
+     | Wal.Sync_every_write -> t.durable_lsn <- t.lsn
+     | Wal.Sync_periodic | Wal.No_sync -> ());
+  t.lsn
 
 let sync t =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
-  Wal.sync t.wal
+  ignore (Wal.sync t.wal);
+  t.durable_lsn <- t.lsn;
+  t.durable_lsn
+
+let lsn t = t.lsn
+let durable_lsn t = t.durable_lsn
 
 let close t =
   Mutex.lock t.lock;
@@ -96,10 +127,13 @@ let checkpoint t ~next_iid ~state =
   Unix.rename tmp (checkpoint_path t.dir);
   (* All WAL records now describe instances the snapshot covers (the
      runtime checkpoints only decided-and-executed prefixes; later
-     accepted-but-undecided entries are re-learnt via catch-up). *)
+     accepted-but-undecided entries are re-learnt via catch-up). The
+     fsynced checkpoint supersedes the log, so everything logged so far
+     counts as durable. *)
   Wal.close t.wal;
   Wal.reset ~dir:t.dir;
-  t.wal <- Wal.openw ~dir:t.dir ~sync:t.sync_policy ()
+  t.wal <- Wal.openw ~dir:t.dir ~sync:t.sync_policy ();
+  t.durable_lsn <- t.lsn
 
 let read_checkpoint dir =
   let path = checkpoint_path dir in

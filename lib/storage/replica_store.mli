@@ -30,8 +30,29 @@ type t
 val openw : ?sync:Wal.sync_policy -> dir:string -> unit -> t
 (** Default policy: [Sync_periodic] (call {!sync} from a Syncer). *)
 
-val log_event : t -> event -> unit
-val sync : t -> unit
+val log_event : t -> event -> int
+(** Append one event; returns the store-level LSN assigned to it.
+    Store LSNs count events logged through this handle and stay
+    monotone across the WAL swap a {!checkpoint} performs. *)
+
+val log_batch : t -> event list -> int
+(** Append a batch of events through one {!Wal.append_many} — under
+    [Sync_every_write] the whole batch becomes durable under a single
+    fsync (group commit). Returns the LSN of the last event (the
+    current LSN for an empty batch). *)
+
+val sync : t -> int
+(** Flush the WAL; returns the durable LSN watermark (= {!lsn} on
+    return). *)
+
+val lsn : t -> int
+(** Last LSN handed out. *)
+
+val durable_lsn : t -> int
+(** Every event with LSN <= [durable_lsn t] is on stable storage (or
+    superseded by an fsynced checkpoint). Under [Sync_every_write] this
+    trails {!lsn} only inside an in-flight append. *)
+
 val close : t -> unit
 
 val checkpoint : t -> next_iid:Msmr_consensus.Types.iid -> state:bytes -> unit

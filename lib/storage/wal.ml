@@ -1,6 +1,7 @@
 let log_src = Logs.Src.create "msmr.wal" ~doc:"Write-ahead log"
 
 module Log_ = (val Logs.src_log log_src : Logs.LOG)
+module Metrics = Msmr_obs.Metrics
 
 type sync_policy =
   | Sync_every_write
@@ -12,10 +13,14 @@ type t = {
   segment_bytes : int;
   sync_policy : sync_policy;
   lock : Mutex.t;
+  labels : Metrics.labels;
+  m_syncs : Metrics.counter;
+  m_group : Msmr_platform.Histogram.t;
   mutable fd : Unix.file_descr;
   mutable seg_index : int;
   mutable seg_size : int;
   mutable records : int;
+  mutable synced : int;
   mutable closed : bool;
 }
 
@@ -110,8 +115,12 @@ let openw ?(segment_bytes = 64 * 1024 * 1024) ~dir ~sync () =
   in
   let fd = open_segment dir seg_index in
   let seg_size = (Unix.fstat fd).Unix.st_size in
-  { dir; segment_bytes; sync_policy = sync; lock = Mutex.create (); fd;
-    seg_index; seg_size; records = 0; closed = false }
+  let labels = [ ("dir", dir) ] in
+  { dir; segment_bytes; sync_policy = sync; lock = Mutex.create ();
+    labels;
+    m_syncs = Metrics.counter ~labels "msmr_wal_sync_total";
+    m_group = Metrics.histogram ~labels "msmr_wal_group_size";
+    fd; seg_index; seg_size; records = 0; synced = 0; closed = false }
 
 let rotate t =
   Unix.close t.fd;
@@ -125,10 +134,24 @@ let write_all fd buf len =
   in
   go 0
 
-let append t payload =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
-  if t.closed then invalid_arg "Wal.append: closed";
+(* Lock held. One fsync covers every record appended since the last
+   sync — [records - synced] is the group size. The last-sync gauge is
+   refreshed even when there is nothing to flush, so an idle Syncer
+   stays distinguishable from a dead one. *)
+let sync_locked t =
+  if t.records > t.synced then begin
+    Unix.fsync t.fd;
+    Metrics.incr t.m_syncs;
+    Msmr_platform.Histogram.record t.m_group (float_of_int (t.records - t.synced));
+    t.synced <- t.records
+  end;
+  Metrics.set_gauge ~labels:t.labels "msmr_wal_last_sync_ns"
+    (Int64.to_float (Msmr_platform.Mclock.now_ns ()));
+  t.synced
+
+(* Lock held. Frames [payload] and appends it; returns the record's
+   LSN (1-based count of records appended through this handle). *)
+let append_locked t payload =
   let len = Bytes.length payload in
   let frame = Bytes.create (8 + len) in
   Bytes.set_int32_be frame 0 (Int32.of_int len);
@@ -138,14 +161,35 @@ let append t payload =
   write_all t.fd frame (8 + len);
   t.seg_size <- t.seg_size + 8 + len;
   t.records <- t.records + 1;
-  match t.sync_policy with
-  | Sync_every_write -> Unix.fsync t.fd
-  | Sync_periodic | No_sync -> ()
+  t.records
+
+let append t payload =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  if t.closed then invalid_arg "Wal.append: closed";
+  let lsn = append_locked t payload in
+  (match t.sync_policy with
+   | Sync_every_write -> ignore (sync_locked t)
+   | Sync_periodic | No_sync -> ());
+  lsn
+
+let append_many t payloads =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  if t.closed then invalid_arg "Wal.append_many: closed";
+  let lsn = List.fold_left (fun _ p -> append_locked t p) t.records payloads in
+  (* Group commit: the sync policy is applied once for the whole batch,
+     so under [Sync_every_write] a single fsync makes every record in
+     [payloads] durable together. *)
+  (match t.sync_policy with
+   | Sync_every_write -> ignore (sync_locked t)
+   | Sync_periodic | No_sync -> ());
+  lsn
 
 let sync t =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
-  if not t.closed then Unix.fsync t.fd
+  if t.closed then t.synced else sync_locked t
 
 let close t =
   Mutex.lock t.lock;
@@ -153,10 +197,14 @@ let close t =
   if not t.closed then begin
     t.closed <- true;
     (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
-    Unix.close t.fd
+    Unix.close t.fd;
+    Metrics.remove ~labels:t.labels "msmr_wal_sync_total";
+    Metrics.remove ~labels:t.labels "msmr_wal_group_size";
+    Metrics.remove ~labels:t.labels "msmr_wal_last_sync_ns"
   end
 
 let appended t = t.records
+let synced t = t.synced
 
 let reset ~dir =
   List.iter (fun i -> Sys.remove (segment_name dir i)) (list_segments dir)

@@ -26,7 +26,8 @@ echo "== trace export smoke =="
 trace_file="$(mktemp /tmp/msmr-verify-trace.XXXXXX.json)"
 metrics_file="$(mktemp /tmp/msmr-verify-metrics.XXXXXX.json)"
 bench_file="$(mktemp /tmp/msmr-verify-bench.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$metrics_file" "$bench_file"' EXIT
+bench3_file="$(mktemp /tmp/msmr-verify-bench3.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file"' EXIT
 
 dune exec bin/sim_probe.exe -- --trace "$trace_file" --metrics "$metrics_file"
 
@@ -71,6 +72,31 @@ else
     *) echo "FAIL: $bench_file does not look like JSON" >&2; exit 1 ;;
   esac
   echo "bench002: jq not installed, checked file is non-empty JSON"
+fi
+
+echo "== bench003 smoke (quick) =="
+dune exec bench/main.exe -- bench003 --quick --bench003-out "$bench3_file"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench3_file"
+  pts=$(jq '.points | length' "$bench3_file")
+  bad=$(jq '[.points[] | select(.serial_rps <= 0 or .group_rps <= 0)] | length' \
+        "$bench3_file")
+  # The tentpole's headline claim: group commit >= 3x serial fsync on
+  # every swept core count >= 8.
+  slow=$(jq '[.points[] | select(.cores >= 8 and .group_rps < 3 * .serial_rps)]
+             | length' "$bench3_file")
+  echo "bench003: $pts durable points"
+  [ "$pts" -eq 3 ] || { echo "FAIL: expected 3 durable points" >&2; exit 1; }
+  [ "$bad" -eq 0 ] || { echo "FAIL: non-positive throughput in bench003" >&2; exit 1; }
+  [ "$slow" -eq 0 ] || { echo "FAIL: group commit < 3x serial fsync at >= 8 cores" >&2; exit 1; }
+else
+  [ -s "$bench3_file" ] || { echo "FAIL: $bench3_file empty" >&2; exit 1; }
+  case "$(head -c1 "$bench3_file")" in
+    '{') ;;
+    *) echo "FAIL: $bench3_file does not look like JSON" >&2; exit 1 ;;
+  esac
+  echo "bench003: jq not installed, checked file is non-empty JSON"
 fi
 
 echo "== verify OK =="

@@ -358,6 +358,58 @@ let test_jpaxos_executors_deterministic () =
   Alcotest.(check (float 0.)) "same throughput" r1.throughput r2.throughput;
   Alcotest.(check int) "same event count" r1.events r2.events
 
+(* Durable-mode model: Sdisk device + StableStorage process. *)
+
+let test_sdisk_groups_and_serializes () =
+  let eng = Engine.create () in
+  let d = Sdisk.create eng ~fsync_latency:5e-3 in
+  let t1 = ref 0. and t2 = ref 0. in
+  Sdisk.append d 3;
+  Sdisk.fsync d (fun () -> t1 := Engine.now eng);
+  Alcotest.(check bool) "buffer drained at issue" false (Sdisk.has_pending d);
+  Sdisk.append d 4;
+  Sdisk.fsync d (fun () -> t2 := Engine.now eng);
+  Engine.run eng ~until:1.0;
+  Alcotest.(check (float 1e-9)) "first sync completes" 5e-3 !t1;
+  (* The second fsync was issued while the first was in flight: it
+     queues behind the device. *)
+  Alcotest.(check (float 1e-9)) "second serializes" 10e-3 !t2;
+  Alcotest.(check int) "syncs" 2 (Sdisk.syncs d);
+  Alcotest.(check int) "records" 7 (Sdisk.records_synced d);
+  Alcotest.(check (float 1e-9)) "group avg" 3.5 (Sdisk.avg_group d)
+
+let durable_params pol =
+  let p = Params.default ~n:3 ~cores:8 () in
+  { p with n_clients = 100; warmup = 0.4; duration = 0.8; sync_policy = pol }
+
+let test_jpaxos_durable_group_beats_serial () =
+  let none = Jpaxos_model.run (durable_params Params.Sync_none) in
+  let ser = Jpaxos_model.run (durable_params Params.Sync_serial) in
+  let grp = Jpaxos_model.run (durable_params Params.Sync_group) in
+  Alcotest.(check int) "no device without stable storage" 0 none.wal_syncs;
+  Alcotest.(check bool) "serial pays one sync per record" true
+    (ser.wal_syncs > 0 && ser.wal_group_avg <= 1.001);
+  Alcotest.(check bool)
+    (Printf.sprintf "group commit batches (%.1f records/sync)"
+       grp.wal_group_avg)
+    true (grp.wal_group_avg >= 2.);
+  (* The acceptance bar of the durability pipeline. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "group (%.0f) >= 3x serial (%.0f)" grp.throughput
+       ser.throughput)
+    true
+    (grp.throughput >= 3. *. ser.throughput);
+  Alcotest.(check bool) "durability still costs something" true
+    (none.throughput > grp.throughput)
+
+let test_jpaxos_durable_deterministic () =
+  let p = { (small_params ()) with sync_policy = Params.Sync_group } in
+  let r1 = Jpaxos_model.run p in
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check (float 0.)) "same throughput" r1.throughput r2.throughput;
+  Alcotest.(check int) "same event count" r1.events r2.events;
+  Alcotest.(check int) "same sync count" r1.wal_syncs r2.wal_syncs
+
 let suite =
   [
     Alcotest.test_case "engine: delay ordering" `Quick test_engine_delay_ordering;
@@ -392,4 +444,10 @@ let suite =
       `Slow test_jpaxos_executors_conflicts_serialise;
     Alcotest.test_case "jpaxos model: deterministic with executors" `Quick
       test_jpaxos_executors_deterministic;
+    Alcotest.test_case "sdisk: group accounting and serialization" `Quick
+      test_sdisk_groups_and_serializes;
+    Alcotest.test_case "jpaxos model: group commit beats serial fsync" `Quick
+      test_jpaxos_durable_group_beats_serial;
+    Alcotest.test_case "jpaxos model: deterministic durable mode" `Quick
+      test_jpaxos_durable_deterministic;
   ]

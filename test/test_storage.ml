@@ -48,7 +48,7 @@ let test_wal_roundtrip () =
   with_tmp_dir @@ fun dir ->
   let wal = Wal.openw ~dir ~sync:Wal.No_sync () in
   List.iter
-    (fun s -> Wal.append wal (Bytes.of_string s))
+    (fun s -> ignore (Wal.append wal (Bytes.of_string s)))
     [ "alpha"; "beta"; ""; "gamma" ];
   Alcotest.(check int) "appended" 4 (Wal.appended wal);
   Wal.close wal;
@@ -61,10 +61,10 @@ let test_wal_roundtrip () =
 let test_wal_append_after_reopen () =
   with_tmp_dir @@ fun dir ->
   let w1 = Wal.openw ~dir ~sync:Wal.No_sync () in
-  Wal.append w1 (Bytes.of_string "one");
+  ignore (Wal.append w1 (Bytes.of_string "one"));
   Wal.close w1;
   let w2 = Wal.openw ~dir ~sync:Wal.No_sync () in
-  Wal.append w2 (Bytes.of_string "two");
+  ignore (Wal.append w2 (Bytes.of_string "two"));
   Wal.close w2;
   let got = ref [] in
   ignore (Wal.replay ~dir (fun b -> got := Bytes.to_string b :: !got));
@@ -73,8 +73,8 @@ let test_wal_append_after_reopen () =
 let test_wal_truncates_torn_suffix () =
   with_tmp_dir @@ fun dir ->
   let wal = Wal.openw ~dir ~sync:Wal.No_sync () in
-  Wal.append wal (Bytes.of_string "good-1");
-  Wal.append wal (Bytes.of_string "good-2");
+  ignore (Wal.append wal (Bytes.of_string "good-1"));
+  ignore (Wal.append wal (Bytes.of_string "good-2"));
   Wal.close wal;
   (* Simulate a torn write: append half a record by hand. *)
   let path = Filename.concat dir "wal-000000.log" in
@@ -88,7 +88,7 @@ let test_wal_truncates_torn_suffix () =
   Alcotest.(check int) "intact prefix" 2 n;
   (* The torn suffix is gone: appending and replaying again is clean. *)
   let w2 = Wal.openw ~dir ~sync:Wal.No_sync () in
-  Wal.append w2 (Bytes.of_string "good-3");
+  ignore (Wal.append w2 (Bytes.of_string "good-3"));
   Wal.close w2;
   let got2 = ref [] in
   ignore (Wal.replay ~dir (fun b -> got2 := Bytes.to_string b :: !got2));
@@ -99,8 +99,8 @@ let test_wal_truncates_torn_suffix () =
 let test_wal_detects_corruption () =
   with_tmp_dir @@ fun dir ->
   let wal = Wal.openw ~dir ~sync:Wal.No_sync () in
-  Wal.append wal (Bytes.of_string "aaaa");
-  Wal.append wal (Bytes.of_string "bbbb");
+  ignore (Wal.append wal (Bytes.of_string "aaaa"));
+  ignore (Wal.append wal (Bytes.of_string "bbbb"));
   Wal.close wal;
   (* Flip a payload byte of the second record. *)
   let path = Filename.concat dir "wal-000000.log" in
@@ -117,7 +117,7 @@ let test_wal_segment_rotation () =
   with_tmp_dir @@ fun dir ->
   let wal = Wal.openw ~segment_bytes:64 ~dir ~sync:Wal.No_sync () in
   for i = 1 to 10 do
-    Wal.append wal (Bytes.of_string (Printf.sprintf "record-%02d-xxxxxxxx" i))
+    ignore (Wal.append wal (Bytes.of_string (Printf.sprintf "record-%02d-xxxxxxxx" i)))
   done;
   Wal.close wal;
   let segments =
@@ -133,6 +133,81 @@ let test_wal_segment_rotation () =
   Alcotest.(check int) "all records across segments" 10 !got
 
 (* ------------------------------------------------------------------ *)
+(* Group commit: append_many, LSNs, crash at arbitrary points inside an
+   unsynced group *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_wal_append_many_group_sync () =
+  with_tmp_dir @@ fun dir ->
+  let wal = Wal.openw ~dir ~sync:Wal.Sync_every_write () in
+  let lsn = Wal.append_many wal (List.map Bytes.of_string [ "a"; "bb"; "ccc" ]) in
+  Alcotest.(check int) "lsn of last record" 3 lsn;
+  (* The whole group became durable under the one policy-applied sync. *)
+  Alcotest.(check int) "synced watermark" 3 (Wal.synced wal);
+  let counter_value name =
+    List.find_map
+      (fun (s : Msmr_obs.Metrics.sample) ->
+         if s.name = name && s.labels = [ ("dir", dir) ] then
+           match s.value with Msmr_obs.Metrics.Counter_v n -> Some n | _ -> None
+         else None)
+      (Msmr_obs.Metrics.snapshot ())
+  in
+  Alcotest.(check (option int)) "one fsync for the group" (Some 1)
+    (counter_value "msmr_wal_sync_total");
+  Alcotest.(check int) "empty batch is a no-op" 3 (Wal.append_many wal []);
+  let lsn2 = Wal.append wal (Bytes.of_string "d") in
+  Alcotest.(check int) "appends keep counting" 4 lsn2;
+  Wal.close wal;
+  let got = ref [] in
+  ignore (Wal.replay ~dir (fun b -> got := Bytes.to_string b :: !got));
+  Alcotest.(check (list string)) "order" [ "a"; "bb"; "ccc"; "d" ]
+    (List.rev !got)
+
+let test_wal_append_many_torn_boundary () =
+  with_tmp_dir @@ fun dir ->
+  let batch1 = List.init 4 (fun i -> Printf.sprintf "first-%d" i) in
+  let batch2 = List.init 3 (fun i -> Printf.sprintf "second-%d" i) in
+  let wal = Wal.openw ~dir ~sync:Wal.No_sync () in
+  ignore (Wal.append_many wal (List.map Bytes.of_string batch1));
+  Alcotest.(check int) "group sync watermark" 4 (Wal.sync wal);
+  let seg = Filename.concat dir "wal-000000.log" in
+  let synced_bytes = (Unix.stat seg).Unix.st_size in
+  ignore (Wal.append_many wal (List.map Bytes.of_string batch2));
+  Wal.close wal;
+  let data = read_file seg in
+  (* Crash property: the fsync covering batch1 completed, the one for
+     batch2 did not, so the file may survive cut at ANY byte from the
+     synced prefix on. Every cut must recover all of batch1 plus a clean
+     prefix of batch2. *)
+  for cut = synced_bytes to String.length data do
+    let d2 = Filename.concat dir (Printf.sprintf "cut-%d" cut) in
+    Unix.mkdir d2 0o755;
+    write_file (Filename.concat d2 "wal-000000.log") (String.sub data 0 cut);
+    let got = ref [] in
+    ignore (Wal.replay ~dir:d2 (fun b -> got := Bytes.to_string b :: !got));
+    let got = List.rev !got in
+    let n = List.length got in
+    if n < 4 then
+      Alcotest.failf "cut %d lost synced records (%d survive)" cut n;
+    Alcotest.(check (list string))
+      (Printf.sprintf "cut %d is a clean prefix" cut)
+      (batch1 @ List.filteri (fun i _ -> i < n - 4) batch2)
+      got;
+    rm_rf d2
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Replica store *)
 
 let batch_value num =
@@ -145,13 +220,15 @@ let batch_value num =
 let test_store_roundtrip () =
   with_tmp_dir @@ fun dir ->
   let store = Replica_store.openw ~dir () in
-  Replica_store.log_event store (Replica_store.View 3);
-  Replica_store.log_event store
-    (Replica_store.Accepted { iid = 0; view = 3; value = batch_value 0 });
-  Replica_store.log_event store
-    (Replica_store.Accepted { iid = 1; view = 3; value = batch_value 1 });
-  Replica_store.log_event store (Replica_store.Decided { iid = 0; view = 3 });
-  Replica_store.sync store;
+  ignore (Replica_store.log_event store (Replica_store.View 3));
+  ignore
+    (Replica_store.log_event store
+       (Replica_store.Accepted { iid = 0; view = 3; value = batch_value 0 }));
+  ignore
+    (Replica_store.log_event store
+       (Replica_store.Accepted { iid = 1; view = 3; value = batch_value 1 }));
+  ignore (Replica_store.log_event store (Replica_store.Decided { iid = 0; view = 3 }));
+  ignore (Replica_store.sync store);
   Replica_store.close store;
   let r = Replica_store.recover ~dir in
   Alcotest.(check int) "view" 3 r.r_view;
@@ -166,12 +243,15 @@ let test_store_roundtrip () =
 let test_store_higher_view_acceptance_wins () =
   with_tmp_dir @@ fun dir ->
   let store = Replica_store.openw ~dir () in
-  Replica_store.log_event store
-    (Replica_store.Accepted { iid = 5; view = 1; value = batch_value 1 });
-  Replica_store.log_event store
-    (Replica_store.Accepted { iid = 5; view = 4; value = batch_value 2 });
-  Replica_store.log_event store
-    (Replica_store.Accepted { iid = 5; view = 2; value = batch_value 3 });
+  ignore
+    (Replica_store.log_event store
+       (Replica_store.Accepted { iid = 5; view = 1; value = batch_value 1 }));
+  ignore
+    (Replica_store.log_event store
+       (Replica_store.Accepted { iid = 5; view = 4; value = batch_value 2 }));
+  ignore
+    (Replica_store.log_event store
+       (Replica_store.Accepted { iid = 5; view = 2; value = batch_value 3 }));
   Replica_store.close store;
   let r = Replica_store.recover ~dir in
   (match r.r_accepted with
@@ -182,14 +262,16 @@ let test_store_higher_view_acceptance_wins () =
 let test_store_checkpoint () =
   with_tmp_dir @@ fun dir ->
   let store = Replica_store.openw ~dir () in
-  Replica_store.log_event store
-    (Replica_store.Accepted { iid = 0; view = 0; value = batch_value 0 });
-  Replica_store.log_event store (Replica_store.Decided { iid = 0; view = 0 });
+  ignore
+    (Replica_store.log_event store
+       (Replica_store.Accepted { iid = 0; view = 0; value = batch_value 0 }));
+  ignore (Replica_store.log_event store (Replica_store.Decided { iid = 0; view = 0 }));
   Replica_store.checkpoint store ~next_iid:1 ~state:(Bytes.of_string "S1");
   (* Post-checkpoint traffic. *)
-  Replica_store.log_event store
-    (Replica_store.Accepted { iid = 1; view = 0; value = batch_value 1 });
-  Replica_store.log_event store (Replica_store.Decided { iid = 1; view = 0 });
+  ignore
+    (Replica_store.log_event store
+       (Replica_store.Accepted { iid = 1; view = 0; value = batch_value 1 }));
+  ignore (Replica_store.log_event store (Replica_store.Decided { iid = 1; view = 0 }));
   Replica_store.close store;
   let r = Replica_store.recover ~dir in
   (match r.r_snapshot with
@@ -206,6 +288,178 @@ let test_store_empty_dir () =
   Alcotest.(check int) "view 0" 0 r.r_view;
   Alcotest.(check bool) "empty" true
     (r.r_accepted = [] && r.r_decided = [] && r.r_snapshot = None)
+
+let test_store_log_batch_lsn () =
+  with_tmp_dir @@ fun dir ->
+  let store = Replica_store.openw ~sync:Wal.Sync_every_write ~dir () in
+  Alcotest.(check int) "fresh store" 0 (Replica_store.lsn store);
+  let l1 = Replica_store.log_event store (Replica_store.View 1) in
+  Alcotest.(check int) "first lsn" 1 l1;
+  let l2 =
+    Replica_store.log_batch store
+      (List.init 3 (fun i ->
+           Replica_store.Accepted { iid = i; view = 1; value = batch_value i }))
+  in
+  Alcotest.(check int) "batch lsn" 4 l2;
+  Alcotest.(check int) "durable under Sync_every_write" 4
+    (Replica_store.durable_lsn store);
+  Alcotest.(check int) "empty batch returns current lsn" 4
+    (Replica_store.log_batch store []);
+  Replica_store.close store
+
+let test_store_crash_mid_group_commit () =
+  with_tmp_dir @@ fun root ->
+  let dir = Filename.concat root "store" in
+  Unix.mkdir dir 0o755;
+  let store = Replica_store.openw ~sync:Wal.Sync_periodic ~dir () in
+  ignore (Replica_store.log_event store (Replica_store.View 1));
+  ignore
+    (Replica_store.log_batch store
+       (List.init 4 (fun i ->
+            Replica_store.Accepted { iid = i; view = 1; value = batch_value i })));
+  (* The StableStorage thread's group fsync: everything so far is now
+     durable, and (in the pipeline) the Accepted messages for iids 0-3
+     are released to the wire. *)
+  Alcotest.(check int) "watermark after group sync" 5 (Replica_store.sync store);
+  let seg = Filename.concat dir "wal-000000.log" in
+  let synced_bytes = (Unix.stat seg).Unix.st_size in
+  (* A second group is appended but the crash lands before its fsync. *)
+  ignore
+    (Replica_store.log_batch store
+       (List.init 3 (fun i ->
+            Replica_store.Accepted
+              { iid = 4 + i; view = 1; value = batch_value (4 + i) })));
+  Alcotest.(check int) "second group not durable" 5
+    (Replica_store.durable_lsn store);
+  Replica_store.close store;
+  let data = read_file seg in
+  (* No promise gap: whatever suffix the crash destroys, recovery must
+     retain every acceptance whose Accepted was released (iids 0-3), and
+     anything extra must be a clean prefix of the second group. *)
+  for cut = synced_bytes to String.length data do
+    let d2 = Filename.concat root (Printf.sprintf "cut-%d" cut) in
+    Unix.mkdir d2 0o755;
+    write_file (Filename.concat d2 "wal-000000.log") (String.sub data 0 cut);
+    let r = Replica_store.recover ~dir:d2 in
+    Alcotest.(check int) (Printf.sprintf "cut %d view" cut) 1 r.r_view;
+    let iids = List.map (fun (iid, _, _) -> iid) r.r_accepted in
+    List.iter
+      (fun iid ->
+         if not (List.mem iid iids) then
+           Alcotest.failf "cut %d: released acceptance %d lost" cut iid;
+         match List.find (fun (i, _, _) -> i = iid) r.r_accepted with
+         | _, v, value ->
+           Alcotest.(check int) (Printf.sprintf "cut %d iid %d view" cut iid) 1 v;
+           Alcotest.(check bool)
+             (Printf.sprintf "cut %d iid %d value" cut iid)
+             true
+             (Value.equal value (batch_value iid)))
+      [ 0; 1; 2; 3 ];
+    Alcotest.(check (list int))
+      (Printf.sprintf "cut %d clean prefix" cut)
+      (List.init (List.length iids) (fun i -> i))
+      (List.sort compare iids);
+    rm_rf d2
+  done
+
+(* ------------------------------------------------------------------ *)
+(* StableStorage gating: no durability-dependent message reaches the
+   wire before its LSN is durable *)
+
+let await ?(timeout_s = 5.0) ~what pred =
+  let deadline =
+    Int64.add (Msmr_platform.Mclock.now_ns ())
+      (Msmr_platform.Mclock.ns_of_s timeout_s)
+  in
+  let rec go () =
+    if pred () then ()
+    else if Int64.compare (Msmr_platform.Mclock.now_ns ()) deadline > 0 then
+      Alcotest.failf "timeout waiting for %s" what
+    else begin
+      Msmr_platform.Mclock.sleep_s 0.005;
+      go ()
+    end
+  in
+  go ()
+
+let test_stable_storage_gates_sends () =
+  with_tmp_dir @@ fun dir ->
+  let module Bq = Msmr_platform.Bounded_queue in
+  let module Msg = Msmr_consensus.Msg in
+  (* Slow timers: nothing but our injected messages drives the replica. *)
+  let cfg =
+    { (Msmr_consensus.Config.default ~n:3) with
+      max_batch_delay_s = 1.0;
+      retransmit_interval_s = 30.0;
+      fd_interval_s = 30.0;
+      fd_timeout_s = 120.0;
+      catchup_interval_s = 30.0 }
+  in
+  let sent_mu = Mutex.create () in
+  let sent = ref [] in
+  let push b =
+    Mutex.lock sent_mu;
+    sent := b :: !sent;
+    Mutex.unlock sent_mu
+  in
+  let sent_msgs () =
+    Mutex.lock sent_mu;
+    let l = List.rev !sent in
+    Mutex.unlock sent_mu;
+    List.map Msg.decode l
+  in
+  let inboxes = [ (0, Bq.create ~capacity:64); (2, Bq.create ~capacity:64) ] in
+  let links =
+    List.map
+      (fun (peer, inbox) ->
+         ( peer,
+           { R.Transport.send_bytes = push;
+             send_many = (fun bs -> List.iter push bs);
+             recv_bytes =
+               (fun () ->
+                  match Bq.take inbox with
+                  | b -> Some b
+                  | exception Bq.Closed -> None);
+             close = (fun () -> Bq.close inbox) } ))
+      inboxes
+  in
+  (* Replica 1 is a follower of the view-0 leader (node 0). *)
+  let replica =
+    R.Replica.create ~cfg ~me:1 ~links
+      ~durability:(R.Replica.Durable { dir; sync = Wal.Sync_every_write })
+      ~service:(R.Service.accumulator ()) ()
+  in
+  Fun.protect ~finally:(fun () -> R.Replica.stop replica) @@ fun () ->
+  R.Replica.stall_stable_storage replica true;
+  Bq.put (List.assoc 0 inboxes)
+    (Msg.encode (Msg.Accept { view = 0; iid = 0; value = batch_value 0 }));
+  (* The acceptance is processed but its LSN never becomes durable, so
+     nothing durability-gated may appear on the wire. *)
+  Msmr_platform.Mclock.sleep_s 0.2;
+  let gated =
+    List.filter
+      (function
+        | Msg.Accepted _ | Msg.Prepare_ok _ | Msg.Accept _ -> true
+        | _ -> false)
+      (sent_msgs ())
+  in
+  Alcotest.(check int) "nothing gated on the wire while stalled" 0
+    (List.length gated);
+  R.Replica.stall_stable_storage replica false;
+  await ~what:"Accepted released after unstall" (fun () ->
+      List.exists
+        (function
+          | Msg.Accepted { view = 0; iid = 0 } -> true
+          | _ -> false)
+        (sent_msgs ()));
+  R.Replica.stop replica;
+  (* The release was honest: the acceptance is on stable storage. *)
+  let r = Replica_store.recover ~dir in
+  Alcotest.(check bool) "acceptance durable" true
+    (List.exists
+       (fun (iid, view, value) ->
+          iid = 0 && view = 0 && Value.equal value (batch_value 0))
+       r.r_accepted)
 
 (* ------------------------------------------------------------------ *)
 (* Paxos recovery *)
@@ -305,6 +559,41 @@ let test_cluster_restart_from_disk () =
   (* Phase 3: once more, proving repeated recovery works. *)
   run_phase "91" [ "3" ]
 
+let test_cluster_restart_sync_every_write () =
+  (* Same restart shape under Sync_every_write: every phase runs the
+     full group-commit pipeline (log queue, burst fsync, gated release)
+     and recovery must still converge. *)
+  with_tmp_dir @@ fun dir ->
+  let cfg =
+    { (Msmr_consensus.Config.default ~n:3) with max_batch_delay_s = 0.004 }
+  in
+  let durability me =
+    R.Replica.Durable
+      { dir = Filename.concat dir (Printf.sprintf "r%d" me);
+        sync = Wal.Sync_every_write }
+  in
+  let run_phase expected_sum ~client_id calls =
+    let cluster =
+      R.Replica.Cluster.create ~durability ~cfg
+        ~service:(fun () -> R.Service.accumulator ())
+        ()
+    in
+    Fun.protect ~finally:(fun () -> R.Replica.Cluster.stop cluster)
+    @@ fun () ->
+    ignore (R.Replica.Cluster.await_leader cluster);
+    let client = R.Client.create ~cluster ~client_id () in
+    let final = ref "" in
+    List.iter
+      (fun v ->
+         final := Bytes.to_string (R.Client.call client (Bytes.of_string v)))
+      calls;
+    Alcotest.(check string) "sum" expected_sum !final;
+    (* Let the StableStorage thread flush the trailing Decided records. *)
+    Msmr_platform.Mclock.sleep_s 0.05
+  in
+  run_phase "15" ~client_id:1 [ "1"; "2"; "3"; "4"; "5" ];
+  run_phase "35" ~client_id:2 [ "20" ]
+
 let suite =
   [
     Alcotest.test_case "crc32: vectors" `Quick test_crc32_vectors;
@@ -314,11 +603,20 @@ let suite =
     Alcotest.test_case "wal: torn suffix truncated" `Quick test_wal_truncates_torn_suffix;
     Alcotest.test_case "wal: corruption detected" `Quick test_wal_detects_corruption;
     Alcotest.test_case "wal: segment rotation" `Quick test_wal_segment_rotation;
+    Alcotest.test_case "wal: append_many group sync" `Quick test_wal_append_many_group_sync;
+    Alcotest.test_case "wal: append_many torn boundary" `Quick test_wal_append_many_torn_boundary;
     Alcotest.test_case "store: round-trip" `Quick test_store_roundtrip;
     Alcotest.test_case "store: higher view wins" `Quick test_store_higher_view_acceptance_wins;
     Alcotest.test_case "store: checkpoint" `Quick test_store_checkpoint;
     Alcotest.test_case "store: empty dir" `Quick test_store_empty_dir;
+    Alcotest.test_case "store: log_batch lsn" `Quick test_store_log_batch_lsn;
+    Alcotest.test_case "store: crash mid group commit" `Quick
+      test_store_crash_mid_group_commit;
+    Alcotest.test_case "stable storage: gates sends until durable" `Quick
+      test_stable_storage_gates_sends;
     Alcotest.test_case "paxos: recover" `Quick test_paxos_recover;
     Alcotest.test_case "paxos: recover with snapshot" `Quick test_paxos_recover_with_snapshot;
     Alcotest.test_case "cluster: restart from disk" `Quick test_cluster_restart_from_disk;
+    Alcotest.test_case "cluster: restart with Sync_every_write" `Quick
+      test_cluster_restart_sync_every_write;
   ]
