@@ -853,6 +853,110 @@ let bench003 () =
   Printf.printf "wrote %s\n%!" !bench003_out
 
 (* ------------------------------------------------------------------ *)
+(* bench004: static vs adaptive BSZ/WND. The paper hand-picks its two
+   headline knobs per deployment; the Autotune controller (DESIGN.md
+   §11) tunes them online from queue/batch/latency signals. This sweep
+   compares, for each (request size, cores) point:
+     - static-default: the paper's WND=10 / BSZ=1300, untouched;
+     - static-best:    the best point of a small static grid — the
+                       hand-tuning the controller is meant to replace;
+     - adaptive:       auto_tune from the default starting point.
+   The gate (scripts/verify.sh) requires adaptive to beat the static
+   default by >= 1.2x somewhere and to stay within 10% of static-best
+   everywhere. *)
+
+let bench004_out = ref "bench/BENCH_004.json"
+
+let bench004 () =
+  heading "bench004"
+    (Printf.sprintf "Static vs adaptive BSZ/WND sweep -> %s%s" !bench004_out
+       (if !bench_quick then " (--quick)" else ""));
+  let module J = Msmr_obs.Json in
+  (* The adaptive runs start from the static default and must converge
+     inside the warm-up; a finer controller epoch compensates for the
+     shorter quick windows. *)
+  let warmup, duration, epoch =
+    if !bench_quick then (0.4, 0.4, 0.004) else (0.8, 1.0, 0.01)
+  in
+  let static_grid = [ (10, 1300); (35, 1300); (10, 16384); (35, 16384) ] in
+  let run ~cores ~size ?(auto = false) ~wnd ~bsz () =
+    let p = Params.default ~profile:Params.parapluie ~n:3 ~cores () in
+    Jp.run
+      { p with
+        request_size = size;
+        wnd;
+        bsz;
+        warmup;
+        duration;
+        auto_tune = auto;
+        tune_epoch = epoch }
+  in
+  Printf.printf "(n=3, parapluie; adaptive starts from WND=10, BSZ=1300)\n";
+  Printf.printf "%6s %6s | %11s %11s %9s | %11s %7s %7s %6s %7s\n" "size"
+    "cores" "default" "best" "best@" "adaptive" "vs_def" "vs_best" "wnd*"
+    "bsz*";
+  let point size cores =
+    let statics =
+      List.map
+        (fun (w, b) -> ((w, b), (run ~cores ~size ~wnd:w ~bsz:b ()).Jp.throughput))
+        static_grid
+    in
+    let default_rps = List.assoc (10, 1300) statics in
+    let (best_wnd, best_bsz), best_rps =
+      List.fold_left
+        (fun (bk, bt) (key, t) -> if t > bt then (key, t) else (bk, bt))
+        (List.hd statics) (List.tl statics)
+    in
+    let ad = run ~cores ~size ~auto:true ~wnd:10 ~bsz:1300 () in
+    let vs_def = ad.Jp.throughput /. default_rps in
+    let vs_best = ad.Jp.throughput /. best_rps in
+    Printf.printf
+      "%6d %6d | %10.1fK %10.1fK %4d/%-5d | %10.1fK %7.2f %7.2f %6d %7d\n%!"
+      size cores (k default_rps) (k best_rps) best_wnd best_bsz
+      (k ad.Jp.throughput) vs_def vs_best ad.Jp.tuned_wnd_final
+      ad.Jp.tuned_bsz_final;
+    J.Obj
+      [ ("request_size", J.Int size);
+        ("cores", J.Int cores);
+        ("static_default_rps", J.Float default_rps);
+        ("static_best_rps", J.Float best_rps);
+        ("static_best_wnd", J.Int best_wnd);
+        ("static_best_bsz", J.Int best_bsz);
+        ("adaptive_rps", J.Float ad.Jp.throughput);
+        ("adaptive_vs_default", J.Float vs_def);
+        ("adaptive_vs_best", J.Float vs_best);
+        ("tuned_wnd_final", J.Int ad.Jp.tuned_wnd_final);
+        ("tuned_bsz_final", J.Int ad.Jp.tuned_bsz_final) ]
+  in
+  let points =
+    List.concat_map
+      (fun size -> List.map (point size) [ 1; 8; 24 ])
+      [ 128; 1024; 8192 ]
+  in
+  let json =
+    J.Obj
+      [ ("bench", J.String "BENCH_004");
+        ("source", J.String "bench/main.exe bench004");
+        ("quick", J.Bool !bench_quick);
+        ("n", J.Int 3);
+        ("profile", J.String "parapluie");
+        ("start_wnd", J.Int 10);
+        ("start_bsz", J.Int 1300);
+        ( "static_grid",
+          J.List
+            (List.map
+               (fun (w, b) ->
+                  J.Obj [ ("wnd", J.Int w); ("bsz", J.Int b) ])
+               static_grid) );
+        ("points", J.List points) ]
+  in
+  let oc = open_out !bench004_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !bench004_out
+
+(* ------------------------------------------------------------------ *)
 (* Observability: --trace FILE runs a short traced simulation and writes
    a Chrome trace_event file; --metrics FILE dumps the metrics registry.
    See docs/OBSERVABILITY.md. *)
@@ -918,7 +1022,8 @@ let experiments =
     ("fig10", fig10); ("tab2", tab2); ("fig11", fig11); ("tab3", tab3);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("ext", ext);
     ("live", live); ("live-mono", live_mono); ("ablation", ablation);
-    ("micro", micro); ("bench002", bench002); ("bench003", bench003) ]
+    ("micro", micro); ("bench002", bench002); ("bench003", bench003);
+    ("bench004", bench004) ]
 
 let () =
   let rec parse ids trace metrics = function
@@ -931,13 +1036,18 @@ let () =
     | "--bench003-out" :: file :: rest ->
       bench003_out := file;
       parse ids trace metrics rest
+    | "--bench004-out" :: file :: rest ->
+      bench004_out := file;
+      parse ids trace metrics rest
     | "--quick" :: rest ->
       bench_quick := true;
       parse ids trace metrics rest
-    | ("--trace" | "--metrics" | "--bench-out" | "--bench003-out") :: [] ->
+    | ("--trace" | "--metrics" | "--bench-out" | "--bench003-out"
+      | "--bench004-out") :: [] ->
       Printf.eprintf
         "usage: main [EXPERIMENT..] [--trace FILE] [--metrics FILE]\n\
-        \       [--quick] [--bench-out FILE] [--bench003-out FILE]\n";
+        \       [--quick] [--bench-out FILE] [--bench003-out FILE]\n\
+        \       [--bench004-out FILE]\n";
       exit 2
     | id :: rest -> parse (id :: ids) trace metrics rest
   in

@@ -9,10 +9,33 @@
 
 type t
 
-val create : Config.t -> src:Types.node_id -> t
+val create : ?tuned_bsz:int Atomic.t -> Config.t -> src:Types.node_id -> t
+(** [tuned_bsz] makes BSZ dynamic: the limit is re-read from the atomic
+    on every {!add} / flush, so an {!Autotune} controller on another
+    thread can retune it without locks. Without it the limit is the
+    static [cfg.max_batch_bytes] — the exact pre-autotune behaviour. *)
+
+val bsz_limit : t -> int
+(** The size limit currently in force ([tuned_bsz] if dynamic). *)
 
 val pending_requests : t -> int
+(** O(1): an explicit count is maintained alongside the open list. *)
+
 val pending_bytes : t -> int
+
+type seal_stats = {
+  seals_size : int;    (** batches sealed because the size limit was hit *)
+  seals_delay : int;   (** batches flushed on the delay cap (or forced) *)
+  sealed_bytes : int;  (** total payload bytes across all sealed batches *)
+  limit_bytes : int;   (** sum of the BSZ limit in force at each seal —
+                           [sealed_bytes /. limit_bytes] is the mean
+                           batch fill ratio *)
+}
+
+val seal_stats : t -> seal_stats
+(** Monotone counters since [create]; callers diff snapshots for
+    per-epoch figures. Written only by the owning Batcher thread; a
+    cross-thread reader sees benignly-stale word-consistent values. *)
 
 val add :
   t -> Msmr_wire.Client_msg.request -> now_ns:int64 -> Batch.t option

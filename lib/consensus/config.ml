@@ -9,6 +9,12 @@ type t = {
   catchup_interval_s : float;
   snapshot_every : int;
   log_retain : int;
+  auto_tune : bool;
+  bsz_min : int;
+  bsz_max : int;
+  wnd_min : int;
+  wnd_max : int;
+  tune_epoch_s : float;
 }
 
 let default ~n =
@@ -23,6 +29,12 @@ let default ~n =
     catchup_interval_s = 0.05;
     snapshot_every = 10_000;
     log_retain = 1_000;
+    auto_tune = false;
+    bsz_min = 256;
+    bsz_max = 65536;
+    wnd_min = 1;
+    wnd_max = 64;
+    tune_epoch_s = 0.01;
   }
 
 let validate t =
@@ -38,6 +50,20 @@ let validate t =
   else if t.catchup_interval_s <= 0. then Error "catchup_interval_s must be > 0"
   else if t.snapshot_every < 0 then Error "snapshot_every must be >= 0"
   else if t.log_retain < 0 then Error "log_retain must be >= 0"
+  else if t.auto_tune && t.bsz_min < 1 then
+    Error "bsz_min must be >= 1 when auto_tune is on"
+  else if t.auto_tune && not (t.bsz_min <= t.max_batch_bytes) then
+    Error "bsz_min must be <= max_batch_bytes when auto_tune is on"
+  else if t.auto_tune && not (t.max_batch_bytes <= t.bsz_max) then
+    Error "max_batch_bytes must be <= bsz_max when auto_tune is on"
+  else if t.auto_tune && t.wnd_min < 1 then
+    Error "wnd_min must be >= 1 when auto_tune is on"
+  else if t.auto_tune && not (t.wnd_min <= t.window) then
+    Error "wnd_min must be <= window when auto_tune is on"
+  else if t.auto_tune && not (t.window <= t.wnd_max) then
+    Error "window must be <= wnd_max when auto_tune is on"
+  else if t.auto_tune && t.tune_epoch_s <= 0. then
+    Error "tune_epoch_s must be > 0 when auto_tune is on"
   else Ok ()
 
 let f t = (t.n - 1) / 2

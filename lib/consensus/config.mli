@@ -18,12 +18,22 @@ type t = {
                                       many executed instances; 0 = never *)
   log_retain : int;               (** decided entries kept below the last
                                       snapshot point (for cheap catch-up) *)
+  auto_tune : bool;               (** adapt BSZ/WND online ({!Autotune});
+                                      [window]/[max_batch_bytes] become the
+                                      starting point instead of a fixture *)
+  bsz_min : int;                  (** static lower bound for tuned BSZ *)
+  bsz_max : int;                  (** static upper bound for tuned BSZ *)
+  wnd_min : int;                  (** static lower bound for tuned WND *)
+  wnd_max : int;                  (** static upper bound for tuned WND *)
+  tune_epoch_s : float;           (** controller epoch (tick cadence) *)
 }
 
 val default : n:int -> t
 (** Paper settings: WND = 10, BSZ = 1300, 50 ms batch delay cap,
     retransmission 100 ms, heartbeats 100 ms / timeout 500 ms, catch-up
-    50 ms, snapshot every 10_000 instances, retain 1_000 entries. *)
+    50 ms, snapshot every 10_000 instances, retain 1_000 entries.
+    Auto-tuning off; bounds 256..65536 bytes, 1..64 instances, 10 ms
+    controller epoch. *)
 
 val validate : t -> (unit, string) result
 (** Check invariants (n >= 1 and odd for the usual f derivation,

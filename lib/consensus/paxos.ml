@@ -50,6 +50,7 @@ type preparing = {
 type t = {
   cfg : Config.t;
   me : Types.node_id;
+  mutable window : int; (* WND in force: cfg.window unless retuned online *)
   log : Log.t;
   mutable view : Types.view;
   mutable active : bool;             (* I lead [view] and Phase 1 is done *)
@@ -71,7 +72,8 @@ let create cfg ~me =
    | Ok () -> ()
    | Error e -> invalid_arg ("Paxos.create: " ^ e));
   if me < 0 || me >= cfg.n then invalid_arg "Paxos.create: bad node id";
-  { cfg; me; log = Log.create (); view = 0; active = false; preparing = None;
+  { cfg; me; window = cfg.window; log = Log.create (); view = 0;
+    active = false; preparing = None;
     pending = []; decided_hint = 0; catchup_outstanding = 0; snapshot = None;
     live_rtx = Hashtbl.create 64;
     stats =
@@ -85,6 +87,8 @@ let is_leader t = t.active && leader t = t.me
 let log t = t.log
 let stats t = t.stats
 let window_in_use t = Log.in_flight t.log
+let window t = t.window
+let set_window t w = t.window <- max 1 w
 
 let others t =
   List.filter (fun p -> p <> t.me) (List.init t.cfg.n Fun.id)
@@ -153,13 +157,13 @@ let open_instance t iid value =
       schedule_rtx t (Rtx_accept (t.view, iid)) (others t) msg ]
 
 let can_propose t =
-  t.active && t.preparing = None && Log.in_flight t.log < t.cfg.window
+  t.active && t.preparing = None && Log.in_flight t.log < t.window
   && t.pending = []
 
 (* Propose deferred batches while the window allows. *)
 let flush_pending t =
   let rec go acc =
-    if t.active && Log.in_flight t.log < t.cfg.window && t.pending <> [] then begin
+    if t.active && Log.in_flight t.log < t.window && t.pending <> [] then begin
       match List.rev t.pending with
       | [] -> acc
       | oldest :: rest_rev ->
@@ -171,7 +175,7 @@ let flush_pending t =
   go []
 
 let propose t batch =
-  if t.active && t.preparing = None && Log.in_flight t.log < t.cfg.window
+  if t.active && t.preparing = None && Log.in_flight t.log < t.window
      && t.pending = []
   then open_instance t (Log.next_unused t.log) (Value.Batch batch)
   else begin

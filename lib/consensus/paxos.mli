@@ -91,6 +91,17 @@ val log : t -> Log.t
 val stats : t -> stats
 val window_in_use : t -> int
 
+val window : t -> int
+(** WND currently in force ([cfg.window] unless retuned). *)
+
+val set_window : t -> int -> unit
+(** Retune WND online (clamped to >= 1). Must be called from the thread
+    that owns the engine (the Protocol thread) — the engine is
+    single-threaded state, and the {!Autotune} controller runs on that
+    same thread's tick, so no synchronisation is needed. Shrinking below
+    the current in-flight count stops new proposals until enough
+    instances decide; nothing in flight is cancelled. *)
+
 (** {1 Events} *)
 
 val propose : t -> Batch.t -> action list

@@ -32,6 +32,10 @@ type rtx_entry = {
   r_dest : Types.node_id list;
   r_msg : Msg.t;
   r_cancelled : bool Atomic.t;
+  r_t0 : int64;
+      (* when the retransmission was first scheduled; for the leader's
+         Rtx_accept this is the propose time, so cancel time minus it is
+         the commit latency the autotune controller feeds on *)
 }
 
 (* StableStorage pipeline (Durable mode). The Protocol thread never
@@ -119,9 +123,22 @@ type t = {
   mutable threads : Worker.t list;
   window_now : int Atomic.t;
   first_undecided_now : int Atomic.t;
+  (* Autotune (Config.auto_tune): tuned values published by the Protocol
+     thread's controller tick, read lock-free by the Batcher threads
+     (tuned_bsz) and by metrics. The engine's window is retuned directly
+     on the Protocol thread via [Paxos.set_window]. *)
+  tuned_bsz : int Atomic.t;
+  tuned_wnd : int Atomic.t;
+  batchers : Batcher.t array;
+  (* Commit-latency accumulators for the current controller epoch.
+     Protocol-thread private (written in protocol_apply, read/reset by
+     the controller tick on the same thread) — no synchronisation. *)
+  mutable tune_lat_sum : float;
+  mutable tune_lat_n : int;
 }
 
 let me t = t.me
+let tuned_now t = (Atomic.get t.tuned_bsz, Atomic.get t.tuned_wnd)
 let is_leader t = Atomic.get t.am_leader
 let current_view t = Atomic.get t.view_now
 let executed_count t = Counter.get t.executed
@@ -210,7 +227,8 @@ let protocol_apply t (rtx_map : (Paxos.rtx_key, rtx_entry) Hashtbl.t) actions =
           with Bq.Closed -> ())
        | Paxos.Schedule_rtx { key; dest; msg } ->
          let entry =
-           { r_dest = dest; r_msg = msg; r_cancelled = Atomic.make false }
+           { r_dest = dest; r_msg = msg; r_cancelled = Atomic.make false;
+             r_t0 = now }
          in
          Hashtbl.replace rtx_map key entry;
          let at_ns =
@@ -224,7 +242,17 @@ let protocol_apply t (rtx_map : (Paxos.rtx_key, rtx_entry) Hashtbl.t) actions =
              (* Lock-free cancellation: flag only; the Retransmitter drops
                 the entry when its timer fires (Section V-C4). *)
              Atomic.set entry.r_cancelled true;
-             Hashtbl.remove rtx_map key
+             Hashtbl.remove rtx_map key;
+             (* A cancelled Rtx_accept means the instance decided:
+                schedule-to-cancel is the leader's commit latency. *)
+             (if t.cfg.Config.auto_tune then
+                match key with
+                | Paxos.Rtx_accept _ ->
+                  t.tune_lat_sum <-
+                    t.tune_lat_sum
+                    +. Mclock.s_of_ns (Int64.sub now entry.r_t0);
+                  t.tune_lat_n <- t.tune_lat_n + 1
+                | _ -> ())
            | None -> ())
        | Paxos.View_changed { view; leader; i_am_leader } ->
          Atomic.set t.view_now view;
@@ -297,6 +325,75 @@ let protocol_loop t st =
       protocol_apply t rtx_map replays;
       engine
   in
+  (* Autotune controller: pure policy ticked here, on the engine-owning
+     thread, every [tune_epoch_s]. Tuned BSZ is published through the
+     [tuned_bsz] atomic for the Batcher threads; tuned WND is applied
+     directly with [Paxos.set_window] (same thread, no synchronisation).
+     No locks anywhere on the path, per the ReplicationCore rule. *)
+  let tuner =
+    if t.cfg.Config.auto_tune then Some (Autotune.of_config t.cfg) else None
+  in
+  let tune_last_ns = ref (Mclock.now_ns ()) in
+  let tune_executed = ref (Counter.get t.executed) in
+  let tune_seals = ref Batcher.{
+      seals_size = 0; seals_delay = 0; sealed_bytes = 0; limit_bytes = 0 }
+  in
+  let agg_seals () =
+    Array.fold_left
+      (fun acc b ->
+         let s = Batcher.seal_stats b in
+         Batcher.{
+           seals_size = acc.seals_size + s.seals_size;
+           seals_delay = acc.seals_delay + s.seals_delay;
+           sealed_bytes = acc.sealed_bytes + s.sealed_bytes;
+           limit_bytes = acc.limit_bytes + s.limit_bytes })
+      Batcher.{ seals_size = 0; seals_delay = 0; sealed_bytes = 0;
+                limit_bytes = 0 }
+      t.batchers
+  in
+  let tick_tuner engine =
+    match tuner with
+    | None -> ()
+    | Some at ->
+      let now = Mclock.now_ns () in
+      let dt = Mclock.s_of_ns (Int64.sub now !tune_last_ns) in
+      if dt >= t.cfg.Config.tune_epoch_s then begin
+        let seals = agg_seals () in
+        let prev = !tune_seals in
+        let d_bytes = seals.Batcher.sealed_bytes - prev.Batcher.sealed_bytes in
+        let d_limit = seals.Batcher.limit_bytes - prev.Batcher.limit_bytes in
+        let executed = Counter.get t.executed in
+        let signals =
+          Autotune.{
+            s_window_in_use = Paxos.window_in_use engine;
+            s_proposal_queue = Bq.length t.proposal_q;
+            s_log_queue =
+              (match t.stable with
+               | Some ss -> Bq.length ss.log_q
+               | None -> 0);
+            s_seals_size = seals.Batcher.seals_size - prev.Batcher.seals_size;
+            s_seals_delay =
+              seals.Batcher.seals_delay - prev.Batcher.seals_delay;
+            s_batch_fill =
+              (if d_limit = 0 then 0.
+               else float_of_int d_bytes /. float_of_int d_limit);
+            s_throughput = float_of_int (executed - !tune_executed) /. dt;
+            s_commit_latency_s =
+              (if t.tune_lat_n = 0 then 0.
+               else t.tune_lat_sum /. float_of_int t.tune_lat_n);
+          }
+        in
+        Autotune.tick at signals;
+        Atomic.set t.tuned_bsz (Autotune.bsz at);
+        Atomic.set t.tuned_wnd (Autotune.wnd at);
+        Paxos.set_window engine (Autotune.wnd at);
+        tune_last_ns := now;
+        tune_executed := executed;
+        tune_seals := seals;
+        t.tune_lat_sum <- 0.;
+        t.tune_lat_n <- 0
+      end
+  in
   let handle = function
     | Proposal_ready -> ()
     | Housekeeping_tick -> apply (Paxos.tick_catchup engine)
@@ -355,6 +452,7 @@ let protocol_loop t st =
         | None -> ()
     in
     feed ();
+    tick_tuner engine;
     Atomic.set t.window_now (Paxos.window_in_use engine);
     Atomic.set t.first_undecided_now
       (Msmr_consensus.Log.first_undecided (Paxos.log engine))
@@ -423,7 +521,7 @@ let stable_storage_loop t (ss : stable) st =
    [src] spaces keeping batch ids unique. *)
 
 let batcher_loop idx t st =
-  let policy = Batcher.create t.cfg ~src:(t.me + (t.cfg.Config.n * idx)) in
+  let policy = t.batchers.(idx) in
   let running = ref true in
   while !running && Atomic.get t.running do
     let now = Mclock.now_ns () in
@@ -758,7 +856,12 @@ let metric_names =
     "msmr_replica_executor_barriers";
     "msmr_replica_sender_flushes";
     "msmr_replica_log_queue_depth";
-    "msmr_replica_durable_hold_s" ]
+    "msmr_replica_durable_hold_s";
+    "msmr_replica_bsz_now";
+    "msmr_replica_wnd_now";
+    "msmr_replica_batch_fill";
+    "msmr_replica_flush_size_total";
+    "msmr_replica_flush_delay_total" ]
 
 let register_metrics t =
   let labels = metric_labels t in
@@ -794,7 +897,22 @@ let register_metrics t =
   g "msmr_replica_log_queue_depth" (fun () ->
       match t.stable with
       | Some ss -> fi (Bq.length ss.log_q)
-      | None -> 0.)
+      | None -> 0.);
+  let sum_seals f =
+    Array.fold_left (fun acc b -> acc + f (Batcher.seal_stats b)) 0 t.batchers
+  in
+  g "msmr_replica_bsz_now" (fun () -> fi (Atomic.get t.tuned_bsz));
+  g "msmr_replica_wnd_now" (fun () -> fi (Atomic.get t.tuned_wnd));
+  g "msmr_replica_batch_fill" (fun () ->
+      (* cumulative mean fill ratio: payload bytes over the BSZ limit in
+         force at each seal *)
+      let bytes = sum_seals (fun s -> s.Batcher.sealed_bytes) in
+      let limit = sum_seals (fun s -> s.Batcher.limit_bytes) in
+      if limit = 0 then 0. else fi bytes /. fi limit);
+  g "msmr_replica_flush_size_total" (fun () ->
+      fi (sum_seals (fun s -> s.Batcher.seals_size)));
+  g "msmr_replica_flush_delay_total" (fun () ->
+      fi (sum_seals (fun s -> s.Batcher.seals_delay)))
 
 let unregister_metrics t =
   let labels = metric_labels t in
@@ -832,6 +950,16 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
           ss_stall = Atomic.make false;
           ss_hold = Msmr_obs.Metrics.histogram ~labels "msmr_replica_durable_hold_s" }
   in
+  let tuned_bsz = Atomic.make cfg.Config.max_batch_bytes in
+  let tuned_wnd = Atomic.make cfg.Config.window in
+  let batchers =
+    (* With auto_tune the policies read the tuned limit through the
+       atomic; without it they take the static-config path, untouched. *)
+    Array.init (max 1 batcher_threads) (fun idx ->
+        Batcher.create
+          ?tuned_bsz:(if cfg.Config.auto_tune then Some tuned_bsz else None)
+          cfg ~src:(me + (cfg.Config.n * idx)))
+  in
   let t =
     { cfg; me; service;
       dispatcher_q = Bq.create ~capacity:4096;
@@ -861,7 +989,12 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       running = Atomic.make true;
       threads = [];
       window_now = Atomic.make 0;
-      first_undecided_now = Atomic.make 0 }
+      first_undecided_now = Atomic.make 0;
+      tuned_bsz;
+      tuned_wnd;
+      batchers;
+      tune_lat_sum = 0.;
+      tune_lat_n = 0 }
   in
   let cio =
     Client_io.create

@@ -91,6 +91,11 @@ val submit :
 val is_leader : t -> bool
 val current_view : t -> Msmr_consensus.Types.view
 
+val tuned_now : t -> int * int
+(** [(bsz, wnd)] currently in force. With [cfg.auto_tune] these are the
+    autotune controller's latest published values (the Batcher threads
+    read the same atomics); without it they stay at the static config. *)
+
 val executed_count : t -> int
 (** Client requests executed so far (excludes duplicates and noops). *)
 

@@ -88,6 +88,8 @@ type result = {
   rtt_idle : float;
   wal_syncs : int;
   wal_group_avg : float;
+  tuned_bsz_final : int;
+  tuned_wnd_final : int;
   events : int;
   trace : Msmr_obs.Trace.t option;
 }
@@ -189,6 +191,27 @@ let run ?(trace = false) (p : Params.t) =
   in
   let nodes = Array.init p.n mk_node in
   let leader = nodes.(0) in
+  (* Autotune mirror: the leader's batcher policies read their BSZ limit
+     through this cell and the controller process below retunes it (and
+     the engine window) every [tune_epoch] of simulated time. With
+     [auto_tune = false] the cell does not exist, no controller process
+     is spawned and every policy takes the static-config path — the
+     event stream is byte-for-byte the old one (golden-pinned). *)
+  let tuned_bsz = if p.auto_tune then Some (Atomic.make p.bsz) else None in
+  let batcher_policies =
+    (* Only the leader batches client traffic, so only its policies are
+       tuned; distinct [src] spaces keep batch ids unique (as before). *)
+    Array.init p.n (fun id ->
+        Array.init p.n_batchers (fun bidx ->
+            Batcher.create
+              ?tuned_bsz:(if id = leader.id then tuned_bsz else None)
+              cfg ~src:(id + (bidx * 64))))
+  in
+  (* Signals for the controller, accumulated off the measurement path:
+     completed requests (throughput) and leader propose→decide latency.
+     Only touched under [auto_tune]. *)
+  let tune_completed = ref 0 in
+  let tune_lat_sum = ref 0. and tune_lat_n = ref 0 in
   (* Two idle nodes for the Table II "other <-> other" probe. *)
   let idle_a = Nic.create eng ~pkt_rate:p.profile.pkt_rate
       ~bandwidth:p.profile.bandwidth ~name:"idle-a" () in
@@ -281,6 +304,7 @@ let run ?(trace = false) (p : Params.t) =
           Engine.schedule_at eng (Engine.now eng +. 30e-6) (fun () ->
               Nic.rx_inject leader.nic ~size:p.request_size (fun () ->
                   Mailbox.push leader.cio_mbs.(cio_of_client cl.cid) (Req req))));
+      if p.auto_tune then incr tune_completed;
       if !measuring then begin
         incr completed;
         lat_sum := !lat_sum +. (Engine.now eng -. cl.sent_at);
@@ -332,8 +356,7 @@ let run ?(trace = false) (p : Params.t) =
            else Printf.sprintf "Batcher-%d" bidx)
     in
     let trk = register node st in
-    (* Distinct [src] spaces keep batch ids unique across batchers. *)
-    let policy = Batcher.create cfg ~src:(node.id + (bidx * 64)) in
+    let policy = batcher_policies.(node.id).(bidx) in
     let now_ns () = Int64.of_float (Engine.now eng *. 1e9) in
     let seal batch =
       Cpu.work node.cpu st (cost c.batcher_per_batch);
@@ -424,10 +447,16 @@ let run ?(trace = false) (p : Params.t) =
            | Paxos.Cancel_rtx (Paxos.Rtx_accept (_, iid)) ->
              if node == leader then begin
                (match Hashtbl.find_opt inst_t0 iid with
-                | Some t0 when !measuring ->
-                  inst_sum := !inst_sum +. (Engine.now eng -. t0);
-                  incr inst_n
-                | Some _ | None -> ());
+                | Some t0 ->
+                  if p.auto_tune then begin
+                    tune_lat_sum := !tune_lat_sum +. (Engine.now eng -. t0);
+                    incr tune_lat_n
+                  end;
+                  if !measuring then begin
+                    inst_sum := !inst_sum +. (Engine.now eng -. t0);
+                    incr inst_n
+                  end
+                | None -> ());
                Hashtbl.remove inst_t0 iid
              end
            | Paxos.Schedule_rtx _ | Paxos.Cancel_rtx _
@@ -713,6 +742,81 @@ let run ?(trace = false) (p : Params.t) =
        done)
     nodes;
   Array.iter (fun cl -> Engine.spawn eng ~name:"client" (client_proc cl)) clients;
+  (* Autotune controller process (leader, simulated time). The policy is
+     the same pure Autotune module the live Protocol thread ticks; the
+     epoch cadence is the engine clock, so the tuned trajectory is a
+     deterministic function of the parameters. *)
+  let final_bsz = ref p.bsz and final_wnd = ref p.wnd in
+  if p.auto_tune then
+    Engine.spawn eng ~name:"autotune" (fun () ->
+        let at =
+          Autotune.create
+            ~params:Autotune.{ default_params with
+                               latency_bound_s = 0.05;
+                               queue_high = 512 }
+            ~bsz0:p.bsz ~wnd0:p.wnd ()
+        in
+        let last_completed = ref !tune_completed in
+        let last_seals =
+          ref Batcher.{ seals_size = 0; seals_delay = 0; sealed_bytes = 0;
+                        limit_bytes = 0 }
+        in
+        let rec loop () =
+          Engine.delay eng p.tune_epoch;
+          let seals =
+            Array.fold_left
+              (fun acc b ->
+                 let s = Batcher.seal_stats b in
+                 Batcher.{
+                   seals_size = acc.seals_size + s.seals_size;
+                   seals_delay = acc.seals_delay + s.seals_delay;
+                   sealed_bytes = acc.sealed_bytes + s.sealed_bytes;
+                   limit_bytes = acc.limit_bytes + s.limit_bytes })
+              Batcher.{ seals_size = 0; seals_delay = 0; sealed_bytes = 0;
+                        limit_bytes = 0 }
+              batcher_policies.(leader.id)
+          in
+          let prev = !last_seals in
+          let d_bytes = seals.Batcher.sealed_bytes - prev.Batcher.sealed_bytes in
+          let d_limit = seals.Batcher.limit_bytes - prev.Batcher.limit_bytes in
+          let now_completed = !tune_completed in
+          let signals =
+            Autotune.{
+              s_window_in_use = Paxos.window_in_use leader.engine;
+              s_proposal_queue = Squeue.length leader.proposal_q;
+              s_log_queue =
+                (match leader.ss_q with
+                 | Some q -> Squeue.length q
+                 | None -> 0);
+              s_seals_size =
+                seals.Batcher.seals_size - prev.Batcher.seals_size;
+              s_seals_delay =
+                seals.Batcher.seals_delay - prev.Batcher.seals_delay;
+              s_batch_fill =
+                (if d_limit = 0 then 0.
+                 else float_of_int d_bytes /. float_of_int d_limit);
+              s_throughput =
+                float_of_int (now_completed - !last_completed)
+                /. p.tune_epoch;
+              s_commit_latency_s =
+                (if !tune_lat_n = 0 then 0.
+                 else !tune_lat_sum /. float_of_int !tune_lat_n);
+            }
+          in
+          Autotune.tick at signals;
+          (match tuned_bsz with
+           | Some a -> Atomic.set a (Autotune.bsz at)
+           | None -> ());
+          Paxos.set_window leader.engine (Autotune.wnd at);
+          final_bsz := Autotune.bsz at;
+          final_wnd := Autotune.wnd at;
+          last_completed := now_completed;
+          last_seals := seals;
+          tune_lat_sum := 0.;
+          tune_lat_n := 0;
+          loop ()
+        in
+        loop ());
   (* Sampler: window occupancy each millisecond; RTT probes each 20 ms. *)
   Engine.spawn eng ~name:"sampler" (fun () ->
       let rec loop () =
@@ -850,5 +954,7 @@ let run ?(trace = false) (p : Params.t) =
     rtt_idle = mean !rtt_idle;
     wal_syncs;
     wal_group_avg;
+    tuned_bsz_final = !final_bsz;
+    tuned_wnd_final = !final_wnd;
     events = Engine.events_processed eng;
     trace = tracer }

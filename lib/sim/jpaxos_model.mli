@@ -43,6 +43,11 @@ type result = {
   wal_group_avg : float;
       (** mean records made durable per leader fsync — the group-commit
           batching factor ([1.0] under [Sync_serial] by construction) *)
+  tuned_bsz_final : int;
+      (** BSZ in force at the end of the run: the {!Msmr_consensus.Autotune}
+          controller's last published value under [auto_tune], the static
+          [bsz] otherwise *)
+  tuned_wnd_final : int;         (** likewise for WND *)
   events : int;                  (** simulation events processed *)
   trace : Msmr_obs.Trace.t option;
       (** present iff [run ~trace:true]; stamped in simulated time and

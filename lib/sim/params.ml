@@ -70,6 +70,8 @@ type t = {
   conflict_ratio : float;
   sync_policy : sync_policy;
   fsync_latency : float;
+  auto_tune : bool;
+  tune_epoch : float;
 }
 
 let auto_io_threads ~cores = max 1 (min 5 (cores - 1))
@@ -93,4 +95,6 @@ let default ?(profile = parapluie) ~n ~cores () =
     exec_threads = 1;
     conflict_ratio = 0.0;
     sync_policy = Sync_none;
-    fsync_latency = 5e-3 }
+    fsync_latency = 5e-3;
+    auto_tune = false;
+    tune_epoch = 0.01 }

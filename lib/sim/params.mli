@@ -91,6 +91,13 @@ type t = {
       (** seconds one device fsync takes (default 5 ms — a commodity
           magnetic disk of the paper's era); fsyncs on one node's device
           serialise *)
+  auto_tune : bool;
+      (** run the {!Msmr_consensus.Autotune} controller on the leader in
+          simulated time: [wnd]/[bsz] become the starting point and the
+          controller retunes them every [tune_epoch]. [false] (the
+          default) is byte-for-byte the static path. Runs stay fully
+          deterministic either way. *)
+  tune_epoch : float;  (** controller epoch in simulated seconds *)
 }
 
 val default : ?profile:profile -> n:int -> cores:int -> unit -> t

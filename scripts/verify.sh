@@ -27,7 +27,8 @@ trace_file="$(mktemp /tmp/msmr-verify-trace.XXXXXX.json)"
 metrics_file="$(mktemp /tmp/msmr-verify-metrics.XXXXXX.json)"
 bench_file="$(mktemp /tmp/msmr-verify-bench.XXXXXX.json)"
 bench3_file="$(mktemp /tmp/msmr-verify-bench3.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file"' EXIT
+bench4_file="$(mktemp /tmp/msmr-verify-bench4.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file"' EXIT
 
 dune exec bin/sim_probe.exe -- --trace "$trace_file" --metrics "$metrics_file"
 
@@ -97,6 +98,54 @@ else
     *) echo "FAIL: $bench3_file does not look like JSON" >&2; exit 1 ;;
   esac
   echo "bench003: jq not installed, checked file is non-empty JSON"
+fi
+
+echo "== bench004 smoke (quick) =="
+dune exec bench/main.exe -- bench004 --quick --bench004-out "$bench4_file"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench4_file"
+  pts=$(jq '.points | length' "$bench4_file")
+  bad=$(jq '[.points[] | select(.static_default_rps <= 0 or .static_best_rps <= 0
+                                or .adaptive_rps <= 0)] | length' "$bench4_file")
+  echo "bench004 smoke: $pts adaptive points"
+  [ "$pts" -gt 0 ] || { echo "FAIL: no points in bench004 smoke" >&2; exit 1; }
+  [ "$bad" -eq 0 ] || { echo "FAIL: non-positive throughput in bench004 smoke" >&2; exit 1; }
+else
+  [ -s "$bench4_file" ] || { echo "FAIL: $bench4_file empty" >&2; exit 1; }
+  case "$(head -c1 "$bench4_file")" in
+    '{') ;;
+    *) echo "FAIL: $bench4_file does not look like JSON" >&2; exit 1 ;;
+  esac
+  echo "bench004 smoke: jq not installed, checked file is non-empty JSON"
+fi
+
+echo "== bench004 committed results gate =="
+bench4_committed="bench/BENCH_004.json"
+[ -f "$bench4_committed" ] || { echo "FAIL: $bench4_committed missing" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench4_committed"
+  quick=$(jq '.quick' "$bench4_committed")
+  pts=$(jq '.points | length' "$bench4_committed")
+  schema_bad=$(jq '[.points[] | select((.adaptive_vs_default? and .adaptive_vs_best?
+                    and .tuned_wnd_final? and .tuned_bsz_final?) | not)] | length' \
+               "$bench4_committed")
+  # The tentpole's acceptance gates: the adaptive controller must reach
+  # >= 1.2x the static default on at least one swept point, and must
+  # stay within 10% of the best static configuration everywhere.
+  wins=$(jq '[.points[] | select(.adaptive_vs_default >= 1.2)] | length' \
+         "$bench4_committed")
+  below=$(jq '[.points[] | select(.adaptive_vs_best < 0.9)] | length' \
+          "$bench4_committed")
+  echo "bench004 committed: $pts points, $wins at >= 1.2x default, $below below 0.9x best"
+  [ "$quick" = "false" ] || { echo "FAIL: committed bench004 was a --quick run" >&2; exit 1; }
+  [ "$pts" -ge 9 ] || { echo "FAIL: expected >= 9 committed bench004 points" >&2; exit 1; }
+  [ "$schema_bad" -eq 0 ] || { echo "FAIL: bench004 point missing required fields" >&2; exit 1; }
+  [ "$wins" -ge 1 ] || { echo "FAIL: adaptive never reached 1.2x static default" >&2; exit 1; }
+  [ "$below" -eq 0 ] || { echo "FAIL: adaptive below 0.9x static best on some point" >&2; exit 1; }
+else
+  [ -s "$bench4_committed" ] || { echo "FAIL: $bench4_committed empty" >&2; exit 1; }
+  echo "bench004 committed: jq not installed, checked file is non-empty"
 fi
 
 echo "== verify OK =="

@@ -249,6 +249,194 @@ let prop_batcher_no_request_lost =
                || Batch.request_count batch = 1)
             batches)
 
+let test_batcher_tuned_bsz () =
+  let tuned = Atomic.make 100 in
+  let b = Batcher.create ~tuned_bsz:tuned batcher_cfg ~src:0 in
+  Alcotest.(check int) "initial limit" 100 (Batcher.bsz_limit b);
+  let r i = mk_req 1 i (String.make 20 'x') in
+  (* 36 B each *)
+  Alcotest.(check bool) "r1 open" true (Batcher.add b (r 1) ~now_ns:0L = None);
+  Alcotest.(check bool) "r2 open" true (Batcher.add b (r 2) ~now_ns:0L = None);
+  (* Retune mid-batch: the new limit is in force on the very next add. *)
+  Atomic.set tuned 200;
+  Alcotest.(check int) "limit follows atomic" 200 (Batcher.bsz_limit b);
+  Alcotest.(check bool) "r3 open" true (Batcher.add b (r 3) ~now_ns:0L = None);
+  Alcotest.(check bool) "r4 open" true (Batcher.add b (r 4) ~now_ns:0L = None);
+  Alcotest.(check bool) "r5 open" true (Batcher.add b (r 5) ~now_ns:0L = None);
+  match Batcher.add b (r 6) ~now_ns:0L with
+  | Some batch ->
+    Alcotest.(check int) "five sealed at grown limit" 5
+      (Batch.request_count batch)
+  | None -> Alcotest.fail "expected seal at grown limit"
+
+let test_batcher_seal_stats () =
+  let b = Batcher.create batcher_cfg ~src:0 in
+  (* limit 100 *)
+  let r i = mk_req 1 i (String.make 20 'x') in
+  ignore (Batcher.add b (r 1) ~now_ns:0L);
+  ignore (Batcher.add b (r 2) ~now_ns:0L);
+  ignore (Batcher.add b (r 3) ~now_ns:0L);
+  (* r3 overflowed: the 72 B batch sealed on size *)
+  let s1 = Batcher.seal_stats b in
+  Alcotest.(check int) "size seals" 1 s1.Batcher.seals_size;
+  Alcotest.(check int) "delay seals" 0 s1.Batcher.seals_delay;
+  Alcotest.(check int) "sealed bytes" 72 s1.Batcher.sealed_bytes;
+  Alcotest.(check int) "limit bytes" 100 s1.Batcher.limit_bytes;
+  (* the open 36 B singleton flushes on the delay/forced path *)
+  ignore (Batcher.force_flush b);
+  let s2 = Batcher.seal_stats b in
+  Alcotest.(check int) "delay seal counted" 1 s2.Batcher.seals_delay;
+  Alcotest.(check int) "bytes accumulate" 108 s2.Batcher.sealed_bytes;
+  Alcotest.(check int) "limits accumulate" 200 s2.Batcher.limit_bytes
+
+let prop_batcher_pending_count_exact =
+  QCheck.Test.make ~name:"batcher: O(1) pending count is exact" ~count:200
+    QCheck.(list (int_range 0 120))
+    (fun sizes ->
+       let b = Batcher.create batcher_cfg ~src:0 in
+       let expected = ref 0 in
+       let ok = ref true in
+       List.iteri
+         (fun i sz ->
+            (match Batcher.add b (mk_req 5 i (String.make sz 'c')) ~now_ns:0L with
+             | Some batch ->
+               expected := !expected + 1 - Batch.request_count batch
+             | None -> incr expected);
+            ok := !ok && Batcher.pending_requests b = !expected)
+         sizes;
+       ignore (Batcher.force_flush b);
+       !ok && Batcher.pending_requests b = 0)
+
+let prop_batcher_deadline_flush_agree =
+  QCheck.Test.make ~name:"batcher: deadline_ns/flush_due agreement" ~count:200
+    QCheck.(list (pair (int_range 0 120) (int_range 0 10_000_000)))
+    (fun reqs ->
+       let cfg = { batcher_cfg with max_batch_delay_s = 0.005 } in
+       let b = Batcher.create cfg ~src:0 in
+       let now = ref 0L in
+       let ok = ref true in
+       List.iteri
+         (fun i (sz, gap) ->
+            now := Int64.add !now (Int64.of_int gap);
+            (* drain anything already due, as the Batcher thread would *)
+            ignore (Batcher.flush_due b ~now_ns:!now);
+            ignore (Batcher.add b (mk_req 9 i (String.make sz 'q')) ~now_ns:!now);
+            match Batcher.deadline_ns b with
+            | None -> ok := !ok && Batcher.pending_requests b = 0
+            | Some d ->
+              ok :=
+                !ok
+                && Batcher.pending_requests b > 0
+                && Batcher.flush_due b ~now_ns:(Int64.pred d) = None)
+         reqs;
+       (match Batcher.deadline_ns b with
+        | Some d ->
+          ok :=
+            !ok
+            && Batcher.flush_due b ~now_ns:d <> None
+            && Batcher.deadline_ns b = None
+        | None -> ok := !ok && Batcher.pending_requests b = 0);
+       !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Autotune controller *)
+
+let at_signals ?(win = 0) ?(pq = 0) ?(lq = 0) ?(ssz = 0) ?(sdl = 0)
+    ?(fill = 0.) ?(tput = 0.) ?(lat = 0.) () =
+  Autotune.
+    { s_window_in_use = win; s_proposal_queue = pq; s_log_queue = lq;
+      s_seals_size = ssz; s_seals_delay = sdl; s_batch_fill = fill;
+      s_throughput = tput; s_commit_latency_s = lat }
+
+let test_autotune_grows_bsz_on_size_seals () =
+  let t = Autotune.create ~bsz0:1300 ~wnd0:10 () in
+  (* Fill 0.79 is the 1024-B-into-1300 packing case: size seals must
+     trigger growth even when the sealed batches look underfull. *)
+  Autotune.tick t (at_signals ~ssz:50 ~sdl:1 ~fill:0.79 ~tput:10_000. ());
+  Alcotest.(check bool) "bsz grew" true (Autotune.bsz t > 1300);
+  Alcotest.(check int) "wnd unchanged" 10 (Autotune.wnd t)
+
+let test_autotune_bsz_converges_to_cap () =
+  let t = Autotune.create ~bsz0:1300 ~wnd0:10 () in
+  let s = at_signals ~ssz:50 ~tput:10_000. () in
+  let last = ref 1300 in
+  for _ = 1 to 30 do
+    Autotune.tick t s;
+    Alcotest.(check bool) "monotone under size pressure" true
+      (Autotune.bsz t >= !last);
+    last := Autotune.bsz t
+  done;
+  Alcotest.(check int) "reaches bsz_max" 65536 (Autotune.bsz t)
+
+let test_autotune_backoff_cooldown () =
+  let t = Autotune.create ~bsz0:1300 ~wnd0:40 () in
+  Autotune.tick t (at_signals ~lat:0.2 ~tput:1_000. ());
+  Alcotest.(check int) "backed off" 28 (Autotune.wnd t);
+  (* saturation returns immediately, but the dimension is cooling: no
+     instant regrow of what congestion just took away *)
+  let hot = at_signals ~win:28 ~lat:0.001 ~tput:1_000. () in
+  Autotune.tick t hot;
+  Autotune.tick t hot;
+  Alcotest.(check int) "held during cooldown" 28 (Autotune.wnd t);
+  Autotune.tick t hot;
+  Alcotest.(check int) "grows after cooldown" 31 (Autotune.wnd t)
+
+let test_autotune_grows_wnd_when_saturated () =
+  let t = Autotune.create ~bsz0:1300 ~wnd0:10 () in
+  Autotune.tick t (at_signals ~win:10 ~tput:10_000. ());
+  Alcotest.(check int) "wnd +3" 13 (Autotune.wnd t);
+  Alcotest.(check int) "bsz unchanged" 1300 (Autotune.bsz t)
+
+let test_autotune_wnd_backoff () =
+  let t = Autotune.create ~bsz0:1300 ~wnd0:40 () in
+  Autotune.tick t (at_signals ~lat:0.2 ~tput:1_000. ());
+  Alcotest.(check int) "latency breach backs off 40 -> 28" 28 (Autotune.wnd t);
+  let t2 = Autotune.create ~bsz0:1300 ~wnd0:40 () in
+  Autotune.tick t2 (at_signals ~lq:600 ~tput:1_000. ());
+  Alcotest.(check int) "LogQueue backlog backs off too" 28 (Autotune.wnd t2)
+
+let test_autotune_demand_shrink () =
+  let t = Autotune.create ~bsz0:16384 ~wnd0:10 () in
+  let s = at_signals ~sdl:50 ~fill:0.1 ~tput:1_000. () in
+  Autotune.tick t s;
+  Alcotest.(check bool) "bsz shrank" true (Autotune.bsz t < 16384);
+  for _ = 1 to 30 do Autotune.tick t s done;
+  Alcotest.(check bool) "never below bsz_min" true
+    (Autotune.bsz t >= Autotune.default_params.Autotune.bsz_min)
+
+let test_autotune_clamps_at_bounds () =
+  let p = Autotune.{ default_params with bsz_max = 2000; wnd_max = 12 } in
+  let t = Autotune.create ~params:p ~bsz0:1900 ~wnd0:11 () in
+  let s = at_signals ~win:12 ~ssz:50 ~tput:10_000. () in
+  for _ = 1 to 12 do Autotune.tick t s done;
+  Alcotest.(check int) "bsz capped" 2000 (Autotune.bsz t);
+  Alcotest.(check int) "wnd capped" 12 (Autotune.wnd t)
+
+let test_autotune_of_config () =
+  let cfg =
+    { (Config.default ~n:3) with
+      auto_tune = true; max_batch_bytes = 4096; window = 8;
+      bsz_min = 512; bsz_max = 8192; wnd_min = 2; wnd_max = 16 }
+  in
+  let t = Autotune.of_config cfg in
+  Alcotest.(check int) "seeded bsz" 4096 (Autotune.bsz t);
+  Alcotest.(check int) "seeded wnd" 8 (Autotune.wnd t);
+  Alcotest.(check int) "no ticks yet" 0 (Autotune.ticks t)
+
+let test_config_autotune_validate () =
+  let ok = { (Config.default ~n:3) with auto_tune = true } in
+  Alcotest.(check bool) "auto defaults ok" true (Config.validate ok = Ok ());
+  Alcotest.(check bool) "bsz above bsz_max" true
+    (Config.validate { ok with max_batch_bytes = 100_000 } |> Result.is_error);
+  Alcotest.(check bool) "window above wnd_max" true
+    (Config.validate { ok with window = 100 } |> Result.is_error);
+  Alcotest.(check bool) "bad tune epoch" true
+    (Config.validate { ok with tune_epoch_s = 0. } |> Result.is_error);
+  (* the bounds only bind when the controller is on *)
+  Alcotest.(check bool) "unchecked when off" true
+    (Config.validate { ok with auto_tune = false; max_batch_bytes = 100_000 }
+     = Ok ())
+
 (* ------------------------------------------------------------------ *)
 (* Failure detector *)
 
@@ -884,6 +1072,8 @@ let qsuite =
     [
       prop_next_view_led_by;
       prop_batcher_no_request_lost;
+      prop_batcher_pending_count_exact;
+      prop_batcher_deadline_flush_agree;
       prop_random_schedule_agreement_n3;
       prop_random_schedule_agreement_n5;
     ]
@@ -907,6 +1097,24 @@ let suite =
     Alcotest.test_case "batcher: oversized request" `Quick test_batcher_oversized_request;
     Alcotest.test_case "batcher: timeout flush" `Quick test_batcher_timeout_flush;
     Alcotest.test_case "batcher: force flush/numbering" `Quick test_batcher_force_flush_and_numbering;
+    Alcotest.test_case "batcher: tuned BSZ atomic" `Quick test_batcher_tuned_bsz;
+    Alcotest.test_case "batcher: seal stats" `Quick test_batcher_seal_stats;
+    Alcotest.test_case "autotune: grows bsz on size seals" `Quick
+      test_autotune_grows_bsz_on_size_seals;
+    Alcotest.test_case "autotune: bsz converges to cap" `Quick
+      test_autotune_bsz_converges_to_cap;
+    Alcotest.test_case "autotune: backoff cooldown" `Quick
+      test_autotune_backoff_cooldown;
+    Alcotest.test_case "autotune: grows wnd when saturated" `Quick
+      test_autotune_grows_wnd_when_saturated;
+    Alcotest.test_case "autotune: wnd backoff triggers" `Quick
+      test_autotune_wnd_backoff;
+    Alcotest.test_case "autotune: demand shrink" `Quick test_autotune_demand_shrink;
+    Alcotest.test_case "autotune: clamps at bounds" `Quick
+      test_autotune_clamps_at_bounds;
+    Alcotest.test_case "autotune: of_config" `Quick test_autotune_of_config;
+    Alcotest.test_case "config: autotune validation" `Quick
+      test_config_autotune_validate;
     Alcotest.test_case "fd: leader heartbeats" `Quick test_fd_leader_heartbeats;
     Alcotest.test_case "fd: follower suspects" `Quick test_fd_follower_suspects;
     Alcotest.test_case "fd: recv defers suspicion" `Quick test_fd_recv_defers_suspicion;

@@ -292,6 +292,25 @@ let test_ephemeral_stall_is_noop () =
     (Bytes.to_string (Client.call client (Bytes.of_string "5")));
   Replica.stall_stable_storage leader false
 
+let test_cluster_autotune_live () =
+  (* Live wiring sanity: the controller ticks on the Protocol thread and
+     the published knobs stay inside the configured bounds. *)
+  let cfg = { (test_cfg 3) with auto_tune = true; tune_epoch_s = 0.02 } in
+  with_cluster ~cfg @@ fun cluster ->
+  let leader = Replica.Cluster.await_leader cluster in
+  let bsz0, wnd0 = Replica.tuned_now leader in
+  Alcotest.(check int) "starts at static bsz" cfg.Config.max_batch_bytes bsz0;
+  Alcotest.(check int) "starts at static wnd" cfg.Config.window wnd0;
+  let client = Client.create ~cluster ~client_id:77 () in
+  for i = 1 to 100 do
+    ignore (Client.call client (Bytes.of_string (string_of_int i)))
+  done;
+  let bsz, wnd = Replica.tuned_now leader in
+  Alcotest.(check bool) "bsz within bounds" true
+    (bsz >= cfg.Config.bsz_min && bsz <= cfg.Config.bsz_max);
+  Alcotest.(check bool) "wnd within bounds" true
+    (wnd >= cfg.Config.wnd_min && wnd <= cfg.Config.wnd_max)
+
 let test_hub_fault_injection () =
   let hub = Transport.Hub.create ~n:2 () in
   let l01 = Transport.Hub.link hub ~me:0 ~peer:1 in
@@ -392,6 +411,7 @@ let suite =
     Alcotest.test_case "cluster: null service burst" `Quick test_cluster_null_service_throughput_smoke;
     Alcotest.test_case "cluster: sender flushes counted" `Quick test_sender_flushes_counted;
     Alcotest.test_case "cluster: ephemeral stall no-op" `Quick test_ephemeral_stall_is_noop;
+    Alcotest.test_case "cluster: autotune live" `Quick test_cluster_autotune_live;
   ]
 
 (* The paper's §VI-B extension in the live runtime: several Batcher

@@ -266,6 +266,50 @@ let test_jpaxos_model_deterministic () =
   Alcotest.(check (float 0.)) "same throughput" r1.throughput r2.throughput;
   Alcotest.(check int) "same event count" r1.events r2.events
 
+(* Autotune in the model. *)
+
+let test_jpaxos_autotune_off_path_identical () =
+  (* auto_tune = false must be byte-for-byte the static path: varying a
+     tuning-only parameter must not perturb the event stream, and the
+     reported tuned finals are just the static knobs. *)
+  let p = small_params () in
+  let r1 = Jpaxos_model.run p in
+  let r2 = Jpaxos_model.run { p with tune_epoch = 0.123 } in
+  Alcotest.(check (float 0.)) "same throughput" r1.throughput r2.throughput;
+  Alcotest.(check int) "same events" r1.events r2.events;
+  Alcotest.(check int) "static bsz reported" p.bsz r1.tuned_bsz_final;
+  Alcotest.(check int) "static wnd reported" p.wnd r1.tuned_wnd_final
+
+let autotune_params () =
+  let p = Params.default ~n:3 ~cores:4 () in
+  { p with n_clients = 400; warmup = 0.1; duration = 0.4;
+    auto_tune = true; tune_epoch = 0.005 }
+
+let test_jpaxos_autotune_deterministic () =
+  let r1 = Jpaxos_model.run (autotune_params ()) in
+  let r2 = Jpaxos_model.run (autotune_params ()) in
+  Alcotest.(check (float 0.)) "same throughput" r1.throughput r2.throughput;
+  Alcotest.(check int) "same events" r1.events r2.events;
+  Alcotest.(check int) "same tuned bsz" r1.tuned_bsz_final r2.tuned_bsz_final;
+  Alcotest.(check int) "same tuned wnd" r1.tuned_wnd_final r2.tuned_wnd_final
+
+let test_jpaxos_autotune_adapts () =
+  let p = autotune_params () in
+  let r = Jpaxos_model.run p in
+  Alcotest.(check bool) "controller moved a knob" true
+    (r.tuned_bsz_final <> p.bsz || r.tuned_wnd_final <> p.wnd);
+  Alcotest.(check bool) "bsz within bounds" true
+    (r.tuned_bsz_final >= 256 && r.tuned_bsz_final <= 65536);
+  Alcotest.(check bool) "wnd within bounds" true
+    (r.tuned_wnd_final >= 1 && r.tuned_wnd_final <= 64);
+  (* adapting from the static default must not cost throughput *)
+  let rs = Jpaxos_model.run { p with auto_tune = false } in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive %.0f >= 0.9x static %.0f" r.throughput
+       rs.throughput)
+    true
+    (r.throughput >= 0.9 *. rs.throughput)
+
 let test_jpaxos_model_scales () =
   let r1 = Jpaxos_model.run (small_params ~cores:1 ()) in
   let r2 = Jpaxos_model.run (small_params ~cores:2 ()) in
@@ -430,6 +474,12 @@ let suite =
     Alcotest.test_case "nic: idle rtt" `Quick test_nic_idle_rtt;
     Alcotest.test_case "jpaxos model: runs" `Quick test_jpaxos_model_runs;
     Alcotest.test_case "jpaxos model: deterministic" `Quick test_jpaxos_model_deterministic;
+    Alcotest.test_case "jpaxos model: autotune off-path identical" `Quick
+      test_jpaxos_autotune_off_path_identical;
+    Alcotest.test_case "jpaxos model: autotune deterministic" `Quick
+      test_jpaxos_autotune_deterministic;
+    Alcotest.test_case "jpaxos model: autotune adapts" `Quick
+      test_jpaxos_autotune_adapts;
     Alcotest.test_case "jpaxos model: scales with cores" `Quick test_jpaxos_model_scales;
     Alcotest.test_case "jpaxos model: NIC binds at many cores" `Slow
       test_jpaxos_nic_binds_at_many_cores;
