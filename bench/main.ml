@@ -957,6 +957,270 @@ let bench004 () =
   Printf.printf "wrote %s\n%!" !bench004_out
 
 (* ------------------------------------------------------------------ *)
+(* bench005: fault injection and recovery. Three sections:
+     - crash: deterministic sim run with the leader crashed mid-
+       measurement and restarted; reports the throughput trajectory
+       through the fault, the recovery time, and the post-recovery /
+       pre-crash throughput ratio (gated >= 0.9 in scripts/verify.sh);
+     - soak: a seeded randomized fault schedule (crash + partition +
+       lossy links) run twice, checking the linearizability verdict,
+       replica convergence, and bit-identical reproducibility;
+     - live: the real runtime — Fault_controller kills the leader of a
+       Durable in-process cluster, restarts it through WAL recovery, and
+       reports the replica fault counters and per-client retry/redirect
+       counts (informational; the sim sections carry the gates). *)
+
+let bench005_out = ref "bench/BENCH_005.json"
+
+let bench005 () =
+  heading "bench005"
+    (Printf.sprintf "Fault injection: crash recovery + seeded chaos soak -> %s%s"
+       !bench005_out
+       (if !bench_quick then " (--quick)" else ""));
+  let module J = Msmr_obs.Json in
+  let module F = Msmr_sim.Sfault in
+  let quick = !bench_quick in
+  let base ~duration ~client_timeout faults =
+    let p = Params.default ~profile:Params.parapluie ~n:3 ~cores:2 () in
+    { p with
+      n_clients = 60;
+      warmup = 0.1;
+      duration;
+      faults;
+      chaos_seed = 42;
+      chaos_client_timeout = client_timeout }
+  in
+  (* --- leader crash at mid-run, restart, measure the trajectory --- *)
+  let crash_at, restart_at, duration, client_timeout =
+    if quick then (0.3, 0.45, 0.7, 0.1) else (0.4, 0.7, 1.0, 0.25)
+  in
+  let p =
+    base ~duration ~client_timeout
+      [ F.Crash { node = 0; at = crash_at; restart_at = Some restart_at } ]
+  in
+  let r = Jp.run p in
+  let bucket = p.chaos_bucket in
+  let t_end = p.warmup +. p.duration in
+  (* Clients stuck on the dethroned leader only give up after their
+     retransmit timeout, so steady post-recovery throughput starts at
+     restart + client timeout; the final timeline bucket is partial and
+     excluded from both windows. *)
+  let post_start = restart_at +. client_timeout in
+  let window lo hi =
+    let total = ref 0 and buckets = ref 0 in
+    Array.iter
+      (fun (t, c) ->
+         if t >= lo -. 1e-9 && t +. bucket <= hi +. 1e-9 then begin
+           total := !total + c;
+           incr buckets
+         end)
+      r.Jp.timeline;
+    if !buckets = 0 then 0.
+    else float_of_int !total /. (float_of_int !buckets *. bucket)
+  in
+  let pre_rps = window p.warmup crash_at in
+  let post_rps = window post_start t_end in
+  let post_over_pre = if pre_rps > 0. then post_rps /. pre_rps else 0. in
+  Printf.printf
+    "crash: pre %.0f req/s | post %.0f req/s (ratio %.3f) | recovery %.3fs | \
+     unavailable %.3fs | views %d | safety %b | client retries %d\n"
+    pre_rps post_rps post_over_pre r.Jp.recovery_s r.Jp.unavailable_s
+    r.Jp.view_changes r.Jp.safety_ok r.Jp.client_retries;
+  Printf.printf "trajectory (completions per %.0f ms bucket):\n"
+    (1e3 *. bucket);
+  Array.iter
+    (fun (t, c) ->
+       if t +. bucket <= t_end +. 1e-9 then
+         Printf.printf "  %5.2fs %6d %s\n" t c
+           (String.make (min 60 (c / 50)) '#'))
+    r.Jp.timeline;
+  (* --- seeded randomized soak, run twice for reproducibility --- *)
+  let seed = 42 in
+  let soak_t0, soak_t1, soak_duration =
+    if quick then (0.15, 0.55, 0.6) else (0.2, 1.0, 1.0)
+  in
+  let sp =
+    base ~duration:soak_duration ~client_timeout
+      (F.random_schedule ~seed ~n:3 ~t0:soak_t0 ~t1:soak_t1)
+  in
+  let s1 = Jp.run sp in
+  let s2 = Jp.run sp in
+  let runs_identical =
+    s1.Jp.completed = s2.Jp.completed
+    && s1.Jp.view_changes = s2.Jp.view_changes
+    && s1.Jp.recovery_s = s2.Jp.recovery_s
+    && s1.Jp.unavailable_s = s2.Jp.unavailable_s
+    && s1.Jp.events = s2.Jp.events
+  in
+  let converged =
+    s1.Jp.safety_ok && s1.Jp.executed_max - s1.Jp.executed_min <= 2000
+  in
+  Printf.printf
+    "soak (seed %d): completed %d | views %d | recovery %.3fs | safety %b | \
+     executed [%d, %d] | converged %b | runs identical %b\n"
+    seed s1.Jp.completed s1.Jp.view_changes s1.Jp.recovery_s s1.Jp.safety_ok
+    s1.Jp.executed_min s1.Jp.executed_max converged runs_identical;
+  (* --- live runtime: kill + WAL-recover the leader under load --- *)
+  let module R = Msmr_runtime in
+  let tmp_root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "msmr-bench005-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  rm_rf tmp_root;
+  Unix.mkdir tmp_root 0o755;
+  let cfg =
+    { (Msmr_consensus.Config.default ~n:3) with
+      max_batch_delay_s = 0.002;
+      fd_interval_s = 0.05;
+      fd_timeout_s = 0.25 }
+  in
+  let cluster =
+    R.Replica.Cluster.create
+      ~durability:(fun me ->
+          R.Replica.Durable
+            { dir = Filename.concat tmp_root (string_of_int me);
+              sync = Msmr_storage.Wal.No_sync })
+      ~cfg
+      ~service:(fun () -> R.Service.null ())
+      ()
+  in
+  let fc = R.Fault_controller.create ~cluster () in
+  let live_json =
+    Fun.protect
+      ~finally:(fun () ->
+          R.Replica.Cluster.stop cluster;
+          rm_rf tmp_root)
+    @@ fun () ->
+    ignore (R.Replica.Cluster.await_leader cluster);
+    let live_dur = if quick then 1.0 else 2.0 in
+    let n_clients = 4 in
+    let stop_at =
+      Int64.add (Msmr_platform.Mclock.now_ns ())
+        (Msmr_platform.Mclock.ns_of_s live_dur)
+    in
+    let completed = Atomic.make 0 in
+    let per_client = Array.make n_clients (0, 0, 0) in
+    let workers =
+      List.init n_clients (fun i ->
+          Thread.create
+            (fun () ->
+               let client =
+                 R.Client.create ~timeout_s:0.3 ~cluster ~client_id:(i + 1) ()
+               in
+               let payload = Bytes.make 112 'x' in
+               while
+                 Int64.compare (Msmr_platform.Mclock.now_ns ()) stop_at < 0
+               do
+                 ignore (R.Client.call client payload);
+                 ignore (Atomic.fetch_and_add completed 1)
+               done;
+               per_client.(i) <-
+                 ( R.Client.calls_made client,
+                   R.Client.retries client,
+                   R.Client.redirects client ))
+            ())
+    in
+    Msmr_platform.Mclock.sleep_s (0.3 *. live_dur);
+    let victim = R.Fault_controller.kill_leader fc in
+    Msmr_platform.Mclock.sleep_s (0.2 *. live_dur);
+    ignore (R.Fault_controller.restart fc victim);
+    List.iter Thread.join workers;
+    let sum f =
+      Array.fold_left
+        (fun acc rep -> acc + f rep)
+        0
+        (R.Replica.Cluster.replicas cluster)
+    in
+    let view_changes = sum R.Replica.view_changes_count in
+    let suspects = sum R.Replica.suspects_count in
+    let retries =
+      Array.fold_left (fun acc (_, r, _) -> acc + r) 0 per_client
+    in
+    let redirects =
+      Array.fold_left (fun acc (_, _, r) -> acc + r) 0 per_client
+    in
+    Printf.printf
+      "live: killed replica %d under load, WAL-recovered it | completed %d | \
+       views %d | suspects %d | client retries %d redirects %d\n%!"
+      victim (Atomic.get completed) view_changes suspects retries redirects;
+    J.Obj
+      [ ("kills", J.Int (R.Fault_controller.kills fc));
+        ("restarts", J.Int (R.Fault_controller.restarts fc));
+        ("killed_replica", J.Int victim);
+        ("completed", J.Int (Atomic.get completed));
+        ("view_changes", J.Int view_changes);
+        ("suspects", J.Int suspects);
+        ("client_retries", J.Int retries);
+        ("client_redirects", J.Int redirects);
+        ( "clients",
+          J.List
+            (Array.to_list
+               (Array.mapi
+                  (fun i (calls, rtr, rdr) ->
+                     J.Obj
+                       [ ("client_id", J.Int (i + 1));
+                         ("calls", J.Int calls);
+                         ("retries", J.Int rtr);
+                         ("redirects", J.Int rdr) ])
+                  per_client)) ) ]
+  in
+  let json =
+    J.Obj
+      [ ("bench", J.String "BENCH_005");
+        ("source", J.String "bench/main.exe bench005");
+        ("quick", J.Bool quick);
+        ( "crash",
+          J.Obj
+            [ ("n", J.Int 3);
+              ("cores", J.Int 2);
+              ("n_clients", J.Int 60);
+              ("crash_at_s", J.Float crash_at);
+              ("restart_at_s", J.Float restart_at);
+              ("pre_rps", J.Float pre_rps);
+              ("post_rps", J.Float post_rps);
+              ("post_over_pre", J.Float post_over_pre);
+              ("recovery_s", J.Float r.Jp.recovery_s);
+              ("unavailable_s", J.Float r.Jp.unavailable_s);
+              ("view_changes", J.Int r.Jp.view_changes);
+              ("safety_ok", J.Bool r.Jp.safety_ok);
+              ("client_retries", J.Int r.Jp.client_retries);
+              ( "timeline",
+                J.List
+                  (Array.to_list
+                     (Array.map
+                        (fun (t, c) ->
+                           J.Obj [ ("t", J.Float t); ("completed", J.Int c) ])
+                        r.Jp.timeline)) ) ] );
+        ( "soak",
+          J.Obj
+            [ ("seed", J.Int seed);
+              ("completed", J.Int s1.Jp.completed);
+              ("view_changes", J.Int s1.Jp.view_changes);
+              ("recovery_s", J.Float s1.Jp.recovery_s);
+              ("unavailable_s", J.Float s1.Jp.unavailable_s);
+              ("safety_ok", J.Bool s1.Jp.safety_ok);
+              ("executed_min", J.Int s1.Jp.executed_min);
+              ("executed_max", J.Int s1.Jp.executed_max);
+              ("client_retries", J.Int s1.Jp.client_retries);
+              ("converged", J.Bool converged);
+              ("runs_identical", J.Bool runs_identical) ] );
+        ("live", live_json) ]
+  in
+  let oc = open_out !bench005_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !bench005_out
+
+(* ------------------------------------------------------------------ *)
 (* Observability: --trace FILE runs a short traced simulation and writes
    a Chrome trace_event file; --metrics FILE dumps the metrics registry.
    See docs/OBSERVABILITY.md. *)
@@ -1023,7 +1287,7 @@ let experiments =
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("ext", ext);
     ("live", live); ("live-mono", live_mono); ("ablation", ablation);
     ("micro", micro); ("bench002", bench002); ("bench003", bench003);
-    ("bench004", bench004) ]
+    ("bench004", bench004); ("bench005", bench005) ]
 
 let () =
   let rec parse ids trace metrics = function
@@ -1039,15 +1303,18 @@ let () =
     | "--bench004-out" :: file :: rest ->
       bench004_out := file;
       parse ids trace metrics rest
+    | "--bench005-out" :: file :: rest ->
+      bench005_out := file;
+      parse ids trace metrics rest
     | "--quick" :: rest ->
       bench_quick := true;
       parse ids trace metrics rest
     | ("--trace" | "--metrics" | "--bench-out" | "--bench003-out"
-      | "--bench004-out") :: [] ->
+      | "--bench004-out" | "--bench005-out") :: [] ->
       Printf.eprintf
         "usage: main [EXPERIMENT..] [--trace FILE] [--metrics FILE]\n\
         \       [--quick] [--bench-out FILE] [--bench003-out FILE]\n\
-        \       [--bench004-out FILE]\n";
+        \       [--bench004-out FILE] [--bench005-out FILE]\n";
       exit 2
     | id :: rest -> parse (id :: ids) trace metrics rest
   in

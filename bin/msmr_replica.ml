@@ -57,10 +57,13 @@ let run id nodes client_port service_name window batch_bytes batch_delay_ms
     | s -> failwith (Printf.sprintf "unknown service %S" s)
   in
   Printf.printf "replica %d/%d: establishing mesh...\n%!" id n;
-  let links = Msmr_runtime.Tcp_mesh.establish ~me:id ~addrs () in
+  let mesh = Msmr_runtime.Tcp_mesh.create ~me:id ~addrs () in
+  let links = Msmr_runtime.Tcp_mesh.links mesh in
   let replica =
     Msmr_runtime.Replica.create ~cfg ~me:id ~links ~service
-      ~executor_threads:executors ()
+      ~executor_threads:executors
+      ~reconnects:(fun () -> Msmr_runtime.Tcp_mesh.reconnects mesh)
+      ()
   in
   let server = Msmr_runtime.Client_server.start replica ~port:client_port in
   Printf.printf "replica %d up; clients on port %d; service %s\n%!" id
@@ -72,13 +75,15 @@ let run id nodes client_port service_name window batch_bytes batch_delay_ms
     let stats = Msmr_runtime.Replica.queue_stats replica in
     let exec = Msmr_runtime.Replica.executed_count replica in
     Printf.printf
-      "[r%d] view=%d leader=%b executed=%d (+%d) reqq=%d propq=%d window=%d conns=%d\n%!"
+      "[r%d] view=%d leader=%b executed=%d (+%d) reqq=%d propq=%d window=%d \
+       conns=%d reconnects=%d\n%!"
       id
       (Msmr_runtime.Replica.current_view replica)
       (Msmr_runtime.Replica.is_leader replica)
       exec (exec - last_exec) stats.request_queue stats.proposal_queue
       stats.window_in_use
-      (Msmr_runtime.Client_server.connections server);
+      (Msmr_runtime.Client_server.connections server)
+      (Msmr_runtime.Tcp_mesh.reconnects mesh);
     status exec
   in
   status 0

@@ -9,6 +9,8 @@ type t = {
   mutable target : int;          (* replica index we currently talk to *)
   mutable calls : int;
   mutable retry_count : int;
+  mutable redirect_count : int;  (* times [rotate_target] moved us *)
+  rng : Random.State.t;          (* per-client jitter, deterministic *)
   lock : Mutex.t;
   cond : Condition.t;
   (* Reply slot for the in-flight request. *)
@@ -28,11 +30,14 @@ let create ?(timeout_s = 1.0) ~cluster ~client_id () =
     find 0
   in
   { cluster; client_id; timeout_s; seq = 0; target; calls = 0; retry_count = 0;
+    redirect_count = 0;
+    rng = Random.State.make [| client_id; 0x636c69 |];
     lock = Mutex.create (); cond = Condition.create (); waiting_for = -1;
     reply = None }
 
 let calls_made t = t.calls
 let retries t = t.retry_count
+let redirects t = t.redirect_count
 
 let deliver t raw =
   match Client_msg.reply_of_bytes raw with
@@ -56,7 +61,9 @@ let rotate_target t =
     else if i <> t.target && Replica.is_leader replicas.(i) then i
     else find (i + 1)
   in
-  t.target <- find 0
+  let next = find 0 in
+  if next <> t.target then t.redirect_count <- t.redirect_count + 1;
+  t.target <- next
 
 let call t payload =
   t.seq <- t.seq + 1;
@@ -69,9 +76,27 @@ let call t payload =
   Mutex.unlock t.lock;
   let replicas = Replica.Cluster.replicas t.cluster in
   let rec attempt () =
-    Replica.submit replicas.(t.target) ~raw ~reply_to:(deliver t);
+    let rec submit_retrying () =
+      match Replica.submit replicas.(t.target) ~raw ~reply_to:(deliver t) with
+      | () -> ()
+      | exception _ ->
+        (* Target crashed mid-submit (stopped replica / closed queue):
+           treat it like a refused connection — rotate and retry after a
+           short jittered pause, the same way a TCP client would. *)
+        t.retry_count <- t.retry_count + 1;
+        rotate_target t;
+        Mclock.sleep_s (0.001 +. Random.State.float t.rng 0.001);
+        submit_retrying ()
+    in
+    submit_retrying ();
     let deadline = Int64.add (Mclock.now_ns ()) (Mclock.ns_of_s t.timeout_s) in
-    let rec wait () =
+    (* Polling wait keeps the client simple; clients are test/bench
+       drivers, not a hot path of the replica itself. The poll interval
+       backs off exponentially (0.1 ms -> 2 ms cap, jittered) so a
+       cluster mid-recovery is not hammered by the whole client
+       population in lockstep; it resets on each fresh attempt to keep
+       fast replies fast. *)
+    let rec wait pause =
       Mutex.lock t.lock;
       let r = t.reply in
       Mutex.unlock t.lock;
@@ -84,13 +109,11 @@ let call t payload =
           attempt ()
         end
         else begin
-          (* Polling wait keeps the client simple; clients are test/bench
-             drivers, not a hot path of the replica itself. *)
-          Mclock.sleep_s 0.0002;
-          wait ()
+          Mclock.sleep_s (pause +. Random.State.float t.rng (pause /. 2.));
+          wait (Float.min 0.002 (pause *. 2.))
         end
     in
-    wait ()
+    wait 0.0001
   in
   let result = attempt () in
   Mutex.lock t.lock;

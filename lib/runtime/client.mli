@@ -21,4 +21,10 @@ val call : t -> bytes -> bytes
     Blocks; retries internally until the cluster answers. *)
 
 val calls_made : t -> int
+
 val retries : t -> int
+(** Timed-out attempts that were retransmitted. *)
+
+val redirects : t -> int
+(** Times a timeout moved this client to a different replica (leader
+    changes as seen from the client side). *)

@@ -1,0 +1,45 @@
+type t = {
+  cluster : Replica.Cluster.t;
+  kills : int Atomic.t;
+  restarts : int Atomic.t;
+  severs : int Atomic.t;
+}
+
+let create ~cluster () =
+  { cluster;
+    kills = Atomic.make 0;
+    restarts = Atomic.make 0;
+    severs = Atomic.make 0 }
+
+let kill t i =
+  Atomic.incr t.kills;
+  Replica.Cluster.kill t.cluster i
+
+let restart t i =
+  Atomic.incr t.restarts;
+  Replica.Cluster.restart t.cluster i
+
+let kill_leader t =
+  (* [leader] falls back to replica 0 when nobody claims leadership;
+     killing it anyway is fine — it is as good a victim as any. *)
+  let i = Replica.me (Replica.Cluster.leader t.cluster) in
+  kill t i;
+  i
+
+let sever_link t ~a ~b =
+  Atomic.incr t.severs;
+  let hub = Replica.Cluster.hub t.cluster in
+  (* Both directions: a real broken cable loses traffic both ways. *)
+  Transport.Hub.sever hub ~src:a ~dst:b;
+  Transport.Hub.sever hub ~src:b ~dst:a
+
+let heal_link t ~a ~b =
+  let hub = Replica.Cluster.hub t.cluster in
+  Transport.Hub.heal_link hub ~src:a ~dst:b;
+  Transport.Hub.heal_link hub ~src:b ~dst:a
+
+let isolate t i = Transport.Hub.cut (Replica.Cluster.hub t.cluster) i
+let rejoin t i = Transport.Hub.heal (Replica.Cluster.hub t.cluster) i
+let kills t = Atomic.get t.kills
+let restarts t = Atomic.get t.restarts
+let severs t = Atomic.get t.severs

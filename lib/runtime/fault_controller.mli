@@ -1,0 +1,44 @@
+(** Orchestrated fault injection against a live in-process cluster.
+
+    Wraps {!Replica.Cluster} and its {!Transport.Hub} with the fault
+    vocabulary the robustness tests and [bench005] drive: crash/restart
+    a replica in place, sever and heal individual links, isolate a node
+    from everyone. All operations are crash-shaped — peers observe dead
+    connections (silently dropped sends), never errors — matching how a
+    real process death looks through TCP.
+
+    Restarting a [Durable] replica re-enters {!Replica.create}'s WAL
+    recovery, so the kill/restart pair exercises the same code path as a
+    real crash-reboot. *)
+
+type t
+
+val create : cluster:Replica.Cluster.t -> unit -> t
+
+val kill : t -> int -> unit
+(** Crash replica [i]: stop all its threads, close its links. *)
+
+val restart : t -> int -> Replica.t
+(** Bring replica [i] back (fresh hub queues, same construction
+    parameters; WAL recovery under [Durable]). Returns the new
+    incarnation. *)
+
+val kill_leader : t -> int
+(** {!kill} whichever replica currently claims leadership (replica 0 if
+    none does) and return its id, for a later {!restart}. *)
+
+val sever_link : t -> a:int -> b:int -> unit
+(** Cut the [a]<->[b] link in both directions; all other links keep
+    flowing (an asymmetric-reachability fault when [a] and [b] can both
+    still reach a third node). *)
+
+val heal_link : t -> a:int -> b:int -> unit
+
+val isolate : t -> int -> unit
+(** Partition node [i] from every peer (its frames drop both ways). *)
+
+val rejoin : t -> int -> unit
+
+val kills : t -> int
+val restarts : t -> int
+val severs : t -> int

@@ -119,6 +119,11 @@ type t = {
   decided : Counter.t;
   send_q_drops : Counter.t;
   sender_flushes : Counter.t;   (* coalesced sender-drain passes *)
+  view_changes : Counter.t;     (* views installed after view 0 *)
+  suspects : Counter.t;         (* local failure-detector verdicts acted on *)
+  reconnects : unit -> int;
+      (* transport-level link re-establishments (Tcp_mesh); [fun () -> 0]
+         for transports without reconnection *)
   running : bool Atomic.t;
   mutable threads : Worker.t list;
   window_now : int Atomic.t;
@@ -143,6 +148,9 @@ let is_leader t = Atomic.get t.am_leader
 let current_view t = Atomic.get t.view_now
 let executed_count t = Counter.get t.executed
 let decided_count t = Counter.get t.decided
+let view_changes_count t = Counter.get t.view_changes
+let suspects_count t = Counter.get t.suspects
+let reconnects_count t = t.reconnects ()
 
 type queue_stats = {
   request_queue : int;
@@ -255,6 +263,7 @@ let protocol_apply t (rtx_map : (Paxos.rtx_key, rtx_entry) Hashtbl.t) actions =
                 | _ -> ())
            | None -> ())
        | Paxos.View_changed { view; leader; i_am_leader } ->
+         if view <> Atomic.get t.view_now then Counter.incr t.view_changes;
          Atomic.set t.view_now view;
          Atomic.set t.leader_now leader;
          Atomic.set t.am_leader i_am_leader;
@@ -425,7 +434,9 @@ let protocol_loop t st =
        | Msg.Prepare_ok _ | Msg.Accepted _ | Msg.Decide _
        | Msg.Catchup_query _ | Msg.Heartbeat _ -> ());
       apply (Paxos.receive engine ~from msg)
-    | Suspect -> apply (Paxos.suspect_leader engine)
+    | Suspect ->
+      Counter.incr t.suspects;
+      apply (Paxos.suspect_leader engine)
     | Snapshot_taken { next_iid; state } ->
       apply (Paxos.note_snapshot engine ~next_iid ~state)
   in
@@ -861,7 +872,10 @@ let metric_names =
     "msmr_replica_wnd_now";
     "msmr_replica_batch_fill";
     "msmr_replica_flush_size_total";
-    "msmr_replica_flush_delay_total" ]
+    "msmr_replica_flush_delay_total";
+    "msmr_replica_view_changes_total";
+    "msmr_replica_suspect_total";
+    "msmr_replica_reconnect_total" ]
 
 let register_metrics t =
   let labels = metric_labels t in
@@ -912,7 +926,11 @@ let register_metrics t =
   g "msmr_replica_flush_size_total" (fun () ->
       fi (sum_seals (fun s -> s.Batcher.seals_size)));
   g "msmr_replica_flush_delay_total" (fun () ->
-      fi (sum_seals (fun s -> s.Batcher.seals_delay)))
+      fi (sum_seals (fun s -> s.Batcher.seals_delay)));
+  g "msmr_replica_view_changes_total" (fun () ->
+      fi (Counter.get t.view_changes));
+  g "msmr_replica_suspect_total" (fun () -> fi (Counter.get t.suspects));
+  g "msmr_replica_reconnect_total" (fun () -> fi (t.reconnects ()))
 
 let unregister_metrics t =
   let labels = metric_labels t in
@@ -920,8 +938,8 @@ let unregister_metrics t =
 
 let create ?(client_io_threads = 3) ?(batcher_threads = 1)
     ?(executor_threads = 1) ?(request_queue_capacity = 1000)
-    ?(proposal_queue_capacity = 20) ?(durability = Ephemeral) ~cfg ~me ~links
-    ~service () =
+    ?(proposal_queue_capacity = 20) ?(durability = Ephemeral)
+    ?(reconnects = fun () -> 0) ~cfg ~me ~links ~service () =
   (match Config.validate cfg with
    | Ok () -> ()
    | Error e -> invalid_arg ("Replica.create: " ^ e));
@@ -986,6 +1004,9 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       decided = Counter.create ();
       send_q_drops = Counter.create ();
       sender_flushes = Counter.create ();
+      view_changes = Counter.create ();
+      suspects = Counter.create ();
+      reconnects;
       running = Atomic.make true;
       threads = [];
       window_now = Atomic.make 0;
@@ -1066,6 +1087,9 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
 
 let stop t =
   if Atomic.exchange t.running false then begin
+    (* A dead replica must not be reported as leader (Cluster.leader,
+       Fault_controller). *)
+    Atomic.set t.am_leader false;
     unregister_metrics t;
     (match t.client_io with Some cio -> Client_io.stop cio | None -> ());
     Bq.close t.request_q;
@@ -1094,31 +1118,44 @@ module Cluster = struct
   type t = {
     hub : Transport.Hub.t;
     replicas : replica array;
+    make : int -> replica;   (* factory, reused by [restart] *)
   }
 
   let create ?client_io_threads ?executor_threads ?durability ~cfg ~service ()
       =
     let n = cfg.Config.n in
     let hub = Transport.Hub.create ~n () in
-    let replicas =
-      Array.init n (fun me ->
-          let links =
-            List.filter_map
-              (fun peer ->
-                 if peer = me then None
-                 else Some (peer, Transport.Hub.link hub ~me ~peer))
-              (List.init n Fun.id)
-          in
-          let durability =
-            match durability with Some f -> f me | None -> Ephemeral
-          in
-          create ?client_io_threads ?executor_threads ~durability ~cfg ~me
-            ~links ~service:(service ()) ())
+    let make me =
+      let links =
+        List.filter_map
+          (fun peer ->
+             if peer = me then None
+             else Some (peer, Transport.Hub.link hub ~me ~peer))
+          (List.init n Fun.id)
+      in
+      let durability =
+        match durability with Some f -> f me | None -> Ephemeral
+      in
+      create ?client_io_threads ?executor_threads ~durability ~cfg ~me
+        ~links ~service:(service ()) ()
     in
-    { hub; replicas }
+    { hub; replicas = Array.init n make; make }
 
   let replicas t = t.replicas
   let hub t = t.hub
+
+  let kill t i = stop t.replicas.(i)
+
+  let restart t i =
+    (* The dying replica closed its inbound hub queues; give the new
+       incarnation fresh ones, then rebuild it through the stored
+       factory. With Durable durability the factory re-runs
+       [Replica_store.recover] on the same directory — the WAL crash
+       recovery path. *)
+    stop t.replicas.(i);
+    Transport.Hub.renew t.hub i;
+    t.replicas.(i) <- t.make i;
+    t.replicas.(i)
 
   let leader t =
     match Array.find_opt is_leader t.replicas with

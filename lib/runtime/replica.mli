@@ -47,6 +47,7 @@ val create :
   ?request_queue_capacity:int ->
   ?proposal_queue_capacity:int ->
   ?durability:durability ->
+  ?reconnects:(unit -> int) ->
   cfg:Msmr_consensus.Config.t ->
   me:Msmr_consensus.Types.node_id ->
   links:(Msmr_consensus.Types.node_id * Transport.link) list ->
@@ -73,7 +74,12 @@ val create :
     execution only helps services
     that classify commands with [Keys]; a service using the default
     [Global] classifier degenerates to serial execution plus barrier
-    overhead. *)
+    overhead.
+
+    [reconnects] supplies the transport's reconnection counter (see
+    {!Tcp_mesh}); it backs [msmr_replica_reconnect_total] and
+    {!reconnects_count}. Default: a constant [0] (the in-process
+    {!Transport.Hub} never reconnects). *)
 
 val me : t -> Msmr_consensus.Types.node_id
 
@@ -100,6 +106,18 @@ val executed_count : t -> int
 (** Client requests executed so far (excludes duplicates and noops). *)
 
 val decided_count : t -> int
+
+val view_changes_count : t -> int
+(** Views this replica has installed beyond its starting one (the value
+    behind [msmr_replica_view_changes_total]). *)
+
+val suspects_count : t -> int
+(** Leader suspicions raised by this replica's failure detector (plus
+    any {!inject_suspect} calls). *)
+
+val reconnects_count : t -> int
+(** Peer-link reconnections reported by the transport's [reconnects]
+    callback; always [0] over a {!Transport.Hub}. *)
 
 type queue_stats = {
   request_queue : int;
@@ -155,6 +173,18 @@ module Cluster : sig
   val await_leader : ?timeout_s:float -> t -> replica
   (** Wait until some replica reports leadership. @raise Failure on
       timeout. *)
+
+  val kill : t -> int -> unit
+  (** Crash replica [i] in place: stop all its threads and close its
+      links. Peers see dead connections; their sends drop silently until
+      {!restart}. *)
+
+  val restart : t -> int -> replica
+  (** Rebuild replica [i] (idempotently stopping the old incarnation)
+      with fresh hub queues and the same construction parameters. Under
+      [Durable] durability the new incarnation recovers from the WAL in
+      the same directory — the live crash-recovery path. Returns the new
+      replica, which also replaces slot [i] of {!replicas}. *)
 
   val stop : t -> unit
 end

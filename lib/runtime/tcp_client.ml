@@ -9,12 +9,20 @@ type t = {
   mutable target : int;              (* index into [addrs] *)
   mutable seq : int;
   mutable retry_count : int;
+  mutable redirect_count : int;      (* target rotations *)
+  mutable connect_pause : float;     (* current reconnect backoff *)
+  rng : Random.State.t;
 }
+
+let connect_pause_base = 0.02
+let connect_pause_cap = 0.5
 
 let create ?(timeout_s = 1.0) ~addrs ~client_id () =
   if addrs = [] then invalid_arg "Tcp_client.create: no addresses";
   { addrs = Array.of_list addrs; client_id; timeout_s; fd = None; target = 0;
-    seq = 0; retry_count = 0 }
+    seq = 0; retry_count = 0; redirect_count = 0;
+    connect_pause = connect_pause_base;
+    rng = Random.State.make [| client_id; 0x746370 |] }
 
 let disconnect t =
   match t.fd with
@@ -25,6 +33,7 @@ let disconnect t =
 
 let close = disconnect
 let retries t = t.retry_count
+let redirects t = t.redirect_count
 
 let rec connected t ~attempts_left =
   match t.fd with
@@ -37,11 +46,18 @@ let rec connected t ~attempts_left =
      | () ->
        Unix.setsockopt fd Unix.TCP_NODELAY true;
        t.fd <- Some fd;
+       t.connect_pause <- connect_pause_base;
        fd
      | exception Unix.Unix_error _ ->
        (try Unix.close fd with Unix.Unix_error _ -> ());
        t.target <- (t.target + 1) mod Array.length t.addrs;
-       Mclock.sleep_s 0.05;
+       t.redirect_count <- t.redirect_count + 1;
+       (* Capped exponential backoff with jitter: during an outage the
+          whole client population must not hammer the surviving
+          replicas in lockstep at a fixed 50 ms beat. *)
+       let pause = t.connect_pause in
+       Mclock.sleep_s (pause +. Random.State.float t.rng (pause /. 2.));
+       t.connect_pause <- Float.min connect_pause_cap (pause *. 2.);
        connected t ~attempts_left:(attempts_left - 1))
 
 (* Wait for a reply frame with [deadline]; [None] on timeout, raises on a
@@ -73,6 +89,7 @@ let call t payload =
   let rec attempt () =
     let rotate_and_retry () =
       t.retry_count <- t.retry_count + 1;
+      t.redirect_count <- t.redirect_count + 1;
       disconnect t;
       t.target <- (t.target + 1) mod Array.length t.addrs;
       attempt ()

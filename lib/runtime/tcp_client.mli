@@ -27,4 +27,10 @@ val call : t -> bytes -> bytes
     connections. *)
 
 val retries : t -> int
+(** Timed-out or connection-broken attempts that were retransmitted. *)
+
+val redirects : t -> int
+(** Target rotations (failed connects and failed attempts) — how often
+    this client had to look for another replica. *)
+
 val close : t -> unit

@@ -1,10 +1,43 @@
-(** Replica-to-replica TCP mesh establishment.
+(** Self-healing replica-to-replica TCP mesh.
 
-    Every replica listens on its own address; the replica with the lower
-    id initiates the connection for each pair and identifies itself with
-    a one-frame hello carrying its node id. [establish] retries
-    connections until the whole mesh is up (peers may start in any
-    order), so it blocks until all [n - 1] links exist. *)
+    Every replica listens on its own address; for each pair the
+    higher-id replica dials the lower-id one and identifies itself with
+    a one-frame hello carrying its node id. {!create} blocks until the
+    whole mesh is up once (peers may start in any order).
+
+    Unlike a one-shot connect, the mesh stays alive for the process
+    lifetime: when an established link dies mid-run, the dialing side
+    redials with capped exponential backoff plus per-pair jitter, the
+    listening side accepts the replacement, and the {!links} facades
+    splice the new connection in transparently — senders drop frames
+    while the link is down (the retransmitter recovers them), readers
+    block until the link returns. Re-establishments are counted in
+    {!reconnects}, which is what [msmr_replica_reconnect_total] reports
+    when wired through [Replica.create ~reconnects]. *)
+
+type t
+
+val create :
+  ?connect_timeout_s:float ->
+  me:Msmr_consensus.Types.node_id ->
+  addrs:(Msmr_consensus.Types.node_id * Unix.sockaddr) list ->
+  unit ->
+  t
+(** [addrs] must contain every node including [me] (whose address is the
+    one listened on). @raise Failure when the initial mesh cannot be
+    completed within [connect_timeout_s] (default 30 s). *)
+
+val links : t -> (Msmr_consensus.Types.node_id * Transport.link) list
+(** One persistent link facade per peer, for [Replica.create]. Closing a
+    facade permanently retires that peer's slot (no further redials). *)
+
+val reconnects : t -> int
+(** Links re-established after their initial connection — the mesh's
+    contribution to [msmr_replica_reconnect_total]. *)
+
+val close : t -> unit
+(** Stop the acceptor and dialer threads and close every connection.
+    Idempotent. *)
 
 val establish :
   ?connect_timeout_s:float ->
@@ -12,6 +45,6 @@ val establish :
   addrs:(Msmr_consensus.Types.node_id * Unix.sockaddr) list ->
   unit ->
   (Msmr_consensus.Types.node_id * Transport.link) list
-(** [addrs] must contain every node including [me] (whose address is the
-    one listened on). @raise Failure when the mesh cannot be completed
-    within [connect_timeout_s] (default 30 s). *)
+(** Compatibility shim: [links (create ...)]. The mesh handle is not
+    returned, so it lives (and keeps reconnecting) until the process
+    exits. *)

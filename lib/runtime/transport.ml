@@ -11,13 +11,19 @@ type link = {
 
 module Hub = struct
   type pipe = {
-    queue : bytes Bq.t;
+    mutable queue : bytes Bq.t;
+        (* replaced wholesale by [renew] when the destination replica
+           restarts — senders read the field per call, so they pick up
+           the fresh queue; a reader blocked on the old (closed) queue
+           wakes with [Closed] and exits *)
     mutable drop_rate : float;
+    mutable severed : bool;        (* fault injection: link cut one-way *)
     rng : Random.State.t;
   }
 
   type t = {
     n : int;
+    capacity : int;
     pipes : pipe array array;      (* pipes.(src).(dst) *)
     cut_nodes : bool array;
     sent : Msmr_platform.Rate_meter.Counter.t;
@@ -26,11 +32,13 @@ module Hub = struct
   let create ?(capacity = 4096) ~n () =
     let t =
       { n;
+        capacity;
         pipes =
           Array.init n (fun src ->
               Array.init n (fun dst ->
                   { queue = Bq.create ~capacity;
                     drop_rate = 0.;
+                    severed = false;
                     rng = Random.State.make [| (src * 131) + dst |] }));
         cut_nodes = Array.make n false;
         sent = Msmr_platform.Rate_meter.Counter.create () }
@@ -47,7 +55,7 @@ module Hub = struct
     let out = t.pipes.(me).(peer) and inc = t.pipes.(peer).(me) in
     let send_bytes b =
       Msmr_platform.Rate_meter.Counter.incr t.sent;
-      if t.cut_nodes.(me) || t.cut_nodes.(peer) then ()
+      if t.cut_nodes.(me) || t.cut_nodes.(peer) || out.severed then ()
       else if out.drop_rate > 0.
               && Random.State.float out.rng 1.0 < out.drop_rate then ()
       else
@@ -69,6 +77,19 @@ module Hub = struct
   let set_drop_rate t ~src ~dst rate = t.pipes.(src).(dst).drop_rate <- rate
   let cut t node = t.cut_nodes.(node) <- true
   let heal t node = t.cut_nodes.(node) <- false
+  let sever t ~src ~dst = t.pipes.(src).(dst).severed <- true
+  let heal_link t ~src ~dst = t.pipes.(src).(dst).severed <- false
+
+  (* Give a restarting replica fresh incoming queues: the dying replica
+     closed pipes.(p).(node) (its inbound side), which peers see only as
+     silently-dropped sends. Only the inbound direction is replaced — a
+     peer's reader may be parked inside [Bq.take] on pipes.(node).(p) and
+     would never observe a swap. *)
+  let renew t node =
+    for p = 0 to t.n - 1 do
+      if p <> node then
+        t.pipes.(p).(node).queue <- Bq.create ~capacity:t.capacity
+    done
 
   let close t =
     Array.iter (fun row -> Array.iter (fun p -> Bq.close p.queue) row) t.pipes

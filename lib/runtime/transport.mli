@@ -46,6 +46,19 @@ module Hub : sig
 
   val heal : t -> int -> unit
 
+  val sever : t -> src:int -> dst:int -> unit
+  (** Cut one directed link: frames from [src] to [dst] are dropped until
+      {!heal_link}; every other pair is unaffected. Two [sever] calls
+      make the cut symmetric. *)
+
+  val heal_link : t -> src:int -> dst:int -> unit
+
+  val renew : t -> int -> unit
+  (** Prepare the hub for an in-process restart of [node]: replace its
+      inbound queues (closed when the previous incarnation shut down)
+      with fresh ones so peers' sends flow again. Call before creating
+      the replacement replica. *)
+
   val close : t -> unit
 
   val frames_sent : t -> int

@@ -49,6 +49,8 @@ type cio_ev =
 type disp_ev =
   | PMsg of Types.node_id * Msg.t
   | Poke
+  | Suspect_ev  (* chaos: local failure-detector verdict *)
+  | Tick        (* chaos: periodic catch-up check *)
 
 (* StableStorage pipeline events ([Params.Sync_group]), mirroring the
    live runtime's log queue: the Protocol process enqueues record counts
@@ -90,6 +92,15 @@ type result = {
   wal_group_avg : float;
   tuned_bsz_final : int;
   tuned_wnd_final : int;
+  view_changes : int;
+  unavailable_s : float;
+  recovery_s : float;
+  completed : int;
+  safety_ok : bool;
+  executed_min : int;
+  executed_max : int;
+  client_retries : int;
+  timeline : (float * int) array;
   events : int;
   trace : Msmr_obs.Trace.t option;
 }
@@ -98,7 +109,7 @@ type node = {
   id : int;
   cpu : Cpu.t;
   nic : Nic.t;
-  engine : Paxos.t;
+  mutable engine : Paxos.t;   (* swapped on chaos restart (recovery) *)
   dispatcher_q : disp_ev Squeue.t;
   proposal_q : Batch.t Squeue.t;
   request_qs : Client_msg.request Squeue.t array;   (* one per Batcher *)
@@ -153,12 +164,24 @@ let run ?(trace = false) (p : Params.t) =
   let pkt_rate =
     p.profile.pkt_rate /. net_slowdown *. (if p.rss then 2.0 else 1.0)
   in
+  (* Chaos gate: with [faults = []] none of the fault-injection state
+     below is consulted and the event stream is byte-for-byte the
+     fault-free one (pinned by the determinism goldens). *)
+  let chaos = p.faults <> [] in
   let cfg =
     { (Config.default ~n:p.n) with
       window = p.wnd;
       max_batch_bytes = p.bsz;
       max_batch_delay_s = 0.005;
       snapshot_every = 0 }
+  in
+  let cfg =
+    if chaos then
+      { cfg with
+        fd_interval_s = p.chaos_fd_interval;
+        fd_timeout_s = p.chaos_fd_timeout;
+        retransmit_interval_s = p.chaos_rtx_interval }
+    else cfg
   in
   (* ---------------- nodes ---------------- *)
   let mk_node id =
@@ -191,6 +214,167 @@ let run ?(trace = false) (p : Params.t) =
   in
   let nodes = Array.init p.n mk_node in
   let leader = nodes.(0) in
+  (* ---------------- fault injection state (chaos only) ---------------- *)
+  let net = Sfault.make_net ~seed:p.chaos_seed ~n:p.n p.faults in
+  let up = Array.make p.n true in
+  let crash_time = Array.make p.n 0. in
+  let awaiting_recovery = Array.make p.n false in
+  let recovery_times = ref [] in
+  let rtx_tbls : (Paxos.rtx_key, Types.node_id list * Msg.t) Hashtbl.t array =
+    Array.init p.n (fun _ -> Hashtbl.create 64)
+  in
+  let fds = Array.init p.n (fun id -> Failure_detector.create cfg ~me:id ~now_ns:0L) in
+  let leader_hint = ref 0 in
+  let views_seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let vc_t0 = Array.make p.n None in
+  let client_retries = ref 0 in
+  let awaiting_seq = Array.make (max 1 p.n_clients) 0 in
+  let last_commit = ref 0. and max_gap = ref 0. in
+  (* Per-node at-most-once frontier + executed-request log — the
+     simulator's reply cache: the frontier suppresses re-execution of a
+     retried request, the log is the cross-node linearizability check. *)
+  let exec_frontier : (int, int) Hashtbl.t array =
+    Array.init p.n (fun _ -> Hashtbl.create 1024)
+  in
+  let exec_logs : (int * int) list array = Array.make p.n [] in
+  let timeline =
+    Array.make
+      (if chaos then 1 + int_of_float (ceil (p.duration /. p.chaos_bucket))
+       else 0)
+      0
+  in
+  let ns_now () = Int64.of_float (Engine.now eng *. 1e9) in
+  (* Wire-level delivery with chaos applied at the NIC boundary.
+     Callback-safe: [Nic.send] and [Mailbox.push] never suspend, so this
+     can run from [schedule_at] callbacks (retransmission, restart). *)
+  let chaos_deliver src_node dst msg size =
+    if up.(src_node.id) then
+      List.iter
+        (fun extra ->
+           let send () =
+             Nic.send src_node.nic ~dst:nodes.(dst).nic ~size (fun () ->
+                 if up.(dst) then
+                   Mailbox.push nodes.(dst).rcv_mbs.(src_node.id)
+                     (src_node.id, msg))
+           in
+           if extra <= 0. then send ()
+           else Engine.schedule_at eng (Engine.now eng +. extra) send)
+        (Sfault.deliveries net ~src:src_node.id ~now:(Engine.now eng) ~dst)
+  in
+  let rec rtx_fire id key () =
+    match Hashtbl.find_opt rtx_tbls.(id) key with
+    | Some (dests, msg) when up.(id) ->
+      List.iter
+        (fun d -> if d <> id then chaos_deliver nodes.(id) d msg (approx_size msg))
+        dests;
+      Engine.schedule_at eng
+        (Engine.now eng +. p.chaos_rtx_interval)
+        (rtx_fire id key)
+    | _ -> ()
+  in
+  let arm_rtx id key dests msg =
+    Hashtbl.replace rtx_tbls.(id) key (dests, msg);
+    Engine.schedule_at eng
+      (Engine.now eng +. p.chaos_rtx_interval)
+      (rtx_fire id key)
+  in
+  (* At-most-once admission, in decide order, per node. *)
+  let chaos_admit node (id : Client_msg.request_id) =
+    let tbl = exec_frontier.(node.id) in
+    match Hashtbl.find_opt tbl id.client_id with
+    | Some s when id.seq <= s -> false
+    | _ ->
+      Hashtbl.replace tbl id.client_id id.seq;
+      exec_logs.(node.id) <- (id.client_id, id.seq) :: exec_logs.(node.id);
+      true
+  in
+  let chaos_executed node (id : Client_msg.request_id) =
+    match Hashtbl.find_opt exec_frontier.(node.id) id.client_id with
+    | Some s -> id.seq <= s
+    | None -> false
+  in
+  let do_crash id =
+    if up.(id) then begin
+      up.(id) <- false;
+      crash_time.(id) <- Engine.now eng;
+      (* Volatile state lost: pending retransmissions die with the
+         process. Queued events drain harmlessly — the recovered engine
+         treats them as stale. *)
+      Hashtbl.reset rtx_tbls.(id)
+    end
+  in
+  let do_restart id =
+    if not up.(id) then begin
+      let old_log = Paxos.log nodes.(id).engine in
+      let entries = Log.entries_from old_log (Log.low_mark old_log) in
+      let decided, accepted =
+        List.partition (fun (e : Msg.log_entry) -> e.e_decided) entries
+      in
+      let conv =
+        List.map (fun (e : Msg.log_entry) -> (e.e_iid, e.e_view, e.e_value))
+      in
+      let engine, replays =
+        Paxos.recover cfg ~me:id
+          ~view:(Paxos.view nodes.(id).engine)
+          ~accepted:(conv accepted) ~decided:(conv decided) ~snapshot:None
+      in
+      nodes.(id).engine <- engine;
+      up.(id) <- true;
+      awaiting_recovery.(id) <- true;
+      fds.(id) <- Failure_detector.create cfg ~me:id ~now_ns:(ns_now ());
+      Failure_detector.set_view fds.(id) ~view:(Paxos.view engine)
+        ~now_ns:(ns_now ());
+      (* Service state is rebuilt from the recovered log (the WAL
+         stand-in): frontier and executed-prefix log come back from the
+         replayed Executes; no replies are re-sent. *)
+      Hashtbl.reset exec_frontier.(id);
+      exec_logs.(id) <- [];
+      List.iter
+        (fun action ->
+           match action with
+           | Paxos.Execute { value; _ } -> (
+               match value with
+               | Value.Noop -> ()
+               | Value.Batch b ->
+                 List.iter
+                   (fun (r : Client_msg.request) ->
+                      ignore (chaos_admit nodes.(id) r.id))
+                   b.requests)
+           | Paxos.Send { dest; msg } ->
+             List.iter
+               (fun d ->
+                  if d <> id then
+                    chaos_deliver nodes.(id) d msg (approx_size msg))
+               dest
+           | Paxos.Schedule_rtx { key; dest; msg } -> arm_rtx id key dest msg
+           | Paxos.Cancel_rtx key -> Hashtbl.remove rtx_tbls.(id) key
+           | Paxos.View_changed { view; i_am_leader; _ } ->
+             if view > 0 then Hashtbl.replace views_seen view ();
+             if i_am_leader then leader_hint := id
+           | Paxos.Install_snapshot _ -> ())
+        replays
+    end
+  in
+  if chaos then
+    List.iter
+      (function
+        | Sfault.Crash { node = id; at; restart_at } ->
+          Engine.schedule_at eng at (fun () -> do_crash id);
+          (match restart_at with
+           | Some rt -> Engine.schedule_at eng rt (fun () -> do_restart id)
+           | None -> ())
+        | Sfault.Partition { group_a; group_b; at; heal_at; symmetric } ->
+          Engine.schedule_at eng at (fun () ->
+              Sfault.set_partition net ~group_a ~group_b ~symmetric true);
+          Engine.schedule_at eng heal_at (fun () ->
+              Sfault.set_partition net ~group_a ~group_b ~symmetric false)
+        | Sfault.Link _ -> ()   (* standing rule, consulted per segment *)
+        | Sfault.Fsync_stall { node = id; at; until_t } ->
+          Engine.schedule_at eng at (fun () ->
+              match nodes.(id).disk with
+              | Some d -> Sdisk.stall d ~until:until_t
+              | None -> ()))
+      p.faults;
   (* Autotune mirror: the leader's batcher policies read their BSZ limit
      through this cell and the controller process below retunes it (and
      the engine window) every [tune_epoch] of simulated time. With
@@ -314,6 +498,55 @@ let run ?(trace = false) (p : Params.t) =
     in
     loop ()
   in
+  (* Chaos client: open-loop on failures — retransmits the same request
+     (to whichever node it currently believes leads) after
+     [chaos_client_timeout] without a reply; the at-most-once frontier on
+     the replicas makes the retries idempotent. Completions also feed the
+     throughput-trajectory timeline. *)
+  let client_proc_chaos cl () =
+    Engine.delay eng (1e-6 *. float_of_int cl.cid);
+    let rec loop () =
+      cl.next_seq <- cl.next_seq + 1;
+      awaiting_seq.(cl.cid) <- cl.next_seq;
+      let req =
+        { Client_msg.id = { client_id = cl.cid; seq = cl.next_seq }; payload }
+      in
+      cl.sent_at <- Engine.now eng;
+      let rec attempt () =
+        let target = nodes.(!leader_hint) in
+        match
+          Engine.suspend_timeout eng ~timeout:p.chaos_client_timeout
+            (fun resume ->
+               client_resume.(cl.cid) <- Some resume;
+               Engine.schedule_at eng (Engine.now eng +. 30e-6) (fun () ->
+                   if up.(target.id) then
+                     Nic.rx_inject target.nic ~size:p.request_size (fun () ->
+                         if up.(target.id) then
+                           Mailbox.push target.cio_mbs.(cio_of_client cl.cid)
+                             (Req req))))
+        with
+        | Engine.Value () -> ()
+        | Engine.Timed_out ->
+          client_resume.(cl.cid) <- None;
+          incr client_retries;
+          attempt ()
+      in
+      attempt ();
+      if p.auto_tune then incr tune_completed;
+      if !measuring then begin
+        incr completed;
+        lat_sum := !lat_sum +. (Engine.now eng -. cl.sent_at);
+        incr lat_n;
+        let b =
+          int_of_float ((Engine.now eng -. p.warmup) /. p.chaos_bucket)
+        in
+        if b >= 0 && b < Array.length timeline then
+          timeline.(b) <- timeline.(b) + 1
+      end;
+      loop ()
+    in
+    loop ()
+  in
   (* ---------------- ClientIO threads (leader only) ---------------- *)
   let cio_proc node idx () =
     let st =
@@ -332,17 +565,27 @@ let run ?(trace = false) (p : Params.t) =
         (* One packet per reply: distinct client connections do not
            share segments. *)
         Nic.send_to_wire node.nic ~size:p.reply_size (fun () ->
-            match client_resume.(id.client_id) with
-            | Some resume ->
-              client_resume.(id.client_id) <- None;
-              resume ()
-            | None -> ())
+            (* Under chaos a stale reply (earlier seq, re-sent after a
+               view change) must not complete the current request. *)
+            if (not chaos) || awaiting_seq.(id.client_id) = id.seq then
+              match client_resume.(id.client_id) with
+              | Some resume ->
+                client_resume.(id.client_id) <- None;
+                resume ()
+              | None -> ())
       | Req req ->
         Cpu.work node.cpu st (cost c.client_read);
-        Squeue.put node.request_qs.(req.id.client_id mod p.n_batchers) st req
+        if chaos && chaos_executed node req.id then
+          (* Reply-cache hit: a retried request that already executed
+             (e.g. decided during a no-leader window) is answered from
+             the at-most-once frontier, never re-proposed. *)
+          Mailbox.push node.cio_mbs.(idx) (Rep req.id)
+        else
+          Squeue.put node.request_qs.(req.id.client_id mod p.n_batchers) st req
     in
     let rec loop () =
-      handle (Mailbox.take mb st);
+      let ev = Mailbox.take mb st in
+      if (not chaos) || up.(node.id) then handle ev;
       loop ()
     in
     loop ()
@@ -440,39 +683,86 @@ let run ?(trace = false) (p : Params.t) =
                 Msmr_obs.Trace.instant trk ~cat:"ReplicationCore"
                   ~args:[ ("iid", Msmr_obs.Json.Int iid) ] "decide"
               | None -> ());
+             if chaos then begin
+               if awaiting_recovery.(node.id) then begin
+                 awaiting_recovery.(node.id) <- false;
+                 recovery_times :=
+                   (Engine.now eng -. crash_time.(node.id)) :: !recovery_times
+               end;
+               (* Commit gaps on whichever node currently leads measure
+                  the no-committing-leader window. *)
+               if Paxos.is_leader node.engine then begin
+                 let nw = Engine.now eng in
+                 if !measuring then begin
+                   let gap = nw -. !last_commit in
+                   if gap > !max_gap then max_gap := gap
+                 end;
+                 last_commit := nw
+               end
+             end;
              Squeue.put node.decision_q st { d_iid = iid; d_value = value }
-           | Paxos.Schedule_rtx { key = Paxos.Rtx_accept (_, iid); _ } ->
-             if node == leader then
-               Hashtbl.replace inst_t0 iid (Engine.now eng)
-           | Paxos.Cancel_rtx (Paxos.Rtx_accept (_, iid)) ->
-             if node == leader then begin
-               (match Hashtbl.find_opt inst_t0 iid with
-                | Some t0 ->
-                  if p.auto_tune then begin
-                    tune_lat_sum := !tune_lat_sum +. (Engine.now eng -. t0);
-                    incr tune_lat_n
-                  end;
-                  if !measuring then begin
-                    inst_sum := !inst_sum +. (Engine.now eng -. t0);
-                    incr inst_n
-                  end
-                | None -> ());
-               Hashtbl.remove inst_t0 iid
+           | Paxos.Schedule_rtx { key; dest; msg } ->
+             (match key with
+              | Paxos.Rtx_accept (_, iid) when node == leader ->
+                Hashtbl.replace inst_t0 iid (Engine.now eng)
+              | _ -> ());
+             if chaos then arm_rtx node.id key dest msg
+           | Paxos.Cancel_rtx key ->
+             if chaos then Hashtbl.remove rtx_tbls.(node.id) key;
+             (match key with
+              | Paxos.Rtx_accept (_, iid) when node == leader ->
+                (match Hashtbl.find_opt inst_t0 iid with
+                 | Some t0 ->
+                   if p.auto_tune then begin
+                     tune_lat_sum := !tune_lat_sum +. (Engine.now eng -. t0);
+                     incr tune_lat_n
+                   end;
+                   if !measuring then begin
+                     inst_sum := !inst_sum +. (Engine.now eng -. t0);
+                     incr inst_n
+                   end
+                 | None -> ());
+                Hashtbl.remove inst_t0 iid
+              | _ -> ())
+           | Paxos.View_changed { view; i_am_leader; _ } ->
+             if chaos then begin
+               if view > 0 then Hashtbl.replace views_seen view ();
+               if i_am_leader then leader_hint := node.id;
+               Failure_detector.set_view fds.(node.id) ~view
+                 ~now_ns:(ns_now ());
+               (match vc_t0.(node.id), trk with
+                | Some t0, Some trk ->
+                  let ts = ns_of t0 in
+                  Msmr_obs.Trace.complete trk ~cat:"ReplicationCore"
+                    ~name:"ViewChange" ~ts_ns:ts
+                    ~dur_ns:(Int64.sub (ns_of (Engine.now eng)) ts) ()
+                | _ -> ());
+               vc_t0.(node.id) <- None
              end
-           | Paxos.Schedule_rtx _ | Paxos.Cancel_rtx _
-           | Paxos.View_changed _ | Paxos.Install_snapshot _ -> ())
+           | Paxos.Install_snapshot _ -> ())
         actions
     in
     apply (Paxos.bootstrap node.engine);
     let rec loop () =
       (match Squeue.take node.dispatcher_q st with
        | PMsg (from, msg) ->
-         Cpu.work node.cpu st (cost c.protocol_per_event);
-         (* Promise/acceptance hits the log before the engine replies
-            (mirrors the live handle's persist-before-receive). *)
-         persist (records_for_msg msg);
-         apply (Paxos.receive node.engine ~from msg)
-       | Poke -> ());
+         if (not chaos) || up.(node.id) then begin
+           Cpu.work node.cpu st (cost c.protocol_per_event);
+           (* Promise/acceptance hits the log before the engine replies
+              (mirrors the live handle's persist-before-receive). *)
+           persist (records_for_msg msg);
+           apply (Paxos.receive node.engine ~from msg)
+         end
+       | Poke -> ()
+       | Suspect_ev ->
+         if chaos && up.(node.id) then begin
+           (if vc_t0.(node.id) = None then
+              vc_t0.(node.id) <- Some (Engine.now eng));
+           apply (Paxos.suspect_leader node.engine)
+         end
+       | Tick ->
+         if chaos && up.(node.id) then
+           apply (Paxos.tick_catchup node.engine));
       let rec feed () =
         if Paxos.can_propose node.engine then
           match Squeue.try_take node.proposal_q st with
@@ -482,7 +772,7 @@ let run ?(trace = false) (p : Params.t) =
             feed ()
           | None -> ()
       in
-      feed ();
+      if (not chaos) || up.(node.id) then feed ();
       loop ()
     in
     loop ()
@@ -542,10 +832,34 @@ let run ?(trace = false) (p : Params.t) =
       let flush seg_msgs seg_size =
         if seg_msgs <> [] then begin
           let msgs = List.rev seg_msgs in
-          Nic.send node.nic ~dst:nodes.(peer).nic ~size:seg_size (fun () ->
-              List.iter
-                (fun (m, _) -> Mailbox.push nodes.(peer).rcv_mbs.(node.id) (node.id, m))
-                msgs)
+          if not chaos then
+            Nic.send node.nic ~dst:nodes.(peer).nic ~size:seg_size (fun () ->
+                List.iter
+                  (fun (m, _) -> Mailbox.push nodes.(peer).rcv_mbs.(node.id) (node.id, m))
+                  msgs)
+          else if up.(node.id) then begin
+            Failure_detector.note_send fds.(node.id) ~dest:peer
+              ~now_ns:(ns_now ());
+            (* Chaos applies per TCP segment at the NIC boundary: the
+               whole segment is dropped / delayed / duplicated, exactly
+               like a lost or reordered frame. *)
+            List.iter
+              (fun extra ->
+                 let send () =
+                   Nic.send node.nic ~dst:nodes.(peer).nic ~size:seg_size
+                     (fun () ->
+                        if up.(peer) then
+                          List.iter
+                            (fun (m, _) ->
+                               Mailbox.push nodes.(peer).rcv_mbs.(node.id)
+                                 (node.id, m))
+                            msgs)
+                 in
+                 if extra <= 0. then send ()
+                 else Engine.schedule_at eng (Engine.now eng +. extra) send)
+              (Sfault.deliveries net ~src:node.id ~now:(Engine.now eng)
+                 ~dst:peer)
+          end
         end
       in
       let seg, size =
@@ -571,6 +885,8 @@ let run ?(trace = false) (p : Params.t) =
     let mb = node.rcv_mbs.(peer) in
     let rec loop () =
       let from, msg = Mailbox.take mb st in
+      if chaos then
+        Failure_detector.note_recv fds.(node.id) ~from ~now_ns:(ns_now ());
       Cpu.work node.cpu st
         (cost
            (c.io_deser_per_msg
@@ -617,6 +933,42 @@ let run ?(trace = false) (p : Params.t) =
     in
     loop ()
   in
+  (* ---------------- FailureDetector (chaos only) ---------------- *)
+  (* Mirrors the live FailureDetector thread: polls the pure policy on a
+     half-interval cadence; leader verdicts become Heartbeats through the
+     ordinary send queues (so they share segments and chaos like any
+     protocol message), follower verdicts become Suspect_ev dispatcher
+     events. A Tick per poll drives [Paxos.tick_catchup]. *)
+  let fd_proc node () =
+    let st = Sstats.make_thread eng ~name:"FailureDetector" in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let rec loop () =
+      Engine.delay eng (p.chaos_fd_interval /. 2.);
+      if up.(node.id) then begin
+        List.iter
+          (fun verdict ->
+             match verdict with
+             | Failure_detector.Heartbeat_to peers ->
+               if Paxos.is_leader node.engine then begin
+                 let msg =
+                   Msg.Heartbeat
+                     { view = Paxos.view node.engine;
+                       first_undecided =
+                         Log.first_undecided (Paxos.log node.engine) }
+                 in
+                 List.iter
+                   (fun pr -> Squeue.put node.send_qs.(pr) st msg)
+                   peers
+               end
+             | Failure_detector.Suspect _ ->
+               Squeue.put node.dispatcher_q st Suspect_ev)
+          (Failure_detector.poll fds.(node.id) ~now_ns:(ns_now ()));
+        Squeue.put node.dispatcher_q st Tick
+      end;
+      loop ()
+    in
+    loop ()
+  in
   (* ---------------- ServiceManager (Replica thread) ---------------- *)
   (* exec_threads = 1: the paper's serial ServiceManager, unchanged. *)
   let sm_proc node () =
@@ -629,10 +981,18 @@ let run ?(trace = false) (p : Params.t) =
        | Value.Batch batch ->
          List.iter
            (fun (req : Client_msg.request) ->
-              Cpu.work node.cpu st (cost c.exec_per_req);
-              if node == leader then
-                Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
-                  (Rep req.id))
+              if not chaos then begin
+                Cpu.work node.cpu st (cost c.exec_per_req);
+                if node == leader then
+                  Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+                    (Rep req.id)
+              end
+              else if up.(node.id) && chaos_admit node req.id then begin
+                Cpu.work node.cpu st (cost c.exec_per_req);
+                if Paxos.is_leader node.engine then
+                  Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+                    (Rep req.id)
+              end)
            batch.requests);
       loop ()
     in
@@ -660,7 +1020,8 @@ let run ?(trace = false) (p : Params.t) =
       let rec loop () =
         let req = Mailbox.take exec_mbs.(idx) est in
         Cpu.work node.cpu est (cost c.exec_per_req);
-        if node == leader then
+        if (not chaos && node == leader)
+           || (chaos && Paxos.is_leader node.engine) then
           Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
             (Rep req.id);
         decr pending;
@@ -697,10 +1058,12 @@ let run ?(trace = false) (p : Params.t) =
          > int_of_float (float_of_int (!total - 1) *. p.conflict_ratio)
     in
     let dispatch (req : Client_msg.request) =
-      if classify_global () then begin
+      if chaos && not (up.(node.id) && chaos_admit node req.id) then ()
+      else if classify_global () then begin
         quiesce ();
         Cpu.work node.cpu st (cost c.exec_per_req);
-        if node == leader then
+        if (not chaos && node == leader)
+           || (chaos && Paxos.is_leader node.engine) then
           Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
             (Rep req.id)
       end
@@ -722,7 +1085,9 @@ let run ?(trace = false) (p : Params.t) =
   (* ---------------- spawn everything ---------------- *)
   Array.iter
     (fun node ->
-       if node == leader then begin
+       (* Under chaos every node runs ClientIO: after a view change the
+          new leader has to serve redirected clients. *)
+       if node == leader || chaos then begin
          for i = 0 to p.client_io_threads - 1 do
            Engine.spawn eng ~name:(Printf.sprintf "cio-%d" i) (cio_proc node i)
          done
@@ -732,6 +1097,7 @@ let run ?(trace = false) (p : Params.t) =
        done;
        Engine.spawn eng ~name:"protocol" (protocol_proc node);
        if node.ss_q <> None then Engine.spawn eng ~name:"ss" (ss_proc node);
+       if chaos then Engine.spawn eng ~name:"fd" (fd_proc node);
        Engine.spawn eng ~name:"sm"
          (if p.exec_threads > 1 then sm_parallel node else sm_proc node);
        for peer = 0 to p.n - 1 do
@@ -741,7 +1107,11 @@ let run ?(trace = false) (p : Params.t) =
          end
        done)
     nodes;
-  Array.iter (fun cl -> Engine.spawn eng ~name:"client" (client_proc cl)) clients;
+  Array.iter
+    (fun cl ->
+       Engine.spawn eng ~name:"client"
+         (if chaos then client_proc_chaos cl else client_proc cl))
+    clients;
   (* Autotune controller process (leader, simulated time). The policy is
      the same pure Autotune module the live Protocol thread ticks; the
      epoch cadence is the engine clock, so the tuned trajectory is a
@@ -862,6 +1232,7 @@ let run ?(trace = false) (p : Params.t) =
   lat_sum := 0.; lat_n := 0;
   inst_sum := 0.; inst_n := 0;
   batch_reqs := 0; batch_bytes := 0; batches := 0;
+  if chaos then begin last_commit := p.warmup; max_gap := 0. end;
   Sstats.Gauge.reset window_gauge;
   Array.iter
     (fun node ->
@@ -919,6 +1290,39 @@ let run ?(trace = false) (p : Params.t) =
     (100. *. Cpu.consumed leader.cpu /. dur);
   Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_run_events"
     (float_of_int (Engine.events_processed eng));
+  (* Linearizability check over the executed-request logs: no node
+     executed a request twice, and every pair of nodes agrees on the
+     common prefix of the execution order. *)
+  let safety_ok, executed_min, executed_max =
+    if not chaos then (true, 0, 0)
+    else begin
+      let arrs = Array.map (fun l -> Array.of_list (List.rev l)) exec_logs in
+      let ok = ref true in
+      Array.iter
+        (fun a ->
+           let seen = Hashtbl.create (Array.length a) in
+           Array.iter
+             (fun r ->
+                if Hashtbl.mem seen r then ok := false
+                else Hashtbl.add seen r ())
+             a)
+        arrs;
+      for i = 1 to p.n - 1 do
+        let a = arrs.(0) and b = arrs.(i) in
+        let m = min (Array.length a) (Array.length b) in
+        for j = 0 to m - 1 do
+          if a.(j) <> b.(j) then ok := false
+        done
+      done;
+      let mn =
+        Array.fold_left (fun acc a -> min acc (Array.length a)) max_int arrs
+      in
+      let mx =
+        Array.fold_left (fun acc a -> max acc (Array.length a)) 0 arrs
+      in
+      (!ok, (if mn = max_int then 0 else mn), mx)
+    end
+  in
   let wal_syncs, wal_group_avg =
     match leader.disk with
     | Some d ->
@@ -956,5 +1360,20 @@ let run ?(trace = false) (p : Params.t) =
     wal_group_avg;
     tuned_bsz_final = !final_bsz;
     tuned_wnd_final = !final_wnd;
+    view_changes = Hashtbl.length views_seen;
+    unavailable_s =
+      (if chaos then
+         Float.max !max_gap (p.warmup +. p.duration -. !last_commit)
+       else 0.);
+    recovery_s = List.fold_left Float.max 0. !recovery_times;
+    completed = !completed;
+    safety_ok;
+    executed_min;
+    executed_max;
+    client_retries = !client_retries;
+    timeline =
+      Array.mapi
+        (fun i n -> (p.warmup +. (float_of_int i *. p.chaos_bucket), n))
+        timeline;
     events = Engine.events_processed eng;
     trace = tracer }

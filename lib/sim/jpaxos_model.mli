@@ -48,6 +48,28 @@ type result = {
           controller's last published value under [auto_tune], the static
           [bsz] otherwise *)
   tuned_wnd_final : int;         (** likewise for WND *)
+  view_changes : int;
+      (** distinct views (> 0) any node installed — [0] on a fault-free
+          run, where node 0 leads view 0 throughout *)
+  unavailable_s : float;
+      (** widest window of the measured interval with no committing
+          leader (max commit gap on the acting leader, including the
+          tail); [0.] when [faults = []] *)
+  recovery_s : float;
+      (** worst crash→first-post-recovery-commit time over all restarts
+          in the schedule; [0.] if nothing crashed (or never recovered) *)
+  completed : int;               (** client requests completed (measured) *)
+  safety_ok : bool;
+      (** chaos linearizability check: no node executed a request twice
+          and all executed-request logs agree on their common prefix;
+          always [true] when [faults = []] *)
+  executed_min : int;            (** executed-log length, laggiest node *)
+  executed_max : int;            (** executed-log length, most advanced *)
+  client_retries : int;          (** chaos-client request retransmissions *)
+  timeline : (float * int) array;
+      (** completions per [chaos_bucket]-wide bucket (bucket start time,
+          count) — the throughput trajectory through the fault schedule;
+          [[||]] when [faults = []] *)
   events : int;                  (** simulation events processed *)
   trace : Msmr_obs.Trace.t option;
       (** present iff [run ~trace:true]; stamped in simulated time and

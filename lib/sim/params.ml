@@ -72,6 +72,13 @@ type t = {
   fsync_latency : float;
   auto_tune : bool;
   tune_epoch : float;
+  faults : Sfault.event list;
+  chaos_seed : int;
+  chaos_fd_interval : float;
+  chaos_fd_timeout : float;
+  chaos_rtx_interval : float;
+  chaos_client_timeout : float;
+  chaos_bucket : float;
 }
 
 let auto_io_threads ~cores = max 1 (min 5 (cores - 1))
@@ -97,4 +104,11 @@ let default ?(profile = parapluie) ~n ~cores () =
     sync_policy = Sync_none;
     fsync_latency = 5e-3;
     auto_tune = false;
-    tune_epoch = 0.01 }
+    tune_epoch = 0.01;
+    faults = [];
+    chaos_seed = 1;
+    chaos_fd_interval = 0.02;
+    chaos_fd_timeout = 0.1;
+    chaos_rtx_interval = 0.05;
+    chaos_client_timeout = 0.25;
+    chaos_bucket = 0.05 }

@@ -98,6 +98,24 @@ type t = {
           default) is byte-for-byte the static path. Runs stay fully
           deterministic either way. *)
   tune_epoch : float;  (** controller epoch in simulated seconds *)
+  faults : Sfault.event list;
+      (** fault-injection schedule. [[]] (the default) disables the whole
+          chaos machinery and is byte-for-byte the fault-free simulation
+          path (golden-pinned). Non-empty runs stay fully deterministic:
+          the schedule plus [chaos_seed] fix every drop, delay and
+          duplication. *)
+  chaos_seed : int;  (** seeds the per-run chaos PRNG ({!Sfault.make_net}) *)
+  chaos_fd_interval : float;
+      (** failure-detector heartbeat interval under chaos (overrides
+          [Config.fd_interval_s]; the fault-free path runs no detector) *)
+  chaos_fd_timeout : float;   (** leader-silence suspicion timeout *)
+  chaos_rtx_interval : float; (** retransmission interval under chaos *)
+  chaos_client_timeout : float;
+      (** chaos clients retransmit the same request (to the node they
+          believe leads) after this long without a reply *)
+  chaos_bucket : float;
+      (** width of the completion-timeline buckets in the result (the
+          throughput trajectory through a fault) *)
 }
 
 val default : ?profile:profile -> n:int -> cores:int -> unit -> t

@@ -2,14 +2,17 @@ type t = {
   eng : Engine.t;
   latency : float;
   mutable busy_until : float;
+  mutable stall_until : float;
   mutable pending : int;
   mutable syncs : int;
   mutable records_synced : int;
 }
 
 let create eng ~fsync_latency =
-  { eng; latency = fsync_latency; busy_until = 0.;
+  { eng; latency = fsync_latency; busy_until = 0.; stall_until = 0.;
     pending = 0; syncs = 0; records_synced = 0 }
+
+let stall t ~until = t.stall_until <- Float.max t.stall_until until
 
 let append t n = t.pending <- t.pending + n
 
@@ -17,7 +20,9 @@ let has_pending t = t.pending > 0
 
 let fsync t k =
   (* One device: concurrent fsyncs serialise behind [busy_until]. *)
-  let start = Float.max (Engine.now t.eng) t.busy_until in
+  let start =
+    Float.max t.stall_until (Float.max (Engine.now t.eng) t.busy_until)
+  in
   let fin = start +. t.latency in
   t.busy_until <- fin;
   t.syncs <- t.syncs + 1;

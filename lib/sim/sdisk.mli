@@ -16,6 +16,12 @@ val append : t -> int -> unit
 
 val has_pending : t -> bool
 
+val stall : t -> until:float -> unit
+(** Fault injection: no fsync issued before [until] can start (and so
+    none completes before [until + latency]) — a seized device. Appends
+    still buffer; stalls only extend ([Float.max] with any earlier
+    stall). *)
+
 val fsync : t -> (unit -> unit) -> unit
 (** Make everything buffered durable; the continuation runs when the
     device completes (after queueing behind any in-flight fsync). One

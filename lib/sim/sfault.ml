@@ -1,0 +1,111 @@
+type link_chaos = {
+  l_src : int;
+  l_dst : int;
+  drop : float;
+  dup : float;
+  delay_s : float;
+  jitter_s : float;
+  from_t : float;
+  until_t : float;
+}
+
+type event =
+  | Crash of { node : int; at : float; restart_at : float option }
+  | Partition of {
+      group_a : int list;
+      group_b : int list;
+      at : float;
+      heal_at : float;
+      symmetric : bool;
+    }
+  | Link of link_chaos
+  | Fsync_stall of { node : int; at : float; until_t : float }
+
+type net = {
+  rng : Random.State.t;
+  blocked : bool array array;   (* blocked.(src).(dst) *)
+  rules : link_chaos list;
+}
+
+let make_net ~seed ~n events =
+  { rng = Random.State.make [| seed; 0x5fa; 0x17 |];
+    blocked = Array.make_matrix n n false;
+    rules =
+      List.filter_map (function Link r -> Some r | _ -> None) events }
+
+let set_blocked t ~src ~dst v = t.blocked.(src).(dst) <- v
+
+let set_partition t ~group_a ~group_b ~symmetric v =
+  List.iter
+    (fun a ->
+       List.iter
+         (fun b ->
+            set_blocked t ~src:a ~dst:b v;
+            if symmetric then set_blocked t ~src:b ~dst:a v)
+         group_b)
+    group_a
+
+let deliveries t ~src ~now ~dst =
+  if t.blocked.(src).(dst) then []
+  else begin
+    (* Draw in rule order even when an earlier rule already dropped the
+       segment: the PRNG consumption pattern must not depend on the
+       outcome, or two schedules differing in one rule would desync every
+       later draw. *)
+    let dropped = ref false and duped = ref false and extra = ref 0. in
+    List.iter
+      (fun r ->
+         if (r.l_src < 0 || r.l_src = src)
+            && (r.l_dst < 0 || r.l_dst = dst)
+            && now >= r.from_t && now < r.until_t
+         then begin
+           if r.drop > 0. && Random.State.float t.rng 1.0 < r.drop then
+             dropped := true;
+           if r.dup > 0. && Random.State.float t.rng 1.0 < r.dup then
+             duped := true;
+           if r.delay_s > 0. then extra := !extra +. r.delay_s;
+           if r.jitter_s > 0. then
+             extra := !extra +. Random.State.float t.rng r.jitter_s
+         end)
+      t.rules;
+    if !dropped then []
+    else if !duped then [ !extra; !extra +. 2e-5 ]
+    else [ !extra ]
+  end
+
+let random_schedule ~seed ~n ~t0 ~t1 =
+  if n < 2 then invalid_arg "Sfault.random_schedule: n < 2";
+  let rng = Random.State.make [| seed; 0xc4a05 |] in
+  let span = t1 -. t0 in
+  (* Everything heals by [t0 + 0.7 span]: the tail is for convergence. *)
+  let heal_by = t0 +. (0.7 *. span) in
+  let lossy =
+    Link
+      { l_src = Random.State.int rng n;
+        l_dst = -1;
+        drop = 0.05 +. Random.State.float rng 0.10;
+        dup = 0.02;
+        delay_s = 0.;
+        jitter_s = 0.002;
+        from_t = t0;
+        until_t = t0 +. (0.45 *. span) }
+  in
+  let victim = Random.State.int rng n in
+  let crash_at = t0 +. ((0.10 +. Random.State.float rng 0.15) *. span) in
+  let restart_at =
+    Float.min (heal_by -. 0.05 *. span)
+      (crash_at +. ((0.10 +. Random.State.float rng 0.10) *. span))
+  in
+  let crash = Crash { node = victim; at = crash_at; restart_at = Some restart_at } in
+  let isolated = Random.State.int rng n in
+  let others = List.filter (fun i -> i <> isolated) (List.init n Fun.id) in
+  let part_at = t0 +. ((0.45 +. Random.State.float rng 0.10) *. span) in
+  let part =
+    Partition
+      { group_a = [ isolated ];
+        group_b = others;
+        at = part_at;
+        heal_at = Float.min heal_by (part_at +. (0.15 *. span));
+        symmetric = true }
+  in
+  [ lossy; crash; part ]

@@ -1,0 +1,73 @@
+(** Deterministic fault injection for the simulator.
+
+    A fault schedule is a plain list of {!event}s carried in
+    {!Params.t}; {!Jpaxos_model} installs them on the engine at startup,
+    so every chaos run is a pure function of the parameters (schedule +
+    [chaos_seed]) — same seed, byte-for-byte the same event stream.
+
+    Message chaos (drop / duplicate / delay / reorder) is applied at the
+    NIC boundary: the sender-side flush consults {!deliveries} for every
+    wire segment, after the CPU serialisation costs and send-queue
+    behaviour have already been paid. That placement mirrors where a
+    real network loses frames (below the application, above nothing the
+    replica can observe), so the replica code under test is exactly the
+    code that runs fault-free. *)
+
+type link_chaos = {
+  l_src : int;       (** source node, [-1] = any *)
+  l_dst : int;       (** destination node, [-1] = any *)
+  drop : float;      (** per-segment drop probability *)
+  dup : float;       (** per-segment duplication probability *)
+  delay_s : float;   (** fixed extra delivery delay *)
+  jitter_s : float;
+      (** uniform extra delay in [0, jitter_s); independent per segment,
+          so delayed copies can overtake — netem-style reordering *)
+  from_t : float;    (** rule active for [from_t <= now < until_t] *)
+  until_t : float;
+}
+
+type event =
+  | Crash of { node : int; at : float; restart_at : float option }
+      (** Fail-stop at [at]: the node stops sending, receiving and
+          executing; volatile state (queues, retransmission timers) is
+          lost. With [restart_at] it comes back, recovering the engine
+          from its log — the simulator's WAL stand-in. *)
+  | Partition of {
+      group_a : int list;
+      group_b : int list;
+      at : float;
+      heal_at : float;
+      symmetric : bool;
+          (** [false] = asymmetric: only [group_a]→[group_b] traffic is
+              blocked; replies still flow *)
+    }
+  | Link of link_chaos  (** standing per-link message chaos rule *)
+  | Fsync_stall of { node : int; at : float; until_t : float }
+      (** The node's disk accepts no fsync completion before [until_t]
+          (a seized device / write-back flush storm). *)
+
+type net
+(** Runtime chaos state: the seeded PRNG, the partition matrix and the
+    standing link rules. One per simulation run. *)
+
+val make_net : seed:int -> n:int -> event list -> net
+(** Extract the {!Link} rules; crash/partition/stall events are the
+    model's job to schedule ({!set_blocked} flips the matrix). *)
+
+val set_blocked : net -> src:int -> dst:int -> bool -> unit
+
+val set_partition :
+  net -> group_a:int list -> group_b:int list -> symmetric:bool -> bool -> unit
+(** Apply ([true]) or heal ([false]) a partition between the groups. *)
+
+val deliveries : net -> src:int -> now:float -> dst:int -> float list
+(** Fates of one wire segment from [src] to [dst] at time [now]: [[]]
+    means dropped (or partitioned away); otherwise one extra-delay value
+    per copy to deliver ([0.] = undisturbed, two entries = duplicated).
+    Consumes PRNG draws in call order, which the engine makes
+    deterministic. *)
+
+val random_schedule : seed:int -> n:int -> t0:float -> t1:float -> event list
+(** A seeded soak mix over the window [[t0, t1]]: a lossy/jittery link
+    rule, one crash + restart, and one partition window — all healed
+    well before [t1] so a run can converge. Deterministic in [seed]. *)

@@ -28,7 +28,8 @@ metrics_file="$(mktemp /tmp/msmr-verify-metrics.XXXXXX.json)"
 bench_file="$(mktemp /tmp/msmr-verify-bench.XXXXXX.json)"
 bench3_file="$(mktemp /tmp/msmr-verify-bench3.XXXXXX.json)"
 bench4_file="$(mktemp /tmp/msmr-verify-bench4.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file"' EXIT
+bench5_file="$(mktemp /tmp/msmr-verify-bench5.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file" "$bench5_file"' EXIT
 
 dune exec bin/sim_probe.exe -- --trace "$trace_file" --metrics "$metrics_file"
 
@@ -146,6 +147,61 @@ if command -v jq >/dev/null 2>&1; then
 else
   [ -s "$bench4_committed" ] || { echo "FAIL: $bench4_committed empty" >&2; exit 1; }
   echo "bench004 committed: jq not installed, checked file is non-empty"
+fi
+
+echo "== bench005 smoke (quick) =="
+dune exec bench/main.exe -- bench005 --quick --bench005-out "$bench5_file"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench5_file"
+  # The quick run is a smoke test: the fault schedule must still leave a
+  # safe, converged, reproducible cluster; the throughput gates apply to
+  # the committed full run below.
+  ok=$(jq '[.crash.safety_ok, .soak.safety_ok, .soak.converged,
+            .soak.runs_identical] | all' "$bench5_file")
+  echo "bench005 smoke: safety/convergence/reproducibility = $ok"
+  [ "$ok" = "true" ] || { echo "FAIL: bench005 smoke chaos run unsafe or non-deterministic" >&2; exit 1; }
+else
+  [ -s "$bench5_file" ] || { echo "FAIL: $bench5_file empty" >&2; exit 1; }
+  case "$(head -c1 "$bench5_file")" in
+    '{') ;;
+    *) echo "FAIL: $bench5_file does not look like JSON" >&2; exit 1 ;;
+  esac
+  echo "bench005 smoke: jq not installed, checked file is non-empty JSON"
+fi
+
+echo "== bench005 committed results gate =="
+bench5_committed="bench/BENCH_005.json"
+[ -f "$bench5_committed" ] || { echo "FAIL: $bench5_committed missing" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench5_committed"
+  quick=$(jq '.quick' "$bench5_committed")
+  schema_bad=$(jq '[.crash, .soak, .live] | map(select(. == null)) | length' \
+               "$bench5_committed")
+  crash_bad=$(jq '[.crash | select((.pre_rps? and .post_rps? and .post_over_pre?
+                   and .recovery_s? and .view_changes? != null) | not)] | length' \
+              "$bench5_committed")
+  # Fault-injection acceptance gates: the leader crash must actually
+  # have happened (a recovery was measured, views moved), recovery must
+  # be bounded, post-recovery throughput must reach >= 90% of pre-crash,
+  # and the seeded chaos soak must end safe, converged and bit-identical
+  # across its two runs.
+  ratio_ok=$(jq '.crash.post_over_pre >= 0.9' "$bench5_committed")
+  rec_ok=$(jq '.crash.recovery_s > 0 and .crash.recovery_s <= 2' "$bench5_committed")
+  vc_ok=$(jq '.crash.view_changes >= 1' "$bench5_committed")
+  soak_ok=$(jq '[.crash.safety_ok, .soak.safety_ok, .soak.converged,
+                 .soak.runs_identical] | all' "$bench5_committed")
+  echo "bench005 committed: ratio_ok=$ratio_ok recovery_ok=$rec_ok views_ok=$vc_ok soak_ok=$soak_ok"
+  [ "$quick" = "false" ] || { echo "FAIL: committed bench005 was a --quick run" >&2; exit 1; }
+  [ "$schema_bad" -eq 0 ] || { echo "FAIL: bench005 missing crash/soak/live sections" >&2; exit 1; }
+  [ "$crash_bad" -eq 0 ] || { echo "FAIL: bench005 crash section missing required fields" >&2; exit 1; }
+  [ "$ratio_ok" = "true" ] || { echo "FAIL: post-recovery throughput < 0.9x pre-crash" >&2; exit 1; }
+  [ "$rec_ok" = "true" ] || { echo "FAIL: recovery_s absent or out of (0, 2]" >&2; exit 1; }
+  [ "$vc_ok" = "true" ] || { echo "FAIL: leader crash caused no view change" >&2; exit 1; }
+  [ "$soak_ok" = "true" ] || { echo "FAIL: chaos soak unsafe, diverged or non-deterministic" >&2; exit 1; }
+else
+  [ -s "$bench5_committed" ] || { echo "FAIL: $bench5_committed empty" >&2; exit 1; }
+  echo "bench005 committed: jq not installed, checked file is non-empty"
 fi
 
 echo "== verify OK =="

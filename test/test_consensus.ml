@@ -499,6 +499,73 @@ let test_fd_next_wake () =
   let wake = Failure_detector.next_wake_ns fd ~now_ns:0L in
   Alcotest.(check int64) "timeout edge" (s_to_ns 0.5) wake
 
+(* Regression suite for the poll re-arm path: a Suspect verdict arms a
+   fresh timeout, and that re-armed state must behave exactly like the
+   initial armed state — re-suspect after a full silent timeout, stand
+   down on liveness proof, and never end up permanently disarmed. *)
+
+let test_fd_rearm_resuspects_after_full_timeout () =
+  let fd = Failure_detector.create fd_cfg ~me:1 ~now_ns:0L in
+  Failure_detector.set_view fd ~view:0 ~now_ns:0L;
+  (match Failure_detector.poll fd ~now_ns:(s_to_ns 0.6) with
+   | [ Failure_detector.Suspect 0 ] -> ()
+   | _ -> Alcotest.fail "expected first suspicion");
+  (* Re-armed, leader stays silent: quiet strictly inside the fresh
+     timeout, then a second suspicion at its edge. *)
+  Alcotest.(check bool) "quiet inside re-armed window" true
+    (Failure_detector.poll fd ~now_ns:(s_to_ns 1.0) = []);
+  (match Failure_detector.poll fd ~now_ns:(s_to_ns 1.2) with
+   | [ Failure_detector.Suspect 0 ] -> ()
+   | _ -> Alcotest.fail "re-armed detector never re-suspected a dead leader")
+
+let test_fd_suspected_then_recovered_leader_not_disarmed () =
+  (* The scenario behind the re-arm path: the leader stalls long enough
+     to be suspected, the view change loses the election (or the Prepare
+     never wins quorum), and the old leader comes back — note_recv only,
+     no set_view. If it then dies for real, the detector must suspect it
+     again rather than stay disarmed forever. *)
+  let fd = Failure_detector.create fd_cfg ~me:1 ~now_ns:0L in
+  Failure_detector.set_view fd ~view:0 ~now_ns:0L;
+  (match Failure_detector.poll fd ~now_ns:(s_to_ns 0.6) with
+   | [ Failure_detector.Suspect 0 ] -> ()
+   | _ -> Alcotest.fail "expected initial suspicion");
+  (* Leader recovers: fresh traffic, still leading view 0. *)
+  Failure_detector.note_recv fd ~from:0 ~now_ns:(s_to_ns 0.8);
+  Failure_detector.note_recv fd ~from:0 ~now_ns:(s_to_ns 1.0);
+  Alcotest.(check bool) "recovered leader trusted again" true
+    (Failure_detector.poll fd ~now_ns:(s_to_ns 1.2) = []);
+  (* Second, real death: a full timeout of silence after the last proof
+     must produce a fresh Suspect verdict. *)
+  (match Failure_detector.poll fd ~now_ns:(s_to_ns 1.6) with
+   | [ Failure_detector.Suspect 0 ] -> ()
+   | _ ->
+     Alcotest.fail
+       "suspected-then-recovered leader left the detector disarmed");
+  (* And the cycle keeps working: re-armed again, not dead after two
+     rounds. *)
+  Failure_detector.note_recv fd ~from:0 ~now_ns:(s_to_ns 1.7);
+  Alcotest.(check bool) "third round: trusted" true
+    (Failure_detector.poll fd ~now_ns:(s_to_ns 2.0) = []);
+  (match Failure_detector.poll fd ~now_ns:(s_to_ns 2.3) with
+   | [ Failure_detector.Suspect 0 ] -> ()
+   | _ -> Alcotest.fail "third suspicion cycle failed")
+
+let test_fd_rearm_view_change_overrides () =
+  (* After a Suspect verdict the re-armed timer must not fire against a
+     NEW leader prematurely: set_view resets the grace period. *)
+  let fd = Failure_detector.create fd_cfg ~me:2 ~now_ns:0L in
+  Failure_detector.set_view fd ~view:0 ~now_ns:0L;
+  (match Failure_detector.poll fd ~now_ns:(s_to_ns 0.6) with
+   | [ Failure_detector.Suspect 0 ] -> ()
+   | _ -> Alcotest.fail "expected suspicion of node 0");
+  (* The election succeeds: node 1 leads view 1 from t = 0.7. *)
+  Failure_detector.set_view fd ~view:1 ~now_ns:(s_to_ns 0.7);
+  Alcotest.(check bool) "new leader gets a full grace period" true
+    (Failure_detector.poll fd ~now_ns:(s_to_ns 1.1) = []);
+  (match Failure_detector.poll fd ~now_ns:(s_to_ns 1.3) with
+   | [ Failure_detector.Suspect 1 ] -> ()
+   | _ -> Alcotest.fail "expected suspicion of the new leader")
+
 (* ------------------------------------------------------------------ *)
 (* Message codec *)
 
@@ -1120,6 +1187,12 @@ let suite =
     Alcotest.test_case "fd: recv defers suspicion" `Quick test_fd_recv_defers_suspicion;
     Alcotest.test_case "fd: view change grace" `Quick test_fd_view_change_grace;
     Alcotest.test_case "fd: next wake" `Quick test_fd_next_wake;
+    Alcotest.test_case "fd: re-arm re-suspects after full timeout" `Quick
+      test_fd_rearm_resuspects_after_full_timeout;
+    Alcotest.test_case "fd: suspected-then-recovered leader not disarmed"
+      `Quick test_fd_suspected_then_recovered_leader_not_disarmed;
+    Alcotest.test_case "fd: re-arm overridden by view change" `Quick
+      test_fd_rearm_view_change_overrides;
     Alcotest.test_case "msg: round-trip" `Quick test_msg_roundtrip;
     Alcotest.test_case "msg: wire size" `Quick test_msg_wire_size;
     Alcotest.test_case "msg: bad tag" `Quick test_msg_bad_tag;

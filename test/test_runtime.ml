@@ -16,12 +16,12 @@ let test_cfg n =
     retransmit_interval_s = 0.05;
     catchup_interval_s = 0.02 }
 
-let with_cluster ?client_io_threads ?executor_threads ?cfg ?(n = 3)
-    ?(service = Service.accumulator) f =
+let with_cluster ?client_io_threads ?executor_threads ?durability ?cfg
+    ?(n = 3) ?(service = Service.accumulator) f =
   let cfg = Option.value cfg ~default:(test_cfg n) in
   let cluster =
-    Replica.Cluster.create ?client_io_threads ?executor_threads ~cfg ~service
-      ()
+    Replica.Cluster.create ?client_io_threads ?executor_threads ?durability
+      ~cfg ~service ()
   in
   Fun.protect ~finally:(fun () -> Replica.Cluster.stop cluster) (fun () ->
       f cluster)
@@ -701,10 +701,136 @@ let test_cluster_executors_global_service () =
     (string_of_int (Atomic.get sum))
     (Bytes.to_string (Client.call probe (Bytes.of_string "0")))
 
+(* ------------------------------------------------------------------ *)
+(* Fault controller: crash-shaped kill/restart of live replicas. *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let fresh_wal_dirs tag n =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "msmr-test-%s-%d" tag (Unix.getpid ()))
+  in
+  rm_rf root;
+  Unix.mkdir root 0o755;
+  let dirs =
+    Array.init n (fun i ->
+        let d = Filename.concat root (string_of_int i) in
+        Unix.mkdir d 0o755;
+        d)
+  in
+  (root, dirs)
+
+(* Kill the leader of a durable cluster through the fault controller,
+   let the survivors elect, then restart the victim: the new incarnation
+   re-enters WAL recovery and must catch back up to the live tail. The
+   survivors' fault counters and the client's retry/redirect counters
+   must all have registered the crash. *)
+let test_fault_controller_kill_restart_durable () =
+  let root, dirs = fresh_wal_dirs "fc" 3 in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let durability i =
+    Replica.Durable { dir = dirs.(i); sync = Msmr_storage.Wal.No_sync }
+  in
+  with_cluster ~durability @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let fc = Fault_controller.create ~cluster () in
+  let client = Client.create ~timeout_s:0.3 ~cluster ~client_id:1 () in
+  ignore (Client.call client (Bytes.of_string "10"));
+  let victim = Fault_controller.kill_leader fc in
+  Alcotest.(check int) "killed the initial leader" 0 victim;
+  Alcotest.(check int) "one kill" 1 (Fault_controller.kills fc);
+  await ~what:"new leader after crash" (fun () ->
+      let rs = Replica.Cluster.replicas cluster in
+      Replica.is_leader rs.(1) || Replica.is_leader rs.(2));
+  (* Progress with the victim down; service state survived the view
+     change. *)
+  Alcotest.(check string) "state preserved" "15"
+    (Bytes.to_string (Client.call client (Bytes.of_string "5")));
+  Alcotest.(check bool) "client retried" true (Client.retries client >= 1);
+  Alcotest.(check bool) "client redirected" true (Client.redirects client >= 1);
+  let rs = Replica.Cluster.replicas cluster in
+  Alcotest.(check bool) "a survivor suspected the dead leader" true
+    (Replica.suspects_count rs.(1) >= 1 || Replica.suspects_count rs.(2) >= 1);
+  Alcotest.(check bool) "a survivor changed view" true
+    (Replica.view_changes_count rs.(1) >= 1
+     || Replica.view_changes_count rs.(2) >= 1);
+  (* Restart: WAL recovery plus catchup back to the live tail. *)
+  let restarted = Fault_controller.restart fc victim in
+  Alcotest.(check int) "one restart" 1 (Fault_controller.restarts fc);
+  Alcotest.(check bool) "restart replaced the cluster slot" true
+    ((Replica.Cluster.replicas cluster).(victim) == restarted);
+  ignore (Client.call client (Bytes.of_string "3"));
+  await ~timeout_s:10. ~what:"restarted replica catches up" (fun () ->
+      Array.for_all
+        (fun r -> Replica.executed_count r = 3)
+        (Replica.Cluster.replicas cluster));
+  Alcotest.(check string) "sum intact across crash+recovery" "18"
+    (Bytes.to_string (Client.call client (Bytes.of_string "0")))
+
+(* Catchup under loss: follower 2 loses every frame from the leader
+   while a batch of commands decides, so it misses their Accept/Decide
+   range entirely and can only recover it through Catchup_query /
+   Catchup_reply (via node 1 during the outage, or the leader after the
+   heal). Convergence plus the exactly-once sum proves the recovered
+   range was applied once, in order. *)
+let test_cluster_catchup_under_loss_live () =
+  with_cluster @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let hub = Replica.Cluster.hub cluster in
+  Transport.Hub.set_drop_rate hub ~src:0 ~dst:2 1.0;
+  let client = Client.create ~timeout_s:0.5 ~cluster ~client_id:1 () in
+  for i = 1 to 30 do
+    ignore (Client.call client (Bytes.of_string (string_of_int i)))
+  done;
+  Transport.Hub.set_drop_rate hub ~src:0 ~dst:2 0.0;
+  await ~timeout_s:10. ~what:"catchup convergence after loss" (fun () ->
+      Array.for_all
+        (fun r -> Replica.executed_count r = 30)
+        (Replica.Cluster.replicas cluster));
+  let probe = Client.create ~cluster ~client_id:9 () in
+  Alcotest.(check string) "exactly-once sum" "465"
+    (Bytes.to_string (Client.call probe (Bytes.of_string "0")))
+
+(* Cluster.kill / Cluster.restart directly, on an ephemeral follower:
+   the fresh incarnation starts empty and rebuilds the full executed
+   prefix from its peers. *)
+let test_cluster_kill_restart_ephemeral_follower () =
+  with_cluster @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let client = Client.create ~cluster ~client_id:1 () in
+  for i = 1 to 10 do
+    ignore (Client.call client (Bytes.of_string (string_of_int i)))
+  done;
+  Replica.Cluster.kill cluster 2;
+  for i = 11 to 20 do
+    ignore (Client.call client (Bytes.of_string (string_of_int i)))
+  done;
+  ignore (Replica.Cluster.restart cluster 2);
+  await ~timeout_s:10. ~what:"ephemeral restart catches up" (fun () ->
+      Array.for_all
+        (fun r -> Replica.executed_count r = 20)
+        (Replica.Cluster.replicas cluster));
+  let probe = Client.create ~cluster ~client_id:9 () in
+  Alcotest.(check string) "exactly-once sum" "210"
+    (Bytes.to_string (Client.call probe (Bytes.of_string "0")))
+
 let suite =
   suite
   @ [ Alcotest.test_case "cluster: fault-injection soak" `Slow
         test_cluster_fault_injection_soak;
+      Alcotest.test_case "cluster: fault controller kill/restart (durable)"
+        `Quick test_fault_controller_kill_restart_durable;
+      Alcotest.test_case "cluster: catchup under loss (live)" `Quick
+        test_cluster_catchup_under_loss_live;
+      Alcotest.test_case "cluster: kill/restart ephemeral follower" `Quick
+        test_cluster_kill_restart_ephemeral_follower;
       Alcotest.test_case "cluster: executors keep kv ordering" `Quick
         test_cluster_executors_kv_ordering;
       Alcotest.test_case "cluster: executors handle pipelined client" `Quick

@@ -454,6 +454,143 @@ let test_jpaxos_durable_deterministic () =
   Alcotest.(check int) "same event count" r1.events r2.events;
   Alcotest.(check int) "same sync count" r1.wal_syncs r2.wal_syncs
 
+(* Fault injection (Sfault) in the model. *)
+
+let chaos_params ?(duration = 0.6) faults =
+  let p = Params.default ~n:3 ~cores:2 () in
+  { p with n_clients = 60; warmup = 0.1; duration; faults; chaos_seed = 7 }
+
+let test_chaos_faultfree_fields_inert () =
+  (* faults = [] must leave every chaos-only result field at its inert
+     value — the fault-free path reports nothing it did not measure. *)
+  let r = Jpaxos_model.run (small_params ()) in
+  Alcotest.(check int) "no view changes" 0 r.view_changes;
+  Alcotest.(check (float 0.)) "no unavailability" 0. r.unavailable_s;
+  Alcotest.(check (float 0.)) "no recovery" 0. r.recovery_s;
+  Alcotest.(check bool) "safety trivially ok" true r.safety_ok;
+  Alcotest.(check int) "no timeline" 0 (Array.length r.timeline)
+
+let test_chaos_leader_crash_recovers () =
+  let r =
+    Jpaxos_model.run
+      (chaos_params ~duration:1.0
+         [ Sfault.Crash { node = 0; at = 0.4; restart_at = Some 0.7 } ])
+  in
+  Alcotest.(check bool) "view moved" true (r.view_changes >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "recovery measured (%.3fs)" r.recovery_s)
+    true
+    (r.recovery_s > 0. && r.recovery_s < 1.0);
+  Alcotest.(check bool) "outage visible" true (r.unavailable_s > 0.05);
+  Alcotest.(check bool) "linearizable" true r.safety_ok;
+  Alcotest.(check bool) "clients completed requests" true (r.completed > 1000);
+  (* The trajectory must show the outage and the recovery: a zero bucket
+     during the fault window and full-rate buckets at the tail. *)
+  let bucket_at t =
+    let found = ref (-1) in
+    Array.iter
+      (fun (t0, c) -> if Float.abs (t0 -. t) < 1e-9 then found := c)
+      r.timeline;
+    !found
+  in
+  Alcotest.(check int) "dead during outage" 0 (bucket_at 0.45);
+  Alcotest.(check bool) "recovered at tail" true (bucket_at 1.0 > 1000)
+
+let test_chaos_crash_deterministic () =
+  (* The acceptance golden: two invocations of the same seeded chaos run
+     are bit-identical, down to the engine event count. *)
+  let p =
+    chaos_params ~duration:1.0
+      [ Sfault.Crash { node = 0; at = 0.4; restart_at = Some 0.7 } ]
+  in
+  let r1 = Jpaxos_model.run p in
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check int) "same completed" r1.completed r2.completed;
+  Alcotest.(check int) "same view changes" r1.view_changes r2.view_changes;
+  Alcotest.(check (float 0.)) "same recovery" r1.recovery_s r2.recovery_s;
+  Alcotest.(check (float 0.)) "same unavailability" r1.unavailable_s
+    r2.unavailable_s;
+  Alcotest.(check int) "same client retries" r1.client_retries
+    r2.client_retries;
+  Alcotest.(check int) "same event count" r1.events r2.events
+
+let test_chaos_partition_heals () =
+  (* Isolate the leader; the majority side elects a new one, then the
+     partition heals and the old leader rejoins. *)
+  let r =
+    Jpaxos_model.run
+      (chaos_params ~duration:0.8
+         [ Sfault.Partition
+             { group_a = [ 0 ]; group_b = [ 1; 2 ]; at = 0.3; heal_at = 0.55;
+               symmetric = true } ])
+  in
+  Alcotest.(check bool) "majority elected a new leader" true
+    (r.view_changes >= 1);
+  Alcotest.(check bool) "outage bounded by failover" true
+    (r.unavailable_s > 0.02);
+  Alcotest.(check bool) "linearizable across the partition" true r.safety_ok;
+  Alcotest.(check bool) "progress resumed" true (r.completed > 1000)
+
+let test_chaos_catchup_under_loss () =
+  (* Starve follower 2 of most leader traffic (Accept/Decide loss) for a
+     window; after it lifts, retransmission + catchup must reconverge the
+     executed logs. This is the sim-side catchup-under-loss golden. *)
+  let p =
+    chaos_params ~duration:0.8
+      [ Sfault.Link
+          { l_src = 0; l_dst = 2; drop = 0.9; dup = 0.; delay_s = 0.;
+            jitter_s = 0.; from_t = 0.2; until_t = 0.4 } ]
+  in
+  let r = Jpaxos_model.run p in
+  Alcotest.(check bool) "linearizable under loss" true r.safety_ok;
+  Alcotest.(check bool) "cluster kept committing" true (r.completed > 1000);
+  Alcotest.(check bool)
+    (Printf.sprintf "follower reconverged (executed [%d, %d])" r.executed_min
+       r.executed_max)
+    true
+    (r.executed_min > 0 && r.executed_max - r.executed_min <= 2000);
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check int) "deterministic under loss" r.events r2.events;
+  Alcotest.(check int) "same convergence" r.executed_min r2.executed_min
+
+let test_chaos_random_soak () =
+  let p =
+    { (chaos_params ~duration:1.0
+         (Sfault.random_schedule ~seed:42 ~n:3 ~t0:0.2 ~t1:1.0))
+      with chaos_seed = 42 }
+  in
+  let r1 = Jpaxos_model.run p in
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check bool) "soak linearizable" true r1.safety_ok;
+  Alcotest.(check bool) "soak made progress" true (r1.completed > 1000);
+  Alcotest.(check bool)
+    (Printf.sprintf "soak converged (executed [%d, %d])" r1.executed_min
+       r1.executed_max)
+    true
+    (r1.executed_max - r1.executed_min <= 2000);
+  Alcotest.(check int) "soak bit-identical: completed" r1.completed
+    r2.completed;
+  Alcotest.(check int) "soak bit-identical: views" r1.view_changes
+    r2.view_changes;
+  Alcotest.(check (float 0.)) "soak bit-identical: recovery" r1.recovery_s
+    r2.recovery_s;
+  Alcotest.(check int) "soak bit-identical: events" r1.events r2.events
+
+let test_chaos_fsync_stall_durable () =
+  (* A stalled device on the leader under Sync_group: throughput dips
+     but durability-gated progress resumes once the stall lifts, and the
+     run stays deterministic. *)
+  let p =
+    { (chaos_params ~duration:0.8
+         [ Sfault.Fsync_stall { node = 0; at = 0.3; until_t = 0.5 } ])
+      with sync_policy = Params.Sync_group; n_clients = 60 }
+  in
+  let r1 = Jpaxos_model.run p in
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check bool) "still linearizable" true r1.safety_ok;
+  Alcotest.(check bool) "progress despite the stall" true (r1.completed > 500);
+  Alcotest.(check int) "deterministic" r1.events r2.events
+
 let suite =
   [
     Alcotest.test_case "engine: delay ordering" `Quick test_engine_delay_ordering;
@@ -500,4 +637,16 @@ let suite =
       test_jpaxos_durable_group_beats_serial;
     Alcotest.test_case "jpaxos model: deterministic durable mode" `Quick
       test_jpaxos_durable_deterministic;
+    Alcotest.test_case "chaos: fault-free fields inert" `Quick
+      test_chaos_faultfree_fields_inert;
+    Alcotest.test_case "chaos: leader crash recovers" `Slow
+      test_chaos_leader_crash_recovers;
+    Alcotest.test_case "chaos: crash run bit-identical" `Slow
+      test_chaos_crash_deterministic;
+    Alcotest.test_case "chaos: partition heals" `Slow test_chaos_partition_heals;
+    Alcotest.test_case "chaos: catchup under loss" `Slow
+      test_chaos_catchup_under_loss;
+    Alcotest.test_case "chaos: seeded random soak" `Slow test_chaos_random_soak;
+    Alcotest.test_case "chaos: fsync stall (durable)" `Quick
+      test_chaos_fsync_stall_durable;
   ]
