@@ -1221,6 +1221,98 @@ let bench005 () =
   Printf.printf "wrote %s\n%!" !bench005_out
 
 (* ------------------------------------------------------------------ *)
+(* bench006: compartmentalized multi-group Paxos. A single group is
+   NIC-bound at its leader (~150K pps through one kernel stack), so the
+   classic deployment flattens near ~115K req/s regardless of cores.
+   Group g is led by node g mod n: every extra group adds another
+   leader NIC to the aggregate budget. This sweep measures throughput
+   for groups in {1, 2, 4} at 8 and 24 cores (n=3, parapluie), records
+   the per-group split, and exercises the cross-group Global barrier on
+   a mixed workload (conflict_ratio > 0 forces quiescence barriers
+   through group 0). The committed run is gated in scripts/verify.sh:
+   groups=4 at 24 cores must reach >= 2x the single-group throughput. *)
+
+let bench006_out = ref "bench/BENCH_006.json"
+
+let bench006 () =
+  heading "bench006"
+    (Printf.sprintf "Multi-group Paxos scaling -> %s%s" !bench006_out
+       (if !bench_quick then " (--quick)" else ""));
+  let module J = Msmr_obs.Json in
+  let warmup, duration = if !bench_quick then (0.1, 0.3) else (0.3, 1.0) in
+  let run ~groups ~cores ?(conflict_ratio = 0.0) () =
+    let p = Params.default ~profile:Params.parapluie ~n:3 ~cores () in
+    Jp.run { p with groups; warmup; duration; conflict_ratio }
+  in
+  let group_pts = [ 1; 2; 4 ] and core_pts = [ 8; 24 ] in
+  let rows =
+    List.concat_map
+      (fun cores ->
+         List.map (fun groups -> (groups, cores, run ~groups ~cores ()))
+           group_pts)
+      core_pts
+  in
+  let base cores =
+    let _, _, r =
+      List.find (fun (g, c, _) -> g = 1 && c = cores) rows
+    in
+    r.Jp.throughput
+  in
+  Printf.printf "(n=3, parapluie; group g led by node g mod 3)\n";
+  Printf.printf "%7s %6s %14s %8s  %s\n" "groups" "cores" "req/s (x1000)"
+    "vs g=1" "per-group (x1000)";
+  List.iter
+    (fun (groups, cores, (r : Jp.result)) ->
+       Printf.printf "%7d %6d %14.1f %8.2f  [%s]\n%!" groups cores
+         (k r.throughput)
+         (r.throughput /. base cores)
+         (String.concat "; "
+            (List.map
+               (fun t -> Printf.sprintf "%.1f" (k t))
+               (Array.to_list r.group_throughputs))))
+    rows;
+  (* Cross-group barrier: a slice of requests classified Global must
+     drain every group before executing serially through group 0. *)
+  let cr = 0.05 in
+  let b = run ~groups:4 ~cores:24 ~conflict_ratio:cr () in
+  Printf.printf
+    "barrier (groups=4, 24 cores, %.0f%% Global): %.1fK req/s, %d globals \
+     executed\n%!"
+    (100. *. cr) (k b.throughput) b.globals_executed;
+  let point (groups, cores, (r : Jp.result)) =
+    J.Obj
+      [ ("groups", J.Int groups);
+        ("cores", J.Int cores);
+        ("throughput_rps", J.Float r.throughput);
+        ("speedup_vs_g1", J.Float (r.throughput /. base cores));
+        ( "group_throughputs_rps",
+          J.List
+            (List.map (fun t -> J.Float t) (Array.to_list r.group_throughputs))
+        ) ]
+  in
+  let json =
+    J.Obj
+      [ ("bench", J.String "BENCH_006");
+        ("source", J.String "bench/main.exe bench006");
+        ("quick", J.Bool !bench_quick);
+        ("n", J.Int 3);
+        ("profile", J.String "parapluie");
+        ("points", J.List (List.map point rows));
+        ( "barrier",
+          J.Obj
+            [ ("groups", J.Int 4);
+              ("cores", J.Int 24);
+              ("conflict_ratio", J.Float cr);
+              ("throughput_rps", J.Float b.throughput);
+              ("globals_executed", J.Int b.globals_executed) ] ) ]
+  in
+  let oc = open_out !bench006_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !bench006_out
+
+(* ------------------------------------------------------------------ *)
 (* Observability: --trace FILE runs a short traced simulation and writes
    a Chrome trace_event file; --metrics FILE dumps the metrics registry.
    See docs/OBSERVABILITY.md. *)
@@ -1287,7 +1379,7 @@ let experiments =
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("ext", ext);
     ("live", live); ("live-mono", live_mono); ("ablation", ablation);
     ("micro", micro); ("bench002", bench002); ("bench003", bench003);
-    ("bench004", bench004); ("bench005", bench005) ]
+    ("bench004", bench004); ("bench005", bench005); ("bench006", bench006) ]
 
 let () =
   let rec parse ids trace metrics = function
@@ -1306,15 +1398,19 @@ let () =
     | "--bench005-out" :: file :: rest ->
       bench005_out := file;
       parse ids trace metrics rest
+    | "--bench006-out" :: file :: rest ->
+      bench006_out := file;
+      parse ids trace metrics rest
     | "--quick" :: rest ->
       bench_quick := true;
       parse ids trace metrics rest
     | ("--trace" | "--metrics" | "--bench-out" | "--bench003-out"
-      | "--bench004-out" | "--bench005-out") :: [] ->
+      | "--bench004-out" | "--bench005-out" | "--bench006-out") :: [] ->
       Printf.eprintf
         "usage: main [EXPERIMENT..] [--trace FILE] [--metrics FILE]\n\
         \       [--quick] [--bench-out FILE] [--bench003-out FILE]\n\
-        \       [--bench004-out FILE] [--bench005-out FILE]\n";
+        \       [--bench004-out FILE] [--bench005-out FILE]\n\
+        \       [--bench006-out FILE]\n";
       exit 2
     | id :: rest -> parse (id :: ids) trace metrics rest
   in

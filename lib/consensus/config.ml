@@ -1,5 +1,6 @@
 type t = {
   n : int;
+  groups : int;
   window : int;
   max_batch_bytes : int;
   max_batch_delay_s : float;
@@ -20,6 +21,7 @@ type t = {
 let default ~n =
   {
     n;
+    groups = 1;
     window = 10;
     max_batch_bytes = 1300;
     max_batch_delay_s = 0.05;
@@ -39,6 +41,7 @@ let default ~n =
 
 let validate t =
   if t.n < 1 then Error "n must be >= 1"
+  else if t.groups < 1 then Error "groups must be >= 1"
   else if t.window < 1 then Error "window must be >= 1"
   else if t.max_batch_bytes < 1 then Error "max_batch_bytes must be >= 1"
   else if t.max_batch_delay_s <= 0. then Error "max_batch_delay_s must be > 0"
@@ -67,3 +70,7 @@ let validate t =
   else Ok ()
 
 let f t = (t.n - 1) / 2
+
+(* Spread group leadership round-robin over the replicas so no single
+   node's Protocol thread (or NIC) orders every group's traffic. *)
+let initial_leader_of_group t ~gid = gid mod t.n

@@ -67,12 +67,13 @@ type t = {
   stats : stats;
 }
 
-let create cfg ~me =
+let create ?(view0 = 0) cfg ~me =
   (match Config.validate cfg with
    | Ok () -> ()
    | Error e -> invalid_arg ("Paxos.create: " ^ e));
   if me < 0 || me >= cfg.n then invalid_arg "Paxos.create: bad node id";
-  { cfg; me; window = cfg.window; log = Log.create (); view = 0;
+  if view0 < 0 then invalid_arg "Paxos.create: view0 must be >= 0";
+  { cfg; me; window = cfg.window; log = Log.create (); view = view0;
     active = false; preparing = None;
     pending = []; decided_hint = 0; catchup_outstanding = 0; snapshot = None;
     live_rtx = Hashtbl.create 64;
@@ -433,12 +434,18 @@ let receive t ~from msg =
     if first_undecided > t.decided_hint then t.decided_hint <- first_undecided;
     if view > t.view then enter_view t view else []
 
+(* Activating the initial view's leader without Phase 1 is safe on a
+   fresh group: nothing can have been accepted in an earlier view (with
+   [view0 = 0] there is no earlier view; a multi-group [view0 = gid]
+   starts the whole group at that view). *)
 let bootstrap t =
-  if t.me = 0 then begin
+  let view = t.view in
+  let leader = Types.leader_of_view ~n:t.cfg.n view in
+  if t.me = leader then begin
     t.active <- true;
-    [ View_changed { view = 0; leader = 0; i_am_leader = true } ]
+    [ View_changed { view; leader; i_am_leader = true } ]
   end
-  else [ View_changed { view = 0; leader = 0; i_am_leader = false } ]
+  else [ View_changed { view; leader; i_am_leader = false } ]
 
 let recover cfg ~me ~view ~accepted ~decided ~snapshot =
   let t = create cfg ~me in

@@ -52,12 +52,19 @@ type stats = {
 
 type t
 
-val create : Config.t -> me:Types.node_id -> t
+val create : ?view0:Types.view -> Config.t -> me:Types.node_id -> t
+(** [view0] (default 0) is the view the engine starts in. Multi-group
+    deployments pass [view0 = gid] so group [gid]'s initial leader is
+    [Types.leader_of_view ~n view0 = gid mod n] — leadership spreads
+    round-robin over the replicas (see
+    {!Config.initial_leader_of_group}). *)
 
 val bootstrap : t -> action list
-(** Start the engine. Node 0 is the initial leader of view 0 and becomes
-    active immediately (nothing can have been accepted in an earlier
-    view); every node reports the initial [View_changed]. *)
+(** Start the engine. The leader of the initial view ([view0 mod n];
+    node 0 in the default single-group layout) becomes active
+    immediately — on a fresh group nothing can have been accepted in an
+    earlier view, so Phase 1 is unnecessary. Every node reports the
+    initial [View_changed]. *)
 
 val recover :
   Config.t ->

@@ -16,15 +16,17 @@ let module_of_thread name =
   if has_prefix ~prefix:"ClientIO" name
      || has_prefix ~prefix:"ClientAcceptor" name
      || has_prefix ~prefix:"conn-" name
+     || has_prefix ~prefix:"Router" name
   then "ClientIO"
   else if has_prefix ~prefix:"ReplicaIO" name then "ReplicaIO"
   else if has_prefix ~prefix:"Batcher" name
-          || name = "Protocol"
-          || name = "FailureDetector"
+          || has_prefix ~prefix:"Protocol" name
+          || has_prefix ~prefix:"ProxyLeader" name
+          || has_prefix ~prefix:"FailureDetector" name
           || name = "Retransmitter"
           || name = "StableStorage"
   then "ReplicationCore"
-  else if name = "Replica" || name = "Syncer"
+  else if has_prefix ~prefix:"Replica" name || name = "Syncer"
           || has_prefix ~prefix:"Executor" name
   then "ServiceManager"
   else "Other"

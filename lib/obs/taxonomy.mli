@@ -18,13 +18,18 @@
 val module_of_thread : string -> string
 (** [module_of_thread name] maps a thread name to its module boundary:
 
-    - ["ClientIO-0"], ["r1/ClientIO-2"], ["ClientAcceptor"], ["conn-3"]
-      → ["ClientIO"]
+    - ["ClientIO-0"], ["r1/ClientIO-2"], ["ClientAcceptor"], ["conn-3"],
+      ["Router"] (the multi-group request router) → ["ClientIO"]
     - ["ReplicaIOSnd-1"], ["ReplicaIORcv-0"] → ["ReplicaIO"]
-    - ["Batcher"], ["Batcher-2"], ["Protocol"], ["FailureDetector"],
-      ["Retransmitter"], ["StableStorage"] → ["ReplicationCore"]
-    - ["Replica"], ["Syncer"] → ["ServiceManager"]
+    - ["Batcher"], ["Batcher-2"], ["Protocol"], ["Protocol-g3"],
+      ["ProxyLeader-g0"], ["FailureDetector"], ["Retransmitter"],
+      ["StableStorage"] → ["ReplicationCore"]
+    - ["Replica"], ["Replica-g2"], ["Syncer"], ["Executor-1"]
+      → ["ServiceManager"]
     - anything else → ["Other"]
+
+    Multi-group thread names carry a [-g<gid>] suffix; prefix matching
+    maps them to the same module as their single-group counterpart.
 
     A [<replica-id>/] prefix (as produced by the live runtime's thread
     naming, e.g. ["r0/Protocol"]) is stripped before matching. *)

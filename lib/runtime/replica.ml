@@ -94,6 +94,11 @@ type exec_pool = {
 type t = {
   cfg : Config.t;
   me : Types.node_id;
+  gid : int option;
+      (* consensus group this replica orders for (multi-group Paxos);
+         [None] = classic single-group deployment. Group [g] bootstraps
+         at view [g], so node [g mod n] leads it, and the group id
+         labels this replica's metrics. *)
   service : Service.t;
   (* Queues (Figure 3). *)
   dispatcher_q : event Bq.t;
@@ -101,6 +106,10 @@ type t = {
   request_q : Client_msg.request Bq.t;
   decision_q : decision Bq.t;
   send_qs : Msg.t Bq.t array;           (* one per node id; own slot unused *)
+  proxy_q : (Types.node_id list * Msg.t) Bq.t option;
+      (* compartmentalized fan-out (proxy_leaders > 0): multi-destination
+         sends leave the Protocol thread as one enqueue; the ProxyLeader
+         threads expand them into the per-peer send queues *)
   rtx_dq : rtx_entry Dq.t;
   (* Modules. *)
   links : (Types.node_id * Transport.link) list;
@@ -119,6 +128,7 @@ type t = {
   decided : Counter.t;
   send_q_drops : Counter.t;
   sender_flushes : Counter.t;   (* coalesced sender-drain passes *)
+  proxy_fanout : Counter.t;     (* per-destination expansions by ProxyLeaders *)
   view_changes : Counter.t;     (* views installed after view 0 *)
   suspects : Counter.t;         (* local failure-detector verdicts acted on *)
   reconnects : unit -> int;
@@ -151,6 +161,7 @@ let decided_count t = Counter.get t.decided
 let view_changes_count t = Counter.get t.view_changes
 let suspects_count t = Counter.get t.suspects
 let reconnects_count t = t.reconnects ()
+let proxy_fanout_count t = Counter.get t.proxy_fanout
 
 type queue_stats = {
   request_queue : int;
@@ -182,7 +193,7 @@ let stall_stable_storage t stalled =
 (* ------------------------------------------------------------------ *)
 (* Protocol thread: executes engine actions. *)
 
-let enqueue_send t dest msg =
+let enqueue_send_direct t dest msg =
   List.iter
     (fun d ->
        if d <> t.me then begin
@@ -195,6 +206,40 @@ let enqueue_send t dest msg =
          | exception Bq.Closed -> ()
        end)
     dest
+
+(* With ProxyLeaders enabled, a multi-destination send costs the calling
+   thread one enqueue instead of one per peer; the expansion happens on
+   the ProxyLeader threads. Single-destination sends keep the direct
+   path — there is nothing to fan out. *)
+let enqueue_send t dest msg =
+  match t.proxy_q with
+  | None -> enqueue_send_direct t dest msg
+  | Some pq -> (
+      match List.filter (fun d -> d <> t.me) dest with
+      | [] -> ()
+      | [ d ] -> enqueue_send_direct t [ d ] msg
+      | dests -> (
+          match Bq.try_put pq (dests, msg) with
+          | true -> ()
+          | false -> Counter.incr t.send_q_drops
+          | exception Bq.Closed -> ()))
+
+let proxy_leader_loop t st =
+  let pq = Option.get t.proxy_q in
+  let continue = ref true in
+  while !continue do
+    match Bq.take ~st pq with
+    | dests, msg ->
+      List.iter
+        (fun d ->
+           Counter.incr t.proxy_fanout;
+           match Bq.try_put t.send_qs.(d) msg with
+           | true -> ()
+           | false -> Counter.incr t.send_q_drops
+           | exception Bq.Closed -> ())
+        dests
+    | exception Bq.Closed -> continue := false
+  done
 
 (* Which messages witness state that must be on stable storage before
    they reach the wire: a [Prepare_ok] carries a promise, an [Accepted]
@@ -318,16 +363,20 @@ let protocol_loop t st =
     persist_actions actions;
     protocol_apply t rtx_map actions
   in
+  let view0 = Option.value t.gid ~default:0 in
   let engine =
     match t.recovered with
     | None ->
-      let engine = Paxos.create t.cfg ~me:t.me in
+      let engine = Paxos.create ~view0 t.cfg ~me:t.me in
       apply (Paxos.bootstrap engine);
       engine
     | Some r ->
       let engine, replays =
+        (* A pristine store in group [g] still re-enters view [g], not
+           view 0, so leadership stays where the group layout puts it. *)
         Paxos.recover t.cfg ~me:t.me
-          ~view:r.Msmr_storage.Replica_store.r_view ~accepted:r.r_accepted
+          ~view:(max r.Msmr_storage.Replica_store.r_view view0)
+          ~accepted:r.r_accepted
           ~decided:r.r_decided ~snapshot:r.r_snapshot
       in
       (* Replays rebuild the service state; do not re-log them. *)
@@ -850,7 +899,11 @@ let scheduler_loop t pool st =
    Gauges are snapshot-time closures over state the replica already
    keeps, so the hot path pays nothing. *)
 
-let metric_labels t = [ ("mode", "live"); ("replica", string_of_int t.me) ]
+let metric_labels t =
+  [ ("mode", "live"); ("replica", string_of_int t.me) ]
+  @ match t.gid with
+    | Some g -> [ ("group", string_of_int g) ]
+    | None -> []
 
 let metric_names =
   [ "msmr_replica_request_queue_depth";
@@ -866,6 +919,8 @@ let metric_names =
     "msmr_replica_executor_dispatched";
     "msmr_replica_executor_barriers";
     "msmr_replica_sender_flushes";
+    "msmr_replica_proxy_fanout_total";
+    "msmr_replica_proxy_queue_depth";
     "msmr_replica_log_queue_depth";
     "msmr_replica_durable_hold_s";
     "msmr_replica_bsz_now";
@@ -908,6 +963,10 @@ let register_metrics t =
       | Some p -> fi (Counter.get p.exec_barriers)
       | None -> 0.);
   g "msmr_replica_sender_flushes" (fun () -> fi (Counter.get t.sender_flushes));
+  g "msmr_replica_proxy_fanout_total" (fun () ->
+      fi (Counter.get t.proxy_fanout));
+  g "msmr_replica_proxy_queue_depth" (fun () ->
+      match t.proxy_q with Some pq -> fi (Bq.length pq) | None -> 0.);
   g "msmr_replica_log_queue_depth" (fun () ->
       match t.stable with
       | Some ss -> fi (Bq.length ss.log_q)
@@ -937,7 +996,8 @@ let unregister_metrics t =
   List.iter (fun name -> Msmr_obs.Metrics.remove ~labels name) metric_names
 
 let create ?(client_io_threads = 3) ?(batcher_threads = 1)
-    ?(executor_threads = 1) ?(request_queue_capacity = 1000)
+    ?(executor_threads = 1) ?(proxy_leaders = 0) ?gid
+    ?(request_queue_capacity = 1000)
     ?(proposal_queue_capacity = 20) ?(durability = Ephemeral)
     ?(reconnects = fun () -> 0) ~cfg ~me ~links ~service () =
   (match Config.validate cfg with
@@ -945,6 +1005,11 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
    | Error e -> invalid_arg ("Replica.create: " ^ e));
   if executor_threads < 1 then
     invalid_arg "Replica.create: executor_threads < 1";
+  if proxy_leaders < 0 then invalid_arg "Replica.create: proxy_leaders < 0";
+  (match gid with
+   | Some g when g < 0 || g >= cfg.Config.groups ->
+     invalid_arg "Replica.create: gid outside [0, cfg.groups)"
+   | Some _ | None -> ());
   let expected = List.sort compare (List.filter (fun p -> p <> me)
                                       (List.init cfg.Config.n Fun.id)) in
   let got = List.sort compare (List.map fst links) in
@@ -953,9 +1018,11 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
     match durability with
     | Ephemeral -> (None, None)
     | Durable { dir; sync } ->
-      (* Replay first, then open the WAL for appending. *)
-      let r = Msmr_storage.Replica_store.recover ~dir in
-      (Some r, Some (Msmr_storage.Replica_store.openw ~sync ~dir ()))
+      (* Replay first, then open the WAL for appending. A group-tagged
+         replica keeps its state in the store's per-group namespace, so
+         one node's groups can share a configured directory. *)
+      let r = Msmr_storage.Replica_store.recover ?gid ~dir () in
+      (Some r, Some (Msmr_storage.Replica_store.openw ~sync ?gid ~dir ()))
   in
   let stable =
     match store with
@@ -979,12 +1046,14 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
           cfg ~src:(me + (cfg.Config.n * idx)))
   in
   let t =
-    { cfg; me; service;
+    { cfg; me; gid; service;
       dispatcher_q = Bq.create ~capacity:4096;
       proposal_q = Bq.create ~capacity:proposal_queue_capacity;
       request_q = Bq.create ~capacity:request_queue_capacity;
       decision_q = Bq.create ~capacity:1024;
       send_qs = Array.init cfg.Config.n (fun _ -> Bq.create ~capacity:4096);
+      proxy_q =
+        (if proxy_leaders > 0 then Some (Bq.create ~capacity:4096) else None);
       rtx_dq = Dq.create ();
       links;
       store;
@@ -1004,6 +1073,7 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       decided = Counter.create ();
       send_q_drops = Counter.create ();
       sender_flushes = Counter.create ();
+      proxy_fanout = Counter.create ();
       view_changes = Counter.create ();
       suspects = Counter.create ();
       reconnects;
@@ -1068,6 +1138,18 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
            else Printf.sprintf "Batcher-%d" i)
           (batcher_loop i))
   in
+  let proxies =
+    match t.proxy_q with
+    | None -> []
+    | Some _ ->
+      (* More than one ProxyLeader may reorder two multicasts of the
+         same group relative to each other; the engine tolerates
+         reordering (retransmission covers losses), so this only trades
+         a little ordering for fan-out parallelism. *)
+      List.init (max 1 proxy_leaders) (fun i ->
+          Worker.spawn ~name:(Printf.sprintf "r%d/ProxyLeader-%d" me i)
+            (fun st -> proxy_leader_loop t st))
+  in
   let service_manager =
     match t.exec_pool with
     | None -> [ spawn "Replica" service_manager_loop ]
@@ -1081,7 +1163,8 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
     [ spawn "Protocol" protocol_loop;
       spawn "FailureDetector" fd_loop;
       spawn "Retransmitter" retransmitter_loop ]
-    @ stable_storage @ service_manager @ batchers @ io_threads @ syncer;
+    @ stable_storage @ proxies @ service_manager @ batchers @ io_threads
+    @ syncer;
   register_metrics t;
   t
 
@@ -1097,6 +1180,7 @@ let stop t =
     Bq.close t.dispatcher_q;
     Bq.close t.decision_q;
     (match t.stable with Some ss -> Bq.close ss.log_q | None -> ());
+    (match t.proxy_q with Some pq -> Bq.close pq | None -> ());
     (* The scheduler also closes these on exit; closing here too unblocks
        the pool even if the scheduler is wedged. Close is idempotent. *)
     (match t.exec_pool with
@@ -1121,8 +1205,8 @@ module Cluster = struct
     make : int -> replica;   (* factory, reused by [restart] *)
   }
 
-  let create ?client_io_threads ?executor_threads ?durability ~cfg ~service ()
-      =
+  let create ?client_io_threads ?executor_threads ?proxy_leaders ?gid
+      ?durability ~cfg ~service () =
     let n = cfg.Config.n in
     let hub = Transport.Hub.create ~n () in
     let make me =
@@ -1136,8 +1220,8 @@ module Cluster = struct
       let durability =
         match durability with Some f -> f me | None -> Ephemeral
       in
-      create ?client_io_threads ?executor_threads ~durability ~cfg ~me
-        ~links ~service:(service ()) ()
+      create ?client_io_threads ?executor_threads ?proxy_leaders ?gid
+        ~durability ~cfg ~me ~links ~service:(service ()) ()
     in
     { hub; replicas = Array.init n make; make }
 

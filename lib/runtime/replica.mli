@@ -44,6 +44,8 @@ val create :
   ?client_io_threads:int ->
   ?batcher_threads:int ->
   ?executor_threads:int ->
+  ?proxy_leaders:int ->
+  ?gid:int ->
   ?request_queue_capacity:int ->
   ?proposal_queue_capacity:int ->
   ?durability:durability ->
@@ -75,6 +77,19 @@ val create :
     that classify commands with [Keys]; a service using the default
     [Global] classifier degenerates to serial execution plus barrier
     overhead.
+
+    [proxy_leaders] compartmentalizes the Protocol thread's fan-out
+    (Whittaker-style proxy leaders): with [k > 0], a multi-destination
+    send (the leader's [Accept]/[Decide] broadcasts) costs the Protocol
+    thread one enqueue onto a ProxyLeader queue, and [k] ProxyLeader
+    threads expand it into the per-peer send queues. The default [0]
+    keeps the original direct path byte-for-byte (no queue, no threads).
+
+    [gid] is this replica's consensus group in a multi-group deployment
+    (see {!Replica_group} and [Config.groups]): the engine bootstraps at
+    view [gid] — so node [gid mod cfg.n] leads the group — and metrics
+    carry a [group="<gid>"] label. Omitted (the default), the replica is
+    the classic single-group deployment, unchanged.
 
     [reconnects] supplies the transport's reconnection counter (see
     {!Tcp_mesh}); it backs [msmr_replica_reconnect_total] and
@@ -119,6 +134,12 @@ val reconnects_count : t -> int
 (** Peer-link reconnections reported by the transport's [reconnects]
     callback; always [0] over a {!Transport.Hub}. *)
 
+val proxy_fanout_count : t -> int
+(** Per-destination message expansions performed by this replica's
+    ProxyLeader threads (the value behind
+    [msmr_replica_proxy_fanout_total]); always [0] when the replica was
+    created with [proxy_leaders = 0]. *)
+
 type queue_stats = {
   request_queue : int;
   proposal_queue : int;
@@ -154,14 +175,18 @@ module Cluster : sig
   val create :
     ?client_io_threads:int ->
     ?executor_threads:int ->
+    ?proxy_leaders:int ->
+    ?gid:int ->
     ?durability:(int -> durability) ->
     cfg:Msmr_consensus.Config.t ->
     service:(unit -> Service.t) ->
     unit ->
     t
   (** Fresh service instance per replica; [durability] maps a node id to
-      its storage mode (default: all ephemeral); [executor_threads] is
-      passed to every replica's {!create}. *)
+      its storage mode (default: all ephemeral); [executor_threads],
+      [proxy_leaders] and [gid] are passed to every replica's {!create}
+      (a cluster with [gid = g] is one group of a multi-group deployment;
+      see {!Replica_group} for the assembled sharded cluster). *)
 
   val replicas : t -> replica array
   val hub : t -> Transport.Hub.t

@@ -1,0 +1,152 @@
+module Counter = Msmr_platform.Rate_meter.Counter
+module Client_msg = Msmr_wire.Client_msg
+
+type t = {
+  n_groups : int;
+  clusters : Replica.Cluster.t array;
+  conflict : Client_msg.request -> Service.conflict;
+  (* Cross-group quiescence gate. [inflight.(g)] counts requests routed
+     to group [g] whose reply has not yet been delivered; a Global
+     request closes the gate, waits for every counter to reach zero,
+     executes through group 0, and reopens on its own reply. All
+     transitions happen under [gate]. *)
+  gate : Mutex.t;
+  gate_cv : Condition.t;
+  mutable gate_closed : bool;
+  inflight : int array;
+  routed : Counter.t;
+  globals : Counter.t;
+  mutable running : bool;
+}
+
+let groups t = t.n_groups
+let cluster t ~gid = t.clusters.(gid)
+let routed_count t = Counter.get t.routed
+let globals_count t = Counter.get t.globals
+
+let m_labels = [ ("mode", "live") ]
+let m_group_labels g = ("group", string_of_int g) :: m_labels
+
+let create ?client_io_threads ?executor_threads ?proxy_leaders ?conflict
+    ?durability ~groups ~cfg ~service () =
+  if groups < 1 then invalid_arg "Replica_group.create: groups < 1";
+  let cfg = { cfg with Msmr_consensus.Config.groups } in
+  let conflict =
+    match conflict with
+    | Some f -> f
+    | None -> (service ~gid:0).Service.conflict_keys
+  in
+  let clusters =
+    Array.init groups (fun gid ->
+        let durability =
+          match durability with
+          | Some f -> Some (fun node -> f ~gid ~node)
+          | None -> None
+        in
+        Replica.Cluster.create ?client_io_threads ?executor_threads
+          ?proxy_leaders ~gid ?durability ~cfg
+          ~service:(fun () -> service ~gid)
+          ())
+  in
+  let t =
+    { n_groups = groups;
+      clusters;
+      conflict;
+      gate = Mutex.create ();
+      gate_cv = Condition.create ();
+      gate_closed = false;
+      inflight = Array.make groups 0;
+      routed = Counter.create ();
+      globals = Counter.create ();
+      running = true }
+  in
+  Msmr_obs.Metrics.gauge ~labels:m_labels "msmr_replica_router_routed_total"
+    (fun () -> float_of_int (Counter.get t.routed));
+  for g = 0 to groups - 1 do
+    (* The group's log-ordering watermark: instances decided by its
+       acting leader — the live counterpart of the simulator's per-group
+       commit LSN. *)
+    Msmr_obs.Metrics.gauge ~labels:(m_group_labels g)
+      "msmr_replica_group_commit_lsn" (fun () ->
+        float_of_int
+          (Replica.decided_count (Replica.Cluster.leader t.clusters.(g))))
+  done;
+  t
+
+let await_leaders ?timeout_s t =
+  Array.iter
+    (fun c -> ignore (Replica.Cluster.await_leader ?timeout_s c))
+    t.clusters
+
+let leader_of t g = Replica.Cluster.leader t.clusters.(g)
+
+(* Reply-side bookkeeping: the wrapped sink retires the in-flight slot
+   before delivering, and wakes a parked Global when its group drains. *)
+let retire t g =
+  Mutex.lock t.gate;
+  t.inflight.(g) <- t.inflight.(g) - 1;
+  if t.inflight.(g) = 0 then Condition.broadcast t.gate_cv;
+  Mutex.unlock t.gate
+
+let submit_to_group t g ~raw ~reply_to =
+  Mutex.lock t.gate;
+  while t.gate_closed do
+    Condition.wait t.gate_cv t.gate
+  done;
+  t.inflight.(g) <- t.inflight.(g) + 1;
+  Mutex.unlock t.gate;
+  let reply_to bytes =
+    retire t g;
+    reply_to bytes
+  in
+  Replica.submit (leader_of t g) ~raw ~reply_to
+
+let submit_global t ~raw ~reply_to =
+  Mutex.lock t.gate;
+  (* Concurrent Globals serialise on the gate itself. *)
+  while t.gate_closed do
+    Condition.wait t.gate_cv t.gate
+  done;
+  t.gate_closed <- true;
+  while Array.exists (fun c -> c > 0) t.inflight do
+    Condition.wait t.gate_cv t.gate
+  done;
+  Mutex.unlock t.gate;
+  Counter.incr t.globals;
+  let reply_to bytes =
+    Mutex.lock t.gate;
+    t.gate_closed <- false;
+    Condition.broadcast t.gate_cv;
+    Mutex.unlock t.gate;
+    reply_to bytes
+  in
+  Replica.submit (leader_of t 0) ~raw ~reply_to
+
+let submit t ~raw ~reply_to =
+  let req = Client_msg.request_of_bytes raw in
+  Counter.incr t.routed;
+  match
+    Router.target_of_conflict ~groups:t.n_groups ~fallback:req.id.client_id
+      (t.conflict req)
+  with
+  | Router.Group g -> submit_to_group t g ~raw ~reply_to
+  | Router.Global -> submit_global t ~raw ~reply_to
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    Msmr_obs.Metrics.remove ~labels:m_labels
+      "msmr_replica_router_routed_total";
+    for g = 0 to t.n_groups - 1 do
+      Msmr_obs.Metrics.remove ~labels:(m_group_labels g)
+        "msmr_replica_group_commit_lsn"
+    done;
+    (* Unblock anything parked on the gate before tearing the groups
+       down. *)
+    Mutex.lock t.gate;
+    t.gate_closed <- false;
+    Array.fill t.inflight 0 t.n_groups 0;
+    Condition.broadcast t.gate_cv;
+    Mutex.unlock t.gate;
+    Array.iter Replica.Cluster.stop t.clusters
+  end

@@ -1,0 +1,24 @@
+type target =
+  | Group of int
+  | Global
+
+let group_of_key ~groups key =
+  if groups < 1 then invalid_arg "Router.group_of_key: groups < 1";
+  Hashtbl.hash key mod groups
+
+let group_of_client ~groups cid =
+  if groups < 1 then invalid_arg "Router.group_of_client: groups < 1";
+  ((cid mod groups) + groups) mod groups
+
+let target_of_conflict ~groups ~fallback = function
+  | Service.Global -> Global
+  | Service.Keys [] -> Group (group_of_client ~groups fallback)
+  | Service.Keys (k :: ks) ->
+    let g = group_of_key ~groups k in
+    if List.for_all (fun k' -> group_of_key ~groups k' = g) ks then Group g
+    else Global
+
+let target_of_request ~groups (service : Service.t)
+    (req : Msmr_wire.Client_msg.request) =
+  target_of_conflict ~groups ~fallback:req.id.client_id
+    (service.conflict_keys req)

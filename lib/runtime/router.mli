@@ -1,0 +1,51 @@
+(** Request router for multi-group Paxos.
+
+    With [Config.groups > 1] the ordering path is sharded: each group
+    runs its own Paxos instance and orders a disjoint partition of the
+    key space. The router is the pure partition function sitting between
+    client ingress (ClientIO / {!Client_server}) and the per-group
+    pipelines: it classifies a request through the service's
+    {!Service.t.conflict_keys} and names the group whose log must order
+    it — or [Global] for a request that must be serialised against every
+    group (executed under the cross-group quiescence barrier, see
+    {!Replica_group}).
+
+    {b Consistency invariant:} routing must agree with conflict
+    classification. Two requests whose key sets intersect hash to the
+    same group (same keys → same {!group_of_key} result), so the
+    single-group ordering guarantee is preserved within each partition;
+    requests with intersecting key sets can only end up in different
+    groups if the service classified them inconsistently. A request
+    whose keys span several groups cannot be ordered by any single log
+    and is promoted to [Global]. *)
+
+type target =
+  | Group of int  (** order through this group's log *)
+  | Global
+      (** serialise against every group: cross-group quiescence barrier,
+          then execution through group 0's log *)
+
+val group_of_key : groups:int -> string -> int
+(** Stable hash partition of one conflict key, in [[0, groups)]. Every
+    layer that partitions by key (router, executors, benchmarks) must
+    use this one function. @raise Invalid_argument if [groups < 1]. *)
+
+val group_of_client : groups:int -> int -> int
+(** Partition by client id ([cid mod groups]) — the stand-in used when
+    no key is available (and by the simulator's workload, where one
+    client drives one key). *)
+
+val target_of_conflict : groups:int -> fallback:int -> Service.conflict -> target
+(** Map a conflict classification to a routing target:
+
+    - [Keys [k]] (and [Keys ks] when all of [ks] hash to one group) →
+      [Group (group_of_key k)];
+    - [Keys []] (conflicts with nothing) → [Group (fallback mod groups)]
+      — any group may order it; [fallback] (typically the client id)
+      spreads the load deterministically;
+    - [Keys ks] spanning several groups, and [Global] → [Global]. *)
+
+val target_of_request :
+  groups:int -> Service.t -> Msmr_wire.Client_msg.request -> target
+(** [target_of_conflict] over [service.conflict_keys req], with the
+    request's client id as the fallback. *)

@@ -1,15 +1,26 @@
 module Mclock = Msmr_platform.Mclock
 
-let hello_frame me =
+(* The hello carries the dialer's node id and, since multi-group Paxos,
+   its consensus group id: each group runs its own mesh on its own
+   address set, and the tag rejects a dialer from another group that
+   reached the wrong listener (a misconfigured address map would
+   otherwise silently cross-wire two groups' Paxos traffic). A hello
+   without the group field (the pre-multi-group frame) is read as group
+   0, so old and new peers interoperate in single-group deployments. *)
+let hello_frame ~gid me =
   let w = Msmr_wire.Codec.W.create ~initial:8 () in
   Msmr_wire.Codec.W.i32 w me;
+  Msmr_wire.Codec.W.i32 w gid;
   Msmr_wire.Codec.W.contents w
 
 let id_of_hello b =
   let r = Msmr_wire.Codec.R.of_bytes b in
   let id = Msmr_wire.Codec.R.i32 r in
+  let gid =
+    if Msmr_wire.Codec.R.remaining r > 0 then Msmr_wire.Codec.R.i32 r else 0
+  in
   Msmr_wire.Codec.R.expect_end r;
-  id
+  (id, gid)
 
 (* One peer's connection state. [conn] is the current physical
    connection (wrapped as a Transport.Tcp link, whose own error handling
@@ -27,6 +38,7 @@ type slot = {
 
 type t = {
   me : int;
+  gid : int;                      (* consensus group this mesh carries *)
   listener : Unix.file_descr;
   slots : (int * slot) list;      (* every peer <> me *)
   closing : bool Atomic.t;
@@ -124,9 +136,15 @@ let acceptor_loop t =
         Unix.setsockopt fd Unix.TCP_NODELAY true;
         match Msmr_wire.Frame.read fd with
         | Some hello -> (
-            match List.assoc_opt (id_of_hello hello) t.slots with
-            | Some slot -> install t slot (Transport.Tcp.link_of_fd fd)
-            | None -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+            let id, gid = id_of_hello hello in
+            if gid <> t.gid then
+              (* Wrong group: never splice another group's Paxos stream
+                 into this mesh. *)
+              try Unix.close fd with Unix.Unix_error _ -> ()
+            else
+              match List.assoc_opt id t.slots with
+              | Some slot -> install t slot (Transport.Tcp.link_of_fd fd)
+              | None -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
         | None | (exception _) -> (
             try Unix.close fd with Unix.Unix_error _ -> ()))
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -157,7 +175,7 @@ let dialer_loop t slot addr =
           match
             Unix.connect fd addr;
             Unix.setsockopt fd Unix.TCP_NODELAY true;
-            Msmr_wire.Frame.write fd (hello_frame t.me)
+            Msmr_wire.Frame.write fd (hello_frame ~gid:t.gid t.me)
           with
           | () ->
             install t slot (Transport.Tcp.link_of_fd fd);
@@ -169,7 +187,7 @@ let dialer_loop t slot addr =
     end
   done
 
-let create ?(connect_timeout_s = 30.) ~me ~addrs () =
+let create ?(connect_timeout_s = 30.) ?(gid = 0) ~me ~addrs () =
   let my_addr = List.assoc me addrs in
   let listener =
     Unix.socket (Unix.domain_of_sockaddr my_addr) Unix.SOCK_STREAM 0
@@ -194,6 +212,7 @@ let create ?(connect_timeout_s = 30.) ~me ~addrs () =
   in
   let t =
     { me;
+      gid;
       listener;
       slots;
       closing = Atomic.make false;
@@ -257,5 +276,5 @@ let close t =
     List.iter Thread.join t.threads
   end
 
-let establish ?connect_timeout_s ~me ~addrs () =
-  links (create ?connect_timeout_s ~me ~addrs ())
+let establish ?connect_timeout_s ?gid ~me ~addrs () =
+  links (create ?connect_timeout_s ?gid ~me ~addrs ())

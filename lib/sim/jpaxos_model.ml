@@ -102,6 +102,8 @@ type result = {
   client_retries : int;
   timeline : (float * int) array;
   events : int;
+  group_throughputs : float array;
+  globals_executed : int;
   trace : Msmr_obs.Trace.t option;
 }
 
@@ -128,7 +130,7 @@ type client = {
   mutable sent_at : float;
 }
 
-let run ?(trace = false) (p : Params.t) =
+let run_single ?(trace = false) (p : Params.t) =
   let eng = Engine.create () in
   (* The tracer is stamped from the engine's virtual clock, so trace
      timelines are in *simulated* time — the paper's figures become
@@ -1376,4 +1378,1134 @@ let run ?(trace = false) (p : Params.t) =
         (fun i n -> (p.warmup +. (float_of_int i *. p.chaos_bucket), n))
         timeline;
     events = Engine.events_processed eng;
+    group_throughputs = [| throughput |];
+    globals_executed = 0;
     trace = tracer }
+
+(* ================================================================== *)
+(* Multi-group Paxos (compartmentalized ordering path).                *)
+(*                                                                     *)
+(* [p.groups] independent consensus groups run side by side: each has  *)
+(* its own Paxos engine, log, Batcher and decide stream on every node, *)
+(* all sharing the node's physical CPU and NIC. Group [g] bootstraps   *)
+(* with node [g mod n] as its leader (its Paxos starts in view [g]),   *)
+(* so leadership -- and the leader's NIC load, the single-group        *)
+(* throughput ceiling -- spreads round-robin over the cluster. The     *)
+(* ordering pipeline is itself compartmentalized: ClientIO feeds a     *)
+(* Router process that hash-partitions requests to groups; each        *)
+(* group's Protocol hands multi-destination fan-outs to a ProxyLeader  *)
+(* process that serialises them into the shared per-peer send queues   *)
+(* (ack counting stays inside the pure engine). Cross-group Global     *)
+(* commands, classified deterministically on group 0's decide stream,  *)
+(* barrier every group on the executing node through a quiescence      *)
+(* gate before running serially.                                       *)
+(*                                                                     *)
+(* The [groups <= 1] path never reaches this function: [run] keeps     *)
+(* the single-group model byte-for-byte identical (golden-pinned).     *)
+(* Chaos support is crash-only; [auto_tune] and [n_batchers] > 1 are   *)
+(* single-group features and are ignored here.                         *)
+(* ================================================================== *)
+
+type gnode = {
+  mg_id : int;
+  mg_cpu : Cpu.t;
+  mg_nic : Nic.t;
+  mg_engines : Paxos.t array;                       (* per group; swapped on restart *)
+  mg_disp_qs : disp_ev Squeue.t array;              (* per group *)
+  mg_prop_qs : Batch.t Squeue.t array;              (* per group *)
+  mg_req_qs : Client_msg.request Squeue.t array;    (* per group (one Batcher each) *)
+  mg_dec_qs : decision_ev Squeue.t array;           (* per group *)
+  mg_proxy_qs : (Types.node_id list * Msg.t) Squeue.t array;  (* per group *)
+  mg_router_q : Client_msg.request Squeue.t;
+  mg_send_qs : (int * Msg.t) Squeue.t array;        (* per peer; (gid, msg) *)
+  mg_rcv_mbs : (int * Types.node_id * Msg.t) Mailbox.t array; (* per peer *)
+  mg_cio_mbs : cio_ev Mailbox.t array;
+  mg_disk : Sdisk.t option;
+  mg_ss_q : (int * ss_ev) Squeue.t option;
+  mutable mg_threads : Sstats.thread list;
+}
+
+let run_multi ?(trace = false) (p : Params.t) =
+  let g_count = p.groups in
+  List.iter
+    (function
+      | Sfault.Crash _ -> ()
+      | _ ->
+        invalid_arg "Jpaxos_model.run: groups > 1 supports Crash faults only")
+    p.faults;
+  let eng = Engine.create () in
+  let tracer =
+    if trace then
+      Some
+        (Msmr_obs.Trace.create
+           ~clock:(fun () -> Int64.of_float (Engine.now eng *. 1e9))
+           ())
+    else None
+  in
+  let ns_of s = Int64.of_float (s *. 1e9) in
+  let state_name : Sstats.state -> string = function
+    | Sstats.Busy -> "busy"
+    | Sstats.Blocked -> "blocked"
+    | Sstats.Waiting -> "waiting"
+    | Sstats.Other -> "other"
+  in
+  let c = p.costs in
+  let speed = p.profile.cpu_speed in
+  let cost x = x /. speed in
+  let net_slowdown =
+    1.0
+    +. (p.net_contention_per_io_thread
+        *. float_of_int (max 0 (p.client_io_threads - 8)))
+  in
+  let pkt_rate =
+    p.profile.pkt_rate /. net_slowdown *. (if p.rss then 2.0 else 1.0)
+  in
+  let chaos = p.faults <> [] in
+  let cfg =
+    { (Config.default ~n:p.n) with
+      groups = g_count;
+      window = p.wnd;
+      max_batch_bytes = p.bsz;
+      max_batch_delay_s = 0.005;
+      snapshot_every = 0 }
+  in
+  let cfg =
+    if chaos then
+      { cfg with
+        fd_interval_s = p.chaos_fd_interval;
+        fd_timeout_s = p.chaos_fd_timeout;
+        retransmit_interval_s = p.chaos_rtx_interval }
+    else cfg
+  in
+  (* The Router's partition function: in the live runtime the conflict
+     key hashes to a group; the simulated workload's stand-in for the
+     key is the client id (one client = one key), so the hash is a mod. *)
+  let group_of_client cid = cid mod g_count in
+  let home_of_group g = Config.initial_leader_of_group cfg ~gid:g in
+  (* ---------------- nodes ---------------- *)
+  let mk_node id =
+    let cpu =
+      Cpu.create eng ~cores:p.cores ~switch_cost:(cost c.switch_cost) ()
+    in
+    let nic =
+      Nic.create eng ~pkt_rate ~bandwidth:p.profile.bandwidth
+        ~name:(Printf.sprintf "nic-%d" id) ()
+    in
+    { mg_id = id; mg_cpu = cpu; mg_nic = nic;
+      mg_engines =
+        Array.init g_count (fun g -> Paxos.create ~view0:g cfg ~me:id);
+      mg_disp_qs =
+        Array.init g_count (fun _ ->
+            Squeue.create eng ~cpu ~capacity:100_000 ~name:"DispatcherQueue" ());
+      mg_prop_qs =
+        Array.init g_count (fun _ ->
+            Squeue.create eng ~cpu ~capacity:20 ~name:"ProposalQueue" ());
+      mg_req_qs =
+        Array.init g_count (fun _ ->
+            Squeue.create eng ~cpu ~capacity:1000 ~name:"RequestQueue" ());
+      mg_dec_qs =
+        Array.init g_count (fun _ ->
+            Squeue.create eng ~cpu ~capacity:4096 ~name:"DecisionQueue" ());
+      mg_proxy_qs =
+        Array.init g_count (fun _ ->
+            Squeue.create eng ~cpu ~capacity:4096 ~name:"ProxyQueue" ());
+      mg_router_q = Squeue.create eng ~cpu ~capacity:2000 ~name:"RouterQueue" ();
+      mg_send_qs =
+        Array.init p.n (fun _ ->
+            Squeue.create eng ~cpu ~capacity:100_000 ~name:"SendQueue" ());
+      mg_rcv_mbs = Array.init p.n (fun _ -> Mailbox.create eng ());
+      mg_cio_mbs =
+        Array.init p.client_io_threads (fun _ -> Mailbox.create eng ());
+      mg_disk =
+        (if p.sync_policy = Params.Sync_none then None
+         else Some (Sdisk.create eng ~fsync_latency:p.fsync_latency));
+      mg_ss_q =
+        (if p.sync_policy = Params.Sync_group then
+           Some (Squeue.create eng ~cpu ~capacity:8192 ~name:"LogQueue" ())
+         else None);
+      mg_threads = [] }
+  in
+  let nodes = Array.init p.n mk_node in
+  let register node st =
+    node.mg_threads <- node.mg_threads @ [ st ];
+    match tracer with
+    | None -> None
+    | Some t ->
+      let tname = Sstats.name st in
+      let trk =
+        Msmr_obs.Trace.track t ~pid:node.mg_id
+          ~pname:(Printf.sprintf "replica-%d" node.mg_id) ~name:tname ()
+      in
+      let cat = Msmr_obs.Taxonomy.module_of_thread tname in
+      Sstats.attach_tracer st (fun state t0 t1 ->
+          let ts = ns_of t0 in
+          Msmr_obs.Trace.complete trk ~cat ~name:(state_name state)
+            ~ts_ns:ts ~dur_ns:(Int64.sub (ns_of t1) ts) ());
+      Some trk
+  in
+  (* ---------------- fault injection state (crash-only chaos) -------- *)
+  let net = Sfault.make_net ~seed:p.chaos_seed ~n:p.n p.faults in
+  let up = Array.make p.n true in
+  let crash_time = Array.make p.n 0. in
+  let awaiting_recovery = Array.make p.n false in
+  let recovery_times = ref [] in
+  let rtx_tbls :
+    (Paxos.rtx_key, Types.node_id list * Msg.t) Hashtbl.t array array =
+    Array.init p.n (fun _ -> Array.init g_count (fun _ -> Hashtbl.create 64))
+  in
+  let leader_hint_g = Array.init g_count home_of_group in
+  let views_seen_g : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let client_retries = ref 0 in
+  let awaiting_seq = Array.make (max 1 p.n_clients) 0 in
+  let last_commit_g = Array.make g_count 0. in
+  let max_gap_g = Array.make g_count 0. in
+  (* At-most-once frontier per node (client ids are globally unique) and
+     per-(node, group) executed-request logs for the per-group
+     linearizability check. *)
+  let frontier : (int, int) Hashtbl.t array =
+    Array.init p.n (fun _ -> Hashtbl.create 1024)
+  in
+  let exec_logs_mg : (int * int) list array array =
+    Array.init p.n (fun _ -> Array.make g_count [])
+  in
+  let timeline =
+    Array.make
+      (if chaos then 1 + int_of_float (ceil (p.duration /. p.chaos_bucket))
+       else 0)
+      0
+  in
+  let chaos_admit_mg node g (id : Client_msg.request_id) =
+    let tbl = frontier.(node.mg_id) in
+    match Hashtbl.find_opt tbl id.client_id with
+    | Some s when id.seq <= s -> false
+    | _ ->
+      Hashtbl.replace tbl id.client_id id.seq;
+      exec_logs_mg.(node.mg_id).(g) <-
+        (id.client_id, id.seq) :: exec_logs_mg.(node.mg_id).(g);
+      true
+  in
+  let chaos_executed_mg node (id : Client_msg.request_id) =
+    match Hashtbl.find_opt frontier.(node.mg_id) id.client_id with
+    | Some s -> id.seq <= s
+    | None -> false
+  in
+  let chaos_deliver_mg node g dst msg size =
+    if up.(node.mg_id) then
+      List.iter
+        (fun extra ->
+           let send () =
+             Nic.send node.mg_nic ~dst:nodes.(dst).mg_nic ~size (fun () ->
+                 if up.(dst) then
+                   Mailbox.push nodes.(dst).mg_rcv_mbs.(node.mg_id)
+                     (g, node.mg_id, msg))
+           in
+           if extra <= 0. then send ()
+           else Engine.schedule_at eng (Engine.now eng +. extra) send)
+        (Sfault.deliveries net ~src:node.mg_id ~now:(Engine.now eng) ~dst)
+  in
+  let rec rtx_fire id g key () =
+    match Hashtbl.find_opt rtx_tbls.(id).(g) key with
+    | Some (dests, msg) when up.(id) ->
+      List.iter
+        (fun d ->
+           if d <> id then chaos_deliver_mg nodes.(id) g d msg (approx_size msg))
+        dests;
+      Engine.schedule_at eng
+        (Engine.now eng +. p.chaos_rtx_interval)
+        (rtx_fire id g key)
+    | _ -> ()
+  in
+  let arm_rtx id g key dests msg =
+    Hashtbl.replace rtx_tbls.(id).(g) key (dests, msg);
+    Engine.schedule_at eng
+      (Engine.now eng +. p.chaos_rtx_interval)
+      (rtx_fire id g key)
+  in
+  let do_crash id =
+    if up.(id) then begin
+      up.(id) <- false;
+      crash_time.(id) <- Engine.now eng;
+      Array.iter Hashtbl.reset rtx_tbls.(id)
+    end
+  in
+  let do_restart id =
+    if not up.(id) then begin
+      up.(id) <- true;
+      awaiting_recovery.(id) <- true;
+      Hashtbl.reset frontier.(id);
+      Array.fill exec_logs_mg.(id) 0 g_count [];
+      for g = 0 to g_count - 1 do
+        let old = nodes.(id).mg_engines.(g) in
+        let old_log = Paxos.log old in
+        let entries = Log.entries_from old_log (Log.low_mark old_log) in
+        let decided, accepted =
+          List.partition (fun (e : Msg.log_entry) -> e.e_decided) entries
+        in
+        let conv =
+          List.map (fun (e : Msg.log_entry) -> (e.e_iid, e.e_view, e.e_value))
+        in
+        let engine, replays =
+          Paxos.recover cfg ~me:id ~view:(Paxos.view old)
+            ~accepted:(conv accepted) ~decided:(conv decided) ~snapshot:None
+        in
+        nodes.(id).mg_engines.(g) <- engine;
+        List.iter
+          (fun action ->
+             match action with
+             | Paxos.Execute { value; _ } -> (
+                 match value with
+                 | Value.Noop -> ()
+                 | Value.Batch b ->
+                   List.iter
+                     (fun (r : Client_msg.request) ->
+                        ignore (chaos_admit_mg nodes.(id) g r.id))
+                     b.requests)
+             | Paxos.Send { dest; msg } ->
+               List.iter
+                 (fun d ->
+                    if d <> id then
+                      chaos_deliver_mg nodes.(id) g d msg (approx_size msg))
+                 dest
+             | Paxos.Schedule_rtx { key; dest; msg } -> arm_rtx id g key dest msg
+             | Paxos.Cancel_rtx key -> Hashtbl.remove rtx_tbls.(id).(g) key
+             | Paxos.View_changed { view; i_am_leader; _ } ->
+               if view <> g then Hashtbl.replace views_seen_g (g, view) ();
+               if i_am_leader then leader_hint_g.(g) <- id
+             | Paxos.Install_snapshot _ -> ())
+          replays
+      done
+    end
+  in
+  if chaos then
+    List.iter
+      (function
+        | Sfault.Crash { node = id; at; restart_at } ->
+          Engine.schedule_at eng at (fun () -> do_crash id);
+          (match restart_at with
+           | Some rt -> Engine.schedule_at eng rt (fun () -> do_restart id)
+           | None -> ())
+        | _ -> ())
+      p.faults;
+  (* ---------------- measurement state ---------------- *)
+  let measuring = ref false in
+  let completed = ref 0 in
+  let completed_g = Array.make g_count 0 in
+  let lat_sum = ref 0. and lat_n = ref 0 in
+  let inst_sum = ref 0. and inst_n = ref 0 in
+  let batch_reqs = ref 0 and batch_bytes = ref 0 and batches = ref 0 in
+  let window_gauge = Sstats.Gauge.create eng in
+  let router_routed = Array.make p.n 0 in
+  let proxy_fanout = Array.make g_count 0 in
+  let globals_executed = ref 0 in
+  (* ---------------- clients ---------------- *)
+  let payload = Bytes.make (max 0 (p.request_size - 16)) 'x' in
+  let clients =
+    Array.init p.n_clients (fun i -> { cid = i; next_seq = 0; sent_at = 0. })
+  in
+  let client_resume : (unit -> unit) option array =
+    Array.make p.n_clients None
+  in
+  let cio_of_client cid = cid mod p.client_io_threads in
+  let client_proc_mg cl () =
+    let g = group_of_client cl.cid in
+    let target = nodes.(home_of_group g) in
+    Engine.delay eng (1e-6 *. float_of_int cl.cid);
+    let rec loop () =
+      cl.next_seq <- cl.next_seq + 1;
+      let req =
+        { Client_msg.id = { client_id = cl.cid; seq = cl.next_seq }; payload }
+      in
+      cl.sent_at <- Engine.now eng;
+      Engine.suspend eng (fun resume ->
+          client_resume.(cl.cid) <- Some resume;
+          Engine.schedule_at eng (Engine.now eng +. 30e-6) (fun () ->
+              Nic.rx_inject target.mg_nic ~size:p.request_size (fun () ->
+                  Mailbox.push target.mg_cio_mbs.(cio_of_client cl.cid)
+                    (Req req))));
+      if !measuring then begin
+        incr completed;
+        completed_g.(g) <- completed_g.(g) + 1;
+        lat_sum := !lat_sum +. (Engine.now eng -. cl.sent_at);
+        incr lat_n
+      end;
+      loop ()
+    in
+    loop ()
+  in
+  let client_proc_chaos_mg cl () =
+    let g = group_of_client cl.cid in
+    Engine.delay eng (1e-6 *. float_of_int cl.cid);
+    let rec loop () =
+      cl.next_seq <- cl.next_seq + 1;
+      awaiting_seq.(cl.cid) <- cl.next_seq;
+      let req =
+        { Client_msg.id = { client_id = cl.cid; seq = cl.next_seq }; payload }
+      in
+      cl.sent_at <- Engine.now eng;
+      let rec attempt () =
+        let target = nodes.(leader_hint_g.(g)) in
+        match
+          Engine.suspend_timeout eng ~timeout:p.chaos_client_timeout
+            (fun resume ->
+               client_resume.(cl.cid) <- Some resume;
+               Engine.schedule_at eng (Engine.now eng +. 30e-6) (fun () ->
+                   if up.(target.mg_id) then
+                     Nic.rx_inject target.mg_nic ~size:p.request_size
+                       (fun () ->
+                          if up.(target.mg_id) then
+                            Mailbox.push
+                              target.mg_cio_mbs.(cio_of_client cl.cid)
+                              (Req req))))
+        with
+        | Engine.Value () -> ()
+        | Engine.Timed_out ->
+          client_resume.(cl.cid) <- None;
+          incr client_retries;
+          attempt ()
+      in
+      attempt ();
+      if !measuring then begin
+        incr completed;
+        completed_g.(g) <- completed_g.(g) + 1;
+        lat_sum := !lat_sum +. (Engine.now eng -. cl.sent_at);
+        incr lat_n;
+        let b =
+          int_of_float ((Engine.now eng -. p.warmup) /. p.chaos_bucket)
+        in
+        if b >= 0 && b < Array.length timeline then
+          timeline.(b) <- timeline.(b) + 1
+      end;
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- ClientIO (every node may lead some group) ------- *)
+  let cio_proc node idx () =
+    let st =
+      Sstats.make_thread eng ~name:(Printf.sprintf "ClientIO-%d" idx)
+    in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let mb = node.mg_cio_mbs.(idx) in
+    let handle = function
+      | Rep id ->
+        Cpu.work node.mg_cpu st (cost c.client_write);
+        Nic.send_to_wire node.mg_nic ~size:p.reply_size (fun () ->
+            if (not chaos) || awaiting_seq.(id.client_id) = id.seq then
+              match client_resume.(id.client_id) with
+              | Some resume ->
+                client_resume.(id.client_id) <- None;
+                resume ()
+              | None -> ())
+      | Req req ->
+        Cpu.work node.mg_cpu st (cost c.client_read);
+        if chaos && chaos_executed_mg node req.id then
+          Mailbox.push node.mg_cio_mbs.(idx) (Rep req.id)
+        else Squeue.put node.mg_router_q st req
+    in
+    let rec loop () =
+      let ev = Mailbox.take mb st in
+      if (not chaos) || up.(node.mg_id) then handle ev;
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- Router ---------------- *)
+  let router_proc node () =
+    let st = Sstats.make_thread eng ~name:"Router" in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let rec loop () =
+      let req = Squeue.take node.mg_router_q st in
+      Cpu.work node.mg_cpu st (cost c.dispatch_per_req);
+      let g = group_of_client req.Client_msg.id.client_id in
+      router_routed.(node.mg_id) <- router_routed.(node.mg_id) + 1;
+      Squeue.put node.mg_req_qs.(g) st req;
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- Batcher (one per group) ---------------- *)
+  let batcher_policies =
+    Array.init p.n (fun id ->
+        Array.init g_count (fun g -> Batcher.create cfg ~src:(id + (g * 64))))
+  in
+  let batcher_proc node g () =
+    let st =
+      Sstats.make_thread eng ~name:(Printf.sprintf "Batcher-g%d" g)
+    in
+    let trk = register node st in
+    let policy = batcher_policies.(node.mg_id).(g) in
+    let now_ns () = Int64.of_float (Engine.now eng *. 1e9) in
+    let seal batch =
+      Cpu.work node.mg_cpu st (cost c.batcher_per_batch);
+      (match trk with
+       | Some trk ->
+         Msmr_obs.Trace.instant trk ~cat:"ReplicationCore"
+           ~args:
+             [ ("reqs", Msmr_obs.Json.Int (Batch.request_count batch));
+               ("bytes", Msmr_obs.Json.Int (Batch.size_bytes batch)) ]
+           "batch-seal"
+       | None -> ());
+      if !measuring then begin
+        incr batches;
+        batch_reqs := !batch_reqs + Batch.request_count batch;
+        batch_bytes := !batch_bytes + Batch.size_bytes batch
+      end;
+      Squeue.put node.mg_prop_qs.(g) st batch;
+      Squeue.put node.mg_disp_qs.(g) st Poke
+    in
+    let rec loop () =
+      let timeout =
+        match Batcher.deadline_ns policy with
+        | None -> 1.0
+        | Some d ->
+          Float.max 1e-5 ((Int64.to_float d /. 1e9) -. Engine.now eng)
+      in
+      (match Squeue.take_timeout node.mg_req_qs.(g) st ~timeout with
+       | Some req ->
+         Cpu.work node.mg_cpu st (cost c.batcher_per_req);
+         (match Batcher.add policy req ~now_ns:(now_ns ()) with
+          | Some batch -> seal batch
+          | None -> ())
+       | None -> (
+           match Batcher.flush_due policy ~now_ns:(now_ns ()) with
+           | Some batch -> seal batch
+           | None -> ()));
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- Protocol (one per group) ---------------- *)
+  let inst_t0s : (int, float) Hashtbl.t array =
+    Array.init g_count (fun _ -> Hashtbl.create 1024)
+  in
+  let protocol_proc node g () =
+    let st = Sstats.make_thread eng ~name:(Printf.sprintf "Protocol-g%d" g) in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let engine () = node.mg_engines.(g) in
+    let persist nrec =
+      if nrec > 0 then
+        match p.sync_policy, node.mg_disk, node.mg_ss_q with
+        | Params.Sync_serial, Some d, _ ->
+          Sdisk.append d nrec;
+          Sstats.set st Sstats.Blocked;
+          Engine.suspend eng (fun resume -> Sdisk.fsync d resume);
+          Sstats.set st Sstats.Busy
+        | Params.Sync_group, _, Some q -> Squeue.put q st (g, Sl_log nrec)
+        | _ -> ()
+    in
+    let send_direct d msg =
+      match node.mg_ss_q with
+      | Some q when durability_gated msg -> Squeue.put q st (g, Sl_rel (d, msg))
+      | _ -> Squeue.put node.mg_send_qs.(d) st (g, msg)
+    in
+    let apply actions =
+      persist (records_for_actions actions);
+      List.iter
+        (fun action ->
+           match action with
+           | Paxos.Send { dest; msg } -> (
+               match List.filter (fun d -> d <> node.mg_id) dest with
+               | [] -> ()
+               | [ d ] -> send_direct d msg
+               | dests ->
+                 (* Multi-destination fan-out is the ProxyLeader's job:
+                    the Protocol stage stays a pure ordering loop. *)
+                 Squeue.put node.mg_proxy_qs.(g) st (dests, msg))
+           | Paxos.Execute { iid = _; value } ->
+             if chaos then begin
+               if awaiting_recovery.(node.mg_id) then begin
+                 awaiting_recovery.(node.mg_id) <- false;
+                 recovery_times :=
+                   (Engine.now eng -. crash_time.(node.mg_id))
+                   :: !recovery_times
+               end;
+               if Paxos.is_leader (engine ()) then begin
+                 let nw = Engine.now eng in
+                 if !measuring then begin
+                   let gap = nw -. last_commit_g.(g) in
+                   if gap > max_gap_g.(g) then max_gap_g.(g) <- gap
+                 end;
+                 last_commit_g.(g) <- nw
+               end
+             end;
+             Squeue.put node.mg_dec_qs.(g) st { d_iid = 0; d_value = value }
+           | Paxos.Schedule_rtx { key; dest; msg } ->
+             (match key with
+              | Paxos.Rtx_accept (_, iid) when node.mg_id = home_of_group g ->
+                Hashtbl.replace inst_t0s.(g) iid (Engine.now eng)
+              | _ -> ());
+             if chaos then arm_rtx node.mg_id g key dest msg
+           | Paxos.Cancel_rtx key ->
+             if chaos then Hashtbl.remove rtx_tbls.(node.mg_id).(g) key;
+             (match key with
+              | Paxos.Rtx_accept (_, iid) when node.mg_id = home_of_group g ->
+                (match Hashtbl.find_opt inst_t0s.(g) iid with
+                 | Some t0 ->
+                   if !measuring then begin
+                     inst_sum := !inst_sum +. (Engine.now eng -. t0);
+                     incr inst_n
+                   end
+                 | None -> ());
+                Hashtbl.remove inst_t0s.(g) iid
+              | _ -> ())
+           | Paxos.View_changed { view; i_am_leader; _ } ->
+             if chaos then begin
+               if view <> g then Hashtbl.replace views_seen_g (g, view) ();
+               if i_am_leader then leader_hint_g.(g) <- node.mg_id
+             end
+           | Paxos.Install_snapshot _ -> ())
+        actions
+    in
+    apply (Paxos.bootstrap (engine ()));
+    let rec loop () =
+      (match Squeue.take node.mg_disp_qs.(g) st with
+       | PMsg (from, msg) ->
+         if (not chaos) || up.(node.mg_id) then begin
+           Cpu.work node.mg_cpu st (cost c.protocol_per_event);
+           persist (records_for_msg msg);
+           apply (Paxos.receive (engine ()) ~from msg)
+         end
+       | Poke -> ()
+       | Suspect_ev ->
+         if chaos && up.(node.mg_id) then
+           apply (Paxos.suspect_leader (engine ()))
+       | Tick ->
+         if chaos && up.(node.mg_id) then
+           apply (Paxos.tick_catchup (engine ())));
+      let rec feed () =
+        if Paxos.can_propose (engine ()) then
+          match Squeue.try_take node.mg_prop_qs.(g) st with
+          | Some batch ->
+            Cpu.work node.mg_cpu st (cost c.protocol_per_event);
+            apply (Paxos.propose (engine ()) batch);
+            feed ()
+          | None -> ()
+      in
+      if (not chaos) || up.(node.mg_id) then feed ();
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- ProxyLeader (one per group) ---------------- *)
+  let proxy_proc node g () =
+    let st =
+      Sstats.make_thread eng ~name:(Printf.sprintf "ProxyLeader-g%d" g)
+    in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let rec loop () =
+      let dests, msg = Squeue.take node.mg_proxy_qs.(g) st in
+      List.iter
+        (fun d ->
+           (* One queue hop per destination: the fan-out work the
+              single-group Protocol thread pays inline. *)
+           Cpu.work node.mg_cpu st (cost c.dispatch_per_req);
+           if !measuring then proxy_fanout.(g) <- proxy_fanout.(g) + 1;
+           match node.mg_ss_q with
+           | Some q when durability_gated msg ->
+             Squeue.put q st (g, Sl_rel (d, msg))
+           | _ -> Squeue.put node.mg_send_qs.(d) st (g, msg))
+        dests;
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- ReplicaIO (shared; frames carry the group id) --- *)
+  let sender_proc node peer () =
+    let st =
+      Sstats.make_thread eng ~name:(Printf.sprintf "ReplicaIOSnd-%d" peer)
+    in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let q = node.mg_send_qs.(peer) in
+    let rec drain_burst acc k =
+      if k = 0 then List.rev acc
+      else
+        match Squeue.try_take q st with
+        | Some m -> drain_burst (m :: acc) (k - 1)
+        | None -> List.rev acc
+    in
+    let deferred = ref [] in
+    let is_decide = function _, Msg.Decide _ -> true | _ -> false in
+    let rec next_burst () =
+      match
+        if !deferred = [] then Some (Squeue.take q st)
+        else Squeue.take_timeout q st ~timeout:0.0005
+      with
+      | Some first ->
+        let burst = !deferred @ (first :: drain_burst [] 31) in
+        deferred := [];
+        if List.for_all is_decide burst then begin
+          deferred := burst;
+          next_burst ()
+        end
+        else burst
+      | None ->
+        let burst = !deferred in
+        deferred := [];
+        burst
+    in
+    let rec loop () =
+      let burst = next_burst () in
+      let sized =
+        List.map
+          (fun (g, m) ->
+             let size = approx_size m in
+             Cpu.work node.mg_cpu st
+               (cost
+                  (c.io_ser_per_msg +. (c.io_ser_per_byte *. float_of_int size)));
+             (g, m, size))
+          burst
+      in
+      let flush seg_msgs seg_size =
+        if seg_msgs <> [] then begin
+          let msgs = List.rev seg_msgs in
+          if not chaos then
+            Nic.send node.mg_nic ~dst:nodes.(peer).mg_nic ~size:seg_size
+              (fun () ->
+                 List.iter
+                   (fun (g, m, _) ->
+                      Mailbox.push nodes.(peer).mg_rcv_mbs.(node.mg_id)
+                        (g, node.mg_id, m))
+                   msgs)
+          else if up.(node.mg_id) then
+            List.iter
+              (fun extra ->
+                 let send () =
+                   Nic.send node.mg_nic ~dst:nodes.(peer).mg_nic ~size:seg_size
+                     (fun () ->
+                        if up.(peer) then
+                          List.iter
+                            (fun (g, m, _) ->
+                               Mailbox.push nodes.(peer).mg_rcv_mbs.(node.mg_id)
+                                 (g, node.mg_id, m))
+                            msgs)
+                 in
+                 if extra <= 0. then send ()
+                 else Engine.schedule_at eng (Engine.now eng +. extra) send)
+              (Sfault.deliveries net ~src:node.mg_id ~now:(Engine.now eng)
+                 ~dst:peer)
+        end
+      in
+      let seg, size =
+        List.fold_left
+          (fun (seg, size) (g, m, s) ->
+             if size > 0 && size + s > segment_payload then begin
+               flush seg size;
+               ([ (g, m, s) ], s)
+             end
+             else ((g, m, s) :: seg, size + s))
+          ([], 0) sized
+      in
+      flush seg size;
+      loop ()
+    in
+    loop ()
+  in
+  let receiver_proc node peer () =
+    let st =
+      Sstats.make_thread eng ~name:(Printf.sprintf "ReplicaIORcv-%d" peer)
+    in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let mb = node.mg_rcv_mbs.(peer) in
+    let rec loop () =
+      let g, from, msg = Mailbox.take mb st in
+      Cpu.work node.mg_cpu st
+        (cost
+           (c.io_deser_per_msg
+            +. (c.io_deser_per_byte *. float_of_int (approx_size msg))));
+      Squeue.put node.mg_disp_qs.(g) st (PMsg (from, msg));
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- StableStorage (per node, streams keyed by gid) -- *)
+  let ss_proc node () =
+    let st = Sstats.make_thread eng ~name:"StableStorage" in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let q = Option.get node.mg_ss_q in
+    let d = Option.get node.mg_disk in
+    let rec drain acc k =
+      if k = 0 then List.rev acc
+      else
+        match Squeue.try_take q st with
+        | Some ev -> drain (ev :: acc) (k - 1)
+        | None -> List.rev acc
+    in
+    let rec loop () =
+      let first = Squeue.take q st in
+      let burst = first :: drain [] 255 in
+      List.iter
+        (function _, Sl_log n -> Sdisk.append d n | _, Sl_rel _ -> ())
+        burst;
+      if Sdisk.has_pending d then begin
+        Sstats.set st Sstats.Blocked;
+        Engine.suspend eng (fun resume -> Sdisk.fsync d resume);
+        Sstats.set st Sstats.Busy
+      end;
+      List.iter
+        (function
+          | g, Sl_rel (dest, msg) -> Squeue.put node.mg_send_qs.(dest) st (g, msg)
+          | _, Sl_log _ -> ())
+        burst;
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- FailureDetector (crash-only chaos) -------------- *)
+  (* Deterministic direct-check detector: under a crash-only schedule
+     there is no message loss, so leader silence is equivalent to the
+     leader being down past the timeout. This keeps the multi-group
+     chaos path free of per-group heartbeat traffic. *)
+  let fd_proc node g () =
+    let st =
+      Sstats.make_thread eng ~name:(Printf.sprintf "FailureDetector-g%d" g)
+    in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let rec loop () =
+      Engine.delay eng (p.chaos_fd_interval /. 2.);
+      if up.(node.mg_id) then begin
+        let engine = node.mg_engines.(g) in
+        let ldr = Paxos.leader engine in
+        if ldr <> node.mg_id && (not up.(ldr))
+           && Engine.now eng -. crash_time.(ldr) > p.chaos_fd_timeout then
+          Squeue.put node.mg_disp_qs.(g) st Suspect_ev;
+        Squeue.put node.mg_disp_qs.(g) st Tick
+      end;
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- ServiceManager (per group + cross-group gate) --- *)
+  let sm_active = Array.make p.n 0 in
+  let sm_barrier = Array.make p.n false in
+  let sm_barrier_waiter : (unit -> unit) option array = Array.make p.n None in
+  let sm_blocked : (unit -> unit) list ref array =
+    Array.init p.n (fun _ -> ref [])
+  in
+  let globals_total = Array.make p.n 0 in
+  (* Same floor-crossing pattern as the single-group parallel SM:
+     deterministic, evenly spread, ratio * total in the long run.
+     Classified on group 0's decide stream — the group that sequences
+     cross-group commands. *)
+  let classify_global id =
+    globals_total.(id) <- globals_total.(id) + 1;
+    let k = globals_total.(id) in
+    p.conflict_ratio > 0.
+    && int_of_float (float_of_int k *. p.conflict_ratio)
+       > int_of_float (float_of_int (k - 1) *. p.conflict_ratio)
+  in
+  let sm_proc node g () =
+    let st = Sstats.make_thread eng ~name:(Printf.sprintf "Replica-g%d" g) in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let id = node.mg_id in
+    let reply (req_id : Client_msg.request_id) =
+      let leads =
+        if chaos then Paxos.is_leader node.mg_engines.(g)
+        else id = home_of_group g
+      in
+      if leads then
+        Mailbox.push node.mg_cio_mbs.(cio_of_client req_id.client_id)
+          (Rep req_id)
+    in
+    let rec wait_barrier () =
+      if sm_barrier.(id) then begin
+        Sstats.set st Sstats.Waiting;
+        Engine.suspend eng (fun resume ->
+            sm_blocked.(id) := resume :: !(sm_blocked.(id)));
+        Sstats.set st Sstats.Busy;
+        wait_barrier ()
+      end
+    in
+    let exec_one (req : Client_msg.request) =
+      if chaos && not (up.(id) && chaos_admit_mg node g req.id) then ()
+      else begin
+        wait_barrier ();
+        if g = 0 && classify_global id then begin
+          (* Cross-group Global command: close the gate, quiesce every
+             group's in-flight execution on this node, run serially. *)
+          sm_barrier.(id) <- true;
+          if sm_active.(id) > 0 then begin
+            Sstats.set st Sstats.Waiting;
+            Engine.suspend eng (fun resume ->
+                sm_barrier_waiter.(id) <- Some resume);
+            Sstats.set st Sstats.Busy
+          end;
+          Cpu.work node.mg_cpu st (cost c.exec_per_req);
+          incr globals_executed;
+          reply req.id;
+          sm_barrier.(id) <- false;
+          let blocked = !(sm_blocked.(id)) in
+          sm_blocked.(id) := [];
+          List.iter (fun r -> r ()) blocked
+        end
+        else begin
+          sm_active.(id) <- sm_active.(id) + 1;
+          Cpu.work node.mg_cpu st (cost c.exec_per_req);
+          reply req.id;
+          sm_active.(id) <- sm_active.(id) - 1;
+          if sm_active.(id) = 0 then
+            match sm_barrier_waiter.(id) with
+            | Some resume ->
+              sm_barrier_waiter.(id) <- None;
+              resume ()
+            | None -> ()
+        end
+      end
+    in
+    let rec loop () =
+      let d = Squeue.take node.mg_dec_qs.(g) st in
+      (match d.d_value with
+       | Value.Noop -> ()
+       | Value.Batch batch -> List.iter exec_one batch.requests);
+      loop ()
+    in
+    loop ()
+  in
+  (* ---------------- spawn everything ---------------- *)
+  Array.iter
+    (fun node ->
+       for i = 0 to p.client_io_threads - 1 do
+         Engine.spawn eng
+           ~name:(Printf.sprintf "cio-%d-%d" node.mg_id i)
+           (cio_proc node i)
+       done;
+       Engine.spawn eng ~name:"router" (router_proc node);
+       if node.mg_ss_q <> None then Engine.spawn eng ~name:"ss" (ss_proc node);
+       for g = 0 to g_count - 1 do
+         Engine.spawn eng ~name:"batcher" (batcher_proc node g);
+         Engine.spawn eng ~name:"protocol" (protocol_proc node g);
+         Engine.spawn eng ~name:"proxy" (proxy_proc node g);
+         Engine.spawn eng ~name:"sm" (sm_proc node g);
+         if chaos then Engine.spawn eng ~name:"fd" (fd_proc node g)
+       done;
+       for peer = 0 to p.n - 1 do
+         if peer <> node.mg_id then begin
+           Engine.spawn eng ~name:"snd" (sender_proc node peer);
+           Engine.spawn eng ~name:"rcv" (receiver_proc node peer)
+         end
+       done)
+    nodes;
+  Array.iter
+    (fun cl ->
+       Engine.spawn eng ~name:"client"
+         (if chaos then client_proc_chaos_mg cl else client_proc_mg cl))
+    clients;
+  (* Sampler: aggregate in-flight instances across the group leaders. *)
+  Engine.spawn eng ~name:"sampler" (fun () ->
+      let rec loop () =
+        Engine.delay eng 0.001;
+        let w = ref 0 in
+        for g = 0 to g_count - 1 do
+          w :=
+            !w
+            + Paxos.window_in_use nodes.(home_of_group g).mg_engines.(g)
+        done;
+        Sstats.Gauge.update window_gauge (float_of_int !w);
+        loop ()
+      in
+      loop ());
+  (* ---------------- run: warm-up, reset, measure ---------------- *)
+  Engine.run eng ~until:p.warmup;
+  measuring := true;
+  completed := 0;
+  Array.fill completed_g 0 g_count 0;
+  lat_sum := 0.; lat_n := 0;
+  inst_sum := 0.; inst_n := 0;
+  batch_reqs := 0; batch_bytes := 0; batches := 0;
+  Array.fill router_routed 0 p.n 0;
+  Array.fill proxy_fanout 0 g_count 0;
+  globals_executed := 0;
+  if chaos then begin
+    Array.fill last_commit_g 0 g_count p.warmup;
+    Array.fill max_gap_g 0 g_count 0.
+  end;
+  Sstats.Gauge.reset window_gauge;
+  Array.iter
+    (fun node ->
+       List.iter Sstats.reset node.mg_threads;
+       Cpu.reset_consumed node.mg_cpu;
+       Nic.reset_counters node.mg_nic;
+       Array.iter Squeue.reset_stats node.mg_req_qs;
+       Array.iter Squeue.reset_stats node.mg_prop_qs;
+       Array.iter Squeue.reset_stats node.mg_disp_qs;
+       Array.iter Squeue.reset_stats node.mg_dec_qs;
+       Array.iter Squeue.reset_stats node.mg_proxy_qs;
+       Squeue.reset_stats node.mg_router_q;
+       (match node.mg_ss_q with Some q -> Squeue.reset_stats q | None -> ());
+       (match node.mg_disk with Some d -> Sdisk.reset_counters d | None -> ()))
+    nodes;
+  (match tracer with Some t -> Msmr_obs.Trace.clear t | None -> ());
+  Engine.run eng ~until:(p.warmup +. p.duration);
+  Array.iter
+    (fun node -> List.iter Sstats.flush_tracer node.mg_threads)
+    nodes;
+  (* ---------------- collect ---------------- *)
+  let dur = p.duration in
+  let report node =
+    let threads =
+      List.map (fun st -> (Sstats.name st, Sstats.totals st)) node.mg_threads
+    in
+    let blocked =
+      List.fold_left
+        (fun acc (_, (x : Sstats.totals)) -> acc +. x.blocked)
+        0. threads
+    in
+    { cpu_util_pct = 100. *. Cpu.consumed node.mg_cpu /. dur;
+      blocked_pct = 100. *. blocked /. dur;
+      threads }
+  in
+  let throughput = float_of_int !completed /. dur in
+  let client_latency =
+    if !lat_n = 0 then 0. else !lat_sum /. float_of_int !lat_n
+  in
+  let m_labels =
+    [ ("mode", "sim");
+      ("n", string_of_int p.n);
+      ("groups", string_of_int g_count);
+      ("cores", string_of_int p.cores);
+      ("wnd", string_of_int p.wnd);
+      ("bsz", string_of_int p.bsz) ]
+  in
+  Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_run_throughput_rps"
+    throughput;
+  Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_run_client_latency_s"
+    client_latency;
+  Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_run_leader_cpu_pct"
+    (100. *. Cpu.consumed nodes.(0).mg_cpu /. dur);
+  Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_run_events"
+    (float_of_int (Engine.events_processed eng));
+  Array.iteri
+    (fun i cnt ->
+       Msmr_obs.Metrics.set_gauge
+         ~labels:(("replica", string_of_int i) :: m_labels)
+         "msmr_replica_router_routed_total" (float_of_int cnt))
+    router_routed;
+  for g = 0 to g_count - 1 do
+    let g_labels = ("group", string_of_int g) :: m_labels in
+    Msmr_obs.Metrics.set_gauge ~labels:g_labels
+      "msmr_replica_proxy_fanout_total"
+      (float_of_int proxy_fanout.(g));
+    (* Store-level commit watermark of the group's log, per group id —
+       the per-group LSN namespace made visible. *)
+    Msmr_obs.Metrics.set_gauge ~labels:g_labels
+      "msmr_replica_group_commit_lsn"
+      (float_of_int
+         (Paxos.stats nodes.(home_of_group g).mg_engines.(g)).decided)
+  done;
+  (* Per-group linearizability: no node executed a request twice, and
+     every pair of nodes agrees on the common prefix of each group's
+     execution order. *)
+  let safety_ok, executed_min, executed_max =
+    if not chaos then (true, 0, 0)
+    else begin
+      let ok = ref true in
+      for g = 0 to g_count - 1 do
+        let arrs =
+          Array.init p.n (fun i ->
+              Array.of_list (List.rev exec_logs_mg.(i).(g)))
+        in
+        Array.iter
+          (fun a ->
+             let seen = Hashtbl.create (Array.length a) in
+             Array.iter
+               (fun r ->
+                  if Hashtbl.mem seen r then ok := false
+                  else Hashtbl.add seen r ())
+               a)
+          arrs;
+        for i = 1 to p.n - 1 do
+          let a = arrs.(0) and b = arrs.(i) in
+          let m = min (Array.length a) (Array.length b) in
+          for j = 0 to m - 1 do
+            if a.(j) <> b.(j) then ok := false
+          done
+        done
+      done;
+      let tot i =
+        Array.fold_left (fun acc l -> acc + List.length l) 0 exec_logs_mg.(i)
+      in
+      let mn = ref max_int and mx = ref 0 in
+      for i = 0 to p.n - 1 do
+        let t = tot i in
+        if t < !mn then mn := t;
+        if t > !mx then mx := t
+      done;
+      (!ok, (if !mn = max_int then 0 else !mn), !mx)
+    end
+  in
+  let wal_syncs, wal_group_avg =
+    match nodes.(0).mg_disk with
+    | Some d ->
+      Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_wal_sync_total"
+        (float_of_int (Sdisk.syncs d));
+      Msmr_obs.Metrics.set_gauge ~labels:m_labels "msmr_wal_group_size"
+        (Sdisk.avg_group d);
+      (Sdisk.syncs d, Sdisk.avg_group d)
+    | None -> (0, 0.)
+  in
+  let sum_over_homes f =
+    let acc = ref 0. in
+    for g = 0 to g_count - 1 do
+      acc := !acc +. f nodes.(home_of_group g) g
+    done;
+    !acc
+  in
+  { throughput;
+    client_latency;
+    instance_latency =
+      (if !inst_n = 0 then 0. else !inst_sum /. float_of_int !inst_n);
+    avg_batch_reqs =
+      (if !batches = 0 then 0.
+       else float_of_int !batch_reqs /. float_of_int !batches);
+    avg_batch_bytes =
+      (if !batches = 0 then 0.
+       else float_of_int !batch_bytes /. float_of_int !batches);
+    avg_window = Sstats.Gauge.avg window_gauge;
+    avg_request_queue =
+      sum_over_homes (fun node g -> Squeue.avg_length node.mg_req_qs.(g));
+    avg_proposal_queue =
+      sum_over_homes (fun node g -> Squeue.avg_length node.mg_prop_qs.(g));
+    avg_dispatcher_queue =
+      sum_over_homes (fun node g -> Squeue.avg_length node.mg_disp_qs.(g));
+    replicas = Array.map report nodes;
+    leader_tx_pps = float_of_int (Nic.tx_packets nodes.(0).mg_nic) /. dur;
+    leader_rx_pps = float_of_int (Nic.rx_packets nodes.(0).mg_nic) /. dur;
+    leader_tx_mbps = float_of_int (Nic.tx_bytes nodes.(0).mg_nic) /. dur /. 1e6;
+    leader_rx_mbps = float_of_int (Nic.rx_bytes nodes.(0).mg_nic) /. dur /. 1e6;
+    rtt_leader = 0.;
+    rtt_followers = 0.;
+    rtt_idle = 0.;
+    wal_syncs;
+    wal_group_avg;
+    tuned_bsz_final = p.bsz;
+    tuned_wnd_final = p.wnd;
+    view_changes = Hashtbl.length views_seen_g;
+    unavailable_s =
+      (if chaos then begin
+         let worst = ref 0. in
+         for g = 0 to g_count - 1 do
+           let tail = p.warmup +. p.duration -. last_commit_g.(g) in
+           worst := Float.max !worst (Float.max max_gap_g.(g) tail)
+         done;
+         !worst
+       end
+       else 0.);
+    recovery_s = List.fold_left Float.max 0. !recovery_times;
+    completed = !completed;
+    safety_ok;
+    executed_min;
+    executed_max;
+    client_retries = !client_retries;
+    timeline =
+      Array.mapi
+        (fun i n -> (p.warmup +. (float_of_int i *. p.chaos_bucket), n))
+        timeline;
+    events = Engine.events_processed eng;
+    group_throughputs =
+      Array.map (fun cg -> float_of_int cg /. dur) completed_g;
+    globals_executed = !globals_executed;
+    trace = tracer }
+
+(* [groups <= 1] takes the original single-group path untouched — the
+   determinism goldens pin its event stream byte-for-byte. *)
+let run ?trace (p : Params.t) =
+  if p.groups <= 1 then run_single ?trace p else run_multi ?trace p

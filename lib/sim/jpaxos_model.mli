@@ -71,6 +71,15 @@ type result = {
           count) — the throughput trajectory through the fault schedule;
           [[||]] when [faults = []] *)
   events : int;                  (** simulation events processed *)
+  group_throughputs : float array;
+      (** per-group requests completed / second; [[| throughput |]] when
+          [groups = 1] (the single-group path reports itself as one
+          group) *)
+  globals_executed : int;
+      (** cross-group Global commands executed through the quiescence
+          barrier (multi-group runs with [conflict_ratio > 0.]);
+          [0] on the single-group path, whose Global accounting lives in
+          the parallel-ServiceManager model *)
   trace : Msmr_obs.Trace.t option;
       (** present iff [run ~trace:true]; stamped in simulated time and
           covering exactly the measured window — export with
@@ -83,4 +92,16 @@ val run : ?trace:bool -> Params.t -> result
     state), decide / batch-seal instants, lock-contention instants and
     queue-depth counters for the measured window; headline results are
     also published to {!Msmr_obs.Metrics.default} with [mode="sim"]
-    labels. *)
+    labels.
+
+    With [Params.groups <= 1] this is the classic single-group model,
+    byte-for-byte the pre-multi-group path (golden-pinned). With
+    [groups > 1] it runs the compartmentalized multi-group model:
+    [groups] independent Paxos instances per node (group [g] led by node
+    [g mod n]), a Router stage hash-partitioning client requests to
+    groups, a per-group ProxyLeader stage fanning out multi-destination
+    sends, per-group logs multiplexed over shared per-peer links, and a
+    cross-group quiescence barrier for Global commands (classified on
+    group 0's decide stream at [conflict_ratio]). Multi-group runs
+    support crash-only fault schedules; [auto_tune] and [n_batchers]
+    are ignored (static tuning, one Batcher per group). *)

@@ -54,6 +54,7 @@ type t = {
   profile : profile;
   costs : costs;
   n : int;
+  groups : int;
   cores : int;
   client_io_threads : int;
   wnd : int;
@@ -87,6 +88,7 @@ let default ?(profile = parapluie) ~n ~cores () =
   { profile;
     costs = default_costs;
     n;
+    groups = 1;
     cores;
     client_io_threads = auto_io_threads ~cores;
     wnd = 10;

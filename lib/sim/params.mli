@@ -56,6 +56,15 @@ type t = {
   profile : profile;
   costs : costs;
   n : int;                  (** replicas *)
+  groups : int;
+      (** independent consensus groups (compartmentalized multi-group
+          Paxos). [1] (the default) is the classic single-group model,
+          simulated on the exact pre-multi-group path (golden-pinned).
+          With [groups > 1] each group runs its own Paxos engine,
+          Batcher, ProxyLeader and log on every node; group [g] is led
+          by node [g mod n], spreading leader work (and leader NIC
+          load) round-robin over the cluster. Clients are partitioned
+          over groups by key hash (modelled as [cid mod groups]). *)
   cores : int;              (** cores per node *)
   client_io_threads : int;
   wnd : int;                (** max parallel ballots (WND) *)

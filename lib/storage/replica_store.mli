@@ -27,8 +27,14 @@ type event =
 
 type t
 
-val openw : ?sync:Wal.sync_policy -> dir:string -> unit -> t
-(** Default policy: [Sync_periodic] (call {!sync} from a Syncer). *)
+val openw : ?sync:Wal.sync_policy -> ?gid:int -> dir:string -> unit -> t
+(** Default policy: [Sync_periodic] (call {!sync} from a Syncer).
+
+    [gid] selects a per-group namespace for multi-group Paxos: the
+    store lives in [dir/g<gid>] with its own WAL, checkpoint and LSN
+    sequence, so one node's groups share a configured directory without
+    interleaving their logs. Omitted, the store uses [dir] itself — the
+    single-group layout, unchanged. *)
 
 val log_event : t -> event -> int
 (** Append one event; returns the store-level LSN assigned to it.
@@ -74,6 +80,7 @@ type recovered = {
   r_snapshot : (Msmr_consensus.Types.iid * bytes) option;
 }
 
-val recover : dir:string -> recovered
+val recover : ?gid:int -> dir:string -> unit -> recovered
 (** Read the checkpoint and replay the WAL. An empty or missing
-    directory yields a pristine state. *)
+    directory yields a pristine state. [gid] reads the per-group
+    namespace [dir/g<gid>] (see {!openw}). *)

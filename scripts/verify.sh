@@ -29,7 +29,8 @@ bench_file="$(mktemp /tmp/msmr-verify-bench.XXXXXX.json)"
 bench3_file="$(mktemp /tmp/msmr-verify-bench3.XXXXXX.json)"
 bench4_file="$(mktemp /tmp/msmr-verify-bench4.XXXXXX.json)"
 bench5_file="$(mktemp /tmp/msmr-verify-bench5.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file" "$bench5_file"' EXIT
+bench6_file="$(mktemp /tmp/msmr-verify-bench6.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file" "$bench5_file" "$bench6_file"' EXIT
 
 dune exec bin/sim_probe.exe -- --trace "$trace_file" --metrics "$metrics_file"
 
@@ -203,5 +204,75 @@ else
   [ -s "$bench5_committed" ] || { echo "FAIL: $bench5_committed empty" >&2; exit 1; }
   echo "bench005 committed: jq not installed, checked file is non-empty"
 fi
+
+echo "== bench006 smoke (quick) =="
+dune exec bench/main.exe -- bench006 --quick --bench006-out "$bench6_file"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench6_file"
+  pts=$(jq '.points | length' "$bench6_file")
+  bad=$(jq '[.points[] | select(.throughput_rps <= 0)] | length' "$bench6_file")
+  # Per-group throughputs must sum to the total (the router loses
+  # nothing), and the barrier run must actually execute Global commands.
+  split_bad=$(jq '[.points[]
+                   | select((([.group_throughputs_rps[]] | add)
+                             - .throughput_rps | fabs)
+                            > 0.01 * .throughput_rps)] | length' "$bench6_file")
+  globals=$(jq '.barrier.globals_executed' "$bench6_file")
+  echo "bench006 smoke: $pts points, $globals globals through the barrier"
+  [ "$pts" -eq 6 ] || { echo "FAIL: expected 6 multi-group points" >&2; exit 1; }
+  [ "$bad" -eq 0 ] || { echo "FAIL: non-positive throughput in bench006 smoke" >&2; exit 1; }
+  [ "$split_bad" -eq 0 ] || { echo "FAIL: per-group throughputs do not sum to the total" >&2; exit 1; }
+  [ "$globals" -gt 0 ] || { echo "FAIL: barrier run executed no Global commands" >&2; exit 1; }
+else
+  [ -s "$bench6_file" ] || { echo "FAIL: $bench6_file empty" >&2; exit 1; }
+  case "$(head -c1 "$bench6_file")" in
+    '{') ;;
+    *) echo "FAIL: $bench6_file does not look like JSON" >&2; exit 1 ;;
+  esac
+  echo "bench006 smoke: jq not installed, checked file is non-empty JSON"
+fi
+
+echo "== bench006 committed results gate =="
+bench6_committed="bench/BENCH_006.json"
+[ -f "$bench6_committed" ] || { echo "FAIL: $bench6_committed missing" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench6_committed"
+  quick=$(jq '.quick' "$bench6_committed")
+  pts=$(jq '.points | length' "$bench6_committed")
+  schema_bad=$(jq '[.points[] | select((.groups? and .cores?
+                    and .throughput_rps? and .speedup_vs_g1?
+                    and .group_throughputs_rps?) | not)] | length' \
+               "$bench6_committed")
+  # The tentpole's acceptance gate: sharding the ordering path over 4
+  # groups must at least double single-group throughput at 24 cores
+  # (the single group is NIC-bound at its one leader; each extra group
+  # adds another leader NIC to the budget).
+  scale_ok=$(jq '[.points[] | select(.groups == 4 and .cores == 24
+                  and .speedup_vs_g1 >= 2)] | length >= 1' "$bench6_committed")
+  globals=$(jq '.barrier.globals_executed' "$bench6_committed")
+  echo "bench006 committed: $pts points, 4-group@24-core >= 2x: $scale_ok, $globals globals"
+  [ "$quick" = "false" ] || { echo "FAIL: committed bench006 was a --quick run" >&2; exit 1; }
+  [ "$pts" -ge 6 ] || { echo "FAIL: expected >= 6 committed bench006 points" >&2; exit 1; }
+  [ "$schema_bad" -eq 0 ] || { echo "FAIL: bench006 point missing required fields" >&2; exit 1; }
+  [ "$scale_ok" = "true" ] || { echo "FAIL: 4 groups at 24 cores below 2x single-group throughput" >&2; exit 1; }
+  [ "$globals" -gt 0 ] || { echo "FAIL: committed barrier run executed no Global commands" >&2; exit 1; }
+else
+  [ -s "$bench6_committed" ] || { echo "FAIL: $bench6_committed empty" >&2; exit 1; }
+  echo "bench006 committed: jq not installed, checked file is non-empty"
+fi
+
+echo "== docs metrics gate =="
+# Every metric name the code can register must be documented: a
+# quoted msmr_* string in lib/ that never appears in
+# docs/OBSERVABILITY.md fails the build (names there are written out in
+# full, never brace-compressed, exactly so this check can be literal).
+missing=0
+for m in $(grep -rhoE '"msmr_[a-z0-9_]+"' lib/ | tr -d '"' | sort -u); do
+  grep -q "$m" docs/OBSERVABILITY.md \
+    || { echo "FAIL: metric $m not documented in docs/OBSERVABILITY.md" >&2; missing=1; }
+done
+[ "$missing" -eq 0 ] || exit 1
+echo "docs: $(grep -rhoE '"msmr_[a-z0-9_]+"' lib/ | sort -u | wc -l) metric names all documented"
 
 echo "== verify OK =="

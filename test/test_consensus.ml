@@ -1326,3 +1326,50 @@ let suite =
   suite
   @ [ Alcotest.test_case "cluster: deep catch-up paginates" `Quick
         test_cluster_deep_catchup_paginates ]
+
+(* Multi-group Paxos: a group bootstrapping at view0 = gid is led by
+   node gid mod n from the first action, with no Phase 1. *)
+let test_paxos_view0_bootstrap () =
+  let cfg = Config.default ~n:3 in
+  Alcotest.(check int) "group 0 led by node 0" 0
+    (Config.initial_leader_of_group cfg ~gid:0);
+  Alcotest.(check int) "group 4 wraps to node 1" 1
+    (Config.initial_leader_of_group cfg ~gid:4);
+  let engines = Array.init 3 (fun me -> Paxos.create ~view0:2 cfg ~me) in
+  Array.iteri
+    (fun me e ->
+       let actions = Paxos.bootstrap e in
+       let view_changes =
+         List.filter_map
+           (function
+             | Paxos.View_changed { view; leader; i_am_leader } ->
+               Some (view, leader, i_am_leader)
+             | _ -> None)
+           actions
+       in
+       Alcotest.(check (list (triple int int bool)))
+         (Printf.sprintf "node %d reports view 2, leader 2" me)
+         [ (2, 2, me = 2) ]
+         view_changes;
+       Alcotest.(check int) "engine view" 2 (Paxos.view e);
+       Alcotest.(check int) "engine leader" 2 (Paxos.leader e);
+       Alcotest.(check bool) "leadership matches" (me = 2) (Paxos.is_leader e);
+       (* Fresh group: the leader must not run Phase 1 (no Prepare). *)
+       Alcotest.(check bool) "no Prepare on bootstrap" true
+         (List.for_all
+            (function
+              | Paxos.Send { msg = Msg.Prepare _; _ }
+              | Paxos.Schedule_rtx { msg = Msg.Prepare _; _ } -> false
+              | _ -> true)
+            actions))
+    engines;
+  (* Default view0 = 0 stays the classic node-0-led layout. *)
+  let e0 = Paxos.create cfg ~me:0 in
+  ignore (Paxos.bootstrap e0);
+  Alcotest.(check int) "default view 0" 0 (Paxos.view e0);
+  Alcotest.(check bool) "node 0 leads by default" true (Paxos.is_leader e0)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "paxos: view0 bootstrap (multi-group)" `Quick
+        test_paxos_view0_bootstrap ]

@@ -841,3 +841,205 @@ let suite =
         test_cluster_executors_snapshot_quiescence;
       Alcotest.test_case "cluster: executors with Global-only service" `Quick
         test_cluster_executors_global_service ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-group Paxos: the router partition function and the sharded
+   in-process cluster (Replica_group). *)
+
+let test_router_partition () =
+  let groups = 4 in
+  let keys = List.init 64 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter
+    (fun k ->
+       let g = Router.group_of_key ~groups k in
+       Alcotest.(check bool) "in range" true (g >= 0 && g < groups);
+       Alcotest.(check int) "stable" g (Router.group_of_key ~groups k))
+    keys;
+  Alcotest.(check bool) "hash actually spreads keys" true
+    (List.length
+       (List.sort_uniq compare (List.map (Router.group_of_key ~groups) keys))
+     > 1);
+  Alcotest.(check int) "groups=1 degenerates to 0" 0
+    (Router.group_of_key ~groups:1 "anything");
+  Alcotest.(check int) "client partition is cid mod groups" 3
+    (Router.group_of_client ~groups 7);
+  Alcotest.(check bool) "groups < 1 rejected" true
+    (try
+       ignore (Router.group_of_key ~groups:0 "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_router_targets () =
+  let groups = 4 in
+  let t c = Router.target_of_conflict ~groups ~fallback:9 c in
+  Alcotest.(check bool) "Global stays Global" true
+    (t Service.Global = Router.Global);
+  Alcotest.(check bool) "no keys falls back to the client's group" true
+    (t (Service.Keys []) = Router.Group (Router.group_of_client ~groups 9));
+  let g_a = Router.group_of_key ~groups "a" in
+  Alcotest.(check bool) "single key routes to its group" true
+    (t (Service.Keys [ "a" ]) = Router.Group g_a);
+  Alcotest.(check bool) "same-group key set stays grouped" true
+    (t (Service.Keys [ "a"; "a" ]) = Router.Group g_a);
+  (* A key set spanning two groups cannot be ordered by one log. *)
+  let rec other_group i =
+    let k = Printf.sprintf "probe-%d" i in
+    if Router.group_of_key ~groups k <> g_a then k else other_group (i + 1)
+  in
+  Alcotest.(check bool) "spanning key set promoted to Global" true
+    (t (Service.Keys [ "a"; other_group 0 ]) = Router.Global)
+
+(* A keyed counter: payload "k:v" adds v to counter k (conflict class k)
+   and replies with the new value; any other payload is Global and
+   replies with the sum of this instance's counters. State is
+   partitioned across groups, so a group's instance only ever holds its
+   own partition's keys. *)
+let keyed_counter () =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let parse payload =
+    match String.index_opt payload ':' with
+    | Some i ->
+      Some
+        ( String.sub payload 0 i,
+          int_of_string
+            (String.sub payload (i + 1) (String.length payload - i - 1)) )
+    | None -> None
+  in
+  Service.make
+    ~conflict_keys:(fun (req : Client_msg.request) ->
+        match parse (Bytes.to_string req.payload) with
+        | Some (k, _) -> Service.Keys [ k ]
+        | None -> Service.Global)
+    ~execute:(fun req ->
+        match parse (Bytes.to_string req.payload) with
+        | Some (k, v) ->
+          let v' = Option.value (Hashtbl.find_opt tbl k) ~default:0 + v in
+          Hashtbl.replace tbl k v';
+          Bytes.of_string (string_of_int v')
+        | None ->
+          Bytes.of_string
+            (string_of_int (Hashtbl.fold (fun _ v acc -> acc + v) tbl 0)))
+    ~snapshot:(fun () ->
+        Bytes.of_string
+          (String.concat ";"
+             (List.sort compare
+                (Hashtbl.fold
+                   (fun k v acc -> Printf.sprintf "%s:%d" k v :: acc)
+                   tbl []))))
+    ~restore:(fun b ->
+        Hashtbl.reset tbl;
+        List.iter
+          (fun s ->
+             match String.index_opt s ':' with
+             | Some i ->
+               Hashtbl.replace tbl (String.sub s 0 i)
+                 (int_of_string
+                    (String.sub s (i + 1) (String.length s - i - 1)))
+             | None -> ())
+          (String.split_on_char ';' (Bytes.to_string b)))
+    ()
+
+let with_group ?(groups = 2) ?proxy_leaders f =
+  let rg =
+    Replica_group.create ?proxy_leaders ~groups ~cfg:(test_cfg 3)
+      ~service:(fun ~gid:_ -> keyed_counter ())
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Replica_group.stop rg) (fun () -> f rg)
+
+let rg_call rg ~client_id ~seq payload =
+  let raw =
+    Client_msg.request_to_bytes
+      { Client_msg.id = { client_id; seq }; payload = Bytes.of_string payload }
+  in
+  let box = Msmr_platform.Bounded_queue.create ~capacity:1 in
+  Replica_group.submit rg ~raw ~reply_to:(fun b ->
+      ignore (Msmr_platform.Bounded_queue.try_put box b));
+  match Msmr_platform.Bounded_queue.take_timeout box ~timeout_s:5.0 with
+  | Some raw -> Bytes.to_string (Client_msg.reply_of_bytes raw).result
+  | None -> Alcotest.failf "no reply for %S" payload
+
+(* A key guaranteed to route to group [g] of [groups]. *)
+let key_in_group ~groups g =
+  let rec go i =
+    let k = Printf.sprintf "k%d-%d" g i in
+    if Router.group_of_key ~groups k = g then k else go (i + 1)
+  in
+  go 0
+
+let test_replica_group_partitions () =
+  with_group @@ fun rg ->
+  Replica_group.await_leaders rg;
+  let k0 = key_in_group ~groups:2 0 and k1 = key_in_group ~groups:2 1 in
+  (* Interleaved increments: each key's counter accumulates in order
+     inside its own group's log, independent of the other group. *)
+  Alcotest.(check string) "k0 first" "5"
+    (rg_call rg ~client_id:1 ~seq:1 (k0 ^ ":5"));
+  Alcotest.(check string) "k1 first" "7"
+    (rg_call rg ~client_id:1 ~seq:2 (k1 ^ ":7"));
+  Alcotest.(check string) "k0 second" "6"
+    (rg_call rg ~client_id:1 ~seq:3 (k0 ^ ":1"));
+  Alcotest.(check string) "k1 second" "9"
+    (rg_call rg ~client_id:1 ~seq:4 (k1 ^ ":2"));
+  Alcotest.(check int) "router counted every request" 4
+    (Replica_group.routed_count rg);
+  Alcotest.(check int) "no globals yet" 0 (Replica_group.globals_count rg);
+  (* Each group ordered exactly its own partition. *)
+  let executed gid =
+    Replica.executed_count
+      (Replica.Cluster.await_leader (Replica_group.cluster rg ~gid))
+  in
+  Alcotest.(check int) "group 0 executed its two" 2 (executed 0);
+  Alcotest.(check int) "group 1 executed its two" 2 (executed 1);
+  (* Group leadership is spread: group 1's initial leader is node 1. *)
+  Alcotest.(check int) "group 1 led by node 1" 1
+    (Replica.me (Replica.Cluster.await_leader (Replica_group.cluster rg ~gid:1)))
+
+let test_replica_group_global_barrier () =
+  with_group @@ fun rg ->
+  Replica_group.await_leaders rg;
+  let k0 = key_in_group ~groups:2 0 and k1 = key_in_group ~groups:2 1 in
+  ignore (rg_call rg ~client_id:1 ~seq:1 (k0 ^ ":5"));
+  ignore (rg_call rg ~client_id:1 ~seq:2 (k1 ^ ":7"));
+  (* The Global executes through group 0's log after both groups have
+     quiesced: its reply reflects group 0's partition of the state. *)
+  Alcotest.(check string) "global sees group 0's partition" "5"
+    (rg_call rg ~client_id:1 ~seq:3 "sum");
+  Alcotest.(check int) "one barrier crossing" 1
+    (Replica_group.globals_count rg);
+  (* The gate reopened: keyed traffic flows again afterwards. *)
+  Alcotest.(check string) "traffic resumes" "6"
+    (rg_call rg ~client_id:1 ~seq:4 (k0 ^ ":1"))
+
+let test_replica_group_proxy_leaders () =
+  (* Same workload through the ProxyLeader fan-out stage: multicasts
+     leave via proxy threads instead of the Protocol thread. *)
+  with_group ~proxy_leaders:1 @@ fun rg ->
+  Replica_group.await_leaders rg;
+  let k0 = key_in_group ~groups:2 0 and k1 = key_in_group ~groups:2 1 in
+  for i = 1 to 10 do
+    let k = if i mod 2 = 0 then k0 else k1 in
+    ignore (rg_call rg ~client_id:1 ~seq:i (k ^ ":1"))
+  done;
+  Alcotest.(check int) "all routed" 10 (Replica_group.routed_count rg);
+  (* The proxies actually carried fan-out: each group's leader multicast
+     its Accepts through the proxy queue. *)
+  let fanout gid =
+    let leader = Replica.Cluster.await_leader (Replica_group.cluster rg ~gid) in
+    Replica.proxy_fanout_count leader
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "proxy fan-out counted (%d, %d)" (fanout 0) (fanout 1))
+    true
+    (fanout 0 > 0 && fanout 1 > 0)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "router: key partition" `Quick test_router_partition;
+      Alcotest.test_case "router: conflict targets" `Quick test_router_targets;
+      Alcotest.test_case "replica group: partitions and replies" `Quick
+        test_replica_group_partitions;
+      Alcotest.test_case "replica group: cross-group Global barrier" `Quick
+        test_replica_group_global_barrier;
+      Alcotest.test_case "replica group: proxy-leader fan-out" `Quick
+        test_replica_group_proxy_leaders ]

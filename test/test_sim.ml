@@ -591,6 +591,95 @@ let test_chaos_fsync_stall_durable () =
   Alcotest.(check bool) "progress despite the stall" true (r1.completed > 500);
   Alcotest.(check int) "deterministic" r1.events r2.events
 
+(* Compartmentalized multi-group Paxos in the model. *)
+
+let test_multigroup_single_group_unchanged () =
+  (* groups = 1 must dispatch to the exact pre-multi-group simulation
+     path: the serial-baseline golden still holds, the per-group split
+     degenerates to the total, and no Global barrier ever runs. *)
+  let r = Jpaxos_model.run { (small_params ()) with groups = 1 } in
+  let lo = 33_500. *. 0.95 and hi = 33_500. *. 1.05 in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.0f within 5%% of 33500" r.throughput)
+    true
+    (r.throughput >= lo && r.throughput <= hi);
+  Alcotest.(check int) "one group reported" 1
+    (Array.length r.group_throughputs);
+  Alcotest.(check (float 0.)) "split equals total" r.throughput
+    r.group_throughputs.(0);
+  Alcotest.(check int) "no globals on the single-group path" 0
+    r.globals_executed
+
+let test_multigroup_deterministic () =
+  let p = { (small_params ()) with groups = 4 } in
+  let r1 = Jpaxos_model.run p in
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check (float 0.)) "same throughput" r1.throughput r2.throughput;
+  Alcotest.(check int) "same completed" r1.completed r2.completed;
+  Alcotest.(check int) "same event count" r1.events r2.events;
+  Array.iteri
+    (fun g t ->
+       Alcotest.(check (float 0.))
+         (Printf.sprintf "group %d split identical" g)
+         t r2.group_throughputs.(g))
+    r1.group_throughputs
+
+let test_multigroup_scales_past_single_leader () =
+  (* The tentpole: one group is NIC-bound at its single leader; four
+     groups spread the leader role over the nodes' NICs. The committed
+     bench (bench/BENCH_006.json) gates the full-length ratio. *)
+  let mg groups =
+    let p = Params.default ~n:3 ~cores:24 () in
+    Jpaxos_model.run { p with groups; warmup = 0.1; duration = 0.3 }
+  in
+  let r1 = mg 1 and r4 = mg 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 groups (%.0f) >= 2x one group (%.0f)" r4.throughput
+       r1.throughput)
+    true
+    (r4.throughput >= 2. *. r1.throughput);
+  Alcotest.(check int) "four splits" 4 (Array.length r4.group_throughputs);
+  let sum = Array.fold_left ( +. ) 0. r4.group_throughputs in
+  Alcotest.(check bool) "splits sum to the total" true
+    (Float.abs (sum -. r4.throughput) <= 0.01 *. r4.throughput);
+  Alcotest.(check bool) "every group made progress" true
+    (Array.for_all (fun t -> t > 1000.) r4.group_throughputs)
+
+let test_multigroup_global_barrier () =
+  (* A Global slice must actually cross the barrier (quiesce every
+     group, execute through group 0) without hurting safety. *)
+  let p = { (small_params ()) with groups = 4; conflict_ratio = 0.05 } in
+  let r = Jpaxos_model.run p in
+  Alcotest.(check bool)
+    (Printf.sprintf "globals executed (%d)" r.globals_executed)
+    true (r.globals_executed > 0);
+  Alcotest.(check bool) "linearizable with barriers" true r.safety_ok;
+  Alcotest.(check bool) "throughput survives the barrier" true
+    (r.throughput > 1000.);
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check int) "barrier path deterministic" r.events r2.events;
+  Alcotest.(check int) "same globals" r.globals_executed r2.globals_executed
+
+let test_multigroup_chaos_one_group_crash_isolated () =
+  (* Crash node 0 — the leader of group 0 (g mod n = 0) but a follower
+     of group 1 (led by node 1). Group 1 must keep its leader and carry
+     most of the run's throughput while group 0 fails over. *)
+  let p =
+    { (chaos_params ~duration:1.0
+         [ Sfault.Crash { node = 0; at = 0.4; restart_at = Some 0.7 } ])
+      with groups = 2 }
+  in
+  let r = Jpaxos_model.run p in
+  Alcotest.(check bool) "group 0 failed over" true (r.view_changes >= 1);
+  Alcotest.(check bool) "linearizable in every group" true r.safety_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "unaffected group carried on (g0 %.0f, g1 %.0f)"
+       r.group_throughputs.(0) r.group_throughputs.(1))
+    true
+    (r.group_throughputs.(1) > 1.5 *. r.group_throughputs.(0));
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check int) "chaos multi-group deterministic" r.events r2.events
+
 let suite =
   [
     Alcotest.test_case "engine: delay ordering" `Quick test_engine_delay_ordering;
@@ -649,4 +738,14 @@ let suite =
     Alcotest.test_case "chaos: seeded random soak" `Slow test_chaos_random_soak;
     Alcotest.test_case "chaos: fsync stall (durable)" `Quick
       test_chaos_fsync_stall_durable;
+    Alcotest.test_case "multigroup: groups=1 path unchanged" `Quick
+      test_multigroup_single_group_unchanged;
+    Alcotest.test_case "multigroup: deterministic" `Quick
+      test_multigroup_deterministic;
+    Alcotest.test_case "multigroup: scales past the single leader" `Slow
+      test_multigroup_scales_past_single_leader;
+    Alcotest.test_case "multigroup: cross-group Global barrier" `Quick
+      test_multigroup_global_barrier;
+    Alcotest.test_case "multigroup: crash in one group isolated" `Slow
+      test_multigroup_chaos_one_group_crash_isolated;
   ]

@@ -230,7 +230,7 @@ let test_store_roundtrip () =
   ignore (Replica_store.log_event store (Replica_store.Decided { iid = 0; view = 3 }));
   ignore (Replica_store.sync store);
   Replica_store.close store;
-  let r = Replica_store.recover ~dir in
+  let r = Replica_store.recover ~dir () in
   Alcotest.(check int) "view" 3 r.r_view;
   Alcotest.(check int) "decided count" 1 (List.length r.r_decided);
   Alcotest.(check int) "accepted (undecided) count" 1 (List.length r.r_accepted);
@@ -253,7 +253,7 @@ let test_store_higher_view_acceptance_wins () =
     (Replica_store.log_event store
        (Replica_store.Accepted { iid = 5; view = 2; value = batch_value 3 }));
   Replica_store.close store;
-  let r = Replica_store.recover ~dir in
+  let r = Replica_store.recover ~dir () in
   (match r.r_accepted with
    | [ (5, 4, v) ] ->
      Alcotest.(check bool) "view-4 value" true (Value.equal v (batch_value 2))
@@ -273,7 +273,7 @@ let test_store_checkpoint () =
        (Replica_store.Accepted { iid = 1; view = 0; value = batch_value 1 }));
   ignore (Replica_store.log_event store (Replica_store.Decided { iid = 1; view = 0 }));
   Replica_store.close store;
-  let r = Replica_store.recover ~dir in
+  let r = Replica_store.recover ~dir () in
   (match r.r_snapshot with
    | Some (1, state) -> Alcotest.(check string) "state" "S1" (Bytes.to_string state)
    | _ -> Alcotest.fail "missing snapshot");
@@ -284,7 +284,7 @@ let test_store_checkpoint () =
 
 let test_store_empty_dir () =
   with_tmp_dir @@ fun dir ->
-  let r = Replica_store.recover ~dir in
+  let r = Replica_store.recover ~dir () in
   Alcotest.(check int) "view 0" 0 r.r_view;
   Alcotest.(check bool) "empty" true
     (r.r_accepted = [] && r.r_decided = [] && r.r_snapshot = None)
@@ -340,7 +340,7 @@ let test_store_crash_mid_group_commit () =
     let d2 = Filename.concat root (Printf.sprintf "cut-%d" cut) in
     Unix.mkdir d2 0o755;
     write_file (Filename.concat d2 "wal-000000.log") (String.sub data 0 cut);
-    let r = Replica_store.recover ~dir:d2 in
+    let r = Replica_store.recover ~dir:d2 () in
     Alcotest.(check int) (Printf.sprintf "cut %d view" cut) 1 r.r_view;
     let iids = List.map (fun (iid, _, _) -> iid) r.r_accepted in
     List.iter
@@ -454,7 +454,7 @@ let test_stable_storage_gates_sends () =
         (sent_msgs ()));
   R.Replica.stop replica;
   (* The release was honest: the acceptance is on stable storage. *)
-  let r = Replica_store.recover ~dir in
+  let r = Replica_store.recover ~dir () in
   Alcotest.(check bool) "acceptance durable" true
     (List.exists
        (fun (iid, view, value) ->
@@ -620,3 +620,38 @@ let suite =
     Alcotest.test_case "cluster: restart with Sync_every_write" `Quick
       test_cluster_restart_sync_every_write;
   ]
+
+(* Multi-group Paxos: per-group store namespaces under one directory. *)
+let test_store_group_namespaces () =
+  with_tmp_dir @@ fun dir ->
+  let s0 = Replica_store.openw ~sync:Wal.No_sync ~gid:0 ~dir () in
+  let s1 = Replica_store.openw ~sync:Wal.No_sync ~gid:1 ~dir () in
+  ignore (Replica_store.log_event s0 (Replica_store.View 3));
+  ignore
+    (Replica_store.log_event s0
+       (Replica_store.Accepted { iid = 0; view = 3; value = Value.Noop }));
+  ignore (Replica_store.log_event s1 (Replica_store.View 7));
+  Replica_store.close s0;
+  Replica_store.close s1;
+  (* Each group recovers only its own log... *)
+  let r0 = Replica_store.recover ~gid:0 ~dir () in
+  let r1 = Replica_store.recover ~gid:1 ~dir () in
+  Alcotest.(check int) "group 0 view" 3 r0.r_view;
+  Alcotest.(check int) "group 0 accepted" 1 (List.length r0.r_accepted);
+  Alcotest.(check int) "group 1 view" 7 r1.r_view;
+  Alcotest.(check int) "group 1 saw no group-0 acceptances" 0
+    (List.length r1.r_accepted);
+  (* ...the groups live in dir/g<gid>... *)
+  Alcotest.(check bool) "g0 and g1 subdirectories" true
+    (Sys.is_directory (Filename.concat dir "g0")
+     && Sys.is_directory (Filename.concat dir "g1"));
+  (* ...and the classic ungrouped layout in the same dir is untouched. *)
+  let plain = Replica_store.recover ~dir () in
+  Alcotest.(check int) "ungrouped namespace pristine" 0 plain.r_view;
+  Alcotest.(check bool) "ungrouped has no snapshot" true
+    (plain.r_snapshot = None)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "store: per-group namespaces" `Quick
+        test_store_group_namespaces ]
