@@ -16,6 +16,8 @@ type t = {
   wnd_min : int;
   wnd_max : int;
   tune_epoch_s : float;
+  lockfree : bool;
+  steal : bool;
 }
 
 let default ~n =
@@ -37,6 +39,8 @@ let default ~n =
     wnd_min = 1;
     wnd_max = 64;
     tune_epoch_s = 0.01;
+    lockfree = true;
+    steal = true;
   }
 
 let validate t =

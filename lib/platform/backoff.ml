@@ -1,0 +1,30 @@
+type t = {
+  yield_rounds : int;
+  min_sleep_s : float;
+  max_sleep_s : float;
+  mutable round : int;
+}
+
+let create ?(yield_rounds = 4) ?(min_sleep_s = 2e-5) ?(max_sleep_s = 1e-3) () =
+  if yield_rounds < 0 then invalid_arg "Backoff.create: yield_rounds < 0";
+  if min_sleep_s <= 0. || max_sleep_s < min_sleep_s then
+    invalid_arg "Backoff.create: bad sleep bounds";
+  { yield_rounds; min_sleep_s; max_sleep_s; round = 0 }
+
+let reset t = t.round <- 0
+
+let current_sleep_s t =
+  if t.round < t.yield_rounds then 0.
+  else
+    let k = t.round - t.yield_rounds in
+    (* 2^k growth, capped. [k] is small (the cap bites within ~7
+       doublings for the default bounds), so the shift cannot overflow. *)
+    Float.min t.max_sleep_s (t.min_sleep_s *. float_of_int (1 lsl min k 16))
+
+let once ?st t =
+  let nap = current_sleep_s t in
+  t.round <- t.round + 1;
+  let wait () = if nap = 0. then Thread.yield () else Mclock.sleep_s nap in
+  match st with
+  | None -> wait ()
+  | Some st -> Thread_state.enter st Thread_state.Waiting wait

@@ -1,0 +1,27 @@
+(** Capped exponential backoff for polling loops.
+
+    Raw [Thread.yield] polling burns a core and thrashes the scheduler
+    when the awaited condition is slow; a fixed sleep adds latency when
+    it is fast. This waiter starts with a few free yields and then
+    doubles a short sleep up to a cap, so a poll loop is cheap on the
+    fast path and cheap on the CPU on the slow path.
+
+    One [t] per waiting site, reset whenever the loop makes progress.
+    Not thread-safe: a [t] belongs to the (single) polling thread. *)
+
+type t
+
+val create :
+  ?yield_rounds:int -> ?min_sleep_s:float -> ?max_sleep_s:float -> unit -> t
+(** Defaults: 4 pure yields, then sleeps from 20 µs doubling to 1 ms. *)
+
+val reset : t -> unit
+(** Call when the awaited condition made progress. *)
+
+val once : ?st:Thread_state.t -> t -> unit
+(** Wait one round (yield or sleep, per the schedule) and advance the
+    schedule. With [st], the wait is accounted as [Waiting]. *)
+
+val current_sleep_s : t -> float
+(** The sleep the next {!once} would take (0 during the yield phase);
+    exposed for tests and for deadline arithmetic in timed waits. *)

@@ -56,6 +56,21 @@ val take_batch : ?st:Thread_state.t -> 'a t -> max:int -> 'a list
     thread to amortise locking.
     @raise Closed if the queue is closed and drained. *)
 
+val take_batch_into : ?st:Thread_state.t -> 'a t -> buf:'a option array -> int
+(** Allocation-light {!take_batch}: blocks until at least one element is
+    available, then drains up to [Array.length buf] elements into
+    [buf.(0) .. buf.(n-1)] (as [Some v], remaining slots reset to
+    [None]) and returns [n]. The hottest drain edges (sender, stable
+    storage, batcher) reuse one scratch buffer instead of building a
+    list per drain. @raise Closed if the queue is closed and drained.
+    @raise Invalid_argument if [buf] is empty. *)
+
+val drain_into : 'a t -> buf:'a option array -> int
+(** Non-blocking {!take_batch_into}: drains whatever is immediately
+    available (possibly nothing) into [buf] and returns the count.
+    Never raises, even on a closed queue.
+    @raise Invalid_argument if [buf] is empty. *)
+
 val close : 'a t -> unit
 (** Close the queue: subsequent [put]s raise {!Closed}; [take]s keep
     draining the remaining elements and raise {!Closed} once empty. All

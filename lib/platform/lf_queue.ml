@@ -1,0 +1,142 @@
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+end
+
+let ceil_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+module Spsc_core (A : ATOMIC) = struct
+  type 'a t = {
+    slots : 'a option array;
+    mask : int;
+    capacity : int;
+    head : int A.t; (* next index to pop; owned by the consumer *)
+    tail : int A.t; (* next index to push; owned by the producer *)
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Spsc.create: capacity <= 0";
+    let n = ceil_pow2 capacity in
+    {
+      slots = Array.make n None;
+      mask = n - 1;
+      capacity;
+      head = A.make 0;
+      tail = A.make 0;
+    }
+
+  let capacity t = t.capacity
+  let length t = max 0 (A.get t.tail - A.get t.head)
+
+  (* Publication discipline: the producer writes the slot (plain) and then
+     publishes it with the atomic [tail] store; the consumer reads [tail]
+     before touching the slot, so the atomic pair orders the plain
+     accesses (message-passing idiom of the OCaml memory model). Indices
+     grow monotonically and are taken mod a power of two; at 63-bit ints
+     they cannot wrap in any realistic run, so there is no ABA. *)
+
+  let try_push t x =
+    let tail = A.get t.tail in
+    let head = A.get t.head in
+    if tail - head >= t.capacity then false
+    else begin
+      t.slots.(tail land t.mask) <- Some x;
+      A.set t.tail (tail + 1);
+      true
+    end
+
+  let try_pop t =
+    let head = A.get t.head in
+    let tail = A.get t.tail in
+    if tail - head <= 0 then None
+    else begin
+      let i = head land t.mask in
+      let v = t.slots.(i) in
+      t.slots.(i) <- None;
+      A.set t.head (head + 1);
+      v
+    end
+end
+
+module Mpmc_core (A : ATOMIC) = struct
+  (* Vyukov bounded MPMC queue: each cell carries a sequence number that
+     encodes whose turn it is. A producer claims ticket [tail] with a CAS
+     and owns cell [tail mod n] until it bumps the cell's sequence to
+     [tail + 1]; a consumer claims ticket [head], reads the cell, and
+     recycles it for the producer one lap ahead by setting the sequence
+     to [head + n]. Contenders never spin on a shared lock — a CAS loser
+     just rereads and retries. *)
+  type 'a t = {
+    slots : 'a option array;
+    seq : int A.t array;
+    mask : int;
+    n : int; (* capacity, rounded up to a power of two *)
+    head : int A.t;
+    tail : int A.t;
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Mpmc.create: capacity <= 0";
+    (* A one-cell ring cannot work: a pop recycles the cell to
+       [head + n] = [head + 1], which is exactly the value a push
+       publishes, so a push one lap ahead mistakes a full cell for its
+       turn and overwrites the unconsumed element. Two cells keep the
+       publish and recycle values one lap apart. *)
+    let n = max 2 (ceil_pow2 capacity) in
+    {
+      slots = Array.make n None;
+      seq = Array.init n (fun i -> A.make i);
+      mask = n - 1;
+      n;
+      head = A.make 0;
+      tail = A.make 0;
+    }
+
+  let capacity t = t.n
+  let length t = max 0 (A.get t.tail - A.get t.head)
+
+  let try_push t x =
+    let rec loop () =
+      let tail = A.get t.tail in
+      let i = tail land t.mask in
+      let d = A.get t.seq.(i) - tail in
+      if d = 0 then
+        if A.compare_and_set t.tail tail (tail + 1) then begin
+          t.slots.(i) <- Some x;
+          A.set t.seq.(i) (tail + 1);
+          true
+        end
+        else loop ()
+      else if d < 0 then false (* a full lap behind: queue is full *)
+      else loop () (* another producer is mid-claim; reread *)
+    in
+    loop ()
+
+  let try_pop t =
+    let rec loop () =
+      let head = A.get t.head in
+      let i = head land t.mask in
+      let d = A.get t.seq.(i) - (head + 1) in
+      if d = 0 then
+        if A.compare_and_set t.head head (head + 1) then begin
+          let v = t.slots.(i) in
+          t.slots.(i) <- None;
+          A.set t.seq.(i) (head + t.n);
+          v
+        end
+        else loop ()
+      else if d < 0 then None (* cell not yet published: queue is empty *)
+      else loop ()
+    in
+    loop ()
+end
+
+module Spsc = Spsc_core (Atomic)
+module Mpmc = Mpmc_core (Atomic)

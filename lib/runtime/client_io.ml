@@ -1,4 +1,5 @@
-module Bq = Msmr_platform.Bounded_queue
+module Bq = Msmr_platform.Channel
+module Backoff = Msmr_platform.Backoff
 module Mpsc = Msmr_platform.Mpsc_queue
 module Cmap = Msmr_platform.Concurrent_map
 module Worker = Msmr_platform.Worker
@@ -75,6 +76,7 @@ let drain_replies t (ctx : worker_ctx) =
 let worker_loop t idx st =
   let ctx = t.workers.(idx) in
   let pending : Client_msg.request option ref = ref None in
+  let bo = Backoff.create ~max_sleep_s:0.0005 () in
   let running = ref true in
   while !running do
     (* 1. Replies out (coalesced per connection). *)
@@ -82,12 +84,14 @@ let worker_loop t idx st =
     (* 2. Back-pressured hand-off to the Batcher. *)
     (match !pending with
      | Some req ->
-       if Bq.try_put t.request_queue req then pending := None
+       if Bq.try_put t.request_queue req then begin
+         pending := None;
+         Backoff.reset bo
+       end
        else
          (* RequestQueue full: the pipeline is saturated; stop pulling
             new requests (back-pressure) but keep replies flowing. *)
-         Thread_state.enter st Thread_state.Waiting (fun () ->
-             Mclock.sleep_s 0.0003)
+         Backoff.once ~st bo
      | None -> (
          (* 3. New requests in. The short timeout batches reply drains:
             on loaded single-core hosts, waking per reply costs more in
@@ -118,11 +122,14 @@ let metric_names =
   [ "msmr_client_io_requests_total"; "msmr_client_io_replies_total";
     "msmr_client_io_malformed_total"; "msmr_client_io_flushes" ]
 
-let create ?(name_prefix = "") ~pool_size ~request_queue ~reply_cache () =
+let create ?(name_prefix = "") ?(lockfree = true) ~pool_size ~request_queue
+    ~reply_cache () =
   if pool_size <= 0 then invalid_arg "Client_io.create: pool_size <= 0";
   let workers =
+    (* Ingress is many connection threads -> one worker: MPMC ring. *)
     Array.init pool_size (fun _ ->
-        { ingress = Bq.create ~capacity:256; replies = Mpsc.create () })
+        { ingress = Bq.create ~lockfree ~kind:Bq.Mpmc ~capacity:256;
+          replies = Mpsc.create () })
   in
   let m_labels =
     [ ("mode", "live");

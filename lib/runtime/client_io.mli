@@ -28,12 +28,15 @@ type batch_sink = bytes list -> unit
 
 val create :
   ?name_prefix:string ->
+  ?lockfree:bool ->
   pool_size:int ->
-  request_queue:Msmr_wire.Client_msg.request Msmr_platform.Bounded_queue.t ->
+  request_queue:Msmr_wire.Client_msg.request Msmr_platform.Channel.t ->
   reply_cache:Reply_cache.t ->
   unit ->
   t
-(** Starts [pool_size] threads named [<prefix>ClientIO-<i>]. *)
+(** Starts [pool_size] threads named [<prefix>ClientIO-<i>]. [lockfree]
+    (default true) picks the engine for the per-worker ingress channels;
+    the RequestQueue's engine is the caller's choice at its creation. *)
 
 val submit : ?reply_many:batch_sink -> t -> raw:bytes -> reply_to:sink -> unit
 (** Hand one serialised request to the pool (round-robin per client id,

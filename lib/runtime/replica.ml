@@ -1,4 +1,5 @@
-module Bq = Msmr_platform.Bounded_queue
+module Bq = Msmr_platform.Channel
+module Waitstats = Msmr_platform.Waitstats
 module Dq = Msmr_platform.Delay_queue
 module Worker = Msmr_platform.Worker
 module Thread_state = Msmr_platform.Thread_state
@@ -66,22 +67,15 @@ type stable = {
 
 (* Parallel ServiceManager (executor_threads > 1): a scheduler thread
    consumes the DecisionQueue in decide order and routes each request to
-   one of [n_exec] executor threads by hashing its conflict key, so
-   commands on the same key always land on the same executor and keep
-   their decide order, while commands on different keys run concurrently.
-   Global / multi-executor commands and snapshots first quiesce the pool:
-   [exec_pending] counts dispatched-but-unfinished requests and the
-   scheduler waits on [exec_cv] until it drops to zero. *)
-type exec_pool = {
-  n_exec : int;
-  exec_qs : Client_msg.request Bq.t array;     (* one per executor *)
-  exec_pending : int Atomic.t;
-  exec_mu : Mutex.t;
-  exec_cv : Condition.t;
-  exec_dispatched : Counter.t;                 (* routed to an executor *)
-  exec_barriers : Counter.t;                   (* quiescence barriers taken *)
-  mutable exec_rr : int;    (* round-robin cursor for conflict-free cmds;
-                               scheduler-private *)
+   a lane of the {!Exec_pool} by hashing its conflict key, so commands on
+   the same key always land on the same lane and keep their decide order,
+   while commands on different keys run concurrently. With [Config.steal]
+   the pool runs many lanes over the executors and idle executors steal
+   lane tokens from busy siblings; without it a lane is an executor
+   (static hash-sharding). Global / multi-lane commands and snapshots
+   first quiesce the pool. *)
+type exec_ctx = {
+  pool : Client_msg.request Exec_pool.t;
   exec_frontier : (int, int) Hashtbl.t;
       (* client_id -> newest seq dispatched, maintained by the scheduler
          in decide order. At-most-once must be decided here, not on the
@@ -118,7 +112,7 @@ type t = {
   recovered : Msmr_storage.Replica_store.recovered option;
   reply_cache : Reply_cache.t;
   mutable client_io : Client_io.t option;
-  exec_pool : exec_pool option;   (* None => serial ServiceManager *)
+  exec_pool : exec_ctx option;   (* None => serial ServiceManager *)
   fd : Failure_detector.t;
   (* Shared introspection state (single-word, lock-free). *)
   leader_now : int Atomic.t;
@@ -544,34 +538,39 @@ let stable_storage_loop t (ss : stable) st =
     in
     go ()
   in
+  let buf = Array.make 256 None in
   let continue = ref true in
   while !continue do
-    match Bq.take_batch ~st ss.log_q ~max:256 with
+    match Bq.take_batch_into ~st ss.log_q ~buf with
     | exception Bq.Closed -> continue := false
-    | burst ->
+    | n ->
       (* Test hook: park with the burst in hand — nothing is logged or
          released while stalled. *)
       while Atomic.get ss.ss_stall && Atomic.get t.running do
         Thread_state.enter st Thread_state.Waiting (fun () ->
             Mclock.sleep_s 0.0005)
       done;
-      let events =
-        List.filter_map
-          (function Ss_log ev -> Some ev | Ss_release _ -> None)
-          burst
-      in
+      let events = ref [] in
+      for i = n - 1 downto 0 do
+        match buf.(i) with
+        | Some (Ss_log ev) -> events := ev :: !events
+        | Some (Ss_release _) | None -> ()
+      done;
       (* One [log_batch] per burst: under [Sync_every_write] every event
          in it shares a single fsync (group commit), and the returned
          LSN is durable. Under the weaker policies the pre-pipeline
          contract was append-before-send, so the appended LSN is the
          right release watermark there too. *)
-      let watermark = Msmr_storage.Replica_store.log_batch store events in
-      List.iter
-        (function
-          | Ss_release { lsn; dest; msg; enq_ns } ->
-            Queue.push (lsn, dest, msg, enq_ns) pending
-          | Ss_log _ -> ())
-        burst;
+      let watermark =
+        Msmr_storage.Replica_store.log_batch ~st store !events
+      in
+      for i = 0 to n - 1 do
+        (match buf.(i) with
+         | Some (Ss_release { lsn; dest; msg; enq_ns }) ->
+           Queue.push (lsn, dest, msg, enq_ns) pending
+         | Some (Ss_log _) | None -> ());
+        buf.(i) <- None
+      done;
       release watermark
   done
 
@@ -580,8 +579,14 @@ let stable_storage_loop t (ss : stable) st =
    they share the RequestQueue and build disjoint batches, with disjoint
    [src] spaces keeping batch ids unique. *)
 
+let batcher_burst = 32
+
 let batcher_loop idx t st =
   let policy = t.batchers.(idx) in
+  (* Scratch buffer for the post-wakeup burst drain: once one request
+     arrives, siblings queued behind it are folded into the batch without
+     further blocking (or list allocation). *)
+  let buf = Array.make batcher_burst None in
   let running = ref true in
   while !running && Atomic.get t.running do
     let now = Mclock.now_ns () in
@@ -596,11 +601,21 @@ let batcher_loop idx t st =
         ignore (Bq.try_put t.dispatcher_q Proposal_ready)
       with Bq.Closed -> running := false
     in
+    let add req =
+      match Batcher.add policy req ~now_ns:(Mclock.now_ns ()) with
+      | Some batch -> publish batch
+      | None -> ()
+    in
     match Bq.take_timeout ~st t.request_q ~timeout_s with
-    | Some req -> (
-        match Batcher.add policy req ~now_ns:(Mclock.now_ns ()) with
-        | Some batch -> publish batch
-        | None -> ())
+    | Some req ->
+      add req;
+      let n = Bq.drain_into t.request_q ~buf in
+      for i = 0 to n - 1 do
+        if !running then
+          match buf.(i) with
+          | Some req -> add req; buf.(i) <- None
+          | None -> ()
+      done
     | None -> (
         match Batcher.flush_due policy ~now_ns:(Mclock.now_ns ()) with
         | Some batch -> publish batch
@@ -625,13 +640,23 @@ let sender_burst = 32
 
 let sender_loop t peer (link : Transport.link) st =
   let q = t.send_qs.(peer) in
+  (* One scratch buffer per sender thread: the hottest drain edge stops
+     allocating a list per pass. *)
+  let buf = Array.make sender_burst None in
   let continue = ref true in
   while !continue do
-    match Bq.take_batch ~st q ~max:sender_burst with
-    | msgs ->
-      let frames = List.map Msg.encode msgs in
+    match Bq.take_batch_into ~st q ~buf with
+    | n ->
+      let frames = ref [] in
+      for i = n - 1 downto 0 do
+        match buf.(i) with
+        | Some msg ->
+          frames := Msg.encode msg :: !frames;
+          buf.(i) <- None
+        | None -> ()
+      done;
       Thread_state.enter st Thread_state.Other (fun () ->
-          link.send_many frames);
+          link.send_many !frames);
       Counter.incr t.sender_flushes;
       Failure_detector.note_send t.fd ~dest:peer ~now_ns:(Mclock.now_ns ())
     | exception Bq.Closed -> continue := false
@@ -767,107 +792,46 @@ let service_manager_loop t st =
       then take_snapshot t ~iid
   done
 
-(* --- Executor pool -------------------------------------------------- *)
+(* --- Executor pool (see {!Exec_pool} for the two variants) ----------- *)
 
-let pool_create ~n_exec =
-  { n_exec;
-    exec_qs = Array.init n_exec (fun _ -> Bq.create ~capacity:1024);
-    exec_pending = Atomic.make 0;
-    exec_mu = Mutex.create ();
-    exec_cv = Condition.create ();
-    exec_dispatched = Counter.create ();
-    exec_barriers = Counter.create ();
-    exec_rr = 0;
-    exec_frontier = Hashtbl.create 256 }
-
-(* Executor-side completion: the last in-flight request wakes the
-   scheduler if it is blocked in a barrier. The broadcast takes the mutex,
-   and the scheduler re-checks the counter under it, so the wake-up cannot
-   be lost. *)
-let pool_complete pool =
-  if Atomic.fetch_and_add pool.exec_pending (-1) = 1 then begin
-    Mutex.lock pool.exec_mu;
-    Condition.broadcast pool.exec_cv;
-    Mutex.unlock pool.exec_mu
-  end
-
-let executor_loop t pool idx st =
-  let q = pool.exec_qs.(idx) in
-  let continue = ref true in
-  while !continue do
-    match Bq.take ~st q with
-    | req ->
-      (* No at-most-once check here: the scheduler already decided it
-         (exec_frontier) in decide order. *)
-      (try exec_request_unchecked t req
-       with e ->
-         (* Never leave the barrier counter stuck. *)
-         pool_complete pool;
-         raise e);
-      pool_complete pool
-    | exception Bq.Closed -> continue := false
-  done
-
-(* Quiescence barrier: wait until every dispatched request has executed.
-   Run only from the scheduler thread, which is also the only dispatcher,
-   so the counter cannot grow while we wait. *)
-let pool_quiesce pool st =
-  Counter.incr pool.exec_barriers;
-  if Atomic.get pool.exec_pending > 0 then
-    Thread_state.enter st Thread_state.Waiting (fun () ->
-        Mutex.lock pool.exec_mu;
-        while Atomic.get pool.exec_pending > 0 do
-          Condition.wait pool.exec_cv pool.exec_mu
-        done;
-        Mutex.unlock pool.exec_mu)
-
-let pool_send pool st idx req =
-  Atomic.incr pool.exec_pending;
-  Counter.incr pool.exec_dispatched;
-  match Bq.put ~st pool.exec_qs.(idx) req with
-  | () -> ()
-  | exception Bq.Closed ->
-    (* Shutdown mid-dispatch: the request is dropped (as the serial loop
-       drops queued decisions), but the counter must not leak. *)
-    ignore (Atomic.fetch_and_add pool.exec_pending (-1))
-
-let route pool key = Hashtbl.hash key mod pool.n_exec
+let route pool key = Hashtbl.hash key mod Exec_pool.lanes pool
 
 (* At-most-once, decided by the scheduler in decide order (see
    [exec_frontier]). Returns [true] when the request is fresh and must be
    dispatched. Duplicates are skipped silently, exactly as the serial
    path skips them: resending cached replies is ClientIO's job at
    ingress. *)
-let frontier_admit pool (req : Client_msg.request) =
-  match Hashtbl.find_opt pool.exec_frontier req.id.client_id with
+let frontier_admit ctx (req : Client_msg.request) =
+  match Hashtbl.find_opt ctx.exec_frontier req.id.client_id with
   | Some newest when req.id.seq <= newest -> false
   | _ ->
-    Hashtbl.replace pool.exec_frontier req.id.client_id req.id.seq;
+    Hashtbl.replace ctx.exec_frontier req.id.client_id req.id.seq;
     true
 
-(* Route one decided request. Same key -> same executor queue -> decide
-   order preserved among conflicting commands; disjoint keys run
-   concurrently. Commands spanning several executors, and Global ones,
-   are executed inline between two well-defined pool states. *)
-let dispatch t pool st (req : Client_msg.request) =
-  if frontier_admit pool req then
+(* Route one decided request. Same key -> same lane -> decide order
+   preserved among conflicting commands; disjoint keys run concurrently.
+   Commands spanning several lanes, and Global ones, are executed inline
+   between two well-defined pool states. *)
+let dispatch t ctx st (req : Client_msg.request) =
+  if frontier_admit ctx req then
+    let pool = ctx.pool in
     match t.service.conflict_keys req with
     | Service.Keys [] ->
       (* Conflicts with nothing: spread over the pool. *)
-      pool.exec_rr <- (pool.exec_rr + 1) mod pool.n_exec;
-      pool_send pool st pool.exec_rr req
-    | Service.Keys [ key ] -> pool_send pool st (route pool key) req
+      Exec_pool.send_rr ~st pool req
+    | Service.Keys [ key ] -> Exec_pool.send ~st pool ~lane:(route pool key) req
     | Service.Keys keys -> (
         match List.sort_uniq compare (List.map (route pool) keys) with
-        | [ idx ] -> pool_send pool st idx req
+        | [ lane ] -> Exec_pool.send ~st pool ~lane req
         | _ ->
-          pool_quiesce pool st;
+          Exec_pool.quiesce pool st;
           exec_request_unchecked t req)
     | Service.Global ->
-      pool_quiesce pool st;
+      Exec_pool.quiesce pool st;
       exec_request_unchecked t req
 
-let scheduler_loop t pool st =
+let scheduler_loop t ctx st =
+  let pool = ctx.pool in
   let instances_executed = ref 0 in
   let continue = ref true in
   while !continue do
@@ -875,23 +839,23 @@ let scheduler_loop t pool st =
     | exception Bq.Closed -> continue := false
     | Install { state } ->
       (* State transfer replaces the whole service state: quiesce. *)
-      pool_quiesce pool st;
+      Exec_pool.quiesce pool st;
       t.service.restore state
     | Exec { iid; value } ->
       (match value with
        | Value.Noop -> ()
-       | Value.Batch batch -> List.iter (dispatch t pool st) batch.requests);
+       | Value.Batch batch -> List.iter (dispatch t ctx st) batch.requests);
       incr instances_executed;
       if t.cfg.snapshot_every > 0
          && !instances_executed mod t.cfg.snapshot_every = 0
       then begin
         (* Snapshots must capture a prefix-closed state. *)
-        pool_quiesce pool st;
+        Exec_pool.quiesce pool st;
         take_snapshot t ~iid
       end
   done;
   (* Let the executors drain and exit. *)
-  Array.iter Bq.close pool.exec_qs
+  Exec_pool.close pool
 
 (* ------------------------------------------------------------------ *)
 (* Observability: every replica exposes its queue depths, window and
@@ -918,6 +882,8 @@ let metric_names =
     "msmr_replica_executor_queue_depth";
     "msmr_replica_executor_dispatched";
     "msmr_replica_executor_barriers";
+    "msmr_executor_steal_total";
+    "msmr_executor_steal_fail_total";
     "msmr_replica_sender_flushes";
     "msmr_replica_proxy_fanout_total";
     "msmr_replica_proxy_queue_depth";
@@ -951,17 +917,32 @@ let register_metrics t =
       | None -> 0.);
   g "msmr_replica_executor_queue_depth" (fun () ->
       match t.exec_pool with
-      | Some p ->
-        fi (Array.fold_left (fun acc q -> acc + Bq.length q) 0 p.exec_qs)
+      | Some c -> fi (Exec_pool.depth c.pool)
       | None -> 0.);
   g "msmr_replica_executor_dispatched" (fun () ->
       match t.exec_pool with
-      | Some p -> fi (Counter.get p.exec_dispatched)
+      | Some c -> fi (Exec_pool.dispatched c.pool)
       | None -> 0.);
   g "msmr_replica_executor_barriers" (fun () ->
       match t.exec_pool with
-      | Some p -> fi (Counter.get p.exec_barriers)
+      | Some c -> fi (Exec_pool.barriers c.pool)
       | None -> 0.);
+  g "msmr_executor_steal_total" (fun () ->
+      match t.exec_pool with
+      | Some c -> fi (Exec_pool.steals c.pool)
+      | None -> 0.);
+  g "msmr_executor_steal_fail_total" (fun () ->
+      match t.exec_pool with
+      | Some c -> fi (Exec_pool.steal_fails c.pool)
+      | None -> 0.);
+  (* Process-wide spin/park accounting for the lock-free channels.
+     Registered with process-global labels: re-registration by another
+     replica is a no-op replace of an identical closure, and the gauges
+     are deliberately not removed on [stop]. *)
+  Msmr_obs.Metrics.gauge ~labels:[ ("mode", "live") ] "msmr_queue_spin_total"
+    (fun () -> fi (Waitstats.spin_total ()));
+  Msmr_obs.Metrics.gauge ~labels:[ ("mode", "live") ] "msmr_queue_park_total"
+    (fun () -> fi (Waitstats.park_total ()));
   g "msmr_replica_sender_flushes" (fun () -> fi (Counter.get t.sender_flushes));
   g "msmr_replica_proxy_fanout_total" (fun () ->
       fi (Counter.get t.proxy_fanout));
@@ -1030,7 +1011,10 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
     | Some _ ->
       let labels = [ ("mode", "live"); ("replica", string_of_int me) ] in
       Some
-        { log_q = Bq.create ~capacity:8192;
+        { log_q =
+            (* Protocol + Retransmitter produce, StableStorage consumes. *)
+            Bq.create ~lockfree:cfg.Config.lockfree ~kind:Bq.Mpmc
+              ~capacity:8192;
           ss_lsn = Atomic.make 0;
           ss_stall = Atomic.make false;
           ss_hold = Msmr_obs.Metrics.histogram ~labels "msmr_replica_durable_hold_s" }
@@ -1045,15 +1029,30 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
           ?tuned_bsz:(if cfg.Config.auto_tune then Some tuned_bsz else None)
           cfg ~src:(me + (cfg.Config.n * idx)))
   in
+  (* Producer/consumer discipline per edge (lock-free mode): receivers,
+     FD, batchers and the scheduler all feed the dispatcher (MPMC); N
+     batchers feed the Protocol thread (SPSC when N = 1); ClientIO
+     workers share the RequestQueue with the batchers (MPMC); the
+     DecisionQueue is strictly Protocol -> scheduler (SPSC); send, proxy
+     and log queues have several producer threads (MPMC). *)
+  let lf = cfg.Config.lockfree in
   let t =
     { cfg; me; gid; service;
-      dispatcher_q = Bq.create ~capacity:4096;
-      proposal_q = Bq.create ~capacity:proposal_queue_capacity;
-      request_q = Bq.create ~capacity:request_queue_capacity;
-      decision_q = Bq.create ~capacity:1024;
-      send_qs = Array.init cfg.Config.n (fun _ -> Bq.create ~capacity:4096);
+      dispatcher_q = Bq.create ~lockfree:lf ~kind:Bq.Mpmc ~capacity:4096;
+      proposal_q =
+        Bq.create ~lockfree:lf
+          ~kind:(if max 1 batcher_threads = 1 then Bq.Spsc else Bq.Mpmc)
+          ~capacity:proposal_queue_capacity;
+      request_q =
+        Bq.create ~lockfree:lf ~kind:Bq.Mpmc ~capacity:request_queue_capacity;
+      decision_q = Bq.create ~lockfree:lf ~kind:Bq.Spsc ~capacity:1024;
+      send_qs =
+        Array.init cfg.Config.n (fun _ ->
+            Bq.create ~lockfree:lf ~kind:Bq.Mpmc ~capacity:4096);
       proxy_q =
-        (if proxy_leaders > 0 then Some (Bq.create ~capacity:4096) else None);
+        (if proxy_leaders > 0 then
+           Some (Bq.create ~lockfree:lf ~kind:Bq.Mpmc ~capacity:4096)
+         else None);
       rtx_dq = Dq.create ();
       links;
       store;
@@ -1063,7 +1062,11 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       client_io = None;
       exec_pool =
         (if executor_threads > 1 then
-           Some (pool_create ~n_exec:executor_threads)
+           Some
+             { pool =
+                 Exec_pool.create ~lockfree:lf ~steal:cfg.Config.steal
+                   ~n_exec:executor_threads ();
+               exec_frontier = Hashtbl.create 256 }
          else None);
       fd = Failure_detector.create cfg ~me ~now_ns:(Mclock.now_ns ());
       leader_now = Atomic.make 0;
@@ -1090,7 +1093,7 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
   let cio =
     Client_io.create
       ~name_prefix:(Printf.sprintf "r%d/" me)
-      ~pool_size:client_io_threads ~request_queue:t.request_q
+      ~lockfree:lf ~pool_size:client_io_threads ~request_queue:t.request_q
       ~reply_cache:t.reply_cache ()
   in
   t.client_io <- Some cio;
@@ -1127,7 +1130,7 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
             while Atomic.get t.running do
               Thread_state.enter st Thread_state.Other (fun () ->
                   Mclock.sleep_s sync_interval_s);
-              ignore (Msmr_storage.Replica_store.sync store)
+              ignore (Msmr_storage.Replica_store.sync ~st store)
             done) ]
     | Durable _ | Ephemeral -> []
   in
@@ -1153,11 +1156,15 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
   let service_manager =
     match t.exec_pool with
     | None -> [ spawn "Replica" service_manager_loop ]
-    | Some pool ->
-      spawn "Replica" (fun t st -> scheduler_loop t pool st)
-      :: List.init pool.n_exec (fun i ->
+    | Some ctx ->
+      spawn "Replica" (fun t st -> scheduler_loop t ctx st)
+      :: List.init (Exec_pool.n_exec ctx.pool) (fun i ->
              Worker.spawn ~name:(Printf.sprintf "r%d/Executor-%d" me i)
-               (fun st -> executor_loop t pool i st))
+               (fun st ->
+                  (* No at-most-once check in the pool: the scheduler
+                     already decided it (exec_frontier) in decide order. *)
+                  Exec_pool.executor_loop ctx.pool ~idx:i
+                    ~exec:(exec_request_unchecked t) ~st))
   in
   t.threads <-
     [ spawn "Protocol" protocol_loop;
@@ -1181,10 +1188,10 @@ let stop t =
     Bq.close t.decision_q;
     (match t.stable with Some ss -> Bq.close ss.log_q | None -> ());
     (match t.proxy_q with Some pq -> Bq.close pq | None -> ());
-    (* The scheduler also closes these on exit; closing here too unblocks
-       the pool even if the scheduler is wedged. Close is idempotent. *)
+    (* The scheduler also closes the pool on exit; closing here too
+       unblocks it even if the scheduler is wedged. Close is idempotent. *)
     (match t.exec_pool with
-     | Some pool -> Array.iter Bq.close pool.exec_qs
+     | Some ctx -> Exec_pool.close ctx.pool
      | None -> ());
     Array.iter Bq.close t.send_qs;
     Dq.close t.rtx_dq;

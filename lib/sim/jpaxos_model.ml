@@ -104,6 +104,7 @@ type result = {
   events : int;
   group_throughputs : float array;
   globals_executed : int;
+  steals : int;
   trace : Msmr_obs.Trace.t option;
 }
 
@@ -972,6 +973,21 @@ let run_single ?(trace = false) (p : Params.t) =
     loop ()
   in
   (* ---------------- ServiceManager (Replica thread) ---------------- *)
+  (* Work-stealing model shared state: total successful token steals
+     across all nodes' executor pools, over the whole run (warm-up
+     included: at saturation every executor stays busy and steals
+     happen only while load ramps or shifts, so the ramp is where the
+     redistribution lives). *)
+  let sm_steals = ref 0 in
+  (* Deterministic "hot client" classification for [p.skew]: a Knuth
+     multiplicative hash spreads client ids evenly, so the hot set is
+     ≈ skew * n_clients without any RNG. Hot clients model a zipfian
+     conflict-key distribution: under fixed routing they all convoy on
+     executor 0. *)
+  let is_hot cid =
+    p.skew > 0.
+    && (cid * 2654435761) land 1023 < int_of_float (p.skew *. 1024.)
+  in
   (* exec_threads = 1: the paper's serial ServiceManager, unchanged. *)
   let sm_proc node () =
     let st = Sstats.make_thread eng ~name:"Replica" in
@@ -1072,7 +1088,177 @@ let run_single ?(trace = false) (p : Params.t) =
       else begin
         Cpu.work node.cpu st (cost c.dispatch_per_req);
         incr pending;
-        Mailbox.push exec_mbs.(req.id.client_id mod p.exec_threads) req
+        (* Fixed routing: hot clients convoy on executor 0 — the
+           baseline the stealing pool ([sm_lanes]) is measured against.
+           skew = 0 leaves this byte-for-byte the original path. *)
+        let tgt =
+          if is_hot req.id.client_id then 0
+          else req.id.client_id mod p.exec_threads
+        in
+        Mailbox.push exec_mbs.(tgt) req
+      end
+    in
+    let rec loop () =
+      let d = Squeue.take node.decision_q st in
+      (match d.d_value with
+       | Value.Noop -> ()
+       | Value.Batch batch -> List.iter dispatch batch.requests);
+      loop ()
+    in
+    loop ()
+  in
+  (* exec_threads > 1 && steal: the sim mirror of the live runtime's
+     work-stealing Exec_pool. Requests route to n_lanes = 8*exec_threads
+     FIFO lanes by conflict key (client id); a lane with pending work is
+     represented by a unique token sitting in exactly one executor's
+     token queue, so per-lane decide order is preserved no matter which
+     executor ends up draining the lane. An executor whose token queue
+     runs dry scans the others in ring order and steals half the
+     victim's tokens; hot lanes (see [is_hot]) are all homed on executor
+     0, so stealing is what spreads a skewed load. Deterministic: plain
+     queues, ring-order victim scan, no RNG. *)
+  let sm_lanes node () =
+    let st = Sstats.make_thread eng ~name:"Replica" in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let n_lanes = 8 * p.exec_threads in
+    let lanes : Client_msg.request Queue.t array =
+      Array.init n_lanes (fun _ -> Queue.create ())
+    in
+    (* Requests routed to the lane and not yet executed. The token for a
+       lane exists (in some token queue, or held by a draining executor)
+       iff lane_pending > 0 — the invariant that makes a token's right
+       to drain its lane exclusive. *)
+    let lane_pending = Array.make n_lanes 0 in
+    let token_qs : int Queue.t array =
+      Array.init p.exec_threads (fun _ -> Queue.create ())
+    in
+    let idle : (unit -> unit) option array =
+      Array.make p.exec_threads None
+    in
+    let wake_all () =
+      for i = 0 to p.exec_threads - 1 do
+        match idle.(i) with
+        | Some resume ->
+          idle.(i) <- None;
+          resume ()
+        | None -> ()
+      done
+    in
+    let pending = ref 0 in
+    let barrier_waiter : (unit -> unit) option ref = ref None in
+    let drain_budget = 64 in
+    let executor_proc idx () =
+      let est =
+        Sstats.make_thread eng ~name:(Printf.sprintf "Executor-%d" idx)
+      in
+      let (_ : Msmr_obs.Trace.track option) = register node est in
+      let my = token_qs.(idx) in
+      (* Ring-order victim scan; a hit moves ceil(half) of the victim's
+         tokens — steal-half amortises the scan like the live pool. *)
+      let steal () =
+        let stolen = ref false in
+        let v = ref ((idx + 1) mod p.exec_threads) in
+        while (not !stolen) && !v <> idx do
+          let vq = token_qs.(!v) in
+          let k = Queue.length vq in
+          if k > 0 then begin
+            for _ = 1 to (k + 1) / 2 do
+              Queue.push (Queue.pop vq) my
+            done;
+            incr sm_steals;
+            stolen := true
+          end
+          else v := (!v + 1) mod p.exec_threads
+        done;
+        !stolen
+      in
+      let rec loop () =
+        if Queue.is_empty my && not (steal ()) then begin
+          Sstats.set est Sstats.Waiting;
+          Engine.suspend eng (fun resume -> idle.(idx) <- Some resume);
+          Sstats.set est Sstats.Busy
+        end
+        else begin
+          let lane = Queue.pop my in
+          let q = lanes.(lane) in
+          let budget = min drain_budget (Queue.length q) in
+          for _ = 1 to budget do
+            let req = Queue.pop q in
+            Cpu.work node.cpu est (cost c.exec_per_req);
+            if (not chaos && node == leader)
+               || (chaos && Paxos.is_leader node.engine) then
+              Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+                (Rep req.id);
+            decr pending;
+            if !pending = 0 then
+              match !barrier_waiter with
+              | Some resume ->
+                barrier_waiter := None;
+                resume ()
+              | None -> ()
+          done;
+          (* Subtract only now: while the token is held, the scheduler
+             sees lane_pending > 0 and mints no duplicate — same
+             "decrement after exec" rule as the live pool. *)
+          lane_pending.(lane) <- lane_pending.(lane) - budget;
+          if lane_pending.(lane) > 0 then begin
+            Queue.push lane my;
+            (* The re-queued token (and any others we hold) is fair
+               game again: let parked peers retry their steal scan. *)
+            wake_all ()
+          end
+        end;
+        loop ()
+      in
+      loop ()
+    in
+    for i = 0 to p.exec_threads - 1 do
+      Engine.spawn eng
+        ~name:(Printf.sprintf "exec-%d-%d" node.id i)
+        (executor_proc i)
+    done;
+    let quiesce () =
+      if !pending > 0 then begin
+        Sstats.set st Sstats.Waiting;
+        Engine.suspend eng (fun resume -> barrier_waiter := Some resume);
+        Sstats.set st Sstats.Busy
+      end
+    in
+    let total = ref 0 in
+    let classify_global () =
+      incr total;
+      p.conflict_ratio > 0.
+      && int_of_float (float_of_int !total *. p.conflict_ratio)
+         > int_of_float (float_of_int (!total - 1) *. p.conflict_ratio)
+    in
+    let dispatch (req : Client_msg.request) =
+      if chaos && not (up.(node.id) && chaos_admit node req.id) then ()
+      else if classify_global () then begin
+        quiesce ();
+        Cpu.work node.cpu st (cost c.exec_per_req);
+        if (not chaos && node == leader)
+           || (chaos && Paxos.is_leader node.engine) then
+          Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+            (Rep req.id)
+      end
+      else begin
+        Cpu.work node.cpu st (cost c.dispatch_per_req);
+        incr pending;
+        let cid = req.id.client_id in
+        let lane =
+          (* Hot lanes are exactly the multiples of exec_threads below
+             8*exec_threads: all homed on executor 0. *)
+          if is_hot cid then p.exec_threads * (cid mod 8)
+          else cid mod n_lanes
+        in
+        Queue.push req lanes.(lane);
+        lane_pending.(lane) <- lane_pending.(lane) + 1;
+        if lane_pending.(lane) = 1 then begin
+          (* 0 -> 1: mint the lane's token on its home executor and wake
+             the pool so an idle peer can steal it. *)
+          Queue.push lane token_qs.(lane mod p.exec_threads);
+          wake_all ()
+        end
       end
     in
     let rec loop () =
@@ -1101,7 +1287,9 @@ let run_single ?(trace = false) (p : Params.t) =
        if node.ss_q <> None then Engine.spawn eng ~name:"ss" (ss_proc node);
        if chaos then Engine.spawn eng ~name:"fd" (fd_proc node);
        Engine.spawn eng ~name:"sm"
-         (if p.exec_threads > 1 then sm_parallel node else sm_proc node);
+         (if p.exec_threads > 1 then
+            if p.steal then sm_lanes node else sm_parallel node
+          else sm_proc node);
        for peer = 0 to p.n - 1 do
          if peer <> node.id then begin
            Engine.spawn eng ~name:"snd" (sender_proc node peer);
@@ -1380,6 +1568,7 @@ let run_single ?(trace = false) (p : Params.t) =
     events = Engine.events_processed eng;
     group_throughputs = [| throughput |];
     globals_executed = 0;
+    steals = !sm_steals;
     trace = tracer }
 
 (* ================================================================== *)
@@ -2503,6 +2692,7 @@ let run_multi ?(trace = false) (p : Params.t) =
     group_throughputs =
       Array.map (fun cg -> float_of_int cg /. dur) completed_g;
     globals_executed = !globals_executed;
+    steals = 0;
     trace = tracer }
 
 (* [groups <= 1] takes the original single-group path untouched — the

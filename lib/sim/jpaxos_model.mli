@@ -80,6 +80,13 @@ type result = {
           barrier (multi-group runs with [conflict_ratio > 0.]);
           [0] on the single-group path, whose Global accounting lives in
           the parallel-ServiceManager model *)
+  steals : int;
+      (** successful token steals in the work-stealing executor pool
+          over the whole run, warm-up included ([Params.steal] with
+          [exec_threads > 1] — at saturation no executor idles, so
+          steals concentrate in the ramp); [0] on the fixed-route and
+          serial paths, and on multi-group runs (which model the
+          fixed-route pool) *)
   trace : Msmr_obs.Trace.t option;
       (** present iff [run ~trace:true]; stamped in simulated time and
           covering exactly the measured window — export with

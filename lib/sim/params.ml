@@ -68,6 +68,8 @@ type t = {
   n_batchers : int;
   rss : bool;
   exec_threads : int;
+  steal : bool;
+  skew : float;
   conflict_ratio : float;
   sync_policy : sync_policy;
   fsync_latency : float;
@@ -102,6 +104,8 @@ let default ?(profile = parapluie) ~n ~cores () =
     n_batchers = 1;
     rss = false;
     exec_threads = 1;
+    steal = false;
+    skew = 0.0;
     conflict_ratio = 0.0;
     sync_policy = Sync_none;
     fsync_latency = 5e-3;

@@ -88,6 +88,21 @@ type t = {
           threads the scheduler fans decided requests out to. [1] (the
           default) is the paper's serial ServiceManager, simulated on the
           exact pre-executor path. *)
+  steal : bool;
+      (** extension (lock-free runtime): work-stealing executor pool.
+          Requests route to per-conflict-key lanes (8 per executor);
+          each lane is owned by a token held by exactly one executor at
+          a time, and an executor whose token queue runs dry steals
+          half the victim's tokens. [false] (the default, also used
+          when [exec_threads <= 1]) keeps the exact fixed-route
+          [sm_parallel] path (golden-pinned). Deterministic: victims
+          are scanned in ring order, no RNG. *)
+  skew : float;
+      (** fraction of clients classified "hot" (deterministic hash, no
+          RNG): hot clients all route to executor 0's lanes, modelling
+          a zipfian-like conflict-key skew that convoys a fixed-route
+          pool. [0.0] (the default) is byte-for-byte the uniform path.
+          Applies only when [exec_threads > 1]. *)
   conflict_ratio : float;
       (** fraction of decided requests classified Global (conflicting
           with everything): each forces a quiescence barrier before

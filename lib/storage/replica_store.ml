@@ -77,7 +77,18 @@ let openw ?(sync = Wal.Sync_periodic) ?gid ~dir () =
     lock = Mutex.create (); lsn = 0; durable_lsn = 0 }
 
 (* The store lock orders appends/syncs against the WAL swap done by
-   [checkpoint]. *)
+   [checkpoint]. The StableStorage and Syncer threads contend on it, so
+   the paths they use ([log_batch], [sync]) account acquisition time as
+   [Blocked], per the paper's profiling methodology. *)
+let lock_acct ?st t =
+  match st with
+  | None -> Mutex.lock t.lock
+  | Some st ->
+    if Mutex.try_lock t.lock then ()
+    else
+      Msmr_platform.Thread_state.enter st Msmr_platform.Thread_state.Blocked
+        (fun () -> Mutex.lock t.lock)
+
 let log_event t ev =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
@@ -88,8 +99,8 @@ let log_event t ev =
    | Wal.Sync_periodic | Wal.No_sync -> ());
   t.lsn
 
-let log_batch t evs =
-  Mutex.lock t.lock;
+let log_batch ?st t evs =
+  lock_acct ?st t;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
   (match evs with
    | [] -> ()
@@ -103,8 +114,8 @@ let log_batch t evs =
      | Wal.Sync_periodic | Wal.No_sync -> ());
   t.lsn
 
-let sync t =
-  Mutex.lock t.lock;
+let sync ?st t =
+  lock_acct ?st t;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
   ignore (Wal.sync t.wal);
   t.durable_lsn <- t.lsn;

@@ -41,15 +41,17 @@ val log_event : t -> event -> int
     Store LSNs count events logged through this handle and stay
     monotone across the WAL swap a {!checkpoint} performs. *)
 
-val log_batch : t -> event list -> int
+val log_batch : ?st:Msmr_platform.Thread_state.t -> t -> event list -> int
 (** Append a batch of events through one {!Wal.append_many} — under
     [Sync_every_write] the whole batch becomes durable under a single
     fsync (group commit). Returns the LSN of the last event (the
-    current LSN for an empty batch). *)
+    current LSN for an empty batch). With [st], store-lock contention
+    is accounted as [Blocked]. *)
 
-val sync : t -> int
+val sync : ?st:Msmr_platform.Thread_state.t -> t -> int
 (** Flush the WAL; returns the durable LSN watermark (= {!lsn} on
-    return). *)
+    return). With [st], store-lock contention is accounted as
+    [Blocked]. *)
 
 val lsn : t -> int
 (** Last LSN handed out. *)

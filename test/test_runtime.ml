@@ -701,6 +701,38 @@ let test_cluster_executors_global_service () =
     (string_of_int (Atomic.get sum))
     (Bytes.to_string (Client.call probe (Bytes.of_string "0")))
 
+(* The mutex spine ([lockfree = false]) and the lock-free spine with
+   work-stealing executors must be observably identical: same replies,
+   same final replicated state for the same workload. *)
+let test_cluster_lockfree_matches_mutex () =
+  let run ~lockfree ~steal =
+    let cfg = { (test_cfg 3) with Config.lockfree; steal } in
+    with_cluster ~cfg ~executor_threads:4 ~service:(fun () -> Kv.make ())
+    @@ fun cluster ->
+    ignore (Replica.Cluster.await_leader cluster);
+    let client = Client.create ~cluster ~client_id:1 () in
+    for i = 1 to 40 do
+      let key = Printf.sprintf "k%d" (i mod 5) in
+      match kv_call client (Kv.Incr { key; by = i }) with
+      | Kv.Ok_int _ -> ()
+      | _ -> Alcotest.fail "expected Ok_int"
+    done;
+    match kv_call client (Kv.List_keys "") with
+    | Kv.Ok_keys keys ->
+      List.sort compare
+        (List.map
+           (fun k ->
+             match kv_call client (Kv.Get k) with
+             | Kv.Ok_value (Some v) -> (k, v)
+             | _ -> Alcotest.fail "missing key")
+           keys)
+    | _ -> Alcotest.fail "expected Ok_keys"
+  in
+  let mutex_state = run ~lockfree:false ~steal:false in
+  let lf_state = run ~lockfree:true ~steal:true in
+  Alcotest.(check (list (pair string string)))
+    "same final state" mutex_state lf_state
+
 (* ------------------------------------------------------------------ *)
 (* Fault controller: crash-shaped kill/restart of live replicas. *)
 
@@ -837,6 +869,8 @@ let suite =
         test_cluster_executors_pipelined_client;
       Alcotest.test_case "cluster: executors suppress duplicates" `Quick
         test_cluster_executors_duplicate_suppression;
+      Alcotest.test_case "cluster: lock-free spine matches mutex spine" `Quick
+        test_cluster_lockfree_matches_mutex;
       Alcotest.test_case "cluster: executors quiesce for snapshots" `Quick
         test_cluster_executors_snapshot_quiescence;
       Alcotest.test_case "cluster: executors with Global-only service" `Quick
