@@ -1498,6 +1498,118 @@ let bench007 () =
   Printf.printf "wrote %s\n%!" !bench007_out
 
 (* ------------------------------------------------------------------ *)
+(* bench008: the read-heavy fast path (leader leases). Sweep of the
+   simulated cluster (n=5, 8 cores) over
+
+     read mix      95/5 and 50/50 reads/writes
+     read path     ordered  (lease off: reads ride Batcher/Paxos — the
+                             ordered-read baseline)
+                   lease    (linearizable reads at the leaseholder)
+                   stale    (bounded-staleness reads spread over all
+                             replicas)
+     groups        1 and 4
+
+   The ordered baseline is leader-NIC-bound like any write workload;
+   linearizable leases lift the Batcher/Paxos cost but still converge on
+   one leader's NIC; bounded-staleness reads are the tentpole — every
+   replica's NIC serves its share, so read throughput scales with the
+   cluster. Gate: stale/ordered >= 5 at 95/5, groups=1. *)
+
+let bench008_out = ref "bench/BENCH_008.json"
+
+let bench008 () =
+  heading "bench008"
+    (Printf.sprintf "Read-heavy fast path (leases) -> %s%s" !bench008_out
+       (if !bench_quick then " (--quick)" else ""));
+  let module J = Msmr_obs.Json in
+  let quick = !bench_quick in
+  let warmup, duration, n_clients =
+    if quick then (0.05, 0.15, 300) else (0.2, 0.5, 1200)
+  in
+  let run ~ratio ~groups ~lease ~stale =
+    let p = Params.default ~n:5 ~cores:8 () in
+    Jp.run
+      { p with
+        groups;
+        n_clients;
+        warmup;
+        duration;
+        read_ratio = ratio;
+        lease;
+        stale_reads = stale;
+        clock_skew = 0.002;
+        lease_duration = 0.5 }
+  in
+  let modes =
+    [ ("ordered", false, false); ("lease", true, false);
+      ("stale", true, true) ]
+  in
+  Printf.printf "read fast path (n=5, 8 cores, %d clients):\n" n_clients;
+  Printf.printf "%6s %7s %8s %12s %10s %8s %8s\n" "mix" "groups" "mode"
+    "total req/s" "reads/s" "rejects" "safe";
+  let rows =
+    List.concat_map
+      (fun ratio ->
+         List.concat_map
+           (fun groups ->
+              List.map
+                (fun (mode, lease, stale) ->
+                   let r = run ~ratio ~groups ~lease ~stale in
+                   let reads_rps =
+                     float_of_int r.Jp.reads_completed /. duration
+                   in
+                   Printf.printf "%6.2f %7d %8s %12.1f %10.1f %8d %8b\n%!"
+                     ratio groups mode (k r.throughput) (k reads_rps)
+                     r.read_rejects r.safety_ok;
+                   (ratio, groups, mode, r))
+                modes)
+           [ 1; 4 ])
+      [ 0.95; 0.5 ]
+  in
+  let rps ratio groups mode =
+    let _, _, _, r =
+      List.find
+        (fun (ra, g, m, _) -> ra = ratio && g = groups && m = mode)
+        rows
+    in
+    r.Jp.throughput
+  in
+  let stale_speedup = rps 0.95 1 "stale" /. rps 0.95 1 "ordered" in
+  Printf.printf
+    "stale-read speedup over the ordered baseline at 95/5, groups=1: %.2fx \
+     (gate >= 5)\n%!"
+    stale_speedup;
+  let point (ratio, groups, mode, (r : Jp.result)) =
+    J.Obj
+      [ ("read_ratio", J.Float ratio);
+        ("groups", J.Int groups);
+        ("mode", J.String mode);
+        ("throughput_rps", J.Float r.throughput);
+        ("reads_rps", J.Float (float_of_int r.reads_completed /. duration));
+        ("read_rejects", J.Int r.read_rejects);
+        ("stale_answers", J.Int r.stale_answers);
+        ("safety_ok", J.Bool r.safety_ok) ]
+  in
+  let json =
+    J.Obj
+      [ ("bench", J.String "BENCH_008");
+        ("source", J.String "bench/main.exe bench008");
+        ("quick", J.Bool quick);
+        ("n", J.Int 5);
+        ("cores", J.Int 8);
+        ("n_clients", J.Int n_clients);
+        ("lease_duration_s", J.Float 0.5);
+        ("clock_skew_s", J.Float 0.002);
+        ("points", J.List (List.map point rows));
+        ("stale_speedup_95_g1", J.Float stale_speedup) ]
+  in
+  let oc = open_out !bench008_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !bench008_out
+
+(* ------------------------------------------------------------------ *)
 (* Observability: --trace FILE runs a short traced simulation and writes
    a Chrome trace_event file; --metrics FILE dumps the metrics registry.
    See docs/OBSERVABILITY.md. *)
@@ -1565,7 +1677,7 @@ let experiments =
     ("live", live); ("live-mono", live_mono); ("ablation", ablation);
     ("micro", micro); ("bench002", bench002); ("bench003", bench003);
     ("bench004", bench004); ("bench005", bench005); ("bench006", bench006);
-    ("bench007", bench007) ]
+    ("bench007", bench007); ("bench008", bench008) ]
 
 let () =
   let rec parse ids trace metrics = function
@@ -1590,17 +1702,21 @@ let () =
     | "--bench007-out" :: file :: rest ->
       bench007_out := file;
       parse ids trace metrics rest
+    | "--bench008-out" :: file :: rest ->
+      bench008_out := file;
+      parse ids trace metrics rest
     | "--quick" :: rest ->
       bench_quick := true;
       parse ids trace metrics rest
     | ("--trace" | "--metrics" | "--bench-out" | "--bench003-out"
       | "--bench004-out" | "--bench005-out" | "--bench006-out"
-      | "--bench007-out") :: [] ->
+      | "--bench007-out" | "--bench008-out") :: [] ->
       Printf.eprintf
         "usage: main [EXPERIMENT..] [--trace FILE] [--metrics FILE]\n\
         \       [--quick] [--bench-out FILE] [--bench003-out FILE]\n\
         \       [--bench004-out FILE] [--bench005-out FILE]\n\
-        \       [--bench006-out FILE] [--bench007-out FILE]\n";
+        \       [--bench006-out FILE] [--bench007-out FILE]\n\
+        \       [--bench008-out FILE]\n";
       exit 2
     | id :: rest -> parse (id :: ids) trace metrics rest
   in

@@ -18,6 +18,9 @@ type t = {
   tune_epoch_s : float;
   lockfree : bool;
   steal : bool;
+  lease_enabled : bool;
+  lease_duration_s : float;
+  clock_skew_bound_s : float;
 }
 
 let default ~n =
@@ -41,6 +44,9 @@ let default ~n =
     tune_epoch_s = 0.01;
     lockfree = true;
     steal = true;
+    lease_enabled = false;
+    lease_duration_s = 2.0;
+    clock_skew_bound_s = 0.1;
   }
 
 let validate t =
@@ -71,6 +77,17 @@ let validate t =
     Error "window must be <= wnd_max when auto_tune is on"
   else if t.auto_tune && t.tune_epoch_s <= 0. then
     Error "tune_epoch_s must be > 0 when auto_tune is on"
+  else if t.lease_enabled && t.lease_duration_s <= 0. then
+    Error "lease_duration_s must be > 0 when lease_enabled"
+  else if t.lease_enabled && t.clock_skew_bound_s < 0. then
+    Error "clock_skew_bound_s must be >= 0 when lease_enabled"
+  else if t.lease_enabled && not (t.clock_skew_bound_s < t.lease_duration_s)
+  then Error "clock_skew_bound_s must be < lease_duration_s when lease_enabled"
+  else if t.lease_enabled && not (t.lease_duration_s > 3. *. t.fd_interval_s)
+  then
+    Error
+      "lease_duration_s must exceed 3 * fd_interval_s when lease_enabled \
+       (renewals ride the failure-detector tick)"
   else Ok ()
 
 let f t = (t.n - 1) / 2

@@ -38,6 +38,19 @@ type t = {
                                       when idle (only meaningful with
                                       [executor_threads > 1]); [false]
                                       keeps static hash-sharding *)
+  lease_enabled : bool;           (** quorum-granted leader lease enabling
+                                      the local read fast path (DESIGN.md
+                                      section 15); [false] leaves the
+                                      ordered path byte-for-byte — the
+                                      goldens pin it *)
+  lease_duration_s : float;       (** lease validity from the grant round's
+                                      send timestamp; renewed every
+                                      [lease_duration_s / 3] while leading *)
+  clock_skew_bound_s : float;     (** assumed bound on pairwise clock drift
+                                      over one lease duration; subtracted
+                                      from the holder's expiry so a granting
+                                      follower's promise always outlives the
+                                      holder's own view of the lease *)
 }
 
 val default : n:int -> t
@@ -45,7 +58,8 @@ val default : n:int -> t
     retransmission 100 ms, heartbeats 100 ms / timeout 500 ms, catch-up
     50 ms, snapshot every 10_000 instances, retain 1_000 entries.
     Auto-tuning off; bounds 256..65536 bytes, 1..64 instances, 10 ms
-    controller epoch. Lock-free spine and work-stealing executors on. *)
+    controller epoch. Lock-free spine and work-stealing executors on.
+    Leases off (duration 2 s, skew bound 100 ms when enabled). *)
 
 val validate : t -> (unit, string) result
 (** Check invariants (n >= 1 and odd for the usual f derivation,

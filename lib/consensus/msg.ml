@@ -23,6 +23,8 @@ type t =
       snapshot : (Types.iid * bytes) option;
     }
   | Heartbeat of { view : Types.view; first_undecided : Types.iid }
+  | Lease_ping of { view : Types.view; t0_ns : int }
+  | Lease_grant of { view : Types.view; t0_ns : int }
 
 let tag = function
   | Prepare _ -> "prepare"
@@ -33,6 +35,8 @@ let tag = function
   | Catchup_query _ -> "catchup_query"
   | Catchup_reply _ -> "catchup_reply"
   | Heartbeat _ -> "heartbeat"
+  | Lease_ping _ -> "lease_ping"
+  | Lease_grant _ -> "lease_grant"
 
 let encode_entry w e =
   Codec.W.int_as_i64 w e.e_iid;
@@ -96,6 +100,14 @@ let encode_to w = function
     Codec.W.u8 w 8;
     Codec.W.int_as_i64 w view;
     Codec.W.int_as_i64 w first_undecided
+  | Lease_ping { view; t0_ns } ->
+    Codec.W.u8 w 9;
+    Codec.W.int_as_i64 w view;
+    Codec.W.int_as_i64 w t0_ns
+  | Lease_grant { view; t0_ns } ->
+    Codec.W.u8 w 10;
+    Codec.W.int_as_i64 w view;
+    Codec.W.int_as_i64 w t0_ns
 
 let encode t =
   Codec.W.with_pool (fun w ->
@@ -147,6 +159,14 @@ let decode b =
       let view = Codec.R.int_from_i64 r in
       let first_undecided = Codec.R.int_from_i64 r in
       Heartbeat { view; first_undecided }
+    | 9 ->
+      let view = Codec.R.int_from_i64 r in
+      let t0_ns = Codec.R.int_from_i64 r in
+      Lease_ping { view; t0_ns }
+    | 10 ->
+      let view = Codec.R.int_from_i64 r in
+      let t0_ns = Codec.R.int_from_i64 r in
+      Lease_grant { view; t0_ns }
     | n -> raise (Codec.Malformed (Printf.sprintf "message tag %d" n))
   in
   Codec.R.expect_end r;
@@ -179,8 +199,11 @@ let equal a b =
         | None, Some _ | Some _, None -> false)
   | Heartbeat x, Heartbeat y ->
     x.view = y.view && x.first_undecided = y.first_undecided
+  | Lease_ping x, Lease_ping y -> x.view = y.view && x.t0_ns = y.t0_ns
+  | Lease_grant x, Lease_grant y -> x.view = y.view && x.t0_ns = y.t0_ns
   | ( ( Prepare _ | Prepare_ok _ | Accept _ | Accepted _ | Decide _
-      | Catchup_query _ | Catchup_reply _ | Heartbeat _ ),
+      | Catchup_query _ | Catchup_reply _ | Heartbeat _ | Lease_ping _
+      | Lease_grant _ ),
       _ ) ->
     false
 
@@ -202,5 +225,9 @@ let pp ppf t =
       (match snapshot with None -> "" | Some _ -> ", snapshot")
   | Heartbeat { view; first_undecided } ->
     Format.fprintf ppf "Heartbeat(v=%d, fu=%d)" view first_undecided
+  | Lease_ping { view; t0_ns } ->
+    Format.fprintf ppf "LeasePing(v=%d, t0=%d)" view t0_ns
+  | Lease_grant { view; t0_ns } ->
+    Format.fprintf ppf "LeaseGrant(v=%d, t0=%d)" view t0_ns
 
 let wire_size t = Bytes.length (encode t)

@@ -37,6 +37,16 @@ type t =
   | Heartbeat of { view : Types.view; first_undecided : Types.iid }
       (** The sender's decided prefix; lets silent followers detect that
           they missed a [Decide] and trigger catch-up. *)
+  | Lease_ping of { view : Types.view; t0_ns : int }
+      (** Leader's lease renewal probe ({!Lease}, DESIGN.md section 15).
+          [t0_ns] is the sender's clock at the moment the ping round was
+          started; it is echoed verbatim in [Lease_grant] so the leader
+          can anchor the lease at a timestamp taken {e before} any grant
+          was sent. Only ever on the wire when [Config.lease_enabled]. *)
+  | Lease_grant of { view : Types.view; t0_ns : int }
+      (** Follower's promise not to help elect a different leader for
+          [lease_duration_s] after its local receipt of the matching ping.
+          Echoes the ping's [t0_ns]. *)
 
 val tag : t -> string
 (** Short constructor name, for logging and statistics. *)

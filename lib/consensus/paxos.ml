@@ -433,6 +433,10 @@ let receive t ~from msg =
   | Msg.Heartbeat { view; first_undecided } ->
     if first_undecided > t.decided_hint then t.decided_hint <- first_undecided;
     if view > t.view then enter_view t view else []
+  (* Lease traffic is handled entirely by the runtime's Lease manager
+     (before the engine sees peer messages); the clock-free engine
+     ignores it so a stray delivery is harmless. *)
+  | Msg.Lease_ping _ | Msg.Lease_grant _ -> []
 
 (* Activating the initial view's leader without Phase 1 is safe on a
    fresh group: nothing can have been accepted in an earlier view (with

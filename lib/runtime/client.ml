@@ -10,12 +10,17 @@ type t = {
   mutable calls : int;
   mutable retry_count : int;
   mutable redirect_count : int;  (* times [rotate_target] moved us *)
+  mutable read_redirect_count : int;
+      (* Not_leaseholder / Too_stale bounces of the read fast path *)
   rng : Random.State.t;          (* per-client jitter, deterministic *)
   lock : Mutex.t;
   cond : Condition.t;
   (* Reply slot for the in-flight request. *)
   mutable waiting_for : int;     (* seq, or -1 *)
   mutable reply : bytes option;
+  (* Reply slot for the in-flight read (reads use their own frames). *)
+  mutable read_waiting : int;    (* seq, or -1 *)
+  mutable read_reply : Client_msg.read_reply option;
 }
 
 let create ?(timeout_s = 1.0) ~cluster ~client_id () =
@@ -30,14 +35,15 @@ let create ?(timeout_s = 1.0) ~cluster ~client_id () =
     find 0
   in
   { cluster; client_id; timeout_s; seq = 0; target; calls = 0; retry_count = 0;
-    redirect_count = 0;
+    redirect_count = 0; read_redirect_count = 0;
     rng = Random.State.make [| client_id; 0x636c69 |];
     lock = Mutex.create (); cond = Condition.create (); waiting_for = -1;
-    reply = None }
+    reply = None; read_waiting = -1; read_reply = None }
 
 let calls_made t = t.calls
 let retries t = t.retry_count
 let redirects t = t.redirect_count
+let read_redirects t = t.read_redirect_count
 
 let deliver t raw =
   match Client_msg.reply_of_bytes raw with
@@ -121,3 +127,109 @@ let call t payload =
   Mutex.unlock t.lock;
   t.calls <- t.calls + 1;
   result
+
+(* --- Read fast path ------------------------------------------------- *)
+
+exception Reads_unsupported
+
+let read_deliver t raw =
+  if
+    Bytes.length raw >= 4
+    && Int32.to_int (Bytes.get_int32_be raw 0) = Client_msg.read_reply_magic
+  then
+    match Client_msg.read_reply_of_bytes raw with
+    | rr ->
+      Mutex.lock t.lock;
+      if rr.rid.seq = t.read_waiting then begin
+        t.read_reply <- Some rr;
+        Condition.signal t.cond
+      end;
+      Mutex.unlock t.lock
+    | exception (Msmr_wire.Codec.Underflow | Msmr_wire.Codec.Malformed _) ->
+      ()
+
+(* One read, with redirect-on-[Not_leaseholder] / [Too_stale] and
+   retry-on-lease-expiry: a replica mid-renewal (or mid-view-change)
+   answers [Not_leaseholder] pointing at the node it believes leads;
+   bounce there after a capped, jittered exponential pause — the same
+   backoff shape as the write path's retries. *)
+let do_read t ~staleness_ns payload =
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let rd =
+    { Client_msg.id = { client_id = t.client_id; seq }; staleness_ns;
+      payload }
+  in
+  let raw = Client_msg.read_to_bytes rd in
+  Mutex.lock t.lock;
+  t.read_waiting <- seq;
+  t.read_reply <- None;
+  Mutex.unlock t.lock;
+  let replicas = Replica.Cluster.replicas t.cluster in
+  let n = Array.length replicas in
+  let backoff pause =
+    Mclock.sleep_s (pause +. Random.State.float t.rng (pause /. 2.));
+    Float.min 0.05 (pause *. 2.)
+  in
+  (* Stale reads may be served anywhere: spread the first attempt over
+     the whole cluster instead of converging on the leader. *)
+  let read_target = ref
+      (if staleness_ns >= 0 then t.client_id mod n else t.target)
+  in
+  let retarget hint =
+    t.read_redirect_count <- t.read_redirect_count + 1;
+    if hint >= 0 && hint < n && hint <> !read_target then read_target := hint
+    else read_target := (!read_target + 1) mod n
+  in
+  let rec attempt pause =
+    Mutex.lock t.lock;
+    t.read_reply <- None;
+    Mutex.unlock t.lock;
+    (match
+       Replica.submit replicas.(!read_target) ~raw
+         ~reply_to:(read_deliver t)
+     with
+     | () -> ()
+     | exception _ ->
+       (* Stopped replica: treat like a refused connection. *)
+       t.retry_count <- t.retry_count + 1);
+    let deadline = Int64.add (Mclock.now_ns ()) (Mclock.ns_of_s t.timeout_s) in
+    let rec wait poll =
+      Mutex.lock t.lock;
+      let r = t.read_reply in
+      Mutex.unlock t.lock;
+      match r with
+      | Some { Client_msg.status = Client_msg.Read_ok result; _ } -> result
+      | Some { Client_msg.status = Client_msg.Read_unsupported; _ } ->
+        raise Reads_unsupported
+      | Some
+          { Client_msg.status =
+              Client_msg.Not_leaseholder hint | Client_msg.Too_stale hint;
+            _ } ->
+        retarget hint;
+        attempt (backoff pause)
+      | None ->
+        if Int64.compare (Mclock.now_ns ()) deadline >= 0 then begin
+          t.retry_count <- t.retry_count + 1;
+          retarget (-1);
+          attempt (backoff pause)
+        end
+        else begin
+          Mclock.sleep_s (poll +. Random.State.float t.rng (poll /. 2.));
+          wait (Float.min 0.002 (poll *. 2.))
+        end
+    in
+    wait 0.0001
+  in
+  let result = attempt 0.001 in
+  Mutex.lock t.lock;
+  t.read_waiting <- -1;
+  Mutex.unlock t.lock;
+  t.calls <- t.calls + 1;
+  result
+
+let read t payload = do_read t ~staleness_ns:Client_msg.linearizable payload
+
+let read_stale t ~staleness_s payload =
+  if staleness_s < 0. then invalid_arg "Client.read_stale: staleness_s < 0";
+  do_read t ~staleness_ns:(int_of_float (staleness_s *. 1e9)) payload

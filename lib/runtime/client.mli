@@ -28,3 +28,26 @@ val retries : t -> int
 val redirects : t -> int
 (** Times a timeout moved this client to a different replica (leader
     changes as seen from the client side). *)
+
+exception Reads_unsupported
+(** The cluster runs with [lease_enabled = false]; reads cannot be served
+    and are not retried. *)
+
+val read : t -> bytes -> bytes
+(** Linearizable read on the lease fast path: served by the leaseholder
+    from its executed state machine, no consensus round. The payload must
+    be a non-mutating command of the service. Redirects on
+    [Not_leaseholder] (following the replica's leader hint) and retries
+    with capped jittered backoff across lease renewals and view changes.
+    @raise Reads_unsupported when leases are disabled. *)
+
+val read_stale : t -> staleness_s:float -> bytes -> bytes
+(** Bounded-staleness read served by any replica whose state is provably
+    no older than [staleness_s]; replicas that cannot prove freshness
+    answer [Too_stale] and the client bounces (counted in
+    {!read_redirects}). First attempt is spread over the whole cluster,
+    not aimed at the leader.
+    @raise Reads_unsupported when leases are disabled. *)
+
+val read_redirects : t -> int
+(** [Not_leaseholder] / [Too_stale] bounces the read fast path took. *)

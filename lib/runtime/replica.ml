@@ -24,6 +24,12 @@ type event =
 type decision =
   | Exec of { iid : Types.iid; value : Value.t }
   | Install of { state : bytes }
+  | Read_exec of { read : Client_msg.read; reply_to : bytes -> unit }
+      (** Lease read riding the DecisionQueue (DESIGN.md section 15): FIFO
+          behind every decided instance enqueued before it, so by the time
+          the ServiceManager pops it the apply frontier has reached the
+          lease-covered commit point — that queue position {e is} the
+          linearizability wait. Lease validity is checked at pop time. *)
 
 type durability =
   | Ephemeral
@@ -85,6 +91,23 @@ type exec_ctx = {
          and wrongly suppress a fresh one. Scheduler-private. *)
 }
 
+(* Lease runtime state (Config.lease_enabled). The pure {!Lease} policy
+   is Protocol-thread private — every mutation happens while handling a
+   dispatcher event; what other threads need is published through
+   single-word atomics, same discipline as [am_leader]/[view_now]:
+   [lease_until] for the ServiceManager's serve/refuse check, the
+   heartbeat frontier pair for follower freshness. *)
+type lease_ctx = {
+  lease : Lease.t;
+  lease_until : int Atomic.t;
+      (* holder-side expiry, local monotonic ns; 0 = not held. Zeroed on
+         every view change (conservative invalidation). *)
+  hb_frontier : int Atomic.t;
+      (* leader's first_undecided carried by its last Heartbeat *)
+  hb_recv_ns : int Atomic.t;   (* local receipt time of that Heartbeat *)
+  lease_renewals : Counter.t;
+}
+
 type t = {
   cfg : Config.t;
   me : Types.node_id;
@@ -113,6 +136,7 @@ type t = {
   reply_cache : Reply_cache.t;
   mutable client_io : Client_io.t option;
   exec_pool : exec_ctx option;   (* None => serial ServiceManager *)
+  lease_ctx : lease_ctx option;  (* Some iff cfg.lease_enabled *)
   fd : Failure_detector.t;
   (* Shared introspection state (single-word, lock-free). *)
   leader_now : int Atomic.t;
@@ -125,6 +149,15 @@ type t = {
   proxy_fanout : Counter.t;     (* per-destination expansions by ProxyLeaders *)
   view_changes : Counter.t;     (* views installed after view 0 *)
   suspects : Counter.t;         (* local failure-detector verdicts acted on *)
+  (* Read fast path accounting + follower freshness (lease mode). *)
+  reads_served : Counter.t;
+  reads_rejected : Counter.t;
+  stale_served : Counter.t;
+  stale_rejected : Counter.t;
+  applied_iid : int Atomic.t;
+      (* apply frontier: next iid the ServiceManager has NOT yet applied;
+         written by the SM/scheduler thread, read by stale-read checks *)
+  last_apply_ns : int Atomic.t; (* when the SM last applied a decision *)
   reconnects : unit -> int;
       (* transport-level link re-establishments (Tcp_mesh); [fun () -> 0]
          for transports without reconnection *)
@@ -156,6 +189,24 @@ let view_changes_count t = Counter.get t.view_changes
 let suspects_count t = Counter.get t.suspects
 let reconnects_count t = t.reconnects ()
 let proxy_fanout_count t = Counter.get t.proxy_fanout
+let reads_served_count t = Counter.get t.reads_served
+let reads_rejected_count t = Counter.get t.reads_rejected
+let stale_reads_served_count t = Counter.get t.stale_served
+let stale_reads_rejected_count t = Counter.get t.stale_rejected
+
+let now_int_ns () = Int64.to_int (Mclock.now_ns ())
+
+let lease_held t =
+  match t.lease_ctx with
+  | None -> false
+  | Some lc ->
+    let u = Atomic.get lc.lease_until in
+    u > 0 && now_int_ns () < u
+
+let lease_renewals_count t =
+  match t.lease_ctx with
+  | None -> 0
+  | Some lc -> Counter.get lc.lease_renewals
 
 type queue_stats = {
   request_queue : int;
@@ -172,10 +223,34 @@ let queue_stats t =
     decision_queue = Bq.length t.decision_q;
     window_in_use = Atomic.get t.window_now }
 
+(* Read ingress: decode and put the read on the DecisionQueue. No
+   Batcher, no Paxos, no ReplyCache — reads are idempotent, so they must
+   not occupy at-most-once dedup slots (a read storm cannot evict a
+   pending write's cached reply). The queue put is the linearizability
+   wait (see [Read_exec]); called from client threads, hence the MPMC
+   DecisionQueue in lease mode. *)
+let submit_read t ~raw ~reply_to =
+  match Client_msg.read_of_bytes raw with
+  | exception (Msmr_wire.Codec.Underflow | Msmr_wire.Codec.Malformed _) ->
+    Log_.warn (fun m -> m "replica %d: bad read frame" t.me)
+  | read -> (
+      let reject status =
+        reply_to
+          (Client_msg.read_reply_to_bytes { rid = read.id; status })
+      in
+      match t.lease_ctx with
+      | None -> reject Client_msg.Read_unsupported
+      | Some _ -> (
+          try Bq.put t.decision_q (Read_exec { read; reply_to })
+          with Bq.Closed ->
+            reject (Client_msg.Not_leaseholder (Atomic.get t.leader_now))))
+
 let submit ?reply_many t ~raw ~reply_to =
-  match t.client_io with
-  | Some cio -> Client_io.submit ?reply_many cio ~raw ~reply_to
-  | None -> invalid_arg "Replica.submit: stopped"
+  if Client_msg.is_read_raw raw then submit_read t ~raw ~reply_to
+  else
+    match t.client_io with
+    | Some cio -> Client_io.submit ?reply_many cio ~raw ~reply_to
+    | None -> invalid_arg "Replica.submit: stopped"
 
 let inject_suspect t = Bq.put t.dispatcher_q Suspect
 
@@ -243,7 +318,7 @@ let proxy_leader_loop t st =
 let durability_gated = function
   | Msg.Prepare_ok _ | Msg.Accepted _ | Msg.Accept _ -> true
   | Msg.Prepare _ | Msg.Decide _ | Msg.Catchup_query _ | Msg.Catchup_reply _
-  | Msg.Heartbeat _ -> false
+  | Msg.Heartbeat _ | Msg.Lease_ping _ | Msg.Lease_grant _ -> false
 
 (* Route a send through the durability gate. In Durable mode a gated
    message rides the StableStorage queue tagged with the current LSN —
@@ -306,6 +381,14 @@ let protocol_apply t (rtx_map : (Paxos.rtx_key, rtx_entry) Hashtbl.t) actions =
          Atomic.set t.view_now view;
          Atomic.set t.leader_now leader;
          Atomic.set t.am_leader i_am_leader;
+         (* Conservative lease invalidation: any view change drops the
+            holder side immediately (the grantor-side promise survives
+            inside [Lease.t] — it protects the previous holder). *)
+         (match t.lease_ctx with
+          | Some lc ->
+            Lease.set_view lc.lease ~view;
+            Atomic.set lc.lease_until 0
+          | None -> ());
          Failure_detector.set_view t.fd ~view ~now_ns:now;
          Log_.info (fun m ->
              m "replica %d: view %d, leader %d%s" t.me view leader
@@ -446,9 +529,79 @@ let protocol_loop t st =
         t.tune_lat_n <- 0
       end
   in
+  (* Lease protocol (Config.lease_enabled): every Lease.t transition
+     happens here, on the engine-owning thread, so the pure policy needs
+     no synchronisation. The grantor's promise is enforced below by
+     dropping excluded Prepares (safe: Phase 1 is retransmitted) and
+     deferring Suspect verdicts (safe: the failure detector re-arms). *)
+  let lease_quorum = (t.cfg.Config.n / 2) + 1 in
+  let all_peers =
+    List.filter (fun p -> p <> t.me) (List.init t.cfg.Config.n Fun.id)
+  in
+  let lease_tick () =
+    match t.lease_ctx with
+    | Some lc when Atomic.get t.am_leader ->
+      let now = now_int_ns () in
+      if Lease.ping_due lc.lease ~now_ns:now then begin
+        let ping = Lease.make_ping lc.lease ~now_ns:now in
+        (* A singleton group grants to itself at ping time. *)
+        Atomic.set lc.lease_until (Lease.held_until_ns lc.lease);
+        enqueue_send t all_peers ping
+      end
+    | Some _ | None -> ()
+  in
+  let on_lease_msg lc from msg =
+    match msg with
+    | Msg.Lease_ping { view; t0_ns } -> (
+        match
+          Lease.on_ping lc.lease ~from ~view ~t0_ns ~now_ns:(now_int_ns ())
+        with
+        | Some grant ->
+          (* Never durability-gated: a grant witnesses only clock state. *)
+          enqueue_send t [ from ] grant
+        | None -> ())
+    | Msg.Lease_grant { view; t0_ns } ->
+      if
+        Atomic.get t.am_leader
+        && Lease.on_grant lc.lease ~from ~view ~t0_ns ~quorum:lease_quorum
+      then begin
+        Counter.incr lc.lease_renewals;
+        Atomic.set lc.lease_until (Lease.held_until_ns lc.lease)
+      end
+    | _ -> ()
+  in
+  (* Does an active promise exclude the node that [Prepare view] tries to
+     elect? (The candidate for a view is statically its leader.) *)
+  let promise_drops_prepare view =
+    match t.lease_ctx with
+    | None -> false
+    | Some lc ->
+      Lease.promise_blocks lc.lease
+        ~candidate:(Types.leader_of_view ~n:t.cfg.Config.n view)
+        ~now_ns:(now_int_ns ())
+  in
+  let promise_defers_suspect () =
+    match t.lease_ctx with
+    | None -> false
+    | Some lc ->
+      (* Acting on the suspicion would start Phase 1 for a view this
+         node leads; the promise forbids helping elect anyone but the
+         grantee. *)
+      Lease.promise_blocks lc.lease ~candidate:t.me ~now_ns:(now_int_ns ())
+  in
   let handle = function
     | Proposal_ready -> ()
-    | Housekeeping_tick -> apply (Paxos.tick_catchup engine)
+    | Housekeeping_tick ->
+      lease_tick ();
+      apply (Paxos.tick_catchup engine)
+    | Peer_msg { from; msg = (Msg.Lease_ping _ | Msg.Lease_grant _) as msg }
+      when Option.is_some t.lease_ctx ->
+      on_lease_msg (Option.get t.lease_ctx) from msg
+    | Peer_msg { from = _; msg = Msg.Prepare { view; _ } }
+      when promise_drops_prepare view ->
+      (* Dropped, not rejected: the excluded candidate's Rtx_prepare will
+         retry after the promise (and with it the lease) has expired. *)
+      ()
     | Peer_msg { from; msg } ->
       (* Acceptor durability: the promise/acceptance must hit the log
          before the corresponding Prepare_ok/Accepted can leave. Logging
@@ -475,8 +628,23 @@ let protocol_loop t st =
               end)
            entries
        | Msg.Prepare_ok _ | Msg.Accepted _ | Msg.Decide _
-       | Msg.Catchup_query _ | Msg.Heartbeat _ -> ());
+       | Msg.Catchup_query _ | Msg.Heartbeat _ | Msg.Lease_ping _
+       | Msg.Lease_grant _ -> ());
+      (* Follower freshness for bounded-staleness reads: remember the
+         current leader's last advertised decided frontier and when it
+         arrived. *)
+      (match (msg, t.lease_ctx) with
+       | Msg.Heartbeat { view; first_undecided }, Some lc
+         when view = Atomic.get t.view_now && from = Atomic.get t.leader_now
+         ->
+         Atomic.set lc.hb_frontier first_undecided;
+         Atomic.set lc.hb_recv_ns (now_int_ns ())
+       | _ -> ());
       apply (Paxos.receive engine ~from msg)
+    | Suspect when promise_defers_suspect () ->
+      (* The FD re-arms after a verdict, so the suspicion re-fires after
+         the promise has lapsed; a live leader will have renewed by then. *)
+      ()
     | Suspect ->
       Counter.incr t.suspects;
       apply (Paxos.suspect_leader engine)
@@ -764,6 +932,77 @@ let exec_request t (req : Client_msg.request) =
   if not (Reply_cache.already_executed t.reply_cache req.id) then
     exec_request_unchecked t req
 
+(* Serve one read popped off the DecisionQueue, on the SM/scheduler
+   thread. The FIFO position already provided the apply-frontier wait;
+   what remains is the authority check at execution time:
+
+   - linearizable: this node must hold a currently valid lease. Valid
+     lease => no newer leader exists => every write this cluster has
+     acknowledged is in our applied prefix (writes enqueued behind us in
+     the queue are unacknowledged, hence concurrent — ordering the read
+     before them is legal). The read bypasses the ReplyCache entirely.
+   - bounded staleness: any replica may answer if its state is provably
+     no older than the client's bound — it was caught up to the leader's
+     advertised frontier within the bound, or it applied a decision
+     within the bound with nothing pending (an idle caught-up follower),
+     or it is the leaseholder (trivially fresh).
+
+   Scheduler mode executes the read inline without quiescing the pool:
+   an executor-resident write is un-replied (replies only happen at
+   execution), hence concurrent with this read, and the service stores
+   are per-key atomic — so serving the pre-write value linearizes the
+   read before that write. *)
+let exec_read t (read : Client_msg.read) reply_to =
+  let lc = Option.get t.lease_ctx in
+  let now = now_int_ns () in
+  let holder () =
+    let u = Atomic.get lc.lease_until in
+    Atomic.get t.am_leader && u > 0 && now < u
+  in
+  let serve () = t.service.execute { id = read.id; payload = read.payload } in
+  let hint () = Atomic.get t.leader_now in
+  let status =
+    if read.staleness_ns < 0 then
+      if holder () then begin
+        Counter.incr t.reads_served;
+        Client_msg.Read_ok (serve ())
+      end
+      else begin
+        Counter.incr t.reads_rejected;
+        Client_msg.Not_leaseholder (hint ())
+      end
+    else begin
+      let fresh_ns =
+        if holder () then now
+        else
+          let hb =
+            if Atomic.get t.applied_iid >= Atomic.get lc.hb_frontier then
+              Atomic.get lc.hb_recv_ns
+            else 0
+          in
+          let idle =
+            if Bq.length t.decision_q = 0 then Atomic.get t.last_apply_ns
+            else 0
+          in
+          max hb idle
+      in
+      if fresh_ns > 0 && now - fresh_ns <= read.staleness_ns then begin
+        Counter.incr t.stale_served;
+        Client_msg.Read_ok (serve ())
+      end
+      else begin
+        Counter.incr t.stale_rejected;
+        Client_msg.Too_stale (hint ())
+      end
+    end
+  in
+  reply_to (Client_msg.read_reply_to_bytes { rid = read.id; status })
+
+(* Apply-frontier bookkeeping shared by both ServiceManager variants. *)
+let note_applied t ~iid =
+  Atomic.set t.applied_iid (iid + 1);
+  Atomic.set t.last_apply_ns (now_int_ns ())
+
 (* Snapshot bookkeeping shared by both ServiceManager variants; the
    caller guarantees quiescence. *)
 let take_snapshot t ~iid =
@@ -782,10 +1021,12 @@ let service_manager_loop t st =
     match Bq.take ~st t.decision_q with
     | exception Bq.Closed -> continue := false
     | Install { state } -> t.service.restore state
+    | Read_exec { read; reply_to } -> exec_read t read reply_to
     | Exec { iid; value } ->
       (match value with
        | Value.Noop -> ()
        | Value.Batch batch -> List.iter (exec_request t) batch.requests);
+      if Option.is_some t.lease_ctx then note_applied t ~iid;
       incr instances_executed;
       if t.cfg.snapshot_every > 0
          && !instances_executed mod t.cfg.snapshot_every = 0
@@ -841,10 +1082,16 @@ let scheduler_loop t ctx st =
       (* State transfer replaces the whole service state: quiesce. *)
       Exec_pool.quiesce pool st;
       t.service.restore state
+    | Read_exec { read; reply_to } ->
+      (* Inline, no quiesce: see [exec_read] for why racing an
+         executor-resident (un-replied, hence concurrent) write is a
+         legal linearization. *)
+      exec_read t read reply_to
     | Exec { iid; value } ->
       (match value with
        | Value.Noop -> ()
        | Value.Batch batch -> List.iter (dispatch t ctx st) batch.requests);
+      if Option.is_some t.lease_ctx then note_applied t ~iid;
       incr instances_executed;
       if t.cfg.snapshot_every > 0
          && !instances_executed mod t.cfg.snapshot_every = 0
@@ -896,7 +1143,14 @@ let metric_names =
     "msmr_replica_flush_delay_total";
     "msmr_replica_view_changes_total";
     "msmr_replica_suspect_total";
-    "msmr_replica_reconnect_total" ]
+    "msmr_replica_reconnect_total";
+    "msmr_lease_held";
+    "msmr_lease_renewals_total";
+    "msmr_lease_until_ns";
+    "msmr_read_served_total";
+    "msmr_read_rejected_total";
+    "msmr_read_stale_served_total";
+    "msmr_read_stale_rejected_total" ]
 
 let register_metrics t =
   let labels = metric_labels t in
@@ -970,7 +1224,18 @@ let register_metrics t =
   g "msmr_replica_view_changes_total" (fun () ->
       fi (Counter.get t.view_changes));
   g "msmr_replica_suspect_total" (fun () -> fi (Counter.get t.suspects));
-  g "msmr_replica_reconnect_total" (fun () -> fi (t.reconnects ()))
+  g "msmr_replica_reconnect_total" (fun () -> fi (t.reconnects ()));
+  g "msmr_lease_held" (fun () -> if lease_held t then 1. else 0.);
+  g "msmr_lease_renewals_total" (fun () -> fi (lease_renewals_count t));
+  g "msmr_lease_until_ns" (fun () ->
+      match t.lease_ctx with
+      | Some lc -> fi (Atomic.get lc.lease_until)
+      | None -> 0.);
+  g "msmr_read_served_total" (fun () -> fi (Counter.get t.reads_served));
+  g "msmr_read_rejected_total" (fun () -> fi (Counter.get t.reads_rejected));
+  g "msmr_read_stale_served_total" (fun () -> fi (Counter.get t.stale_served));
+  g "msmr_read_stale_rejected_total" (fun () ->
+      fi (Counter.get t.stale_rejected))
 
 let unregister_metrics t =
   let labels = metric_labels t in
@@ -1045,7 +1310,12 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
           ~capacity:proposal_queue_capacity;
       request_q =
         Bq.create ~lockfree:lf ~kind:Bq.Mpmc ~capacity:request_queue_capacity;
-      decision_q = Bq.create ~lockfree:lf ~kind:Bq.Spsc ~capacity:1024;
+      decision_q =
+        (* Lease mode adds client threads as read producers (submit_read);
+           otherwise the Protocol thread is the only producer. *)
+        Bq.create ~lockfree:lf
+          ~kind:(if cfg.Config.lease_enabled then Bq.Mpmc else Bq.Spsc)
+          ~capacity:1024;
       send_qs =
         Array.init cfg.Config.n (fun _ ->
             Bq.create ~lockfree:lf ~kind:Bq.Mpmc ~capacity:4096);
@@ -1068,6 +1338,16 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
                    ~n_exec:executor_threads ();
                exec_frontier = Hashtbl.create 256 }
          else None);
+      lease_ctx =
+        (if cfg.Config.lease_enabled then
+           Some
+             { lease =
+                 Lease.create cfg ~me ~view:(Option.value gid ~default:0);
+               lease_until = Atomic.make 0;
+               hb_frontier = Atomic.make 0;
+               hb_recv_ns = Atomic.make 0;
+               lease_renewals = Counter.create () }
+         else None);
       fd = Failure_detector.create cfg ~me ~now_ns:(Mclock.now_ns ());
       leader_now = Atomic.make 0;
       view_now = Atomic.make 0;
@@ -1079,6 +1359,12 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       proxy_fanout = Counter.create ();
       view_changes = Counter.create ();
       suspects = Counter.create ();
+      reads_served = Counter.create ();
+      reads_rejected = Counter.create ();
+      stale_served = Counter.create ();
+      stale_rejected = Counter.create ();
+      applied_iid = Atomic.make 0;
+      last_apply_ns = Atomic.make 0;
       reconnects;
       running = Atomic.make true;
       threads = [];

@@ -107,7 +107,15 @@ val submit :
 (** Inject one serialised client request ({!Msmr_wire.Client_msg}); the
     reply is delivered, serialised, to [reply_to]. Blocks under overload
     (back-pressure). [reply_many], when given, receives coalesced runs of
-    replies instead (see {!Client_io.submit}). *)
+    replies instead (see {!Client_io.submit}).
+
+    Read frames ({!Msmr_wire.Client_msg.is_read_raw}) take the lease fast
+    path instead: they bypass ClientIO/Batcher/Paxos and ride the
+    DecisionQueue straight to the state machine, which answers through
+    [reply_to] with a serialised {!Msmr_wire.Client_msg.read_reply}
+    ([Read_unsupported] when the replica runs with
+    [lease_enabled = false]). The read's payload must be a non-mutating
+    command of the service — executing it locally must not change state. *)
 
 val is_leader : t -> bool
 val current_view : t -> Msmr_consensus.Types.view
@@ -139,6 +147,29 @@ val proxy_fanout_count : t -> int
     ProxyLeader threads (the value behind
     [msmr_replica_proxy_fanout_total]); always [0] when the replica was
     created with [proxy_leaders = 0]. *)
+
+val lease_held : t -> bool
+(** Does this replica hold a currently valid leader lease (own clock)?
+    Always [false] with [lease_enabled = false]. *)
+
+val lease_renewals_count : t -> int
+(** Lease rounds that reached quorum (acquisitions + renewals); the value
+    behind [msmr_lease_renewals_total]. *)
+
+val reads_served_count : t -> int
+(** Linearizable reads answered from the local state machine under a
+    valid lease ([msmr_read_served_total]). *)
+
+val reads_rejected_count : t -> int
+(** Linearizable reads refused with [Not_leaseholder]
+    ([msmr_read_rejected_total]). *)
+
+val stale_reads_served_count : t -> int
+(** Bounded-staleness reads served ([msmr_read_stale_served_total]). *)
+
+val stale_reads_rejected_count : t -> int
+(** Bounded-staleness reads refused with [Too_stale]
+    ([msmr_read_stale_rejected_total]). *)
 
 type queue_stats = {
   request_queue : int;

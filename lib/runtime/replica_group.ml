@@ -16,6 +16,8 @@ type t = {
   inflight : int array;
   routed : Counter.t;
   globals : Counter.t;
+  reads_routed : Counter.t;
+  stale_rr : int Atomic.t;   (* round-robin cursor for stale-read spread *)
   mutable running : bool;
 }
 
@@ -23,6 +25,7 @@ let groups t = t.n_groups
 let cluster t ~gid = t.clusters.(gid)
 let routed_count t = Counter.get t.routed
 let globals_count t = Counter.get t.globals
+let reads_routed_count t = Counter.get t.reads_routed
 
 let m_labels = [ ("mode", "live") ]
 let m_group_labels g = ("group", string_of_int g) :: m_labels
@@ -58,10 +61,14 @@ let create ?client_io_threads ?executor_threads ?proxy_leaders ?conflict
       inflight = Array.make groups 0;
       routed = Counter.create ();
       globals = Counter.create ();
+      reads_routed = Counter.create ();
+      stale_rr = Atomic.make 0;
       running = true }
   in
   Msmr_obs.Metrics.gauge ~labels:m_labels "msmr_replica_router_routed_total"
     (fun () -> float_of_int (Counter.get t.routed));
+  Msmr_obs.Metrics.gauge ~labels:m_labels "msmr_replica_router_reads_total"
+    (fun () -> float_of_int (Counter.get t.reads_routed));
   for g = 0 to groups - 1 do
     (* The group's log-ordering watermark: instances decided by its
        acting leader — the live counterpart of the simulator's per-group
@@ -122,21 +129,56 @@ let submit_global t ~raw ~reply_to =
   in
   Replica.submit (leader_of t 0) ~raw ~reply_to
 
+(* Read fast path: per-group routing by the same conflict classifier as
+   writes, so each group's leaseholder serves its own keyspace and read
+   throughput scales with groups x replicas. Reads bypass the Global
+   quiescence gate — they mutate nothing, and a key owned by group [g]
+   is only ever written through group [g]'s log. Linearizable reads go
+   to the group's acting leader (the leaseholder); bounded-staleness
+   reads are spread round-robin over the group's replicas. Global-keyed
+   reads target group 0, where Global commands execute. *)
+let submit_read t (read : Client_msg.read) ~raw ~reply_to =
+  Counter.incr t.reads_routed;
+  let g =
+    match
+      Router.target_of_conflict ~groups:t.n_groups
+        ~fallback:read.id.client_id
+        (t.conflict { Client_msg.id = read.id; payload = read.payload })
+    with
+    | Router.Group g -> g
+    | Router.Global -> 0
+  in
+  let target =
+    if read.staleness_ns < 0 then leader_of t g
+    else begin
+      let replicas = Replica.Cluster.replicas t.clusters.(g) in
+      let k = Atomic.fetch_and_add t.stale_rr 1 in
+      replicas.(k mod Array.length replicas)
+    end
+  in
+  Replica.submit target ~raw ~reply_to
+
 let submit t ~raw ~reply_to =
-  let req = Client_msg.request_of_bytes raw in
-  Counter.incr t.routed;
-  match
-    Router.target_of_conflict ~groups:t.n_groups ~fallback:req.id.client_id
-      (t.conflict req)
-  with
-  | Router.Group g -> submit_to_group t g ~raw ~reply_to
-  | Router.Global -> submit_global t ~raw ~reply_to
+  if Client_msg.is_read_raw raw then
+    submit_read t (Client_msg.read_of_bytes raw) ~raw ~reply_to
+  else begin
+    let req = Client_msg.request_of_bytes raw in
+    Counter.incr t.routed;
+    match
+      Router.target_of_conflict ~groups:t.n_groups ~fallback:req.id.client_id
+        (t.conflict req)
+    with
+    | Router.Group g -> submit_to_group t g ~raw ~reply_to
+    | Router.Global -> submit_global t ~raw ~reply_to
+  end
 
 let stop t =
   if t.running then begin
     t.running <- false;
     Msmr_obs.Metrics.remove ~labels:m_labels
       "msmr_replica_router_routed_total";
+    Msmr_obs.Metrics.remove ~labels:m_labels
+      "msmr_replica_router_reads_total";
     for g = 0 to t.n_groups - 1 do
       Msmr_obs.Metrics.remove ~labels:(m_group_labels g)
         "msmr_replica_group_commit_lsn"

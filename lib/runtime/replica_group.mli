@@ -62,13 +62,24 @@ val await_leaders : ?timeout_s:float -> t -> unit
 val submit : t -> raw:bytes -> reply_to:Client_io.sink -> unit
 (** Route one serialised client request ({!Msmr_wire.Client_msg}) to its
     group's current leader; [Global] requests take the quiescence
-    barrier described above. Blocks while the gate is closed. *)
+    barrier described above. Blocks while the gate is closed.
+
+    Read frames take the lease fast path: classified by the same
+    [conflict] function, linearizable reads go to their group's acting
+    leader (the leaseholder), bounded-staleness reads round-robin over
+    the group's replicas, and neither touches the Global gate (reads
+    mutate nothing and a group's keys are only written through its own
+    log). *)
 
 val routed_count : t -> int
 (** Requests routed so far (behind [msmr_replica_router_routed_total]). *)
 
 val globals_count : t -> int
 (** Requests that took the cross-group barrier. *)
+
+val reads_routed_count : t -> int
+(** Read frames routed by the fast path (behind
+    [msmr_replica_router_reads_total]). *)
 
 val stop : t -> unit
 (** Stop every group's cluster. Idempotent. *)

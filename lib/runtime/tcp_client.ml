@@ -10,6 +10,7 @@ type t = {
   mutable seq : int;
   mutable retry_count : int;
   mutable redirect_count : int;      (* target rotations *)
+  mutable read_redirect_count : int; (* read fast-path bounces *)
   mutable connect_pause : float;     (* current reconnect backoff *)
   rng : Random.State.t;
 }
@@ -20,7 +21,7 @@ let connect_pause_cap = 0.5
 let create ?(timeout_s = 1.0) ~addrs ~client_id () =
   if addrs = [] then invalid_arg "Tcp_client.create: no addresses";
   { addrs = Array.of_list addrs; client_id; timeout_s; fd = None; target = 0;
-    seq = 0; retry_count = 0; redirect_count = 0;
+    seq = 0; retry_count = 0; redirect_count = 0; read_redirect_count = 0;
     connect_pause = connect_pause_base;
     rng = Random.State.make [| client_id; 0x746370 |] }
 
@@ -34,6 +35,7 @@ let disconnect t =
 let close = disconnect
 let retries t = t.retry_count
 let redirects t = t.redirect_count
+let read_redirects t = t.read_redirect_count
 
 let rec connected t ~attempts_left =
   match t.fd with
@@ -60,10 +62,10 @@ let rec connected t ~attempts_left =
        t.connect_pause <- Float.min connect_pause_cap (pause *. 2.);
        connected t ~attempts_left:(attempts_left - 1))
 
-(* Wait for a reply frame with [deadline]; [None] on timeout, raises on a
+(* Wait for a raw frame with [deadline]; [None] on timeout, raises on a
    broken connection. *)
-let read_reply fd ~deadline =
-  let rec go () =
+let read_frame fd ~deadline =
+  let go () =
     let now = Unix.gettimeofday () in
     let budget = deadline -. now in
     if budget <= 0. then None
@@ -72,10 +74,24 @@ let read_reply fd ~deadline =
       | [], _, _ -> None
       | _ -> (
           match Msmr_wire.Frame.read fd with
-          | Some raw -> Some (Client_msg.reply_of_bytes raw)
-          | None -> raise End_of_file
-          | exception Msmr_wire.Codec.Malformed _ -> go ())
+          | Some raw -> Some raw
+          | None -> raise End_of_file)
     end
+  in
+  go ()
+
+(* Wait for a write reply, skipping stray read-reply frames (late answers
+   to an earlier retried read share the connection). *)
+let read_reply fd ~deadline =
+  let rec go () =
+    match read_frame fd ~deadline with
+    | None -> None
+    | Some raw -> (
+        match Client_msg.reply_of_bytes raw with
+        | reply -> Some reply
+        | exception
+            (Msmr_wire.Codec.Malformed _ | Msmr_wire.Codec.Underflow) ->
+          go ())
   in
   go ()
 
@@ -114,3 +130,75 @@ let call t payload =
               rotate_and_retry ()))
   in
   attempt ()
+
+(* --- Read fast path ------------------------------------------------- *)
+
+exception Reads_unsupported
+
+(* The address list is assumed to be in node-id order: a replica's
+   [Not_leaseholder]/[Too_stale] hint names the node id it believes
+   leads, and the client steers by indexing [addrs] with it. *)
+let do_read t ~staleness_ns payload =
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let raw =
+    Client_msg.read_to_bytes
+      { id = { client_id = t.client_id; seq }; staleness_ns; payload }
+  in
+  let n = Array.length t.addrs in
+  (* Stale reads can be served anywhere: if no connection is up yet,
+     spread the client population over the cluster instead of piling on
+     the leader. *)
+  if staleness_ns >= 0 && t.fd = None then t.target <- t.client_id mod n;
+  let rec attempt pause =
+    let bounce hint =
+      t.read_redirect_count <- t.read_redirect_count + 1;
+      disconnect t;
+      if hint >= 0 && hint < n && hint <> t.target then t.target <- hint
+      else t.target <- (t.target + 1) mod n;
+      (* Same capped jittered backoff as reconnection: a lease
+         mid-renewal answers within one ping interval, not instantly. *)
+      Mclock.sleep_s (pause +. Random.State.float t.rng (pause /. 2.));
+      attempt (Float.min connect_pause_cap (pause *. 2.))
+    in
+    let rotate_and_retry () =
+      t.retry_count <- t.retry_count + 1;
+      bounce (-1)
+    in
+    match connected t ~attempts_left:(3 * n) with
+    | fd -> (
+        match Msmr_wire.Frame.write fd raw with
+        | exception (Unix.Unix_error _ | Sys_error _) -> rotate_and_retry ()
+        | () -> (
+            let deadline = Unix.gettimeofday () +. t.timeout_s in
+            let rec await () =
+              match read_frame fd ~deadline with
+              | None -> `Timeout
+              | Some frame -> (
+                  match Client_msg.read_reply_of_bytes frame with
+                  | rr when rr.rid.seq = seq -> `Reply rr.status
+                  | _ -> await ()  (* late reply to an earlier request *)
+                  | exception
+                      ( Msmr_wire.Codec.Malformed _
+                      | Msmr_wire.Codec.Underflow ) ->
+                    await ())
+            in
+            match await () with
+            | `Reply (Client_msg.Read_ok result) -> result
+            | `Reply Client_msg.Read_unsupported -> raise Reads_unsupported
+            | `Reply
+                ( Client_msg.Not_leaseholder hint
+                | Client_msg.Too_stale hint ) ->
+              bounce hint
+            | `Timeout -> rotate_and_retry ()
+            | exception (End_of_file | Unix.Unix_error _) ->
+              rotate_and_retry ()))
+  in
+  attempt connect_pause_base
+
+let read t payload = do_read t ~staleness_ns:Client_msg.linearizable payload
+
+let read_stale t ~staleness_s payload =
+  if staleness_s < 0. then
+    invalid_arg "Tcp_client.read_stale: staleness_s < 0";
+  do_read t ~staleness_ns:(int_of_float (staleness_s *. 1e9)) payload

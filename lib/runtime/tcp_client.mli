@@ -33,4 +33,24 @@ val redirects : t -> int
 (** Target rotations (failed connects and failed attempts) — how often
     this client had to look for another replica. *)
 
+exception Reads_unsupported
+(** The cluster runs with [lease_enabled = false]. *)
+
+val read : t -> bytes -> bytes
+(** Linearizable read on the lease fast path (no consensus round). The
+    payload must be a non-mutating command. Follows [Not_leaseholder]
+    redirects — [addrs] must be in node-id order for the hints to steer
+    correctly — and retries with the capped jittered backoff of the
+    reconnect path across lease renewals.
+    @raise Reads_unsupported when leases are disabled. *)
+
+val read_stale : t -> staleness_s:float -> bytes -> bytes
+(** Bounded-staleness read: any replica whose state is provably within
+    [staleness_s] may answer; [Too_stale] answers bounce the client
+    (counted in {!read_redirects}).
+    @raise Reads_unsupported when leases are disabled. *)
+
+val read_redirects : t -> int
+(** [Not_leaseholder] / [Too_stale] bounces taken by the read calls. *)
+
 val close : t -> unit

@@ -6,7 +6,8 @@ module Client_msg = Msmr_wire.Client_msg
 let approx_size (m : Msg.t) =
   match m with
   | Msg.Accept { value; _ } -> 34 + Value.size_bytes value
-  | Msg.Prepare _ | Msg.Accepted _ | Msg.Decide _ | Msg.Heartbeat _ -> 20
+  | Msg.Prepare _ | Msg.Accepted _ | Msg.Decide _ | Msg.Heartbeat _
+  | Msg.Lease_ping _ | Msg.Lease_grant _ -> 20
   | Msg.Prepare_ok { entries; _ } | Msg.Catchup_reply { entries; _ } ->
     List.fold_left (fun acc (e : Msg.log_entry) ->
         acc + 18 + Value.size_bytes e.e_value) 24 entries
@@ -45,12 +46,23 @@ let segment_payload = 1448
 type cio_ev =
   | Req of Client_msg.request
   | Rep of Client_msg.request_id
+  | Rd of Client_msg.request_id
+      (* read fast path: one packet in, a DecisionQueue ride, one packet
+         back — no Batcher/Protocol/replication. Replies reuse [Rep];
+         the result travels in per-client slots (one outstanding op). *)
 
 type disp_ev =
   | PMsg of Types.node_id * Msg.t
   | Poke
   | Suspect_ev  (* chaos: local failure-detector verdict *)
   | Tick        (* chaos: periodic catch-up check *)
+
+(* Multi-group Router input: ordered writes and fast-path reads share
+   the Router hop, which partitions both to their group by conflict key
+   (client id) — reads then ride the group's DecisionQueue. *)
+type route_ev =
+  | Route_req of Client_msg.request
+  | Route_read of Client_msg.request_id
 
 (* StableStorage pipeline events ([Params.Sync_group]), mirroring the
    live runtime's log queue: the Protocol process enqueues record counts
@@ -62,7 +74,13 @@ type ss_ev =
   | Sl_log of int                     (* records to append *)
   | Sl_rel of Types.node_id * Msg.t   (* send awaiting durability *)
 
-type decision_ev = { d_iid : Types.iid; d_value : Value.t }
+type decision_ev =
+  | Dec of { d_iid : Types.iid; d_value : Value.t }
+  | Dread of { r_id : Client_msg.request_id }
+      (* a fast-path read riding the DecisionQueue: its FIFO position
+         behind every already-decided instance IS the apply-frontier
+         wait that makes leaseholder reads linearizable (the same trick
+         the live runtime plays) *)
 
 type replica_report = {
   cpu_util_pct : float;
@@ -100,6 +118,9 @@ type result = {
   executed_min : int;
   executed_max : int;
   client_retries : int;
+  reads_completed : int;
+  read_rejects : int;
+  stale_answers : int;
   timeline : (float * int) array;
   events : int;
   group_throughputs : float array;
@@ -185,6 +206,113 @@ let run_single ?(trace = false) (p : Params.t) =
         fd_timeout_s = p.chaos_fd_timeout;
         retransmit_interval_s = p.chaos_rtx_interval }
     else cfg
+  in
+  (* Read fast-path gate, same discipline as the chaos gate: with
+     [lease = false] none of the lease/read state below is consulted and
+     the event stream is byte-for-byte the seed one (golden-pinned).
+     [read_ratio > 0.] with [lease = false] runs reads down the ordered
+     path — a read then costs exactly a write, which IS the ordered-read
+     baseline bench008 measures the fast path against. *)
+  let reads_on = p.lease && p.read_ratio > 0. in
+  let cfg =
+    if p.lease then
+      { cfg with
+        Config.lease_enabled = true;
+        lease_duration_s = p.lease_duration;
+        clock_skew_bound_s = p.clock_skew }
+    else cfg
+  in
+  (* Per-node drifting clocks: node [i] reads [t*(1+drift_i)+offset_i],
+     deterministic (Knuth hash, no RNG) and bounded — offset and the
+     drift accumulated over the whole run each stay within
+     [clock_skew/2], so no node's clock error exceeds [clock_skew].
+     This is the adversary the lease's [clock_skew_bound_s] padding is
+     up against. *)
+  let horizon = p.warmup +. p.duration in
+  let clock_u i salt =
+    float_of_int (((i * 2654435761) + (salt * 40503)) land 1023) /. 1023.
+  in
+  let clock_offset =
+    Array.init p.n (fun i -> p.clock_skew /. 2. *. clock_u i 1)
+  in
+  let clock_drift =
+    Array.init p.n (fun i ->
+        if horizon <= 0. then 0.
+        else p.clock_skew /. 2. *. clock_u i 2 /. horizon)
+  in
+  let node_clock i =
+    let t = Engine.now eng in
+    (t *. (1. +. clock_drift.(i))) +. clock_offset.(i)
+  in
+  let clock_ns i = int_of_float (node_clock i *. 1e9) in
+  (* Lease state per node — the same pure {!Lease} policy the live
+     runtime drives, here ticked in simulated time on drifted clocks. *)
+  let leases = Array.init p.n (fun i -> Lease.create cfg ~me:i ~view:0) in
+  let lease_quorum = (p.n / 2) + 1 in
+  (* The simulated service keyed by client id: each node's executed
+     version of every client's register (a write = "set my register to
+     my seq"), plus the node-local apply recency that backs the
+     bounded-staleness freshness proof. *)
+  let n_cl = max 1 p.n_clients in
+  let ver = Array.init p.n (fun _ -> Array.make n_cl 0) in
+  let last_apply_c = Array.make p.n 0. in
+  let note_exec node (id : Client_msg.request_id) =
+    if reads_on then begin
+      ver.(node.id).(id.client_id) <- id.seq;
+      last_apply_c.(node.id) <- node_clock node.id
+    end
+  in
+  (* Per-client read plumbing (clients are sequential: one outstanding
+     op each, so plain slots carry the reply payload) and the
+     linearizability bookkeeping the extended [safety_ok] checks:
+     [ack_hist] remembers when each write ack landed, newest first. *)
+  let read_result = Array.make n_cl (-1) in
+  let read_serve_t = Array.make n_cl 0. in
+  let read_floor = Array.make n_cl 0 in
+  let last_write_acked = Array.make n_cl 0 in
+  let ack_hist : (int * float) list array = Array.make n_cl [] in
+  let note_acked cid seq =
+    last_write_acked.(cid) <- seq;
+    let l = (seq, Engine.now eng) :: ack_hist.(cid) in
+    ack_hist.(cid) <-
+      (if List.length l > 64 then List.filteri (fun i _ -> i < 64) l else l)
+  in
+  (* Highest write seq of [cid] acked at or before [cutoff]. Truncated
+     history can only lower the floor — the check errs permissive,
+     never flags a correct read. *)
+  let acked_floor cid cutoff =
+    let rec go = function
+      | (s, t) :: _ when t <= cutoff -> s
+      | _ :: rest -> go rest
+      | [] -> 0
+    in
+    go ack_hist.(cid)
+  in
+  let reads_completed = ref 0 in
+  let read_rejects = ref 0 in
+  let stale_answers = ref 0 in
+  (* Client-side verdict on one finished read: a linearizable read must
+     return at least the client's last write acked before the read was
+     issued; a bounded-staleness read at least the last write acked
+     [staleness_bound] before the moment the replica served it. *)
+  let check_read cid =
+    let q = read_result.(cid) in
+    if q >= 0 then begin
+      let floor =
+        if p.stale_reads then
+          acked_floor cid (read_serve_t.(cid) -. p.staleness_bound)
+        else read_floor.(cid)
+      in
+      if q < floor then incr stale_answers
+    end
+  in
+  (* Deterministic read/write interleave: op [k] is a read iff the
+     scaled floor counter crosses — exactly [read_ratio] of each
+     client's ops in the long run, no RNG. *)
+  let is_read_op k =
+    reads_on
+    && int_of_float (float_of_int k *. p.read_ratio)
+       > int_of_float (float_of_int (k - 1) *. p.read_ratio)
   in
   (* ---------------- nodes ---------------- *)
   let mk_node id =
@@ -327,6 +455,11 @@ let run_single ?(trace = false) (p : Params.t) =
       fds.(id) <- Failure_detector.create cfg ~me:id ~now_ns:(ns_now ());
       Failure_detector.set_view fds.(id) ~view:(Paxos.view engine)
         ~now_ns:(ns_now ());
+      (* Lease state is volatile: a crashed holder comes back with
+         nothing — it must re-earn a quorum of grants before serving
+         reads again, and its apply recency restarts stale. *)
+      if p.lease then
+        leases.(id) <- Lease.create cfg ~me:id ~view:(Paxos.view engine);
       (* Service state is rebuilt from the recovered log (the WAL
          stand-in): frontier and executed-prefix log come back from the
          replayed Executes; no replies are re-sent. *)
@@ -480,8 +613,7 @@ let run_single ?(trace = false) (p : Params.t) =
   let client_proc cl () =
     (* Stagger start so the initial burst is not one giant event spike. *)
     Engine.delay eng (1e-6 *. float_of_int cl.cid);
-    let rec loop () =
-      cl.next_seq <- cl.next_seq + 1;
+    let do_write () =
       let req =
         { Client_msg.id = { client_id = cl.cid; seq = cl.next_seq }; payload }
       in
@@ -491,9 +623,48 @@ let run_single ?(trace = false) (p : Params.t) =
           Engine.schedule_at eng (Engine.now eng +. 30e-6) (fun () ->
               Nic.rx_inject leader.nic ~size:p.request_size (fun () ->
                   Mailbox.push leader.cio_mbs.(cio_of_client cl.cid) (Req req))));
+      if reads_on then note_acked cl.cid cl.next_seq
+    in
+    (* Fast-path read: linearizable reads aim at the leaseholder;
+       bounded-staleness reads spread over the whole cluster (each NIC
+       serves its share — this is where read throughput stops being
+       capped by one leader). A rejection (lease not yet held, follower
+       not provably fresh) retries after a deterministic pause, falling
+       back to the leaseholder, who can always serve. *)
+    let do_read () =
+      let id = { Client_msg.client_id = cl.cid; seq = cl.next_seq } in
+      cl.sent_at <- Engine.now eng;
+      read_floor.(cl.cid) <- last_write_acked.(cl.cid);
+      let rec attempt tgt =
+        read_result.(cl.cid) <- -1;
+        Engine.suspend eng (fun resume ->
+            client_resume.(cl.cid) <- Some resume;
+            Engine.schedule_at eng (Engine.now eng +. 30e-6) (fun () ->
+                Nic.rx_inject tgt.nic ~size:p.request_size (fun () ->
+                    Mailbox.push tgt.cio_mbs.(cio_of_client cl.cid) (Rd id))));
+        if read_result.(cl.cid) < 0 then begin
+          if !measuring then incr read_rejects;
+          Engine.delay eng (p.lease_duration /. 8.);
+          attempt leader
+        end
+      in
+      (* Home replica for this client's stale reads. [cid / n] decorrelates
+         it from the cio-thread choice ([cid mod client_io_threads]): with
+         [cid mod n] and n = client_io_threads every read landing on node k
+         would come from clients homed on cio thread k, convoying one
+         ClientIO thread per node. *)
+      attempt
+        (if p.stale_reads then nodes.(cl.cid / p.n mod p.n) else leader);
+      check_read cl.cid
+    in
+    let rec loop () =
+      cl.next_seq <- cl.next_seq + 1;
+      let is_read = is_read_op cl.next_seq in
+      if is_read then do_read () else do_write ();
       if p.auto_tune then incr tune_completed;
       if !measuring then begin
         incr completed;
+        if is_read then incr reads_completed;
         lat_sum := !lat_sum +. (Engine.now eng -. cl.sent_at);
         incr lat_n
       end;
@@ -508,9 +679,7 @@ let run_single ?(trace = false) (p : Params.t) =
      throughput-trajectory timeline. *)
   let client_proc_chaos cl () =
     Engine.delay eng (1e-6 *. float_of_int cl.cid);
-    let rec loop () =
-      cl.next_seq <- cl.next_seq + 1;
-      awaiting_seq.(cl.cid) <- cl.next_seq;
+    let do_write_chaos () =
       let req =
         { Client_msg.id = { client_id = cl.cid; seq = cl.next_seq }; payload }
       in
@@ -535,9 +704,56 @@ let run_single ?(trace = false) (p : Params.t) =
           attempt ()
       in
       attempt ();
+      if reads_on then note_acked cl.cid cl.next_seq
+    in
+    (* Chaos reads steer by the leader hint like chaos writes, so after
+       a fault they keep arriving at the OLD leaseholder until a view
+       change updates the hint — exactly the window where an expired
+       lease must refuse rather than serve stale state. *)
+    let do_read_chaos () =
+      let id = { Client_msg.client_id = cl.cid; seq = cl.next_seq } in
+      cl.sent_at <- Engine.now eng;
+      read_floor.(cl.cid) <- last_write_acked.(cl.cid);
+      let rec attempt n_try =
+        let target =
+          if p.stale_reads && n_try = 0 then nodes.(cl.cid / p.n mod p.n)
+          else nodes.(!leader_hint)
+        in
+        read_result.(cl.cid) <- -1;
+        match
+          Engine.suspend_timeout eng ~timeout:p.chaos_client_timeout
+            (fun resume ->
+               client_resume.(cl.cid) <- Some resume;
+               Engine.schedule_at eng (Engine.now eng +. 30e-6) (fun () ->
+                   if up.(target.id) then
+                     Nic.rx_inject target.nic ~size:p.request_size (fun () ->
+                         if up.(target.id) then
+                           Mailbox.push target.cio_mbs.(cio_of_client cl.cid)
+                             (Rd id))))
+        with
+        | Engine.Value () ->
+          if read_result.(cl.cid) < 0 then begin
+            if !measuring then incr read_rejects;
+            Engine.delay eng (p.lease_duration /. 8.);
+            attempt (n_try + 1)
+          end
+        | Engine.Timed_out ->
+          client_resume.(cl.cid) <- None;
+          incr client_retries;
+          attempt (n_try + 1)
+      in
+      attempt 0;
+      check_read cl.cid
+    in
+    let rec loop () =
+      cl.next_seq <- cl.next_seq + 1;
+      awaiting_seq.(cl.cid) <- cl.next_seq;
+      let is_read = is_read_op cl.next_seq in
+      if is_read then do_read_chaos () else do_write_chaos ();
       if p.auto_tune then incr tune_completed;
       if !measuring then begin
         incr completed;
+        if is_read then incr reads_completed;
         lat_sum := !lat_sum +. (Engine.now eng -. cl.sent_at);
         incr lat_n;
         let b =
@@ -585,6 +801,13 @@ let run_single ?(trace = false) (p : Params.t) =
           Mailbox.push node.cio_mbs.(idx) (Rep req.id)
         else
           Squeue.put node.request_qs.(req.id.client_id mod p.n_batchers) st req
+      | Rd id ->
+        (* Read fast path: straight onto the DecisionQueue — FIFO
+           behind every decided-but-unapplied instance, never through
+           Batcher/Protocol (and never through the reply-cache
+           frontier: reads are idempotent and own no dedup slot). *)
+        Cpu.work node.cpu st (cost c.client_read);
+        Squeue.put node.decision_q st (Dread { r_id = id })
     in
     let rec loop () =
       let ev = Mailbox.take mb st in
@@ -703,7 +926,7 @@ let run_single ?(trace = false) (p : Params.t) =
                  last_commit := nw
                end
              end;
-             Squeue.put node.decision_q st { d_iid = iid; d_value = value }
+             Squeue.put node.decision_q st (Dec { d_iid = iid; d_value = value })
            | Paxos.Schedule_rtx { key; dest; msg } ->
              (match key with
               | Paxos.Rtx_accept (_, iid) when node == leader ->
@@ -728,6 +951,10 @@ let run_single ?(trace = false) (p : Params.t) =
                 Hashtbl.remove inst_t0 iid
               | _ -> ())
            | Paxos.View_changed { view; i_am_leader; _ } ->
+             (* Conservative holder-side invalidation: whatever lease the
+                old view's leader held dies with the view; grantor-side
+                promises survive inside {!Lease}. *)
+             if p.lease then Lease.set_view leases.(node.id) ~view;
              if chaos then begin
                if view > 0 then Hashtbl.replace views_seen view ();
                if i_am_leader then leader_hint := node.id;
@@ -751,17 +978,50 @@ let run_single ?(trace = false) (p : Params.t) =
        | PMsg (from, msg) ->
          if (not chaos) || up.(node.id) then begin
            Cpu.work node.cpu st (cost c.protocol_per_event);
-           (* Promise/acceptance hits the log before the engine replies
-              (mirrors the live handle's persist-before-receive). *)
-           persist (records_for_msg msg);
-           apply (Paxos.receive node.engine ~from msg)
+           match msg with
+           | Msg.Lease_ping { view; t0_ns } when p.lease ->
+             (* Grantor side: promise (or refuse) on the local drifted
+                clock; the grant rides the ordinary send queue so it
+                shares TCP segments — and chaos drops — with protocol
+                traffic. *)
+             (match
+                Lease.on_ping leases.(node.id) ~from ~view ~t0_ns
+                  ~now_ns:(clock_ns node.id)
+              with
+              | Some grant -> Squeue.put node.send_qs.(from) st grant
+              | None -> ())
+           | Msg.Lease_grant { view; t0_ns } when p.lease ->
+             ignore
+               (Lease.on_grant leases.(node.id) ~from ~view ~t0_ns
+                  ~quorum:lease_quorum)
+           | Msg.Prepare { view; _ }
+             when p.lease
+                  && Lease.promise_blocks leases.(node.id)
+                       ~candidate:(Types.leader_of_view ~n:p.n view)
+                       ~now_ns:(clock_ns node.id) ->
+             (* Promise-side enforcement: refuse to help elect a
+                different leader while the promise stands (safe — Phase 1
+                is retransmitted past the promise's expiry). *)
+             ()
+           | _ ->
+             (* Promise/acceptance hits the log before the engine replies
+                (mirrors the live handle's persist-before-receive). *)
+             persist (records_for_msg msg);
+             apply (Paxos.receive node.engine ~from msg)
          end
        | Poke -> ()
        | Suspect_ev ->
          if chaos && up.(node.id) then begin
-           (if vc_t0.(node.id) = None then
-              vc_t0.(node.id) <- Some (Engine.now eng));
-           apply (Paxos.suspect_leader node.engine)
+           if
+             p.lease
+             && Lease.promise_blocks leases.(node.id) ~candidate:node.id
+                  ~now_ns:(clock_ns node.id)
+           then ()  (* deferred while promised to the leader; FD re-fires *)
+           else begin
+             (if vc_t0.(node.id) = None then
+                vc_t0.(node.id) <- Some (Engine.now eng));
+             apply (Paxos.suspect_leader node.engine)
+           end
          end
        | Tick ->
          if chaos && up.(node.id) then
@@ -988,30 +1248,59 @@ let run_single ?(trace = false) (p : Params.t) =
     p.skew > 0.
     && (cid * 2654435761) land 1023 < int_of_float (p.skew *. 1024.)
   in
+  (* Serve one fast-path read from local executed state. The read sat in
+     the DecisionQueue FIFO behind every instance decided before it
+     arrived — by the time the SM pops it, the apply frontier covers the
+     lease-covered commit point, which is the linearizable wait. The
+     leaseholder always answers (its lease proves no newer write can
+     have been decided elsewhere); a follower answers only a
+     bounded-staleness read it can prove fresh by apply recency. Anyone
+     else replies a reject (same packet cost) and the client retries
+     toward the leaseholder. *)
+  let sm_read node st (r_id : Client_msg.request_id) =
+    Cpu.work node.cpu st (cost c.exec_per_req);
+    if (not chaos) || up.(node.id) then begin
+      let serve =
+        Lease.held leases.(node.id) ~now_ns:(clock_ns node.id)
+        || (p.stale_reads
+            && node_clock node.id -. last_apply_c.(node.id)
+               <= p.staleness_bound)
+      in
+      if serve then begin
+        read_result.(r_id.client_id) <- ver.(node.id).(r_id.client_id);
+        read_serve_t.(r_id.client_id) <- Engine.now eng
+      end;
+      Mailbox.push node.cio_mbs.(cio_of_client r_id.client_id) (Rep r_id)
+    end
+  in
   (* exec_threads = 1: the paper's serial ServiceManager, unchanged. *)
   let sm_proc node () =
     let st = Sstats.make_thread eng ~name:"Replica" in
     let (_ : Msmr_obs.Trace.track option) = register node st in
     let rec loop () =
-      let d = Squeue.take node.decision_q st in
-      (match d.d_value with
-       | Value.Noop -> ()
-       | Value.Batch batch ->
-         List.iter
-           (fun (req : Client_msg.request) ->
-              if not chaos then begin
-                Cpu.work node.cpu st (cost c.exec_per_req);
-                if node == leader then
-                  Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
-                    (Rep req.id)
-              end
-              else if up.(node.id) && chaos_admit node req.id then begin
-                Cpu.work node.cpu st (cost c.exec_per_req);
-                if Paxos.is_leader node.engine then
-                  Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
-                    (Rep req.id)
-              end)
-           batch.requests);
+      (match Squeue.take node.decision_q st with
+       | Dread { r_id } -> sm_read node st r_id
+       | Dec d -> (
+           match d.d_value with
+           | Value.Noop -> ()
+           | Value.Batch batch ->
+             List.iter
+               (fun (req : Client_msg.request) ->
+                  if not chaos then begin
+                    Cpu.work node.cpu st (cost c.exec_per_req);
+                    note_exec node req.id;
+                    if node == leader then
+                      Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+                        (Rep req.id)
+                  end
+                  else if up.(node.id) && chaos_admit node req.id then begin
+                    Cpu.work node.cpu st (cost c.exec_per_req);
+                    note_exec node req.id;
+                    if Paxos.is_leader node.engine then
+                      Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+                        (Rep req.id)
+                  end)
+               batch.requests));
       loop ()
     in
     loop ()
@@ -1038,6 +1327,7 @@ let run_single ?(trace = false) (p : Params.t) =
       let rec loop () =
         let req = Mailbox.take exec_mbs.(idx) est in
         Cpu.work node.cpu est (cost c.exec_per_req);
+        note_exec node req.id;
         if (not chaos && node == leader)
            || (chaos && Paxos.is_leader node.engine) then
           Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
@@ -1080,6 +1370,7 @@ let run_single ?(trace = false) (p : Params.t) =
       else if classify_global () then begin
         quiesce ();
         Cpu.work node.cpu st (cost c.exec_per_req);
+        note_exec node req.id;
         if (not chaos && node == leader)
            || (chaos && Paxos.is_leader node.engine) then
           Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
@@ -1099,10 +1390,12 @@ let run_single ?(trace = false) (p : Params.t) =
       end
     in
     let rec loop () =
-      let d = Squeue.take node.decision_q st in
-      (match d.d_value with
-       | Value.Noop -> ()
-       | Value.Batch batch -> List.iter dispatch batch.requests);
+      (match Squeue.take node.decision_q st with
+       | Dread { r_id } -> sm_read node st r_id
+       | Dec d -> (
+           match d.d_value with
+           | Value.Noop -> ()
+           | Value.Batch batch -> List.iter dispatch batch.requests));
       loop ()
     in
     loop ()
@@ -1185,6 +1478,7 @@ let run_single ?(trace = false) (p : Params.t) =
           for _ = 1 to budget do
             let req = Queue.pop q in
             Cpu.work node.cpu est (cost c.exec_per_req);
+            note_exec node req.id;
             if (not chaos && node == leader)
                || (chaos && Paxos.is_leader node.engine) then
               Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
@@ -1236,6 +1530,7 @@ let run_single ?(trace = false) (p : Params.t) =
       else if classify_global () then begin
         quiesce ();
         Cpu.work node.cpu st (cost c.exec_per_req);
+        note_exec node req.id;
         if (not chaos && node == leader)
            || (chaos && Paxos.is_leader node.engine) then
           Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
@@ -1262,10 +1557,39 @@ let run_single ?(trace = false) (p : Params.t) =
       end
     in
     let rec loop () =
-      let d = Squeue.take node.decision_q st in
-      (match d.d_value with
-       | Value.Noop -> ()
-       | Value.Batch batch -> List.iter dispatch batch.requests);
+      (match Squeue.take node.decision_q st with
+       | Dread { r_id } -> sm_read node st r_id
+       | Dec d -> (
+           match d.d_value with
+           | Value.Noop -> ()
+           | Value.Batch batch -> List.iter dispatch batch.requests));
+      loop ()
+    in
+    loop ()
+  in
+  (* Lease renewal driver: polls [ping_due] on the local drifted clock
+     and, while this node leads, broadcasts the renewal ping down the
+     ordinary send queues (so pings share TCP segments — and chaos
+     drops — with protocol traffic; grants come back through the
+     Protocol thread). One process per node: leadership moves under
+     chaos. *)
+  let lease_proc node () =
+    let st = Sstats.make_thread eng ~name:"Lease" in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let rec loop () =
+      let leading =
+        if chaos then up.(node.id) && Paxos.is_leader node.engine
+        else node == leader
+      in
+      if leading && Lease.ping_due leases.(node.id) ~now_ns:(clock_ns node.id)
+      then begin
+        Cpu.work node.cpu st (cost c.protocol_per_event);
+        let ping = Lease.make_ping leases.(node.id) ~now_ns:(clock_ns node.id) in
+        for d = 0 to p.n - 1 do
+          if d <> node.id then Squeue.put node.send_qs.(d) st ping
+        done
+      end;
+      Engine.delay eng (p.lease_duration /. 12.);
       loop ()
     in
     loop ()
@@ -1274,8 +1598,10 @@ let run_single ?(trace = false) (p : Params.t) =
   Array.iter
     (fun node ->
        (* Under chaos every node runs ClientIO: after a view change the
-          new leader has to serve redirected clients. *)
-       if node == leader || chaos then begin
+          new leader has to serve redirected clients. With the read fast
+          path on, every node runs it too — bounded-staleness reads land
+          on followers. *)
+       if node == leader || chaos || reads_on then begin
          for i = 0 to p.client_io_threads - 1 do
            Engine.spawn eng ~name:(Printf.sprintf "cio-%d" i) (cio_proc node i)
          done
@@ -1286,6 +1612,7 @@ let run_single ?(trace = false) (p : Params.t) =
        Engine.spawn eng ~name:"protocol" (protocol_proc node);
        if node.ss_q <> None then Engine.spawn eng ~name:"ss" (ss_proc node);
        if chaos then Engine.spawn eng ~name:"fd" (fd_proc node);
+       if p.lease then Engine.spawn eng ~name:"lease" (lease_proc node);
        Engine.spawn eng ~name:"sm"
          (if p.exec_threads > 1 then
             if p.steal then sm_lanes node else sm_parallel node
@@ -1422,6 +1749,7 @@ let run_single ?(trace = false) (p : Params.t) =
   lat_sum := 0.; lat_n := 0;
   inst_sum := 0.; inst_n := 0;
   batch_reqs := 0; batch_bytes := 0; batches := 0;
+  reads_completed := 0; read_rejects := 0;
   if chaos then begin last_commit := p.warmup; max_gap := 0. end;
   Sstats.Gauge.reset window_gauge;
   Array.iter
@@ -1557,10 +1885,16 @@ let run_single ?(trace = false) (p : Params.t) =
        else 0.);
     recovery_s = List.fold_left Float.max 0. !recovery_times;
     completed = !completed;
-    safety_ok;
+    (* Reads are checked always (chaos or not): a fast-path answer that
+       travels back in time w.r.t. the client's own acked writes is a
+       safety violation wherever it happens. *)
+    safety_ok = safety_ok && !stale_answers = 0;
     executed_min;
     executed_max;
     client_retries = !client_retries;
+    reads_completed = !reads_completed;
+    read_rejects = !read_rejects;
+    stale_answers = !stale_answers;
     timeline =
       Array.mapi
         (fun i n -> (p.warmup +. (float_of_int i *. p.chaos_bucket), n))
@@ -1605,7 +1939,7 @@ type gnode = {
   mg_req_qs : Client_msg.request Squeue.t array;    (* per group (one Batcher each) *)
   mg_dec_qs : decision_ev Squeue.t array;           (* per group *)
   mg_proxy_qs : (Types.node_id list * Msg.t) Squeue.t array;  (* per group *)
-  mg_router_q : Client_msg.request Squeue.t;
+  mg_router_q : route_ev Squeue.t;
   mg_send_qs : (int * Msg.t) Squeue.t array;        (* per peer; (gid, msg) *)
   mg_rcv_mbs : (int * Types.node_id * Msg.t) Mailbox.t array; (* per peer *)
   mg_cio_mbs : cio_ev Mailbox.t array;
@@ -1666,11 +2000,98 @@ let run_multi ?(trace = false) (p : Params.t) =
         retransmit_interval_s = p.chaos_rtx_interval }
     else cfg
   in
+  (* Read fast-path gate + lease config, same discipline as run_single:
+     [lease = false] leaves the multi-group event stream byte-for-byte
+     the lease-free one (golden-pinned). *)
+  let reads_on = p.lease && p.read_ratio > 0. in
+  let cfg =
+    if p.lease then
+      { cfg with
+        Config.lease_enabled = true;
+        lease_duration_s = p.lease_duration;
+        clock_skew_bound_s = p.clock_skew }
+    else cfg
+  in
   (* The Router's partition function: in the live runtime the conflict
      key hashes to a group; the simulated workload's stand-in for the
      key is the client id (one client = one key), so the hash is a mod. *)
   let group_of_client cid = cid mod g_count in
   let home_of_group g = Config.initial_leader_of_group cfg ~gid:g in
+  (* Per-node drifting clocks (same model as run_single). *)
+  let horizon = p.warmup +. p.duration in
+  let clock_u i salt =
+    float_of_int (((i * 2654435761) + (salt * 40503)) land 1023) /. 1023.
+  in
+  let clock_offset =
+    Array.init p.n (fun i -> p.clock_skew /. 2. *. clock_u i 1)
+  in
+  let clock_drift =
+    Array.init p.n (fun i ->
+        if horizon <= 0. then 0.
+        else p.clock_skew /. 2. *. clock_u i 2 /. horizon)
+  in
+  let node_clock i =
+    let t = Engine.now eng in
+    (t *. (1. +. clock_drift.(i))) +. clock_offset.(i)
+  in
+  let clock_ns i = int_of_float (node_clock i *. 1e9) in
+  (* One lease per (node, group): each group's leader holds its own
+     lease, so read capacity scales with groups x replicas. Group [g]
+     bootstraps in view [g]. *)
+  let leases_mg =
+    Array.init p.n (fun i ->
+        Array.init g_count (fun g -> Lease.create cfg ~me:i ~view:g))
+  in
+  let lease_quorum = (p.n / 2) + 1 in
+  (* Executed registers (client ids are globally unique, so one array
+     per node) and per-(node, group) apply recency. *)
+  let n_cl = max 1 p.n_clients in
+  let ver = Array.init p.n (fun _ -> Array.make n_cl 0) in
+  let last_apply_mg = Array.init p.n (fun _ -> Array.make g_count 0.) in
+  let note_exec_mg node g (id : Client_msg.request_id) =
+    if reads_on then begin
+      ver.(node.mg_id).(id.client_id) <- id.seq;
+      last_apply_mg.(node.mg_id).(g) <- node_clock node.mg_id
+    end
+  in
+  let read_result = Array.make n_cl (-1) in
+  let read_serve_t = Array.make n_cl 0. in
+  let read_floor = Array.make n_cl 0 in
+  let last_write_acked = Array.make n_cl 0 in
+  let ack_hist : (int * float) list array = Array.make n_cl [] in
+  let note_acked cid seq =
+    last_write_acked.(cid) <- seq;
+    let l = (seq, Engine.now eng) :: ack_hist.(cid) in
+    ack_hist.(cid) <-
+      (if List.length l > 64 then List.filteri (fun i _ -> i < 64) l else l)
+  in
+  let acked_floor cid cutoff =
+    let rec go = function
+      | (s, t) :: _ when t <= cutoff -> s
+      | _ :: rest -> go rest
+      | [] -> 0
+    in
+    go ack_hist.(cid)
+  in
+  let reads_completed = ref 0 in
+  let read_rejects = ref 0 in
+  let stale_answers = ref 0 in
+  let check_read cid =
+    let q = read_result.(cid) in
+    if q >= 0 then begin
+      let floor =
+        if p.stale_reads then
+          acked_floor cid (read_serve_t.(cid) -. p.staleness_bound)
+        else read_floor.(cid)
+      in
+      if q < floor then incr stale_answers
+    end
+  in
+  let is_read_op k =
+    reads_on
+    && int_of_float (float_of_int k *. p.read_ratio)
+       > int_of_float (float_of_int (k - 1) *. p.read_ratio)
+  in
   (* ---------------- nodes ---------------- *)
   let mk_node id =
     let cpu =
@@ -1838,6 +2259,9 @@ let run_multi ?(trace = false) (p : Params.t) =
             ~accepted:(conv accepted) ~decided:(conv decided) ~snapshot:None
         in
         nodes.(id).mg_engines.(g) <- engine;
+        if p.lease then
+          leases_mg.(id).(g) <-
+            Lease.create cfg ~me:id ~view:(Paxos.view engine);
         List.iter
           (fun action ->
              match action with
@@ -1884,6 +2308,7 @@ let run_multi ?(trace = false) (p : Params.t) =
   let batch_reqs = ref 0 and batch_bytes = ref 0 and batches = ref 0 in
   let window_gauge = Sstats.Gauge.create eng in
   let router_routed = Array.make p.n 0 in
+  let router_reads = Array.make p.n 0 in
   let proxy_fanout = Array.make g_count 0 in
   let globals_executed = ref 0 in
   (* ---------------- clients ---------------- *)
@@ -1899,8 +2324,7 @@ let run_multi ?(trace = false) (p : Params.t) =
     let g = group_of_client cl.cid in
     let target = nodes.(home_of_group g) in
     Engine.delay eng (1e-6 *. float_of_int cl.cid);
-    let rec loop () =
-      cl.next_seq <- cl.next_seq + 1;
+    let do_write () =
       let req =
         { Client_msg.id = { client_id = cl.cid; seq = cl.next_seq }; payload }
       in
@@ -1911,9 +2335,43 @@ let run_multi ?(trace = false) (p : Params.t) =
               Nic.rx_inject target.mg_nic ~size:p.request_size (fun () ->
                   Mailbox.push target.mg_cio_mbs.(cio_of_client cl.cid)
                     (Req req))));
+      if reads_on then note_acked cl.cid cl.next_seq
+    in
+    (* Linearizable reads aim at the group's leaseholder;
+       bounded-staleness reads spread over all replicas (the Router on
+       any node partitions them home). Rejections fall back to the
+       leaseholder after a deterministic pause. *)
+    let do_read () =
+      let id = { Client_msg.client_id = cl.cid; seq = cl.next_seq } in
+      cl.sent_at <- Engine.now eng;
+      read_floor.(cl.cid) <- last_write_acked.(cl.cid);
+      let rec attempt tgt =
+        read_result.(cl.cid) <- -1;
+        Engine.suspend eng (fun resume ->
+            client_resume.(cl.cid) <- Some resume;
+            Engine.schedule_at eng (Engine.now eng +. 30e-6) (fun () ->
+                Nic.rx_inject tgt.mg_nic ~size:p.request_size (fun () ->
+                    Mailbox.push tgt.mg_cio_mbs.(cio_of_client cl.cid)
+                      (Rd id))));
+        if read_result.(cl.cid) < 0 then begin
+          if !measuring then incr read_rejects;
+          Engine.delay eng (p.lease_duration /. 8.);
+          attempt target
+        end
+      in
+      (* [cid / n] decorrelates the read home from the cio-thread choice;
+         see the single-group client for why [cid mod n] convoys. *)
+      attempt (if p.stale_reads then nodes.(cl.cid / p.n mod p.n) else target);
+      check_read cl.cid
+    in
+    let rec loop () =
+      cl.next_seq <- cl.next_seq + 1;
+      let is_read = is_read_op cl.next_seq in
+      if is_read then do_read () else do_write ();
       if !measuring then begin
         incr completed;
         completed_g.(g) <- completed_g.(g) + 1;
+        if is_read then incr reads_completed;
         lat_sum := !lat_sum +. (Engine.now eng -. cl.sent_at);
         incr lat_n
       end;
@@ -1924,9 +2382,7 @@ let run_multi ?(trace = false) (p : Params.t) =
   let client_proc_chaos_mg cl () =
     let g = group_of_client cl.cid in
     Engine.delay eng (1e-6 *. float_of_int cl.cid);
-    let rec loop () =
-      cl.next_seq <- cl.next_seq + 1;
-      awaiting_seq.(cl.cid) <- cl.next_seq;
+    let do_write_chaos () =
       let req =
         { Client_msg.id = { client_id = cl.cid; seq = cl.next_seq }; payload }
       in
@@ -1953,9 +2409,54 @@ let run_multi ?(trace = false) (p : Params.t) =
           attempt ()
       in
       attempt ();
+      if reads_on then note_acked cl.cid cl.next_seq
+    in
+    let do_read_chaos () =
+      let id = { Client_msg.client_id = cl.cid; seq = cl.next_seq } in
+      cl.sent_at <- Engine.now eng;
+      read_floor.(cl.cid) <- last_write_acked.(cl.cid);
+      let rec attempt n_try =
+        let target =
+          if p.stale_reads && n_try = 0 then nodes.(cl.cid / p.n mod p.n)
+          else nodes.(leader_hint_g.(g))
+        in
+        read_result.(cl.cid) <- -1;
+        match
+          Engine.suspend_timeout eng ~timeout:p.chaos_client_timeout
+            (fun resume ->
+               client_resume.(cl.cid) <- Some resume;
+               Engine.schedule_at eng (Engine.now eng +. 30e-6) (fun () ->
+                   if up.(target.mg_id) then
+                     Nic.rx_inject target.mg_nic ~size:p.request_size
+                       (fun () ->
+                          if up.(target.mg_id) then
+                            Mailbox.push
+                              target.mg_cio_mbs.(cio_of_client cl.cid)
+                              (Rd id))))
+        with
+        | Engine.Value () ->
+          if read_result.(cl.cid) < 0 then begin
+            if !measuring then incr read_rejects;
+            Engine.delay eng (p.lease_duration /. 8.);
+            attempt (n_try + 1)
+          end
+        | Engine.Timed_out ->
+          client_resume.(cl.cid) <- None;
+          incr client_retries;
+          attempt (n_try + 1)
+      in
+      attempt 0;
+      check_read cl.cid
+    in
+    let rec loop () =
+      cl.next_seq <- cl.next_seq + 1;
+      awaiting_seq.(cl.cid) <- cl.next_seq;
+      let is_read = is_read_op cl.next_seq in
+      if is_read then do_read_chaos () else do_write_chaos ();
       if !measuring then begin
         incr completed;
         completed_g.(g) <- completed_g.(g) + 1;
+        if is_read then incr reads_completed;
         lat_sum := !lat_sum +. (Engine.now eng -. cl.sent_at);
         incr lat_n;
         let b =
@@ -1989,7 +2490,10 @@ let run_multi ?(trace = false) (p : Params.t) =
         Cpu.work node.mg_cpu st (cost c.client_read);
         if chaos && chaos_executed_mg node req.id then
           Mailbox.push node.mg_cio_mbs.(idx) (Rep req.id)
-        else Squeue.put node.mg_router_q st req
+        else Squeue.put node.mg_router_q st (Route_req req)
+      | Rd id ->
+        Cpu.work node.mg_cpu st (cost c.client_read);
+        Squeue.put node.mg_router_q st (Route_read id)
     in
     let rec loop () =
       let ev = Mailbox.take mb st in
@@ -2003,11 +2507,20 @@ let run_multi ?(trace = false) (p : Params.t) =
     let st = Sstats.make_thread eng ~name:"Router" in
     let (_ : Msmr_obs.Trace.track option) = register node st in
     let rec loop () =
-      let req = Squeue.take node.mg_router_q st in
-      Cpu.work node.mg_cpu st (cost c.dispatch_per_req);
-      let g = group_of_client req.Client_msg.id.client_id in
-      router_routed.(node.mg_id) <- router_routed.(node.mg_id) + 1;
-      Squeue.put node.mg_req_qs.(g) st req;
+      (match Squeue.take node.mg_router_q st with
+       | Route_req req ->
+         Cpu.work node.mg_cpu st (cost c.dispatch_per_req);
+         let g = group_of_client req.Client_msg.id.client_id in
+         router_routed.(node.mg_id) <- router_routed.(node.mg_id) + 1;
+         Squeue.put node.mg_req_qs.(g) st req
+       | Route_read id ->
+         (* Reads partition by the same conflict key but skip the
+            Batcher/Protocol leg entirely: straight to the group's
+            DecisionQueue, FIFO behind its decided instances. *)
+         Cpu.work node.mg_cpu st (cost c.dispatch_per_req);
+         let g = group_of_client id.Client_msg.client_id in
+         router_reads.(node.mg_id) <- router_reads.(node.mg_id) + 1;
+         Squeue.put node.mg_dec_qs.(g) st (Dread { r_id = id }));
       loop ()
     in
     loop ()
@@ -2117,7 +2630,7 @@ let run_multi ?(trace = false) (p : Params.t) =
                  last_commit_g.(g) <- nw
                end
              end;
-             Squeue.put node.mg_dec_qs.(g) st { d_iid = 0; d_value = value }
+             Squeue.put node.mg_dec_qs.(g) st (Dec { d_iid = 0; d_value = value })
            | Paxos.Schedule_rtx { key; dest; msg } ->
              (match key with
               | Paxos.Rtx_accept (_, iid) when node.mg_id = home_of_group g ->
@@ -2138,6 +2651,7 @@ let run_multi ?(trace = false) (p : Params.t) =
                 Hashtbl.remove inst_t0s.(g) iid
               | _ -> ())
            | Paxos.View_changed { view; i_am_leader; _ } ->
+             if p.lease then Lease.set_view leases_mg.(node.mg_id).(g) ~view;
              if chaos then begin
                if view <> g then Hashtbl.replace views_seen_g (g, view) ();
                if i_am_leader then leader_hint_g.(g) <- node.mg_id
@@ -2151,13 +2665,37 @@ let run_multi ?(trace = false) (p : Params.t) =
        | PMsg (from, msg) ->
          if (not chaos) || up.(node.mg_id) then begin
            Cpu.work node.mg_cpu st (cost c.protocol_per_event);
-           persist (records_for_msg msg);
-           apply (Paxos.receive (engine ()) ~from msg)
+           match msg with
+           | Msg.Lease_ping { view; t0_ns } when p.lease ->
+             (match
+                Lease.on_ping leases_mg.(node.mg_id).(g) ~from ~view ~t0_ns
+                  ~now_ns:(clock_ns node.mg_id)
+              with
+              | Some grant -> Squeue.put node.mg_send_qs.(from) st (g, grant)
+              | None -> ())
+           | Msg.Lease_grant { view; t0_ns } when p.lease ->
+             ignore
+               (Lease.on_grant leases_mg.(node.mg_id).(g) ~from ~view ~t0_ns
+                  ~quorum:lease_quorum)
+           | Msg.Prepare { view; _ }
+             when p.lease
+                  && Lease.promise_blocks leases_mg.(node.mg_id).(g)
+                       ~candidate:(Types.leader_of_view ~n:p.n view)
+                       ~now_ns:(clock_ns node.mg_id) ->
+             ()
+           | _ ->
+             persist (records_for_msg msg);
+             apply (Paxos.receive (engine ()) ~from msg)
          end
        | Poke -> ()
        | Suspect_ev ->
          if chaos && up.(node.mg_id) then
-           apply (Paxos.suspect_leader (engine ()))
+           if
+             p.lease
+             && Lease.promise_blocks leases_mg.(node.mg_id).(g)
+                  ~candidate:node.mg_id ~now_ns:(clock_ns node.mg_id)
+           then ()  (* deferred while promised; the FD re-fires *)
+           else apply (Paxos.suspect_leader (engine ()))
        | Tick ->
          if chaos && up.(node.mg_id) then
            apply (Paxos.tick_catchup (engine ())));
@@ -2419,6 +2957,7 @@ let run_multi ?(trace = false) (p : Params.t) =
             Sstats.set st Sstats.Busy
           end;
           Cpu.work node.mg_cpu st (cost c.exec_per_req);
+          note_exec_mg node g req.id;
           incr globals_executed;
           reply req.id;
           sm_barrier.(id) <- false;
@@ -2429,6 +2968,7 @@ let run_multi ?(trace = false) (p : Params.t) =
         else begin
           sm_active.(id) <- sm_active.(id) + 1;
           Cpu.work node.mg_cpu st (cost c.exec_per_req);
+          note_exec_mg node g req.id;
           reply req.id;
           sm_active.(id) <- sm_active.(id) - 1;
           if sm_active.(id) = 0 then
@@ -2440,11 +2980,62 @@ let run_multi ?(trace = false) (p : Params.t) =
         end
       end
     in
+    (* Fast-path read against this group's lease and apply recency
+       (same serve rule as run_single's [sm_read]). *)
+    let serve_read (r_id : Client_msg.request_id) =
+      Cpu.work node.mg_cpu st (cost c.exec_per_req);
+      if (not chaos) || up.(id) then begin
+        let serve =
+          Lease.held leases_mg.(id).(g) ~now_ns:(clock_ns id)
+          || (p.stale_reads
+              && node_clock id -. last_apply_mg.(id).(g) <= p.staleness_bound)
+        in
+        if serve then begin
+          read_result.(r_id.client_id) <- ver.(id).(r_id.client_id);
+          read_serve_t.(r_id.client_id) <- Engine.now eng
+        end;
+        Mailbox.push node.mg_cio_mbs.(cio_of_client r_id.client_id)
+          (Rep r_id)
+      end
+    in
     let rec loop () =
-      let d = Squeue.take node.mg_dec_qs.(g) st in
-      (match d.d_value with
-       | Value.Noop -> ()
-       | Value.Batch batch -> List.iter exec_one batch.requests);
+      (match Squeue.take node.mg_dec_qs.(g) st with
+       | Dread { r_id } -> serve_read r_id
+       | Dec d -> (
+           match d.d_value with
+           | Value.Noop -> ()
+           | Value.Batch batch -> List.iter exec_one batch.requests));
+      loop ()
+    in
+    loop ()
+  in
+  (* Lease renewal driver, one per (node, group): while this node leads
+     the group, broadcast renewal pings down the shared send queues. *)
+  let lease_proc node g () =
+    let st =
+      Sstats.make_thread eng ~name:(Printf.sprintf "Lease-g%d" g)
+    in
+    let (_ : Msmr_obs.Trace.track option) = register node st in
+    let rec loop () =
+      let leading =
+        if chaos then
+          up.(node.mg_id) && Paxos.is_leader node.mg_engines.(g)
+        else node.mg_id = home_of_group g
+      in
+      if leading
+         && Lease.ping_due leases_mg.(node.mg_id).(g)
+              ~now_ns:(clock_ns node.mg_id)
+      then begin
+        Cpu.work node.mg_cpu st (cost c.protocol_per_event);
+        let ping =
+          Lease.make_ping leases_mg.(node.mg_id).(g)
+            ~now_ns:(clock_ns node.mg_id)
+        in
+        for d = 0 to p.n - 1 do
+          if d <> node.mg_id then Squeue.put node.mg_send_qs.(d) st (g, ping)
+        done
+      end;
+      Engine.delay eng (p.lease_duration /. 12.);
       loop ()
     in
     loop ()
@@ -2464,7 +3055,8 @@ let run_multi ?(trace = false) (p : Params.t) =
          Engine.spawn eng ~name:"protocol" (protocol_proc node g);
          Engine.spawn eng ~name:"proxy" (proxy_proc node g);
          Engine.spawn eng ~name:"sm" (sm_proc node g);
-         if chaos then Engine.spawn eng ~name:"fd" (fd_proc node g)
+         if chaos then Engine.spawn eng ~name:"fd" (fd_proc node g);
+         if p.lease then Engine.spawn eng ~name:"lease" (lease_proc node g)
        done;
        for peer = 0 to p.n - 1 do
          if peer <> node.mg_id then begin
@@ -2500,7 +3092,9 @@ let run_multi ?(trace = false) (p : Params.t) =
   lat_sum := 0.; lat_n := 0;
   inst_sum := 0.; inst_n := 0;
   batch_reqs := 0; batch_bytes := 0; batches := 0;
+  reads_completed := 0; read_rejects := 0;
   Array.fill router_routed 0 p.n 0;
+  Array.fill router_reads 0 p.n 0;
   Array.fill proxy_fanout 0 g_count 0;
   globals_executed := 0;
   if chaos then begin
@@ -2568,6 +3162,13 @@ let run_multi ?(trace = false) (p : Params.t) =
          ~labels:(("replica", string_of_int i) :: m_labels)
          "msmr_replica_router_routed_total" (float_of_int cnt))
     router_routed;
+  if reads_on then
+    Array.iteri
+      (fun i cnt ->
+         Msmr_obs.Metrics.set_gauge
+           ~labels:(("replica", string_of_int i) :: m_labels)
+           "msmr_replica_router_reads_total" (float_of_int cnt))
+      router_reads;
   for g = 0 to g_count - 1 do
     let g_labels = ("group", string_of_int g) :: m_labels in
     Msmr_obs.Metrics.set_gauge ~labels:g_labels
@@ -2680,10 +3281,13 @@ let run_multi ?(trace = false) (p : Params.t) =
        else 0.);
     recovery_s = List.fold_left Float.max 0. !recovery_times;
     completed = !completed;
-    safety_ok;
+    safety_ok = safety_ok && !stale_answers = 0;
     executed_min;
     executed_max;
     client_retries = !client_retries;
+    reads_completed = !reads_completed;
+    read_rejects = !read_rejects;
+    stale_answers = !stale_answers;
     timeline =
       Array.mapi
         (fun i n -> (p.warmup +. (float_of_int i *. p.chaos_bucket), n))

@@ -60,12 +60,26 @@ type result = {
           in the schedule; [0.] if nothing crashed (or never recovered) *)
   completed : int;               (** client requests completed (measured) *)
   safety_ok : bool;
-      (** chaos linearizability check: no node executed a request twice
-          and all executed-request logs agree on their common prefix;
-          always [true] when [faults = []] *)
+      (** safety check: no node executed a request twice, all
+          executed-request logs agree on their common prefix, and no
+          fast-path read travelled back in time w.r.t. the issuing
+          client's acked writes ([stale_answers = 0]); [true] when
+          [faults = []] and no reads ran *)
   executed_min : int;            (** executed-log length, laggiest node *)
   executed_max : int;            (** executed-log length, most advanced *)
   client_retries : int;          (** chaos-client request retransmissions *)
+  reads_completed : int;
+      (** fast-path reads completed (measured); [0] unless
+          [lease && read_ratio > 0.] *)
+  read_rejects : int;
+      (** read attempts refused by a replica (no lease / freshness not
+          provable) and retried toward the leaseholder (measured) *)
+  stale_answers : int;
+      (** read-safety violations: linearizable reads older than the
+          client's last acked write at issue, bounded-staleness reads
+          older than the bound allows at serve time. Counted over the
+          whole run (warm-up included); any nonzero forces
+          [safety_ok = false] *)
   timeline : (float * int) array;
       (** completions per [chaos_bucket]-wide bucket (bucket start time,
           count) — the throughput trajectory through the fault schedule;

@@ -75,6 +75,12 @@ type t = {
   fsync_latency : float;
   auto_tune : bool;
   tune_epoch : float;
+  read_ratio : float;
+  lease : bool;
+  stale_reads : bool;
+  clock_skew : float;
+  lease_duration : float;
+  staleness_bound : float;
   faults : Sfault.event list;
   chaos_seed : int;
   chaos_fd_interval : float;
@@ -111,6 +117,12 @@ let default ?(profile = parapluie) ~n ~cores () =
     fsync_latency = 5e-3;
     auto_tune = false;
     tune_epoch = 0.01;
+    read_ratio = 0.0;
+    lease = false;
+    stale_reads = false;
+    clock_skew = 0.0;
+    lease_duration = 0.5;
+    staleness_bound = 0.1;
     faults = [];
     chaos_seed = 1;
     chaos_fd_interval = 0.02;

@@ -122,6 +122,41 @@ type t = {
           default) is byte-for-byte the static path. Runs stay fully
           deterministic either way. *)
   tune_epoch : float;  (** controller epoch in simulated seconds *)
+  read_ratio : float;
+      (** fraction of each client's operations that are reads (the
+          read-heavy fast path, DESIGN.md §15). [0.0] (the default) is
+          byte-for-byte the all-write path (golden-pinned). Reads are
+          interleaved deterministically (floor-counter pattern, no RNG).
+          With [lease = false] reads take the ordered path like any
+          write — the "ordered-read baseline" bench008 compares
+          against. *)
+  lease : bool;
+      (** leader-lease read fast path: group leaders run quorum-granted
+          lease renewal rounds ({!Msmr_consensus.Lease} driven in
+          simulated time on per-node drifted clocks) and serve reads
+          from local executed state, bypassing Batcher/Protocol/
+          replication; non-holders reject and the client retries toward
+          the leader hint. [false] (the default) leaves the event
+          stream byte-for-byte the lease-free one (golden-pinned). *)
+  stale_reads : bool;
+      (** with [lease]: reads carry a staleness bound
+          ([staleness_bound]) and spread over {e all} replicas; a
+          follower answers from local state when it can prove freshness
+          (caught-up decide stream within the bound), else rejects.
+          [false] sends every read to the leaseholder
+          (linearizable). *)
+  clock_skew : float;
+      (** bound on per-node clock error (seconds): node [i] reads time
+          [t*(1+drift_i) + offset_i] with the deterministic per-node
+          drift and offset kept within this bound — the clock model the
+          lease's [clock_skew_bound_s] padding is up against. [0.0] =
+          perfect clocks. *)
+  lease_duration : float;
+      (** lease length in simulated seconds (renewed every third);
+          becomes [Config.lease_duration_s] for the sim's lease
+          policy *)
+  staleness_bound : float;
+      (** client-supplied bound for [stale_reads] (seconds) *)
   faults : Sfault.event list;
       (** fault-injection schedule. [[]] (the default) disables the whole
           chaos machinery and is byte-for-byte the fault-free simulation

@@ -40,3 +40,66 @@ val reply_of_bytes : bytes -> reply
 
 val equal_request : request -> request -> bool
 val pp_request : Format.formatter -> request -> unit
+
+(** {1 Read fast path}
+
+    Lease-based reads bypass the Batcher/Paxos spine entirely (DESIGN.md
+    section 15).  Write requests start with [client_id : i32 >= 0], so read
+    frames are marked with a negative first word: {!read_magic} for
+    requests, {!read_reply_magic} for replies.  [Replica.submit] peeks that
+    one word to route read frames; the write encoding is untouched. *)
+
+val read_magic : int
+(** First-i32 marker of an encoded read request ([-2]). *)
+
+val read_reply_magic : int
+(** First-i32 marker of an encoded read reply ([-4]). *)
+
+type read = {
+  id : request_id;
+  staleness_ns : int;
+      (** Client-supplied staleness bound in nanoseconds. Negative
+          ({!linearizable}) demands a linearizable read at the leaseholder;
+          [>= 0] permits a bounded-staleness read at any replica. *)
+  payload : bytes;
+}
+
+val linearizable : int
+(** Sentinel [staleness_ns] ([-1]) selecting the linearizable leaseholder
+    path. *)
+
+type read_status =
+  | Read_ok of bytes  (** Result from the executed state machine. *)
+  | Not_leaseholder of int
+      (** Serving replica holds no valid lease; payload is a hint: the node
+          id it believes leads (or [-1] when unknown). *)
+  | Too_stale of int
+      (** Follower's apply frontier is older than the requested bound;
+          payload is a leader hint as in [Not_leaseholder]. *)
+  | Read_unsupported
+      (** Cluster runs with [lease_enabled = false]; fail fast, do not
+          redirect. *)
+
+type read_reply = {
+  rid : request_id;
+  status : read_status;
+}
+
+val is_read_raw : bytes -> bool
+(** [true] iff the raw frame is an encoded read request (first i32 is
+    {!read_magic}).  Write frames always start with a non-negative
+    client id. *)
+
+val read_wire_size : read -> int
+
+val encode_read : Codec.W.t -> read -> unit
+val decode_read : Codec.R.t -> read
+val encode_read_reply : Codec.W.t -> read_reply -> unit
+val decode_read_reply : Codec.R.t -> read_reply
+val read_to_bytes : read -> bytes
+val read_of_bytes : bytes -> read
+val read_reply_to_bytes : read_reply -> bytes
+val read_reply_of_bytes : bytes -> read_reply
+val equal_read : read -> read -> bool
+val equal_read_reply : read_reply -> read_reply -> bool
+val pp_read : Format.formatter -> read -> unit

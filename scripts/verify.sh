@@ -38,7 +38,8 @@ bench4_file="$(mktemp /tmp/msmr-verify-bench4.XXXXXX.json)"
 bench5_file="$(mktemp /tmp/msmr-verify-bench5.XXXXXX.json)"
 bench6_file="$(mktemp /tmp/msmr-verify-bench6.XXXXXX.json)"
 bench7_file="$(mktemp /tmp/msmr-verify-bench7.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file" "$bench5_file" "$bench6_file" "$bench7_file"' EXIT
+bench8_file="$(mktemp /tmp/msmr-verify-bench8.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file" "$bench5_file" "$bench6_file" "$bench7_file" "$bench8_file"' EXIT
 
 dune exec bin/sim_probe.exe -- --trace "$trace_file" --metrics "$metrics_file"
 
@@ -324,6 +325,73 @@ if command -v jq >/dev/null 2>&1; then
 else
   [ -s "$bench7_committed" ] || { echo "FAIL: $bench7_committed empty" >&2; exit 1; }
   echo "bench007 committed: jq not installed, checked file is non-empty"
+fi
+
+echo "== bench008 smoke (quick) =="
+dune exec bench/main.exe -- bench008 --quick --bench008-out "$bench8_file"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench8_file"
+  pts=$(jq '.points | length' "$bench8_file")
+  bad=$(jq '[.points[] | select(.throughput_rps <= 0)] | length' "$bench8_file")
+  # Read safety must hold on every swept point, and the read fast path
+  # must beat the ordered-read baseline even on the quick run.
+  safe_ok=$(jq '[.points[] | .safety_ok] | all' "$bench8_file")
+  stale_bad=$(jq '[.points[] | select(.stale_answers != 0)] | length' "$bench8_file")
+  speedup_ok=$(jq '.stale_speedup_95_g1 >= 5' "$bench8_file")
+  echo "bench008 smoke: $pts points, safe: $safe_ok, stale>=5x: $speedup_ok"
+  [ "$pts" -eq 12 ] || { echo "FAIL: expected 12 read-path points" >&2; exit 1; }
+  [ "$bad" -eq 0 ] || { echo "FAIL: non-positive throughput in bench008 smoke" >&2; exit 1; }
+  [ "$safe_ok" = "true" ] || { echo "FAIL: a bench008 smoke point violated read safety" >&2; exit 1; }
+  [ "$stale_bad" -eq 0 ] || { echo "FAIL: bench008 smoke served stale answers" >&2; exit 1; }
+  [ "$speedup_ok" = "true" ] || { echo "FAIL: stale-read speedup below 5x at 95/5" >&2; exit 1; }
+else
+  [ -s "$bench8_file" ] || { echo "FAIL: $bench8_file empty" >&2; exit 1; }
+  case "$(head -c1 "$bench8_file")" in
+    '{') ;;
+    *) echo "FAIL: $bench8_file does not look like JSON" >&2; exit 1 ;;
+  esac
+  echo "bench008 smoke: jq not installed, checked file is non-empty JSON"
+fi
+
+echo "== bench008 committed results gate =="
+bench8_committed="bench/BENCH_008.json"
+[ -f "$bench8_committed" ] || { echo "FAIL: $bench8_committed missing" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench8_committed"
+  quick=$(jq '.quick' "$bench8_committed")
+  pts=$(jq '.points | length' "$bench8_committed")
+  schema_bad=$(jq '[.points[] | select(((.read_ratio != null) and (.groups != null)
+                    and .mode? and .throughput_rps? and (.reads_rps != null)
+                    and (.read_rejects != null) and (.stale_answers != null)
+                    and (.safety_ok != null)) | not)] | length' \
+               "$bench8_committed")
+  # The tentpole's acceptance gate: at 95/5 the bounded-staleness fast
+  # path must serve >= 5x the ordered-read baseline on one group.
+  speedup_ok=$(jq '.stale_speedup_95_g1 >= 5' "$bench8_committed")
+  safe_ok=$(jq '([.points[] | .safety_ok] | all)
+                and ([.points[] | select(.stale_answers != 0)] | length == 0)' \
+            "$bench8_committed")
+  # Goldens gate: lease = false is byte-for-byte the seed's all-write
+  # path, whatever the read ratio — so the two ordered baselines of each
+  # group count (95/5 and 50/50) must report bit-identical throughput.
+  golden_ok=$(jq '[.points[] | select(.mode == "ordered")]
+                  | group_by(.groups)
+                  | [.[] | ([.[] | .throughput_rps] | unique | length == 1)]
+                  | all' "$bench8_committed")
+  lin_ok=$(jq '[.points[] | select(.mode == "lease" and .reads_rps <= 0)]
+               | length == 0' "$bench8_committed")
+  echo "bench008 committed: $pts points, stale>=5x: $speedup_ok, safe: $safe_ok, lease-off golden: $golden_ok"
+  [ "$quick" = "false" ] || { echo "FAIL: committed bench008 was a --quick run" >&2; exit 1; }
+  [ "$pts" -eq 12 ] || { echo "FAIL: expected 12 committed bench008 points" >&2; exit 1; }
+  [ "$schema_bad" -eq 0 ] || { echo "FAIL: bench008 point missing required fields" >&2; exit 1; }
+  [ "$speedup_ok" = "true" ] || { echo "FAIL: committed stale-read speedup below 5x at 95/5" >&2; exit 1; }
+  [ "$safe_ok" = "true" ] || { echo "FAIL: a committed bench008 point violated read safety" >&2; exit 1; }
+  [ "$golden_ok" = "true" ] || { echo "FAIL: lease-off ordered baselines diverge (golden pin broken)" >&2; exit 1; }
+  [ "$lin_ok" = "true" ] || { echo "FAIL: a lease point served no fast-path reads" >&2; exit 1; }
+else
+  [ -s "$bench8_committed" ] || { echo "FAIL: $bench8_committed empty" >&2; exit 1; }
+  echo "bench008 committed: jq not installed, checked file is non-empty"
 fi
 
 echo "== docs metrics gate =="

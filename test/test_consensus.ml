@@ -1373,3 +1373,167 @@ let suite =
   suite
   @ [ Alcotest.test_case "paxos: view0 bootstrap (multi-group)" `Quick
         test_paxos_view0_bootstrap ]
+
+(* ------------------------------------------------------------------ *)
+(* Leader lease (read fast path) *)
+
+let lease_cfg ?(n = 3) () =
+  { (Config.default ~n) with
+    lease_enabled = true; lease_duration_s = 1.0; clock_skew_bound_s = 0.05 }
+
+let s_ns x = int_of_float (x *. 1e9)
+
+let test_lease_config_validate () =
+  let ok = lease_cfg () in
+  Alcotest.(check bool) "lease defaults ok" true (Config.validate ok = Ok ());
+  Alcotest.(check bool) "duration must dominate fd interval" true
+    (Config.validate { ok with lease_duration_s = 0.01 } |> Result.is_error);
+  Alcotest.(check bool) "skew must stay under the duration" true
+    (Config.validate { ok with clock_skew_bound_s = 2.0 } |> Result.is_error);
+  Alcotest.(check bool) "knobs ignored when disabled" true
+    (Config.validate
+       { ok with lease_enabled = false; lease_duration_s = 0.01 }
+     = Ok ())
+
+let test_lease_ping_due_fresh () =
+  (* Regression: [create] seeds [last_ping_ns = min_int] and
+     [now - min_int] overflows, so "never pinged" must be tested
+     explicitly — a fresh lease is due immediately, even at now = 0. *)
+  let t = Lease.create (lease_cfg ()) ~me:0 ~view:0 in
+  Alcotest.(check bool) "due at time zero" true (Lease.ping_due t ~now_ns:0);
+  ignore (Lease.make_ping t ~now_ns:0);
+  let renew = s_ns 1.0 / 3 in
+  Alcotest.(check bool) "not due right after a round" false
+    (Lease.ping_due t ~now_ns:(renew - 1));
+  Alcotest.(check bool) "due a third of the duration later" true
+    (Lease.ping_due t ~now_ns:renew)
+
+let test_lease_acquire_on_quorum () =
+  let leader = Lease.create (lease_cfg ()) ~me:0 ~view:0 in
+  let follower = Lease.create (lease_cfg ()) ~me:1 ~view:0 in
+  let t0 = s_ns 0.1 in
+  (match Lease.make_ping leader ~now_ns:t0 with
+   | Msg.Lease_ping { view = 0; t0_ns } ->
+     Alcotest.(check int) "ping anchored at t0" t0 t0_ns
+   | _ -> Alcotest.fail "expected Lease_ping");
+  Alcotest.(check bool) "not held before any grant" false
+    (Lease.held leader ~now_ns:(t0 + 1));
+  (* The follower receives the ping a little later on its own clock and
+     echoes a grant carrying the leader's t0. *)
+  (match Lease.on_ping follower ~from:0 ~view:0 ~t0_ns:t0 ~now_ns:(t0 + 500)
+   with
+   | Some (Msg.Lease_grant { view = 0; t0_ns }) ->
+     Alcotest.(check int) "grant echoes t0" t0 t0_ns
+   | _ -> Alcotest.fail "expected Lease_grant");
+  (* Leader + one grant = quorum of 2 in a group of 3. *)
+  Alcotest.(check bool) "quorum reached" true
+    (Lease.on_grant leader ~from:1 ~view:0 ~t0_ns:t0 ~quorum:2);
+  Alcotest.(check int) "one renewal counted" 1 (Lease.renewals leader);
+  (* Held until t0 + duration - skew on the holder's clock: the skew
+     padding keeps the holder's expiry inside every grantor's promise. *)
+  let expiry = t0 + s_ns 1.0 - s_ns 0.05 in
+  Alcotest.(check bool) "held after the quorum" true
+    (Lease.held leader ~now_ns:(t0 + 1000));
+  Alcotest.(check bool) "held up to the padded expiry" true
+    (Lease.held leader ~now_ns:(expiry - 1));
+  Alcotest.(check bool) "expires skew-early" false
+    (Lease.held leader ~now_ns:expiry)
+
+let test_lease_grant_bookkeeping () =
+  let leader = Lease.create (lease_cfg ~n:5 ()) ~me:0 ~view:0 in
+  let t0 = s_ns 0.2 in
+  ignore (Lease.make_ping leader ~now_ns:t0);
+  Alcotest.(check bool) "stale round ignored" false
+    (Lease.on_grant leader ~from:1 ~view:0 ~t0_ns:(t0 - 7) ~quorum:3);
+  Alcotest.(check bool) "wrong view ignored" false
+    (Lease.on_grant leader ~from:1 ~view:1 ~t0_ns:t0 ~quorum:3);
+  Alcotest.(check bool) "first grant short of quorum" false
+    (Lease.on_grant leader ~from:1 ~view:0 ~t0_ns:t0 ~quorum:3);
+  Alcotest.(check bool) "duplicate grant not double counted" false
+    (Lease.on_grant leader ~from:1 ~view:0 ~t0_ns:t0 ~quorum:3);
+  Alcotest.(check bool) "still not held" false
+    (Lease.held leader ~now_ns:(t0 + 1));
+  Alcotest.(check bool) "third distinct grantor completes the quorum" true
+    (Lease.on_grant leader ~from:2 ~view:0 ~t0_ns:t0 ~quorum:3);
+  Alcotest.(check bool) "held" true (Lease.held leader ~now_ns:(t0 + 1))
+
+let test_lease_on_ping_refusals () =
+  let t = Lease.create (lease_cfg ()) ~me:1 ~view:0 in
+  Alcotest.(check bool) "wrong view refused" true
+    (Lease.on_ping t ~from:0 ~view:1 ~t0_ns:10 ~now_ns:20 = None);
+  Alcotest.(check bool) "non-leader sender refused" true
+    (Lease.on_ping t ~from:2 ~view:0 ~t0_ns:10 ~now_ns:20 = None);
+  let self = Lease.create (lease_cfg ()) ~me:0 ~view:0 in
+  Alcotest.(check bool) "own ping not self-granted" true
+    (Lease.on_ping self ~from:0 ~view:0 ~t0_ns:10 ~now_ns:20 = None)
+
+let test_lease_promise_exclusive () =
+  (* A follower that promised node 0 must keep defecting candidates out
+     (dropped Prepares, deferred Suspect verdicts) until the promise
+     expires — this is what makes concurrent leases impossible. *)
+  let t = Lease.create (lease_cfg ()) ~me:2 ~view:0 in
+  let now = s_ns 0.1 in
+  Alcotest.(check bool) "granted" true
+    (Lease.on_ping t ~from:0 ~view:0 ~t0_ns:now ~now_ns:now <> None);
+  let promised_until = now + s_ns 1.0 in
+  Alcotest.(check bool) "other candidate blocked" true
+    (Lease.promise_blocks t ~candidate:1 ~now_ns:(promised_until - 1));
+  Alcotest.(check bool) "beneficiary never blocked" false
+    (Lease.promise_blocks t ~candidate:0 ~now_ns:(promised_until - 1));
+  Alcotest.(check bool) "promise expires" false
+    (Lease.promise_blocks t ~candidate:1 ~now_ns:promised_until);
+  (* While the promise to 0 is active the view-1 leader (node 1) gets
+     no grant; after expiry it does. *)
+  Lease.set_view t ~view:1;
+  Alcotest.(check bool) "conflicting ping refused while promised" true
+    (Lease.on_ping t ~from:1 ~view:1 ~t0_ns:(now + 10)
+       ~now_ns:(promised_until - 1)
+     = None);
+  Alcotest.(check bool) "granted once the promise lapsed" true
+    (Lease.on_ping t ~from:1 ~view:1 ~t0_ns:promised_until
+       ~now_ns:promised_until
+     <> None)
+
+let test_lease_set_view_invalidates () =
+  let leader = Lease.create (lease_cfg ()) ~me:0 ~view:0 in
+  let t0 = s_ns 0.1 in
+  ignore (Lease.make_ping leader ~now_ns:t0);
+  Alcotest.(check bool) "held" true
+    (Lease.on_grant leader ~from:1 ~view:0 ~t0_ns:t0 ~quorum:2);
+  Lease.set_view leader ~view:1;
+  Alcotest.(check bool) "view change drops the held lease" false
+    (Lease.held leader ~now_ns:(t0 + 1));
+  Alcotest.(check bool) "old-round grants void" false
+    (Lease.on_grant leader ~from:2 ~view:0 ~t0_ns:t0 ~quorum:2);
+  Alcotest.(check bool) "renewal due again in the new view" true
+    (Lease.ping_due leader ~now_ns:(t0 + 1));
+  Lease.set_view leader ~view:1;
+  Alcotest.(check bool) "same view is a no-op" true
+    (Lease.ping_due leader ~now_ns:(t0 + 1))
+
+let test_lease_singleton_self_holds () =
+  (* n = 1: the group is its own quorum, the round self-completes. *)
+  let t = Lease.create (lease_cfg ~n:1 ()) ~me:0 ~view:0 in
+  ignore (Lease.make_ping t ~now_ns:100);
+  Alcotest.(check bool) "held immediately" true (Lease.held t ~now_ns:101);
+  Alcotest.(check int) "renewal counted" 1 (Lease.renewals t)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "lease: config validation" `Quick
+        test_lease_config_validate;
+      Alcotest.test_case "lease: fresh lease pings immediately" `Quick
+        test_lease_ping_due_fresh;
+      Alcotest.test_case "lease: acquired on quorum, skew-padded expiry" `Quick
+        test_lease_acquire_on_quorum;
+      Alcotest.test_case "lease: grant round bookkeeping" `Quick
+        test_lease_grant_bookkeeping;
+      Alcotest.test_case "lease: ping refusals" `Quick test_lease_on_ping_refusals;
+      Alcotest.test_case "lease: exclusive promise blocks rivals" `Quick
+        test_lease_promise_exclusive;
+      Alcotest.test_case "lease: view change invalidates" `Quick
+        test_lease_set_view_invalidates;
+      Alcotest.test_case "lease: singleton group self-holds" `Quick
+        test_lease_singleton_self_holds;
+    ]

@@ -1077,3 +1077,186 @@ let suite =
         test_replica_group_global_barrier;
       Alcotest.test_case "replica group: proxy-leader fan-out" `Quick
         test_replica_group_proxy_leaders ]
+
+(* ------------------------------------------------------------------ *)
+(* Read fast path (leases) on the live cluster *)
+
+let lease_test_cfg n =
+  { (test_cfg n) with
+    Config.lease_enabled = true; lease_duration_s = 0.4;
+    clock_skew_bound_s = 0.02 }
+
+let await_lease cluster =
+  let leader = Replica.Cluster.await_leader cluster in
+  await ~what:"leader lease" (fun () -> Replica.lease_held leader);
+  leader
+
+let test_cluster_linearizable_read () =
+  with_cluster ~cfg:(lease_test_cfg 3) @@ fun cluster ->
+  let leader = await_lease cluster in
+  Alcotest.(check bool) "renewal rounds ran" true
+    (Replica.lease_renewals_count leader >= 1);
+  let client = Client.create ~cluster ~client_id:1 () in
+  ignore (Client.call client (Bytes.of_string "5"));
+  ignore (Client.call client (Bytes.of_string "7"));
+  (* An accumulator read is an add of 0: returns the state, mutates
+     nothing. *)
+  let r = Client.read client (Bytes.of_string "0") in
+  Alcotest.(check string) "read sees both writes" "12" (Bytes.to_string r);
+  Alcotest.(check bool) "served on the fast path" true
+    (Replica.reads_served_count leader >= 1);
+  (* The fast path really bypassed ordering: only the two writes were
+     ordered and executed. *)
+  Alcotest.(check int) "reads not ordered" 2 (Replica.executed_count leader)
+
+let test_follower_rejects_linearizable_read () =
+  with_cluster ~cfg:(lease_test_cfg 3) @@ fun cluster ->
+  ignore (await_lease cluster);
+  let follower = (Replica.Cluster.replicas cluster).(1) in
+  let raw =
+    Client_msg.read_to_bytes
+      { Client_msg.id = rid 1 1; staleness_ns = Client_msg.linearizable;
+        payload = Bytes.of_string "0" }
+  in
+  let box = Msmr_platform.Bounded_queue.create ~capacity:1 in
+  Replica.submit follower ~raw ~reply_to:(fun b ->
+      ignore (Msmr_platform.Bounded_queue.try_put box b));
+  (match Msmr_platform.Bounded_queue.take_timeout box ~timeout_s:5.0 with
+   | Some b ->
+     (match (Client_msg.read_reply_of_bytes b).status with
+      | Client_msg.Not_leaseholder hint ->
+        Alcotest.(check int) "redirect hint names the leader" 0 hint
+      | _ -> Alcotest.fail "expected Not_leaseholder")
+   | None -> Alcotest.fail "no reply");
+  Alcotest.(check bool) "rejection counted" true
+    (Replica.reads_rejected_count follower >= 1)
+
+let test_stale_reads_spread_and_redirect () =
+  with_cluster ~cfg:(lease_test_cfg 3) @@ fun cluster ->
+  ignore (await_lease cluster);
+  (* client_id 1 aims its first stale attempt at replica 1 (a follower). *)
+  let client = Client.create ~cluster ~client_id:1 () in
+  ignore (Client.call client (Bytes.of_string "3"));
+  let replicas = Replica.Cluster.replicas cluster in
+  await ~what:"followers applying the write" (fun () ->
+      Array.for_all (fun r -> Replica.executed_count r = 1) replicas);
+  (* A generous bound is servable at the caught-up follower. *)
+  let r = Client.read_stale client ~staleness_s:5.0 (Bytes.of_string "0") in
+  Alcotest.(check string) "stale read correct" "3" (Bytes.to_string r);
+  let stale_served =
+    Array.fold_left (fun a r -> a + Replica.stale_reads_served_count r) 0
+      replicas
+  in
+  Alcotest.(check bool) "served somewhere on the stale path" true
+    (stale_served >= 1);
+  (* A zero bound is only provable at the leaseholder: the follower
+     bounces the read with a leader hint and the client follows it. *)
+  let r = Client.read_stale client ~staleness_s:0.0 (Bytes.of_string "0") in
+  Alcotest.(check string) "tight bound still correct" "3" (Bytes.to_string r);
+  Alcotest.(check bool) "redirect taken and counted" true
+    (Client.read_redirects client >= 1)
+
+let test_reads_unsupported_without_lease () =
+  with_cluster @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let client = Client.create ~cluster ~client_id:1 () in
+  ignore (Client.call client (Bytes.of_string "1"));
+  Alcotest.check_raises "fail fast, no redirect chase" Client.Reads_unsupported
+    (fun () -> ignore (Client.read client (Bytes.of_string "0")))
+
+let test_read_storm_keeps_reply_cache () =
+  (* Regression: reads bypass the reply cache, so a storm of reads from
+     one client must not disturb the at-most-once guarantee for that
+     same client's writes — the duplicate of a completed write still
+     gets the cached reply and is not re-executed. *)
+  with_cluster ~cfg:(lease_test_cfg 3) @@ fun cluster ->
+  let leader = await_lease cluster in
+  let wraw =
+    Client_msg.request_to_bytes
+      { Client_msg.id = rid 7 1; payload = Bytes.of_string "5" }
+  in
+  let replies = Msmr_platform.Bounded_queue.create ~capacity:4 in
+  let sink b = ignore (Msmr_platform.Bounded_queue.try_put replies b) in
+  Replica.submit leader ~raw:wraw ~reply_to:sink;
+  await ~what:"write executed" (fun () -> Replica.executed_count leader = 1);
+  ignore (Msmr_platform.Bounded_queue.take_timeout replies ~timeout_s:5.0);
+  (* Read storm from the same client, between the write and its dup. *)
+  let served = Atomic.make 0 in
+  for i = 1 to 500 do
+    let raw =
+      Client_msg.read_to_bytes
+        { Client_msg.id = rid 7 (1000 + i);
+          staleness_ns = Client_msg.linearizable;
+          payload = Bytes.of_string "0" }
+    in
+    Replica.submit leader ~raw ~reply_to:(fun b ->
+        match (Client_msg.read_reply_of_bytes b).status with
+        | Client_msg.Read_ok _ -> Atomic.incr served
+        | _ -> ())
+  done;
+  await ~what:"storm served" (fun () -> Atomic.get served = 500);
+  (* The duplicate write still hits the cache: same reply, no re-run. *)
+  Replica.submit leader ~raw:wraw ~reply_to:sink;
+  (match Msmr_platform.Bounded_queue.take_timeout replies ~timeout_s:5.0 with
+   | Some b ->
+     Alcotest.(check string) "cached reply preserved" "5"
+       (Bytes.to_string (Client_msg.reply_of_bytes b).result)
+   | None -> Alcotest.fail "no duplicate reply");
+  Mclock.sleep_s 0.05;
+  Alcotest.(check int) "write executed exactly once" 1
+    (Replica.executed_count leader)
+
+let test_replica_group_reads () =
+  let rg =
+    Replica_group.create ~groups:2 ~cfg:(lease_test_cfg 3)
+      ~service:(fun ~gid:_ -> keyed_counter ())
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Replica_group.stop rg) @@ fun () ->
+  Replica_group.await_leaders rg;
+  let k0 = key_in_group ~groups:2 0 and k1 = key_in_group ~groups:2 1 in
+  ignore (rg_call rg ~client_id:1 ~seq:1 (k0 ^ ":5"));
+  ignore (rg_call rg ~client_id:1 ~seq:2 (k1 ^ ":7"));
+  (* Per-group leases: each group's leader holds its own. *)
+  let leader gid =
+    Replica.Cluster.await_leader (Replica_group.cluster rg ~gid)
+  in
+  await ~what:"group leases" (fun () ->
+      Replica.lease_held (leader 0) && Replica.lease_held (leader 1));
+  let read_key k =
+    let raw =
+      Client_msg.read_to_bytes
+        { Client_msg.id = rid 2 1; staleness_ns = Client_msg.linearizable;
+          payload = Bytes.of_string (k ^ ":0") }
+    in
+    let box = Msmr_platform.Bounded_queue.create ~capacity:1 in
+    Replica_group.submit rg ~raw ~reply_to:(fun b ->
+        ignore (Msmr_platform.Bounded_queue.try_put box b));
+    match Msmr_platform.Bounded_queue.take_timeout box ~timeout_s:5.0 with
+    | Some b ->
+      (match (Client_msg.read_reply_of_bytes b).status with
+       | Client_msg.Read_ok r -> Bytes.to_string r
+       | _ -> Alcotest.failf "read of %S refused" k)
+    | None -> Alcotest.failf "no read reply for %S" k
+  in
+  Alcotest.(check string) "group 0 read" "5" (read_key k0);
+  Alcotest.(check string) "group 1 read" "7" (read_key k1);
+  Alcotest.(check int) "router counted the reads" 2
+    (Replica_group.reads_routed_count rg);
+  Alcotest.(check int) "reads did not consume the write router count" 2
+    (Replica_group.routed_count rg)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "reads: linearizable at the leaseholder" `Quick
+        test_cluster_linearizable_read;
+      Alcotest.test_case "reads: follower refuses without the lease" `Quick
+        test_follower_rejects_linearizable_read;
+      Alcotest.test_case "reads: stale reads spread and redirect" `Quick
+        test_stale_reads_spread_and_redirect;
+      Alcotest.test_case "reads: unsupported without leases" `Quick
+        test_reads_unsupported_without_lease;
+      Alcotest.test_case "reads: storm leaves the reply cache intact" `Quick
+        test_read_storm_keeps_reply_cache;
+      Alcotest.test_case "replica group: per-group lease reads" `Quick
+        test_replica_group_reads ]

@@ -726,6 +726,113 @@ let test_multigroup_chaos_one_group_crash_isolated () =
   let r2 = Jpaxos_model.run p in
   Alcotest.(check int) "chaos multi-group deterministic" r.events r2.events
 
+(* Read-heavy fast path: leases + local reads in the model. *)
+
+let read_params ?(stale = false) ratio =
+  { (small_params ()) with
+    read_ratio = ratio; lease = true; stale_reads = stale;
+    clock_skew = 0.002; lease_duration = 0.5 }
+
+let test_reads_lease_off_identity () =
+  (* lease = false must leave the event stream byte-for-byte the
+     lease-free one even with read_ratio > 0: reads take the ordered
+     path like any write (the ordered-read baseline), no lease process
+     runs, and no read-only counters move. *)
+  let base = Jpaxos_model.run (small_params ()) in
+  let r = Jpaxos_model.run { (small_params ()) with read_ratio = 0.95 } in
+  Alcotest.(check (float 0.)) "same throughput" base.throughput r.throughput;
+  Alcotest.(check int) "same event count" base.events r.events;
+  Alcotest.(check int) "no fast-path reads" 0 r.reads_completed;
+  Alcotest.(check int) "no rejects" 0 r.read_rejects;
+  Alcotest.(check int) "no stale answers" 0 r.stale_answers
+
+let test_reads_lease_off_identity_multigroup () =
+  let mg p = Jpaxos_model.run { p with groups = 2 } in
+  let base = mg (small_params ()) in
+  let r = mg { (small_params ()) with read_ratio = 0.95 } in
+  Alcotest.(check (float 0.)) "same throughput" base.throughput r.throughput;
+  Alcotest.(check int) "same event count" base.events r.events;
+  Alcotest.(check int) "no fast-path reads" 0 r.reads_completed
+
+let test_reads_deterministic () =
+  let p = read_params ~stale:true 0.5 in
+  let r1 = Jpaxos_model.run p in
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check (float 0.)) "same throughput" r1.throughput r2.throughput;
+  Alcotest.(check int) "same event count" r1.events r2.events;
+  Alcotest.(check int) "same reads" r1.reads_completed r2.reads_completed;
+  Alcotest.(check int) "same rejects" r1.read_rejects r2.read_rejects
+
+let test_reads_linearizable_at_leaseholder () =
+  (* With stale_reads off every read goes to the leaseholder, which
+     serves it from local executed state once the lease is held. *)
+  let r = Jpaxos_model.run (read_params 0.5) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fast-path reads served (%d)" r.reads_completed)
+    true (r.reads_completed > 1000);
+  Alcotest.(check bool) "read safety holds" true r.safety_ok;
+  Alcotest.(check int) "no stale answers" 0 r.stale_answers
+
+let test_reads_stale_speedup () =
+  (* Bounded-staleness reads spread over all three NICs; at 95/5 the
+     fast path must clearly beat the ordered-read baseline (the full
+     sweep and the 5x gate live in bench008). *)
+  let base = Jpaxos_model.run { (small_params ()) with read_ratio = 0.95 } in
+  let r = Jpaxos_model.run (read_params ~stale:true 0.95) in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale reads (%.0f) >= 2x ordered baseline (%.0f)"
+       r.throughput base.throughput)
+    true
+    (r.throughput >= 2. *. base.throughput);
+  Alcotest.(check bool) "read safety holds" true r.safety_ok;
+  Alcotest.(check int) "no stale answers" 0 r.stale_answers
+
+let test_reads_multigroup () =
+  (* Per-group leases: reads route through the Router to their group's
+     decision queue and are served against that group's lease. *)
+  let p = { (read_params ~stale:true 0.5) with groups = 2 } in
+  let r1 = Jpaxos_model.run p in
+  Alcotest.(check bool)
+    (Printf.sprintf "multi-group reads served (%d)" r1.reads_completed)
+    true (r1.reads_completed > 1000);
+  Alcotest.(check bool) "read safety holds" true r1.safety_ok;
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check int) "deterministic" r1.events r2.events;
+  Alcotest.(check int) "same reads" r1.reads_completed r2.reads_completed
+
+let test_chaos_reads_partition_golden () =
+  (* The lease-safety chaos golden: partition the leaseholder (node 0)
+     away from the majority while stale reads keep arriving at every
+     node. Once its lease expires the old leaseholder must refuse
+     reads rather than answer from a stale frontier — zero stale
+     answers, nonzero rejects — and the majority side elects a new
+     leader. Two seeded runs must be bit-identical. *)
+  let p =
+    { (chaos_params ~duration:1.5
+         [ Sfault.Partition
+             { group_a = [ 0 ]; group_b = [ 1; 2 ]; at = 0.3; heal_at = 1.2;
+               symmetric = true } ])
+      with
+      read_ratio = 0.5; lease = true; stale_reads = true;
+      clock_skew = 0.002; lease_duration = 0.5 }
+  in
+  let r1 = Jpaxos_model.run p in
+  Alcotest.(check bool) "read safety across the partition" true r1.safety_ok;
+  Alcotest.(check int) "zero stale answers" 0 r1.stale_answers;
+  Alcotest.(check bool)
+    (Printf.sprintf "expired/unfresh replicas refused reads (%d)"
+       r1.read_rejects)
+    true (r1.read_rejects > 0);
+  Alcotest.(check bool) "majority elected a new leader" true
+    (r1.view_changes >= 1);
+  Alcotest.(check bool) "reads still completed" true (r1.reads_completed > 0);
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check int) "golden: same events" r1.events r2.events;
+  Alcotest.(check int) "golden: same completed" r1.completed r2.completed;
+  Alcotest.(check int) "golden: same reads" r1.reads_completed
+    r2.reads_completed;
+  Alcotest.(check int) "golden: same rejects" r1.read_rejects r2.read_rejects
+
 let suite =
   [
     Alcotest.test_case "engine: delay ordering" `Quick test_engine_delay_ordering;
@@ -800,4 +907,17 @@ let suite =
       test_multigroup_global_barrier;
     Alcotest.test_case "multigroup: crash in one group isolated" `Slow
       test_multigroup_chaos_one_group_crash_isolated;
+    Alcotest.test_case "reads: lease-off path identical" `Quick
+      test_reads_lease_off_identity;
+    Alcotest.test_case "reads: lease-off multi-group path identical" `Quick
+      test_reads_lease_off_identity_multigroup;
+    Alcotest.test_case "reads: deterministic" `Quick test_reads_deterministic;
+    Alcotest.test_case "reads: linearizable at the leaseholder" `Quick
+      test_reads_linearizable_at_leaseholder;
+    Alcotest.test_case "reads: stale reads beat the ordered baseline" `Quick
+      test_reads_stale_speedup;
+    Alcotest.test_case "reads: multi-group per-group leases" `Quick
+      test_reads_multigroup;
+    Alcotest.test_case "chaos: partitioned leaseholder refuses reads" `Slow
+      test_chaos_reads_partition_golden;
   ]

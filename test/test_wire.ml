@@ -193,9 +193,71 @@ let test_frame_write_many () =
   Unix.close wr;
   Unix.close rd
 
+(* Read fast-path frames. *)
+
+let mk_read ?(staleness_ns = Client_msg.linearizable) cid seq payload =
+  { Client_msg.id = { client_id = cid; seq }; staleness_ns;
+    payload = Bytes.of_string payload }
+
+let test_read_roundtrip () =
+  let r = mk_read 42 1001 "key" in
+  let b = Client_msg.read_to_bytes r in
+  Alcotest.(check int) "wire size matches" (Client_msg.read_wire_size r)
+    (Bytes.length b);
+  Alcotest.(check bool) "equal" true
+    (Client_msg.equal_read r (Client_msg.read_of_bytes b));
+  let stale = mk_read ~staleness_ns:5_000_000 3 4 "" in
+  Alcotest.(check bool) "stale bound survives" true
+    (Client_msg.equal_read stale
+       (Client_msg.read_of_bytes (Client_msg.read_to_bytes stale)))
+
+let test_read_magic_discriminates () =
+  (* [Replica.submit] peeks one i32 to route a frame: reads are marked
+     negative, writes always start with a non-negative client id. *)
+  let read = Client_msg.read_to_bytes (mk_read 42 1 "k") in
+  let write = Client_msg.request_to_bytes (mk_req 42 1 "k") in
+  Alcotest.(check bool) "read frame marked" true
+    (Client_msg.is_read_raw read);
+  Alcotest.(check bool) "write frame unmarked" false
+    (Client_msg.is_read_raw write);
+  (* A read frame must not decode as a write request. *)
+  Alcotest.(check bool) "encodings disjoint" true
+    (try
+       ignore (Client_msg.request_of_bytes read);
+       false
+     with Codec.Malformed _ | Codec.Underflow -> true)
+
+let test_read_reply_roundtrip () =
+  let rid = { Client_msg.client_id = 7; seq = 9 } in
+  let statuses =
+    [ Client_msg.Read_ok (Bytes.of_string "value");
+      Client_msg.Read_ok Bytes.empty;
+      Client_msg.Not_leaseholder 2;
+      Client_msg.Not_leaseholder (-1);
+      Client_msg.Too_stale 0;
+      Client_msg.Read_unsupported ]
+  in
+  List.iter
+    (fun status ->
+       let rep = { Client_msg.rid; status } in
+       let b = Client_msg.read_reply_to_bytes rep in
+       Alcotest.(check bool) "reply frame marked" true
+         (Bytes.get_int32_be b 0 = Int32.of_int Client_msg.read_reply_magic);
+       Alcotest.(check bool) "round-trips" true
+         (Client_msg.equal_read_reply rep (Client_msg.read_reply_of_bytes b)))
+    statuses
+
+let prop_read_roundtrip =
+  QCheck.Test.make ~name:"client read codec round-trip" ~count:300
+    QCheck.(quad small_nat small_nat (int_range (-1) 1_000_000) string)
+    (fun (cid, seq, bound, payload) ->
+       let r = mk_read ~staleness_ns:bound cid seq payload in
+       Client_msg.equal_read r
+         (Client_msg.read_of_bytes (Client_msg.read_to_bytes r)))
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_codec_string_roundtrip; prop_request_roundtrip ]
+    [ prop_codec_string_roundtrip; prop_request_roundtrip; prop_read_roundtrip ]
 
 let suite =
   [
@@ -215,5 +277,10 @@ let suite =
       test_codec_to_bytes_and_blit;
     Alcotest.test_case "codec: writer pool" `Quick test_codec_writer_pool;
     Alcotest.test_case "frame: write_many" `Quick test_frame_write_many;
+    Alcotest.test_case "client: read round-trip" `Quick test_read_roundtrip;
+    Alcotest.test_case "client: read magic discriminates" `Quick
+      test_read_magic_discriminates;
+    Alcotest.test_case "client: read reply round-trip" `Quick
+      test_read_reply_roundtrip;
   ]
   @ qsuite
