@@ -1610,6 +1610,171 @@ let bench008 () =
   Printf.printf "wrote %s\n%!" !bench008_out
 
 (* ------------------------------------------------------------------ *)
+(* bench009: early scheduling + optimistic speculative execution
+   (DESIGN.md section 16). Sweep of the simulated cluster (n=3, 8
+   cores, 4 executors, work-stealing) over
+
+     speculation   off (ordered execution after decide — the PR 7
+                       baseline) and on (pre-dispatch at ingress +
+                       optimistic execution against predicted order)
+     skew          0.0 (uniform keys) and 0.9 (hot-key convoy)
+     groups        1 and 4
+
+   The headline is the commit->execute gap: with speculation on, the
+   optimistic result is already staged when the decide arrives, so the
+   decide->reply latency collapses to a confirm. Gate:
+   ce_off / ce_on >= 2 at skew 0.9, groups=1.
+
+   A chaos-reorder soak then makes rollback falsifiable: the leader
+   crashes mid-speculation (plus a forced-mispredict floor pattern),
+   every open frame must abort, the linearizability verdict must hold,
+   and a rerun must be bit-identical. *)
+
+let bench009_out = ref "bench/BENCH_009.json"
+
+let bench009 () =
+  heading "bench009"
+    (Printf.sprintf
+       "Speculative execution: commit->execute gap -> %s%s" !bench009_out
+       (if !bench_quick then " (--quick)" else ""));
+  let module J = Msmr_obs.Json in
+  let module F = Msmr_sim.Sfault in
+  let quick = !bench_quick in
+  let warmup, duration, n_clients =
+    if quick then (0.05, 0.2, 200) else (0.2, 0.8, 400)
+  in
+  let run ~spec ~skew ~groups =
+    let p = Params.default ~n:3 ~cores:8 () in
+    Jp.run
+      { p with
+        groups;
+        n_clients;
+        warmup;
+        duration;
+        exec_threads = 4;
+        steal = groups = 1;
+        skew;
+        speculate = spec }
+  in
+  Printf.printf
+    "speculative execution (n=3, 8 cores, 4 executors, %d clients):\n"
+    n_clients;
+  Printf.printf "%5s %7s %5s %12s %10s %9s %9s %8s %6s\n" "skew" "groups"
+    "spec" "total req/s" "ce lat" "dispatch" "confirm" "abort" "safe";
+  let rows =
+    List.concat_map
+      (fun skew ->
+         List.concat_map
+           (fun groups ->
+              List.map
+                (fun spec ->
+                   let r = run ~spec ~skew ~groups in
+                   Printf.printf
+                     "%5.2f %7d %5s %12.1f %9.1fus %9d %9d %8d %6b\n%!"
+                     skew groups
+                     (if spec then "on" else "off")
+                     (k r.Jp.throughput)
+                     (1e6 *. r.Jp.commit_exec_latency)
+                     r.Jp.spec_dispatched r.Jp.spec_confirmed
+                     r.Jp.spec_aborted r.Jp.safety_ok;
+                   (skew, groups, spec, r))
+                [ false; true ])
+           [ 1; 4 ])
+      [ 0.0; 0.9 ]
+  in
+  let ce skew groups spec =
+    let _, _, _, r =
+      List.find
+        (fun (s, g, sp, _) -> s = skew && g = groups && sp = spec)
+        rows
+    in
+    r.Jp.commit_exec_latency
+  in
+  let ce_speedup =
+    let off = ce 0.9 1 false and on = ce 0.9 1 true in
+    if on > 0. then off /. on else 0.
+  in
+  Printf.printf
+    "commit->execute speedup spec-on vs off at skew 0.9, groups=1: %.2fx \
+     (gate >= 2)\n%!"
+    ce_speedup;
+  (* --- chaos-reorder soak: leader crash mid-speculation + forced
+     mispredicts; every open frame aborts, safety holds, reruns are
+     bit-identical --- *)
+  let crash_at, restart_at, chaos_duration =
+    if quick then (0.4, 0.7, 1.0) else (0.8, 1.4, 2.0)
+  in
+  let chaos_p =
+    let p = Params.default ~n:3 ~cores:8 () in
+    { p with
+      n_clients = 100;
+      warmup = 0.2;
+      duration = chaos_duration;
+      exec_threads = 4;
+      steal = true;
+      skew = 0.5;
+      speculate = true;
+      mispredict_ratio = 0.1;
+      faults = [ F.Crash { node = 0; at = crash_at; restart_at = Some restart_at } ];
+      chaos_seed = 7;
+      chaos_client_timeout = 0.25 }
+  in
+  let c1 = Jp.run chaos_p in
+  let c2 = Jp.run chaos_p in
+  let fp (r : Jp.result) =
+    ( r.completed, r.spec_dispatched, r.spec_confirmed, r.spec_aborted,
+      r.view_changes, r.executed_min, r.executed_max, r.events )
+  in
+  let chaos_deterministic = fp c1 = fp c2 in
+  Printf.printf
+    "chaos soak (leader crash %.1fs, restart %.1fs, mispredict 0.10): \
+     dispatched %d | confirmed %d | aborted %d | views %d | safe %b | \
+     deterministic %b\n%!"
+    crash_at restart_at c1.Jp.spec_dispatched c1.Jp.spec_confirmed
+    c1.Jp.spec_aborted c1.Jp.view_changes c1.Jp.safety_ok chaos_deterministic;
+  let point (skew, groups, spec, (r : Jp.result)) =
+    J.Obj
+      [ ("skew", J.Float skew);
+        ("groups", J.Int groups);
+        ("speculate", J.Bool spec);
+        ("throughput_rps", J.Float r.throughput);
+        ("commit_exec_latency_s", J.Float r.commit_exec_latency);
+        ("spec_dispatched", J.Int r.spec_dispatched);
+        ("spec_confirmed", J.Int r.spec_confirmed);
+        ("spec_aborted", J.Int r.spec_aborted);
+        ("safety_ok", J.Bool r.safety_ok) ]
+  in
+  let json =
+    J.Obj
+      [ ("bench", J.String "BENCH_009");
+        ("source", J.String "bench/main.exe bench009");
+        ("quick", J.Bool quick);
+        ("n", J.Int 3);
+        ("cores", J.Int 8);
+        ("exec_threads", J.Int 4);
+        ("n_clients", J.Int n_clients);
+        ("points", J.List (List.map point rows));
+        ("ce_speedup_skew09_g1", J.Float ce_speedup);
+        ( "chaos",
+          J.Obj
+            [ ("crash_at_s", J.Float crash_at);
+              ("restart_at_s", J.Float restart_at);
+              ("mispredict_ratio", J.Float 0.1);
+              ("chaos_seed", J.Int 7);
+              ("spec_dispatched", J.Int c1.Jp.spec_dispatched);
+              ("spec_confirmed", J.Int c1.Jp.spec_confirmed);
+              ("spec_aborted", J.Int c1.Jp.spec_aborted);
+              ("view_changes", J.Int c1.Jp.view_changes);
+              ("safety_ok", J.Bool c1.Jp.safety_ok);
+              ("deterministic", J.Bool chaos_deterministic) ] ) ]
+  in
+  let oc = open_out !bench009_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !bench009_out
+
+(* ------------------------------------------------------------------ *)
 (* Observability: --trace FILE runs a short traced simulation and writes
    a Chrome trace_event file; --metrics FILE dumps the metrics registry.
    See docs/OBSERVABILITY.md. *)
@@ -1677,7 +1842,8 @@ let experiments =
     ("live", live); ("live-mono", live_mono); ("ablation", ablation);
     ("micro", micro); ("bench002", bench002); ("bench003", bench003);
     ("bench004", bench004); ("bench005", bench005); ("bench006", bench006);
-    ("bench007", bench007); ("bench008", bench008) ]
+    ("bench007", bench007); ("bench008", bench008);
+    ("bench009", bench009) ]
 
 let () =
   let rec parse ids trace metrics = function
@@ -1705,18 +1871,21 @@ let () =
     | "--bench008-out" :: file :: rest ->
       bench008_out := file;
       parse ids trace metrics rest
+    | "--bench009-out" :: file :: rest ->
+      bench009_out := file;
+      parse ids trace metrics rest
     | "--quick" :: rest ->
       bench_quick := true;
       parse ids trace metrics rest
     | ("--trace" | "--metrics" | "--bench-out" | "--bench003-out"
       | "--bench004-out" | "--bench005-out" | "--bench006-out"
-      | "--bench007-out" | "--bench008-out") :: [] ->
+      | "--bench007-out" | "--bench008-out" | "--bench009-out") :: [] ->
       Printf.eprintf
         "usage: main [EXPERIMENT..] [--trace FILE] [--metrics FILE]\n\
         \       [--quick] [--bench-out FILE] [--bench003-out FILE]\n\
         \       [--bench004-out FILE] [--bench005-out FILE]\n\
         \       [--bench006-out FILE] [--bench007-out FILE]\n\
-        \       [--bench008-out FILE]\n";
+        \       [--bench008-out FILE] [--bench009-out FILE]\n";
       exit 2
     | id :: rest -> parse (id :: ids) trace metrics rest
   in

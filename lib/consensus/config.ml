@@ -21,6 +21,7 @@ type t = {
   lease_enabled : bool;
   lease_duration_s : float;
   clock_skew_bound_s : float;
+  speculate : bool;
 }
 
 let default ~n =
@@ -47,6 +48,7 @@ let default ~n =
     lease_enabled = false;
     lease_duration_s = 2.0;
     clock_skew_bound_s = 0.1;
+    speculate = false;
   }
 
 let validate t =

@@ -12,7 +12,7 @@ type sink = bytes -> unit
 type batch_sink = bytes list -> unit
 
 type worker_ctx = {
-  ingress : (bytes * sink * batch_sink option) Bq.t;
+  ingress : (bytes * Service.conflict option * sink * batch_sink option) Bq.t;
   replies : (Client_msg.reply * sink * batch_sink option) Mpsc.t;
 }
 
@@ -24,6 +24,10 @@ type t = {
   routes : (int, int * sink * batch_sink option) Cmap.t;
   request_queue : Client_msg.request Bq.t;
   reply_cache : Reply_cache.t;
+  (* Ingress hook for the speculative path: called once per fresh request
+     (no cached reply, not stale) with the router's conflict class when
+     the submitter carried one. Runs on the ClientIO worker thread. *)
+  on_fresh : (Client_msg.request -> Service.conflict option -> unit) option;
   (* Registry counters (docs/OBSERVABILITY.md): atomic adds, no locks. *)
   m_labels : Msmr_obs.Metrics.labels;
   m_requests : Msmr_obs.Metrics.counter;
@@ -98,7 +102,7 @@ let worker_loop t idx st =
             context switches than it saves in latency. *)
          match Bq.take_timeout ~st ctx.ingress ~timeout_s:0.001 with
          | None -> ()
-         | Some (raw, sink, many) -> (
+         | Some (raw, conflict, sink, many) -> (
              match Client_msg.request_of_bytes raw with
              | req -> (
                  Msmr_obs.Metrics.incr t.m_requests;
@@ -107,6 +111,12 @@ let worker_loop t idx st =
                    sink (Client_msg.reply_to_bytes { id = req.id; result })
                  | Reply_cache.Stale -> ()
                  | Reply_cache.Fresh ->
+                   (* Hook before the Batcher hand-off: the pre-dispatch
+                      event must precede the request's own decide in the
+                      DecisionQueue, and queue FIFO gives exactly that. *)
+                   (match t.on_fresh with
+                    | Some f -> f req conflict
+                    | None -> ());
                    Cmap.set t.routes req.id.client_id (idx, sink, many);
                    pending := Some req)
              | exception (Codec.Underflow | Codec.Malformed _) ->
@@ -122,8 +132,8 @@ let metric_names =
   [ "msmr_client_io_requests_total"; "msmr_client_io_replies_total";
     "msmr_client_io_malformed_total"; "msmr_client_io_flushes" ]
 
-let create ?(name_prefix = "") ?(lockfree = true) ~pool_size ~request_queue
-    ~reply_cache () =
+let create ?(name_prefix = "") ?(lockfree = true) ?on_fresh ~pool_size
+    ~request_queue ~reply_cache () =
   if pool_size <= 0 then invalid_arg "Client_io.create: pool_size <= 0";
   let workers =
     (* Ingress is many connection threads -> one worker: MPMC ring. *)
@@ -137,7 +147,7 @@ let create ?(name_prefix = "") ?(lockfree = true) ~pool_size ~request_queue
   in
   let t =
     { workers; threads = []; routes = Cmap.create ~shards:16 ();
-      request_queue; reply_cache;
+      request_queue; reply_cache; on_fresh;
       m_labels;
       m_requests =
         Msmr_obs.Metrics.counter ~labels:m_labels "msmr_client_io_requests_total";
@@ -156,7 +166,7 @@ let create ?(name_prefix = "") ?(lockfree = true) ~pool_size ~request_queue
   in
   { t with threads }
 
-let submit ?reply_many t ~raw ~reply_to =
+let submit ?reply_many ?conflict t ~raw ~reply_to =
   (* Cheap peek at the client id (first i32) to pick the owning worker,
      without a full decode — the worker does that. *)
   let client_id =
@@ -164,7 +174,7 @@ let submit ?reply_many t ~raw ~reply_to =
     else 0
   in
   let idx = worker_of_client t (abs client_id) in
-  Bq.put t.workers.(idx).ingress (raw, reply_to, reply_many)
+  Bq.put t.workers.(idx).ingress (raw, conflict, reply_to, reply_many)
 
 let deliver_reply t (reply : Client_msg.reply) =
   match Cmap.find_opt t.routes reply.id.client_id with

@@ -29,6 +29,8 @@ type batch_sink = bytes list -> unit
 val create :
   ?name_prefix:string ->
   ?lockfree:bool ->
+  ?on_fresh:
+    (Msmr_wire.Client_msg.request -> Service.conflict option -> unit) ->
   pool_size:int ->
   request_queue:Msmr_wire.Client_msg.request Msmr_platform.Channel.t ->
   reply_cache:Reply_cache.t ->
@@ -36,16 +38,32 @@ val create :
   t
 (** Starts [pool_size] threads named [<prefix>ClientIO-<i>]. [lockfree]
     (default true) picks the engine for the per-worker ingress channels;
-    the RequestQueue's engine is the caller's choice at its creation. *)
+    the RequestQueue's engine is the caller's choice at its creation.
 
-val submit : ?reply_many:batch_sink -> t -> raw:bytes -> reply_to:sink -> unit
+    [on_fresh] (default none) is the speculative pre-dispatch hook: it
+    runs on the worker thread for every fresh request — after the reply
+    cache said [Fresh], before the request is handed toward the Batcher —
+    with the conflict class the submitter threaded through {!submit}, if
+    any. The replica uses it to pre-dispatch the request to its executor
+    lane ahead of commit (DESIGN.md section 16). *)
+
+val submit :
+  ?reply_many:batch_sink ->
+  ?conflict:Service.conflict ->
+  t ->
+  raw:bytes ->
+  reply_to:sink ->
+  unit
 (** Hand one serialised request to the pool (round-robin per client id,
     so one client always lands on the same thread, like a persistent
     connection). Blocks when that thread's ingress queue is full —
     equivalent to TCP back-pressure on a real connection. When
     [reply_many] is given, runs of replies destined for this connection
     that are drained in the same pass are delivered through it instead of
-    one [reply_to] call each. *)
+    one [reply_to] call each. [conflict] carries the router's conflict
+    classification of this request, so the spine classifies once at
+    ingress instead of re-deriving it at every stage (it reaches the
+    [on_fresh] hook and, through it, the executor scheduler). *)
 
 val deliver_reply : t -> Msmr_wire.Client_msg.reply -> unit
 (** Called by the ServiceManager: route the reply to the thread owning

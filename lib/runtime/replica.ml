@@ -5,6 +5,7 @@ module Worker = Msmr_platform.Worker
 module Thread_state = Msmr_platform.Thread_state
 module Mclock = Msmr_platform.Mclock
 module Counter = Msmr_platform.Rate_meter.Counter
+module Cmap = Msmr_platform.Concurrent_map
 module Client_msg = Msmr_wire.Client_msg
 open Msmr_consensus
 
@@ -30,6 +31,16 @@ type decision =
           the ServiceManager pops it the apply frontier has reached the
           lease-covered commit point — that queue position {e is} the
           linearizability wait. Lease validity is checked at pop time. *)
+  | Spec of { req : Client_msg.request; conflict : Service.conflict }
+      (** Speculative pre-dispatch (DESIGN.md section 16): pushed by the
+          ClientIO ingress hook the moment a fresh request arrives at the
+          leader, before the request enters the Batcher. Queue FIFO
+          therefore places it strictly before the request's own [Exec],
+          which is what makes the scheduler's ledger admission race-free:
+          the prediction is always on file when the decide arrives. *)
+  | Spec_flush
+      (** View changed: every open speculation predicted the {e old}
+          leader's log-append order, so abort them all. *)
 
 type durability =
   | Ephemeral
@@ -80,8 +91,40 @@ type stable = {
    lane tokens from busy siblings; without it a lane is an executor
    (static hash-sharding). Global / multi-lane commands and snapshots
    first quiesce the pool. *)
+(* Work items flowing through the executor lanes. [W_exec] is the
+   ordered path; the other three belong to the speculative path
+   (Config.speculate, DESIGN.md section 16). All items for one conflict
+   key ride the same lane, so the per-lane FIFO serialises a key's
+   speculative execution, its confirm-or-abort, and any ordered
+   re-execution — no per-frame state machine is needed. *)
+type work =
+  | W_exec of Client_msg.request
+  | W_spec of Spec_ledger.frame * Client_msg.request
+      (* execute optimistically via [Service.execute_undo]; stage the
+         reply invisibly and park the undo closure in the frame *)
+  | W_confirm of Spec_ledger.frame * Client_msg.request
+      (* decide order matched the prediction: promote the staged reply
+         and deliver it (the request rides along only for the defensive
+         ordered-re-execution fallback) *)
+  | W_abort of Spec_ledger.frame
+      (* prediction failed: run the undo, drop the staged reply *)
+
+(* Speculation runtime (Some iff cfg.speculate and the service implements
+   [execute_undo]). The ledger is scheduler-private; the counters and
+   lead accumulators are written by executors and read by metrics. *)
+type spec_ctx = {
+  ledger : Spec_ledger.t;
+  spec_dispatch : Counter.t;  (* frames admitted + pre-dispatched *)
+  spec_confirm : Counter.t;   (* frames whose prediction held *)
+  spec_abort : Counter.t;     (* frames rolled back *)
+  spec_requeue : Counter.t;   (* decided requests re-executed ordered
+                                 after a mispredict on their key *)
+  lead_ns_sum : int Atomic.t; (* sum of confirm - dispatch, ns *)
+  lead_n : int Atomic.t;
+}
+
 type exec_ctx = {
-  pool : Client_msg.request Exec_pool.t;
+  pool : work Exec_pool.t;
   exec_frontier : (int, int) Hashtbl.t;
       (* client_id -> newest seq dispatched, maintained by the scheduler
          in decide order. At-most-once must be decided here, not on the
@@ -89,6 +132,13 @@ type exec_ctx = {
          different executors, so an executor-side newest-seq check could
          race with a later command of the same client finishing first
          and wrongly suppress a fresh one. Scheduler-private. *)
+  conflict_cache : (int, int * Service.conflict) Cmap.t;
+      (* client_id -> (seq, conflict class), written once per fresh
+         request by the ClientIO ingress hook so the spine classifies
+         each request exactly once; the scheduler reads it at dispatch
+         and falls back to classifying only on a miss (cache overwritten
+         by a newer request of the same client, or ingress raced). *)
+  spec : spec_ctx option;
 }
 
 (* Lease runtime state (Config.lease_enabled). The pure {!Lease} policy
@@ -194,6 +244,19 @@ let reads_rejected_count t = Counter.get t.reads_rejected
 let stale_reads_served_count t = Counter.get t.stale_served
 let stale_reads_rejected_count t = Counter.get t.stale_rejected
 
+let spec_ctx_of t =
+  match t.exec_pool with
+  | Some { spec = Some sc; _ } -> Some sc
+  | Some { spec = None; _ } | None -> None
+
+let spec_counter t f =
+  match spec_ctx_of t with Some sc -> Counter.get (f sc) | None -> 0
+
+let spec_dispatched_count t = spec_counter t (fun sc -> sc.spec_dispatch)
+let spec_confirmed_count t = spec_counter t (fun sc -> sc.spec_confirm)
+let spec_aborted_count t = spec_counter t (fun sc -> sc.spec_abort)
+let spec_requeued_count t = spec_counter t (fun sc -> sc.spec_requeue)
+
 let now_int_ns () = Int64.to_int (Mclock.now_ns ())
 
 let lease_held t =
@@ -245,11 +308,11 @@ let submit_read t ~raw ~reply_to =
           with Bq.Closed ->
             reject (Client_msg.Not_leaseholder (Atomic.get t.leader_now))))
 
-let submit ?reply_many t ~raw ~reply_to =
+let submit ?reply_many ?conflict t ~raw ~reply_to =
   if Client_msg.is_read_raw raw then submit_read t ~raw ~reply_to
   else
     match t.client_io with
-    | Some cio -> Client_io.submit ?reply_many cio ~raw ~reply_to
+    | Some cio -> Client_io.submit ?reply_many ?conflict cio ~raw ~reply_to
     | None -> invalid_arg "Replica.submit: stopped"
 
 let inject_suspect t = Bq.put t.dispatcher_q Suspect
@@ -389,6 +452,10 @@ let protocol_apply t (rtx_map : (Paxos.rtx_key, rtx_entry) Hashtbl.t) actions =
             Lease.set_view lc.lease ~view;
             Atomic.set lc.lease_until 0
           | None -> ());
+         (* Every open speculation predicted the old leader's log-append
+            order; the new leader may re-propose in any order. *)
+         if t.cfg.Config.speculate then
+           (try Bq.put t.decision_q Spec_flush with Bq.Closed -> ());
          Failure_detector.set_view t.fd ~view ~now_ns:now;
          Log_.info (fun m ->
              m "replica %d: view %d, leader %d%s" t.me view leader
@@ -1022,6 +1089,11 @@ let service_manager_loop t st =
     | exception Bq.Closed -> continue := false
     | Install { state } -> t.service.restore state
     | Read_exec { read; reply_to } -> exec_read t read reply_to
+    | Spec _ | Spec_flush ->
+      (* Speculation needs the executor pool; the serial ServiceManager
+         never wires the ingress hook, so only a stray Spec_flush from a
+         view change can land here. Ordered execution ignores it. *)
+      ()
     | Exec { iid; value } ->
       (match value with
        | Value.Noop -> ()
@@ -1049,25 +1121,123 @@ let frontier_admit ctx (req : Client_msg.request) =
     Hashtbl.replace ctx.exec_frontier req.id.client_id req.id.seq;
     true
 
+(* Classify once: the ingress hook cached the conflict class keyed by
+   (client, seq); a hit saves the second classification the pre-PR-9
+   spine paid here. Miss = the cache entry was overwritten by a newer
+   request of the same client, or this replica executed a request it
+   never saw at ingress (forwarded batch) — classify locally. *)
+let conflict_of t ctx (req : Client_msg.request) =
+  match Cmap.find_opt ctx.conflict_cache req.id.client_id with
+  | Some (seq, c) when seq = req.id.seq -> c
+  | Some _ | None -> t.service.conflict_keys req
+
+(* Abort one key's mispredicted frames: the W_aborts ride the frames' own
+   lanes, behind their W_specs (FIFO), so each undo runs after — and only
+   after — the speculative execution it reverses. *)
+let push_aborts ~st ctx sc frames =
+  List.iter
+    (fun (f : Spec_ledger.frame) ->
+       Counter.incr sc.spec_abort;
+       Exec_pool.send ~st ctx.pool ~lane:f.f_lane (W_abort f))
+    frames
+
+(* Drop every open speculation and wait until all speculative effects are
+   confirmed-or-undone. After this the service state is exactly the
+   ordered prefix — the precondition for snapshots, state transfer,
+   Global commands and linearizable reads. *)
+let spec_drain ctx st =
+  match ctx.spec with
+  | None -> ()
+  | Some sc ->
+    push_aborts ~st ctx sc (Spec_ledger.abort_all sc.ledger);
+    if Spec_ledger.effects_pending sc.ledger then
+      Exec_pool.quiesce ctx.pool st
+
+(* Ledger admission for a pre-dispatched request, on the scheduler
+   thread so it cannot race the decide path. Only single-key commands
+   speculate — exactly the commands whose lane FIFO can serialise the
+   speculation against later ordered traffic on the same key. *)
+let spec_admit t ctx st (req : Client_msg.request) conflict =
+  match ctx.spec with
+  | None -> ()
+  | Some sc ->
+    if Atomic.get t.am_leader then
+      match conflict with
+      | Service.Keys [ key ] ->
+        let fresh =
+          (not (Reply_cache.already_executed t.reply_cache req.id))
+          && (match Hashtbl.find_opt ctx.exec_frontier req.id.client_id with
+              | Some newest -> req.id.seq > newest
+              | None -> true)
+        in
+        if fresh then (
+          match
+            Spec_ledger.admit sc.ledger req.id ~key
+              ~lane:(route ctx.pool key) ~now_ns:(Mclock.now_ns ())
+          with
+          | None -> ()
+          | Some frame ->
+            Counter.incr sc.spec_dispatch;
+            Exec_pool.send ~st ctx.pool ~lane:frame.f_lane
+              (W_spec (frame, req)))
+      | Service.Keys _ | Service.Global -> ()
+
 (* Route one decided request. Same key -> same lane -> decide order
    preserved among conflicting commands; disjoint keys run concurrently.
    Commands spanning several lanes, and Global ones, are executed inline
-   between two well-defined pool states. *)
+   between two well-defined pool states. With speculation on, the decide
+   is first matched against the ledger: a confirmed prediction turns
+   into a W_confirm on the frame's lane (the execution already
+   happened), a mispredict into W_aborts followed by the ordered
+   re-execution. *)
 let dispatch t ctx st (req : Client_msg.request) =
   if frontier_admit ctx req then
     let pool = ctx.pool in
-    match t.service.conflict_keys req with
+    match conflict_of t ctx req with
     | Service.Keys [] ->
       (* Conflicts with nothing: spread over the pool. *)
-      Exec_pool.send_rr ~st pool req
-    | Service.Keys [ key ] -> Exec_pool.send ~st pool ~lane:(route pool key) req
+      Exec_pool.send_rr ~st pool (W_exec req)
+    | Service.Keys [ key ] ->
+      let speculated =
+        match ctx.spec with
+        | None -> false
+        | Some sc -> (
+            match Spec_ledger.on_decide sc.ledger req.id ~key with
+            | Spec_ledger.Confirm frame ->
+              Counter.incr sc.spec_confirm;
+              Exec_pool.send ~st pool ~lane:frame.f_lane
+                (W_confirm (frame, req));
+              true
+            | Spec_ledger.Mispredict frames ->
+              push_aborts ~st ctx sc frames;
+              Counter.incr sc.spec_requeue;
+              false
+            | Spec_ledger.No_frame -> false)
+      in
+      if not speculated then
+        Exec_pool.send ~st pool ~lane:(route pool key) (W_exec req)
     | Service.Keys keys -> (
+        (* A multi-key command was never itself speculated, but open
+           frames on its keys predicted a different next-decide there:
+           abort them. Their keys hash to this command's lane set, so
+           the aborts stay FIFO-before the command or the quiesce. *)
+        (match ctx.spec with
+         | Some sc ->
+           List.iter
+             (fun key ->
+                match Spec_ledger.on_decide sc.ledger req.id ~key with
+                | Spec_ledger.Mispredict frames ->
+                  push_aborts ~st ctx sc frames
+                | Spec_ledger.Confirm _ | Spec_ledger.No_frame -> ())
+             keys
+         | None -> ());
         match List.sort_uniq compare (List.map (route pool) keys) with
-        | [ lane ] -> Exec_pool.send ~st pool ~lane req
+        | [ lane ] -> Exec_pool.send ~st pool ~lane (W_exec req)
         | _ ->
           Exec_pool.quiesce pool st;
           exec_request_unchecked t req)
     | Service.Global ->
+      spec_drain ctx st;
       Exec_pool.quiesce pool st;
       exec_request_unchecked t req
 
@@ -1079,14 +1249,30 @@ let scheduler_loop t ctx st =
     match Bq.take ~st t.decision_q with
     | exception Bq.Closed -> continue := false
     | Install { state } ->
-      (* State transfer replaces the whole service state: quiesce. *)
+      (* State transfer replaces the whole service state: roll back any
+         speculation first, then quiesce. *)
+      spec_drain ctx st;
       Exec_pool.quiesce pool st;
       t.service.restore state
     | Read_exec { read; reply_to } ->
-      (* Inline, no quiesce: see [exec_read] for why racing an
-         executor-resident (un-replied, hence concurrent) write is a
-         legal linearization. *)
+      (* Inline, no quiesce for ordered traffic: see [exec_read] for why
+         racing an executor-resident (un-replied, hence concurrent)
+         write is a legal linearization. Speculative effects are
+         different — they may be rolled back, so a read must never
+         observe them: drain them first. *)
+      (match ctx.spec with
+       | Some sc when Spec_ledger.effects_pending sc.ledger ->
+         spec_drain ctx st
+       | Some _ | None -> ());
       exec_read t read reply_to
+    | Spec { req; conflict } -> spec_admit t ctx st req conflict
+    | Spec_flush -> (
+        (* View change: predictions void. No quiesce needed — each
+           W_abort is FIFO behind its W_spec, so lane order alone
+           guarantees the undos run against the right state. *)
+        match ctx.spec with
+        | Some sc -> push_aborts ~st ctx sc (Spec_ledger.abort_all sc.ledger)
+        | None -> ())
     | Exec { iid; value } ->
       (match value with
        | Value.Noop -> ()
@@ -1097,12 +1283,53 @@ let scheduler_loop t ctx st =
          && !instances_executed mod t.cfg.snapshot_every = 0
       then begin
         (* Snapshots must capture a prefix-closed state. *)
+        spec_drain ctx st;
         Exec_pool.quiesce pool st;
         take_snapshot t ~iid
       end
   done;
   (* Let the executors drain and exit. *)
   Exec_pool.close pool
+
+(* Executor-side work interpreter (replaces the bare request execution
+   of PR 7). The ordered path is byte-identical when speculation is off:
+   every item is then a [W_exec]. *)
+let exec_work t ctx (w : work) =
+  match w with
+  | W_exec req -> exec_request_unchecked t req
+  | W_spec (frame, req) -> (
+      match t.service.execute_undo with
+      | None -> ()
+      | Some execute_undo ->
+        let reply, undo = execute_undo req in
+        Atomic.set frame.f_undo (Some undo);
+        (* Staged replies are invisible to lookups: a client retry still
+           reads Fresh and takes the ordered path, so at-most-once is
+           decided only at confirm time. *)
+        Reply_cache.stage t.reply_cache frame.f_id reply)
+  | W_confirm (frame, req) ->
+    let sc = Option.get ctx.spec in
+    (match Reply_cache.confirm t.reply_cache frame.f_id with
+     | Some result ->
+       Counter.incr t.executed;
+       (match t.client_io with
+        | Some cio -> Client_io.deliver_reply cio { id = frame.f_id; result }
+        | None -> ())
+     | None ->
+       (* Defensive: nothing staged (cannot happen — the W_spec is FIFO
+          before us on this lane). Fall back to ordered execution. *)
+       exec_request_unchecked t req);
+    let lead = Int64.to_int (Int64.sub (Mclock.now_ns ()) frame.f_dispatch_ns) in
+    ignore (Atomic.fetch_and_add sc.lead_ns_sum lead);
+    Atomic.incr sc.lead_n;
+    Spec_ledger.settled sc.ledger frame
+  | W_abort frame ->
+    let sc = Option.get ctx.spec in
+    (match Atomic.get frame.f_undo with
+     | Some undo -> undo ()
+     | None -> () (* admitted but the W_spec never ran (pool closing) *));
+    Reply_cache.unstage t.reply_cache frame.f_id;
+    Spec_ledger.settled sc.ledger frame
 
 (* ------------------------------------------------------------------ *)
 (* Observability: every replica exposes its queue depths, window and
@@ -1131,6 +1358,11 @@ let metric_names =
     "msmr_replica_executor_barriers";
     "msmr_executor_steal_total";
     "msmr_executor_steal_fail_total";
+    "msmr_executor_spec_dispatch_total";
+    "msmr_executor_spec_confirm_total";
+    "msmr_executor_spec_abort_total";
+    "msmr_executor_spec_requeue_total";
+    "msmr_replica_spec_lead_s";
     "msmr_replica_sender_flushes";
     "msmr_replica_proxy_fanout_total";
     "msmr_replica_proxy_queue_depth";
@@ -1189,6 +1421,26 @@ let register_metrics t =
       match t.exec_pool with
       | Some c -> fi (Exec_pool.steal_fails c.pool)
       | None -> 0.);
+  let spec f =
+    match t.exec_pool with
+    | Some { spec = Some sc; _ } -> f sc
+    | Some { spec = None; _ } | None -> 0.
+  in
+  g "msmr_executor_spec_dispatch_total" (fun () ->
+      spec (fun sc -> fi (Counter.get sc.spec_dispatch)));
+  g "msmr_executor_spec_confirm_total" (fun () ->
+      spec (fun sc -> fi (Counter.get sc.spec_confirm)));
+  g "msmr_executor_spec_abort_total" (fun () ->
+      spec (fun sc -> fi (Counter.get sc.spec_abort)));
+  g "msmr_executor_spec_requeue_total" (fun () ->
+      spec (fun sc -> fi (Counter.get sc.spec_requeue)));
+  g "msmr_replica_spec_lead_s" (fun () ->
+      (* mean dispatch -> confirm lead of confirmed speculations: how far
+         ahead of commit the execution ran *)
+      spec (fun sc ->
+          let n = Atomic.get sc.lead_n in
+          if n = 0 then 0.
+          else fi (Atomic.get sc.lead_ns_sum) /. fi n /. 1e9));
   (* Process-wide spin/park accounting for the lock-free channels.
      Registered with process-global labels: re-registration by another
      replica is a no-op replace of an identical closure, and the gauges
@@ -1311,10 +1563,14 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       request_q =
         Bq.create ~lockfree:lf ~kind:Bq.Mpmc ~capacity:request_queue_capacity;
       decision_q =
-        (* Lease mode adds client threads as read producers (submit_read);
-           otherwise the Protocol thread is the only producer. *)
+        (* Lease mode adds client threads as read producers (submit_read)
+           and speculation adds the ClientIO workers (the pre-dispatch
+           hook); otherwise the Protocol thread is the only producer. *)
         Bq.create ~lockfree:lf
-          ~kind:(if cfg.Config.lease_enabled then Bq.Mpmc else Bq.Spsc)
+          ~kind:
+            (if cfg.Config.lease_enabled || cfg.Config.speculate then
+               Bq.Mpmc
+             else Bq.Spsc)
           ~capacity:1024;
       send_qs =
         Array.init cfg.Config.n (fun _ ->
@@ -1336,7 +1592,24 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
              { pool =
                  Exec_pool.create ~lockfree:lf ~steal:cfg.Config.steal
                    ~n_exec:executor_threads ();
-               exec_frontier = Hashtbl.create 256 }
+               exec_frontier = Hashtbl.create 256;
+               conflict_cache = Cmap.create ~shards:16 ();
+               spec =
+                 (* Speculation needs a rollback contract from the
+                    service; without one the flag degrades to
+                    early-scheduling-only (the conflict cache above). *)
+                 (if cfg.Config.speculate
+                     && Option.is_some service.Service.execute_undo
+                  then
+                    Some
+                      { ledger = Spec_ledger.create ();
+                        spec_dispatch = Counter.create ();
+                        spec_confirm = Counter.create ();
+                        spec_abort = Counter.create ();
+                        spec_requeue = Counter.create ();
+                        lead_ns_sum = Atomic.make 0;
+                        lead_n = Atomic.make 0 }
+                  else None) }
          else None);
       lease_ctx =
         (if cfg.Config.lease_enabled then
@@ -1376,11 +1649,38 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       tune_lat_sum = 0.;
       tune_lat_n = 0 }
   in
+  let on_fresh =
+    (* Classify-once + speculative pre-dispatch, on the ClientIO worker
+       threads. Only wired with an executor pool: the serial
+       ServiceManager never classifies, so the cache would be dead
+       weight, and speculation needs the lanes. *)
+    match t.exec_pool with
+    | None -> None
+    | Some ctx ->
+      let spec_on = Option.is_some ctx.spec in
+      Some
+        (fun (req : Client_msg.request) conflict ->
+           let c =
+             match conflict with
+             | Some c -> c
+             | None -> service.Service.conflict_keys req
+           in
+           Cmap.set ctx.conflict_cache req.id.client_id (req.id.seq, c);
+           if spec_on && Atomic.get t.am_leader then
+             (* Best-effort: a full DecisionQueue just means no
+                speculation for this request — the ordered path is
+                always behind it. FIFO places this Spec strictly before
+                the request's own Exec (the request has not even reached
+                the Batcher yet). *)
+             match Bq.try_put t.decision_q (Spec { req; conflict = c }) with
+             | true | false -> ()
+             | exception Bq.Closed -> ())
+  in
   let cio =
     Client_io.create
       ~name_prefix:(Printf.sprintf "r%d/" me)
-      ~lockfree:lf ~pool_size:client_io_threads ~request_queue:t.request_q
-      ~reply_cache:t.reply_cache ()
+      ~lockfree:lf ?on_fresh ~pool_size:client_io_threads
+      ~request_queue:t.request_q ~reply_cache:t.reply_cache ()
   in
   t.client_io <- Some cio;
   let spawn name f =
@@ -1450,7 +1750,7 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
                   (* No at-most-once check in the pool: the scheduler
                      already decided it (exec_frontier) in decide order. *)
                   Exec_pool.executor_loop ctx.pool ~idx:i
-                    ~exec:(exec_request_unchecked t) ~st))
+                    ~exec:(exec_work t ctx) ~st))
   in
   t.threads <-
     [ spawn "Protocol" protocol_loop;

@@ -100,6 +100,7 @@ val me : t -> Msmr_consensus.Types.node_id
 
 val submit :
   ?reply_many:Client_io.batch_sink ->
+  ?conflict:Service.conflict ->
   t ->
   raw:bytes ->
   reply_to:Client_io.sink ->
@@ -107,7 +108,10 @@ val submit :
 (** Inject one serialised client request ({!Msmr_wire.Client_msg}); the
     reply is delivered, serialised, to [reply_to]. Blocks under overload
     (back-pressure). [reply_many], when given, receives coalesced runs of
-    replies instead (see {!Client_io.submit}).
+    replies instead (see {!Client_io.submit}). [conflict] carries an
+    upstream conflict classification of the request (the multi-group
+    {!Router} computes one to pick the group), so the spine classifies
+    each request once (see {!Client_io.submit}).
 
     Read frames ({!Msmr_wire.Client_msg.is_read_raw}) take the lease fast
     path instead: they bypass ClientIO/Batcher/Paxos and ride the
@@ -170,6 +174,29 @@ val stale_reads_served_count : t -> int
 val stale_reads_rejected_count : t -> int
 (** Bounded-staleness reads refused with [Too_stale]
     ([msmr_read_stale_rejected_total]). *)
+
+(** {2 Speculative execution accounting (Config.speculate)}
+
+    All four are [0] unless the replica runs with [cfg.speculate = true],
+    [executor_threads > 1] and a service implementing
+    {!Service.t.execute_undo}. *)
+
+val spec_dispatched_count : t -> int
+(** Speculation frames admitted and pre-dispatched to the executor lanes
+    ahead of commit ([msmr_executor_spec_dispatch_total]). *)
+
+val spec_confirmed_count : t -> int
+(** Frames whose predicted order matched the decide stream — their staged
+    reply was promoted and delivered without re-execution
+    ([msmr_executor_spec_confirm_total]). *)
+
+val spec_aborted_count : t -> int
+(** Frames rolled back (mispredict, view change, Global command,
+    snapshot or linearizable read) ([msmr_executor_spec_abort_total]). *)
+
+val spec_requeued_count : t -> int
+(** Decided requests re-executed on the ordered path after a mispredict
+    on their key ([msmr_executor_spec_requeue_total]). *)
 
 type queue_stats = {
   request_queue : int;

@@ -95,7 +95,7 @@ let retire t g =
   if t.inflight.(g) = 0 then Condition.broadcast t.gate_cv;
   Mutex.unlock t.gate
 
-let submit_to_group t g ~raw ~reply_to =
+let submit_to_group t g ~conflict ~raw ~reply_to =
   Mutex.lock t.gate;
   while t.gate_closed do
     Condition.wait t.gate_cv t.gate
@@ -106,7 +106,7 @@ let submit_to_group t g ~raw ~reply_to =
     retire t g;
     reply_to bytes
   in
-  Replica.submit (leader_of t g) ~raw ~reply_to
+  Replica.submit ~conflict (leader_of t g) ~raw ~reply_to
 
 let submit_global t ~raw ~reply_to =
   Mutex.lock t.gate;
@@ -127,7 +127,7 @@ let submit_global t ~raw ~reply_to =
     Mutex.unlock t.gate;
     reply_to bytes
   in
-  Replica.submit (leader_of t 0) ~raw ~reply_to
+  Replica.submit ~conflict:Service.Global (leader_of t 0) ~raw ~reply_to
 
 (* Read fast path: per-group routing by the same conflict classifier as
    writes, so each group's leaseholder serves its own keyspace and read
@@ -164,11 +164,14 @@ let submit t ~raw ~reply_to =
   else begin
     let req = Client_msg.request_of_bytes raw in
     Counter.incr t.routed;
+    (* Classify once: the class picks the group here and is threaded
+       through [Replica.submit] so the replica's spine reuses it. *)
+    let conflict = t.conflict req in
     match
       Router.target_of_conflict ~groups:t.n_groups ~fallback:req.id.client_id
-        (t.conflict req)
+        conflict
     with
-    | Router.Group g -> submit_to_group t g ~raw ~reply_to
+    | Router.Group g -> submit_to_group t g ~conflict ~raw ~reply_to
     | Router.Global -> submit_global t ~raw ~reply_to
   end
 

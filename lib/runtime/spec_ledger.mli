@@ -1,0 +1,72 @@
+(** Speculation ledger: spec / confirm / abort bookkeeping for the
+    optimistic execution path (DESIGN.md section 16).
+
+    One ledger per replica, owned by the executor scheduler thread: every
+    structural operation ({!admit}, {!on_decide}, {!abort_all}) happens
+    there, so the tables need no locks. The only cross-thread edge is
+    {!settled} / {!effects_pending}: executors announce when a frame's
+    speculative effects have been confirmed-or-undone, and the read /
+    snapshot paths use that to know when the service state is clean.
+
+    The prediction being tracked is leader log-append order: a frame is
+    admitted when the leader pre-dispatches a fresh request at ingress,
+    and {!on_decide} checks the decide stream against the per-key FIFO of
+    admitted frames. A match at the head confirms; anything else is a
+    mispredict and rolls the whole key back (undos apply newest-first —
+    each undo restores exactly the state its execution observed). *)
+
+type frame = {
+  f_id : Msmr_wire.Client_msg.request_id;
+  f_key : string;          (** the single conflict key speculated on *)
+  f_lane : int;            (** executor lane the frame was dispatched to *)
+  f_dispatch_ns : int64;   (** admit time — spec lead = confirm − this *)
+  f_undo : (unit -> unit) option Atomic.t;
+      (** rollback closure, set by the executor that ran the speculative
+          execution; [None] until then *)
+}
+
+type t
+
+type verdict =
+  | Confirm of frame
+      (** decide order matched the prediction: promote the frame *)
+  | Mispredict of frame list
+      (** decide order diverged on this key: abort these frames,
+          newest-first (the order their undos must run in), then execute
+          the decided request on the ordered path *)
+  | No_frame  (** nothing speculated on this key *)
+
+val create : unit -> t
+
+val admit :
+  t ->
+  Msmr_wire.Client_msg.request_id ->
+  key:string ->
+  lane:int ->
+  now_ns:int64 ->
+  frame option
+(** Open a frame for a pre-dispatched request. [None] if the client
+    already has an unresolved frame (e.g. a retry raced the decide) —
+    the caller must then skip speculation for this request. *)
+
+val on_decide :
+  t -> Msmr_wire.Client_msg.request_id -> key:string -> verdict
+(** Match one decided single-key request against the prediction. *)
+
+val abort_all : t -> frame list
+(** Drop every unresolved frame (view change, Global command, snapshot,
+    linearizable read): per key the frames come back newest-first, ready
+    to be pushed as aborts into their lanes. *)
+
+val unresolved : t -> int
+(** Unresolved frames (scheduler view). *)
+
+val effects_pending : t -> bool
+(** True while any frame's speculative effects may still be applied to
+    the service state (i.e. some frame has not been {!settled}) — the
+    gate the read / snapshot paths quiesce behind. *)
+
+val settled : t -> frame -> unit
+(** Executor-side: the frame's effects are resolved — its confirm was
+    applied, or its undo ran (or it was skipped entirely). Must be
+    called exactly once per admitted frame. *)

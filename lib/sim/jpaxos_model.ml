@@ -75,12 +75,27 @@ type ss_ev =
   | Sl_rel of Types.node_id * Msg.t   (* send awaiting durability *)
 
 type decision_ev =
-  | Dec of { d_iid : Types.iid; d_value : Value.t }
+  | Dec of { d_iid : Types.iid; d_value : Value.t; d_t : float }
+      (* [d_t] stamps the decide instant so the speculative path can
+         report the decide->reply gap it collapses *)
   | Dread of { r_id : Client_msg.request_id }
       (* a fast-path read riding the DecisionQueue: its FIFO position
          behind every already-decided instance IS the apply-frontier
          wait that makes leaseholder reads linearizable (the same trick
          the live runtime plays) *)
+  | Dspec of { s_req : Client_msg.request }
+      (* early scheduling ([Params.speculate]): the leader's ClientIO
+         pushes each fresh request here at ingress, ahead of the whole
+         Batcher/Protocol/replication ride, so the ServiceManager can
+         pre-dispatch and execute it optimistically against predicted
+         (arrival) order *)
+
+(* Work items on the parallel-ServiceManager executor paths: an ordered
+   execution (decided; carries the decide instant for the commit->execute
+   gap measurement) or an optimistic one ([Params.speculate]). *)
+type exec_item =
+  | E_exec of Client_msg.request * float
+  | E_spec of Client_msg.request
 
 type replica_report = {
   cpu_util_pct : float;
@@ -126,6 +141,10 @@ type result = {
   group_throughputs : float array;
   globals_executed : int;
   steals : int;
+  spec_dispatched : int;
+  spec_confirmed : int;
+  spec_aborted : int;
+  commit_exec_latency : float;
   trace : Msmr_obs.Trace.t option;
 }
 
@@ -214,6 +233,11 @@ let run_single ?(trace = false) (p : Params.t) =
      path — a read then costs exactly a write, which IS the ordered-read
      baseline bench008 measures the fast path against. *)
   let reads_on = p.lease && p.read_ratio > 0. in
+  (* Speculation gate ([Params.speculate]), same discipline again: with
+     [speculate = false] (or a serial ServiceManager) none of the frame
+     state below is consulted and the event stream is byte-for-byte the
+     ordered one (golden-pinned). *)
+  let spec_on = p.speculate && p.exec_threads > 1 in
   let cfg =
     if p.lease then
       { cfg with
@@ -257,10 +281,62 @@ let run_single ?(trace = false) (p : Params.t) =
   let ver = Array.init p.n (fun _ -> Array.make n_cl 0) in
   let last_apply_c = Array.make p.n 0. in
   let note_exec node (id : Client_msg.request_id) =
-    if reads_on then begin
+    if reads_on || spec_on then begin
       ver.(node.id).(id.client_id) <- id.seq;
       last_apply_c.(node.id) <- node_clock node.id
     end
+  in
+  (* Speculation frames — the sim's {!Msmr_runtime.Spec_ledger}. Clients
+     are closed-loop (one outstanding op), so at most one open frame per
+     client: [sf_seq] is the speculated seq (-1 = no frame), [sf_done]
+     whether the optimistic execution finished (register written,
+     [sf_undo] holds the value to restore on rollback), [sf_wait] the
+     decide instant when the decide arrived first and is waiting on the
+     in-flight execution to promote it (-1. = none). *)
+  let sf_seq = Array.init p.n (fun _ -> Array.make n_cl (-1)) in
+  let sf_done = Array.init p.n (fun _ -> Array.make n_cl false) in
+  let sf_wait = Array.init p.n (fun _ -> Array.make n_cl (-1.)) in
+  let sf_undo = Array.init p.n (fun _ -> Array.make n_cl 0) in
+  let spec_dispatched = ref 0 in
+  let spec_confirmed = ref 0 in
+  let spec_aborted = ref 0 in
+  (* Decide->reply gap, measured on every parallel-SM completion (pure
+     refs: recording it never perturbs the event stream). *)
+  let ce_sum = ref 0. and ce_n = ref 0 in
+  (* Roll one client's open frame back: restore the register the
+     optimistic execution clobbered, drop the staged reply. *)
+  let spec_abort_frame nid cid =
+    if spec_on && sf_seq.(nid).(cid) >= 0 then begin
+      if sf_done.(nid).(cid) then ver.(nid).(cid) <- sf_undo.(nid).(cid);
+      sf_seq.(nid).(cid) <- -1;
+      sf_done.(nid).(cid) <- false;
+      sf_wait.(nid).(cid) <- -1.;
+      incr spec_aborted
+    end
+  in
+  let spec_abort_all nid =
+    if spec_on then
+      for cid = 0 to n_cl - 1 do
+        spec_abort_frame nid cid
+      done
+  in
+  (* Barrier-side abort: frames whose decide already arrived ([sf_wait])
+     are committed work in flight — the quiescence barrier waits for
+     them to promote; only undecided speculation rolls back. *)
+  let spec_abort_undecided nid =
+    if spec_on then
+      for cid = 0 to n_cl - 1 do
+        if sf_wait.(nid).(cid) < 0. then spec_abort_frame nid cid
+      done
+  in
+  (* Forced-mispredict interleave (floor counter, no RNG), consumed once
+     per confirm-eligible frame. *)
+  let mis_total = ref 0 in
+  let force_mispredict () =
+    incr mis_total;
+    p.mispredict_ratio > 0.
+    && int_of_float (float_of_int !mis_total *. p.mispredict_ratio)
+       > int_of_float (float_of_int (!mis_total - 1) *. p.mispredict_ratio)
   in
   (* Per-client read plumbing (clients are sequential: one outstanding
      op each, so plain slots carry the reply payload) and the
@@ -430,8 +506,10 @@ let run_single ?(trace = false) (p : Params.t) =
       crash_time.(id) <- Engine.now eng;
       (* Volatile state lost: pending retransmissions die with the
          process. Queued events drain harmlessly — the recovered engine
-         treats them as stale. *)
-      Hashtbl.reset rtx_tbls.(id)
+         treats them as stale. Open speculation frames die too (the
+         staged replies were never client-visible). *)
+      Hashtbl.reset rtx_tbls.(id);
+      spec_abort_all id
     end
   in
   let do_restart id =
@@ -590,6 +668,12 @@ let run_single ?(trace = false) (p : Params.t) =
   in
   (* ---------------- measurement state ---------------- *)
   let measuring = ref false in
+  let ce_record d_t =
+    if !measuring then begin
+      ce_sum := !ce_sum +. (Engine.now eng -. d_t);
+      incr ce_n
+    end
+  in
   let completed = ref 0 in
   let lat_sum = ref 0. and lat_n = ref 0 in
   let inst_sum = ref 0. and inst_n = ref 0 in
@@ -607,6 +691,22 @@ let run_single ?(trace = false) (p : Params.t) =
   in
   (* Reply delivery: ServiceManager -> owning ClientIO thread. *)
   let cio_of_client cid = cid mod p.client_io_threads in
+  (* Promote a finished speculation whose decide has arrived: the staged
+     effect becomes the ordered execution and the staged reply ships —
+     no re-execution, the commit->execute gap collapses to the confirm
+     hop. *)
+  let spec_resolve node (id : Client_msg.request_id) d_t =
+    note_exec node id;
+    if (not chaos && node == leader) || (chaos && Paxos.is_leader node.engine)
+    then begin
+      Mailbox.push node.cio_mbs.(cio_of_client id.client_id) (Rep id);
+      ce_record d_t
+    end;
+    sf_seq.(node.id).(id.client_id) <- -1;
+    sf_done.(node.id).(id.client_id) <- false;
+    sf_wait.(node.id).(id.client_id) <- -1.;
+    incr spec_confirmed
+  in
   (* Client process: closed loop; the request is one packet into the
      leader's RX (client machines themselves are never the bottleneck:
      1800 clients spread over 6 machines). *)
@@ -799,8 +899,17 @@ let run_single ?(trace = false) (p : Params.t) =
              (e.g. decided during a no-leader window) is answered from
              the at-most-once frontier, never re-proposed. *)
           Mailbox.push node.cio_mbs.(idx) (Rep req.id)
-        else
+        else begin
+          (* Early scheduling: the leader pre-dispatches the fresh
+             request onto the DecisionQueue at ingress. FIFO puts the
+             [Dspec] strictly ahead of its own decide, so the SM always
+             opens the frame before the confirm can arrive. *)
+          if spec_on
+             && ((not chaos && node == leader)
+                 || (chaos && Paxos.is_leader node.engine)) then
+            Squeue.put node.decision_q st (Dspec { s_req = req });
           Squeue.put node.request_qs.(req.id.client_id mod p.n_batchers) st req
+        end
       | Rd id ->
         (* Read fast path: straight onto the DecisionQueue — FIFO
            behind every decided-but-unapplied instance, never through
@@ -926,7 +1035,8 @@ let run_single ?(trace = false) (p : Params.t) =
                  last_commit := nw
                end
              end;
-             Squeue.put node.decision_q st (Dec { d_iid = iid; d_value = value })
+             Squeue.put node.decision_q st
+               (Dec { d_iid = iid; d_value = value; d_t = Engine.now eng })
            | Paxos.Schedule_rtx { key; dest; msg } ->
              (match key with
               | Paxos.Rtx_accept (_, iid) when node == leader ->
@@ -953,8 +1063,11 @@ let run_single ?(trace = false) (p : Params.t) =
            | Paxos.View_changed { view; i_am_leader; _ } ->
              (* Conservative holder-side invalidation: whatever lease the
                 old view's leader held dies with the view; grantor-side
-                promises survive inside {!Lease}. *)
+                promises survive inside {!Lease}. Speculation frames die
+                with the view too — the predicted order was this
+                leader's append order, now void. *)
              if p.lease then Lease.set_view leases.(node.id) ~view;
+             spec_abort_all node.id;
              if chaos then begin
                if view > 0 then Hashtbl.replace views_seen view ();
                if i_am_leader then leader_hint := node.id;
@@ -1260,6 +1373,11 @@ let run_single ?(trace = false) (p : Params.t) =
   let sm_read node st (r_id : Client_msg.request_id) =
     Cpu.work node.cpu st (cost c.exec_per_req);
     if (not chaos) || up.(node.id) then begin
+      (* A read must never observe an unconfirmed optimistic effect on
+         its key: roll the reader's open frame back first (the register
+         service keys by client id, so only the reader's own frame could
+         be visible). *)
+      spec_abort_frame node.id r_id.client_id;
       let serve =
         Lease.held leases.(node.id) ~now_ns:(clock_ns node.id)
         || (p.stale_reads
@@ -1280,6 +1398,7 @@ let run_single ?(trace = false) (p : Params.t) =
     let rec loop () =
       (match Squeue.take node.decision_q st with
        | Dread { r_id } -> sm_read node st r_id
+       | Dspec _ -> ()   (* serial SM never speculates ([spec_on] false) *)
        | Dec d -> (
            match d.d_value with
            | Value.Noop -> ()
@@ -1314,7 +1433,7 @@ let run_single ?(trace = false) (p : Params.t) =
   let sm_parallel node () =
     let st = Sstats.make_thread eng ~name:"Replica" in
     let (_ : Msmr_obs.Trace.track option) = register node st in
-    let exec_mbs : Client_msg.request Mailbox.t array =
+    let exec_mbs : exec_item Mailbox.t array =
       Array.init p.exec_threads (fun _ -> Mailbox.create eng ())
     in
     let pending = ref 0 in
@@ -1325,13 +1444,30 @@ let run_single ?(trace = false) (p : Params.t) =
       in
       let (_ : Msmr_obs.Trace.track option) = register node est in
       let rec loop () =
-        let req = Mailbox.take exec_mbs.(idx) est in
-        Cpu.work node.cpu est (cost c.exec_per_req);
-        note_exec node req.id;
-        if (not chaos && node == leader)
-           || (chaos && Paxos.is_leader node.engine) then
-          Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
-            (Rep req.id);
+        (match Mailbox.take exec_mbs.(idx) est with
+         | E_exec (req, d_t) ->
+           Cpu.work node.cpu est (cost c.exec_per_req);
+           note_exec node req.id;
+           if (not chaos && node == leader)
+              || (chaos && Paxos.is_leader node.engine) then begin
+             Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+               (Rep req.id);
+             ce_record d_t
+           end
+         | E_spec req ->
+           (* Optimistic execution against predicted (ingress) order.
+              The frame may have been aborted while this item sat in the
+              mailbox — then the work is wasted but nothing is written. *)
+           let cid = req.id.client_id in
+           Cpu.work node.cpu est (cost c.exec_per_req);
+           if sf_seq.(node.id).(cid) = req.id.seq
+              && not sf_done.(node.id).(cid) then begin
+             sf_undo.(node.id).(cid) <- ver.(node.id).(cid);
+             ver.(node.id).(cid) <- req.id.seq;
+             sf_done.(node.id).(cid) <- true;
+             let w = sf_wait.(node.id).(cid) in
+             if w >= 0. then spec_resolve node req.id w
+           end);
         decr pending;
         (if !pending = 0 then
            match !barrier_waiter with
@@ -1365,37 +1501,67 @@ let run_single ?(trace = false) (p : Params.t) =
       && int_of_float (float_of_int !total *. p.conflict_ratio)
          > int_of_float (float_of_int (!total - 1) *. p.conflict_ratio)
     in
-    let dispatch (req : Client_msg.request) =
+    let route cid = if is_hot cid then 0 else cid mod p.exec_threads in
+    let dispatch d_t (req : Client_msg.request) =
       if chaos && not (up.(node.id) && chaos_admit node req.id) then ()
       else if classify_global () then begin
+        (* Undecided speculation rolls back before the barrier; frames
+           whose decide already arrived are committed work in flight and
+           the quiescence wait lets them promote first. *)
+        spec_abort_undecided node.id;
         quiesce ();
         Cpu.work node.cpu st (cost c.exec_per_req);
         note_exec node req.id;
         if (not chaos && node == leader)
-           || (chaos && Paxos.is_leader node.engine) then
+           || (chaos && Paxos.is_leader node.engine) then begin
           Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
-            (Rep req.id)
+            (Rep req.id);
+          ce_record d_t
+        end
       end
       else begin
+        let cid = req.id.client_id in
+        if spec_on && sf_seq.(node.id).(cid) = req.id.seq
+           && not (force_mispredict ()) then begin
+          (* Prediction held: confirm. Either the optimistic execution
+             already finished (promote now) or it is still in flight
+             (leave the decide instant; the executor promotes). *)
+          Cpu.work node.cpu st (cost c.dispatch_per_req);
+          if sf_done.(node.id).(cid) then spec_resolve node req.id d_t
+          else sf_wait.(node.id).(cid) <- d_t
+        end
+        else begin
+          spec_abort_frame node.id cid;
+          Cpu.work node.cpu st (cost c.dispatch_per_req);
+          incr pending;
+          (* Fixed routing: hot clients convoy on executor 0 — the
+             baseline the stealing pool ([sm_lanes]) is measured against.
+             skew = 0 leaves this byte-for-byte the original path. The
+             ordered re-execution shares the speculation's route, so
+             mailbox FIFO keeps rollback before re-execution. *)
+          Mailbox.push exec_mbs.(route cid) (E_exec (req, d_t))
+        end
+      end
+    in
+    let spec_admit (req : Client_msg.request) =
+      let cid = req.id.client_id in
+      if ((not chaos) || (up.(node.id) && not (chaos_executed node req.id)))
+         && sf_seq.(node.id).(cid) < 0 then begin
+        incr spec_dispatched;
+        sf_seq.(node.id).(cid) <- req.id.seq;
         Cpu.work node.cpu st (cost c.dispatch_per_req);
         incr pending;
-        (* Fixed routing: hot clients convoy on executor 0 — the
-           baseline the stealing pool ([sm_lanes]) is measured against.
-           skew = 0 leaves this byte-for-byte the original path. *)
-        let tgt =
-          if is_hot req.id.client_id then 0
-          else req.id.client_id mod p.exec_threads
-        in
-        Mailbox.push exec_mbs.(tgt) req
+        Mailbox.push exec_mbs.(route cid) (E_spec req)
       end
     in
     let rec loop () =
       (match Squeue.take node.decision_q st with
        | Dread { r_id } -> sm_read node st r_id
+       | Dspec { s_req } -> spec_admit s_req
        | Dec d -> (
            match d.d_value with
            | Value.Noop -> ()
-           | Value.Batch batch -> List.iter dispatch batch.requests));
+           | Value.Batch batch -> List.iter (dispatch d.d_t) batch.requests));
       loop ()
     in
     loop ()
@@ -1414,7 +1580,7 @@ let run_single ?(trace = false) (p : Params.t) =
     let st = Sstats.make_thread eng ~name:"Replica" in
     let (_ : Msmr_obs.Trace.track option) = register node st in
     let n_lanes = 8 * p.exec_threads in
-    let lanes : Client_msg.request Queue.t array =
+    let lanes : exec_item Queue.t array =
       Array.init n_lanes (fun _ -> Queue.create ())
     in
     (* Requests routed to the lane and not yet executed. The token for a
@@ -1476,13 +1642,30 @@ let run_single ?(trace = false) (p : Params.t) =
           let q = lanes.(lane) in
           let budget = min drain_budget (Queue.length q) in
           for _ = 1 to budget do
-            let req = Queue.pop q in
-            Cpu.work node.cpu est (cost c.exec_per_req);
-            note_exec node req.id;
-            if (not chaos && node == leader)
-               || (chaos && Paxos.is_leader node.engine) then
-              Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
-                (Rep req.id);
+            (match Queue.pop q with
+             | E_exec (req, d_t) ->
+               Cpu.work node.cpu est (cost c.exec_per_req);
+               note_exec node req.id;
+               if (not chaos && node == leader)
+                  || (chaos && Paxos.is_leader node.engine) then begin
+                 Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
+                   (Rep req.id);
+                 ce_record d_t
+               end
+             | E_spec req ->
+               (* Optimistic execution in lane order (= per-key predicted
+                  order); a frame aborted while queued executes as a
+                  no-op. *)
+               let cid = req.id.client_id in
+               Cpu.work node.cpu est (cost c.exec_per_req);
+               if sf_seq.(node.id).(cid) = req.id.seq
+                  && not sf_done.(node.id).(cid) then begin
+                 sf_undo.(node.id).(cid) <- ver.(node.id).(cid);
+                 ver.(node.id).(cid) <- req.id.seq;
+                 sf_done.(node.id).(cid) <- true;
+                 let w = sf_wait.(node.id).(cid) in
+                 if w >= 0. then spec_resolve node req.id w
+               end);
             decr pending;
             if !pending = 0 then
               match !barrier_waiter with
@@ -1525,44 +1708,72 @@ let run_single ?(trace = false) (p : Params.t) =
       && int_of_float (float_of_int !total *. p.conflict_ratio)
          > int_of_float (float_of_int (!total - 1) *. p.conflict_ratio)
     in
-    let dispatch (req : Client_msg.request) =
+    (* Hot lanes are exactly the multiples of exec_threads below
+       8*exec_threads: all homed on executor 0. *)
+    let lane_of cid =
+      if is_hot cid then p.exec_threads * (cid mod 8) else cid mod n_lanes
+    in
+    let push_lane lane item =
+      Queue.push item lanes.(lane);
+      lane_pending.(lane) <- lane_pending.(lane) + 1;
+      if lane_pending.(lane) = 1 then begin
+        (* 0 -> 1: mint the lane's token on its home executor and wake
+           the pool so an idle peer can steal it. *)
+        Queue.push lane token_qs.(lane mod p.exec_threads);
+        wake_all ()
+      end
+    in
+    let dispatch d_t (req : Client_msg.request) =
       if chaos && not (up.(node.id) && chaos_admit node req.id) then ()
       else if classify_global () then begin
+        spec_abort_undecided node.id;
         quiesce ();
         Cpu.work node.cpu st (cost c.exec_per_req);
         note_exec node req.id;
         if (not chaos && node == leader)
-           || (chaos && Paxos.is_leader node.engine) then
+           || (chaos && Paxos.is_leader node.engine) then begin
           Mailbox.push node.cio_mbs.(cio_of_client req.id.client_id)
-            (Rep req.id)
+            (Rep req.id);
+          ce_record d_t
+        end
       end
       else begin
+        let cid = req.id.client_id in
+        if spec_on && sf_seq.(node.id).(cid) = req.id.seq
+           && not (force_mispredict ()) then begin
+          Cpu.work node.cpu st (cost c.dispatch_per_req);
+          if sf_done.(node.id).(cid) then spec_resolve node req.id d_t
+          else sf_wait.(node.id).(cid) <- d_t
+        end
+        else begin
+          (* Lane FIFO keeps the rollback (the aborted [E_spec] becomes
+             a no-op) strictly before this ordered re-execution. *)
+          spec_abort_frame node.id cid;
+          Cpu.work node.cpu st (cost c.dispatch_per_req);
+          incr pending;
+          push_lane (lane_of cid) (E_exec (req, d_t))
+        end
+      end
+    in
+    let spec_admit (req : Client_msg.request) =
+      let cid = req.id.client_id in
+      if ((not chaos) || (up.(node.id) && not (chaos_executed node req.id)))
+         && sf_seq.(node.id).(cid) < 0 then begin
+        incr spec_dispatched;
+        sf_seq.(node.id).(cid) <- req.id.seq;
         Cpu.work node.cpu st (cost c.dispatch_per_req);
         incr pending;
-        let cid = req.id.client_id in
-        let lane =
-          (* Hot lanes are exactly the multiples of exec_threads below
-             8*exec_threads: all homed on executor 0. *)
-          if is_hot cid then p.exec_threads * (cid mod 8)
-          else cid mod n_lanes
-        in
-        Queue.push req lanes.(lane);
-        lane_pending.(lane) <- lane_pending.(lane) + 1;
-        if lane_pending.(lane) = 1 then begin
-          (* 0 -> 1: mint the lane's token on its home executor and wake
-             the pool so an idle peer can steal it. *)
-          Queue.push lane token_qs.(lane mod p.exec_threads);
-          wake_all ()
-        end
+        push_lane (lane_of cid) (E_spec req)
       end
     in
     let rec loop () =
       (match Squeue.take node.decision_q st with
        | Dread { r_id } -> sm_read node st r_id
+       | Dspec { s_req } -> spec_admit s_req
        | Dec d -> (
            match d.d_value with
            | Value.Noop -> ()
-           | Value.Batch batch -> List.iter dispatch batch.requests));
+           | Value.Batch batch -> List.iter (dispatch d.d_t) batch.requests));
       loop ()
     in
     loop ()
@@ -1903,6 +2114,11 @@ let run_single ?(trace = false) (p : Params.t) =
     group_throughputs = [| throughput |];
     globals_executed = 0;
     steals = !sm_steals;
+    spec_dispatched = !spec_dispatched;
+    spec_confirmed = !spec_confirmed;
+    spec_aborted = !spec_aborted;
+    commit_exec_latency =
+      (if !ce_n = 0 then 0. else !ce_sum /. float_of_int !ce_n);
     trace = tracer }
 
 (* ================================================================== *)
@@ -2004,6 +2220,12 @@ let run_multi ?(trace = false) (p : Params.t) =
      [lease = false] leaves the multi-group event stream byte-for-byte
      the lease-free one (golden-pinned). *)
   let reads_on = p.lease && p.read_ratio > 0. in
+  (* Speculation gate, same golden-pin discipline. The per-group SMs are
+     serial, so the multi-group mirror speculates inline on each group's
+     SM thread: the optimistic execution runs off the Router's early
+     [Dspec] (during the consensus window), and the decide then promotes
+     the staged effect for the cost of a confirm. *)
+  let spec_on = p.speculate in
   let cfg =
     if p.lease then
       { cfg with
@@ -2049,10 +2271,48 @@ let run_multi ?(trace = false) (p : Params.t) =
   let ver = Array.init p.n (fun _ -> Array.make n_cl 0) in
   let last_apply_mg = Array.init p.n (fun _ -> Array.make g_count 0.) in
   let note_exec_mg node g (id : Client_msg.request_id) =
-    if reads_on then begin
+    if reads_on || spec_on then begin
       ver.(node.mg_id).(id.client_id) <- id.seq;
       last_apply_mg.(node.mg_id).(g) <- node_clock node.mg_id
     end
+  in
+  (* Speculation frames (see run_single): at most one per closed-loop
+     client. No confirm-wait slot here — the optimistic execution is
+     inline on the SM thread, so a frame is always complete ([sf_done])
+     by the time its decide can look at it. *)
+  let sf_seq = Array.init p.n (fun _ -> Array.make n_cl (-1)) in
+  let sf_done = Array.init p.n (fun _ -> Array.make n_cl false) in
+  let sf_undo = Array.init p.n (fun _ -> Array.make n_cl 0) in
+  let spec_dispatched = ref 0 in
+  let spec_confirmed = ref 0 in
+  let spec_aborted = ref 0 in
+  let ce_sum = ref 0. and ce_n = ref 0 in
+  let spec_abort_frame nid cid =
+    if spec_on && sf_seq.(nid).(cid) >= 0 then begin
+      if sf_done.(nid).(cid) then ver.(nid).(cid) <- sf_undo.(nid).(cid);
+      sf_seq.(nid).(cid) <- -1;
+      sf_done.(nid).(cid) <- false;
+      incr spec_aborted
+    end
+  in
+  let spec_abort_group nid g =
+    if spec_on then
+      for cid = 0 to n_cl - 1 do
+        if group_of_client cid = g then spec_abort_frame nid cid
+      done
+  in
+  let spec_abort_all nid =
+    if spec_on then
+      for cid = 0 to n_cl - 1 do
+        spec_abort_frame nid cid
+      done
+  in
+  let mis_total = ref 0 in
+  let force_mispredict () =
+    incr mis_total;
+    p.mispredict_ratio > 0.
+    && int_of_float (float_of_int !mis_total *. p.mispredict_ratio)
+       > int_of_float (float_of_int (!mis_total - 1) *. p.mispredict_ratio)
   in
   let read_result = Array.make n_cl (-1) in
   let read_serve_t = Array.make n_cl 0. in
@@ -2235,7 +2495,8 @@ let run_multi ?(trace = false) (p : Params.t) =
     if up.(id) then begin
       up.(id) <- false;
       crash_time.(id) <- Engine.now eng;
-      Array.iter Hashtbl.reset rtx_tbls.(id)
+      Array.iter Hashtbl.reset rtx_tbls.(id);
+      spec_abort_all id
     end
   in
   let do_restart id =
@@ -2301,6 +2562,12 @@ let run_multi ?(trace = false) (p : Params.t) =
       p.faults;
   (* ---------------- measurement state ---------------- *)
   let measuring = ref false in
+  let ce_record d_t =
+    if !measuring then begin
+      ce_sum := !ce_sum +. (Engine.now eng -. d_t);
+      incr ce_n
+    end
+  in
   let completed = ref 0 in
   let completed_g = Array.make g_count 0 in
   let lat_sum = ref 0. and lat_n = ref 0 in
@@ -2512,6 +2779,13 @@ let run_multi ?(trace = false) (p : Params.t) =
          Cpu.work node.mg_cpu st (cost c.dispatch_per_req);
          let g = group_of_client req.Client_msg.id.client_id in
          router_routed.(node.mg_id) <- router_routed.(node.mg_id) + 1;
+         (* Early scheduling: on the group's leader the Router drops a
+            [Dspec] onto the group's DecisionQueue before forwarding to
+            the Batcher — FIFO keeps it ahead of its own decide. *)
+         if spec_on
+            && ((not chaos && node.mg_id = home_of_group g)
+                || (chaos && Paxos.is_leader node.mg_engines.(g))) then
+           Squeue.put node.mg_dec_qs.(g) st (Dspec { s_req = req });
          Squeue.put node.mg_req_qs.(g) st req
        | Route_read id ->
          (* Reads partition by the same conflict key but skip the
@@ -2630,7 +2904,8 @@ let run_multi ?(trace = false) (p : Params.t) =
                  last_commit_g.(g) <- nw
                end
              end;
-             Squeue.put node.mg_dec_qs.(g) st (Dec { d_iid = 0; d_value = value })
+             Squeue.put node.mg_dec_qs.(g) st
+               (Dec { d_iid = 0; d_value = value; d_t = Engine.now eng })
            | Paxos.Schedule_rtx { key; dest; msg } ->
              (match key with
               | Paxos.Rtx_accept (_, iid) when node.mg_id = home_of_group g ->
@@ -2652,6 +2927,9 @@ let run_multi ?(trace = false) (p : Params.t) =
               | _ -> ())
            | Paxos.View_changed { view; i_am_leader; _ } ->
              if p.lease then Lease.set_view leases_mg.(node.mg_id).(g) ~view;
+             (* The group's predicted order died with its leader: roll
+                back this group's open frames on this node. *)
+             spec_abort_group node.mg_id g;
              if chaos then begin
                if view <> g then Hashtbl.replace views_seen_g (g, view) ();
                if i_am_leader then leader_hint_g.(g) <- node.mg_id
@@ -2924,12 +3202,12 @@ let run_multi ?(trace = false) (p : Params.t) =
     let st = Sstats.make_thread eng ~name:(Printf.sprintf "Replica-g%d" g) in
     let (_ : Msmr_obs.Trace.track option) = register node st in
     let id = node.mg_id in
+    let leads () =
+      if chaos then Paxos.is_leader node.mg_engines.(g)
+      else id = home_of_group g
+    in
     let reply (req_id : Client_msg.request_id) =
-      let leads =
-        if chaos then Paxos.is_leader node.mg_engines.(g)
-        else id = home_of_group g
-      in
-      if leads then
+      if leads () then
         Mailbox.push node.mg_cio_mbs.(cio_of_client req_id.client_id)
           (Rep req_id)
     in
@@ -2942,13 +3220,24 @@ let run_multi ?(trace = false) (p : Params.t) =
         wait_barrier ()
       end
     in
-    let exec_one (req : Client_msg.request) =
+    let release_if_quiet () =
+      if sm_active.(id) = 0 then
+        match sm_barrier_waiter.(id) with
+        | Some resume ->
+          sm_barrier_waiter.(id) <- None;
+          resume ()
+        | None -> ()
+    in
+    let exec_one d_t (req : Client_msg.request) =
       if chaos && not (up.(id) && chaos_admit_mg node g req.id) then ()
       else begin
         wait_barrier ();
         if g = 0 && classify_global id then begin
-          (* Cross-group Global command: close the gate, quiesce every
-             group's in-flight execution on this node, run serially. *)
+          (* Cross-group Global command: roll back open speculation
+             (all of it — a Global conflicts with everything), close the
+             gate, quiesce every group's in-flight execution on this
+             node, run serially. *)
+          spec_abort_all id;
           sm_barrier.(id) <- true;
           if sm_active.(id) > 0 then begin
             Sstats.set st Sstats.Waiting;
@@ -2960,24 +3249,65 @@ let run_multi ?(trace = false) (p : Params.t) =
           note_exec_mg node g req.id;
           incr globals_executed;
           reply req.id;
+          if leads () then ce_record d_t;
           sm_barrier.(id) <- false;
           let blocked = !(sm_blocked.(id)) in
           sm_blocked.(id) := [];
           List.iter (fun r -> r ()) blocked
         end
         else begin
-          sm_active.(id) <- sm_active.(id) + 1;
-          Cpu.work node.mg_cpu st (cost c.exec_per_req);
-          note_exec_mg node g req.id;
-          reply req.id;
-          sm_active.(id) <- sm_active.(id) - 1;
-          if sm_active.(id) = 0 then
-            match sm_barrier_waiter.(id) with
-            | Some resume ->
-              sm_barrier_waiter.(id) <- None;
-              resume ()
-            | None -> ()
+          let cid = req.id.client_id in
+          if spec_on && sf_seq.(id).(cid) = req.id.seq
+             && sf_done.(id).(cid) && not (force_mispredict ()) then begin
+            (* Prediction held: the optimistic execution already ran
+               during the consensus window — promote it for the cost of
+               a confirm. *)
+            sm_active.(id) <- sm_active.(id) + 1;
+            Cpu.work node.mg_cpu st (cost c.dispatch_per_req);
+            note_exec_mg node g req.id;
+            sf_seq.(id).(cid) <- -1;
+            sf_done.(id).(cid) <- false;
+            incr spec_confirmed;
+            reply req.id;
+            if leads () then ce_record d_t;
+            sm_active.(id) <- sm_active.(id) - 1;
+            release_if_quiet ()
+          end
+          else begin
+            spec_abort_frame id cid;
+            sm_active.(id) <- sm_active.(id) + 1;
+            Cpu.work node.mg_cpu st (cost c.exec_per_req);
+            note_exec_mg node g req.id;
+            reply req.id;
+            if leads () then ce_record d_t;
+            sm_active.(id) <- sm_active.(id) - 1;
+            release_if_quiet ()
+          end
         end
+      end
+    in
+    (* Optimistic inline execution off the Router's early dispatch: runs
+       while the decide is still in flight. Skipped when a frame is
+       already open, the request already executed, or a Global holds the
+       barrier. *)
+    let spec_exec (req : Client_msg.request) =
+      let cid = req.id.client_id in
+      if ((not chaos) || (up.(id) && not (chaos_executed_mg node req.id)))
+         && sf_seq.(id).(cid) < 0
+         && not sm_barrier.(id) then begin
+        incr spec_dispatched;
+        sf_seq.(id).(cid) <- req.id.seq;
+        sm_active.(id) <- sm_active.(id) + 1;
+        Cpu.work node.mg_cpu st (cost c.exec_per_req);
+        (* The frame can be aborted while the execution pays its CPU
+           cost (view change, crash) — then write nothing. *)
+        if sf_seq.(id).(cid) = req.id.seq then begin
+          sf_undo.(id).(cid) <- ver.(id).(cid);
+          ver.(id).(cid) <- req.id.seq;
+          sf_done.(id).(cid) <- true
+        end;
+        sm_active.(id) <- sm_active.(id) - 1;
+        release_if_quiet ()
       end
     in
     (* Fast-path read against this group's lease and apply recency
@@ -2985,6 +3315,10 @@ let run_multi ?(trace = false) (p : Params.t) =
     let serve_read (r_id : Client_msg.request_id) =
       Cpu.work node.mg_cpu st (cost c.exec_per_req);
       if (not chaos) || up.(id) then begin
+        (* Reads never observe unconfirmed optimistic effects: roll the
+           reader's own frame back (its register is the only one a read
+           of this key could see). *)
+        spec_abort_frame id r_id.client_id;
         let serve =
           Lease.held leases_mg.(id).(g) ~now_ns:(clock_ns id)
           || (p.stale_reads
@@ -3001,10 +3335,11 @@ let run_multi ?(trace = false) (p : Params.t) =
     let rec loop () =
       (match Squeue.take node.mg_dec_qs.(g) st with
        | Dread { r_id } -> serve_read r_id
+       | Dspec { s_req } -> spec_exec s_req
        | Dec d -> (
            match d.d_value with
            | Value.Noop -> ()
-           | Value.Batch batch -> List.iter exec_one batch.requests));
+           | Value.Batch batch -> List.iter (exec_one d.d_t) batch.requests));
       loop ()
     in
     loop ()
@@ -3297,6 +3632,11 @@ let run_multi ?(trace = false) (p : Params.t) =
       Array.map (fun cg -> float_of_int cg /. dur) completed_g;
     globals_executed = !globals_executed;
     steals = 0;
+    spec_dispatched = !spec_dispatched;
+    spec_confirmed = !spec_confirmed;
+    spec_aborted = !spec_aborted;
+    commit_exec_latency =
+      (if !ce_n = 0 then 0. else !ce_sum /. float_of_int !ce_n);
     trace = tracer }
 
 (* [groups <= 1] takes the original single-group path untouched — the

@@ -101,6 +101,20 @@ type result = {
           steals concentrate in the ramp); [0] on the fixed-route and
           serial paths, and on multi-group runs (which model the
           fixed-route pool) *)
+  spec_dispatched : int;
+      (** speculation frames the leader pre-dispatched ahead of commit,
+          whole run ([Params.speculate]); [0] with speculation off *)
+  spec_confirmed : int;
+      (** speculations whose predicted order matched the decide stream —
+          the staged result was promoted without re-execution *)
+  spec_aborted : int;
+      (** speculations rolled back (forced mispredict, view change /
+          crash, linearizable read, Global barrier) *)
+  commit_exec_latency : float;
+      (** mean decide→reply latency (s) over measured completions — the
+          commit→execute gap the speculative path collapses. Measured on
+          every parallel-ServiceManager path, speculation on or off;
+          [0.] when unmeasured (serial path, or no completions) *)
   trace : Msmr_obs.Trace.t option;
       (** present iff [run ~trace:true]; stamped in simulated time and
           covering exactly the measured window — export with

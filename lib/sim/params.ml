@@ -69,6 +69,8 @@ type t = {
   rss : bool;
   exec_threads : int;
   steal : bool;
+  speculate : bool;
+  mispredict_ratio : float;
   skew : float;
   conflict_ratio : float;
   sync_policy : sync_policy;
@@ -111,6 +113,8 @@ let default ?(profile = parapluie) ~n ~cores () =
     rss = false;
     exec_threads = 1;
     steal = false;
+    speculate = false;
+    mispredict_ratio = 0.0;
     skew = 0.0;
     conflict_ratio = 0.0;
     sync_policy = Sync_none;

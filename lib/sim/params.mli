@@ -97,6 +97,21 @@ type t = {
           when [exec_threads <= 1]) keeps the exact fixed-route
           [sm_parallel] path (golden-pinned). Deterministic: victims
           are scanned in ring order, no RNG. *)
+  speculate : bool;
+      (** extension (DESIGN.md section 16): early scheduling +
+          optimistic speculative execution. The leader pre-dispatches
+          each fresh request into its executor lane at ingress and
+          executes it optimistically against the predicted (log-append)
+          order; the decide then confirms the staged result or rolls it
+          back and re-executes ordered. [false] (the default) is
+          byte-for-byte the ordered path (golden-pinned). *)
+  mispredict_ratio : float;
+      (** fraction of speculations whose prediction is forced wrong
+          (deterministic floor-counter pattern, no RNG) — models
+          reproposal / reordering windows that the single-leader happy
+          path never exhibits, making rollback falsifiable. [0.0] (the
+          default) mispredicts only on real reorderings (view changes,
+          chaos). Applies only when [speculate = true]. *)
   skew : float;
       (** fraction of clients classified "hot" (deterministic hash, no
           RNG): hot clients all route to executor 0's lanes, modelling

@@ -39,7 +39,8 @@ bench5_file="$(mktemp /tmp/msmr-verify-bench5.XXXXXX.json)"
 bench6_file="$(mktemp /tmp/msmr-verify-bench6.XXXXXX.json)"
 bench7_file="$(mktemp /tmp/msmr-verify-bench7.XXXXXX.json)"
 bench8_file="$(mktemp /tmp/msmr-verify-bench8.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file" "$bench5_file" "$bench6_file" "$bench7_file" "$bench8_file"' EXIT
+bench9_file="$(mktemp /tmp/msmr-verify-bench9.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file" "$bench5_file" "$bench6_file" "$bench7_file" "$bench8_file" "$bench9_file"' EXIT
 
 dune exec bin/sim_probe.exe -- --trace "$trace_file" --metrics "$metrics_file"
 
@@ -392,6 +393,81 @@ if command -v jq >/dev/null 2>&1; then
 else
   [ -s "$bench8_committed" ] || { echo "FAIL: $bench8_committed empty" >&2; exit 1; }
   echo "bench008 committed: jq not installed, checked file is non-empty"
+fi
+
+echo "== bench009 smoke (quick) =="
+dune exec bench/main.exe -- bench009 --quick --bench009-out "$bench9_file"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench9_file"
+  pts=$(jq '.points | length' "$bench9_file")
+  bad=$(jq '[.points[] | select(.throughput_rps <= 0)] | length' "$bench9_file")
+  # Even on the quick run: speculation must collapse the commit->execute
+  # gap, the spec-off arms must run zero speculation machinery (golden
+  # pin), and the chaos-reorder soak must abort frames, stay safe and
+  # reproduce bit-identically.
+  safe_ok=$(jq '[.points[] | .safety_ok] | all' "$bench9_file")
+  off_clean=$(jq '[.points[] | select(.speculate == false
+                   and (.spec_dispatched + .spec_confirmed + .spec_aborted) != 0)]
+                  | length' "$bench9_file")
+  speedup_ok=$(jq '.ce_speedup_skew09_g1 >= 2' "$bench9_file")
+  chaos_ok=$(jq '.chaos.spec_aborted > 0 and .chaos.safety_ok
+                 and .chaos.deterministic' "$bench9_file")
+  echo "bench009 smoke: $pts points, ce>=2x: $speedup_ok, chaos ok: $chaos_ok"
+  [ "$pts" -eq 8 ] || { echo "FAIL: expected 8 speculation points" >&2; exit 1; }
+  [ "$bad" -eq 0 ] || { echo "FAIL: non-positive throughput in bench009 smoke" >&2; exit 1; }
+  [ "$safe_ok" = "true" ] || { echo "FAIL: a bench009 smoke point violated safety" >&2; exit 1; }
+  [ "$off_clean" -eq 0 ] || { echo "FAIL: spec-off point ran speculation machinery (golden pin broken)" >&2; exit 1; }
+  [ "$speedup_ok" = "true" ] || { echo "FAIL: commit->execute speedup below 2x at skew 0.9" >&2; exit 1; }
+  [ "$chaos_ok" = "true" ] || { echo "FAIL: bench009 chaos soak aborted nothing, was unsafe or non-deterministic" >&2; exit 1; }
+else
+  [ -s "$bench9_file" ] || { echo "FAIL: $bench9_file empty" >&2; exit 1; }
+  case "$(head -c1 "$bench9_file")" in
+    '{') ;;
+    *) echo "FAIL: $bench9_file does not look like JSON" >&2; exit 1 ;;
+  esac
+  echo "bench009 smoke: jq not installed, checked file is non-empty JSON"
+fi
+
+echo "== bench009 committed results gate =="
+bench9_committed="bench/BENCH_009.json"
+[ -f "$bench9_committed" ] || { echo "FAIL: $bench9_committed missing" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench9_committed"
+  quick=$(jq '.quick' "$bench9_committed")
+  pts=$(jq '.points | length' "$bench9_committed")
+  schema_bad=$(jq '[.points[] | select(((.skew != null) and (.groups != null)
+                    and (.speculate != null) and .throughput_rps?
+                    and (.commit_exec_latency_s != null)
+                    and (.spec_dispatched != null) and (.spec_confirmed != null)
+                    and (.spec_aborted != null) and (.safety_ok != null))
+                    | not)] | length' "$bench9_committed")
+  # The tentpole's acceptance gate: speculation must at least halve the
+  # commit->execute latency at skew 0.9 on one group, every point must
+  # end safe, the spec-on arms must actually confirm speculations, and
+  # the chaos-reorder soak must roll frames back, stay safe and
+  # reproduce bit-identically across its two runs.
+  speedup_ok=$(jq '.ce_speedup_skew09_g1 >= 2' "$bench9_committed")
+  safe_ok=$(jq '[.points[] | .safety_ok] | all' "$bench9_committed")
+  off_clean=$(jq '[.points[] | select(.speculate == false
+                   and (.spec_dispatched + .spec_confirmed + .spec_aborted) != 0)]
+                  | length' "$bench9_committed")
+  on_live=$(jq '[.points[] | select(.speculate and .spec_confirmed <= 0)]
+                | length' "$bench9_committed")
+  chaos_ok=$(jq '.chaos.spec_aborted > 0 and .chaos.safety_ok
+                 and .chaos.deterministic' "$bench9_committed")
+  echo "bench009 committed: $pts points, ce>=2x: $speedup_ok, safe: $safe_ok, chaos ok: $chaos_ok"
+  [ "$quick" = "false" ] || { echo "FAIL: committed bench009 was a --quick run" >&2; exit 1; }
+  [ "$pts" -eq 8 ] || { echo "FAIL: expected 8 committed bench009 points" >&2; exit 1; }
+  [ "$schema_bad" -eq 0 ] || { echo "FAIL: bench009 point missing required fields" >&2; exit 1; }
+  [ "$speedup_ok" = "true" ] || { echo "FAIL: committed commit->execute speedup below 2x at skew 0.9" >&2; exit 1; }
+  [ "$safe_ok" = "true" ] || { echo "FAIL: a committed bench009 point violated safety" >&2; exit 1; }
+  [ "$off_clean" -eq 0 ] || { echo "FAIL: committed spec-off point ran speculation machinery" >&2; exit 1; }
+  [ "$on_live" -eq 0 ] || { echo "FAIL: a committed spec-on point confirmed no speculations" >&2; exit 1; }
+  [ "$chaos_ok" = "true" ] || { echo "FAIL: committed bench009 chaos soak aborted nothing, was unsafe or non-deterministic" >&2; exit 1; }
+else
+  [ -s "$bench9_committed" ] || { echo "FAIL: $bench9_committed empty" >&2; exit 1; }
+  echo "bench009 committed: jq not installed, checked file is non-empty"
 fi
 
 echo "== docs metrics gate =="

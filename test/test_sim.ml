@@ -833,6 +833,119 @@ let test_chaos_reads_partition_golden () =
     r2.reads_completed;
   Alcotest.(check int) "golden: same rejects" r1.read_rejects r2.read_rejects
 
+(* Early scheduling + optimistic speculative execution in the model. *)
+
+let spec_params ?(threads = 4) ?(mis = 0.0) ?(groups = 1) () =
+  { (small_params ~cores:8 ()) with
+    exec_threads = threads; steal = groups = 1; groups;
+    speculate = true; mispredict_ratio = mis }
+
+let test_spec_off_counters_inert () =
+  (* speculate = false must leave the event stream byte-for-byte the
+     ordered one — even with a mispredict ratio configured — and report
+     no speculation activity. (The full off-path identity against the
+     seed is pinned by the throughput goldens above.) *)
+  let base = { (spec_params ()) with speculate = false } in
+  let r0 = Jpaxos_model.run base in
+  let r = Jpaxos_model.run { base with mispredict_ratio = 0.5 } in
+  Alcotest.(check (float 0.)) "same throughput" r0.throughput r.throughput;
+  Alcotest.(check int) "same event count" r0.events r.events;
+  Alcotest.(check int) "nothing dispatched" 0 r.spec_dispatched;
+  Alcotest.(check int) "nothing confirmed" 0 r.spec_confirmed;
+  Alcotest.(check int) "nothing aborted" 0 r.spec_aborted
+
+let test_spec_collapses_commit_exec_gap () =
+  (* The tentpole: with speculation on, the optimistic result is already
+     staged when the decide arrives, so decide->reply collapses to a
+     confirm. (The full sweep and the 2x gate live in bench009.) *)
+  let off = Jpaxos_model.run { (spec_params ()) with speculate = false } in
+  let on = Jpaxos_model.run (spec_params ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "speculations dispatched (%d)" on.spec_dispatched)
+    true (on.spec_dispatched > 1000);
+  Alcotest.(check bool)
+    (Printf.sprintf "speculations confirmed (%d)" on.spec_confirmed)
+    true (on.spec_confirmed > 1000);
+  Alcotest.(check int) "happy path never aborts" 0 on.spec_aborted;
+  Alcotest.(check bool)
+    (Printf.sprintf "commit->execute gap shrank (%.1fus -> %.1fus)"
+       (1e6 *. off.commit_exec_latency)
+       (1e6 *. on.commit_exec_latency))
+    true
+    (on.commit_exec_latency < off.commit_exec_latency
+     && off.commit_exec_latency > 0.);
+  Alcotest.(check bool) "throughput not hurt" true
+    (on.throughput >= 0.95 *. off.throughput);
+  Alcotest.(check bool) "safety holds" true on.safety_ok
+
+let test_spec_deterministic () =
+  let p = spec_params ~mis:0.1 () in
+  let r1 = Jpaxos_model.run p in
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check int) "same event count" r1.events r2.events;
+  Alcotest.(check int) "same completed" r1.completed r2.completed;
+  Alcotest.(check int) "same dispatched" r1.spec_dispatched r2.spec_dispatched;
+  Alcotest.(check int) "same confirmed" r1.spec_confirmed r2.spec_confirmed;
+  Alcotest.(check int) "same aborted" r1.spec_aborted r2.spec_aborted;
+  Alcotest.(check (float 0.)) "same commit->execute latency"
+    r1.commit_exec_latency r2.commit_exec_latency
+
+let test_spec_forced_mispredict_rolls_back () =
+  (* The deterministic mispredict pattern exercises the rollback path on
+     an otherwise happy run: frames abort and re-execute ordered, and
+     the linearizability verdict still holds. *)
+  let r = Jpaxos_model.run (spec_params ~mis:0.2 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rollbacks happened (%d)" r.spec_aborted)
+    true (r.spec_aborted > 100);
+  Alcotest.(check bool) "confirms still dominate" true
+    (r.spec_confirmed > r.spec_aborted);
+  Alcotest.(check bool) "safety holds through rollbacks" true r.safety_ok;
+  Alcotest.(check bool) "clients kept completing" true (r.completed > 1000)
+
+let test_spec_multigroup () =
+  (* Per-group speculation on the multi-group path: each group's leader
+     speculates on its own decide stream. *)
+  let p = spec_params ~groups:2 () in
+  let r1 = Jpaxos_model.run p in
+  Alcotest.(check bool)
+    (Printf.sprintf "multi-group speculations confirmed (%d)"
+       r1.spec_confirmed)
+    true (r1.spec_confirmed > 1000);
+  Alcotest.(check bool) "safety holds" true r1.safety_ok;
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check int) "deterministic" r1.events r2.events;
+  Alcotest.(check int) "same confirmed" r1.spec_confirmed r2.spec_confirmed
+
+let test_chaos_spec_crash_golden () =
+  (* The rollback chaos golden: crash the leader mid-speculation (with a
+     forced-mispredict pattern on top). Every open frame must abort —
+     never surviving into the new view — the linearizability verdict
+     must hold, and two seeded runs must be bit-identical. *)
+  let p =
+    { (chaos_params ~duration:1.0
+         [ Sfault.Crash { node = 0; at = 0.4; restart_at = Some 0.7 } ])
+      with
+      cores = 8; exec_threads = 4; steal = true; speculate = true;
+      mispredict_ratio = 0.1 }
+  in
+  let r1 = Jpaxos_model.run p in
+  Alcotest.(check bool)
+    (Printf.sprintf "frames aborted through the crash (%d)" r1.spec_aborted)
+    true (r1.spec_aborted > 0);
+  Alcotest.(check bool) "view moved" true (r1.view_changes >= 1);
+  Alcotest.(check bool) "linearizable through speculation + crash" true
+    r1.safety_ok;
+  Alcotest.(check bool) "clients completed requests" true (r1.completed > 1000);
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check int) "golden: same events" r1.events r2.events;
+  Alcotest.(check int) "golden: same completed" r1.completed r2.completed;
+  Alcotest.(check int) "golden: same dispatched" r1.spec_dispatched
+    r2.spec_dispatched;
+  Alcotest.(check int) "golden: same confirmed" r1.spec_confirmed
+    r2.spec_confirmed;
+  Alcotest.(check int) "golden: same aborted" r1.spec_aborted r2.spec_aborted
+
 let suite =
   [
     Alcotest.test_case "engine: delay ordering" `Quick test_engine_delay_ordering;
@@ -920,4 +1033,16 @@ let suite =
       test_reads_multigroup;
     Alcotest.test_case "chaos: partitioned leaseholder refuses reads" `Slow
       test_chaos_reads_partition_golden;
+    Alcotest.test_case "speculation: off-path counters inert" `Quick
+      test_spec_off_counters_inert;
+    Alcotest.test_case "speculation: collapses the commit->execute gap" `Quick
+      test_spec_collapses_commit_exec_gap;
+    Alcotest.test_case "speculation: deterministic" `Quick
+      test_spec_deterministic;
+    Alcotest.test_case "speculation: forced mispredicts roll back" `Quick
+      test_spec_forced_mispredict_rolls_back;
+    Alcotest.test_case "speculation: multi-group per-group frames" `Quick
+      test_spec_multigroup;
+    Alcotest.test_case "chaos: leader crash mid-speculation golden" `Slow
+      test_chaos_spec_crash_golden;
   ]
