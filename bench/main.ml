@@ -1774,6 +1774,239 @@ let bench009 () =
   close_out oc;
   Printf.printf "wrote %s\n%!" !bench009_out
 
+(* bench010: online membership change under load (DESIGN.md section
+   17). Simulated arms on the capacity-5 cluster (members0 = {0,1,2}):
+
+     static     3 voters for the whole run (baseline; a no-op link rule
+                keeps the chaos machinery engaged so both arms pay the
+                same bookkeeping)
+     reconfig   grow 3->5 mid-run (add-learner + promote per joiner),
+                then shrink 5->3 -- six consensus-ordered epochs, all
+                under the same closed-loop load
+     crash      grow 3->4 with the joiner crashing mid state transfer
+                and restarting; the schedule must still complete
+
+   Gates: the reconfig arm stays linearizable, completes the full
+   schedule (epoch 6), and keeps >= 0.9x the static arm's throughput;
+   both chaos arms rerun bit-identically. A live arm then drives the
+   real runtime through the same 3->5->3 walk: spares join via
+   snapshot-based state transfer while closed-loop clients keep
+   calling, removed nodes fence themselves, and an exactly-once sum
+   check audits the whole run. *)
+
+let bench010_out = ref "bench/BENCH_010.json"
+
+let bench010 () =
+  heading "bench010"
+    (Printf.sprintf
+       "Online reconfiguration: grow/shrink under load -> %s%s"
+       !bench010_out
+       (if !bench_quick then " (--quick)" else ""));
+  let module J = Msmr_obs.Json in
+  let module F = Msmr_sim.Sfault in
+  let quick = !bench_quick in
+  let warmup, duration, n_clients =
+    if quick then (0.05, 0.8, 60) else (0.2, 2.4, 200)
+  in
+  let grow_at, shrink_at = if quick then (0.2, 0.5) else (0.5, 1.5) in
+  (* Active-never link rule: flips the model onto the chaos path (FD,
+     drifted clocks, client timeouts) without perturbing any message,
+     so the static baseline pays the same machinery as the reconfig
+     arms. *)
+  let noop_fault =
+    F.Link
+      { l_src = -1; l_dst = -1; drop = 0.; dup = 0.; delay_s = 0.;
+        jitter_s = 0.; from_t = 0.; until_t = 0. }
+  in
+  let base () =
+    let p = Params.default ~n:5 ~cores:4 () in
+    { p with
+      n_clients;
+      warmup;
+      duration;
+      members0 = [ 0; 1; 2 ];
+      faults = [ noop_fault ];
+      chaos_seed = 7 }
+  in
+  let p_static = base () in
+  let p_reconfig =
+    { (base ()) with
+      reconfig_at =
+        [ (grow_at, [ 0; 1; 2; 3; 4 ]); (shrink_at, [ 0; 1; 2 ]) ] }
+  in
+  let fp (r : Jp.result) =
+    ( r.completed, r.reconfigs_applied, r.final_epoch, r.view_changes,
+      r.executed_min, r.executed_max, r.events )
+  in
+  let r_static = Jp.run p_static in
+  let r1 = Jp.run p_reconfig in
+  let r2 = Jp.run p_reconfig in
+  let runs_identical = fp r1 = fp r2 in
+  let tput_ratio =
+    if r_static.Jp.throughput > 0. then
+      r1.Jp.throughput /. r_static.Jp.throughput
+    else 0.
+  in
+  Printf.printf
+    "sim (capacity 5, members {0,1,2}, %d clients, %.1fs):\n" n_clients
+    duration;
+  Printf.printf "%-10s %12s %8s %7s %7s %6s\n" "arm" "total req/s"
+    "epochs" "applied" "views" "safe";
+  let row name (r : Jp.result) =
+    Printf.printf "%-10s %12.1f %8d %7d %7d %6b\n%!" name
+      (k r.Jp.throughput) r.Jp.final_epoch r.Jp.reconfigs_applied
+      r.Jp.view_changes r.Jp.safety_ok
+  in
+  row "static" r_static;
+  row "reconfig" r1;
+  Printf.printf
+    "reconfig/static throughput ratio %.3f (gate >= 0.9) | \
+     bit-identical rerun %b\n%!"
+    tput_ratio runs_identical;
+  (* --- joiner crashes mid state transfer --- *)
+  let p_crash =
+    { (base ()) with
+      reconfig_at = [ (grow_at, [ 0; 1; 2; 3 ]) ];
+      faults =
+        [ F.Crash
+            { node = 3;
+              at = grow_at +. 0.05;
+              restart_at = Some (grow_at +. 0.2) } ] }
+  in
+  let c1 = Jp.run p_crash in
+  let c2 = Jp.run p_crash in
+  let crash_identical = fp c1 = fp c2 in
+  row "crash" c1;
+  Printf.printf
+    "joiner crash mid-transfer: schedule completed %b | safe %b | \
+     bit-identical rerun %b\n%!"
+    (c1.Jp.final_epoch >= 2) c1.Jp.safety_ok crash_identical;
+  (* --- live arm: the real runtime walks 3 -> 5 -> 3 under load --- *)
+  let module R = Msmr_runtime in
+  let live_clients = if quick then 2 else 4 in
+  let steady_s = if quick then 0.2 else 0.6 in
+  let cfg =
+    { (Msmr_consensus.Config.default ~n:5) with
+      members0 = [ 0; 1; 2 ];
+      max_batch_delay_s = 0.002;
+      snapshot_every = 32;
+      log_retain = 8 }
+  in
+  let cluster =
+    R.Replica.Cluster.create ~cfg
+      ~service:(fun () -> R.Service.accumulator ())
+      ()
+  in
+  Fun.protect ~finally:(fun () -> R.Replica.Cluster.stop cluster)
+  @@ fun () ->
+  ignore (R.Replica.Cluster.await_leader cluster);
+  let replicas = R.Replica.Cluster.replicas cluster in
+  let stop = Atomic.make false in
+  let completed = Atomic.make 0 in
+  let loaders =
+    List.init live_clients (fun i ->
+        Thread.create
+          (fun () ->
+             let client =
+               R.Client.create ~cluster ~client_id:(1 + i) ()
+             in
+             let one = Bytes.of_string "1" in
+             while not (Atomic.get stop) do
+               ignore (R.Client.call client one);
+               ignore (Atomic.fetch_and_add completed 1)
+             done)
+          ())
+  in
+  let t0 = Unix.gettimeofday () in
+  let live_result =
+    Fun.protect
+      ~finally:(fun () ->
+          Atomic.set stop true;
+          List.iter Thread.join loaders)
+    @@ fun () ->
+    Msmr_platform.Mclock.sleep_s steady_s;  (* build a log worth transferring *)
+    let t_grow0 = Unix.gettimeofday () in
+    R.Replica.Cluster.join cluster 3;
+    R.Replica.Cluster.join cluster 4;
+    let grow_s = Unix.gettimeofday () -. t_grow0 in
+    Msmr_platform.Mclock.sleep_s steady_s;  (* steady at five voters *)
+    let t_shrink0 = Unix.gettimeofday () in
+    R.Replica.Cluster.decommission cluster 4;
+    R.Replica.Cluster.decommission cluster 3;
+    let shrink_s = Unix.gettimeofday () -. t_shrink0 in
+    Msmr_platform.Mclock.sleep_s steady_s;
+    (grow_s, shrink_s)
+  in
+  let grow_s, shrink_s = live_result in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let done_calls = Atomic.get completed in
+  let live_tput = float_of_int done_calls /. elapsed in
+  (* Exactly-once audit: every completed "1" executed exactly once. *)
+  let verifier = R.Client.create ~cluster ~client_id:97 () in
+  let final_sum =
+    int_of_string (Bytes.to_string (R.Client.call verifier (Bytes.of_string "0")))
+  in
+  let exactly_once = final_sum = done_calls in
+  let leader = R.Replica.Cluster.leader cluster in
+  let m_final = R.Replica.membership leader in
+  let final_voters = Msmr_consensus.Membership.n_voters m_final in
+  let joiner_snapshots = R.Replica.snapshot_installs_count replicas.(3) in
+  let leader_reconfigs = R.Replica.reconfigs_applied_count leader in
+  let fenced =
+    (not (R.Replica.is_member replicas.(3)))
+    && not (R.Replica.is_member replicas.(4))
+  in
+  Printf.printf
+    "live (capacity 5, %d clients): %.0f req/s | %d calls | grow %.2fs | \
+     shrink %.2fs | joiner snapshot installs %d | epochs applied %d | \
+     final voters %d | removed fenced %b | exactly-once %b\n%!"
+    live_clients live_tput done_calls grow_s shrink_s joiner_snapshots
+    leader_reconfigs final_voters fenced exactly_once;
+  let sim_point name (r : Jp.result) =
+    ( name,
+      J.Obj
+        [ ("throughput_rps", J.Float r.throughput);
+          ("completed", J.Int r.completed);
+          ("final_epoch", J.Int r.final_epoch);
+          ("reconfigs_applied", J.Int r.reconfigs_applied);
+          ("view_changes", J.Int r.view_changes);
+          ("safety_ok", J.Bool r.safety_ok) ] )
+  in
+  let json =
+    J.Obj
+      [ ("bench", J.String "BENCH_010");
+        ("source", J.String "bench/main.exe bench010");
+        ("quick", J.Bool quick);
+        ("capacity", J.Int 5);
+        ("members0", J.List (List.map (fun i -> J.Int i) [ 0; 1; 2 ]));
+        ("n_clients", J.Int n_clients);
+        ( "sim",
+          J.Obj
+            [ sim_point "static" r_static;
+              sim_point "reconfig" r1;
+              sim_point "crash_join" c1;
+              ("throughput_ratio", J.Float tput_ratio);
+              ("runs_identical", J.Bool runs_identical);
+              ("crash_runs_identical", J.Bool crash_identical) ] );
+        ( "live",
+          J.Obj
+            [ ("n_clients", J.Int live_clients);
+              ("throughput_rps", J.Float live_tput);
+              ("completed", J.Int done_calls);
+              ("grow_s", J.Float grow_s);
+              ("shrink_s", J.Float shrink_s);
+              ("joiner_snapshot_installs", J.Int joiner_snapshots);
+              ("reconfigs_applied", J.Int leader_reconfigs);
+              ("final_voters", J.Int final_voters);
+              ("removed_fenced", J.Bool fenced);
+              ("exactly_once_ok", J.Bool exactly_once) ] ) ]
+  in
+  let oc = open_out !bench010_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !bench010_out
+
 (* ------------------------------------------------------------------ *)
 (* Observability: --trace FILE runs a short traced simulation and writes
    a Chrome trace_event file; --metrics FILE dumps the metrics registry.
@@ -1843,7 +2076,7 @@ let experiments =
     ("micro", micro); ("bench002", bench002); ("bench003", bench003);
     ("bench004", bench004); ("bench005", bench005); ("bench006", bench006);
     ("bench007", bench007); ("bench008", bench008);
-    ("bench009", bench009) ]
+    ("bench009", bench009); ("bench010", bench010) ]
 
 let () =
   let rec parse ids trace metrics = function
@@ -1874,18 +2107,23 @@ let () =
     | "--bench009-out" :: file :: rest ->
       bench009_out := file;
       parse ids trace metrics rest
+    | "--bench010-out" :: file :: rest ->
+      bench010_out := file;
+      parse ids trace metrics rest
     | "--quick" :: rest ->
       bench_quick := true;
       parse ids trace metrics rest
     | ("--trace" | "--metrics" | "--bench-out" | "--bench003-out"
       | "--bench004-out" | "--bench005-out" | "--bench006-out"
-      | "--bench007-out" | "--bench008-out" | "--bench009-out") :: [] ->
+      | "--bench007-out" | "--bench008-out" | "--bench009-out"
+      | "--bench010-out") :: [] ->
       Printf.eprintf
         "usage: main [EXPERIMENT..] [--trace FILE] [--metrics FILE]\n\
         \       [--quick] [--bench-out FILE] [--bench003-out FILE]\n\
         \       [--bench004-out FILE] [--bench005-out FILE]\n\
         \       [--bench006-out FILE] [--bench007-out FILE]\n\
-        \       [--bench008-out FILE] [--bench009-out FILE]\n";
+        \       [--bench008-out FILE] [--bench009-out FILE]\n\
+        \       [--bench010-out FILE]\n";
       exit 2
     | id :: rest -> parse (id :: ids) trace metrics rest
   in

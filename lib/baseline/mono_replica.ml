@@ -60,7 +60,7 @@ let event_loop t st =
   in
   let execute_value value =
     match value with
-    | Value.Noop -> ()
+    | Value.Noop | Value.Reconfig _ -> ()
     | Value.Batch batch ->
       List.iter
         (fun (req : Client_msg.request) ->
@@ -103,7 +103,8 @@ let event_loop t st =
            Atomic.set t.view_now view;
            Atomic.set t.am_leader i_am_leader;
            Failure_detector.set_view t.fd ~view ~now_ns:(Mclock.now_ns ())
-         | Paxos.Install_snapshot { state; _ } -> t.service.restore state)
+         | Paxos.Install_snapshot { state; _ } -> t.service.restore state
+         | Paxos.Membership_changed _ -> ())
       actions
   in
   apply (Paxos.bootstrap engine);

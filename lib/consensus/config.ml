@@ -22,6 +22,8 @@ type t = {
   lease_duration_s : float;
   clock_skew_bound_s : float;
   speculate : bool;
+  members0 : int list;
+  reconfig_alpha : int;
 }
 
 let default ~n =
@@ -49,6 +51,8 @@ let default ~n =
     lease_duration_s = 2.0;
     clock_skew_bound_s = 0.1;
     speculate = false;
+    members0 = [];
+    reconfig_alpha = 0;
   }
 
 let validate t =
@@ -90,6 +94,22 @@ let validate t =
     Error
       "lease_duration_s must exceed 3 * fd_interval_s when lease_enabled \
        (renewals ride the failure-detector tick)"
+  else if t.reconfig_alpha < 0 then Error "reconfig_alpha must be >= 0"
+  else if
+    t.members0 <> []
+    && not
+         (List.sort_uniq compare t.members0 = t.members0
+         && List.for_all (fun p -> p >= 0 && p < t.n) t.members0)
+  then Error "members0 must be sorted, unique node ids within [0, n)"
+  else if
+    t.members0 <> []
+    && not
+         (List.init t.groups (fun gid -> gid mod t.n)
+         |> List.for_all (fun ldr -> List.mem ldr t.members0))
+  then
+    Error
+      "members0 must contain every group's initial leader (gid mod n), \
+       so bootstrap can activate"
   else Ok ()
 
 let f t = (t.n - 1) / 2

@@ -60,6 +60,22 @@ type t = {
                                       or rolling back on a mispredict;
                                       [false] leaves the ordered path
                                       byte-for-byte — the goldens pin it *)
+  members0 : int list;            (** boot-time voting membership as a
+                                      subset of the node-id universe
+                                      [0, n); [[]] (the default) means
+                                      all of [0, n) — the static path
+                                      the goldens pin. [n] stays the
+                                      capacity of the id space; online
+                                      reconfiguration (DESIGN.md
+                                      section 17) moves the membership
+                                      within it *)
+  reconfig_alpha : int;           (** a decided [Value.Reconfig] takes
+                                      effect at [decide_iid + alpha]
+                                      where [alpha = max window
+                                      reconfig_alpha]; 0 (the default)
+                                      means "the window" — the smallest
+                                      sound lag given the pipelining
+                                      invariant *)
 }
 
 val default : n:int -> t

@@ -7,6 +7,9 @@ type t = {
   last_send : int array;
   mutable view : Types.view;
   mutable suspect_armed_ns : int;  (* leader silence measured from here *)
+  mutable membership : Membership.t;
+      (* current epoch's member set: heartbeats go only to members, and
+         a detector whose own node is not a member stays silent *)
 }
 
 let ns64 i64 = Int64.to_int i64
@@ -17,7 +20,8 @@ let create cfg ~me ~now_ns =
     last_recv = Array.make cfg.n now;
     last_send = Array.make cfg.n now;
     view = 0;
-    suspect_armed_ns = now }
+    suspect_armed_ns = now;
+    membership = Membership.initial cfg }
 
 let note_recv t ~from ~now_ns =
   if from >= 0 && from < t.cfg.n then t.last_recv.(from) <- ns64 now_ns
@@ -28,6 +32,21 @@ let note_send t ~dest ~now_ns =
 let set_view t ~view ~now_ns =
   t.view <- view;
   t.suspect_armed_ns <- ns64 now_ns
+
+(* Re-arm the peer set on a membership change: removed nodes stop being
+   heartbeaten (and stop suspecting anyone), joiners get a fresh grace
+   period so they are not instantly suspected from stale timestamps. *)
+let set_membership t m ~now_ns =
+  let now = ns64 now_ns in
+  List.iter
+    (fun p ->
+      if not (Membership.is_member t.membership p) then begin
+        t.last_recv.(p) <- now;
+        t.last_send.(p) <- now
+      end)
+    (Membership.members m);
+  t.membership <- m;
+  t.suspect_armed_ns <- now
 
 type verdict =
   | Heartbeat_to of Types.node_id list
@@ -40,11 +59,17 @@ let timeout_ns t = Int64.to_int (Msmr_platform.Mclock.ns_of_s t.cfg.fd_timeout_s
 
 let poll t ~now_ns =
   let now = ns64 now_ns in
-  if leader t = t.me then begin
+  if not (Membership.is_member t.membership t.me) then
+    (* Fenced: a removed node neither heartbeats nor elects. *)
+    []
+  else if leader t = t.me then begin
     let stale = ref [] in
     for p = t.cfg.n - 1 downto 0 do
-      if p <> t.me && now - t.last_send.(p) >= interval_ns t then
-        stale := p :: !stale
+      if
+        p <> t.me
+        && Membership.is_member t.membership p
+        && now - t.last_send.(p) >= interval_ns t
+      then stale := p :: !stale
     done;
     match !stale with [] -> [] | peers -> [ Heartbeat_to peers ]
   end

@@ -22,6 +22,12 @@ val note_send : t -> dest:Types.node_id -> now_ns:int64 -> unit
 val set_view : t -> view:Types.view -> now_ns:int64 -> unit
 (** View change: reset the leader's liveness grace period. *)
 
+val set_membership : t -> Membership.t -> now_ns:int64 -> unit
+(** Membership epoch change: re-arm the peer set. Heartbeats are sent
+    only to current members, freshly added members start with a full
+    grace period, and a detector whose own node has been removed goes
+    silent entirely (never heartbeats, never suspects). *)
+
 type verdict =
   | Heartbeat_to of Types.node_id list
       (** Leader side: peers that have not heard from us for a full

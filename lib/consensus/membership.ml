@@ -1,0 +1,104 @@
+(* Membership epochs over a fixed universe of node ids [0, cfg.n).
+
+   The consensus layer keeps the node-id universe (and hence the
+   [leader_of_view] mapping) static; membership is a subset of that
+   universe that changes in consensus-ordered epochs.  Voters count
+   toward quorums and may lead views; learners receive the full
+   protocol stream (Accept/Decide/Catchup) but their votes are masked
+   and they never activate a view.  Nodes outside [voters @ learners]
+   are fenced: they are not messaged, their votes are ignored, and a
+   removed node deactivates itself when the removal executes. *)
+
+module Codec = Msmr_wire.Codec
+
+type t = {
+  epoch : int;
+  voters : int list;    (* sorted ascending, non-empty *)
+  learners : int list;  (* sorted ascending, disjoint from voters *)
+}
+
+let make ~epoch ~voters ~learners =
+  let voters = List.sort_uniq compare voters in
+  let learners =
+    List.filter (fun p -> not (List.mem p voters))
+      (List.sort_uniq compare learners)
+  in
+  { epoch; voters; learners }
+
+(* Epoch 0 is the boot-time membership: [cfg.members0], or the whole
+   universe when that is empty (the static default). *)
+let initial (cfg : Config.t) =
+  let voters =
+    if cfg.members0 = [] then List.init cfg.n Fun.id else cfg.members0
+  in
+  make ~epoch:0 ~voters ~learners:[]
+
+let is_voter t p = List.mem p t.voters
+let is_learner t p = List.mem p t.learners
+let is_member t p = is_voter t p || is_learner t p
+let members t = List.sort_uniq compare (t.voters @ t.learners)
+let n_voters t = List.length t.voters
+let quorum t = n_voters t / 2 + 1
+let voter_mask t = List.fold_left (fun m p -> m lor (1 lsl p)) 0 t.voters
+
+(* State transitions; each bumps the epoch by exactly one so replicas
+   can reject duplicates/replays by epoch comparison. *)
+let add_learner t p =
+  if is_member t p then None
+  else Some { epoch = t.epoch + 1; voters = t.voters;
+              learners = List.sort_uniq compare (p :: t.learners) }
+
+let promote t p =
+  if not (is_learner t p) then None
+  else Some { epoch = t.epoch + 1;
+              voters = List.sort_uniq compare (p :: t.voters);
+              learners = List.filter (fun q -> q <> p) t.learners }
+
+let remove t p =
+  if not (is_member t p) then None
+  else if is_voter t p && n_voters t <= 1 then None
+  else Some { epoch = t.epoch + 1;
+              voters = List.filter (fun q -> q <> p) t.voters;
+              learners = List.filter (fun q -> q <> p) t.learners }
+
+let equal a b =
+  a.epoch = b.epoch && a.voters = b.voters && a.learners = b.learners
+
+let pp ppf t =
+  Format.fprintf ppf "e%d{v=[%s];l=[%s]}" t.epoch
+    (String.concat "," (List.map string_of_int t.voters))
+    (String.concat "," (List.map string_of_int t.learners))
+
+let encode w t =
+  Codec.W.i32 w t.epoch;
+  Codec.W.u8 w (List.length t.voters);
+  List.iter (Codec.W.u8 w) t.voters;
+  Codec.W.u8 w (List.length t.learners);
+  List.iter (Codec.W.u8 w) t.learners
+
+let decode r =
+  let epoch = Codec.R.i32 r in
+  let nv = Codec.R.u8 r in
+  let voters = List.init nv (fun _ -> Codec.R.u8 r) in
+  let nl = Codec.R.u8 r in
+  let learners = List.init nl (fun _ -> Codec.R.u8 r) in
+  make ~epoch ~voters ~learners
+
+let size_bytes t = 6 + List.length t.voters + List.length t.learners
+
+(* Config history as carried inside snapshots: newest-first list of
+   (start_iid, membership). *)
+let encode_configs w configs =
+  Codec.W.u8 w (List.length configs);
+  List.iter
+    (fun (start_iid, m) ->
+      Codec.W.int_as_i64 w start_iid;
+      encode w m)
+    configs
+
+let decode_configs r =
+  let k = Codec.R.u8 r in
+  List.init k (fun _ ->
+      let start_iid = Codec.R.int_from_i64 r in
+      let m = decode r in
+      (start_iid, m))

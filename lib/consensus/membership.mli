@@ -1,0 +1,46 @@
+(** Membership epochs over the fixed node-id universe [0, cfg.n).
+
+    Views (and [Types.leader_of_view]) stay defined over the whole
+    universe; membership restricts which nodes count toward quorums,
+    may activate a view, and are messaged at all.  Learners receive
+    the protocol stream but do not vote. *)
+
+type t = {
+  epoch : int;
+  voters : int list;    (** sorted ascending, non-empty *)
+  learners : int list;  (** sorted ascending, disjoint from voters *)
+}
+
+val make : epoch:int -> voters:int list -> learners:int list -> t
+
+(** Boot-time membership: [cfg.members0], or all of [0, n) when empty. *)
+val initial : Config.t -> t
+
+val is_voter : t -> int -> bool
+val is_learner : t -> int -> bool
+val is_member : t -> int -> bool
+val members : t -> int list
+val n_voters : t -> int
+
+(** Majority of the voter set. *)
+val quorum : t -> int
+
+(** Bitmask with bit [p] set for each voter [p]; AND against an ack
+    mask before popcount to ignore learner/stale votes. *)
+val voter_mask : t -> int
+
+(** Each transition bumps [epoch] by one; [None] if it does not apply
+    (already a member, not a learner, would empty the voter set). *)
+val add_learner : t -> int -> t option
+val promote : t -> int -> t option
+val remove : t -> int -> t option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val encode : Msmr_wire.Codec.W.t -> t -> unit
+val decode : Msmr_wire.Codec.R.t -> t
+val size_bytes : t -> int
+
+val encode_configs : Msmr_wire.Codec.W.t -> (Types.iid * t) list -> unit
+val decode_configs : Msmr_wire.Codec.R.t -> (Types.iid * t) list

@@ -38,6 +38,15 @@ type action =
   | Install_snapshot of { next_iid : Types.iid; state : bytes }
       (** Received through catch-up; the service must restore this state,
           which covers every instance below [next_iid]. *)
+  | Membership_changed of {
+      membership : Membership.t;
+      effective_iid : Types.iid;
+    }
+      (** A consensus-ordered reconfiguration was adopted: [membership]
+          governs every instance from [effective_iid] on. The runtime
+          must re-arm the failure detector's peer set, invalidate
+          leases, and fence itself if it is no longer a member
+          (DESIGN.md section 17). *)
 
 val pp_action : Format.formatter -> action -> unit
 
@@ -67,6 +76,7 @@ val bootstrap : t -> action list
     initial [View_changed]. *)
 
 val recover :
+  ?configs:(Types.iid * Membership.t) list ->
   Config.t ->
   me:Types.node_id ->
   view:Types.view ->
@@ -80,7 +90,10 @@ val recover :
     before proposing. The returned actions replay the executed prefix:
     [Install_snapshot] (if any) followed by [Execute] for contiguous
     decided instances; the caller feeds them to the service before
-    processing new traffic. Use instead of {!bootstrap}. *)
+    processing new traffic. [?configs] (newest first) restores the
+    membership history from a checkpoint; reconfigs decided in the
+    replayed WAL suffix are re-adopted on top. Use instead of
+    {!bootstrap}. *)
 
 (** {1 Introspection} *)
 
@@ -97,6 +110,24 @@ val can_propose : t -> bool
 val log : t -> Log.t
 val stats : t -> stats
 val window_in_use : t -> int
+
+val membership : t -> Membership.t
+(** The newest adopted membership epoch. *)
+
+val membership_at : t -> Types.iid -> Membership.t
+(** The membership governing instance [iid]. *)
+
+val configs : t -> (Types.iid * Membership.t) list
+(** Membership history, newest first, as persisted in checkpoints and
+    carried inside catch-up snapshots. *)
+
+val reconfig_in_flight : t -> bool
+(** A [Value.Reconfig] this node opened has not executed yet; ordinary
+    proposals are queued behind it. *)
+
+val reconfig_alpha : t -> int
+(** The decide-to-effect lag α: a Reconfig decided at instance d
+    governs instances from d + α. *)
 
 val window : t -> int
 (** WND currently in force ([cfg.window] unless retuned). *)
@@ -115,6 +146,13 @@ val propose : t -> Batch.t -> action list
 (** Open a new instance for [batch]. Call only when {!can_propose}; if
     the window is full the batch is silently queued internally and
     proposed as instances complete. *)
+
+val propose_reconfig : t -> Membership.t -> action list
+(** Order a membership change ([Membership.add_learner], [promote] or
+    [remove] of the current {!membership}) through the log. Returns []
+    when it cannot be opened right now (not the active leader, window
+    full, another reconfig in flight, stale epoch) — callers retry.
+    Takes effect {!reconfig_alpha} instances after its decide point. *)
 
 val receive : t -> from:Types.node_id -> Msg.t -> action list
 (** Handle a protocol message from a peer. Malformed or stale messages

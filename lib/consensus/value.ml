@@ -3,27 +3,37 @@ module Codec = Msmr_wire.Codec
 type t =
   | Noop
   | Batch of Batch.t
+  | Reconfig of Membership.t
 
 let encode w = function
   | Noop -> Codec.W.u8 w 0
   | Batch b ->
     Codec.W.u8 w 1;
     Batch.encode w b
+  | Reconfig m ->
+    Codec.W.u8 w 2;
+    Membership.encode w m
 
 let decode r =
   match Codec.R.u8 r with
   | 0 -> Noop
   | 1 -> Batch (Batch.decode r)
+  | 2 -> Reconfig (Membership.decode r)
   | n -> raise (Codec.Malformed (Printf.sprintf "value tag %d" n))
 
 let equal a b =
   match (a, b) with
   | Noop, Noop -> true
   | Batch x, Batch y -> Batch.equal x y
-  | Noop, Batch _ | Batch _, Noop -> false
+  | Reconfig x, Reconfig y -> Membership.equal x y
+  | Noop, _ | Batch _, _ | Reconfig _, _ -> false
 
 let pp ppf = function
   | Noop -> Format.pp_print_string ppf "noop"
   | Batch b -> Batch.pp ppf b
+  | Reconfig m -> Format.fprintf ppf "reconfig %a" Membership.pp m
 
-let size_bytes = function Noop -> 0 | Batch b -> Batch.size_bytes b
+let size_bytes = function
+  | Noop -> 0
+  | Batch b -> Batch.size_bytes b
+  | Reconfig m -> Membership.size_bytes m

@@ -1,10 +1,12 @@
-(** Values decided by consensus instances: either a batch of client
-    requests or a no-op (used by a new leader to fill gaps left by its
-    predecessor). *)
+(** Values decided by consensus instances: a batch of client requests,
+    a no-op (used by a new leader to fill gaps left by its
+    predecessor), or a membership reconfiguration that takes effect a
+    fixed number of instances after its decide point. *)
 
 type t =
   | Noop
   | Batch of Batch.t
+  | Reconfig of Membership.t
 
 val encode : Msmr_wire.Codec.W.t -> t -> unit
 val decode : Msmr_wire.Codec.R.t -> t

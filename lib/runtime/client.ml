@@ -60,11 +60,23 @@ let rotate_target t =
   let replicas = Replica.Cluster.replicas t.cluster in
   (* The current target did not answer: never pick it again this round,
      even if it still believes it is the leader (it may be partitioned).
-     Prefer another replica claiming leadership; else round-robin. *)
+     Prefer another replica claiming leadership; else round-robin over
+     the current membership — a decommissioned replica still runs but is
+     epoch-fenced and will never answer. *)
   let n = Array.length replicas in
+  let member i = Replica.is_member replicas.(i) in
+  let rec next_member k =
+    (* Degenerate fallback: plain round-robin if nobody reports
+       membership (e.g. every replica stopped). *)
+    if k > n then (t.target + 1) mod n
+    else begin
+      let i = (t.target + k) mod n in
+      if member i then i else next_member (k + 1)
+    end
+  in
   let rec find i =
-    if i >= n then (t.target + 1) mod n
-    else if i <> t.target && Replica.is_leader replicas.(i) then i
+    if i >= n then next_member 1
+    else if i <> t.target && Replica.is_leader replicas.(i) && member i then i
     else find (i + 1)
   in
   let next = find 0 in

@@ -3,13 +3,17 @@ type t = {
   kills : int Atomic.t;
   restarts : int Atomic.t;
   severs : int Atomic.t;
+  joins : int Atomic.t;
+  decommissions : int Atomic.t;
 }
 
 let create ~cluster () =
   { cluster;
     kills = Atomic.make 0;
     restarts = Atomic.make 0;
-    severs = Atomic.make 0 }
+    severs = Atomic.make 0;
+    joins = Atomic.make 0;
+    decommissions = Atomic.make 0 }
 
 let kill t i =
   Atomic.incr t.kills;
@@ -40,6 +44,20 @@ let heal_link t ~a ~b =
 
 let isolate t i = Transport.Hub.cut (Replica.Cluster.hub t.cluster) i
 let rejoin t i = Transport.Hub.heal (Replica.Cluster.hub t.cluster) i
+
+(* Online membership change (DESIGN.md §17): grow / shrink the voting
+   set through the consensus-ordered reconfiguration path, driven like
+   any other fault-schedule step. *)
+let join ?timeout_s ?promote t i =
+  Atomic.incr t.joins;
+  Replica.Cluster.join ?timeout_s ?promote t.cluster i
+
+let decommission ?timeout_s t i =
+  Atomic.incr t.decommissions;
+  Replica.Cluster.decommission ?timeout_s t.cluster i
+
 let kills t = Atomic.get t.kills
 let restarts t = Atomic.get t.restarts
 let severs t = Atomic.get t.severs
+let joins t = Atomic.get t.joins
+let decommissions t = Atomic.get t.decommissions

@@ -39,6 +39,18 @@ val isolate : t -> int -> unit
 
 val rejoin : t -> int -> unit
 
+val join : ?timeout_s:float -> ?promote:bool -> t -> int -> unit
+(** Grow the membership: order node [i] in as a learner, wait for
+    snapshot-based state transfer, then promote it to voter (unless
+    [promote = false]). See {!Replica.Cluster.join}. *)
+
+val decommission : ?timeout_s:float -> t -> int -> unit
+(** Shrink the membership: order node [i]'s removal and wait for
+    adoption; the node keeps running but is epoch-fenced. See
+    {!Replica.Cluster.decommission}. *)
+
 val kills : t -> int
 val restarts : t -> int
 val severs : t -> int
+val joins : t -> int
+val decommissions : t -> int

@@ -21,6 +21,12 @@ type event =
       (** Batcher signal: the ProposalQueue has something for the
           Protocol thread (keeps the event loop fully blocking). *)
   | Housekeeping_tick  (** periodic catch-up check, from the FD thread *)
+  | Reconfig_request of Membership.t
+      (** Administrative membership change: hand the target epoch to the
+          engine-owning thread, which orders it through the log
+          ({!Paxos.propose_reconfig}). Rejected requests (not leader,
+          another reconfig in flight, ...) are dropped — callers poll the
+          adopted epoch and retry. *)
 
 type decision =
   | Exec of { iid : Types.iid; value : Value.t }
@@ -204,6 +210,15 @@ type t = {
   reads_rejected : Counter.t;
   stale_served : Counter.t;
   stale_rejected : Counter.t;
+  (* Membership (online reconfiguration, DESIGN.md section 17). The
+     Protocol thread adopts epochs at execute time and publishes them
+     here; readers (metrics, lease/read fencing, Cluster drivers) are
+     lock-free. [configs_now] mirrors the engine's membership history
+     (newest first) for checkpoints. *)
+  membership_now : Membership.t Atomic.t;
+  configs_now : (Types.iid * Membership.t) list Atomic.t;
+  reconfigs_applied : Counter.t;
+  snapshot_installs : Counter.t;
   applied_iid : int Atomic.t;
       (* apply frontier: next iid the ServiceManager has NOT yet applied;
          written by the SM/scheduler thread, read by stale-read checks *)
@@ -243,6 +258,14 @@ let reads_served_count t = Counter.get t.reads_served
 let reads_rejected_count t = Counter.get t.reads_rejected
 let stale_reads_served_count t = Counter.get t.stale_served
 let stale_reads_rejected_count t = Counter.get t.stale_rejected
+let membership t = Atomic.get t.membership_now
+let is_member t = Membership.is_member (membership t) t.me
+let reconfigs_applied_count t = Counter.get t.reconfigs_applied
+let snapshot_installs_count t = Counter.get t.snapshot_installs
+let first_undecided t = Atomic.get t.first_undecided_now
+
+let request_reconfig t m =
+  try Bq.put t.dispatcher_q (Reconfig_request m) with Bq.Closed -> ()
 
 let spec_ctx_of t =
   match t.exec_pool with
@@ -461,7 +484,24 @@ let protocol_apply t (rtx_map : (Paxos.rtx_key, rtx_entry) Hashtbl.t) actions =
              m "replica %d: view %d, leader %d%s" t.me view leader
                (if i_am_leader then " (me)" else ""))
        | Paxos.Install_snapshot { next_iid = _; state } ->
-         (try Bq.put t.decision_q (Install { state }) with Bq.Closed -> ()))
+         Counter.incr t.snapshot_installs;
+         (try Bq.put t.decision_q (Install { state }) with Bq.Closed -> ())
+       | Paxos.Membership_changed { membership; effective_iid } ->
+         Counter.incr t.reconfigs_applied;
+         Atomic.set t.membership_now membership;
+         Atomic.set t.configs_now
+           ((effective_iid, membership) :: Atomic.get t.configs_now);
+         (* Epoch fencing: the quorum composition changed, so any held
+            lease is conservatively invalid — and a removed node must
+            never serve another lease read. *)
+         (match t.lease_ctx with
+          | Some lc -> Atomic.set lc.lease_until 0
+          | None -> ());
+         Failure_detector.set_membership t.fd membership ~now_ns:now;
+         Log_.info (fun m ->
+             m "replica %d: membership epoch %d at iid %d (%s)" t.me
+               membership.Membership.epoch effective_iid
+               (Format.asprintf "%a" Membership.pp membership)))
     actions
 
 let protocol_loop t st =
@@ -500,7 +540,10 @@ let protocol_loop t st =
                (Msmr_storage.Replica_store.Decided
                   { iid; view = Atomic.get t.view_now })
            | Paxos.Send _ | Paxos.Schedule_rtx _ | Paxos.Cancel_rtx _
-           | Paxos.Install_snapshot _ -> ())
+           | Paxos.Install_snapshot _
+           (* Derived state: membership is rebuilt from checkpoint configs
+              plus replay of the decided Reconfig instances. *)
+           | Paxos.Membership_changed _ -> ())
         actions
   in
   let apply actions =
@@ -518,7 +561,8 @@ let protocol_loop t st =
       let engine, replays =
         (* A pristine store in group [g] still re-enters view [g], not
            view 0, so leadership stays where the group layout puts it. *)
-        Paxos.recover t.cfg ~me:t.me
+        Paxos.recover ~configs:r.Msmr_storage.Replica_store.r_configs t.cfg
+          ~me:t.me
           ~view:(max r.Msmr_storage.Replica_store.r_view view0)
           ~accepted:r.r_accepted
           ~decided:r.r_decided ~snapshot:r.r_snapshot
@@ -601,25 +645,35 @@ let protocol_loop t st =
      no synchronisation. The grantor's promise is enforced below by
      dropping excluded Prepares (safe: Phase 1 is retransmitted) and
      deferring Suspect verdicts (safe: the failure detector re-arms). *)
-  let lease_quorum = (t.cfg.Config.n / 2) + 1 in
-  let all_peers =
-    List.filter (fun p -> p <> t.me) (List.init t.cfg.Config.n Fun.id)
+  (* Lease quorum and peer set follow the adopted membership epoch: only
+     voters grant, and a majority of the current voters is required. With
+     a static full membership this is exactly the old [n/2 + 1] over all
+     peers. *)
+  let lease_quorum () = Membership.quorum (Atomic.get t.membership_now) in
+  let lease_peers () =
+    List.filter (fun p -> p <> t.me)
+      (Atomic.get t.membership_now).Membership.voters
   in
   let lease_tick () =
     match t.lease_ctx with
-    | Some lc when Atomic.get t.am_leader ->
+    | Some lc
+      when Atomic.get t.am_leader
+           && Membership.is_voter (Atomic.get t.membership_now) t.me ->
       let now = now_int_ns () in
       if Lease.ping_due lc.lease ~now_ns:now then begin
         let ping = Lease.make_ping lc.lease ~now_ns:now in
         (* A singleton group grants to itself at ping time. *)
         Atomic.set lc.lease_until (Lease.held_until_ns lc.lease);
-        enqueue_send t all_peers ping
+        enqueue_send t (lease_peers ()) ping
       end
     | Some _ | None -> ()
   in
   let on_lease_msg lc from msg =
     match msg with
-    | Msg.Lease_ping { view; t0_ns } -> (
+    | Msg.Lease_ping { view; t0_ns }
+      (* A removed replica never grants: its promise could outlive its
+         knowledge of the epoch that excluded it. *)
+      when Membership.is_voter (Atomic.get t.membership_now) t.me -> (
         match
           Lease.on_ping lc.lease ~from ~view ~t0_ns ~now_ns:(now_int_ns ())
         with
@@ -630,7 +684,7 @@ let protocol_loop t st =
     | Msg.Lease_grant { view; t0_ns } ->
       if
         Atomic.get t.am_leader
-        && Lease.on_grant lc.lease ~from ~view ~t0_ns ~quorum:lease_quorum
+        && Lease.on_grant lc.lease ~from ~view ~t0_ns ~quorum:(lease_quorum ())
       then begin
         Counter.incr lc.lease_renewals;
         Atomic.set lc.lease_until (Lease.held_until_ns lc.lease)
@@ -661,6 +715,7 @@ let protocol_loop t st =
     | Housekeeping_tick ->
       lease_tick ();
       apply (Paxos.tick_catchup engine)
+    | Reconfig_request m -> apply (Paxos.propose_reconfig engine m)
     | Peer_msg { from; msg = (Msg.Lease_ping _ | Msg.Lease_grant _) as msg }
       when Option.is_some t.lease_ctx ->
       on_lease_msg (Option.get t.lease_ctx) from msg
@@ -1022,9 +1077,14 @@ let exec_request t (req : Client_msg.request) =
 let exec_read t (read : Client_msg.read) reply_to =
   let lc = Option.get t.lease_ctx in
   let now = now_int_ns () in
+  let member = Membership.is_member (Atomic.get t.membership_now) t.me in
   let holder () =
     let u = Atomic.get lc.lease_until in
-    Atomic.get t.am_leader && u > 0 && now < u
+    (* Epoch fencing: a replica removed from the membership never serves
+       a read, lease or not (its lease was zeroed at adoption; this also
+       covers the window before it learns of its own removal through a
+       newer epoch it helped decide). *)
+    member && Atomic.get t.am_leader && u > 0 && now < u
   in
   let serve () = t.service.execute { id = read.id; payload = read.payload } in
   let hint () = Atomic.get t.leader_now in
@@ -1040,7 +1100,8 @@ let exec_read t (read : Client_msg.read) reply_to =
       end
     else begin
       let fresh_ns =
-        if holder () then now
+        if not member then 0
+        else if holder () then now
         else
           let hb =
             if Atomic.get t.applied_iid >= Atomic.get lc.hb_frontier then
@@ -1077,6 +1138,7 @@ let take_snapshot t ~iid =
   (match t.store with
    | Some store ->
      Msmr_storage.Replica_store.checkpoint store ~next_iid:(iid + 1) ~state
+       ~configs:(Atomic.get t.configs_now)
    | None -> ());
   try Bq.put t.dispatcher_q (Snapshot_taken { next_iid = iid + 1; state })
   with Bq.Closed -> ()
@@ -1096,7 +1158,9 @@ let service_manager_loop t st =
       ()
     | Exec { iid; value } ->
       (match value with
-       | Value.Noop -> ()
+       (* Reconfig instances mutate the engine's membership (adopted on
+          the Protocol thread), not the service state. *)
+       | Value.Noop | Value.Reconfig _ -> ()
        | Value.Batch batch -> List.iter (exec_request t) batch.requests);
       if Option.is_some t.lease_ctx then note_applied t ~iid;
       incr instances_executed;
@@ -1275,7 +1339,7 @@ let scheduler_loop t ctx st =
         | None -> ())
     | Exec { iid; value } ->
       (match value with
-       | Value.Noop -> ()
+       | Value.Noop | Value.Reconfig _ -> ()
        | Value.Batch batch -> List.iter (dispatch t ctx st) batch.requests);
       if Option.is_some t.lease_ctx then note_applied t ~iid;
       incr instances_executed;
@@ -1382,7 +1446,12 @@ let metric_names =
     "msmr_read_served_total";
     "msmr_read_rejected_total";
     "msmr_read_stale_served_total";
-    "msmr_read_stale_rejected_total" ]
+    "msmr_read_stale_rejected_total";
+    "msmr_replica_reconfig_epoch";
+    "msmr_replica_reconfig_applied_total";
+    "msmr_replica_reconfig_member";
+    "msmr_replica_reconfig_voters";
+    "msmr_replica_snapshot_install_total" ]
 
 let register_metrics t =
   let labels = metric_labels t in
@@ -1487,7 +1556,16 @@ let register_metrics t =
   g "msmr_read_rejected_total" (fun () -> fi (Counter.get t.reads_rejected));
   g "msmr_read_stale_served_total" (fun () -> fi (Counter.get t.stale_served));
   g "msmr_read_stale_rejected_total" (fun () ->
-      fi (Counter.get t.stale_rejected))
+      fi (Counter.get t.stale_rejected));
+  g "msmr_replica_reconfig_epoch" (fun () ->
+      fi (Atomic.get t.membership_now).Membership.epoch);
+  g "msmr_replica_reconfig_applied_total" (fun () ->
+      fi (Counter.get t.reconfigs_applied));
+  g "msmr_replica_reconfig_member" (fun () -> if is_member t then 1. else 0.);
+  g "msmr_replica_reconfig_voters" (fun () ->
+      fi (Membership.n_voters (Atomic.get t.membership_now)));
+  g "msmr_replica_snapshot_install_total" (fun () ->
+      fi (Counter.get t.snapshot_installs))
 
 let unregister_metrics t =
   let labels = metric_labels t in
@@ -1538,6 +1616,14 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
   in
   let tuned_bsz = Atomic.make cfg.Config.max_batch_bytes in
   let tuned_wnd = Atomic.make cfg.Config.window in
+  (* Membership history seed: the checkpoint's configs if one was
+     recovered, else the boot membership. Reconfigs decided after the
+     checkpoint re-adopt during log replay (Membership_changed actions). *)
+  let configs0 =
+    match recovered with
+    | Some { Msmr_storage.Replica_store.r_configs = (_ :: _) as cs; _ } -> cs
+    | Some _ | None -> [ (0, Membership.initial cfg) ]
+  in
   let batchers =
     (* With auto_tune the policies read the tuned limit through the
        atomic; without it they take the static-config path, untouched. *)
@@ -1636,6 +1722,10 @@ let create ?(client_io_threads = 3) ?(batcher_threads = 1)
       reads_rejected = Counter.create ();
       stale_served = Counter.create ();
       stale_rejected = Counter.create ();
+      membership_now = Atomic.make (snd (List.hd configs0));
+      configs_now = Atomic.make configs0;
+      reconfigs_applied = Counter.create ();
+      snapshot_installs = Counter.create ();
       applied_iid = Atomic.make 0;
       last_apply_ns = Atomic.make 0;
       reconnects;
@@ -1853,6 +1943,64 @@ module Cluster = struct
         end
     in
     go ()
+
+  (* Drive one membership step to adoption: keep re-submitting [step]
+     (computed against the acting leader's current epoch) until [pred]
+     holds on the leader. Re-submission is safe — [propose_reconfig]
+     rejects stale epochs and concurrent reconfigs, and an adopted step
+     makes [step] return [None]. *)
+  let drive ?(timeout_s = 10.0) ~what t step pred =
+    let deadline = Int64.add (Mclock.now_ns ()) (Mclock.ns_of_s timeout_s) in
+    let rec go () =
+      let ld = leader t in
+      if pred (membership ld) then ()
+      else begin
+        if Int64.compare (Mclock.now_ns ()) deadline > 0 then
+          failwith (Printf.sprintf "Cluster.%s: timeout" what);
+        (match step (membership ld) with
+         | Some m -> request_reconfig ld m
+         | None -> ());
+        Mclock.sleep_s 0.01;
+        go ()
+      end
+    in
+    go ()
+
+  let caught_up t i =
+    (* The joiner's log frontier is within one pipeline window of the
+       leader's: close enough that promotion cannot stall the quorum. *)
+    let ld = leader t in
+    me ld = i
+    || first_undecided ld - first_undecided t.replicas.(i)
+       <= t.replicas.(i).cfg.Config.window
+
+  let join ?timeout_s ?(promote = true) t i =
+    (* Phase 1: enter as a non-voting learner — receives the decide
+       stream (and snapshot-based state transfer via catch-up) without
+       counting toward any quorum. *)
+    drive ?timeout_s ~what:"join" t
+      (fun m -> Membership.add_learner m i)
+      (fun m -> Membership.is_member m i);
+    if promote then begin
+      (* Phase 2: wait out state transfer, then enter the voting set. *)
+      let deadline_s = Option.value timeout_s ~default:10.0 in
+      let deadline =
+        Int64.add (Mclock.now_ns ()) (Mclock.ns_of_s deadline_s)
+      in
+      while not (caught_up t i) do
+        if Int64.compare (Mclock.now_ns ()) deadline > 0 then
+          failwith "Cluster.join: state transfer timeout";
+        Mclock.sleep_s 0.01
+      done;
+      drive ?timeout_s ~what:"promote" t
+        (fun m -> Membership.promote m i)
+        (fun m -> Membership.is_voter m i)
+    end
+
+  let decommission ?timeout_s t i =
+    drive ?timeout_s ~what:"decommission" t
+      (fun m -> Membership.remove m i)
+      (fun m -> not (Membership.is_member m i))
 
   let stop t =
     Array.iter stop t.replicas;

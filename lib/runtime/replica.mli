@@ -198,6 +198,35 @@ val spec_requeued_count : t -> int
 (** Decided requests re-executed on the ordered path after a mispredict
     on their key ([msmr_executor_spec_requeue_total]). *)
 
+(** {2 Online membership change (DESIGN.md §17)} *)
+
+val membership : t -> Msmr_consensus.Membership.t
+(** The newest membership epoch this replica has adopted (at execute
+    time of the ordering [Reconfig] instance). *)
+
+val is_member : t -> bool
+(** Is this replica in its own adopted membership? A removed replica is
+    fenced: it never votes, grants a lease, heartbeats or serves a
+    read. *)
+
+val request_reconfig : t -> Msmr_consensus.Membership.t -> unit
+(** Hand a target membership (epoch = current + 1, built with
+    {!Msmr_consensus.Membership.add_learner} / [promote] / [remove]) to
+    the Protocol thread, which orders it through the log. Best-effort:
+    rejected proposals (not leader, reconfig already in flight, stale
+    epoch) are dropped — poll {!membership} and retry. *)
+
+val reconfigs_applied_count : t -> int
+(** Membership epochs adopted ([msmr_replica_reconfig_applied_total]). *)
+
+val snapshot_installs_count : t -> int
+(** Snapshots installed through catch-up state transfer
+    ([msmr_replica_snapshot_install_total]). *)
+
+val first_undecided : t -> int
+(** The engine's decided frontier as last published by the Protocol
+    thread — the catch-up lag measure the join driver uses. *)
+
 type queue_stats = {
   request_queue : int;
   proposal_queue : int;
@@ -268,6 +297,20 @@ module Cluster : sig
       [Durable] durability the new incarnation recovers from the WAL in
       the same directory — the live crash-recovery path. Returns the new
       replica, which also replaces slot [i] of {!replicas}. *)
+
+  val join : ?timeout_s:float -> ?promote:bool -> t -> int -> unit
+  (** Bring node [i] (a running spare from the capacity universe, e.g.
+      outside [Config.members0]) into the membership: order an
+      add-learner epoch through the log, wait until state transfer has
+      caught the joiner up to within one window of the leader, then
+      (unless [promote = false]) order its promotion into the voting
+      set. Blocks; @raise Failure on [timeout_s] (default 10 s per
+      phase). *)
+
+  val decommission : ?timeout_s:float -> t -> int -> unit
+  (** Order node [i]'s removal from the membership and wait for
+      adoption. The removed node keeps running but is fenced by the
+      epoch change. @raise Failure on timeout. *)
 
   val stop : t -> unit
 end

@@ -21,7 +21,15 @@
     prefix. Followers may still be applying their decide streams; the
     same relaxation the per-group catch-up already tolerates. The
     simulator's multi-group model implements the node-local equivalent
-    (a barrier across the per-group Replica threads of each node). *)
+    (a barrier across the per-group Replica threads of each node).
+
+    Online membership change (DESIGN.md §17) is a single-group feature:
+    each inner {!Replica.Cluster} supports [join]/[decommission], but
+    this module does not coordinate an epoch walk across groups —
+    [Config.validate] requires [members0] to contain every group's
+    initial leader, and a multi-group deployment is expected to keep
+    its membership static (reconfigure per group, or drain and
+    redeploy). *)
 
 type t
 

@@ -2,7 +2,7 @@ module Client_msg = Msmr_wire.Client_msg
 module Mclock = Msmr_platform.Mclock
 
 type t = {
-  addrs : Unix.sockaddr array;
+  mutable addrs : Unix.sockaddr array;
   client_id : int;
   timeout_s : float;
   mutable fd : Unix.file_descr option;
@@ -36,6 +36,24 @@ let close = disconnect
 let retries t = t.retry_count
 let redirects t = t.redirect_count
 let read_redirects t = t.read_redirect_count
+
+(* Membership changed: refresh the endpoint set. The current connection
+   survives only if the replica it points at kept its position — any
+   other change re-targets from the head of the new list, and the usual
+   redirect plumbing steers back to the leader from there. *)
+let update_addrs t addrs =
+  if addrs = [] then invalid_arg "Tcp_client.update_addrs: no addresses";
+  let cur =
+    if t.target < Array.length t.addrs then Some t.addrs.(t.target) else None
+  in
+  t.addrs <- Array.of_list addrs;
+  match cur with
+  | Some addr
+    when t.target < Array.length t.addrs && t.addrs.(t.target) = addr ->
+    ()
+  | _ ->
+    disconnect t;
+    t.target <- 0
 
 let rec connected t ~attempts_left =
   match t.fd with

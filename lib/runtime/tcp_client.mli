@@ -29,6 +29,13 @@ val call : t -> bytes -> bytes
 val retries : t -> int
 (** Timed-out or connection-broken attempts that were retransmitted. *)
 
+val update_addrs : t -> Unix.sockaddr list -> unit
+(** Membership changed: replace the endpoint set (in node-id order, like
+    [create]'s [addrs]). The live connection is kept when the current
+    target's address is unchanged at the same index; otherwise the
+    client disconnects and re-targets from the head of the new list,
+    letting the ordinary redirect hints steer it to the leader. *)
+
 val redirects : t -> int
 (** Target rotations (failed connects and failed attempts) — how often
     this client had to look for another replica. *)

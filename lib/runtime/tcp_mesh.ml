@@ -40,7 +40,8 @@ type t = {
   me : int;
   gid : int;                      (* consensus group this mesh carries *)
   listener : Unix.file_descr;
-  slots : (int * slot) list;      (* every peer <> me *)
+  mutable slots : (int * slot) list;  (* every peer <> me *)
+  slots_mu : Mutex.t;             (* orders add_peer/remove_peer *)
   closing : bool Atomic.t;
   reconnects : int Atomic.t;
   mutable threads : Thread.t list;
@@ -141,10 +142,15 @@ let acceptor_loop t =
               (* Wrong group: never splice another group's Paxos stream
                  into this mesh. *)
               try Unix.close fd with Unix.Unix_error _ -> ()
-            else
-              match List.assoc_opt id t.slots with
+            else begin
+              (* [slots] mutates under add_peer/remove_peer mid-run. *)
+              Mutex.lock t.slots_mu;
+              let slot = List.assoc_opt id t.slots in
+              Mutex.unlock t.slots_mu;
+              match slot with
               | Some slot -> install t slot (Transport.Tcp.link_of_fd fd)
-              | None -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+              | None -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+            end)
         | None | (exception _) -> (
             try Unix.close fd with Unix.Unix_error _ -> ()))
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -215,6 +221,7 @@ let create ?(connect_timeout_s = 30.) ?(gid = 0) ~me ~addrs () =
       gid;
       listener;
       slots;
+      slots_mu = Mutex.create ();
       closing = Atomic.make false;
       reconnects = Atomic.make 0;
       threads = [] }
@@ -255,6 +262,58 @@ let create ?(connect_timeout_s = 30.) ?(gid = 0) ~me ~addrs () =
   t
 
 let links t = List.map (fun (id, slot) -> (id, facade t slot)) t.slots
+
+(* Online membership change: splice a peer's slot in (or back in)
+   mid-run, and retire a decommissioned one. The universe of node ids is
+   fixed; what changes is which ids currently hold a live slot. *)
+let add_peer t ~peer ~addr =
+  if peer = t.me then invalid_arg "Tcp_mesh.add_peer: peer = me";
+  Mutex.lock t.slots_mu;
+  let slot, need_dialer =
+    match List.assoc_opt peer t.slots with
+    | Some slot ->
+      (* Re-admission after [remove_peer]: reopen the slot so the
+         acceptor can install a fresh connection; the old dialer thread
+         exited when the slot closed, so start a new one. *)
+      Mutex.lock slot.mu;
+      let was_closed = slot.closed in
+      slot.closed <- false;
+      Condition.broadcast slot.cv;
+      Mutex.unlock slot.mu;
+      (slot, was_closed)
+    | None ->
+      let slot =
+        { peer;
+          mu = Mutex.create ();
+          cv = Condition.create ();
+          conn = None;
+          ever_connected = false;
+          closed = false }
+      in
+      t.slots <- (peer, slot) :: t.slots;
+      (slot, true)
+  in
+  (* Same dial direction rule as the initial mesh: we dial lower ids,
+     higher ids dial us. *)
+  if need_dialer && peer < t.me then
+    t.threads <-
+      Thread.create (fun () -> dialer_loop t slot addr) () :: t.threads;
+  Mutex.unlock t.slots_mu;
+  facade t slot
+
+let remove_peer t ~peer =
+  Mutex.lock t.slots_mu;
+  (match List.assoc_opt peer t.slots with
+   | Some slot ->
+     Mutex.lock slot.mu;
+     slot.closed <- true;
+     let c = slot.conn in
+     slot.conn <- None;
+     Condition.broadcast slot.cv;
+     Mutex.unlock slot.mu;
+     (match c with Some c -> c.Transport.close () | None -> ())
+   | None -> ());
+  Mutex.unlock t.slots_mu
 
 let close t =
   if not (Atomic.exchange t.closing true) then begin

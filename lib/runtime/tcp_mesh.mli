@@ -46,6 +46,20 @@ val reconnects : t -> int
 (** Links re-established after their initial connection — the mesh's
     contribution to [msmr_replica_reconnect_total]. *)
 
+val add_peer :
+  t -> peer:Msmr_consensus.Types.node_id -> addr:Unix.sockaddr -> Transport.link
+(** Online membership change: splice [peer]'s slot into the mesh mid-run
+    (a joiner), or reopen it after {!remove_peer} (re-admission). Returns
+    the peer's link facade; the connection itself is established
+    asynchronously by the dialer/acceptor, with sends dropping until it
+    is up (retransmission recovers them). Idempotent for an
+    already-open peer. *)
+
+val remove_peer : t -> peer:Msmr_consensus.Types.node_id -> unit
+(** Retire a decommissioned peer's slot: close its connection, stop
+    redialing, and make its facade's reads return [None]. The slot can
+    be reopened later with {!add_peer}. No-op for an unknown peer. *)
+
 val close : t -> unit
 (** Stop the acceptor and dialer threads and close every connection.
     Idempotent. *)

@@ -56,6 +56,9 @@ type disp_ev =
   | Poke
   | Suspect_ev  (* chaos: local failure-detector verdict *)
   | Tick        (* chaos: periodic catch-up check *)
+  | Reconfig_cmd of Membership.t
+      (* reconfig driver: ask this node (believed leader) to order the
+         given next-epoch membership through its log *)
 
 (* Multi-group Router input: ordered writes and fast-path reads share
    the Router hop, which partitions both to their group by conflict key
@@ -145,6 +148,8 @@ type result = {
   spec_confirmed : int;
   spec_aborted : int;
   commit_exec_latency : float;
+  reconfigs_applied : int;
+  final_epoch : int;
   trace : Msmr_obs.Trace.t option;
 }
 
@@ -207,16 +212,20 @@ let run_single ?(trace = false) (p : Params.t) =
   let pkt_rate =
     p.profile.pkt_rate /. net_slowdown *. (if p.rss then 2.0 else 1.0)
   in
-  (* Chaos gate: with [faults = []] none of the fault-injection state
-     below is consulted and the event stream is byte-for-byte the
-     fault-free one (pinned by the determinism goldens). *)
-  let chaos = p.faults <> [] in
+  (* Chaos gate: with [faults = []] and [reconfig_at = []] none of the
+     fault-injection state below is consulted and the event stream is
+     byte-for-byte the fault-free one (pinned by the determinism
+     goldens). A reconfig schedule needs the same machinery faults do —
+     failure detector (whose tick drives the joiner's catch-up),
+     retransmissions and the safety checker — so it rides the gate. *)
+  let chaos = p.faults <> [] || p.reconfig_at <> [] in
   let cfg =
     { (Config.default ~n:p.n) with
       window = p.wnd;
       max_batch_bytes = p.bsz;
       max_batch_delay_s = 0.005;
-      snapshot_every = 0 }
+      snapshot_every = 0;
+      members0 = p.members0 }
   in
   let cfg =
     if chaos then
@@ -433,6 +442,10 @@ let run_single ?(trace = false) (p : Params.t) =
   let fds = Array.init p.n (fun id -> Failure_detector.create cfg ~me:id ~now_ns:0L) in
   let leader_hint = ref 0 in
   let views_seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Membership-change bookkeeping: epochs adopted anywhere, and the
+     total count of adoptions across nodes (both deterministic). *)
+  let epochs_seen : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let reconfigs_applied = ref 0 in
   let vc_t0 = Array.make p.n None in
   let client_retries = ref 0 in
   let awaiting_seq = Array.make (max 1 p.n_clients) 0 in
@@ -548,7 +561,7 @@ let run_single ?(trace = false) (p : Params.t) =
            match action with
            | Paxos.Execute { value; _ } -> (
                match value with
-               | Value.Noop -> ()
+               | Value.Noop | Value.Reconfig _ -> ()
                | Value.Batch b ->
                  List.iter
                    (fun (r : Client_msg.request) ->
@@ -565,6 +578,12 @@ let run_single ?(trace = false) (p : Params.t) =
            | Paxos.View_changed { view; i_am_leader; _ } ->
              if view > 0 then Hashtbl.replace views_seen view ();
              if i_am_leader then leader_hint := id
+           | Paxos.Membership_changed { membership; _ } ->
+             (* Replayed adoption: re-arm the fresh failure detector's
+                peer set (counters are not re-bumped — the adoption was
+                already counted before the crash). *)
+             Failure_detector.set_membership fds.(id) membership
+               ~now_ns:(ns_now ())
            | Paxos.Install_snapshot _ -> ())
         replays
     end
@@ -1082,6 +1101,19 @@ let run_single ?(trace = false) (p : Params.t) =
                 | _ -> ());
                vc_t0.(node.id) <- None
              end
+           | Paxos.Membership_changed { membership; _ } ->
+             (* Epoch adoption: re-arm the failure detector's peer set
+                and (conservatively) void any lease state — the old
+                epoch's quorum no longer exists. Only reachable under
+                chaos (the reconfig driver rides that gate). *)
+             incr reconfigs_applied;
+             Hashtbl.replace epochs_seen membership.Membership.epoch ();
+             Failure_detector.set_membership fds.(node.id) membership
+               ~now_ns:(ns_now ());
+             if p.lease then
+               leases.(node.id) <-
+                 Lease.create cfg ~me:node.id
+                   ~view:(Paxos.view node.engine)
            | Paxos.Install_snapshot _ -> ())
         actions
     in
@@ -1138,7 +1170,12 @@ let run_single ?(trace = false) (p : Params.t) =
          end
        | Tick ->
          if chaos && up.(node.id) then
-           apply (Paxos.tick_catchup node.engine));
+           apply (Paxos.tick_catchup node.engine)
+       | Reconfig_cmd m ->
+         if chaos && up.(node.id) then begin
+           Cpu.work node.cpu st (cost c.protocol_per_event);
+           apply (Paxos.propose_reconfig node.engine m)
+         end);
       let rec feed () =
         if Paxos.can_propose node.engine then
           match Squeue.try_take node.proposal_q st with
@@ -1401,7 +1438,7 @@ let run_single ?(trace = false) (p : Params.t) =
        | Dspec _ -> ()   (* serial SM never speculates ([spec_on] false) *)
        | Dec d -> (
            match d.d_value with
-           | Value.Noop -> ()
+           | Value.Noop | Value.Reconfig _ -> ()
            | Value.Batch batch ->
              List.iter
                (fun (req : Client_msg.request) ->
@@ -1560,7 +1597,7 @@ let run_single ?(trace = false) (p : Params.t) =
        | Dspec { s_req } -> spec_admit s_req
        | Dec d -> (
            match d.d_value with
-           | Value.Noop -> ()
+           | Value.Noop | Value.Reconfig _ -> ()
            | Value.Batch batch -> List.iter (dispatch d.d_t) batch.requests));
       loop ()
     in
@@ -1772,7 +1809,7 @@ let run_single ?(trace = false) (p : Params.t) =
        | Dspec { s_req } -> spec_admit s_req
        | Dec d -> (
            match d.d_value with
-           | Value.Noop -> ()
+           | Value.Noop | Value.Reconfig _ -> ()
            | Value.Batch batch -> List.iter (dispatch d.d_t) batch.requests));
       loop ()
     in
@@ -1805,6 +1842,77 @@ let run_single ?(trace = false) (p : Params.t) =
     in
     loop ()
   in
+  (* ---------------- reconfig driver ---------------- *)
+  (* The sim's stand-in for an operator driving Cluster.join /
+     decommission: walk the voter set to each scheduled target one
+     consensus-ordered step at a time — add missing nodes as learners,
+     promote a learner once its log has caught up to within a few
+     windows of the leader's, then remove surplus members. Every step
+     is submitted to whichever node currently claims leadership (so the
+     driver survives crashes and view changes mid-reconfig) and simply
+     retried on a fixed cadence until the target epoch is adopted. *)
+  let reconfig_driver () =
+    let st = Sstats.make_thread eng ~name:"ReconfigDriver" in
+    let caught_up q ld_engine =
+      Log.first_undecided (Paxos.log ld_engine)
+      - Log.first_undecided (Paxos.log nodes.(q).engine)
+      <= 4 * cfg.Config.window
+    in
+    List.iter
+      (fun (at, target) ->
+        let target = List.sort_uniq compare target in
+        Sstats.set st Sstats.Waiting;
+        let wait = at -. Engine.now eng in
+        if wait > 0. then Engine.delay eng wait;
+        let rec step () =
+          Sstats.set st Sstats.Busy;
+          let ld = !leader_hint in
+          let engine = nodes.(ld).engine in
+          let m = Paxos.membership engine in
+          if m.Membership.voters = target && m.Membership.learners = []
+          then ()
+          else begin
+            (if
+               up.(ld)
+               && Paxos.is_leader engine
+               && not (Paxos.reconfig_in_flight engine)
+             then
+               let next =
+                 match
+                   List.filter
+                     (fun q -> not (Membership.is_member m q))
+                     target
+                 with
+                 | q :: _ -> Membership.add_learner m q
+                 | [] -> (
+                   match List.filter (Membership.is_learner m) target with
+                   | q :: _ ->
+                     if caught_up q engine then Membership.promote m q
+                     else None
+                   | [] -> (
+                     match
+                       List.filter
+                         (fun q -> not (List.mem q target))
+                         (Membership.members m)
+                     with
+                     | q :: _ -> Membership.remove m q
+                     | [] -> None))
+               in
+               match next with
+               | Some m' ->
+                 Squeue.put nodes.(ld).dispatcher_q st (Reconfig_cmd m')
+               | None -> ());
+            Sstats.set st Sstats.Waiting;
+            Engine.delay eng 0.02;
+            step ()
+          end
+        in
+        step ())
+      p.reconfig_at;
+    Sstats.set st Sstats.Other
+  in
+  if p.reconfig_at <> [] then
+    Engine.spawn eng ~name:"reconfig-driver" reconfig_driver;
   (* ---------------- spawn everything ---------------- *)
   Array.iter
     (fun node ->
@@ -2119,6 +2227,11 @@ let run_single ?(trace = false) (p : Params.t) =
     spec_aborted = !spec_aborted;
     commit_exec_latency =
       (if !ce_n = 0 then 0. else !ce_sum /. float_of_int !ce_n);
+    reconfigs_applied = !reconfigs_applied;
+    final_epoch =
+      Array.fold_left
+        (fun acc nd -> max acc (Paxos.membership nd.engine).Membership.epoch)
+        0 nodes;
     trace = tracer }
 
 (* ================================================================== *)
@@ -2528,7 +2641,7 @@ let run_multi ?(trace = false) (p : Params.t) =
              match action with
              | Paxos.Execute { value; _ } -> (
                  match value with
-                 | Value.Noop -> ()
+                 | Value.Noop | Value.Reconfig _ -> ()
                  | Value.Batch b ->
                    List.iter
                      (fun (r : Client_msg.request) ->
@@ -2545,6 +2658,9 @@ let run_multi ?(trace = false) (p : Params.t) =
              | Paxos.View_changed { view; i_am_leader; _ } ->
                if view <> g then Hashtbl.replace views_seen_g (g, view) ();
                if i_am_leader then leader_hint_g.(g) <- id
+             (* Multi-group chaos is crash-only; membership is static
+                here (reconfig is a run_single feature). *)
+             | Paxos.Membership_changed _ -> ()
              | Paxos.Install_snapshot _ -> ())
           replays
       done
@@ -2934,6 +3050,9 @@ let run_multi ?(trace = false) (p : Params.t) =
                if view <> g then Hashtbl.replace views_seen_g (g, view) ();
                if i_am_leader then leader_hint_g.(g) <- node.mg_id
              end
+           (* Multi-group membership is static (reconfig is a
+              run_single feature). *)
+           | Paxos.Membership_changed _ -> ()
            | Paxos.Install_snapshot _ -> ())
         actions
     in
@@ -2976,7 +3095,11 @@ let run_multi ?(trace = false) (p : Params.t) =
            else apply (Paxos.suspect_leader (engine ()))
        | Tick ->
          if chaos && up.(node.mg_id) then
-           apply (Paxos.tick_catchup (engine ())));
+           apply (Paxos.tick_catchup (engine ()))
+       | Reconfig_cmd _ ->
+         (* Multi-group membership is static; the driver never targets
+            this model. *)
+         ());
       let rec feed () =
         if Paxos.can_propose (engine ()) then
           match Squeue.try_take node.mg_prop_qs.(g) st with
@@ -3338,7 +3461,7 @@ let run_multi ?(trace = false) (p : Params.t) =
        | Dspec { s_req } -> spec_exec s_req
        | Dec d -> (
            match d.d_value with
-           | Value.Noop -> ()
+           | Value.Noop | Value.Reconfig _ -> ()
            | Value.Batch batch -> List.iter (exec_one d.d_t) batch.requests));
       loop ()
     in
@@ -3637,6 +3760,10 @@ let run_multi ?(trace = false) (p : Params.t) =
     spec_aborted = !spec_aborted;
     commit_exec_latency =
       (if !ce_n = 0 then 0. else !ce_sum /. float_of_int !ce_n);
+    (* Online reconfiguration is a single-group (run_single) feature:
+       the multi-group model keeps static membership. *)
+    reconfigs_applied = 0;
+    final_epoch = 0;
     trace = tracer }
 
 (* [groups <= 1] takes the original single-group path untouched — the

@@ -115,6 +115,13 @@ type result = {
           commit→execute gap the speculative path collapses. Measured on
           every parallel-ServiceManager path, speculation on or off;
           [0.] when unmeasured (serial path, or no completions) *)
+  reconfigs_applied : int;
+      (** [Membership_changed] adoptions summed over all nodes, whole run
+          ([Params.reconfig_at] on the single-group path); [0] with a
+          static membership and on multi-group runs *)
+  final_epoch : int;
+      (** highest membership epoch any node had adopted by the end of the
+          run; [0] with a static membership *)
   trace : Msmr_obs.Trace.t option;
       (** present iff [run ~trace:true]; stamped in simulated time and
           covering exactly the measured window — export with

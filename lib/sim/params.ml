@@ -84,6 +84,8 @@ type t = {
   lease_duration : float;
   staleness_bound : float;
   faults : Sfault.event list;
+  members0 : int list;
+  reconfig_at : (float * int list) list;
   chaos_seed : int;
   chaos_fd_interval : float;
   chaos_fd_timeout : float;
@@ -128,6 +130,8 @@ let default ?(profile = parapluie) ~n ~cores () =
     lease_duration = 0.5;
     staleness_bound = 0.1;
     faults = [];
+    members0 = [];
+    reconfig_at = [];
     chaos_seed = 1;
     chaos_fd_interval = 0.02;
     chaos_fd_timeout = 0.1;

@@ -178,6 +178,20 @@ type t = {
           path (golden-pinned). Non-empty runs stay fully deterministic:
           the schedule plus [chaos_seed] fix every drop, delay and
           duplication. *)
+  members0 : int list;
+      (** boot-time voting membership over the node-id universe [0, n)
+          ([Config.members0]); [[]] (the default) means all nodes.
+          Non-member nodes still run as processes — they are the spare
+          capacity [reconfig_at] can grow into. *)
+  reconfig_at : (float * int list) list;
+      (** membership-change schedule: at each simulated time, drive the
+          cluster's voter set to the given target (adding nodes as
+          learners, promoting them once caught up, then removing the
+          rest), one consensus-ordered step at a time through the
+          current leader. [[]] (the default) disables the reconfig
+          driver; like [faults], a non-empty schedule enables the chaos
+          machinery (failure detector, retransmissions, safety
+          checking) and stays fully deterministic. *)
   chaos_seed : int;  (** seeds the per-run chaos PRNG ({!Sfault.make_net}) *)
   chaos_fd_interval : float;
       (** failure-detector heartbeat interval under chaos (overrides

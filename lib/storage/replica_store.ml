@@ -129,7 +129,7 @@ let close t =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
   Wal.close t.wal
 
-let checkpoint t ~next_iid ~state =
+let checkpoint ?(configs = []) t ~next_iid ~state =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
   let tmp = checkpoint_path t.dir ^ ".tmp" in
@@ -137,6 +137,9 @@ let checkpoint t ~next_iid ~state =
   let w = Codec.W.create ~initial:(Bytes.length state + 16) () in
   Codec.W.int_as_i64 w next_iid;
   Codec.W.bytes w state;
+  (* Membership history (newest first), appended after the snapshot so
+     pre-reconfiguration checkpoints (no trailing section) still read. *)
+  if configs <> [] then Membership.encode_configs w configs;
   let payload = Codec.W.contents w in
   let frame = Bytes.create (8 + Bytes.length payload) in
   Bytes.set_int32_be frame 0 (Int32.of_int (Bytes.length payload));
@@ -180,7 +183,14 @@ let read_checkpoint dir =
           let r = Codec.R.of_bytes payload in
           let next_iid = Codec.R.int_from_i64 r in
           let state = Codec.R.bytes r in
-          Some (next_iid, state)
+          let configs =
+            if Codec.R.remaining r = 0 then []
+            else
+              match Membership.decode_configs r with
+              | cs -> cs
+              | exception (Codec.Underflow | Codec.Malformed _) -> []
+          in
+          Some (next_iid, state, configs)
         end
       end
     end
@@ -191,11 +201,14 @@ type recovered = {
   r_accepted : (Types.iid * Types.view * Value.t) list;
   r_decided : (Types.iid * Types.view * Value.t) list;
   r_snapshot : (Types.iid * bytes) option;
+  r_configs : (Types.iid * Membership.t) list;
 }
 
 let recover ?gid ~dir () =
   let dir = group_dir ?gid dir in
-  let snapshot = read_checkpoint dir in
+  let ckpt = read_checkpoint dir in
+  let snapshot = Option.map (fun (next, state, _) -> (next, state)) ckpt in
+  let configs = match ckpt with Some (_, _, cs) -> cs | None -> [] in
   let low = match snapshot with Some (next, _) -> next | None -> 0 in
   let view = ref 0 in
   let accepted : (Types.iid, Types.view * Value.t) Hashtbl.t = Hashtbl.create 256 in
@@ -234,4 +247,5 @@ let recover ?gid ~dir () =
       accepted []
     |> List.sort compare
   in
-  { r_view = !view; r_accepted; r_decided; r_snapshot = snapshot }
+  { r_view = !view; r_accepted; r_decided; r_snapshot = snapshot;
+    r_configs = configs }

@@ -63,9 +63,17 @@ val durable_lsn : t -> int
 
 val close : t -> unit
 
-val checkpoint : t -> next_iid:Msmr_consensus.Types.iid -> state:bytes -> unit
+val checkpoint :
+  ?configs:(Msmr_consensus.Types.iid * Msmr_consensus.Membership.t) list ->
+  t ->
+  next_iid:Msmr_consensus.Types.iid ->
+  state:bytes ->
+  unit
 (** Persist a service snapshot covering instances below [next_iid]
-    (atomic: write-temp + rename + fsync) and reset the WAL. *)
+    (atomic: write-temp + rename + fsync) and reset the WAL. [configs]
+    (newest first, default none) records the membership history adopted
+    so far, so recovery re-fences under the right epoch even though the
+    ordering [Reconfig] instances live below the snapshot. *)
 
 type recovered = {
   r_view : Msmr_consensus.Types.view;
@@ -80,6 +88,10 @@ type recovered = {
      * Msmr_consensus.Value.t)
       list;  (** in instance order *)
   r_snapshot : (Msmr_consensus.Types.iid * bytes) option;
+  r_configs :
+    (Msmr_consensus.Types.iid * Msmr_consensus.Membership.t) list;
+      (** membership history from the checkpoint, newest first; [[]] for
+          pre-reconfiguration checkpoints (boot membership applies) *)
 }
 
 val recover : ?gid:int -> dir:string -> unit -> recovered

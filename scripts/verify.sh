@@ -40,7 +40,8 @@ bench6_file="$(mktemp /tmp/msmr-verify-bench6.XXXXXX.json)"
 bench7_file="$(mktemp /tmp/msmr-verify-bench7.XXXXXX.json)"
 bench8_file="$(mktemp /tmp/msmr-verify-bench8.XXXXXX.json)"
 bench9_file="$(mktemp /tmp/msmr-verify-bench9.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file" "$bench5_file" "$bench6_file" "$bench7_file" "$bench8_file" "$bench9_file"' EXIT
+bench10_file="$(mktemp /tmp/msmr-verify-bench10.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$metrics_file" "$bench_file" "$bench3_file" "$bench4_file" "$bench5_file" "$bench6_file" "$bench7_file" "$bench8_file" "$bench9_file" "$bench10_file"' EXIT
 
 dune exec bin/sim_probe.exe -- --trace "$trace_file" --metrics "$metrics_file"
 
@@ -468,6 +469,79 @@ if command -v jq >/dev/null 2>&1; then
 else
   [ -s "$bench9_committed" ] || { echo "FAIL: $bench9_committed empty" >&2; exit 1; }
   echo "bench009 committed: jq not installed, checked file is non-empty"
+fi
+
+echo "== bench010 smoke (quick) =="
+dune exec bench/main.exe -- bench010 --quick --bench010-out "$bench10_file"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench10_file"
+  # Even on the quick run: the full grow/shrink schedule must complete
+  # (epoch 6), every arm must stay linearizable, both chaos arms must
+  # rerun bit-identically, and the live walk must end back at three
+  # voters with the joiner bootstrapped from a snapshot, the removed
+  # nodes fenced and the exactly-once audit intact. (The >= 0.9x
+  # throughput-ratio gate applies to the committed full run only — a
+  # sub-second quick run is mostly reconfiguration window.)
+  sim_ok=$(jq '[.sim.static.safety_ok, .sim.reconfig.safety_ok,
+                .sim.crash_join.safety_ok, .sim.runs_identical,
+                .sim.crash_runs_identical] | all' "$bench10_file")
+  sched_ok=$(jq '.sim.reconfig.final_epoch == 6
+                 and .sim.crash_join.final_epoch >= 2' "$bench10_file")
+  live_ok=$(jq '.live.final_voters == 3 and .live.joiner_snapshot_installs >= 1
+                and .live.removed_fenced and .live.exactly_once_ok
+                and .live.completed > 0' "$bench10_file")
+  echo "bench010 smoke: sim ok: $sim_ok, schedule ok: $sched_ok, live ok: $live_ok"
+  [ "$sim_ok" = "true" ] || { echo "FAIL: bench010 smoke sim arm unsafe or non-deterministic" >&2; exit 1; }
+  [ "$sched_ok" = "true" ] || { echo "FAIL: bench010 smoke reconfig schedule did not complete" >&2; exit 1; }
+  [ "$live_ok" = "true" ] || { echo "FAIL: bench010 smoke live membership walk failed" >&2; exit 1; }
+else
+  [ -s "$bench10_file" ] || { echo "FAIL: $bench10_file empty" >&2; exit 1; }
+  case "$(head -c1 "$bench10_file")" in
+    '{') ;;
+    *) echo "FAIL: $bench10_file does not look like JSON" >&2; exit 1 ;;
+  esac
+  echo "bench010 smoke: jq not installed, checked file is non-empty JSON"
+fi
+
+echo "== bench010 committed results gate =="
+bench10_committed="bench/BENCH_010.json"
+[ -f "$bench10_committed" ] || { echo "FAIL: $bench10_committed missing" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$bench10_committed"
+  quick=$(jq '.quick' "$bench10_committed")
+  schema_bad=$(jq '[.sim.static, .sim.reconfig, .sim.crash_join]
+                   | [.[] | select(((.throughput_rps != null)
+                      and (.completed != null) and (.final_epoch != null)
+                      and (.reconfigs_applied != null)
+                      and (.view_changes != null) and (.safety_ok != null))
+                      | not)] | length' "$bench10_committed")
+  # The acceptance gates: zero safety violations across the 3->5->3
+  # walk, the schedule completes (six consensus-ordered epochs), the
+  # reconfig arm keeps >= 0.9x the static baseline's throughput, both
+  # chaos arms rerun bit-identically, and on the live runtime the
+  # joiner reaches the voting set via snapshot-based state transfer
+  # while removed nodes fence themselves and no call is lost or
+  # double-executed.
+  sim_ok=$(jq '[.sim.static.safety_ok, .sim.reconfig.safety_ok,
+                .sim.crash_join.safety_ok, .sim.runs_identical,
+                .sim.crash_runs_identical] | all' "$bench10_committed")
+  sched_ok=$(jq '.sim.reconfig.final_epoch == 6
+                 and .sim.crash_join.final_epoch >= 2' "$bench10_committed")
+  ratio_ok=$(jq '.sim.throughput_ratio >= 0.9' "$bench10_committed")
+  live_ok=$(jq '.live.final_voters == 3 and .live.joiner_snapshot_installs >= 1
+                and .live.reconfigs_applied >= 6 and .live.removed_fenced
+                and .live.exactly_once_ok' "$bench10_committed")
+  echo "bench010 committed: sim ok: $sim_ok, schedule ok: $sched_ok, ratio ok: $ratio_ok, live ok: $live_ok"
+  [ "$quick" = "false" ] || { echo "FAIL: committed bench010 was a --quick run" >&2; exit 1; }
+  [ "$schema_bad" -eq 0 ] || { echo "FAIL: bench010 arm missing required fields" >&2; exit 1; }
+  [ "$sim_ok" = "true" ] || { echo "FAIL: a committed bench010 arm violated safety or diverged across reruns" >&2; exit 1; }
+  [ "$sched_ok" = "true" ] || { echo "FAIL: committed bench010 reconfig schedule did not complete" >&2; exit 1; }
+  [ "$ratio_ok" = "true" ] || { echo "FAIL: committed reconfig throughput below 0.9x the static baseline" >&2; exit 1; }
+  [ "$live_ok" = "true" ] || { echo "FAIL: committed bench010 live membership walk failed" >&2; exit 1; }
+else
+  [ -s "$bench10_committed" ] || { echo "FAIL: $bench10_committed empty" >&2; exit 1; }
+  echo "bench010 committed: jq not installed, checked file is non-empty"
 fi
 
 echo "== docs metrics gate =="

@@ -853,10 +853,142 @@ let test_cluster_kill_restart_ephemeral_follower () =
   Alcotest.(check string) "exactly-once sum" "210"
     (Bytes.to_string (Client.call probe (Bytes.of_string "0")))
 
+(* ------------------------------------------------------------------ *)
+(* Online membership change (DESIGN.md section 17): grow 3 -> 5 under
+   load with snapshot-based state transfer, then shrink back, all while
+   a client keeps the accumulator moving. *)
+
+let reconfig_cfg n =
+  { (test_cfg n) with
+    members0 = [ 0; 1; 2 ];
+    (* Small snapshot/retention so a joiner must bootstrap from a real
+       snapshot install, not a log replay from instance 0. *)
+    snapshot_every = 10;
+    log_retain = 4 }
+
+let test_cluster_grow_shrink_live () =
+  with_cluster ~cfg:(reconfig_cfg 5) ~n:5 @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let replicas = Replica.Cluster.replicas cluster in
+  Alcotest.(check bool) "spare 3 starts outside" false
+    (Replica.is_member replicas.(3));
+  Alcotest.(check bool) "member 1 starts inside" true
+    (Replica.is_member replicas.(1));
+  (* Enough history that the leader's log is truncated behind its
+     snapshots before anyone joins. *)
+  let client = Client.create ~cluster ~client_id:1 () in
+  for _ = 1 to 40 do
+    ignore (Client.call client (Bytes.of_string "1"))
+  done;
+  (* Closed-loop load through the whole reconfiguration. *)
+  let loader_stop = Atomic.make false in
+  let loader_calls = Atomic.make 0 in
+  let loader =
+    Thread.create
+      (fun () ->
+         let c = Client.create ~timeout_s:0.5 ~cluster ~client_id:2 () in
+         while not (Atomic.get loader_stop) do
+           ignore (Client.call c (Bytes.of_string "1"));
+           Atomic.incr loader_calls
+         done)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        Atomic.set loader_stop true;
+        Thread.join loader)
+  @@ fun () ->
+  (* Grow 3 -> 5: each joiner enters as a learner, state-transfers, and
+     is promoted to voter. *)
+  Replica.Cluster.join cluster 3;
+  Replica.Cluster.join cluster 4;
+  let ld = Replica.Cluster.leader cluster in
+  let m = Replica.membership ld in
+  Alcotest.(check int) "five voters" 5
+    (Msmr_consensus.Membership.n_voters m);
+  Alcotest.(check bool) "3 a voter" true
+    (Msmr_consensus.Membership.is_voter m 3);
+  Alcotest.(check bool) "4 a voter" true
+    (Msmr_consensus.Membership.is_voter m 4);
+  (* The joiners bootstrapped through snapshot installs, and everyone
+     counted the epoch adoptions. *)
+  Alcotest.(check bool) "joiner 3 installed a snapshot" true
+    (Replica.snapshot_installs_count replicas.(3) >= 1);
+  Alcotest.(check bool) "leader adopted epochs" true
+    (Replica.reconfigs_applied_count ld >= 4);
+  (* Shrink 5 -> 3: decommissioned nodes keep running but are fenced. *)
+  Replica.Cluster.decommission cluster 4;
+  Replica.Cluster.decommission cluster 3;
+  let ld = Replica.Cluster.leader cluster in
+  Alcotest.(check int) "back to three voters" 3
+    (Msmr_consensus.Membership.n_voters (Replica.membership ld));
+  await ~what:"removed nodes fence themselves" (fun () ->
+      (not (Replica.is_member replicas.(3)))
+      && not (Replica.is_member replicas.(4)));
+  Atomic.set loader_stop true;
+  Thread.join loader;
+  (* Exactly-once through the whole change: the accumulator equals the
+     number of increments that were ever acknowledged. *)
+  let total = 40 + Atomic.get loader_calls in
+  Alcotest.(check string) "exactly-once sum across reconfigs"
+    (string_of_int total)
+    (Bytes.to_string (Client.call client (Bytes.of_string "0")))
+
+(* Crash during state transfer: the joiner dies while it is a learner
+   mid-bootstrap, restarts empty, and must still reach the voting set
+   without ever having counted toward a quorum. *)
+let test_cluster_join_crash_during_transfer () =
+  with_cluster ~cfg:(reconfig_cfg 4) ~n:4 @@ fun cluster ->
+  ignore (Replica.Cluster.await_leader cluster);
+  let fc = Fault_controller.create ~cluster () in
+  let client = Client.create ~timeout_s:0.5 ~cluster ~client_id:1 () in
+  for _ = 1 to 30 do
+    ignore (Client.call client (Bytes.of_string "1"))
+  done;
+  (* Learner only — state transfer starts, no voting rights yet. *)
+  Fault_controller.join fc ~promote:false 3;
+  Alcotest.(check int) "one join" 1 (Fault_controller.joins fc);
+  (* Crash the joiner mid-transfer; the cluster must not notice: its
+     quorums never included the learner. *)
+  Fault_controller.kill fc 3;
+  for _ = 1 to 10 do
+    ignore (Client.call client (Bytes.of_string "1"))
+  done;
+  ignore (Fault_controller.restart fc 3);
+  (* Completing the join is idempotent: the add_learner step is already
+     adopted, so this waits out the (restarted) state transfer and
+     promotes. *)
+  Fault_controller.join fc 3;
+  let ld = Replica.Cluster.leader cluster in
+  Alcotest.(check bool) "joiner reached the voting set" true
+    (Msmr_consensus.Membership.is_voter (Replica.membership ld) 3);
+  for _ = 1 to 5 do
+    ignore (Client.call client (Bytes.of_string "1"))
+  done;
+  let replicas = Replica.Cluster.replicas cluster in
+  (* A snapshot-bootstrapped node never re-executes the snapshotted
+     prefix, so compare log frontiers, not executed counts. *)
+  let target = Replica.first_undecided (Replica.Cluster.leader cluster) in
+  await ~timeout_s:10. ~what:"restarted joiner converges" (fun () ->
+      Replica.first_undecided replicas.(3) >= target);
+  (* Safety: the sum reflects every acknowledged increment exactly
+     once, across learner crash, restart and promotion. *)
+  Alcotest.(check string) "exactly-once sum" "45"
+    (Bytes.to_string (Client.call client (Bytes.of_string "0")));
+  Fault_controller.decommission fc 3;
+  Alcotest.(check int) "one decommission" 1 (Fault_controller.decommissions fc);
+  Alcotest.(check bool) "removed again" false
+    (Msmr_consensus.Membership.is_member
+       (Replica.membership (Replica.Cluster.leader cluster)) 3)
+
 let suite =
   suite
   @ [ Alcotest.test_case "cluster: fault-injection soak" `Slow
         test_cluster_fault_injection_soak;
+      Alcotest.test_case "cluster: grow 3->5, shrink 5->3 under load" `Quick
+        test_cluster_grow_shrink_live;
+      Alcotest.test_case "cluster: joiner crash during state transfer" `Quick
+        test_cluster_join_crash_during_transfer;
       Alcotest.test_case "cluster: fault controller kill/restart (durable)"
         `Quick test_fault_controller_kill_restart_durable;
       Alcotest.test_case "cluster: catchup under loss (live)" `Quick

@@ -637,6 +637,64 @@ let test_chaos_fsync_stall_durable () =
   Alcotest.(check bool) "progress despite the stall" true (r1.completed > 500);
   Alcotest.(check int) "deterministic" r1.events r2.events
 
+(* Online reconfiguration in the model. *)
+
+let test_reconfig_fields_inert () =
+  (* Static membership (the default) must leave the reconfig result
+     fields at their inert values -- the golden-pinned fault-free path
+     reports nothing it did not do. *)
+  let r = Jpaxos_model.run (small_params ()) in
+  Alcotest.(check int) "no reconfigs applied" 0 r.reconfigs_applied;
+  Alcotest.(check int) "epoch never moved" 0 r.final_epoch
+
+let reconfig_params ?(duration = 1.2) ?(faults = []) reconfig_at =
+  let p = Params.default ~n:5 ~cores:2 () in
+  { p with
+    n_clients = 60;
+    warmup = 0.1;
+    duration;
+    chaos_seed = 7;
+    members0 = [ 0; 1; 2 ];
+    reconfig_at;
+    faults }
+
+let test_reconfig_model_grow_shrink () =
+  (* 3 -> 5 -> 3 under load: the grow leg needs add-learner + promote
+     per joiner (4 epochs), the shrink leg removes the two surplus
+     members (2 more), so a completed schedule lands on epoch 6. *)
+  let r =
+    Jpaxos_model.run
+      (reconfig_params
+         [ (0.3, [ 0; 1; 2; 3; 4 ]); (0.7, [ 0; 1; 2 ]) ])
+  in
+  Alcotest.(check bool) "linearizable across reconfig" true r.safety_ok;
+  Alcotest.(check int) "schedule completed (epoch 6)" 6 r.final_epoch;
+  Alcotest.(check bool) "members adopted the epochs" true
+    (r.reconfigs_applied >= 6);
+  Alcotest.(check bool) "cluster kept committing" true (r.completed > 1000)
+
+let test_reconfig_chaos_golden () =
+  (* Crash the joiner mid state transfer, restart it, and let the
+     schedule finish; the acceptance golden is that two invocations of
+     the same seeded run are bit-identical. *)
+  let p =
+    reconfig_params ~duration:1.4
+      ~faults:[ Sfault.Crash { node = 3; at = 0.4; restart_at = Some 0.6 } ]
+      [ (0.3, [ 0; 1; 2; 3 ]) ]
+  in
+  let r1 = Jpaxos_model.run p in
+  let r2 = Jpaxos_model.run p in
+  Alcotest.(check bool) "safe across crash-during-transfer" true
+    r1.safety_ok;
+  Alcotest.(check bool) "membership change completed" true
+    (r1.final_epoch >= 2);
+  Alcotest.(check int) "golden: same completed" r1.completed r2.completed;
+  Alcotest.(check int) "golden: same reconfigs" r1.reconfigs_applied
+    r2.reconfigs_applied;
+  Alcotest.(check int) "golden: same final epoch" r1.final_epoch
+    r2.final_epoch;
+  Alcotest.(check int) "golden: same events" r1.events r2.events
+
 (* Compartmentalized multi-group Paxos in the model. *)
 
 let test_multigroup_single_group_unchanged () =
@@ -1045,4 +1103,10 @@ let suite =
       test_spec_multigroup;
     Alcotest.test_case "chaos: leader crash mid-speculation golden" `Slow
       test_chaos_spec_crash_golden;
+    Alcotest.test_case "reconfig: fields inert on the static path" `Quick
+      test_reconfig_fields_inert;
+    Alcotest.test_case "reconfig: grow/shrink under load" `Slow
+      test_reconfig_model_grow_shrink;
+    Alcotest.test_case "reconfig: crash-during-transfer golden" `Slow
+      test_reconfig_chaos_golden;
   ]

@@ -282,6 +282,38 @@ let test_store_checkpoint () =
    | [ (1, 0, _) ] -> ()
    | _ -> Alcotest.fail "expected instance 1")
 
+let test_store_checkpoint_with_configs () =
+  (* Membership history rides inside the checkpoint (DESIGN.md section
+     17): recovery hands it back so the engine resumes in the right
+     epoch, and pre-reconfiguration checkpoints still read as []. *)
+  let module Membership = Msmr_consensus.Membership in
+  with_tmp_dir @@ fun dir ->
+  let m0 = Membership.make ~epoch:0 ~voters:[ 0; 1; 2 ] ~learners:[] in
+  let m1 = Membership.make ~epoch:1 ~voters:[ 0; 1; 2 ] ~learners:[ 3 ] in
+  let configs = [ (12, m1); (0, m0) ] in
+  let store = Replica_store.openw ~dir () in
+  Replica_store.checkpoint store ~next_iid:15 ~state:(Bytes.of_string "S9")
+    ~configs;
+  Replica_store.close store;
+  let r = Replica_store.recover ~dir () in
+  (match r.r_snapshot with
+   | Some (15, state) ->
+     Alcotest.(check string) "state intact" "S9" (Bytes.to_string state)
+   | _ -> Alcotest.fail "missing snapshot");
+  (match r.r_configs with
+   | [ (12, m1'); (0, m0') ] ->
+     Alcotest.(check bool) "epoch 1 entry" true (Membership.equal m1 m1');
+     Alcotest.(check bool) "boot entry" true (Membership.equal m0 m0')
+   | _ -> Alcotest.fail "membership history lost");
+  (* Legacy shape: a checkpoint written without configs recovers []. *)
+  with_tmp_dir @@ fun dir2 ->
+  let store2 = Replica_store.openw ~dir:dir2 () in
+  Replica_store.checkpoint store2 ~next_iid:1 ~state:(Bytes.of_string "S0");
+  Replica_store.close store2;
+  let r2 = Replica_store.recover ~dir:dir2 () in
+  Alcotest.(check bool) "no configs in legacy checkpoint" true
+    (r2.r_configs = [])
+
 let test_store_empty_dir () =
   with_tmp_dir @@ fun dir ->
   let r = Replica_store.recover ~dir () in
@@ -608,6 +640,8 @@ let suite =
     Alcotest.test_case "store: round-trip" `Quick test_store_roundtrip;
     Alcotest.test_case "store: higher view wins" `Quick test_store_higher_view_acceptance_wins;
     Alcotest.test_case "store: checkpoint" `Quick test_store_checkpoint;
+    Alcotest.test_case "store: checkpoint with membership history" `Quick
+      test_store_checkpoint_with_configs;
     Alcotest.test_case "store: empty dir" `Quick test_store_empty_dir;
     Alcotest.test_case "store: log_batch lsn" `Quick test_store_log_batch_lsn;
     Alcotest.test_case "store: crash mid group commit" `Quick

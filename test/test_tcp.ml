@@ -228,8 +228,172 @@ let test_tcp_mesh_reconnect () =
   Alcotest.(check int) "fresh mesh counts no reconnect" 0
     (R.Tcp_mesh.reconnects m0')
 
+(* Online membership change at the mesh layer: a two-node mesh splices a
+   third peer in mid-run (add_peer on both sides, same dial-direction
+   rule as boot), retires it (remove_peer: facade reads end, sends
+   drop), and re-admits it over the same slot. Sends before a link is up
+   drop by design (the retransmitter covers them in a replica), so the
+   test pumps frames until one lands. *)
+let test_tcp_mesh_add_remove_peer () =
+  let ports = free_ports 3 in
+  let addr i = Unix.ADDR_INET (Unix.inet_addr_loopback, List.nth ports i) in
+  let base_addrs = [ (0, addr 0); (1, addr 1) ] in
+  let meshes = Array.make 2 None in
+  let mesh_threads =
+    List.init 2 (fun me ->
+        Thread.create
+          (fun () ->
+             meshes.(me) <- Some (R.Tcp_mesh.create ~me ~addrs:base_addrs ()))
+          ())
+  in
+  List.iter Thread.join mesh_threads;
+  let m0 = Option.get meshes.(0) and m1 = Option.get meshes.(1) in
+  (* Node 2 boots alone (its address set is just itself), then dials the
+     existing members; they splice its slot in on their side. *)
+  let m2 = R.Tcp_mesh.create ~me:2 ~addrs:[ (2, addr 2) ] () in
+  Fun.protect
+    ~finally:(fun () ->
+        R.Tcp_mesh.close m2;
+        R.Tcp_mesh.close m1;
+        R.Tcp_mesh.close m0)
+  @@ fun () ->
+  let await_frame what cell =
+    let deadline = Unix.gettimeofday () +. 10. in
+    while !cell = None && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.01
+    done;
+    match !cell with
+    | Some (Some b) -> b
+    | Some None -> Alcotest.failf "%s: facade closed" what
+    | None -> Alcotest.failf "%s: no frame arrived" what
+  in
+  let l02 = R.Tcp_mesh.add_peer m0 ~peer:2 ~addr:(addr 2) in
+  (* 2 > 0, so node 2's dialer initiates; node 0's acceptor splices. *)
+  let l20 = R.Tcp_mesh.add_peer m2 ~peer:0 ~addr:(addr 0) in
+  let up = ref None in
+  ignore (Thread.create (fun () -> up := Some (l02.recv_bytes ())) ());
+  (* Pump until the dial lands. *)
+  let rec pump_up n =
+    if !up = None && n > 0 then begin
+      l20.send_bytes (Bytes.of_string "hello-up");
+      Unix.sleepf 0.02;
+      pump_up (n - 1)
+    end
+  in
+  pump_up 400;
+  Alcotest.(check string) "joiner's frame arrives" "hello-up"
+    (Bytes.to_string (await_frame "join up" up));
+  (* Reverse direction over the now-established pair; also parks the
+     reader that lets node 2 notice the upcoming decommission. *)
+  let down = ref None in
+  ignore (Thread.create (fun () -> down := Some (l20.recv_bytes ())) ());
+  l02.send_bytes (Bytes.of_string "hello-down");
+  Alcotest.(check string) "reverse frame arrives" "hello-down"
+    (Bytes.to_string (await_frame "join down" down));
+  (* Keep a reader parked on node 2's side: it observes the connection
+     death at decommission, retiring the slot so the dialer re-arms. *)
+  ignore (Thread.create (fun () -> ignore (l20.recv_bytes ())) ());
+  (* Decommission: node 0 retires the slot; reads end, sends drop. *)
+  R.Tcp_mesh.remove_peer m0 ~peer:2;
+  Alcotest.(check bool) "retired facade reads None" true
+    (l02.recv_bytes () = None);
+  l02.send_bytes (Bytes.of_string "dropped");
+  (* Re-admission over the same slot: node 2's dialer keeps redialing,
+     node 0 reopens with add_peer and the pair comes back. *)
+  let l02' = R.Tcp_mesh.add_peer m0 ~peer:2 ~addr:(addr 2) in
+  let back = ref None in
+  ignore (Thread.create (fun () -> back := Some (l02'.recv_bytes ())) ());
+  let rec pump_back n =
+    if !back = None && n > 0 then begin
+      l20.send_bytes (Bytes.of_string "rejoin");
+      Unix.sleepf 0.05;
+      pump_back (n - 1)
+    end
+  in
+  pump_back 200;
+  Alcotest.(check string) "re-admitted link carries traffic" "rejoin"
+    (Bytes.to_string (await_frame "re-admission" back));
+  Alcotest.(check int) "mesh 1 untouched" 0 (R.Tcp_mesh.reconnects m1)
+
+(* Client endpoint refresh on membership change: the client keeps its
+   connection when its current target survives the update in place, and
+   re-targets (then steers back to the leader by rotation) when the set
+   changes under it. *)
+let test_tcp_client_update_addrs () =
+  let n = 3 in
+  let ports = free_ports n in
+  let addrs =
+    List.mapi
+      (fun i p -> (i, Unix.ADDR_INET (Unix.inet_addr_loopback, p)))
+      ports
+  in
+  let cfg =
+    { (Msmr_consensus.Config.default ~n) with max_batch_delay_s = 0.004 }
+  in
+  let links = Array.make n [] in
+  let mesh_threads =
+    List.init n (fun me ->
+        Thread.create
+          (fun () -> links.(me) <- R.Tcp_mesh.establish ~me ~addrs ())
+          ())
+  in
+  List.iter Thread.join mesh_threads;
+  let replicas =
+    Array.init n (fun me ->
+        R.Replica.create ~cfg ~me ~links:links.(me)
+          ~service:(R.Service.accumulator ()) ())
+  in
+  let servers =
+    Array.map (fun r -> R.Client_server.start r ~port:0) replicas
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        Array.iter R.Client_server.stop servers;
+        Array.iter R.Replica.stop replicas)
+  @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    (not (Array.exists R.Replica.is_leader replicas))
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.yield ()
+  done;
+  let caddr i =
+    Unix.ADDR_INET (Unix.inet_addr_loopback, R.Client_server.port servers.(i))
+  in
+  (* Node 0 leads view 0; the client starts knowing only the leader. *)
+  let client =
+    R.Tcp_client.create ~timeout_s:0.4 ~addrs:[ caddr 0 ] ~client_id:66 ()
+  in
+  Fun.protect ~finally:(fun () -> R.Tcp_client.close client) @@ fun () ->
+  Alcotest.(check string) "call before refresh" "4"
+    (Bytes.to_string (R.Tcp_client.call client (Bytes.of_string "4")));
+  (* Same target at the same index: the connection survives the
+     refresh, no rotation happens. *)
+  let before = R.Tcp_client.redirects client in
+  R.Tcp_client.update_addrs client [ caddr 0; caddr 1 ];
+  Alcotest.(check string) "call after compatible refresh" "9"
+    (Bytes.to_string (R.Tcp_client.call client (Bytes.of_string "5")));
+  Alcotest.(check int) "no rotation for a kept connection" before
+    (R.Tcp_client.redirects client);
+  (* Membership changed under the client: the set is reordered, so it
+     disconnects, re-targets from the head (a follower), and must rotate
+     back to the leader to complete the call. *)
+  R.Tcp_client.update_addrs client [ caddr 1; caddr 0 ];
+  Alcotest.(check string) "call after disruptive refresh" "12"
+    (Bytes.to_string (R.Tcp_client.call client (Bytes.of_string "3")));
+  Alcotest.(check bool) "rotated off the follower" true
+    (R.Tcp_client.redirects client > before);
+  Alcotest.check_raises "empty endpoint set rejected"
+    (Invalid_argument "Tcp_client.update_addrs: no addresses") (fun () ->
+        R.Tcp_client.update_addrs client [])
+
 let suite =
   suite
   @ [ Alcotest.test_case "tcp: client failover" `Quick test_tcp_client_failover;
       Alcotest.test_case "tcp: mesh reconnects after peer restart" `Quick
-        test_tcp_mesh_reconnect ]
+        test_tcp_mesh_reconnect;
+      Alcotest.test_case "tcp: mesh add/remove peer (membership)" `Quick
+        test_tcp_mesh_add_remove_peer;
+      Alcotest.test_case "tcp: client endpoint refresh (membership)" `Quick
+        test_tcp_client_update_addrs ]
